@@ -1,0 +1,150 @@
+//! Grayscale images and the PGM viewer format.
+//!
+//! The environment's "image viewer" tool consumes the 2-D images Volren
+//! produces; binary PGM (P5) keeps them inspectable with stock viewers.
+
+use serde::{Deserialize, Serialize};
+
+/// An 8-bit grayscale image.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Image {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+    /// Row-major pixel data, `height × width` bytes.
+    pub pixels: Vec<u8>,
+}
+
+impl Image {
+    /// A black image.
+    pub fn new(width: u32, height: u32) -> Self {
+        Image {
+            width,
+            height,
+            pixels: vec![0; (width * height) as usize],
+        }
+    }
+
+    /// Pixel accessor.
+    pub fn get(&self, x: u32, y: u32) -> u8 {
+        self.pixels[(y * self.width + x) as usize]
+    }
+
+    /// Pixel mutator.
+    pub fn set(&mut self, x: u32, y: u32, v: u8) {
+        self.pixels[(y * self.width + x) as usize] = v;
+    }
+
+    /// Encode as binary PGM (P5).
+    pub fn to_pgm(&self) -> Vec<u8> {
+        let mut out = format!("P5\n{} {}\n255\n", self.width, self.height).into_bytes();
+        out.extend_from_slice(&self.pixels);
+        out
+    }
+
+    /// Decode a binary PGM (P5) produced by [`Image::to_pgm`].
+    pub fn from_pgm(bytes: &[u8]) -> Option<Image> {
+        let header_end = bytes
+            .windows(1)
+            .enumerate()
+            .filter(|(_, w)| w[0] == b'\n')
+            .map(|(i, _)| i)
+            .nth(2)?;
+        let header = std::str::from_utf8(&bytes[..header_end]).ok()?;
+        let mut lines = header.lines();
+        if lines.next()? != "P5" {
+            return None;
+        }
+        let mut dims = lines.next()?.split_whitespace();
+        let width: u32 = dims.next()?.parse().ok()?;
+        let height: u32 = dims.next()?.parse().ok()?;
+        if lines.next()? != "255" {
+            return None;
+        }
+        let pixels = bytes.get(header_end + 1..)?.to_vec();
+        if pixels.len() != (width * height) as usize {
+            return None;
+        }
+        Some(Image {
+            width,
+            height,
+            pixels,
+        })
+    }
+
+    /// Mean pixel intensity.
+    pub fn mean(&self) -> f64 {
+        if self.pixels.is_empty() {
+            return 0.0;
+        }
+        self.pixels.iter().map(|&p| f64::from(p)).sum::<f64>() / self.pixels.len() as f64
+    }
+
+    /// (min, max) intensities.
+    pub fn min_max(&self) -> (u8, u8) {
+        let mut lo = u8::MAX;
+        let mut hi = 0;
+        for &p in &self.pixels {
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        (lo, hi)
+    }
+
+    /// 16-bin intensity histogram.
+    pub fn histogram(&self) -> [u64; 16] {
+        let mut h = [0u64; 16];
+        for &p in &self.pixels {
+            h[(p >> 4) as usize] += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient(w: u32, h: u32) -> Image {
+        let mut img = Image::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                img.set(x, y, ((x + y) % 256) as u8);
+            }
+        }
+        img
+    }
+
+    #[test]
+    fn pgm_roundtrip() {
+        let img = gradient(17, 9);
+        let back = Image::from_pgm(&img.to_pgm()).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn pgm_rejects_garbage() {
+        assert!(Image::from_pgm(b"not a pgm").is_none());
+        assert!(Image::from_pgm(b"P5\n2 2\n255\nabc").is_none(), "truncated");
+        assert!(Image::from_pgm(b"P6\n1 1\n255\nx").is_none(), "wrong magic");
+    }
+
+    #[test]
+    fn stats() {
+        let img = gradient(4, 4);
+        assert_eq!(img.min_max(), (0, 6));
+        assert!((img.mean() - 3.0).abs() < 1e-12);
+        let h = img.histogram();
+        assert_eq!(h.iter().sum::<u64>(), 16);
+        assert_eq!(h[0], 16, "all gradient values < 16");
+    }
+
+    #[test]
+    fn get_set() {
+        let mut img = Image::new(3, 2);
+        img.set(2, 1, 77);
+        assert_eq!(img.get(2, 1), 77);
+        assert_eq!(img.get(0, 0), 0);
+    }
+}

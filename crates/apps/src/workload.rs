@@ -1,0 +1,71 @@
+//! Deterministic synthetic workload data for tests and benches.
+
+use msr_sim::stream_rng;
+use rand::Rng;
+
+/// A cubic u8 volume of side `n`: a few seeded Gaussian blobs over noise,
+/// resembling Astro3D's `vr_*` fields without running the simulation.
+pub fn synthetic_volume(n: usize, seed: u64) -> Vec<u8> {
+    let mut rng = stream_rng(seed, "synthetic-volume");
+    let blobs: Vec<(f32, f32, f32, f32)> = (0..4)
+        .map(|_| {
+            (
+                rng.random_range(0.0..n as f32),
+                rng.random_range(0.0..n as f32),
+                rng.random_range(0.0..n as f32),
+                rng.random_range(n as f32 / 8.0..n as f32 / 3.0),
+            )
+        })
+        .collect();
+    let mut out = Vec::with_capacity(n * n * n);
+    for x in 0..n {
+        for y in 0..n {
+            for z in 0..n {
+                let mut v = rng.random_range(0.0f32..20.0);
+                for &(bx, by, bz, r) in &blobs {
+                    let d2 = (x as f32 - bx).powi(2)
+                        + (y as f32 - by).powi(2)
+                        + (z as f32 - bz).powi(2);
+                    v += 235.0 * (-d2 / (r * r)).exp();
+                }
+                out.push(v.clamp(0.0, 255.0) as u8);
+            }
+        }
+    }
+    out
+}
+
+/// If `len` is a perfect cube, its side; the volume-shape check used by
+/// consumers of u8 datasets.
+pub fn u8_volume_dims(len: usize) -> Option<usize> {
+    let n = (len as f64).cbrt().round() as usize;
+    (n * n * n == len && n > 0).then_some(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_is_deterministic_per_seed() {
+        assert_eq!(synthetic_volume(8, 1), synthetic_volume(8, 1));
+        assert_ne!(synthetic_volume(8, 1), synthetic_volume(8, 2));
+    }
+
+    #[test]
+    fn volume_has_structure() {
+        let v = synthetic_volume(16, 3);
+        assert_eq!(v.len(), 16 * 16 * 16);
+        let bright = v.iter().filter(|&&x| x > 200).count();
+        let dark = v.iter().filter(|&&x| x < 30).count();
+        assert!(bright > 0 && dark > 0, "blobs over background");
+    }
+
+    #[test]
+    fn cube_detection() {
+        assert_eq!(u8_volume_dims(27), Some(3));
+        assert_eq!(u8_volume_dims(128 * 128 * 128), Some(128));
+        assert_eq!(u8_volume_dims(26), None);
+        assert_eq!(u8_volume_dims(0), None);
+    }
+}

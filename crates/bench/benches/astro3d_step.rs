@@ -1,0 +1,26 @@
+//! Astro3D time-step cost: the full hydro step vs the cheap evolution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msr_apps::{Astro3d, Astro3dConfig};
+
+fn bench_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("astro3d");
+    for n in [16u64, 32] {
+        group.bench_with_input(BenchmarkId::new("physics_step", n), &n, |b, &n| {
+            let mut sim = Astro3d::new(Astro3dConfig::small(n, 10));
+            b.iter(|| sim.step());
+        });
+        group.bench_with_input(BenchmarkId::new("cheap_step", n), &n, |b, &n| {
+            let mut sim = Astro3d::new(Astro3dConfig::small(n, 10));
+            b.iter(|| sim.cheap_step());
+        });
+        group.bench_with_input(BenchmarkId::new("vr_field_derivation", n), &n, |b, &n| {
+            let sim = Astro3d::new(Astro3dConfig::small(n, 10));
+            b.iter(|| sim.field_bytes("vr_mach").expect("known field"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_step);
+criterion_main!(benches);

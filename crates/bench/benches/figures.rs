@@ -1,0 +1,29 @@
+//! End-to-end figure regeneration at quick scale: how fast the whole
+//! simulated evaluation reruns (wall clock of the harness itself).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msr_bench::experiments::Scale;
+use msr_bench::{fig10c, fig9};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_quick");
+    group.sample_size(10);
+    group.bench_function("fig9_all_configs", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            fig9(Scale::Quick, seed)
+        })
+    });
+    group.bench_function("fig10c_superfile", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            fig10c(Scale::Quick, seed)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Layout machinery: contiguous-run enumeration — the inner loop of every
+//! uncoordinated strategy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msr_runtime::{Dims3, Distribution, Pattern, ProcGrid};
+
+fn bench_layout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("layout");
+    for (n, grid) in [(64u64, ProcGrid::new(2, 2, 2)), (128, ProcGrid::new(2, 2, 2)), (128, ProcGrid::new(4, 4, 4))] {
+        let dist = Distribution::new(Dims3::cube(n), 4, Pattern::bbb(), grid)
+            .expect("valid distribution");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}^3 over {grid}")),
+            &dist,
+            |b, dist| {
+                b.iter(|| {
+                    let mut total = 0u64;
+                    for p in 0..dist.nprocs() {
+                        total += dist.chunks_for(p).len() as u64;
+                    }
+                    total
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_layout);
+criterion_main!(benches);

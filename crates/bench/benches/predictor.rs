@@ -1,0 +1,49 @@
+//! Predictor throughput: a 19-dataset eq. (2) evaluation and the PerfDb
+//! interpolation hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msr_bench::experiments::{system_with_perfdb, Scale};
+use msr_predict::{AccessSummary, DatasetPlan, Predictor, RunSpec};
+use msr_runtime::{Dims3, Distribution, IoStrategy, Pattern, ProcGrid};
+use msr_storage::OpKind;
+
+fn spec_19(resource: &str) -> RunSpec {
+    let dist = Distribution::new(Dims3::cube(128), 4, Pattern::bbb(), ProcGrid::new(2, 2, 2))
+        .expect("valid distribution");
+    let access = AccessSummary::of(&dist);
+    RunSpec {
+        iterations: 120,
+        datasets: (0..19)
+            .map(|i| DatasetPlan {
+                name: format!("d{i}"),
+                resource: Some(resource.to_owned()),
+                op: OpKind::Write,
+                frequency: 6,
+                strategy: IoStrategy::Collective,
+                access,
+            })
+            .collect(),
+    }
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let sys = system_with_perfdb(Scale::Quick, 77);
+    let predictor: &Predictor = sys.predictor().expect("ptool ran");
+    let spec = spec_19("sdsc-hpss");
+
+    c.bench_function("predict_19_datasets", |b| {
+        b.iter(|| predictor.predict(&spec).expect("prediction"))
+    });
+
+    let profile = predictor.db.get("sdsc-hpss", OpKind::Write).expect("profile");
+    c.bench_function("perfdb_interpolation", |b| {
+        let mut bytes = 1000u64;
+        b.iter(|| {
+            bytes = bytes % 100_000_000 + 4096;
+            profile.transfer_time(bytes)
+        })
+    });
+}
+
+criterion_group!(benches, bench_predictor);
+criterion_main!(benches);

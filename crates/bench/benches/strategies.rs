@@ -1,0 +1,34 @@
+//! Wall-clock cost of the run-time engine itself per strategy (the
+//! simulator machinery, not virtual time): gather/scatter, chunk
+//! enumeration and object-store traffic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use msr_runtime::{Dims3, Distribution, IoEngine, IoStrategy, Pattern, ProcGrid};
+use msr_storage::{share, DiskParams, LocalDisk, OpenMode};
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_write");
+    let dist = Distribution::new(Dims3::cube(32), 4, Pattern::bbb(), ProcGrid::new(2, 2, 2))
+        .expect("valid distribution");
+    let data: Vec<u8> = (0..dist.total_bytes()).map(|i| (i % 251) as u8).collect();
+    let engine = IoEngine::default();
+    group.throughput(Throughput::Bytes(dist.total_bytes()));
+    for strategy in IoStrategy::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy),
+            &strategy,
+            |b, &strategy| {
+                let res = share(LocalDisk::new("b", DiskParams::simple(100.0, 1 << 30), 0));
+                b.iter(|| {
+                    engine
+                        .write(&res, "d", &data, &dist, strategy, OpenMode::Create)
+                        .expect("write")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

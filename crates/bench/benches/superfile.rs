@@ -1,0 +1,41 @@
+//! Superfile container machinery: member append and cached reads.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use msr_runtime::Superfile;
+use msr_storage::{share, DiskParams, LocalDisk};
+
+fn bench_superfile(c: &mut Criterion) {
+    let member = vec![7u8; 16 << 10];
+
+    let mut group = c.benchmark_group("superfile");
+    group.throughput(Throughput::Bytes(member.len() as u64));
+
+    group.bench_function("write_member", |b| {
+        let res = share(LocalDisk::new("b", DiskParams::simple(100.0, 1 << 30), 0));
+        let (_, mut sf) = Superfile::create(&res, "c").expect("create");
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            sf.write_member(&res, &format!("m{i}"), &member).expect("write")
+        });
+    });
+
+    group.bench_function("read_member_cached", |b| {
+        let res = share(LocalDisk::new("b", DiskParams::simple(100.0, 1 << 30), 0));
+        let (_, mut sf) = Superfile::create(&res, "c").expect("create");
+        for i in 0..64 {
+            sf.write_member(&res, &format!("m{i}"), &member).expect("write");
+        }
+        sf.close(&res).expect("close");
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            sf.read_member(&res, &format!("m{i}")).expect("read")
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_superfile);
+criterion_main!(benches);

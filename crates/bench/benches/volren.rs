@@ -1,0 +1,24 @@
+//! Volren ray-casting throughput (real compute, rayon-parallel).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use msr_apps::volren::{render, RenderMode};
+use msr_apps::workload::synthetic_volume;
+
+fn bench_volren(c: &mut Criterion) {
+    let mut group = c.benchmark_group("volren");
+    for n in [32usize, 64] {
+        let vol = synthetic_volume(n, 7);
+        group.throughput(Throughput::Bytes(vol.len() as u64));
+        for mode in [RenderMode::MaxIntensity, RenderMode::Compositing] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{mode:?}"), n),
+                &(&vol, n),
+                |b, &(vol, n)| b.iter(|| render(vol, n, mode)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_volren);
+criterion_main!(benches);

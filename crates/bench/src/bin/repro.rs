@@ -1,0 +1,261 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--quick] [--seed N] <experiment>...
+//! experiments: table1 fig6 fig7 fig8 fig9 fig10a fig10b fig10c fig11
+//!              example42 failover ablations all
+//! ```
+//!
+//! `--quick` runs the Astro3D experiments at 32³/24 iterations instead of
+//! the paper's 128³/120 (same shapes, ~1000× less data).
+
+use msr_bench::experiments::Scale;
+use msr_bench::*;
+use msr_predict::compare;
+use msr_sim::SimDuration;
+
+fn hline() {
+    println!("{}", "-".repeat(78));
+}
+
+fn banner(title: &str) {
+    println!();
+    hline();
+    println!("{title}");
+    hline();
+}
+
+fn opt(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:>12.2}")).unwrap_or_else(|| format!("{:>12}", "-"))
+}
+
+fn run_table1(seed: u64) {
+    banner("TABLE 1 - timings for file open, close, etc. (paper vs PTool-measured)");
+    println!(
+        "{:<12} {:<6} | {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "location", "type", "conn", "open", "seek", "close", "connclose"
+    );
+    for row in table1(seed) {
+        let m = row.measured;
+        println!(
+            "{:<12} {:<6} | {:>10.4} {:>10.4} {:>10.4} {:>10.4} {:>10.4}   (measured)",
+            row.location,
+            row.op.to_string(),
+            m.conn.as_secs(),
+            m.open.as_secs(),
+            m.seek.as_secs(),
+            m.close.as_secs(),
+            m.connclose.as_secs()
+        );
+        let p: Vec<String> = row
+            .paper
+            .iter()
+            .map(|v| v.map(|x| format!("{x:>10.4}")).unwrap_or_else(|| format!("{:>10}", "-")))
+            .collect();
+        println!(
+            "{:<12} {:<6} | {} {} {} {} {}   (paper)",
+            "", "", p[0], p[1], p[2], p[3], p[4]
+        );
+    }
+}
+
+fn run_curve(name: &str, points: Vec<CurvePoint>) {
+    banner(&format!("{name} - read/write time vs request size"));
+    println!(
+        "{:>12} | {:>12} {:>12} | {:>12} {:>12}",
+        "bytes", "read(s)", "write(s)", "model-rd(s)", "model-wr(s)"
+    );
+    for p in points {
+        println!(
+            "{:>12} | {:>12.4} {:>12.4} | {:>12.4} {:>12.4}",
+            p.bytes, p.read_s, p.write_s, p.model_read_s, p.model_write_s
+        );
+    }
+}
+
+fn run_fig9(scale: Scale, seed: u64) {
+    banner("FIGURE 9 - Astro3D total write I/O time, configurations (1)-(5)");
+    println!(
+        "{:>3} {:<46} {:>12} {:>12} {:>12}",
+        "#", "configuration", "actual(s)", "pred(s)", "paper-pred"
+    );
+    let rows = fig9(scale, seed);
+    for r in &rows {
+        println!(
+            "{:>3} {:<46} {:>12.2} {} {}",
+            r.config,
+            r.description,
+            r.actual.as_secs(),
+            opt(r.predicted.map(|p| p.as_secs())),
+            opt(r.paper_predicted),
+        );
+    }
+    let cmp = compare(rows.iter().filter_map(|r| {
+        r.predicted
+            .map(|p| (format!("fig9({})", r.config), p, r.actual))
+    }));
+    println!("\nprediction vs actual:\n{cmp}");
+}
+
+fn run_fig10a(scale: Scale, seed: u64) {
+    banner("FIGURE 10(a) - data analysis (MSE on temp): read I/O time by placement");
+    for r in fig10a(scale, seed) {
+        println!(
+            "{:<40} actual {:>10.2}s   predicted {}",
+            r.label,
+            r.actual.as_secs(),
+            opt(r.predicted.map(|p| p.as_secs()))
+        );
+    }
+}
+
+fn run_fig10b(scale: Scale, seed: u64) {
+    banner("FIGURE 10(b) - visualization reads by placement");
+    let rows = fig10b(scale, seed);
+    for r in &rows {
+        println!(
+            "{:<40} actual {:>10.2}s   predicted {}",
+            r.label,
+            r.actual.as_secs(),
+            opt(r.predicted.map(|p| p.as_secs()))
+        );
+    }
+    if rows.len() >= 2 && rows[0].actual.as_secs() > 0.0 {
+        println!(
+            "\nvr_temp: local disk is {:.1}x faster than tape (paper: ~10x)",
+            rows[1].actual.as_secs() / rows[0].actual.as_secs()
+        );
+    }
+}
+
+fn run_fig10c(scale: Scale, seed: u64) {
+    banner("FIGURE 10(c) - superfile vs naive small-file access (Volren images)");
+    for r in fig10c(scale, seed) {
+        println!("on {} ({} frames):", r.resource, r.frames);
+        println!(
+            "  write  naive {:>10.2}s   superfile {:>10.2}s   ({:.1}x)",
+            r.write_naive.as_secs(),
+            r.write_superfile.as_secs(),
+            r.write_naive.as_secs() / r.write_superfile.as_secs().max(1e-9)
+        );
+        println!(
+            "  read   naive {:>10.2}s   superfile {:>10.2}s   ({:.1}x)",
+            r.read_naive.as_secs(),
+            r.read_superfile.as_secs(),
+            r.read_naive.as_secs() / r.read_superfile.as_secs().max(1e-9)
+        );
+    }
+}
+
+fn run_fig11(scale: Scale, seed: u64) {
+    banner("FIGURE 11 - per-dataset prediction table (temp -> remote disk, rest -> tape)");
+    let f = fig11(scale, seed);
+    println!("{}", f.report);
+    if !f.paper.is_empty() {
+        let cmp = compare(f.report.rows.iter().filter_map(|r| {
+            f.paper
+                .iter()
+                .find(|(n, _)| *n == r.name)
+                .map(|&(_, v)| (r.name.clone(), r.total, SimDuration::from_secs(v)))
+        }));
+        println!("our prediction vs the paper's VIRTUALTIME column:\n{cmp}");
+    }
+}
+
+fn run_example42(seed: u64) {
+    banner("WORKED EXAMPLE (section 4.2) - vr_temp local + vr_press remote disk");
+    let e = example42(seed);
+    println!(
+        "{:<22} {:>12} {:>12}",
+        "", "predicted(s)", "actual(s)"
+    );
+    println!(
+        "{:<22} {:>12.2} {:>12.2}",
+        "this reproduction",
+        e.predicted.as_secs(),
+        e.actual.as_secs()
+    );
+    println!(
+        "{:<22} {:>12.2} {:>12.2}",
+        "paper", e.paper_predicted, e.paper_actual
+    );
+}
+
+fn run_failover(scale: Scale, seed: u64) {
+    banner("RELIABILITY (section 5) - tape outage mid-run");
+    let o = failover_demo(scale, seed);
+    println!("checkpoints written: {} (schedule required 9)", o.dumps_written);
+    println!(
+        "final location: {}",
+        o.final_location.map(|k| k.to_string()).unwrap_or("-".into())
+    );
+    for e in &o.events {
+        println!(
+            "  iter {:>2}: {} -> {} ({})",
+            e.at_iteration,
+            e.from.map(|k| k.to_string()).unwrap_or("-".into()),
+            e.to.map(|k| k.to_string()).unwrap_or("-".into()),
+            e.reason
+        );
+    }
+}
+
+fn run_ablations(seed: u64) {
+    banner("ABLATIONS");
+    for (title, rows) in [
+        ("I/O strategy (64^3 f32 dump to remote disk, 8 procs)", ablation_strategies(seed)),
+        ("tape drive pool (4 volumes round-robin)", ablation_tape_drives(seed)),
+        ("WAN background load (8 MiB remote write)", ablation_net_load(seed)),
+        ("superfile staging cache (20 member reads)", ablation_superfile_cache(seed)),
+        ("write-behind vs synchronous (20 x 1s compute + 0.8s I/O)", ablation_writebehind(seed)),
+    ] {
+        println!("\n  {title}:");
+        for (label, secs) in rows {
+            println!("    {label:<38} {secs:>10.2}s");
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
+    let scale = if quick { Scale::Quick } else { Scale::Paper };
+    let mut wanted: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| !a.starts_with("--") && a.parse::<u64>().is_err())
+        .collect();
+    if wanted.is_empty() || wanted.contains(&"all") {
+        wanted = vec![
+            "table1", "fig6", "fig7", "fig8", "fig9", "fig10a", "fig10b", "fig10c", "fig11",
+            "example42", "failover", "ablations",
+        ];
+    }
+    println!(
+        "multi-storage resource architecture repro  (scale: {:?}, seed: {seed})",
+        scale
+    );
+    for w in wanted {
+        match w {
+            "table1" => run_table1(seed),
+            "fig6" => run_curve("FIGURE 6 (local disk)", fig6(seed)),
+            "fig7" => run_curve("FIGURE 7 (remote disk)", fig7(seed)),
+            "fig8" => run_curve("FIGURE 8 (remote tape)", fig8(seed)),
+            "fig9" => run_fig9(scale, seed),
+            "fig10a" => run_fig10a(scale, seed),
+            "fig10b" => run_fig10b(scale, seed),
+            "fig10c" => run_fig10c(scale, seed),
+            "fig11" => run_fig11(scale, seed),
+            "example42" => run_example42(seed),
+            "failover" => run_failover(scale, seed),
+            "ablations" => run_ablations(seed),
+            other => eprintln!("unknown experiment {other:?} (see --help in source)"),
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Figure 9 — total Astro3D write I/O time under five placement
+//! configurations, with predictions.
+//!
+//! The configurations (§5):
+//! 1. write all datasets to remote tapes;
+//! 2. `temp` to remote disks, all others to tapes;
+//! 3. only `temp` and `press` to remote disks (everything else DISABLE);
+//! 4. `vr_temp` to local disks, all others to tapes;
+//! 5. only `vr_temp` to local disks and `vr_press` to remote disks.
+
+use super::{run_astro3d, system_with_perfdb, Scale};
+use msr_apps::PlacementPlan;
+use msr_sim::SimDuration;
+
+/// One Fig. 9 bar.
+#[derive(Debug, Clone)]
+pub struct Fig9Row {
+    /// Configuration number 1–5.
+    pub config: u8,
+    /// Human-readable description.
+    pub description: &'static str,
+    /// Measured ("actual", jittered) total write I/O time.
+    pub actual: SimDuration,
+    /// Predicted total (eq. (2)); `None` if prediction failed.
+    pub predicted: Option<SimDuration>,
+    /// The paper's predicted value for the configuration, derived from the
+    /// published Fig. 11 per-dataset numbers (only meaningful at
+    /// [`Scale::Paper`]).
+    pub paper_predicted: Option<f64>,
+}
+
+const DESCRIPTIONS: [&str; 5] = [
+    "all datasets -> tape",
+    "temp -> remote disk, rest -> tape",
+    "only temp+press -> remote disk",
+    "vr_temp -> local disk, rest -> tape",
+    "only vr_temp -> local, vr_press -> remote disk",
+];
+
+/// Paper-derived totals (sums of the Fig. 11 VIRTUALTIME column entries:
+/// 3036.34 s per float dataset on tape, 932.98 s per u8 dataset on tape,
+/// 812.45 s for temp on remote disks, 2.59/177.98 s for the locals of
+/// configuration 5).
+fn paper_predicted(config: u8) -> f64 {
+    const FT: f64 = 3036.34; // float → tape, 21 dumps
+    const UT: f64 = 932.98; // u8 → tape, 21 dumps
+    const TD: f64 = 812.45; // float → remote disk, 21 dumps
+    match config {
+        1 => 12.0 * FT + 7.0 * UT,
+        2 => 11.0 * FT + TD + 7.0 * UT,
+        3 => 2.0 * TD,
+        4 => 12.0 * FT + 6.0 * UT + 2.59,
+        5 => 2.59 + 177.98,
+        _ => unreachable!(),
+    }
+}
+
+/// Regenerate Fig. 9.
+pub fn fig9(scale: Scale, seed: u64) -> Vec<Fig9Row> {
+    (1u8..=5)
+        .map(|config| {
+            let sys = system_with_perfdb(scale, seed + u64::from(config));
+            let (report, predicted) =
+                run_astro3d(&sys, scale, PlacementPlan::fig9(config), seed).expect("fig9 run");
+            Fig9Row {
+                config,
+                description: DESCRIPTIONS[(config - 1) as usize],
+                actual: report.total_io,
+                predicted: predicted.map(|p| p.total),
+                paper_predicted: (scale == Scale::Paper).then(|| paper_predicted(config)),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_preserves_the_ordering() {
+        let rows = fig9(Scale::Quick, 11);
+        assert_eq!(rows.len(), 5);
+        let t = |i: usize| rows[i].actual.as_secs();
+        // (3) and (5) disable most datasets: dramatically cheaper than (1).
+        assert!(t(2) < t(0) / 5.0, "config 3 {} vs config 1 {}", t(2), t(0));
+        assert!(t(4) < t(0) / 5.0, "config 5 {} vs config 1 {}", t(4), t(0));
+        // (2) and (4) shave a tape dataset off (1).
+        assert!(t(1) < t(0));
+        assert!(t(3) < t(0));
+        // (5) is the cheapest of all.
+        assert!((0..4).all(|i| t(4) <= t(i)));
+    }
+
+    #[test]
+    fn predictions_track_actuals() {
+        let rows = fig9(Scale::Quick, 12);
+        for r in rows {
+            let p = r.predicted.expect("perf db installed").as_secs();
+            let a = r.actual.as_secs();
+            if a > 1.0 {
+                let err = (p - a).abs() / a;
+                assert!(err < 0.35, "config {}: predicted {p} actual {a}", r.config);
+            }
+        }
+    }
+}

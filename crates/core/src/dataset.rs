@@ -1,0 +1,133 @@
+//! Dataset specifications — what the application declares at `open`.
+
+use crate::hints::{FutureUse, LocationHint};
+use msr_meta::{AccessMode, ElementType};
+use msr_runtime::{Dims3, IoStrategy, Pattern};
+use serde::{Deserialize, Serialize};
+
+/// Everything the API needs to know about one dataset, provided by the
+/// application at open time (compare the columns of Fig. 11).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Dataset name, unique within the run.
+    pub name: String,
+    /// Element type.
+    pub etype: ElementType,
+    /// Global dimensions.
+    pub dims: Dims3,
+    /// Distribution pattern over the process grid.
+    pub pattern: Pattern,
+    /// Dump frequency in iterations (`freq(j)`); `0` = never dumped.
+    pub frequency: u32,
+    /// Open mode per dump: fresh snapshot files or overwrite-in-place.
+    pub amode: AccessMode,
+    /// The user's location hint.
+    pub hint: LocationHint,
+    /// What the dataset will be used for (guides AUTO placement).
+    pub future_use: FutureUse,
+    /// I/O optimization. The paper's experiments all use collective I/O.
+    pub strategy: IoStrategy,
+}
+
+impl DatasetSpec {
+    /// A collective-I/O, BBB, every-6-iterations dataset — the Astro3D
+    /// default shape; customize from here.
+    pub fn astro3d_default(name: &str, etype: ElementType, n: u64) -> Self {
+        DatasetSpec {
+            name: name.to_owned(),
+            etype,
+            dims: Dims3::cube(n),
+            pattern: Pattern::bbb(),
+            frequency: 6,
+            amode: AccessMode::Create,
+            hint: LocationHint::Auto,
+            future_use: FutureUse::Archive,
+            strategy: IoStrategy::Collective,
+        }
+    }
+
+    /// Bytes of one dump.
+    pub fn snapshot_bytes(&self) -> u64 {
+        self.dims.elements() * self.etype.size()
+    }
+
+    /// Bytes this dataset will write over a whole run of `iterations`.
+    /// Overwritten datasets occupy only one snapshot on storage.
+    pub fn run_bytes(&self, iterations: u32) -> u64 {
+        if self.frequency == 0 {
+            return 0;
+        }
+        let dumps = u64::from(iterations / self.frequency + 1);
+        match self.amode {
+            AccessMode::Create => dumps * self.snapshot_bytes(),
+            AccessMode::OverWrite => self.snapshot_bytes(),
+        }
+    }
+
+    /// Builder-style hint override.
+    pub fn with_hint(mut self, hint: LocationHint) -> Self {
+        self.hint = hint;
+        self
+    }
+
+    /// Builder-style future-use override.
+    pub fn with_future_use(mut self, fu: FutureUse) -> Self {
+        self.future_use = fu;
+        self
+    }
+
+    /// Builder-style strategy override.
+    pub fn with_strategy(mut self, s: IoStrategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Builder-style frequency override.
+    pub fn with_frequency(mut self, f: u32) -> Self {
+        self.frequency = f;
+        self
+    }
+
+    /// Builder-style amode override.
+    pub fn with_amode(mut self, amode: AccessMode) -> Self {
+        self.amode = amode;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_dataset_sizes() {
+        let temp = DatasetSpec::astro3d_default("temp", ElementType::F32, 128);
+        assert_eq!(temp.snapshot_bytes(), 8 * 1024 * 1024);
+        let vr = DatasetSpec::astro3d_default("vr_temp", ElementType::U8, 128);
+        assert_eq!(vr.snapshot_bytes(), 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn run_bytes_accounts_for_amode() {
+        let temp = DatasetSpec::astro3d_default("temp", ElementType::F32, 128);
+        // 21 dumps × 8 MiB
+        assert_eq!(temp.run_bytes(120), 21 * 8 * 1024 * 1024);
+        let restart = temp.clone().with_amode(AccessMode::OverWrite);
+        assert_eq!(restart.run_bytes(120), 8 * 1024 * 1024);
+        let never = temp.with_frequency(0);
+        assert_eq!(never.run_bytes(120), 0);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let d = DatasetSpec::astro3d_default("vr_temp", ElementType::U8, 64)
+            .with_hint(LocationHint::LocalDisk)
+            .with_future_use(FutureUse::Visualization)
+            .with_strategy(IoStrategy::Subfile)
+            .with_frequency(3);
+        assert_eq!(d.hint, LocationHint::LocalDisk);
+        assert_eq!(d.future_use, FutureUse::Visualization);
+        assert_eq!(d.strategy, IoStrategy::Subfile);
+        assert_eq!(d.frequency, 3);
+    }
+}

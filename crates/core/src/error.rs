@@ -1,0 +1,83 @@
+//! Top-level error type of the architecture.
+
+use std::fmt;
+
+/// Failures surfaced by the user API.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Storage-layer failure that could not be recovered by failover.
+    Storage(msr_storage::StorageError),
+    /// Run-time library failure.
+    Runtime(msr_runtime::RuntimeError),
+    /// Metadata catalog failure.
+    Meta(msr_meta::MetaError),
+    /// Predictor failure (only when a prediction-driven policy is active).
+    Predict(msr_predict::PredictError),
+    /// No resource can currently satisfy the request (everything offline
+    /// or full).
+    NoUsableResource {
+        /// Dataset being placed.
+        dataset: String,
+        /// Bytes that had to fit.
+        bytes: u64,
+    },
+    /// The requested dataset was DISABLEd for this run.
+    DatasetDisabled(String),
+    /// A handle was used after the session finalized.
+    SessionClosed,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Storage(e) => write!(f, "storage: {e}"),
+            CoreError::Runtime(e) => write!(f, "runtime: {e}"),
+            CoreError::Meta(e) => write!(f, "metadata: {e}"),
+            CoreError::Predict(e) => write!(f, "predictor: {e}"),
+            CoreError::NoUsableResource { dataset, bytes } => write!(
+                f,
+                "no storage resource can hold dataset {dataset} ({bytes} B): all offline or full"
+            ),
+            CoreError::DatasetDisabled(name) => {
+                write!(f, "dataset {name} is DISABLEd for this run")
+            }
+            CoreError::SessionClosed => f.write_str("session already finalized"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Storage(e) => Some(e),
+            CoreError::Runtime(e) => Some(e),
+            CoreError::Meta(e) => Some(e),
+            CoreError::Predict(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<msr_storage::StorageError> for CoreError {
+    fn from(e: msr_storage::StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+impl From<msr_runtime::RuntimeError> for CoreError {
+    fn from(e: msr_runtime::RuntimeError) -> Self {
+        CoreError::Runtime(e)
+    }
+}
+
+impl From<msr_meta::MetaError> for CoreError {
+    fn from(e: msr_meta::MetaError) -> Self {
+        CoreError::Meta(e)
+    }
+}
+
+impl From<msr_predict::PredictError> for CoreError {
+    fn from(e: msr_predict::PredictError) -> Self {
+        CoreError::Predict(e)
+    }
+}

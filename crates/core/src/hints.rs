@@ -1,0 +1,135 @@
+//! The user-facing hints of the architecture.
+
+use msr_storage::StorageKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The per-dataset "location" attribute the user sets (§3.2): the whole
+/// point of the architecture is that this is *per dataset*, not per run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum LocationHint {
+    /// Place on node-local disks (fast, scarce).
+    LocalDisk,
+    /// Place on the remote disk farm.
+    RemoteDisk,
+    /// Place on the remote tape archive.
+    RemoteTape,
+    /// Leave it to the system. "Default is remote tapes", unless a
+    /// prediction-driven policy overrides.
+    #[default]
+    Auto,
+    /// Do not dump this dataset at all for this run.
+    Disable,
+}
+
+impl LocationHint {
+    /// The concrete kind requested, if the hint pins one.
+    pub fn pinned_kind(self) -> Option<StorageKind> {
+        match self {
+            LocationHint::LocalDisk => Some(StorageKind::LocalDisk),
+            LocationHint::RemoteDisk => Some(StorageKind::RemoteDisk),
+            LocationHint::RemoteTape => Some(StorageKind::RemoteTape),
+            LocationHint::Auto | LocationHint::Disable => None,
+        }
+    }
+}
+
+impl fmt::Display for LocationHint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LocationHint::LocalDisk => "LOCALDISK",
+            LocationHint::RemoteDisk => "REMOTEDISK",
+            LocationHint::RemoteTape => "REMOTETAPE",
+            LocationHint::Auto => "AUTO",
+            LocationHint::Disable => "DISABLE",
+        })
+    }
+}
+
+/// How the user expects to use the dataset after the run — the high-level
+/// intent the paper's intro motivates ("each generated dataset has its
+/// purpose"). Drives AUTO placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FutureUse {
+    /// Will be visualized interactively soon: wants the fastest medium.
+    Visualization,
+    /// Will be post-processed (data analysis) soon: wants a fast-ish
+    /// medium with room.
+    Analysis,
+    /// Restart/checkpoint data: overwritten often, read rarely.
+    Checkpoint,
+    /// Permanent archive; capacity over speed.
+    #[default]
+    Archive,
+}
+
+impl FutureUse {
+    /// Preferred storage kinds for this intent, best first. AUTO placement
+    /// walks this list looking for an online resource with room.
+    pub fn preference(self) -> [StorageKind; 3] {
+        match self {
+            FutureUse::Visualization => [
+                StorageKind::LocalDisk,
+                StorageKind::RemoteDisk,
+                StorageKind::RemoteTape,
+            ],
+            FutureUse::Analysis => [
+                StorageKind::RemoteDisk,
+                StorageKind::LocalDisk,
+                StorageKind::RemoteTape,
+            ],
+            FutureUse::Checkpoint | FutureUse::Archive => [
+                StorageKind::RemoteTape,
+                StorageKind::RemoteDisk,
+                StorageKind::LocalDisk,
+            ],
+        }
+    }
+}
+
+impl fmt::Display for FutureUse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FutureUse::Visualization => "visualization",
+            FutureUse::Analysis => "analysis",
+            FutureUse::Checkpoint => "checkpoint",
+            FutureUse::Archive => "archive",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pinned_kinds() {
+        assert_eq!(LocationHint::LocalDisk.pinned_kind(), Some(StorageKind::LocalDisk));
+        assert_eq!(LocationHint::RemoteTape.pinned_kind(), Some(StorageKind::RemoteTape));
+        assert_eq!(LocationHint::Auto.pinned_kind(), None);
+        assert_eq!(LocationHint::Disable.pinned_kind(), None);
+    }
+
+    #[test]
+    fn default_hint_is_auto() {
+        assert_eq!(LocationHint::default(), LocationHint::Auto);
+        assert_eq!(FutureUse::default(), FutureUse::Archive);
+    }
+
+    #[test]
+    fn archive_prefers_tape_first() {
+        assert_eq!(FutureUse::Archive.preference()[0], StorageKind::RemoteTape);
+        assert_eq!(
+            FutureUse::Visualization.preference()[0],
+            StorageKind::LocalDisk
+        );
+        assert_eq!(FutureUse::Analysis.preference()[0], StorageKind::RemoteDisk);
+    }
+
+    #[test]
+    fn display_matches_paper_vocabulary() {
+        assert_eq!(LocationHint::Disable.to_string(), "DISABLE");
+        assert_eq!(LocationHint::RemoteTape.to_string(), "REMOTETAPE");
+        assert_eq!(FutureUse::Visualization.to_string(), "visualization");
+    }
+}

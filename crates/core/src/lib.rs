@@ -1,0 +1,45 @@
+//! # msr-core — the distributed multi-storage resource architecture
+//!
+//! The paper's primary contribution: a five-layer architecture in which an
+//! application is *not* bound to a single storage resource. Each dataset
+//! carries a high-level **location hint** — `LOCALDISK`, `REMOTEDISK`,
+//! `REMOTETAPE`, `AUTO` or `DISABLE` — and the system routes every dump to
+//! a suitable resource, optimized by the run-time library and recorded in
+//! the metadata catalog so post-processing tools can find the data.
+//!
+//! The crate assembles the substrates:
+//!
+//! * [`MsrSystem`] — the configured environment: network, storage
+//!   resources, metadata catalog, performance database and virtual clock
+//!   (the paper's Fig. 4).
+//! * [`Session`] — the I/O flow of Fig. 5: `initialize → open →
+//!   read/write per iteration → close → finalize`, with per-dataset
+//!   placement, transparent failover when a resource is down or full
+//!   (§5's reliability example), and catalog bookkeeping.
+//! * [`PlacementPolicy`] — hint resolution. Besides the paper's hinted
+//!   policy (AUTO defaults to tape), the future-work policy of §7 is
+//!   implemented: given a per-dump time target, the system consults the
+//!   performance predictor and picks the fastest resource that fits.
+//! * [`RunReport`] — per-dataset and total I/O accounting for a run,
+//!   feeding the Fig. 9/10 experiments.
+
+pub mod dataset;
+pub mod error;
+pub mod hints;
+pub mod migrate;
+pub mod placement;
+pub mod report;
+pub mod session;
+pub mod system;
+
+pub use dataset::DatasetSpec;
+pub use error::CoreError;
+pub use hints::{FutureUse, LocationHint};
+pub use migrate::MigrationReport;
+pub use placement::PlacementPolicy;
+pub use report::{PlacementEvent, RunReport};
+pub use session::{DatasetHandle, Session};
+pub use system::MsrSystem;
+
+/// Convenience result alias.
+pub type CoreResult<T> = Result<T, CoreError>;

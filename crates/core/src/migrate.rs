@@ -1,0 +1,296 @@
+//! Dataset migration / prestaging between storage resources.
+//!
+//! §1 of the paper: "Aggressive prefetch or prestage may partially solve
+//! this problem by overlapping I/O access and computation." In the
+//! multi-storage architecture the natural form is *explicit staging*:
+//! copy a dataset's dumps from the slow archive to a faster medium before
+//! the post-processing tools need them, and update the catalog so
+//! consumers transparently read the staged copy.
+
+use crate::error::CoreError;
+use crate::system::MsrSystem;
+use crate::CoreResult;
+use msr_meta::{AccessMode, Location, RunId};
+use msr_runtime::{Dims3, Distribution, IoStrategy, Pattern, ProcGrid};
+use msr_sim::SimDuration;
+use msr_storage::{OpenMode, StorageKind};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of a staging operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigrationReport {
+    /// Dataset moved.
+    pub dataset: String,
+    /// Source resource.
+    pub from: StorageKind,
+    /// Destination resource.
+    pub to: StorageKind,
+    /// Number of dump files copied.
+    pub files: u32,
+    /// Payload bytes moved.
+    pub bytes: u64,
+    /// Virtual time spent reading the source.
+    pub read_time: SimDuration,
+    /// Virtual time spent writing the destination.
+    pub write_time: SimDuration,
+}
+
+impl MigrationReport {
+    /// Total staging cost.
+    pub fn total_time(&self) -> SimDuration {
+        self.read_time + self.write_time
+    }
+}
+
+impl MsrSystem {
+    /// Stage (migrate) every dump of `(run, dataset)` to `to`, updating
+    /// the catalog so subsequent reads hit the new location. Source copies
+    /// are deleted after a successful move (this is a migration, not a
+    /// replica — the catalog has a single location per dataset).
+    pub fn migrate_dataset(
+        &self,
+        run: RunId,
+        dataset: &str,
+        to: StorageKind,
+        grid: ProcGrid,
+    ) -> CoreResult<MigrationReport> {
+        let rec = {
+            let mut catalog = self.catalog.lock();
+            let rec = catalog.find_dataset(run, dataset)?.clone();
+            self.clock.advance(catalog.config.query_cost);
+            rec
+        };
+        let Location::Stored(from) = rec.location else {
+            return Err(CoreError::DatasetDisabled(dataset.to_owned()));
+        };
+        if from == to {
+            return Ok(MigrationReport {
+                dataset: dataset.to_owned(),
+                from,
+                to,
+                files: 0,
+                bytes: 0,
+                read_time: SimDuration::ZERO,
+                write_time: SimDuration::ZERO,
+            });
+        }
+        let src = self.resource(from).ok_or(CoreError::NoUsableResource {
+            dataset: dataset.to_owned(),
+            bytes: 0,
+        })?;
+        let dst = self.resource(to).ok_or(CoreError::NoUsableResource {
+            dataset: dataset.to_owned(),
+            bytes: 0,
+        })?;
+        let conn = src.lock().connect()?;
+        self.clock.advance(conn.time);
+        let conn = dst.lock().connect()?;
+        self.clock.advance(conn.time);
+
+        // Every dump file of the dataset shares the catalog path prefix.
+        let files: Vec<String> = match rec.amode {
+            AccessMode::OverWrite => vec![rec.path.clone()],
+            AccessMode::Create => src.lock().list(&rec.path),
+        };
+        if files.is_empty() {
+            return Err(CoreError::Storage(msr_storage::StorageError::NotFound(
+                rec.path.clone(),
+            )));
+        }
+
+        // Capacity check up front: a migration must not strand a dataset
+        // halfway.
+        let total: u64 = files
+            .iter()
+            .filter_map(|f| src.lock().file_size(f))
+            .sum();
+        if dst.lock().available_bytes() < total {
+            return Err(CoreError::NoUsableResource {
+                dataset: dataset.to_owned(),
+                bytes: total,
+            });
+        }
+
+        let dims = Dims3 {
+            x: rec.dims.first().copied().unwrap_or(1),
+            y: rec.dims.get(1).copied().unwrap_or(1),
+            z: rec.dims.get(2).copied().unwrap_or(1),
+        };
+        let dist = Distribution::new(dims, rec.etype.size(), Pattern::parse(&rec.pattern)?, grid)?;
+
+        let mut report = MigrationReport {
+            dataset: dataset.to_owned(),
+            from,
+            to,
+            files: 0,
+            bytes: 0,
+            read_time: SimDuration::ZERO,
+            write_time: SimDuration::ZERO,
+        };
+        for file in &files {
+            let (data, read) = self.engine.read(&src, file, &dist, IoStrategy::Collective)?;
+            let write = self.engine.write(
+                &dst,
+                file,
+                &data,
+                &dist,
+                IoStrategy::Collective,
+                OpenMode::Create,
+            )?;
+            self.clock.advance(read.elapsed + write.elapsed);
+            report.files += 1;
+            report.bytes += data.len() as u64;
+            report.read_time += read.elapsed;
+            report.write_time += write.elapsed;
+        }
+        self.trace.record(
+            self.clock.now(),
+            "staging",
+            format!(
+                "{dataset}: {from} -> {to}, {} files, {} B",
+                report.files, report.bytes
+            ),
+        );
+        // Point the catalog at the staged copy, then drop the originals.
+        {
+            let mut catalog = self.catalog.lock();
+            catalog.set_dataset_location(rec.id, Location::Stored(to))?;
+            self.clock.advance(catalog.config.query_cost);
+        }
+        for file in &files {
+            let cost = src.lock().delete(file)?;
+            self.clock.advance(cost.time);
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetSpec;
+    use crate::hints::LocationHint;
+    use msr_meta::ElementType;
+
+    fn produce(sys: &MsrSystem, hint: LocationHint, amode: AccessMode) -> (RunId, Vec<u8>) {
+        let grid = ProcGrid::new(1, 1, 1);
+        let mut s = sys.init_session("app", "u", 12, grid).unwrap();
+        let spec = DatasetSpec::astro3d_default("d", ElementType::U8, 16)
+            .with_hint(hint)
+            .with_amode(amode);
+        let data: Vec<u8> = (0..spec.snapshot_bytes()).map(|i| (i % 250) as u8).collect();
+        let h = s.open(spec).unwrap();
+        for iter in (0..=12).step_by(6) {
+            s.write_iteration(h, iter, &data).unwrap();
+        }
+        let run = s.run_id();
+        s.finalize().unwrap();
+        (run, data)
+    }
+
+    #[test]
+    fn tape_to_local_staging_moves_all_dumps() {
+        let sys = MsrSystem::testbed(401);
+        let grid = ProcGrid::new(1, 1, 1);
+        let (run, data) = produce(&sys, LocationHint::RemoteTape, AccessMode::Create);
+        let report = sys
+            .migrate_dataset(run, "d", StorageKind::LocalDisk, grid)
+            .unwrap();
+        assert_eq!(report.files, 3);
+        assert_eq!(report.bytes, 3 * 16 * 16 * 16);
+        assert!(report.read_time > report.write_time, "tape read dominates");
+
+        // Reads now come from the local disk — much faster.
+        let (back, io) = sys
+            .read_dataset(run, "d", 6, grid, IoStrategy::Collective)
+            .unwrap();
+        assert_eq!(back, data);
+        assert!(io.elapsed.as_secs() < 1.0, "local read, got {}", io.elapsed);
+
+        // The originals are gone from tape.
+        let tape = sys.resource(StorageKind::RemoteTape).unwrap();
+        assert!(tape.lock().list("app/").is_empty());
+    }
+
+    #[test]
+    fn staging_speeds_up_the_consumer() {
+        let sys = MsrSystem::testbed(402);
+        let grid = ProcGrid::new(1, 1, 1);
+        let (run, _) = produce(&sys, LocationHint::RemoteTape, AccessMode::Create);
+        let before = sys
+            .read_dataset(run, "d", 0, grid, IoStrategy::Collective)
+            .unwrap()
+            .1
+            .elapsed;
+        sys.migrate_dataset(run, "d", StorageKind::LocalDisk, grid)
+            .unwrap();
+        let after = sys
+            .read_dataset(run, "d", 0, grid, IoStrategy::Collective)
+            .unwrap()
+            .1
+            .elapsed;
+        assert!(
+            after.as_secs() * 10.0 < before.as_secs(),
+            "staged read {after} vs tape read {before}"
+        );
+    }
+
+    #[test]
+    fn overwrite_dataset_moves_its_single_file() {
+        let sys = MsrSystem::testbed(403);
+        let grid = ProcGrid::new(1, 1, 1);
+        let (run, data) = produce(&sys, LocationHint::RemoteDisk, AccessMode::OverWrite);
+        let report = sys
+            .migrate_dataset(run, "d", StorageKind::LocalDisk, grid)
+            .unwrap();
+        assert_eq!(report.files, 1);
+        let (back, _) = sys
+            .read_dataset(run, "d", 12, grid, IoStrategy::Collective)
+            .unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn noop_when_already_there() {
+        let sys = MsrSystem::testbed(404);
+        let grid = ProcGrid::new(1, 1, 1);
+        let (run, _) = produce(&sys, LocationHint::LocalDisk, AccessMode::Create);
+        let report = sys
+            .migrate_dataset(run, "d", StorageKind::LocalDisk, grid)
+            .unwrap();
+        assert_eq!(report.files, 0);
+        assert_eq!(report.total_time(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn insufficient_destination_capacity_rejected_upfront() {
+        let sys = MsrSystem::testbed(405);
+        let grid = ProcGrid::new(1, 1, 1);
+        let (run, _) = produce(&sys, LocationHint::RemoteTape, AccessMode::Create);
+        let local = sys.resource(StorageKind::LocalDisk).unwrap();
+        local.lock().set_capacity(100);
+        let err = sys
+            .migrate_dataset(run, "d", StorageKind::LocalDisk, grid)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::NoUsableResource { .. }));
+        // Nothing was moved or deleted.
+        let tape = sys.resource(StorageKind::RemoteTape).unwrap();
+        assert_eq!(tape.lock().list("app/").len(), 3);
+    }
+
+    #[test]
+    fn disabled_dataset_cannot_be_staged() {
+        let sys = MsrSystem::testbed(406);
+        let grid = ProcGrid::new(1, 1, 1);
+        let mut s = sys.init_session("app", "u", 6, grid).unwrap();
+        let spec = DatasetSpec::astro3d_default("off", ElementType::U8, 8)
+            .with_hint(LocationHint::Disable);
+        s.open(spec).unwrap();
+        let run = s.run_id();
+        s.finalize().unwrap();
+        assert!(matches!(
+            sys.migrate_dataset(run, "off", StorageKind::LocalDisk, grid),
+            Err(CoreError::DatasetDisabled(_))
+        ));
+    }
+}

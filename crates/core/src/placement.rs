@@ -1,0 +1,135 @@
+//! Placement policies: turning hints into storage resources.
+
+use crate::dataset::DatasetSpec;
+use crate::error::CoreError;
+use crate::hints::LocationHint;
+use crate::system::MsrSystem;
+use crate::CoreResult;
+use msr_predict::{dump_time, AccessSummary};
+use msr_runtime::Distribution;
+use msr_sim::SimDuration;
+use msr_storage::{OpKind, StorageKind};
+use serde::{Deserialize, Serialize};
+
+/// How AUTO hints (and failover re-placements) are resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// The paper's behaviour: honour pinned hints, route AUTO by the
+    /// dataset's declared future use (the default future use archives to
+    /// tape — "Default is remote tapes").
+    #[default]
+    Hinted,
+    /// The §7 future-work policy: the user states only a performance
+    /// requirement; the system consults the performance predictor and
+    /// chooses, among resources meeting the per-dump deadline, the one
+    /// with the most available capacity (falling back to the fastest
+    /// usable resource when nothing meets the deadline).
+    PerformanceTarget {
+        /// Maximum acceptable predicted time for one dump.
+        per_dump: SimDuration,
+    },
+}
+
+/// Whether `kind` can accept `bytes` more data right now.
+fn usable(sys: &MsrSystem, kind: StorageKind, bytes: u64) -> bool {
+    sys.resource(kind).is_some_and(|res| {
+        let r = res.lock();
+        r.is_online() && r.available_bytes() >= bytes
+    })
+}
+
+/// Resolve a dataset's initial placement. Returns `None` for DISABLE.
+pub fn resolve(
+    sys: &MsrSystem,
+    spec: &DatasetSpec,
+    dist: &Distribution,
+    run_bytes: u64,
+) -> CoreResult<Option<StorageKind>> {
+    if spec.hint == LocationHint::Disable || spec.frequency == 0 {
+        return Ok(None);
+    }
+    // A pinned hint wins when the resource is usable.
+    if let Some(kind) = spec.hint.pinned_kind() {
+        if usable(sys, kind, run_bytes) {
+            return Ok(Some(kind));
+        }
+    }
+    match sys.policy() {
+        PlacementPolicy::Hinted => fallback(sys, spec, run_bytes, None),
+        PlacementPolicy::PerformanceTarget { per_dump } => {
+            by_performance(sys, spec, dist, run_bytes, per_dump)
+        }
+    }
+}
+
+/// The failover resolver: first usable kind in the dataset's preference
+/// order, skipping `exclude` (the resource that just failed).
+pub fn fallback(
+    sys: &MsrSystem,
+    spec: &DatasetSpec,
+    run_bytes: u64,
+    exclude: Option<StorageKind>,
+) -> CoreResult<Option<StorageKind>> {
+    for kind in spec.future_use.preference() {
+        if Some(kind) == exclude {
+            continue;
+        }
+        if usable(sys, kind, run_bytes) {
+            return Ok(Some(kind));
+        }
+    }
+    Err(CoreError::NoUsableResource {
+        dataset: spec.name.clone(),
+        bytes: run_bytes,
+    })
+}
+
+/// The §7 predictor-driven resolver.
+fn by_performance(
+    sys: &MsrSystem,
+    spec: &DatasetSpec,
+    dist: &Distribution,
+    run_bytes: u64,
+    per_dump: SimDuration,
+) -> CoreResult<Option<StorageKind>> {
+    let predictor = sys.predictor().ok_or_else(|| {
+        msr_predict::PredictError::NoProfile {
+            resource: "<performance database not populated — run PTool>".into(),
+            op: OpKind::Write,
+        }
+    })?;
+    let access = AccessSummary::of(dist);
+    let mut meeting: Vec<(StorageKind, u64)> = Vec::new();
+    let mut fastest: Option<(StorageKind, SimDuration)> = None;
+    for kind in [
+        StorageKind::LocalDisk,
+        StorageKind::RemoteDisk,
+        StorageKind::RemoteTape,
+    ] {
+        if !usable(sys, kind, run_bytes) {
+            continue;
+        }
+        let Some(res) = sys.resource(kind) else { continue };
+        let name = res.lock().name().to_owned();
+        let Ok(t) = dump_time(&predictor.db, &name, OpKind::Write, spec.strategy, &access) else {
+            continue;
+        };
+        if fastest.is_none_or(|(_, best)| t < best) {
+            fastest = Some((kind, t));
+        }
+        if t <= per_dump {
+            let avail = sys.resource(kind).map(|r| r.lock().available_bytes()).unwrap_or(0);
+            meeting.push((kind, avail));
+        }
+    }
+    if let Some(&(kind, _)) = meeting.iter().max_by_key(|&&(_, avail)| avail) {
+        return Ok(Some(kind));
+    }
+    if let Some((kind, _)) = fastest {
+        return Ok(Some(kind));
+    }
+    Err(CoreError::NoUsableResource {
+        dataset: spec.name.clone(),
+        bytes: run_bytes,
+    })
+}

@@ -1,0 +1,174 @@
+//! Run accounting: per-dataset totals and placement events.
+
+use msr_meta::RunId;
+use msr_sim::SimDuration;
+use msr_storage::StorageKind;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-dataset I/O totals over a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetReport {
+    /// Dataset name.
+    pub name: String,
+    /// Final resolved location (`None` = DISABLEd).
+    pub location: Option<StorageKind>,
+    /// Dumps performed.
+    pub dumps: u32,
+    /// Payload bytes moved.
+    pub bytes: u64,
+    /// Total I/O time spent on this dataset.
+    pub io_time: SimDuration,
+    /// Native calls issued.
+    pub native_calls: usize,
+}
+
+/// A placement change (initial placement, or failover mid-run).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementEvent {
+    /// Dataset affected.
+    pub dataset: String,
+    /// Previous location.
+    pub from: Option<StorageKind>,
+    /// New location.
+    pub to: Option<StorageKind>,
+    /// Iteration at which it happened.
+    pub at_iteration: u32,
+    /// Why (offline, capacity, initial, …).
+    pub reason: String,
+}
+
+/// The complete accounting of one session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// The catalog run id.
+    pub run: RunId,
+    /// Per-dataset totals.
+    pub datasets: Vec<DatasetReport>,
+    /// Placement history.
+    pub events: Vec<PlacementEvent>,
+    /// Connection setup/teardown time charged to the session.
+    pub conn_time: SimDuration,
+    /// Total I/O time (sum over datasets + connection handling).
+    pub total_io: SimDuration,
+}
+
+impl RunReport {
+    /// Total I/O time of the datasets currently placed on `kind`.
+    pub fn time_on(&self, kind: StorageKind) -> SimDuration {
+        self.datasets
+            .iter()
+            .filter(|d| d.location == Some(kind))
+            .map(|d| d.io_time)
+            .sum()
+    }
+
+    /// Total bytes written/read by the run.
+    pub fn total_bytes(&self) -> u64 {
+        self.datasets.iter().map(|d| d.bytes).sum()
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<14} {:<12} {:>6} {:>12} {:>8} {:>12}",
+            "DATASET", "LOCATION", "DUMPS", "BYTES", "CALLS", "IO-TIME(s)"
+        )?;
+        for d in &self.datasets {
+            writeln!(
+                f,
+                "{:<14} {:<12} {:>6} {:>12} {:>8} {:>12.2}",
+                d.name,
+                d.location
+                    .map(|k| k.to_string())
+                    .unwrap_or_else(|| "DISABLE".to_owned()),
+                d.dumps,
+                d.bytes,
+                d.native_calls,
+                d.io_time.as_secs()
+            )?;
+        }
+        for e in &self.events {
+            writeln!(
+                f,
+                "  [iter {:>4}] {}: {} -> {} ({})",
+                e.at_iteration,
+                e.dataset,
+                e.from.map(|k| k.to_string()).unwrap_or_else(|| "-".into()),
+                e.to.map(|k| k.to_string()).unwrap_or_else(|| "-".into()),
+                e.reason
+            )?;
+        }
+        writeln!(f, "TOTAL I/O: {:.2}s over {} B", self.total_io.as_secs(), self.total_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            run: RunId(0),
+            datasets: vec![
+                DatasetReport {
+                    name: "temp".into(),
+                    location: Some(StorageKind::RemoteDisk),
+                    dumps: 21,
+                    bytes: (21 * 8) << 20,
+                    io_time: SimDuration::from_secs(812.0),
+                    native_calls: 21,
+                },
+                DatasetReport {
+                    name: "vr_temp".into(),
+                    location: Some(StorageKind::LocalDisk),
+                    dumps: 21,
+                    bytes: (21 * 2) << 20,
+                    io_time: SimDuration::from_secs(6.5),
+                    native_calls: 21,
+                },
+                DatasetReport {
+                    name: "rho".into(),
+                    location: None,
+                    dumps: 0,
+                    bytes: 0,
+                    io_time: SimDuration::ZERO,
+                    native_calls: 0,
+                },
+            ],
+            events: vec![PlacementEvent {
+                dataset: "temp".into(),
+                from: Some(StorageKind::RemoteTape),
+                to: Some(StorageKind::RemoteDisk),
+                at_iteration: 12,
+                reason: "offline".into(),
+            }],
+            conn_time: SimDuration::from_secs(1.25),
+            total_io: SimDuration::from_secs(820.0),
+        }
+    }
+
+    #[test]
+    fn time_on_filters_by_location() {
+        let r = report();
+        assert_eq!(r.time_on(StorageKind::RemoteDisk).as_secs(), 812.0);
+        assert_eq!(r.time_on(StorageKind::LocalDisk).as_secs(), 6.5);
+        assert_eq!(r.time_on(StorageKind::RemoteTape), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn totals() {
+        let r = report();
+        assert_eq!(r.total_bytes(), ((21 * 8) << 20) + ((21 * 2) << 20));
+    }
+
+    #[test]
+    fn display_includes_events_and_disable() {
+        let s = report().to_string();
+        assert!(s.contains("DISABLE"));
+        assert!(s.contains("offline"));
+        assert!(s.contains("TOTAL I/O"));
+    }
+}

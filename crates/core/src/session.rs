@@ -1,0 +1,657 @@
+//! The session: the paper's Fig. 5 I/O flow.
+//!
+//! `initialize()` registers the run in the metadata catalog. Each
+//! `open()` declares a dataset with its hints and resolves a placement.
+//! During the main loop the application calls `write_iteration` /
+//! `read_iteration`; dumps that fail because a resource went offline or
+//! filled up are transparently re-placed (the §5 reliability example) and
+//! the catalog is updated so consumers can still find the data.
+//! `finalize()` closes connections and returns the run's accounting.
+
+use crate::dataset::DatasetSpec;
+use crate::error::CoreError;
+use crate::hints::LocationHint;
+use crate::placement;
+use crate::report::{DatasetReport, PlacementEvent, RunReport};
+use crate::system::MsrSystem;
+use crate::CoreResult;
+use msr_meta::{AccessMode, DatasetId, DatasetRec, Location, MetaError, RunId};
+use msr_predict::{AccessSummary, DatasetPlan, PredictionReport, RunSpec};
+use msr_runtime::{Distribution, IoReport, IoStrategy, Pattern, ProcGrid};
+use msr_sim::SimDuration;
+use msr_storage::{OpKind, StorageError, StorageKind};
+use std::collections::BTreeSet;
+
+/// Handle to a dataset opened in a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DatasetHandle(usize);
+
+#[derive(Debug)]
+struct DatasetState {
+    spec: DatasetSpec,
+    dist: Distribution,
+    location: Option<StorageKind>,
+    meta_id: DatasetId,
+    dumps: u32,
+    bytes: u64,
+    io_time: SimDuration,
+    native_calls: usize,
+}
+
+/// An active application session.
+pub struct Session<'a> {
+    sys: &'a MsrSystem,
+    app: String,
+    run: RunId,
+    grid: ProcGrid,
+    iterations: u32,
+    datasets: Vec<DatasetState>,
+    connected: BTreeSet<StorageKind>,
+    events: Vec<PlacementEvent>,
+    conn_time: SimDuration,
+    finalized: bool,
+}
+
+/// Failover-eligible errors: the resource is gone or full, not a caller
+/// bug.
+fn failover_worthy(e: &CoreError) -> Option<&'static str> {
+    match e {
+        CoreError::Storage(StorageError::Offline { .. })
+        | CoreError::Runtime(msr_runtime::RuntimeError::Storage(StorageError::Offline {
+            ..
+        })) => Some("resource offline"),
+        CoreError::Storage(StorageError::CapacityExceeded { .. })
+        | CoreError::Runtime(msr_runtime::RuntimeError::Storage(
+            StorageError::CapacityExceeded { .. },
+        )) => Some("capacity exceeded"),
+        CoreError::Storage(StorageError::Network(_))
+        | CoreError::Runtime(msr_runtime::RuntimeError::Storage(StorageError::Network(_))) => {
+            Some("network failure")
+        }
+        _ => None,
+    }
+}
+
+impl<'a> Session<'a> {
+    pub(crate) fn initialize(
+        sys: &'a MsrSystem,
+        app: &str,
+        user: &str,
+        iterations: u32,
+        grid: ProcGrid,
+    ) -> CoreResult<Session<'a>> {
+        let mut catalog = sys.catalog.lock();
+        let app_id = match catalog.create_app(app, "") {
+            Ok(id) => id,
+            Err(MetaError::Duplicate { .. }) => catalog.app_by_name(app)?.id,
+            Err(e) => return Err(e.into()),
+        };
+        let user_id = match catalog.create_user(user, "") {
+            Ok(id) => id,
+            Err(MetaError::Duplicate { .. }) => catalog.user_by_name(user)?.id,
+            Err(e) => return Err(e.into()),
+        };
+        let run = catalog.create_run(app_id, user_id, iterations, "")?;
+        let query_cost = catalog.config.query_cost;
+        drop(catalog);
+        sys.clock.advance(query_cost * 3.0);
+        Ok(Session {
+            sys,
+            app: app.to_owned(),
+            run,
+            grid,
+            iterations,
+            datasets: Vec::new(),
+            connected: BTreeSet::new(),
+            events: Vec::new(),
+            conn_time: SimDuration::ZERO,
+            finalized: false,
+        })
+    }
+
+    /// The catalog run id (give this to consumers so they can locate the
+    /// datasets later).
+    pub fn run_id(&self) -> RunId {
+        self.run
+    }
+
+    /// The process grid of this session.
+    pub fn grid(&self) -> ProcGrid {
+        self.grid
+    }
+
+    /// Total iterations declared.
+    pub fn iterations(&self) -> u32 {
+        self.iterations
+    }
+
+    fn ensure_connected(&mut self, kind: StorageKind) -> CoreResult<()> {
+        if self.connected.contains(&kind) {
+            return Ok(());
+        }
+        let res = self
+            .sys
+            .resource(kind)
+            .ok_or(CoreError::NoUsableResource {
+                dataset: String::new(),
+                bytes: 0,
+            })?;
+        let cost = res.lock().connect()?;
+        self.conn_time += cost.time;
+        self.sys.clock.advance(cost.time);
+        self.connected.insert(kind);
+        Ok(())
+    }
+
+    /// Declare a dataset (Fig. 5's `open`): resolves placement, records the
+    /// catalog row and establishes the connection.
+    pub fn open(&mut self, spec: DatasetSpec) -> CoreResult<DatasetHandle> {
+        if self.finalized {
+            return Err(CoreError::SessionClosed);
+        }
+        let dist = Distribution::new(
+            spec.dims,
+            spec.etype.size(),
+            spec.pattern,
+            self.grid,
+        )?;
+        let run_bytes = spec.run_bytes(self.iterations);
+        let location = placement::resolve(self.sys, &spec, &dist, run_bytes)?;
+
+        let meta_location = match location {
+            Some(kind) => Location::Stored(kind),
+            None => Location::Disabled,
+        };
+        let base_path = format!("{}/run{}/{}", self.app, self.run.0, spec.name);
+        let meta_id = {
+            let mut catalog = self.sys.catalog.lock();
+            let id = catalog.add_dataset(DatasetRec {
+                id: DatasetId(0),
+                run: self.run,
+                name: spec.name.clone(),
+                amode: spec.amode,
+                etype: spec.etype,
+                dims: vec![spec.dims.x, spec.dims.y, spec.dims.z],
+                pattern: spec.pattern.to_string(),
+                strategy: spec.strategy.to_string(),
+                location: meta_location,
+                frequency: spec.frequency,
+                path: base_path,
+                predicted_secs: None,
+            })?;
+            self.sys.clock.advance(catalog.config.query_cost);
+            id
+        };
+
+        let reason = match spec.hint {
+            LocationHint::Disable => "disabled".to_owned(),
+            LocationHint::Auto => format!("auto ({})", spec.future_use),
+            h => format!("hint {h}"),
+        };
+        self.sys.trace.record(
+            self.sys.clock.now(),
+            "placement",
+            format!(
+                "{} -> {} ({reason})",
+                spec.name,
+                location.map(|k| k.to_string()).unwrap_or_else(|| "-".into())
+            ),
+        );
+        self.events.push(PlacementEvent {
+            dataset: spec.name.clone(),
+            from: None,
+            to: location,
+            at_iteration: 0,
+            reason,
+        });
+        if let Some(kind) = location {
+            self.ensure_connected(kind)?;
+        }
+        self.datasets.push(DatasetState {
+            spec,
+            dist,
+            location,
+            meta_id,
+            dumps: 0,
+            bytes: 0,
+            io_time: SimDuration::ZERO,
+            native_calls: 0,
+        });
+        Ok(DatasetHandle(self.datasets.len() - 1))
+    }
+
+    /// Whether dataset `h` dumps at iteration `iter`.
+    pub fn dumps_at(&self, h: DatasetHandle, iter: u32) -> bool {
+        let d = &self.datasets[h.0];
+        d.location.is_some() && d.spec.frequency != 0 && iter.is_multiple_of(d.spec.frequency)
+    }
+
+    fn dump_path(state: &DatasetState, app: &str, run: RunId, iter: u32) -> String {
+        let base = format!("{}/run{}/{}", app, run.0, state.spec.name);
+        match state.spec.amode {
+            AccessMode::Create => format!("{base}.t{iter:05}"),
+            AccessMode::OverWrite => base,
+        }
+    }
+
+    /// Dump one iteration of a dataset. Returns `Ok(None)` when this
+    /// iteration does not dump (frequency miss or DISABLE); transparently
+    /// fails over when the placed resource is offline or full.
+    pub fn write_iteration(
+        &mut self,
+        h: DatasetHandle,
+        iter: u32,
+        data: &[u8],
+    ) -> CoreResult<Option<IoReport>> {
+        if self.finalized {
+            return Err(CoreError::SessionClosed);
+        }
+        if !self.dumps_at(h, iter) {
+            return Ok(None);
+        }
+        for _attempt in 0..3 {
+            let (kind, path, dist, strategy, amode) = {
+                let d = &self.datasets[h.0];
+                let Some(kind) = d.location else {
+                    return Ok(None);
+                };
+                (
+                    kind,
+                    Self::dump_path(d, &self.app, self.run, iter),
+                    d.dist,
+                    d.spec.strategy,
+                    d.spec.amode,
+                )
+            };
+            self.ensure_connected(kind)?;
+            let res = self.sys.resource(kind).expect("placed on registered kind");
+            let mode = match amode {
+                AccessMode::Create => msr_storage::OpenMode::Create,
+                AccessMode::OverWrite => msr_storage::OpenMode::OverWrite,
+            };
+            match self
+                .sys
+                .engine
+                .write(&res, &path, data, &dist, strategy, mode)
+                .map_err(CoreError::from)
+            {
+                Ok(report) => {
+                    let d = &mut self.datasets[h.0];
+                    d.dumps += 1;
+                    d.bytes += report.bytes;
+                    d.io_time += report.elapsed;
+                    d.native_calls += report.native_reads + report.native_writes;
+                    self.sys.clock.advance(report.elapsed);
+                    return Ok(Some(report));
+                }
+                Err(e) => {
+                    let Some(reason) = failover_worthy(&e) else {
+                        return Err(e);
+                    };
+                    // Re-place on the next usable resource and retry.
+                    let d = &self.datasets[h.0];
+                    let remaining = d.spec.snapshot_bytes()
+                        * u64::from(self.iterations / d.spec.frequency.max(1) + 1 - d.dumps);
+                    let next =
+                        placement::fallback(self.sys, &d.spec, remaining, Some(kind))?;
+                    self.sys.trace.record(
+                        self.sys.clock.now(),
+                        "failover",
+                        format!(
+                            "{}: {kind} -> {} at iter {iter} ({reason})",
+                            d.spec.name,
+                            next.map(|k| k.to_string()).unwrap_or_else(|| "-".into())
+                        ),
+                    );
+                    self.events.push(PlacementEvent {
+                        dataset: d.spec.name.clone(),
+                        from: Some(kind),
+                        to: next,
+                        at_iteration: iter,
+                        reason: reason.to_owned(),
+                    });
+                    let meta_id = d.meta_id;
+                    self.datasets[h.0].location = next;
+                    let mut catalog = self.sys.catalog.lock();
+                    catalog.set_dataset_location(
+                        meta_id,
+                        match next {
+                            Some(k) => Location::Stored(k),
+                            None => Location::Disabled,
+                        },
+                    )?;
+                    self.sys.clock.advance(catalog.config.query_cost);
+                }
+            }
+        }
+        let d = &self.datasets[h.0];
+        Err(CoreError::NoUsableResource {
+            dataset: d.spec.name.clone(),
+            bytes: d.spec.snapshot_bytes(),
+        })
+    }
+
+    /// Read back one of this run's dumps (e.g. for in-run analysis).
+    pub fn read_iteration(
+        &mut self,
+        h: DatasetHandle,
+        iter: u32,
+    ) -> CoreResult<(Vec<u8>, IoReport)> {
+        let d = &self.datasets[h.0];
+        let Some(kind) = d.location else {
+            return Err(CoreError::DatasetDisabled(d.spec.name.clone()));
+        };
+        let path = Self::dump_path(d, &self.app, self.run, iter);
+        let dist = d.dist;
+        let strategy = d.spec.strategy;
+        self.ensure_connected(kind)?;
+        let res = self.sys.resource(kind).expect("registered kind");
+        let (data, report) = self.sys.engine.read(&res, &path, &dist, strategy)?;
+        self.sys.clock.advance(report.elapsed);
+        let d = &mut self.datasets[h.0];
+        d.io_time += report.elapsed;
+        d.bytes += report.bytes;
+        d.native_calls += report.native_reads + report.native_writes;
+        Ok((data, report))
+    }
+
+    /// Predict this session's total I/O time with the system predictor
+    /// (recording per-dataset VIRTUALTIMEs in the catalog — Fig. 11).
+    pub fn predict(&self) -> CoreResult<PredictionReport> {
+        let predictor =
+            self.sys
+                .predictor()
+                .ok_or_else(|| msr_predict::PredictError::NoProfile {
+                    resource: "<performance database not populated — run PTool>".into(),
+                    op: OpKind::Write,
+                })?;
+        let plans: Vec<DatasetPlan> = self
+            .datasets
+            .iter()
+            .map(|d| DatasetPlan {
+                name: d.spec.name.clone(),
+                resource: d.location.and_then(|k| {
+                    self.sys.resource(k).map(|r| r.lock().name().to_owned())
+                }),
+                op: OpKind::Write,
+                frequency: d.spec.frequency,
+                strategy: d.spec.strategy,
+                access: AccessSummary::of(&d.dist),
+            })
+            .collect();
+        let report = predictor.predict(&RunSpec {
+            iterations: self.iterations,
+            datasets: plans,
+        })?;
+        let mut catalog = self.sys.catalog.lock();
+        for (row, d) in report.rows.iter().zip(&self.datasets) {
+            catalog.set_dataset_prediction(d.meta_id, row.total.as_secs())?;
+        }
+        Ok(report)
+    }
+
+    /// Close connections and produce the run's accounting (Fig. 5's
+    /// `finalization()`).
+    pub fn finalize(mut self) -> CoreResult<RunReport> {
+        let mut disconnect_time = SimDuration::ZERO;
+        for kind in std::mem::take(&mut self.connected) {
+            if let Some(res) = self.sys.resource(kind) {
+                if let Ok(cost) = res.lock().disconnect() {
+                    disconnect_time += cost.time;
+                }
+            }
+        }
+        self.sys.clock.advance(disconnect_time);
+        self.conn_time += disconnect_time;
+        self.finalized = true;
+
+        let datasets = self
+            .datasets
+            .iter()
+            .map(|d| DatasetReport {
+                name: d.spec.name.clone(),
+                location: d.location,
+                dumps: d.dumps,
+                bytes: d.bytes,
+                io_time: d.io_time,
+                native_calls: d.native_calls,
+            })
+            .collect::<Vec<_>>();
+        let total_io = datasets
+            .iter()
+            .map(|d| d.io_time)
+            .sum::<SimDuration>()
+            + self.conn_time;
+        Ok(RunReport {
+            run: self.run,
+            datasets,
+            events: std::mem::take(&mut self.events),
+            conn_time: self.conn_time,
+            total_io,
+        })
+    }
+
+    /// Consumer path: read a dump of a dataset recorded in the catalog.
+    pub(crate) fn read_archived(
+        sys: &MsrSystem,
+        run: RunId,
+        name: &str,
+        iteration: u32,
+        grid: ProcGrid,
+        strategy: IoStrategy,
+    ) -> CoreResult<(Vec<u8>, IoReport)> {
+        let (rec, query_cost) = {
+            let mut catalog = sys.catalog.lock();
+            let rec = catalog.find_dataset(run, name)?.clone();
+            (rec, catalog.config.query_cost)
+        };
+        sys.clock.advance(query_cost);
+        let Location::Stored(kind) = rec.location else {
+            return Err(CoreError::DatasetDisabled(name.to_owned()));
+        };
+        let dims = msr_runtime::Dims3 {
+            x: rec.dims.first().copied().unwrap_or(1),
+            y: rec.dims.get(1).copied().unwrap_or(1),
+            z: rec.dims.get(2).copied().unwrap_or(1),
+        };
+        let dist = Distribution::new(
+            dims,
+            rec.etype.size(),
+            Pattern::parse(&rec.pattern)?,
+            grid,
+        )?;
+        // Subfile layouts on storage are transposed: only the subfile
+        // strategy can read them back, regardless of what the caller asked
+        // for. Other layouts share the file format, so the caller's read
+        // strategy is honoured.
+        let recorded = IoStrategy::parse(&rec.strategy);
+        let strategy = match recorded {
+            Some(IoStrategy::Subfile) => IoStrategy::Subfile,
+            _ => strategy,
+        };
+        let path = match rec.amode {
+            AccessMode::Create => format!("{}.t{iteration:05}", rec.path),
+            AccessMode::OverWrite => rec.path.clone(),
+        };
+        let res = sys.resource(kind).ok_or(CoreError::NoUsableResource {
+            dataset: name.to_owned(),
+            bytes: 0,
+        })?;
+        let conn = res.lock().connect()?;
+        sys.clock.advance(conn.time);
+        let (data, report) = sys.engine.read(&res, &path, &dist, strategy)?;
+        sys.clock.advance(report.elapsed);
+        Ok((data, report))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hints::FutureUse;
+    use msr_meta::ElementType;
+
+    fn spec(name: &str, hint: LocationHint) -> DatasetSpec {
+        DatasetSpec::astro3d_default(name, ElementType::U8, 32).with_hint(hint)
+    }
+
+    fn payload(spec: &DatasetSpec) -> Vec<u8> {
+        (0..spec.snapshot_bytes()).map(|i| (i % 251) as u8).collect()
+    }
+
+    #[test]
+    fn fig5_flow_roundtrips_through_every_kind() {
+        let sys = MsrSystem::testbed(2);
+        let mut s = sys.init_session("astro3d", "xshen", 12, ProcGrid::new(2, 2, 2)).unwrap();
+        let hints = [
+            ("a", LocationHint::LocalDisk),
+            ("b", LocationHint::RemoteDisk),
+            ("c", LocationHint::RemoteTape),
+        ];
+        let handles: Vec<(DatasetHandle, DatasetSpec)> = hints
+            .iter()
+            .map(|(n, h)| {
+                let sp = spec(n, *h);
+                (s.open(sp.clone()).unwrap(), sp)
+            })
+            .collect();
+        for iter in 0..=12 {
+            for (h, sp) in &handles {
+                s.write_iteration(*h, iter, &payload(sp)).unwrap();
+            }
+        }
+        // Read back iteration 6 of each.
+        for (h, sp) in &handles {
+            let (data, _) = s.read_iteration(*h, 6).unwrap();
+            assert_eq!(data, payload(sp));
+        }
+        let run = s.run_id();
+        let report = s.finalize().unwrap();
+        assert_eq!(report.datasets.len(), 3);
+        // 12 iterations, freq 6 → dumps at 0, 6, 12.
+        assert!(report.datasets.iter().all(|d| d.dumps == 3));
+        // Consumer path still finds the data through the catalog.
+        let (data, _) = sys
+            .read_dataset(run, "a", 6, ProcGrid::new(2, 2, 2), msr_runtime::IoStrategy::Collective)
+            .unwrap();
+        assert_eq!(data, payload(&handles[0].1));
+    }
+
+    #[test]
+    fn frequency_misses_and_disable_return_none() {
+        let sys = MsrSystem::testbed(2);
+        let mut s = sys.init_session("app", "u", 12, ProcGrid::new(1, 1, 1)).unwrap();
+        let on = s.open(spec("on", LocationHint::LocalDisk)).unwrap();
+        let off = s.open(spec("off", LocationHint::Disable)).unwrap();
+        let sp = spec("x", LocationHint::LocalDisk);
+        assert!(s.write_iteration(on, 1, &payload(&sp)).unwrap().is_none());
+        assert!(s.write_iteration(on, 6, &payload(&sp)).unwrap().is_some());
+        assert!(s.write_iteration(off, 6, &payload(&sp)).unwrap().is_none());
+        let report = s.finalize().unwrap();
+        assert_eq!(report.datasets[1].dumps, 0);
+        assert_eq!(report.datasets[1].location, None);
+    }
+
+    #[test]
+    fn tape_outage_fails_over_midrun() {
+        let sys = MsrSystem::testbed(2);
+        let mut s = sys.init_session("app", "u", 12, ProcGrid::new(1, 1, 1)).unwrap();
+        let sp = spec("ckpt", LocationHint::RemoteTape).with_future_use(FutureUse::Archive);
+        let h = s.open(sp.clone()).unwrap();
+        s.write_iteration(h, 0, &payload(&sp)).unwrap();
+        // Tape goes down for maintenance.
+        sys.set_resource_online(msr_storage::StorageKind::RemoteTape, false);
+        let rep = s.write_iteration(h, 6, &payload(&sp)).unwrap().unwrap();
+        assert!(rep.bytes > 0);
+        let report = s.finalize().unwrap();
+        assert_eq!(
+            report.datasets[0].location,
+            Some(StorageKind::RemoteDisk),
+            "archive preference falls back to remote disk"
+        );
+        assert!(report
+            .events
+            .iter()
+            .any(|e| e.reason == "resource offline" && e.at_iteration == 6));
+    }
+
+    #[test]
+    fn local_capacity_overflow_spills() {
+        let sys = MsrSystem::testbed(2);
+        // Shrink local disk below what the dataset's run needs.
+        let local = sys.resource(StorageKind::LocalDisk).unwrap();
+        local.lock().set_capacity(10_000);
+        let mut s = sys.init_session("app", "u", 12, ProcGrid::new(1, 1, 1)).unwrap();
+        let sp = spec("viz", LocationHint::LocalDisk).with_future_use(FutureUse::Visualization);
+        // Placement sees the full disk and immediately picks the fallback.
+        let h = s.open(sp.clone()).unwrap();
+        s.write_iteration(h, 0, &payload(&sp)).unwrap();
+        let report = s.finalize().unwrap();
+        assert_eq!(report.datasets[0].location, Some(StorageKind::RemoteDisk));
+    }
+
+    #[test]
+    fn all_resources_down_is_an_error() {
+        let sys = MsrSystem::testbed(2);
+        for k in [
+            StorageKind::LocalDisk,
+            StorageKind::RemoteDisk,
+            StorageKind::RemoteTape,
+        ] {
+            sys.set_resource_online(k, false);
+        }
+        let mut s = sys.init_session("app", "u", 12, ProcGrid::new(1, 1, 1)).unwrap();
+        assert!(matches!(
+            s.open(spec("x", LocationHint::RemoteTape)),
+            Err(CoreError::NoUsableResource { .. })
+        ));
+    }
+
+    #[test]
+    fn session_predict_requires_ptool() {
+        let sys = MsrSystem::testbed(2);
+        let mut s = sys.init_session("app", "u", 12, ProcGrid::new(1, 1, 1)).unwrap();
+        s.open(spec("x", LocationHint::LocalDisk)).unwrap();
+        assert!(matches!(s.predict(), Err(CoreError::Predict(_))));
+    }
+
+    #[test]
+    fn session_predict_records_virtualtime_in_catalog() {
+        let mut sys = MsrSystem::testbed(2);
+        sys.run_ptool(&msr_predict::PTool {
+            sizes: vec![1 << 14, 1 << 18, 1 << 21],
+            reps: 2,
+            scratch_prefix: "ptool/s".into(),
+        })
+        .unwrap();
+        let mut s = sys.init_session("app", "u", 12, ProcGrid::new(1, 1, 1)).unwrap();
+        s.open(spec("x", LocationHint::RemoteDisk)).unwrap();
+        let pred = s.predict().unwrap();
+        assert!(pred.total > SimDuration::ZERO);
+        let run = s.run_id();
+        let mut catalog = sys.catalog.lock();
+        let rec = catalog.find_dataset(run, "x").unwrap();
+        assert!(rec.predicted_secs.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn finalize_then_use_is_rejected() {
+        let sys = MsrSystem::testbed(2);
+        let s = sys.init_session("app", "u", 12, ProcGrid::new(1, 1, 1)).unwrap();
+        let _ = s.finalize().unwrap();
+        // A new session on the same app name reuses the application row.
+        let mut s2 = sys.init_session("app", "u2", 12, ProcGrid::new(1, 1, 1)).unwrap();
+        assert!(s2.open(spec("y", LocationHint::LocalDisk)).is_ok());
+    }
+
+    #[test]
+    fn clock_advances_with_io() {
+        let sys = MsrSystem::testbed(2);
+        let before = sys.clock.now();
+        let mut s = sys.init_session("app", "u", 6, ProcGrid::new(1, 1, 1)).unwrap();
+        let sp = spec("x", LocationHint::RemoteDisk);
+        let h = s.open(sp.clone()).unwrap();
+        s.write_iteration(h, 0, &payload(&sp)).unwrap();
+        assert!(sys.clock.now() > before);
+    }
+}

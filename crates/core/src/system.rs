@@ -1,0 +1,257 @@
+//! The assembled environment (the paper's Fig. 4).
+
+use crate::placement::PlacementPolicy;
+use crate::session::Session;
+use crate::CoreResult;
+use msr_meta::{Catalog, ResourceRec, RunId};
+use msr_net::{LinkId, SharedNetwork};
+use msr_predict::{PTool, PerfDb, Predictor};
+use msr_runtime::{IoEngine, IoStrategy, ProcGrid};
+use msr_sim::{Clock, SimDuration, Trace};
+use msr_storage::{share, testbed, SharedResource, StorageKind};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The configured multi-storage environment: network, storage resources,
+/// metadata catalog, performance predictor and the virtual clock.
+pub struct MsrSystem {
+    /// The internetwork.
+    pub net: SharedNetwork,
+    /// Global virtual clock.
+    pub clock: Clock,
+    /// The metadata catalog (the NWU "Postgres").
+    pub catalog: Arc<Mutex<Catalog>>,
+    /// The run-time I/O engine.
+    pub engine: IoEngine,
+    /// Event trace on the virtual timeline (placements, failovers,
+    /// staging) for debugging runs.
+    pub trace: Trace,
+    resources: BTreeMap<StorageKind, SharedResource>,
+    predictor: Option<Predictor>,
+    policy: PlacementPolicy,
+    wan_link: Option<LinkId>,
+    seed: u64,
+}
+
+impl MsrSystem {
+    /// Build the calibrated §3.2 testbed environment: local disks at ANL,
+    /// SRB remote disks and HPSS tape at SDSC, catalog at NWU.
+    ///
+    /// ```
+    /// use msr_core::{DatasetSpec, LocationHint, MsrSystem};
+    /// use msr_meta::ElementType;
+    /// use msr_runtime::ProcGrid;
+    ///
+    /// let sys = MsrSystem::testbed(42);
+    /// let mut session = sys.init_session("demo", "me", 12, ProcGrid::new(1, 1, 1))?;
+    /// let spec = DatasetSpec::astro3d_default("d", ElementType::U8, 8)
+    ///     .with_hint(LocationHint::RemoteDisk);
+    /// let data = vec![7u8; spec.snapshot_bytes() as usize];
+    /// let h = session.open(spec)?;
+    /// session.write_iteration(h, 0, &data)?;
+    /// let (back, _) = session.read_iteration(h, 0)?;
+    /// assert_eq!(back, data);
+    /// # Ok::<(), msr_core::CoreError>(())
+    /// ```
+    pub fn testbed(seed: u64) -> Self {
+        let tb = testbed(seed);
+        let mut resources: BTreeMap<StorageKind, SharedResource> = BTreeMap::new();
+        resources.insert(StorageKind::LocalDisk, share(tb.local));
+        resources.insert(StorageKind::RemoteDisk, share(tb.remote_disk));
+        resources.insert(StorageKind::RemoteTape, share(tb.tape));
+
+        let mut catalog = Catalog::new();
+        for (kind, res) in &resources {
+            let r = res.lock();
+            catalog.register_resource(ResourceRec {
+                name: r.name().to_owned(),
+                kind: *kind,
+                site: match kind {
+                    StorageKind::LocalDisk => "ANL".to_owned(),
+                    _ => "SDSC".to_owned(),
+                },
+                capacity: r.capacity_bytes(),
+            });
+        }
+
+        MsrSystem {
+            net: tb.net,
+            clock: Clock::new(),
+            catalog: Arc::new(Mutex::new(catalog)),
+            engine: IoEngine::default(),
+            trace: Trace::default(),
+            resources,
+            predictor: None,
+            policy: PlacementPolicy::Hinted,
+            wan_link: Some(tb.wan_link),
+            seed,
+        }
+    }
+
+    /// The master seed this system was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The active placement policy.
+    pub fn policy(&self) -> PlacementPolicy {
+        self.policy
+    }
+
+    /// Switch placement policy (e.g. to the §7 performance-target policy).
+    pub fn set_policy(&mut self, policy: PlacementPolicy) {
+        self.policy = policy;
+    }
+
+    /// The resource of a kind, if registered.
+    pub fn resource(&self, kind: StorageKind) -> Option<SharedResource> {
+        self.resources.get(&kind).cloned()
+    }
+
+    /// All registered resources.
+    pub fn resources(&self) -> impl Iterator<Item = (StorageKind, SharedResource)> + '_ {
+        self.resources.iter().map(|(k, r)| (*k, r.clone()))
+    }
+
+    /// Inject or clear an outage on a resource (§5's "tape system is down
+    /// for maintenance").
+    pub fn set_resource_online(&self, kind: StorageKind, up: bool) {
+        if let Some(res) = self.resource(kind) {
+            res.lock().set_online(up);
+        }
+    }
+
+    /// Background load on the ANL↔SDSC WAN (equivalent competing streams).
+    pub fn set_wan_background_load(&self, load: f64) {
+        if let Some(l) = self.wan_link {
+            self.net.write().set_background_load(l, load);
+        }
+    }
+
+    /// Bring the WAN link down or up.
+    pub fn set_wan_up(&self, up: bool) {
+        if let Some(l) = self.wan_link {
+            self.net.write().set_link_up(l, up);
+        }
+    }
+
+    /// Run PTool over every registered resource, install the resulting
+    /// performance database (mirrored into the catalog, as the paper stores
+    /// its tables in the MDMS) and return how much virtual time the sweep
+    /// itself consumed.
+    pub fn run_ptool(&mut self, ptool: &PTool) -> CoreResult<SimDuration> {
+        let resources: Vec<SharedResource> = self.resources.values().cloned().collect();
+        let mut db = PerfDb::new();
+        ptool.populate(&mut db, &resources)?;
+        db.export_to_catalog(&mut self.catalog.lock());
+        // PTool's probing consumed operations; clear the counters so run
+        // reports start clean.
+        for res in &resources {
+            res.lock().reset_stats();
+        }
+        self.predictor = Some(Predictor::new(db));
+        Ok(SimDuration::ZERO)
+    }
+
+    /// The predictor, if the performance database has been populated.
+    pub fn predictor(&self) -> Option<&Predictor> {
+        self.predictor.as_ref()
+    }
+
+    /// Install an externally built performance database.
+    pub fn set_perf_db(&mut self, db: PerfDb) {
+        self.predictor = Some(Predictor::new(db));
+    }
+
+    /// Start a session (the `initialization()` of Fig. 5): registers the
+    /// application, user and run in the catalog.
+    pub fn init_session(
+        &self,
+        app: &str,
+        user: &str,
+        iterations: u32,
+        grid: ProcGrid,
+    ) -> CoreResult<Session<'_>> {
+        Session::initialize(self, app, user, iterations, grid)
+    }
+
+    /// Read a dataset dump produced by an earlier run — the consumer path
+    /// used by the post-processing tools (data analysis, Volren, viewers).
+    /// Placement is looked up in the catalog; the caller only names the
+    /// run, dataset and iteration.
+    pub fn read_dataset(
+        &self,
+        run: RunId,
+        name: &str,
+        iteration: u32,
+        grid: ProcGrid,
+        strategy: IoStrategy,
+    ) -> CoreResult<(Vec<u8>, msr_runtime::IoReport)> {
+        Session::read_archived(self, run, name, iteration, grid, strategy)
+    }
+
+    /// Total bytes currently stored per resource kind.
+    pub fn usage(&self) -> BTreeMap<StorageKind, u64> {
+        self.resources
+            .iter()
+            .map(|(k, r)| (*k, r.lock().used_bytes()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_registers_three_resources() {
+        let sys = MsrSystem::testbed(1);
+        assert!(sys.resource(StorageKind::LocalDisk).is_some());
+        assert!(sys.resource(StorageKind::RemoteDisk).is_some());
+        assert!(sys.resource(StorageKind::RemoteTape).is_some());
+        assert_eq!(sys.resources().count(), 3);
+        assert_eq!(sys.catalog.lock().resources().len(), 3);
+    }
+
+    #[test]
+    fn outage_injection_reaches_the_resource() {
+        let sys = MsrSystem::testbed(1);
+        sys.set_resource_online(StorageKind::RemoteTape, false);
+        let tape = sys.resource(StorageKind::RemoteTape).unwrap();
+        assert!(!tape.lock().is_online());
+        sys.set_resource_online(StorageKind::RemoteTape, true);
+        assert!(tape.lock().is_online());
+    }
+
+    #[test]
+    fn ptool_installs_a_predictor() {
+        let mut sys = MsrSystem::testbed(1);
+        assert!(sys.predictor().is_none());
+        let pt = PTool {
+            sizes: vec![1 << 16, 1 << 20],
+            reps: 2,
+            scratch_prefix: "ptool/x".into(),
+        };
+        sys.run_ptool(&pt).unwrap();
+        let p = sys.predictor().unwrap();
+        assert_eq!(p.db.len(), 6, "3 resources x 2 ops");
+        // Mirrored into the catalog.
+        assert!(sys
+            .catalog
+            .lock()
+            .fixed_costs("sdsc-hpss", msr_storage::OpKind::Write)
+            .is_some());
+    }
+
+    #[test]
+    fn wan_controls_take_effect() {
+        let sys = MsrSystem::testbed(1);
+        sys.set_wan_up(false);
+        let rd = sys.resource(StorageKind::RemoteDisk).unwrap();
+        assert!(rd.lock().connect().is_err(), "WAN down: cannot connect");
+        sys.set_wan_up(true);
+        assert!(rd.lock().connect().is_ok());
+        sys.set_wan_background_load(3.0);
+    }
+}

@@ -1,0 +1,517 @@
+//! The embedded catalog: typed tables with keys, queries and persistence.
+
+use crate::error::MetaError;
+use crate::filter::Filter;
+use crate::records::{
+    AppId, ApplicationRec, DatasetId, DatasetRec, Location, PerfSample, ResourceRec, RunId,
+    RunRec, UserId, UserRec,
+};
+use crate::MetaResult;
+use msr_sim::SimDuration;
+use msr_storage::{FixedCosts, OpKind};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Catalog tuning knobs.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CatalogConfig {
+    /// Virtual cost charged per catalog query — the campus round trip to
+    /// the NWU database. Metadata access is cheap by design (§3.2).
+    pub query_cost: SimDuration,
+}
+
+impl Default for CatalogConfig {
+    fn default() -> Self {
+        CatalogConfig {
+            query_cost: SimDuration::from_millis(4.0),
+        }
+    }
+}
+
+fn perf_key(resource: &str, op: OpKind) -> String {
+    format!("{resource}/{op}")
+}
+
+/// The metadata database: applications, users, runs, datasets, storage
+/// resources and the performance tables that feed the predictor.
+#[derive(Debug, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    /// Tuning knobs.
+    pub config: CatalogConfig,
+    apps: Vec<ApplicationRec>,
+    users: Vec<UserRec>,
+    runs: Vec<RunRec>,
+    datasets: Vec<DatasetRec>,
+    resources: Vec<ResourceRec>,
+    perf: BTreeMap<String, Vec<PerfSample>>,
+    perf_fixed: BTreeMap<String, FixedCosts>,
+    #[serde(skip)]
+    queries: u64,
+}
+
+impl Catalog {
+    /// An empty catalog with default config.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Number of queries served (observability; each costs
+    /// [`CatalogConfig::query_cost`] of virtual time to the caller).
+    pub fn query_count(&self) -> u64 {
+        self.queries
+    }
+
+    fn count_query(&mut self) {
+        self.queries += 1;
+    }
+
+    // ---- applications ----------------------------------------------------
+
+    /// Register an application; names are unique.
+    pub fn create_app(&mut self, name: &str, description: &str) -> MetaResult<AppId> {
+        if self.apps.iter().any(|a| a.name == name) {
+            return Err(MetaError::Duplicate {
+                table: "applications",
+                key: name.to_owned(),
+            });
+        }
+        let id = AppId(self.apps.len() as u64);
+        self.apps.push(ApplicationRec {
+            id,
+            name: name.to_owned(),
+            description: description.to_owned(),
+        });
+        Ok(id)
+    }
+
+    /// Look up an application by name.
+    pub fn app_by_name(&mut self, name: &str) -> MetaResult<&ApplicationRec> {
+        self.count_query();
+        self.apps
+            .iter()
+            .find(|a| a.name == name)
+            .ok_or(MetaError::NotFound {
+                table: "applications",
+                key: name.to_owned(),
+            })
+    }
+
+    // ---- users -----------------------------------------------------------
+
+    /// Register a user; names are unique.
+    pub fn create_user(&mut self, name: &str, site: &str) -> MetaResult<UserId> {
+        if self.users.iter().any(|u| u.name == name) {
+            return Err(MetaError::Duplicate {
+                table: "users",
+                key: name.to_owned(),
+            });
+        }
+        let id = UserId(self.users.len() as u64);
+        self.users.push(UserRec {
+            id,
+            name: name.to_owned(),
+            site: site.to_owned(),
+        });
+        Ok(id)
+    }
+
+    /// Look up a user by name.
+    pub fn user_by_name(&mut self, name: &str) -> MetaResult<&UserRec> {
+        self.count_query();
+        self.users
+            .iter()
+            .find(|u| u.name == name)
+            .ok_or(MetaError::NotFound {
+                table: "users",
+                key: name.to_owned(),
+            })
+    }
+
+    // ---- runs ------------------------------------------------------------
+
+    /// Create a run of `app` by `user`.
+    pub fn create_run(
+        &mut self,
+        app: AppId,
+        user: UserId,
+        iterations: u32,
+        tag: &str,
+    ) -> MetaResult<RunId> {
+        if self.apps.get(app.0 as usize).is_none() {
+            return Err(MetaError::ForeignKey {
+                table: "runs",
+                key: app.to_string(),
+            });
+        }
+        if self.users.get(user.0 as usize).is_none() {
+            return Err(MetaError::ForeignKey {
+                table: "runs",
+                key: user.to_string(),
+            });
+        }
+        let id = RunId(self.runs.len() as u64);
+        self.runs.push(RunRec {
+            id,
+            app,
+            user,
+            iterations,
+            tag: tag.to_owned(),
+        });
+        Ok(id)
+    }
+
+    /// Fetch a run.
+    pub fn run(&mut self, id: RunId) -> MetaResult<&RunRec> {
+        self.count_query();
+        self.runs.get(id.0 as usize).ok_or(MetaError::NotFound {
+            table: "runs",
+            key: id.to_string(),
+        })
+    }
+
+    // ---- datasets ----------------------------------------------------------
+
+    /// Register a dataset for a run; `(run, name)` is unique.
+    pub fn add_dataset(&mut self, mut rec: DatasetRec) -> MetaResult<DatasetId> {
+        if self.runs.get(rec.run.0 as usize).is_none() {
+            return Err(MetaError::ForeignKey {
+                table: "datasets",
+                key: rec.run.to_string(),
+            });
+        }
+        if self
+            .datasets
+            .iter()
+            .any(|d| d.run == rec.run && d.name == rec.name)
+        {
+            return Err(MetaError::Duplicate {
+                table: "datasets",
+                key: format!("{}/{}", rec.run, rec.name),
+            });
+        }
+        let id = DatasetId(self.datasets.len() as u64);
+        rec.id = id;
+        self.datasets.push(rec);
+        Ok(id)
+    }
+
+    /// Fetch a dataset by primary key.
+    pub fn dataset(&mut self, id: DatasetId) -> MetaResult<&DatasetRec> {
+        self.count_query();
+        self.datasets
+            .get(id.0 as usize)
+            .ok_or(MetaError::NotFound {
+                table: "datasets",
+                key: id.to_string(),
+            })
+    }
+
+    /// Find a dataset by `(run, name)` — the lookup the API layer performs
+    /// on every open.
+    pub fn find_dataset(&mut self, run: RunId, name: &str) -> MetaResult<&DatasetRec> {
+        self.count_query();
+        self.datasets
+            .iter()
+            .find(|d| d.run == run && d.name == name)
+            .ok_or(MetaError::NotFound {
+                table: "datasets",
+                key: format!("{run}/{name}"),
+            })
+    }
+
+    /// All datasets of a run.
+    pub fn datasets_for_run(&mut self, run: RunId) -> Vec<DatasetRec> {
+        self.count_query();
+        self.datasets
+            .iter()
+            .filter(|d| d.run == run)
+            .cloned()
+            .collect()
+    }
+
+    /// Ad-hoc dataset query.
+    pub fn query_datasets(&mut self, filter: &Filter) -> Vec<DatasetRec> {
+        self.count_query();
+        self.datasets
+            .iter()
+            .filter(|d| filter.eval(*d))
+            .cloned()
+            .collect()
+    }
+
+    /// Update a dataset's resolved location (placement decisions are
+    /// recorded so post-processing tools can find the data).
+    pub fn set_dataset_location(&mut self, id: DatasetId, loc: Location) -> MetaResult<()> {
+        let d = self
+            .datasets
+            .get_mut(id.0 as usize)
+            .ok_or(MetaError::NotFound {
+                table: "datasets",
+                key: id.to_string(),
+            })?;
+        d.location = loc;
+        Ok(())
+    }
+
+    /// Record the predictor's estimate for a dataset (VIRTUALTIME column).
+    pub fn set_dataset_prediction(&mut self, id: DatasetId, secs: f64) -> MetaResult<()> {
+        let d = self
+            .datasets
+            .get_mut(id.0 as usize)
+            .ok_or(MetaError::NotFound {
+                table: "datasets",
+                key: id.to_string(),
+            })?;
+        d.predicted_secs = Some(secs);
+        Ok(())
+    }
+
+    // ---- resources ---------------------------------------------------------
+
+    /// Register a storage resource; names are unique (re-registration
+    /// replaces the row, matching how an admin updates capacity).
+    pub fn register_resource(&mut self, rec: ResourceRec) {
+        if let Some(existing) = self.resources.iter_mut().find(|r| r.name == rec.name) {
+            *existing = rec;
+        } else {
+            self.resources.push(rec);
+        }
+    }
+
+    /// All registered resources.
+    pub fn resources(&mut self) -> Vec<ResourceRec> {
+        self.count_query();
+        self.resources.clone()
+    }
+
+    // ---- performance tables -------------------------------------------------
+
+    /// Replace the timing samples for `(resource, op)` — PTool's output.
+    pub fn record_perf_samples(&mut self, resource: &str, op: OpKind, samples: Vec<PerfSample>) {
+        self.perf.insert(perf_key(resource, op), samples);
+    }
+
+    /// Timing samples for `(resource, op)`.
+    pub fn perf_samples(&mut self, resource: &str, op: OpKind) -> Option<Vec<PerfSample>> {
+        self.count_query();
+        self.perf.get(&perf_key(resource, op)).cloned()
+    }
+
+    /// Record the fixed-cost row (Table 1) for `(resource, op)`.
+    pub fn record_fixed_costs(&mut self, resource: &str, op: OpKind, costs: FixedCosts) {
+        self.perf_fixed.insert(perf_key(resource, op), costs);
+    }
+
+    /// Fixed-cost row for `(resource, op)`.
+    pub fn fixed_costs(&mut self, resource: &str, op: OpKind) -> Option<FixedCosts> {
+        self.count_query();
+        self.perf_fixed.get(&perf_key(resource, op)).copied()
+    }
+
+    /// Resources with recorded performance data, in key order.
+    pub fn perf_resources(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .perf
+            .keys()
+            .filter_map(|k| k.rsplit_once('/').map(|(r, _)| r.to_owned()))
+            .collect();
+        names.dedup();
+        names
+    }
+
+    // ---- persistence ---------------------------------------------------------
+
+    /// Serialize the whole catalog to a JSON string.
+    pub fn to_json(&self) -> MetaResult<String> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+
+    /// Restore a catalog from JSON.
+    pub fn from_json(s: &str) -> MetaResult<Catalog> {
+        Ok(serde_json::from_str(s)?)
+    }
+
+    /// Persist to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> MetaResult<()> {
+        std::fs::write(path, self.to_json()?)?;
+        Ok(())
+    }
+
+    /// Load from a file.
+    pub fn load(path: impl AsRef<Path>) -> MetaResult<Catalog> {
+        Catalog::from_json(&std::fs::read_to_string(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{AccessMode, ElementType};
+    use msr_storage::StorageKind;
+
+    fn seed_catalog() -> (Catalog, RunId) {
+        let mut c = Catalog::new();
+        let app = c.create_app("astro3d", "hydro simulation").unwrap();
+        let user = c.create_user("xshen", "NWU").unwrap();
+        let run = c.create_run(app, user, 120, "128^3").unwrap();
+        (c, run)
+    }
+
+    fn ds(run: RunId, name: &str) -> DatasetRec {
+        DatasetRec {
+            id: DatasetId(0),
+            run,
+            name: name.into(),
+            amode: AccessMode::Create,
+            etype: ElementType::F32,
+            dims: vec![128, 128, 128],
+            pattern: "BBB".into(),
+            strategy: "collective".into(),
+            location: Location::Stored(StorageKind::RemoteTape),
+            frequency: 6,
+            path: format!("astro3d/{name}"),
+            predicted_secs: None,
+        }
+    }
+
+    #[test]
+    fn app_and_user_uniqueness() {
+        let (mut c, _) = seed_catalog();
+        assert!(matches!(
+            c.create_app("astro3d", "again"),
+            Err(MetaError::Duplicate { .. })
+        ));
+        assert!(matches!(
+            c.create_user("xshen", "ANL"),
+            Err(MetaError::Duplicate { .. })
+        ));
+        assert_eq!(c.app_by_name("astro3d").unwrap().name, "astro3d");
+        assert!(matches!(
+            c.app_by_name("volren"),
+            Err(MetaError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn run_foreign_keys_checked() {
+        let (mut c, _) = seed_catalog();
+        let bad_app = AppId(99);
+        let user = UserId(0);
+        assert!(matches!(
+            c.create_run(bad_app, user, 1, ""),
+            Err(MetaError::ForeignKey { .. })
+        ));
+        assert!(matches!(
+            c.create_run(AppId(0), UserId(99), 1, ""),
+            Err(MetaError::ForeignKey { .. })
+        ));
+    }
+
+    #[test]
+    fn dataset_crud_and_lookup() {
+        let (mut c, run) = seed_catalog();
+        let id = c.add_dataset(ds(run, "temp")).unwrap();
+        assert!(matches!(
+            c.add_dataset(ds(run, "temp")),
+            Err(MetaError::Duplicate { .. })
+        ));
+        assert_eq!(c.dataset(id).unwrap().name, "temp");
+        assert_eq!(c.find_dataset(run, "temp").unwrap().id, id);
+        assert!(matches!(
+            c.find_dataset(run, "ghost"),
+            Err(MetaError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn dataset_updates() {
+        let (mut c, run) = seed_catalog();
+        let id = c.add_dataset(ds(run, "temp")).unwrap();
+        c.set_dataset_location(id, Location::Stored(StorageKind::RemoteDisk))
+            .unwrap();
+        c.set_dataset_prediction(id, 812.45).unwrap();
+        let d = c.dataset(id).unwrap();
+        assert_eq!(d.location, Location::Stored(StorageKind::RemoteDisk));
+        assert_eq!(d.predicted_secs, Some(812.45));
+    }
+
+    #[test]
+    fn query_datasets_with_filter() {
+        let (mut c, run) = seed_catalog();
+        for n in ["temp", "press", "vr_temp", "vr_press"] {
+            c.add_dataset(ds(run, n)).unwrap();
+        }
+        let vr = c.query_datasets(&Filter::Contains("name".into(), "vr_".into()));
+        assert_eq!(vr.len(), 2);
+        let all = c.datasets_for_run(run);
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn resource_registration_replaces() {
+        let (mut c, _) = seed_catalog();
+        c.register_resource(ResourceRec {
+            name: "anl-local".into(),
+            kind: StorageKind::LocalDisk,
+            site: "ANL".into(),
+            capacity: 100,
+        });
+        c.register_resource(ResourceRec {
+            name: "anl-local".into(),
+            kind: StorageKind::LocalDisk,
+            site: "ANL".into(),
+            capacity: 200,
+        });
+        let rs = c.resources();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].capacity, 200);
+    }
+
+    #[test]
+    fn perf_tables_roundtrip() {
+        let (mut c, _) = seed_catalog();
+        let samples = vec![
+            PerfSample {
+                bytes: 1 << 20,
+                transfer_secs: 3.5,
+            },
+            PerfSample {
+                bytes: 1 << 22,
+                transfer_secs: 14.2,
+            },
+        ];
+        c.record_perf_samples("sdsc-disk", OpKind::Write, samples.clone());
+        assert_eq!(c.perf_samples("sdsc-disk", OpKind::Write).unwrap(), samples);
+        assert!(c.perf_samples("sdsc-disk", OpKind::Read).is_none());
+        let fixed = FixedCosts {
+            conn: SimDuration::from_secs(0.44),
+            ..Default::default()
+        };
+        c.record_fixed_costs("sdsc-disk", OpKind::Write, fixed);
+        assert_eq!(c.fixed_costs("sdsc-disk", OpKind::Write).unwrap(), fixed);
+        assert_eq!(c.perf_resources(), vec!["sdsc-disk".to_owned()]);
+    }
+
+    #[test]
+    fn persistence_roundtrip() {
+        let (mut c, run) = seed_catalog();
+        c.add_dataset(ds(run, "temp")).unwrap();
+        c.record_fixed_costs("anl-local", OpKind::Read, FixedCosts::default());
+        let json = c.to_json().unwrap();
+        let mut back = Catalog::from_json(&json).unwrap();
+        assert_eq!(back.find_dataset(run, "temp").unwrap().name, "temp");
+        assert!(back.fixed_costs("anl-local", OpKind::Read).is_some());
+        assert_eq!(back.query_count(), 2, "query counter is not persisted");
+    }
+
+    #[test]
+    fn query_counter_increments() {
+        let (mut c, run) = seed_catalog();
+        let before = c.query_count();
+        let _ = c.datasets_for_run(run);
+        let _ = c.resources();
+        assert_eq!(c.query_count(), before + 2);
+        assert!(c.config.query_cost > SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,71 @@
+//! Catalog error type.
+
+use std::fmt;
+
+/// Failures surfaced by the metadata catalog.
+#[derive(Debug)]
+pub enum MetaError {
+    /// Primary key or name not found in the referenced table.
+    NotFound {
+        /// Table name.
+        table: &'static str,
+        /// Key rendered for diagnostics.
+        key: String,
+    },
+    /// A unique constraint (e.g. application name) was violated.
+    Duplicate {
+        /// Table name.
+        table: &'static str,
+        /// The conflicting key.
+        key: String,
+    },
+    /// A foreign key referenced a missing row.
+    ForeignKey {
+        /// Referencing table.
+        table: &'static str,
+        /// The dangling reference.
+        key: String,
+    },
+    /// Persistence I/O failed.
+    Io(std::io::Error),
+    /// Persistence (de)serialization failed.
+    Serde(serde_json::Error),
+}
+
+impl fmt::Display for MetaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetaError::NotFound { table, key } => write!(f, "{table}: no row with key {key}"),
+            MetaError::Duplicate { table, key } => {
+                write!(f, "{table}: duplicate key {key}")
+            }
+            MetaError::ForeignKey { table, key } => {
+                write!(f, "{table}: dangling foreign key {key}")
+            }
+            MetaError::Io(e) => write!(f, "catalog I/O error: {e}"),
+            MetaError::Serde(e) => write!(f, "catalog serialization error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MetaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MetaError::Io(e) => Some(e),
+            MetaError::Serde(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MetaError {
+    fn from(e: std::io::Error) -> Self {
+        MetaError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for MetaError {
+    fn from(e: serde_json::Error) -> Self {
+        MetaError::Serde(e)
+    }
+}

@@ -1,0 +1,295 @@
+//! A small filter-expression language for ad-hoc catalog queries.
+//!
+//! The Postgres metadata database of the paper is queried with SQL `WHERE`
+//! clauses; the embedded catalog offers the same expressive core: typed
+//! field comparisons composed with boolean connectives, evaluated against
+//! any record type that exposes named fields.
+
+use crate::records::{ApplicationRec, DatasetRec, ResourceRec, RunRec};
+use serde::{Deserialize, Serialize};
+
+/// A dynamically-typed field value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Text value.
+    Str(String),
+    /// Integer value.
+    Int(i64),
+    /// Floating value.
+    Float(f64),
+    /// Boolean value.
+    Bool(bool),
+}
+
+impl Value {
+    fn partial_cmp_num(&self, other: &Value) -> Option<std::cmp::Ordering> {
+        let as_f64 = |v: &Value| match v {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        };
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => {
+                let (a, b) = (as_f64(self)?, as_f64(other)?);
+                a.partial_cmp(&b)
+            }
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+/// A record type queryable by [`Filter`].
+pub trait Record {
+    /// Look up a named field; `None` when the record has no such field.
+    fn field(&self, name: &str) -> Option<Value>;
+}
+
+/// A boolean filter expression over record fields.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Filter {
+    /// Matches every record.
+    True,
+    /// `field == value`.
+    Eq(String, Value),
+    /// `field != value`.
+    Ne(String, Value),
+    /// `field < value` (numeric or lexicographic).
+    Lt(String, Value),
+    /// `field > value`.
+    Gt(String, Value),
+    /// String field contains the given substring.
+    Contains(String, String),
+    /// Both sub-filters match.
+    And(Box<Filter>, Box<Filter>),
+    /// Either sub-filter matches.
+    Or(Box<Filter>, Box<Filter>),
+    /// Sub-filter does not match.
+    Not(Box<Filter>),
+}
+
+impl Filter {
+    /// `a AND b` convenience constructor.
+    pub fn and(self, other: Filter) -> Filter {
+        Filter::And(Box::new(self), Box::new(other))
+    }
+
+    /// `a OR b` convenience constructor.
+    pub fn or(self, other: Filter) -> Filter {
+        Filter::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation convenience constructor.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Filter {
+        Filter::Not(Box::new(self))
+    }
+
+    /// `field == value`.
+    pub fn eq(field: &str, value: impl Into<Value>) -> Filter {
+        Filter::Eq(field.to_owned(), value.into())
+    }
+
+    /// Evaluate against a record. Comparisons on missing fields or
+    /// mismatched types are false (SQL-NULL-like semantics).
+    pub fn eval<R: Record>(&self, r: &R) -> bool {
+        match self {
+            Filter::True => true,
+            Filter::Eq(f, v) => r.field(f).is_some_and(|x| x == *v),
+            Filter::Ne(f, v) => r.field(f).is_some_and(|x| x != *v),
+            Filter::Lt(f, v) => r
+                .field(f)
+                .and_then(|x| x.partial_cmp_num(v))
+                .is_some_and(|o| o == std::cmp::Ordering::Less),
+            Filter::Gt(f, v) => r
+                .field(f)
+                .and_then(|x| x.partial_cmp_num(v))
+                .is_some_and(|o| o == std::cmp::Ordering::Greater),
+            Filter::Contains(f, needle) => r
+                .field(f)
+                .is_some_and(|x| matches!(x, Value::Str(s) if s.contains(needle))),
+            Filter::And(a, b) => a.eval(r) && b.eval(r),
+            Filter::Or(a, b) => a.eval(r) || b.eval(r),
+            Filter::Not(a) => !a.eval(r),
+        }
+    }
+}
+
+impl Record for DatasetRec {
+    fn field(&self, name: &str) -> Option<Value> {
+        Some(match name {
+            "name" => Value::Str(self.name.clone()),
+            "amode" => Value::Str(self.amode.to_string()),
+            "etype" => Value::Str(self.etype.to_string()),
+            "ndims" => Value::Int(self.dims.len() as i64),
+            "pattern" => Value::Str(self.pattern.clone()),
+            "strategy" => Value::Str(self.strategy.clone()),
+            "location" => Value::Str(self.location.to_string()),
+            "frequency" => Value::Int(i64::from(self.frequency)),
+            "path" => Value::Str(self.path.clone()),
+            "bytes" => Value::Int(self.snapshot_bytes() as i64),
+            "run" => Value::Int(self.run.0 as i64),
+            _ => return None,
+        })
+    }
+}
+
+impl Record for RunRec {
+    fn field(&self, name: &str) -> Option<Value> {
+        Some(match name {
+            "app" => Value::Int(self.app.0 as i64),
+            "user" => Value::Int(self.user.0 as i64),
+            "iterations" => Value::Int(i64::from(self.iterations)),
+            "tag" => Value::Str(self.tag.clone()),
+            _ => return None,
+        })
+    }
+}
+
+impl Record for ResourceRec {
+    fn field(&self, name: &str) -> Option<Value> {
+        Some(match name {
+            "name" => Value::Str(self.name.clone()),
+            "kind" => Value::Str(self.kind.to_string()),
+            "site" => Value::Str(self.site.clone()),
+            "capacity" => Value::Int(self.capacity.min(i64::MAX as u64) as i64),
+            _ => return None,
+        })
+    }
+}
+
+impl Record for ApplicationRec {
+    fn field(&self, name: &str) -> Option<Value> {
+        Some(match name {
+            "name" => Value::Str(self.name.clone()),
+            "description" => Value::Str(self.description.clone()),
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::*;
+    use msr_storage::StorageKind;
+
+    fn ds(name: &str, freq: u32, loc: Location) -> DatasetRec {
+        DatasetRec {
+            id: DatasetId(0),
+            run: RunId(7),
+            name: name.into(),
+            amode: AccessMode::Create,
+            etype: ElementType::U8,
+            dims: vec![128, 128, 128],
+            pattern: "BBB".into(),
+            strategy: "collective".into(),
+            location: loc,
+            frequency: freq,
+            path: format!("astro3d/{name}"),
+            predicted_secs: None,
+        }
+    }
+
+    #[test]
+    fn eq_and_ne() {
+        let d = ds("vr_temp", 6, Location::Stored(StorageKind::LocalDisk));
+        assert!(Filter::eq("name", "vr_temp").eval(&d));
+        assert!(!Filter::eq("name", "temp").eval(&d));
+        assert!(Filter::Ne("name".into(), "temp".into()).eval(&d));
+    }
+
+    #[test]
+    fn numeric_comparisons_mix_int_float() {
+        let d = ds("temp", 6, Location::Disabled);
+        assert!(Filter::Lt("frequency".into(), Value::Int(10)).eval(&d));
+        assert!(Filter::Gt("frequency".into(), Value::Float(5.5)).eval(&d));
+        assert!(!Filter::Gt("frequency".into(), Value::Int(6)).eval(&d));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let d = ds("vr_press", 6, Location::Stored(StorageKind::RemoteDisk));
+        let f = Filter::Contains("name".into(), "vr_".into())
+            .and(Filter::eq("location", "remote disk"));
+        assert!(f.eval(&d));
+        assert!(!f.clone().not().eval(&d));
+        let g = Filter::eq("name", "nope").or(Filter::True);
+        assert!(g.eval(&d));
+    }
+
+    #[test]
+    fn missing_field_is_false_not_error() {
+        let d = ds("temp", 6, Location::Disabled);
+        assert!(!Filter::eq("no_such_column", 1i64).eval(&d));
+        // ...but its negation is true, like SQL's NOT on NULL is not. Ours
+        // is plain boolean: document the difference.
+        assert!(Filter::eq("no_such_column", 1i64).not().eval(&d));
+    }
+
+    #[test]
+    fn type_mismatch_is_false() {
+        let d = ds("temp", 6, Location::Disabled);
+        assert!(!Filter::Lt("name".into(), Value::Int(5)).eval(&d));
+    }
+
+    #[test]
+    fn other_record_types_expose_fields() {
+        let r = RunRec {
+            id: RunId(1),
+            app: AppId(2),
+            user: UserId(3),
+            iterations: 120,
+            tag: "prod".into(),
+        };
+        assert!(Filter::eq("iterations", 120u32).eval(&r));
+        let res = ResourceRec {
+            name: "sdsc-disk".into(),
+            kind: StorageKind::RemoteDisk,
+            site: "SDSC".into(),
+            capacity: u64::MAX,
+        };
+        assert!(Filter::eq("kind", "remote disk").eval(&res));
+        assert!(Filter::Gt("capacity".into(), Value::Int(0)).eval(&res));
+        let app = ApplicationRec {
+            id: AppId(1),
+            name: "astro3d".into(),
+            description: "hydro".into(),
+        };
+        assert!(Filter::Contains("name".into(), "astro".into()).eval(&app));
+    }
+
+    #[test]
+    fn filters_serialize() {
+        let f = Filter::eq("name", "temp").and(Filter::Gt("bytes".into(), Value::Int(0)));
+        let j = serde_json::to_string(&f).unwrap();
+        let back: Filter = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, f);
+    }
+}

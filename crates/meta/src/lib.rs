@@ -1,0 +1,36 @@
+//! # msr-meta — the metadata catalog (MDMS)
+//!
+//! The paper keeps a "small" Postgres database at NWU holding *meta-data*:
+//! which applications and users exist, which datasets each run produced,
+//! where every dataset lives (storage resource type, path), how it is
+//! partitioned across processors, and the performance samples that feed the
+//! I/O performance predictor.
+//!
+//! This crate is the embedded stand-in: a typed, relational-style
+//! [`Catalog`] with primary-key tables, foreign-key lookups, a small
+//! [`filter`] expression language for ad-hoc queries, and JSON persistence
+//! (the paper's Postgres is, for our purposes, a durable table store with
+//! an embedded C API — the catalog exercises the same code paths:
+//! dataset lookup by name, location attributes, perf-record retrieval).
+//!
+//! Metadata access is deliberately cheap (§3.2: "As meta-data access is
+//! inexpensive, there is no need to provide a run-time library on top"); a
+//! flat per-query cost models the campus round trip to NWU.
+
+pub mod catalog;
+pub mod error;
+pub mod filter;
+pub mod parse;
+pub mod records;
+
+pub use catalog::{Catalog, CatalogConfig};
+pub use error::MetaError;
+pub use filter::{Filter, Record, Value};
+pub use parse::ParseError;
+pub use records::{
+    AccessMode, AppId, ApplicationRec, DatasetId, DatasetRec, ElementType, Location, PerfSample,
+    ResourceRec, RunId, RunRec, UserId, UserRec,
+};
+
+/// Convenience result alias for catalog operations.
+pub type MetaResult<T> = Result<T, MetaError>;

@@ -1,0 +1,436 @@
+//! A small WHERE-clause language for catalog queries.
+//!
+//! The paper's metadata lives in Postgres and is queried with SQL; the
+//! embedded catalog accepts the same flavour of predicate as text:
+//!
+//! ```
+//! use msr_meta::Filter;
+//! let f = Filter::parse_str(
+//!     "name CONTAINS 'vr_' AND (frequency > 5 OR location = 'local disk')",
+//! ).unwrap();
+//! ```
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! expr   := and ( OR and )*
+//! and    := unary ( AND unary )*
+//! unary  := NOT unary | '(' expr ')' | comparison | TRUE
+//! comparison := ident ( '=' | '!=' | '<' | '>' ) value
+//!             | ident CONTAINS string
+//! value  := 'single-quoted string' | number | true | false
+//! ```
+
+use crate::filter::{Filter, Value};
+
+/// A parse failure with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input.
+    pub at: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "filter parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Num(f64),
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    LParen,
+    RParen,
+    And,
+    Or,
+    Not,
+    Contains,
+    True,
+    False,
+}
+
+fn tokenize(s: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push((Tok::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                out.push((Tok::RParen, i));
+                i += 1;
+            }
+            '=' => {
+                out.push((Tok::Eq, i));
+                i += 1;
+            }
+            '<' => {
+                out.push((Tok::Lt, i));
+                i += 1;
+            }
+            '>' => {
+                out.push((Tok::Gt, i));
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push((Tok::Ne, i));
+                    i += 2;
+                } else {
+                    return Err(ParseError {
+                        message: "expected '=' after '!'".into(),
+                        at: i,
+                    });
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(ParseError {
+                        message: "unterminated string literal".into(),
+                        at: i,
+                    });
+                }
+                out.push((Tok::Str(s[start..j].to_owned()), i));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '.' => {
+                let start = i;
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_digit()
+                        || bytes[j] == b'.'
+                        || bytes[j] == b'e'
+                        || bytes[j] == b'E'
+                        || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let text = s[start..j].replace('_', "");
+                let n: f64 = text.parse().map_err(|_| ParseError {
+                    message: format!("bad number {text:?}"),
+                    at: start,
+                })?;
+                out.push((Tok::Num(n), start));
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i + 1;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                let word = &s[start..j];
+                let tok = match word.to_ascii_uppercase().as_str() {
+                    "AND" => Tok::And,
+                    "OR" => Tok::Or,
+                    "NOT" => Tok::Not,
+                    "CONTAINS" => Tok::Contains,
+                    "TRUE" => Tok::True,
+                    "FALSE" => Tok::False,
+                    _ => Tok::Ident(word.to_owned()),
+                };
+                out.push((tok, start));
+                i = j;
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character {other:?}"),
+                    at: i,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn at(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|&(_, at)| at)
+            .unwrap_or(self.len)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect(&mut self, want: Tok, what: &str) -> Result<(), ParseError> {
+        if self.peek() == Some(&want) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ParseError {
+                message: format!("expected {what}"),
+                at: self.at(),
+            })
+        }
+    }
+
+    fn expr(&mut self) -> Result<Filter, ParseError> {
+        let mut left = self.and()?;
+        while self.peek() == Some(&Tok::Or) {
+            self.pos += 1;
+            left = left.or(self.and()?);
+        }
+        Ok(left)
+    }
+
+    fn and(&mut self) -> Result<Filter, ParseError> {
+        let mut left = self.unary()?;
+        while self.peek() == Some(&Tok::And) {
+            self.pos += 1;
+            left = left.and(self.unary()?);
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Filter, ParseError> {
+        match self.peek() {
+            Some(Tok::Not) => {
+                self.pos += 1;
+                Ok(self.unary()?.not())
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let inner = self.expr()?;
+                self.expect(Tok::RParen, "')'")?;
+                Ok(inner)
+            }
+            Some(Tok::True) => {
+                self.pos += 1;
+                Ok(Filter::True)
+            }
+            Some(Tok::False) => {
+                self.pos += 1;
+                Ok(Filter::True.not())
+            }
+            Some(Tok::Ident(_)) => self.comparison(),
+            _ => Err(ParseError {
+                message: "expected a predicate".into(),
+                at: self.at(),
+            }),
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Filter, ParseError> {
+        let at = self.at();
+        let Some(Tok::Ident(field)) = self.bump() else {
+            return Err(ParseError {
+                message: "expected a field name".into(),
+                at,
+            });
+        };
+        let op_at = self.at();
+        match self.bump() {
+            Some(Tok::Eq) => Ok(Filter::Eq(field, self.value()?)),
+            Some(Tok::Ne) => Ok(Filter::Ne(field, self.value()?)),
+            Some(Tok::Lt) => Ok(Filter::Lt(field, self.value()?)),
+            Some(Tok::Gt) => Ok(Filter::Gt(field, self.value()?)),
+            Some(Tok::Contains) => {
+                let v_at = self.at();
+                match self.bump() {
+                    Some(Tok::Str(s)) => Ok(Filter::Contains(field, s)),
+                    _ => Err(ParseError {
+                        message: "CONTAINS needs a string literal".into(),
+                        at: v_at,
+                    }),
+                }
+            }
+            _ => Err(ParseError {
+                message: "expected =, !=, <, > or CONTAINS".into(),
+                at: op_at,
+            }),
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        let at = self.at();
+        match self.bump() {
+            Some(Tok::Str(s)) => Ok(Value::Str(s)),
+            Some(Tok::Num(n)) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    Ok(Value::Int(n as i64))
+                } else {
+                    Ok(Value::Float(n))
+                }
+            }
+            Some(Tok::True) => Ok(Value::Bool(true)),
+            Some(Tok::False) => Ok(Value::Bool(false)),
+            _ => Err(ParseError {
+                message: "expected a value".into(),
+                at,
+            }),
+        }
+    }
+}
+
+impl Filter {
+    /// Parse a WHERE-clause string into a filter.
+    pub fn parse_str(input: &str) -> Result<Filter, ParseError> {
+        let toks = tokenize(input)?;
+        if toks.is_empty() {
+            return Ok(Filter::True);
+        }
+        let mut p = Parser {
+            toks,
+            pos: 0,
+            len: input.len(),
+        };
+        let f = p.expr()?;
+        if p.pos != p.toks.len() {
+            return Err(ParseError {
+                message: "trailing input after expression".into(),
+                at: p.at(),
+            });
+        }
+        Ok(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{AccessMode, DatasetId, DatasetRec, ElementType, Location, RunId};
+    use msr_storage::StorageKind;
+
+    fn ds(name: &str, freq: u32) -> DatasetRec {
+        DatasetRec {
+            id: DatasetId(0),
+            run: RunId(0),
+            name: name.into(),
+            amode: AccessMode::Create,
+            etype: ElementType::U8,
+            dims: vec![128, 128, 128],
+            pattern: "BBB".into(),
+            strategy: "collective".into(),
+            location: Location::Stored(StorageKind::LocalDisk),
+            frequency: freq,
+            path: String::new(),
+            predicted_secs: None,
+        }
+    }
+
+    #[test]
+    fn simple_equality() {
+        let f = Filter::parse_str("name = 'temp'").unwrap();
+        assert!(f.eval(&ds("temp", 6)));
+        assert!(!f.eval(&ds("press", 6)));
+    }
+
+    #[test]
+    fn numeric_and_boolean_connectives() {
+        let f = Filter::parse_str("frequency > 5 AND frequency < 10").unwrap();
+        assert!(f.eval(&ds("x", 6)));
+        assert!(!f.eval(&ds("x", 12)));
+        let g = Filter::parse_str("frequency = 3 OR frequency = 6").unwrap();
+        assert!(g.eval(&ds("x", 6)));
+        assert!(!g.eval(&ds("x", 4)));
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        // a OR b AND c  ==  a OR (b AND c)
+        let f = Filter::parse_str("name = 'a' OR name = 'b' AND frequency > 100").unwrap();
+        assert!(f.eval(&ds("a", 1)));
+        assert!(!f.eval(&ds("b", 1)), "b requires the frequency clause");
+    }
+
+    #[test]
+    fn parentheses_override() {
+        let f = Filter::parse_str("(name = 'a' OR name = 'b') AND frequency > 100").unwrap();
+        assert!(!f.eval(&ds("a", 1)));
+        assert!(f.eval(&ds("b", 101)));
+    }
+
+    #[test]
+    fn not_and_contains() {
+        let f = Filter::parse_str("NOT name CONTAINS 'vr_'").unwrap();
+        assert!(f.eval(&ds("temp", 6)));
+        assert!(!f.eval(&ds("vr_temp", 6)));
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let f = Filter::parse_str("name contains 'vr' and not frequency > 10").unwrap();
+        assert!(f.eval(&ds("vr_rho", 6)));
+    }
+
+    #[test]
+    fn empty_input_matches_everything() {
+        assert_eq!(Filter::parse_str("").unwrap(), Filter::True);
+        assert_eq!(Filter::parse_str("   ").unwrap(), Filter::True);
+    }
+
+    #[test]
+    fn ne_and_floats() {
+        let f = Filter::parse_str("name != 'x' AND frequency < 6.5").unwrap();
+        assert!(f.eval(&ds("temp", 6)));
+        assert!(!f.eval(&ds("x", 6)));
+    }
+
+    #[test]
+    fn error_positions() {
+        let e = Filter::parse_str("name = ").unwrap_err();
+        assert!(e.message.contains("value"));
+        let e = Filter::parse_str("name ! 'x'").unwrap_err();
+        assert!(e.message.contains("'='"));
+        let e = Filter::parse_str("name = 'unterminated").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+        let e = Filter::parse_str("name = 'a' garbage").unwrap_err();
+        assert!(e.message.contains("trailing"));
+        let e = Filter::parse_str("= 'a'").unwrap_err();
+        assert!(e.message.contains("predicate"));
+    }
+
+    #[test]
+    fn integrates_with_catalog_queries() {
+        let mut c = crate::Catalog::new();
+        let app = c.create_app("astro3d", "").unwrap();
+        let user = c.create_user("u", "").unwrap();
+        let run = c.create_run(app, user, 120, "").unwrap();
+        for (n, f) in [("temp", 6), ("press", 6), ("vr_temp", 12)] {
+            let mut rec = ds(n, f);
+            rec.run = run;
+            c.add_dataset(rec).unwrap();
+        }
+        let hits = c.query_datasets(
+            &Filter::parse_str("frequency = 6 AND NOT name CONTAINS 'vr'").unwrap(),
+        );
+        assert_eq!(hits.len(), 2);
+    }
+}

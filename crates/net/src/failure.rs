@@ -1,0 +1,121 @@
+//! Scheduled outages for reliability experiments.
+//!
+//! The paper's final §5 example assumes "the remote tape system is down for
+//! maintenance". [`OutageSchedule`] lets an experiment declare maintenance
+//! windows in virtual time and ask whether a component should currently be
+//! up, which the harness then applies to links, sites or storage resources.
+
+use msr_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A half-open outage window `[from, until)` in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Outage {
+    /// Start of the outage (inclusive).
+    pub from: SimTime,
+    /// End of the outage (exclusive). Use `SimTime::from_secs(f64::MAX)` for
+    /// an open-ended outage.
+    pub until: SimTime,
+}
+
+impl Outage {
+    /// Whether `t` falls inside the window.
+    pub fn covers(&self, t: SimTime) -> bool {
+        self.from <= t && t < self.until
+    }
+}
+
+/// A set of outage windows for one component.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OutageSchedule {
+    windows: Vec<Outage>,
+}
+
+impl OutageSchedule {
+    /// A schedule with no outages.
+    pub fn always_up() -> Self {
+        Self::default()
+    }
+
+    /// Add an outage window `[from, until)` (seconds of virtual time).
+    pub fn with_outage(mut self, from_secs: f64, until_secs: f64) -> Self {
+        self.windows.push(Outage {
+            from: SimTime::from_secs(from_secs),
+            until: SimTime::from_secs(until_secs),
+        });
+        self
+    }
+
+    /// Add an outage that starts at `from_secs` and never ends.
+    pub fn with_permanent_outage(self, from_secs: f64) -> Self {
+        self.with_outage(from_secs, f64::MAX)
+    }
+
+    /// Should the component be up at virtual time `t`?
+    pub fn is_up(&self, t: SimTime) -> bool {
+        !self.windows.iter().any(|w| w.covers(t))
+    }
+
+    /// The next state-change boundary strictly after `t`, if any. Useful for
+    /// event-driven experiment loops.
+    pub fn next_transition(&self, t: SimTime) -> Option<SimTime> {
+        self.windows
+            .iter()
+            .flat_map(|w| [w.from, w.until])
+            .filter(|&b| b > t && b.as_secs() != f64::MAX)
+            .min_by(|a, b| a.as_secs().total_cmp(&b.as_secs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_schedule_always_up() {
+        let s = OutageSchedule::always_up();
+        assert!(s.is_up(SimTime::EPOCH));
+        assert!(s.is_up(SimTime::from_secs(1e9)));
+        assert_eq!(s.next_transition(SimTime::EPOCH), None);
+    }
+
+    #[test]
+    fn window_boundaries_are_half_open() {
+        let s = OutageSchedule::always_up().with_outage(10.0, 20.0);
+        assert!(s.is_up(SimTime::from_secs(9.999)));
+        assert!(!s.is_up(SimTime::from_secs(10.0)));
+        assert!(!s.is_up(SimTime::from_secs(19.999)));
+        assert!(s.is_up(SimTime::from_secs(20.0)));
+    }
+
+    #[test]
+    fn overlapping_windows_compose() {
+        let s = OutageSchedule::always_up()
+            .with_outage(0.0, 5.0)
+            .with_outage(3.0, 8.0);
+        assert!(!s.is_up(SimTime::from_secs(4.0)));
+        assert!(!s.is_up(SimTime::from_secs(6.0)));
+        assert!(s.is_up(SimTime::from_secs(8.0)));
+    }
+
+    #[test]
+    fn permanent_outage_never_recovers() {
+        let s = OutageSchedule::always_up().with_permanent_outage(100.0);
+        assert!(s.is_up(SimTime::from_secs(99.0)));
+        assert!(!s.is_up(SimTime::from_secs(1e12)));
+    }
+
+    #[test]
+    fn next_transition_order() {
+        let s = OutageSchedule::always_up().with_outage(10.0, 20.0);
+        assert_eq!(
+            s.next_transition(SimTime::EPOCH),
+            Some(SimTime::from_secs(10.0))
+        );
+        assert_eq!(
+            s.next_transition(SimTime::from_secs(15.0)),
+            Some(SimTime::from_secs(20.0))
+        );
+        assert_eq!(s.next_transition(SimTime::from_secs(20.0)), None);
+    }
+}

@@ -1,0 +1,197 @@
+//! Point-to-point links and their cost model.
+
+use crate::site::SiteId;
+use msr_sim::{Jitter, SimDuration};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Opaque handle to a link registered in a [`crate::Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LinkId(pub(crate) u32);
+
+impl LinkId {
+    /// Raw index of the link.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuild a handle from a raw index (persistence / test support). The
+    /// caller must ensure the index is valid for the target network.
+    pub fn from_index(i: usize) -> Self {
+        LinkId(u32::try_from(i).expect("link index fits in u32"))
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link#{}", self.0)
+    }
+}
+
+/// Static description of a bidirectional link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// One-way latency charged once per request on this link.
+    pub latency: SimDuration,
+    /// Nominal bandwidth in megabytes per second (decimal MB).
+    pub bandwidth_mb_s: f64,
+    /// Multiplicative noise applied to each transfer on this link.
+    pub jitter: Jitter,
+}
+
+impl LinkSpec {
+    /// A noise-free link, handy in unit tests.
+    pub fn ideal(latency: SimDuration, bandwidth_mb_s: f64) -> Self {
+        LinkSpec {
+            latency,
+            bandwidth_mb_s,
+            jitter: Jitter::None,
+        }
+    }
+
+    /// Year-2000 WAN profile between national labs: ~25 ms latency and a
+    /// sustained application-level rate of a few hundred KB/s, with WAN
+    /// jitter. `rate_mb_s` sets the sustained rate.
+    pub fn wan(rate_mb_s: f64) -> Self {
+        LinkSpec {
+            latency: SimDuration::from_millis(25.0),
+            bandwidth_mb_s: rate_mb_s,
+            jitter: Jitter::wan_default(),
+        }
+    }
+
+    /// Campus/metro link: 2 ms latency, tens of MB/s.
+    pub fn campus(rate_mb_s: f64) -> Self {
+        LinkSpec {
+            latency: SimDuration::from_millis(2.0),
+            bandwidth_mb_s: rate_mb_s,
+            jitter: Jitter::LogNormal { sigma: 0.03 },
+        }
+    }
+
+    /// Pure transfer time of `bytes` at the nominal rate (no latency, no
+    /// contention, no jitter).
+    pub fn nominal_transfer(&self, bytes: u64) -> SimDuration {
+        if self.bandwidth_mb_s <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_secs(bytes as f64 / (self.bandwidth_mb_s * 1e6))
+    }
+}
+
+/// Live state of a link inside a network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Link {
+    /// Endpoint A.
+    pub a: SiteId,
+    /// Endpoint B.
+    pub b: SiteId,
+    /// Cost parameters.
+    pub spec: LinkSpec,
+    /// Whether the link is currently usable.
+    pub up: bool,
+    /// Equivalent number of competing background streams; effective
+    /// per-stream bandwidth is `bandwidth / (own_streams + background_load)`.
+    pub background_load: f64,
+}
+
+impl Link {
+    pub(crate) fn new(a: SiteId, b: SiteId, spec: LinkSpec) -> Self {
+        Link {
+            a,
+            b,
+            spec,
+            up: true,
+            background_load: 0.0,
+        }
+    }
+
+    /// The opposite endpoint, if `s` is one of this link's endpoints.
+    pub fn other_end(&self, s: SiteId) -> Option<SiteId> {
+        if s == self.a {
+            Some(self.b)
+        } else if s == self.b {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+
+    /// Cost of moving `bytes` across this link as one request with
+    /// `streams` parallel streams from the same transfer sharing it.
+    /// Latency is paid once; the payload is divided among streams which
+    /// share the (possibly loaded) bandwidth, so the stream count cancels
+    /// for the data term and only contention from background load remains.
+    pub fn transfer_cost(&self, bytes: u64, streams: u32) -> SimDuration {
+        let streams = streams.max(1) as f64;
+        let eff_bw = self.spec.bandwidth_mb_s / (streams + self.background_load.max(0.0));
+        let per_stream_bytes = bytes as f64 / streams;
+        let data = if eff_bw > 0.0 {
+            SimDuration::from_secs(per_stream_bytes / (eff_bw * 1e6))
+        } else {
+            SimDuration::ZERO
+        };
+        self.spec.latency + data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link(bw: f64) -> Link {
+        Link::new(
+            SiteId(0),
+            SiteId(1),
+            LinkSpec::ideal(SimDuration::from_millis(10.0), bw),
+        )
+    }
+
+    #[test]
+    fn nominal_transfer_scales_linearly() {
+        let spec = LinkSpec::ideal(SimDuration::ZERO, 2.0);
+        assert_eq!(spec.nominal_transfer(2_000_000).as_secs(), 1.0);
+        assert_eq!(spec.nominal_transfer(4_000_000).as_secs(), 2.0);
+    }
+
+    #[test]
+    fn transfer_cost_includes_latency_once() {
+        let l = link(1.0);
+        let c = l.transfer_cost(1_000_000, 1);
+        assert!((c.as_secs() - 1.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_streams_do_not_speed_up_a_single_shared_link() {
+        // The per-stream share shrinks exactly as the payload split does, so
+        // total time is unchanged: the WAN pipe is the bottleneck.
+        let l = link(1.0);
+        let one = l.transfer_cost(1_000_000, 1);
+        let four = l.transfer_cost(1_000_000, 4);
+        assert!(one.approx_eq(four, 1e-9));
+    }
+
+    #[test]
+    fn background_load_slows_transfers() {
+        let mut l = link(1.0);
+        let clean = l.transfer_cost(1_000_000, 1);
+        l.background_load = 1.0; // one competing stream → half bandwidth
+        let loaded = l.transfer_cost(1_000_000, 1);
+        assert!((loaded.as_secs() - 0.01 - 2.0).abs() < 1e-9);
+        assert!(loaded > clean);
+    }
+
+    #[test]
+    fn other_end_resolution() {
+        let l = link(1.0);
+        assert_eq!(l.other_end(SiteId(0)), Some(SiteId(1)));
+        assert_eq!(l.other_end(SiteId(1)), Some(SiteId(0)));
+        assert_eq!(l.other_end(SiteId(7)), None);
+    }
+
+    #[test]
+    fn zero_bandwidth_charges_latency_only() {
+        let l = Link::new(SiteId(0), SiteId(1), LinkSpec::ideal(SimDuration::from_secs(0.5), 0.0));
+        assert_eq!(l.transfer_cost(1_000_000, 1).as_secs(), 0.5);
+    }
+}

@@ -1,0 +1,40 @@
+//! Named network sites (compute centers, storage centers).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Opaque handle to a site registered in a [`crate::Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SiteId(pub(crate) u16);
+
+impl SiteId {
+    /// The raw index (stable for the lifetime of the network).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "site#{}", self.0)
+    }
+}
+
+/// A site in the simulated internetwork.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Site {
+    /// Human-readable name, e.g. `"ANL"`, `"SDSC"`, `"NWU"`.
+    pub name: String,
+    /// Whether the site is reachable. A down site behaves as if every
+    /// adjacent link were down (maintenance window, power event).
+    pub up: bool,
+}
+
+impl Site {
+    pub(crate) fn new(name: impl Into<String>) -> Self {
+        Site {
+            name: name.into(),
+            up: true,
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! # msr-predict — the I/O performance predictor
+//!
+//! Section 4 of the paper: since I/O dominates these applications, the user
+//! should be able to estimate I/O cost *before* running (e.g. to pick the
+//! SP-2 job's maximum-run-time parameter). The mechanism has three parts:
+//!
+//! 1. A **performance database** ([`PerfDb`]) holding, per storage resource
+//!    and operation, the fixed components of eq. (1) (`T_conn`, `T_open`,
+//!    `T_seek`, `T_fileclose`, `T_connclose` — Table 1) and measured
+//!    `T_read/write(s)` samples over request sizes (Figs. 6–8).
+//! 2. **PTool** ([`PTool`]) — "a tool … to help users automatically
+//!    generate performance data stored in databases": it sweeps request
+//!    sizes against the live resources, measures every component, and fills
+//!    the database (optionally mirroring it into the metadata catalog).
+//! 3. The **prediction algorithm** ([`Predictor`]) — eq. (2):
+//!    `T = Σ_j (N/freq(j)+1) · n(j) · t_j(s)`, generalized per strategy to
+//!    the per-process parallel makespan the run-time engine actually
+//!    produces, with `t_j(s)` interpolated from the database.
+
+pub mod accuracy;
+pub mod model;
+pub mod perfdb;
+pub mod predictor;
+pub mod ptool;
+
+pub use accuracy::{compare, ComparisonRow};
+pub use model::{dump_time, AccessSummary};
+pub use perfdb::{PerfDb, ResourceProfile};
+pub use predictor::{DatasetPlan, PredictionReport, PredictionRow, Predictor, RunSpec};
+pub use ptool::PTool;
+
+/// Convenience result alias.
+pub type PredictResult<T> = Result<T, PredictError>;
+
+/// Failures surfaced by the predictor.
+#[derive(Debug)]
+pub enum PredictError {
+    /// The performance database has no profile for a resource/op pair.
+    NoProfile {
+        /// Resource name.
+        resource: String,
+        /// Operation.
+        op: msr_storage::OpKind,
+    },
+    /// PTool could not exercise the resource.
+    Storage(msr_storage::StorageError),
+    /// Persistence failed.
+    Serde(serde_json::Error),
+    /// Persistence I/O failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for PredictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredictError::NoProfile { resource, op } => {
+                write!(f, "no performance profile for {resource}/{op}")
+            }
+            PredictError::Storage(e) => write!(f, "PTool storage failure: {e}"),
+            PredictError::Serde(e) => write!(f, "performance DB serialization: {e}"),
+            PredictError::Io(e) => write!(f, "performance DB I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
+impl From<msr_storage::StorageError> for PredictError {
+    fn from(e: msr_storage::StorageError) -> Self {
+        PredictError::Storage(e)
+    }
+}
+
+impl From<serde_json::Error> for PredictError {
+    fn from(e: serde_json::Error) -> Self {
+        PredictError::Serde(e)
+    }
+}
+
+impl From<std::io::Error> for PredictError {
+    fn from(e: std::io::Error) -> Self {
+        PredictError::Io(e)
+    }
+}

@@ -1,0 +1,245 @@
+//! The performance database.
+
+use crate::{PredictError, PredictResult};
+use msr_meta::{Catalog, PerfSample};
+use msr_sim::SimDuration;
+use msr_storage::{FixedCosts, OpKind, RateCurve, StorageKind};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Everything the predictor knows about one `(resource, op)` pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceProfile {
+    /// The resource's kind (for display and placement policies).
+    pub kind: StorageKind,
+    /// Fixed eq.(1) components — one Table 1 row.
+    pub fixed: FixedCosts,
+    /// `(bytes, seconds)` transfer samples, sorted by size.
+    pub samples: Vec<(u64, f64)>,
+}
+
+impl ResourceProfile {
+    /// Interpolated `T_read/write(s)` for a request of `bytes`.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        if self.samples.is_empty() || bytes == 0 {
+            return SimDuration::ZERO;
+        }
+        RateCurve::from_anchors(self.samples.clone()).time_for(bytes)
+    }
+
+    /// The complete eq. (1) for a standalone native call of `bytes`.
+    pub fn native_call_time(&self, bytes: u64) -> SimDuration {
+        self.fixed.total() + self.transfer_time(bytes)
+    }
+}
+
+fn key(resource: &str, op: OpKind) -> String {
+    format!("{resource}/{op}")
+}
+
+/// The performance database: profiles per resource and operation.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PerfDb {
+    profiles: BTreeMap<String, ResourceProfile>,
+}
+
+impl PerfDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install or replace a profile.
+    pub fn insert(&mut self, resource: &str, op: OpKind, profile: ResourceProfile) {
+        self.profiles.insert(key(resource, op), profile);
+    }
+
+    /// Look up a profile.
+    pub fn get(&self, resource: &str, op: OpKind) -> PredictResult<&ResourceProfile> {
+        self.profiles
+            .get(&key(resource, op))
+            .ok_or_else(|| PredictError::NoProfile {
+                resource: resource.to_owned(),
+                op,
+            })
+    }
+
+    /// Whether a profile exists.
+    pub fn contains(&self, resource: &str, op: OpKind) -> bool {
+        self.profiles.contains_key(&key(resource, op))
+    }
+
+    /// Number of stored profiles.
+    pub fn len(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.is_empty()
+    }
+
+    /// Resource names present (deduplicated, sorted).
+    pub fn resources(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .profiles
+            .keys()
+            .filter_map(|k| k.rsplit_once('/').map(|(r, _)| r.to_owned()))
+            .collect();
+        names.dedup();
+        names
+    }
+
+    /// Mirror this database into the metadata catalog (the paper stores its
+    /// performance tables in the Postgres MDMS).
+    pub fn export_to_catalog(&self, catalog: &mut Catalog) {
+        for (k, p) in &self.profiles {
+            let Some((resource, op)) = k.rsplit_once('/') else {
+                continue;
+            };
+            let op = if op == "read" { OpKind::Read } else { OpKind::Write };
+            catalog.record_fixed_costs(resource, op, p.fixed);
+            catalog.record_perf_samples(
+                resource,
+                op,
+                p.samples
+                    .iter()
+                    .map(|&(bytes, transfer_secs)| PerfSample {
+                        bytes,
+                        transfer_secs,
+                    })
+                    .collect(),
+            );
+        }
+    }
+
+    /// Rebuild a database from catalog tables (kinds default from the
+    /// registered resources; unknown resources get `RemoteDisk`).
+    pub fn import_from_catalog(catalog: &mut Catalog) -> PerfDb {
+        let kinds: BTreeMap<String, StorageKind> = catalog
+            .resources()
+            .into_iter()
+            .map(|r| (r.name, r.kind))
+            .collect();
+        let mut db = PerfDb::new();
+        for resource in catalog.perf_resources() {
+            for op in [OpKind::Read, OpKind::Write] {
+                let (Some(samples), Some(fixed)) = (
+                    catalog.perf_samples(&resource, op),
+                    catalog.fixed_costs(&resource, op),
+                ) else {
+                    continue;
+                };
+                db.insert(
+                    &resource,
+                    op,
+                    ResourceProfile {
+                        kind: kinds
+                            .get(&resource)
+                            .copied()
+                            .unwrap_or(StorageKind::RemoteDisk),
+                        fixed,
+                        samples: samples.iter().map(|s| (s.bytes, s.transfer_secs)).collect(),
+                    },
+                );
+            }
+        }
+        db
+    }
+
+    /// Persist as JSON.
+    pub fn save(&self, path: impl AsRef<Path>) -> PredictResult<()> {
+        std::fs::write(path, serde_json::to_string_pretty(self)?)?;
+        Ok(())
+    }
+
+    /// Load from JSON.
+    pub fn load(path: impl AsRef<Path>) -> PredictResult<PerfDb> {
+        Ok(serde_json::from_str(&std::fs::read_to_string(path)?)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> ResourceProfile {
+        ResourceProfile {
+            kind: StorageKind::RemoteDisk,
+            fixed: FixedCosts {
+                conn: SimDuration::from_secs(0.44),
+                open: SimDuration::from_secs(0.42),
+                seek: SimDuration::from_secs(0.40),
+                close: SimDuration::from_secs(0.83),
+                connclose: SimDuration::from_secs(0.0002),
+            },
+            samples: vec![(1_000_000, 3.4), (2_000_000, 6.8), (8_000_000, 27.0)],
+        }
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut db = PerfDb::new();
+        db.insert("sdsc-disk", OpKind::Write, profile());
+        assert!(db.contains("sdsc-disk", OpKind::Write));
+        assert!(!db.contains("sdsc-disk", OpKind::Read));
+        assert!(matches!(
+            db.get("hpss", OpKind::Write),
+            Err(PredictError::NoProfile { .. })
+        ));
+        assert_eq!(db.resources(), vec!["sdsc-disk".to_owned()]);
+    }
+
+    #[test]
+    fn native_call_time_composes_eq1() {
+        let p = profile();
+        let t = p.native_call_time(2_000_000);
+        // 2.0902 fixed (incl. the 0.40 seek) + 6.8 transfer
+        assert!((t.as_secs() - 8.8902).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_interpolates_between_samples() {
+        let p = profile();
+        let t = p.transfer_time(4_000_000).as_secs();
+        assert!(t > 6.8 && t < 27.0, "got {t}");
+        assert_eq!(p.transfer_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn empty_profile_transfers_free() {
+        let p = ResourceProfile {
+            kind: StorageKind::LocalDisk,
+            fixed: FixedCosts::default(),
+            samples: vec![],
+        };
+        assert_eq!(p.transfer_time(123), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn catalog_roundtrip() {
+        let mut db = PerfDb::new();
+        db.insert("sdsc-disk", OpKind::Write, profile());
+        db.insert("sdsc-disk", OpKind::Read, profile());
+        let mut cat = Catalog::new();
+        cat.register_resource(msr_meta::ResourceRec {
+            name: "sdsc-disk".into(),
+            kind: StorageKind::RemoteDisk,
+            site: "SDSC".into(),
+            capacity: 1 << 40,
+        });
+        db.export_to_catalog(&mut cat);
+        let back = PerfDb::import_from_catalog(&mut cat);
+        assert_eq!(back, db);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut db = PerfDb::new();
+        db.insert("anl-local", OpKind::Read, profile());
+        let s = serde_json::to_string(&db).unwrap();
+        let back: PerfDb = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, db);
+    }
+}

@@ -1,0 +1,196 @@
+//! A byte-budgeted LRU cache.
+//!
+//! Backs the superfile read path: the first remote read stages the whole
+//! container into memory; later reads are served from here at memory speed.
+
+use bytes::Bytes;
+use std::collections::HashMap;
+
+/// An LRU cache of named byte buffers with a total-bytes capacity.
+#[derive(Debug)]
+pub struct LruCache {
+    capacity: u64,
+    used: u64,
+    entries: HashMap<String, (Bytes, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl LruCache {
+    /// A cache bounded to `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        LruCache {
+            capacity,
+            used: 0,
+            entries: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Cache hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a key, refreshing its recency. Counts a hit or miss.
+    pub fn get(&mut self, key: &str) -> Option<Bytes> {
+        self.tick += 1;
+        match self.entries.get_mut(key) {
+            Some((data, stamp)) => {
+                *stamp = self.tick;
+                self.hits += 1;
+                Some(data.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Whether the key is cached, without touching recency or counters.
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Insert a buffer, evicting least-recently-used entries as needed.
+    /// Buffers larger than the whole capacity are not cached at all.
+    pub fn put(&mut self, key: &str, data: Bytes) {
+        let size = data.len() as u64;
+        if size > self.capacity {
+            return;
+        }
+        self.tick += 1;
+        if let Some((old, _)) = self.entries.remove(key) {
+            self.used -= old.len() as u64;
+        }
+        while self.used + size > self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+                .expect("cache non-empty while over budget");
+            let (old, _) = self.entries.remove(&lru).expect("key present");
+            self.used -= old.len() as u64;
+        }
+        self.used += size;
+        self.entries.insert(key.to_owned(), (data, self.tick));
+    }
+
+    /// Drop an entry.
+    pub fn invalidate(&mut self, key: &str) {
+        if let Some((old, _)) = self.entries.remove(key) {
+            self.used -= old.len() as u64;
+        }
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytes(n: usize, fill: u8) -> Bytes {
+        Bytes::from(vec![fill; n])
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut c = LruCache::new(100);
+        c.put("a", bytes(10, 1));
+        assert_eq!(c.get("a").unwrap(), bytes(10, 1));
+        assert_eq!(c.hits(), 1);
+        assert!(c.get("b").is_none());
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(30);
+        c.put("a", bytes(10, 1));
+        c.put("b", bytes(10, 2));
+        c.put("c", bytes(10, 3));
+        c.get("a"); // refresh a
+        c.put("d", bytes(10, 4)); // evicts b
+        assert!(c.contains("a"));
+        assert!(!c.contains("b"));
+        assert!(c.contains("c") && c.contains("d"));
+        assert_eq!(c.used_bytes(), 30);
+    }
+
+    #[test]
+    fn oversized_entry_is_not_cached() {
+        let mut c = LruCache::new(5);
+        c.put("big", bytes(10, 0));
+        assert!(c.is_empty());
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn replacing_a_key_updates_accounting() {
+        let mut c = LruCache::new(100);
+        c.put("a", bytes(40, 1));
+        c.put("a", bytes(10, 2));
+        assert_eq!(c.used_bytes(), 10);
+        assert_eq!(c.get("a").unwrap(), bytes(10, 2));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_and_clear() {
+        let mut c = LruCache::new(100);
+        c.put("a", bytes(10, 1));
+        c.put("b", bytes(10, 2));
+        c.invalidate("a");
+        assert!(!c.contains("a"));
+        assert_eq!(c.used_bytes(), 10);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn eviction_frees_enough_for_large_insert() {
+        let mut c = LruCache::new(100);
+        for i in 0..10 {
+            c.put(&format!("k{i}"), bytes(10, i as u8));
+        }
+        c.put("big", bytes(95, 9));
+        assert!(c.contains("big"));
+        assert!(c.used_bytes() <= 100);
+    }
+}

@@ -1,0 +1,53 @@
+//! Runtime error type.
+
+use std::fmt;
+
+/// Failures surfaced by the run-time I/O library.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// The underlying storage resource failed.
+    Storage(msr_storage::StorageError),
+    /// A distribution was inconsistent (grid does not tile the array,
+    /// pattern arity mismatch, …).
+    BadDistribution(String),
+    /// The data buffer did not match the distribution's global size.
+    SizeMismatch {
+        /// Bytes expected from the distribution.
+        expected: u64,
+        /// Bytes supplied by the caller.
+        got: u64,
+    },
+    /// Superfile container corruption (bad index entry).
+    CorruptSuperfile(String),
+    /// A member path was not present in the superfile index.
+    NoSuchMember(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Storage(e) => write!(f, "storage failure: {e}"),
+            RuntimeError::BadDistribution(m) => write!(f, "bad distribution: {m}"),
+            RuntimeError::SizeMismatch { expected, got } => {
+                write!(f, "buffer size mismatch: expected {expected} B, got {got} B")
+            }
+            RuntimeError::CorruptSuperfile(m) => write!(f, "corrupt superfile: {m}"),
+            RuntimeError::NoSuchMember(p) => write!(f, "superfile has no member {p}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<msr_storage::StorageError> for RuntimeError {
+    fn from(e: msr_storage::StorageError) -> Self {
+        RuntimeError::Storage(e)
+    }
+}

@@ -1,0 +1,116 @@
+//! A shared, monotonically advancing virtual clock.
+//!
+//! Components of the simulated environment (network, storage resources,
+//! sessions) share one [`Clock`]. Costs computed by the models advance it;
+//! queries never do. The clock is internally synchronized so the rayon-based
+//! compute kernels can observe it from worker threads.
+
+use crate::time::{SimDuration, SimTime};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Shared virtual clock. Cloning is cheap and clones observe the same time.
+#[derive(Debug, Clone, Default)]
+pub struct Clock {
+    now: Arc<Mutex<SimTime>>,
+}
+
+impl Clock {
+    /// A fresh clock at the epoch.
+    pub fn new() -> Self {
+        Clock::default()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        *self.now.lock()
+    }
+
+    /// Advance the clock by `d` and return the new time.
+    pub fn advance(&self, d: SimDuration) -> SimTime {
+        let mut now = self.now.lock();
+        *now += d;
+        *now
+    }
+
+    /// Move the clock forward to `t` if `t` is later than now; returns the
+    /// (possibly unchanged) current time. Used when merging per-process
+    /// timelines back into global time.
+    pub fn advance_to(&self, t: SimTime) -> SimTime {
+        let mut now = self.now.lock();
+        *now = now.max(t);
+        *now
+    }
+
+    /// Reset to the epoch. Only used between repeated experiment trials.
+    pub fn reset(&self) {
+        *self.now.lock() = SimTime::EPOCH;
+    }
+
+    /// Run `f`, charging its returned duration to the clock, and return the
+    /// elapsed virtual interval `(start, end)` along with `f`'s value.
+    pub fn charge<T>(&self, f: impl FnOnce() -> (SimDuration, T)) -> (SimTime, SimTime, T) {
+        let start = self.now();
+        let (d, v) = f();
+        let end = self.advance(d);
+        (start, end, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_time() {
+        let c1 = Clock::new();
+        let c2 = c1.clone();
+        c1.advance(SimDuration::from_secs(3.0));
+        assert_eq!(c2.now().as_secs(), 3.0);
+    }
+
+    #[test]
+    fn advance_to_is_monotonic() {
+        let c = Clock::new();
+        c.advance(SimDuration::from_secs(10.0));
+        c.advance_to(SimTime::from_secs(5.0));
+        assert_eq!(c.now().as_secs(), 10.0, "never goes backwards");
+        c.advance_to(SimTime::from_secs(12.0));
+        assert_eq!(c.now().as_secs(), 12.0);
+    }
+
+    #[test]
+    fn charge_reports_interval() {
+        let c = Clock::new();
+        c.advance(SimDuration::from_secs(1.0));
+        let (start, end, v) = c.charge(|| (SimDuration::from_secs(2.5), 42));
+        assert_eq!(v, 42);
+        assert_eq!(start.as_secs(), 1.0);
+        assert_eq!(end.as_secs(), 3.5);
+        assert_eq!(c.now().as_secs(), 3.5);
+    }
+
+    #[test]
+    fn reset_returns_to_epoch() {
+        let c = Clock::new();
+        c.advance(SimDuration::from_secs(7.0));
+        c.reset();
+        assert_eq!(c.now(), SimTime::EPOCH);
+    }
+
+    #[test]
+    fn concurrent_advances_accumulate() {
+        let c = Clock::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        c.advance(SimDuration::from_millis(1.0));
+                    }
+                });
+            }
+        });
+        assert!(c.now().as_secs() > 0.799 && c.now().as_secs() < 0.801);
+    }
+}

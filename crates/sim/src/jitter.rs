@@ -1,0 +1,126 @@
+//! Multiplicative noise models for "actual" timings.
+//!
+//! The paper notes (§5, footnote 4) that remote measurements fluctuate with
+//! network traffic. We reproduce that with seeded multiplicative jitter
+//! applied to model-predicted durations: predictions use the noise-free
+//! model, "actual" runs apply [`Jitter`], and the predictor-accuracy
+//! experiments then compare the two, exactly as the paper compares its
+//! predictions to measured WAN numbers.
+
+use crate::time::SimDuration;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A multiplicative jitter model. All variants have mean ≈ 1 so jitter does
+/// not bias long-run averages, only spreads them.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum Jitter {
+    /// No noise: "actual" equals the model exactly.
+    #[default]
+    None,
+    /// Uniform factor in `[1-frac, 1+frac]`.
+    Uniform {
+        /// Half-width of the uniform band, e.g. `0.1` for ±10 %.
+        frac: f64,
+    },
+    /// Log-normal factor `exp(σ·Z − σ²/2)` (mean exactly 1). Heavy-ish right
+    /// tail, which matches WAN transfer-time distributions.
+    LogNormal {
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+    },
+}
+
+impl Jitter {
+    /// Default WAN noise used by the experiment harness: σ = 0.08 log-normal.
+    pub fn wan_default() -> Jitter {
+        Jitter::LogNormal { sigma: 0.08 }
+    }
+
+    /// Sample a multiplicative factor.
+    pub fn factor<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            Jitter::None => 1.0,
+            Jitter::Uniform { frac } => {
+                let frac = frac.clamp(0.0, 0.99);
+                1.0 + rng.random_range(-frac..=frac)
+            }
+            Jitter::LogNormal { sigma } => {
+                let sigma = sigma.max(0.0);
+                // Box-Muller transform; rand's distributions live in a
+                // separate crate we deliberately avoid depending on.
+                let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.random();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                (sigma * z - sigma * sigma / 2.0).exp()
+            }
+        }
+    }
+
+    /// Apply jitter to a duration.
+    pub fn apply<R: Rng + ?Sized>(&self, d: SimDuration, rng: &mut R) -> SimDuration {
+        match self {
+            Jitter::None => d,
+            _ => d * self.factor(rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::stream_rng;
+
+    #[test]
+    fn none_is_identity() {
+        let mut rng = stream_rng(1, "j");
+        let d = SimDuration::from_secs(3.0);
+        assert_eq!(Jitter::None.apply(d, &mut rng), d);
+    }
+
+    #[test]
+    fn uniform_stays_in_band() {
+        let mut rng = stream_rng(1, "j");
+        let j = Jitter::Uniform { frac: 0.1 };
+        for _ in 0..1000 {
+            let f = j.factor(&mut rng);
+            assert!((0.9..=1.1).contains(&f), "factor {f} out of band");
+        }
+    }
+
+    #[test]
+    fn lognormal_mean_is_about_one() {
+        let mut rng = stream_rng(2, "j");
+        let j = Jitter::LogNormal { sigma: 0.2 };
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| j.factor(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_factors_are_positive() {
+        let mut rng = stream_rng(3, "j");
+        let j = Jitter::LogNormal { sigma: 1.0 };
+        for _ in 0..1000 {
+            assert!(j.factor(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn jitter_is_reproducible_per_stream() {
+        let d = SimDuration::from_secs(10.0);
+        let j = Jitter::wan_default();
+        let a = j.apply(d, &mut stream_rng(9, "link"));
+        let b = j.apply(d, &mut stream_rng(9, "link"));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn uniform_clamps_pathological_frac() {
+        let mut rng = stream_rng(4, "j");
+        let j = Jitter::Uniform { frac: 5.0 };
+        for _ in 0..100 {
+            assert!(j.factor(&mut rng) > 0.0);
+        }
+    }
+}

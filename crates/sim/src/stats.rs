@@ -1,0 +1,135 @@
+//! Small summary-statistics helper.
+//!
+//! Used by PTool when condensing repeated micro-benchmark timings into
+//! performance-database entries, and by the repro harness when reporting
+//! series with noise.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics over a sample of durations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: SimDuration,
+    /// Sample standard deviation (0 for n < 2).
+    pub stddev: SimDuration,
+    /// Smallest sample.
+    pub min: SimDuration,
+    /// Largest sample.
+    pub max: SimDuration,
+    /// Median (lower-interpolation).
+    pub median: SimDuration,
+}
+
+impl Summary {
+    /// Summarize a sample. Returns `None` for an empty sample.
+    pub fn from_durations(samples: &[SimDuration]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let n = samples.len();
+        let mut sorted: Vec<f64> = samples.iter().map(|d| d.as_secs()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        let sum: f64 = sorted.iter().sum();
+        let mean = sum / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        };
+        Some(Summary {
+            n,
+            mean: SimDuration::from_secs(mean),
+            stddev: SimDuration::from_secs(var.sqrt()),
+            min: SimDuration::from_secs(sorted[0]),
+            max: SimDuration::from_secs(sorted[n - 1]),
+            median: SimDuration::from_secs(sorted[n / 2]),
+        })
+    }
+
+    /// Coefficient of variation (stddev / mean); 0 when the mean is 0.
+    pub fn cv(&self) -> f64 {
+        let m = self.mean.as_secs();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.stddev.as_secs() / m
+        }
+    }
+}
+
+/// Mean absolute percentage error between predictions and measurements.
+/// Pairs whose measurement is zero are skipped. Returns `None` when no pair
+/// is usable.
+pub fn mape(pairs: &[(SimDuration, SimDuration)]) -> Option<f64> {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (pred, actual) in pairs {
+        let a = actual.as_secs();
+        if a > 0.0 {
+            total += ((pred.as_secs() - a) / a).abs();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        None
+    } else {
+        Some(total / count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: f64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(Summary::from_durations(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::from_durations(&[d(2.0)]).unwrap();
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, d(2.0));
+        assert_eq!(s.stddev, SimDuration::ZERO);
+        assert_eq!(s.min, d(2.0));
+        assert_eq!(s.max, d(2.0));
+    }
+
+    #[test]
+    fn known_statistics() {
+        let s = Summary::from_durations(&[d(1.0), d(2.0), d(3.0), d(4.0)]).unwrap();
+        assert_eq!(s.mean, d(2.5));
+        assert_eq!(s.min, d(1.0));
+        assert_eq!(s.max, d(4.0));
+        assert_eq!(s.median, d(3.0)); // upper-median convention
+        let expected_sd = (((1.5f64).powi(2) * 2.0 + 0.25 * 2.0) / 3.0).sqrt();
+        assert!((s.stddev.as_secs() - expected_sd).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cv_zero_mean() {
+        let s = Summary::from_durations(&[SimDuration::ZERO, SimDuration::ZERO]).unwrap();
+        assert_eq!(s.cv(), 0.0);
+    }
+
+    #[test]
+    fn mape_basic() {
+        let pairs = [(d(110.0), d(100.0)), (d(90.0), d(100.0))];
+        assert!((mape(&pairs).unwrap() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_skips_zero_actuals() {
+        let pairs = [(d(1.0), SimDuration::ZERO)];
+        assert!(mape(&pairs).is_none());
+    }
+}

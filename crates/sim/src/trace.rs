@@ -1,0 +1,201 @@
+//! A bounded event trace on the virtual timeline.
+//!
+//! Experiments and the session layer can record what happened when (in
+//! virtual time): placements, failovers, mounts, staging. The trace is a
+//! ring buffer (old events drop first), cheap to clone handles to, and
+//! renderable as a timeline for debugging a run.
+
+use crate::time::SimTime;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Virtual instant of the event.
+    pub at: SimTime,
+    /// Component category, e.g. `"session"`, `"tape"`, `"placement"`.
+    pub category: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>12.3}s] {:<10} {}", self.at.as_secs(), self.category, self.message)
+    }
+}
+
+/// A shared, bounded event trace. Clones observe the same buffer.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    inner: Arc<Mutex<Inner>>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A trace holding at most `capacity` events (oldest dropped first).
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Trace {
+            inner: Arc::new(Mutex::new(Inner {
+                events: VecDeque::with_capacity(capacity.min(4096)),
+                capacity,
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// Record an event.
+    pub fn record(&self, at: SimTime, category: &str, message: impl Into<String>) {
+        let mut inner = self.inner.lock();
+        if inner.events.len() == inner.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(TraceEvent {
+            at,
+            category: category.to_owned(),
+            message: message.into(),
+        });
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().events.is_empty()
+    }
+
+    /// Events dropped to the ring-buffer bound.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().dropped
+    }
+
+    /// Snapshot of all retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.lock().events.iter().cloned().collect()
+    }
+
+    /// Snapshot of events in one category.
+    pub fn events_in(&self, category: &str) -> Vec<TraceEvent> {
+        self.inner
+            .lock()
+            .events
+            .iter()
+            .filter(|e| e.category == category)
+            .cloned()
+            .collect()
+    }
+
+    /// Clear the trace.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.events.clear();
+        inner.dropped = 0;
+    }
+
+    /// Render the retained timeline.
+    pub fn render(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        if inner.dropped > 0 {
+            out.push_str(&format!("... {} earlier events dropped ...\n", inner.dropped));
+        }
+        for e in &inner.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new(10_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn records_in_order() {
+        let tr = Trace::new(16);
+        tr.record(t(1.0), "a", "first");
+        tr.record(t(2.0), "b", "second");
+        let evs = tr.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].message, "first");
+        assert_eq!(evs[1].category, "b");
+        assert!(!tr.is_empty());
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let tr = Trace::new(3);
+        for i in 0..5 {
+            tr.record(t(i as f64), "c", format!("e{i}"));
+        }
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.dropped(), 2);
+        assert_eq!(tr.events()[0].message, "e2");
+        assert!(tr.render().contains("2 earlier events dropped"));
+    }
+
+    #[test]
+    fn category_filtering() {
+        let tr = Trace::new(16);
+        tr.record(t(0.0), "tape", "mount");
+        tr.record(t(1.0), "session", "open");
+        tr.record(t(2.0), "tape", "unmount");
+        assert_eq!(tr.events_in("tape").len(), 2);
+        assert_eq!(tr.events_in("session").len(), 1);
+        assert!(tr.events_in("nope").is_empty());
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let a = Trace::new(8);
+        let b = a.clone();
+        a.record(t(5.0), "x", "via a");
+        assert_eq!(b.len(), 1);
+        b.clear();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn render_formats_times() {
+        let tr = Trace::new(4);
+        tr.record(t(42.5), "net", "link down");
+        let s = tr.render();
+        assert!(s.contains("42.500s"), "{s}");
+        assert!(s.contains("link down"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        Trace::new(0);
+    }
+}

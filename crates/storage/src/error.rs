@@ -1,0 +1,72 @@
+//! Storage error type.
+
+use std::fmt;
+
+/// Failures surfaced by a storage resource.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The resource is offline (maintenance window / injected failure).
+    Offline {
+        /// Resource name for diagnostics.
+        resource: String,
+    },
+    /// The write would exceed the resource's capacity.
+    CapacityExceeded {
+        /// Resource name.
+        resource: String,
+        /// Bytes requested beyond what fits.
+        requested: u64,
+        /// Bytes still available.
+        available: u64,
+    },
+    /// Path not found on the resource.
+    NotFound(String),
+    /// A file handle was stale or never issued.
+    BadHandle,
+    /// Operation not permitted in the handle's open mode (e.g. write to a
+    /// read-only handle).
+    BadMode {
+        /// What was attempted.
+        op: &'static str,
+    },
+    /// `connect` was required before this operation.
+    NotConnected,
+    /// The network path to a remote resource failed.
+    Network(msr_net::NetError),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Offline { resource } => write!(f, "storage resource {resource} is offline"),
+            StorageError::CapacityExceeded {
+                resource,
+                requested,
+                available,
+            } => write!(
+                f,
+                "capacity exceeded on {resource}: requested {requested} B, {available} B available"
+            ),
+            StorageError::NotFound(p) => write!(f, "no such file: {p}"),
+            StorageError::BadHandle => write!(f, "invalid or stale file handle"),
+            StorageError::BadMode { op } => write!(f, "operation {op} not allowed in this open mode"),
+            StorageError::NotConnected => write!(f, "resource not connected"),
+            StorageError::Network(e) => write!(f, "network failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Network(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<msr_net::NetError> for StorageError {
+    fn from(e: msr_net::NetError) -> Self {
+        StorageError::Network(e)
+    }
+}

@@ -1,0 +1,53 @@
+//! # msr-storage — simulated physical storage resources
+//!
+//! The bottom two layers of the paper's architecture: *physical storage
+//! resources* plus their *native storage interfaces*. Three resource kinds
+//! are modelled, each with an eq.(1)-shaped cost structure
+//! (`T_conn + T_open + T_seek + T_read/write(s) + T_fileclose + T_connclose`)
+//! and a real in-memory object store behind it, so that reads return the
+//! bytes that were written and the upper layers are testable end-to-end:
+//!
+//! * [`LocalDisk`] — the SP-2 node's SSA disks behind a UNIX-FS/PIOFS-style
+//!   interface. No connection cost, cheap open/close, ~tens of MB/s.
+//! * [`RemoteDisk`] — SDSC disk farm behind an SRB-style client-server
+//!   protocol over [`msr_net`]: connection setup, per-request round trips,
+//!   WAN bandwidth.
+//! * [`TapeResource`] — HPSS tape tier behind SRB: drive pool with mounts,
+//!   sequential positioning, very large latency, effectively unlimited
+//!   capacity.
+//!
+//! All resources implement the object-safe [`StorageResource`] trait — the
+//! "native storage interface" consumed by the run-time optimization layer.
+//! Model-only hooks ([`StorageResource::fixed_costs`],
+//! [`StorageResource::transfer_model`]) expose the deterministic cost terms
+//! the performance predictor needs, while the data-path methods apply
+//! seeded jitter so "actual" timings fluctuate like the paper's WAN numbers.
+
+pub mod composite;
+pub mod error;
+pub mod local_disk;
+pub mod object_store;
+pub mod profiles;
+pub mod rate;
+pub mod remote_disk;
+pub mod resource;
+pub mod tape;
+
+pub use composite::CompositeResource;
+pub use error::StorageError;
+pub use local_disk::{DiskParams, LocalDisk};
+pub use object_store::ObjectStore;
+pub use profiles::{
+    anl_local_disk, hpss_params, hpss_protocol, sdsc_hpss_tape, sdsc_remote_disk, srb_protocol,
+    testbed,
+};
+pub use rate::RateCurve;
+pub use remote_disk::RemoteDisk;
+pub use resource::{
+    share, Cost, FileHandle, FixedCosts, OpKind, OpenMode, ResourceStats, SharedResource,
+    StorageKind, StorageResource,
+};
+pub use tape::{TapeParams, TapeResource};
+
+/// Convenience result alias for storage operations.
+pub type StorageResult<T> = Result<T, StorageError>;

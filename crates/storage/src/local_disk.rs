@@ -1,0 +1,464 @@
+//! Node-local disk resource (UNIX FS / PIOFS class).
+//!
+//! Models the SP-2 node's SSA disk subsystem: no connection cost, cheap
+//! open/close, effectively free seeks, tens of MB/s transfer — but a *small
+//! capacity*, which is the whole point of the paper: local disks are fast
+//! and scarce, so only datasets needed soon should land here.
+
+use crate::error::StorageError;
+use crate::object_store::ObjectStore;
+use crate::rate::RateCurve;
+use crate::resource::{
+    Cost, FileHandle, FixedCosts, HandleTable, OpKind, OpenFile, OpenMode, ResourceStats,
+    StorageKind, StorageResource,
+};
+use crate::StorageResult;
+use bytes::Bytes;
+use msr_sim::{stream_rng, Jitter, SimDuration};
+use rand::rngs::StdRng;
+
+/// Cost parameters of a local disk.
+#[derive(Debug, Clone)]
+pub struct DiskParams {
+    /// File open cost for reads (Table 1: 0.20 s on the testbed).
+    pub open_read: SimDuration,
+    /// File open cost for writes (Table 1: 0.21 s).
+    pub open_write: SimDuration,
+    /// File close cost (Table 1: 0.001 s).
+    pub close: SimDuration,
+    /// Seek cost (random-access medium: tiny constant).
+    pub seek: SimDuration,
+    /// Read transfer-time curve.
+    pub read_curve: RateCurve,
+    /// Write transfer-time curve.
+    pub write_curve: RateCurve,
+    /// Capacity in bytes.
+    pub capacity: u64,
+    /// Device timing noise.
+    pub jitter: Jitter,
+}
+
+impl DiskParams {
+    /// A convenient uniform-bandwidth disk for tests.
+    pub fn simple(mb_per_s: f64, capacity: u64) -> Self {
+        DiskParams {
+            open_read: SimDuration::from_millis(1.0),
+            open_write: SimDuration::from_millis(1.0),
+            close: SimDuration::from_micros(100.0),
+            seek: SimDuration::from_micros(100.0),
+            read_curve: RateCurve::constant_bandwidth(mb_per_s),
+            write_curve: RateCurve::constant_bandwidth(mb_per_s),
+            capacity,
+            jitter: Jitter::None,
+        }
+    }
+}
+
+/// A simulated local disk.
+#[derive(Debug)]
+pub struct LocalDisk {
+    name: String,
+    params: DiskParams,
+    store: ObjectStore,
+    handles: HandleTable,
+    stats: ResourceStats,
+    online: bool,
+    stream_hint: u32,
+    rng: StdRng,
+}
+
+impl LocalDisk {
+    /// Create a local disk with the given parameters. `seed` controls the
+    /// device-noise stream.
+    pub fn new(name: impl Into<String>, params: DiskParams, seed: u64) -> Self {
+        let name = name.into();
+        let rng = stream_rng(seed, &format!("localdisk:{name}"));
+        LocalDisk {
+            name,
+            params,
+            store: ObjectStore::new(),
+            handles: HandleTable::default(),
+            stats: ResourceStats::default(),
+            online: true,
+            stream_hint: 1,
+            rng,
+        }
+    }
+
+    /// Direct access to the backing store (test and tooling support).
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// Number of currently open handles (leak detection in tests).
+    pub fn open_handles(&self) -> usize {
+        self.handles.open_count()
+    }
+
+    fn check_online(&self) -> StorageResult<()> {
+        if self.online {
+            Ok(())
+        } else {
+            Err(StorageError::Offline {
+                resource: self.name.clone(),
+            })
+        }
+    }
+
+    fn jittered(&mut self, d: SimDuration) -> SimDuration {
+        self.params.jitter.apply(d, &mut self.rng)
+    }
+
+    /// Bytes the write would add beyond the file's current extent.
+    fn growth(&self, path: &str, cursor: u64, len: u64) -> u64 {
+        let current = self.store.size(path).unwrap_or(0);
+        (cursor + len).saturating_sub(current)
+    }
+}
+
+impl StorageResource for LocalDisk {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> StorageKind {
+        StorageKind::LocalDisk
+    }
+
+    fn is_online(&self) -> bool {
+        self.online
+    }
+
+    fn set_online(&mut self, up: bool) {
+        self.online = up;
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.params.capacity
+    }
+
+    fn set_capacity(&mut self, bytes: u64) {
+        self.params.capacity = bytes;
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.store.used_bytes()
+    }
+
+    fn connect(&mut self) -> StorageResult<Cost<()>> {
+        self.check_online()?;
+        Ok(Cost::free(())) // local filesystem: no connection phase
+    }
+
+    fn disconnect(&mut self) -> StorageResult<Cost<()>> {
+        Ok(Cost::free(()))
+    }
+
+    fn open(&mut self, path: &str, mode: OpenMode) -> StorageResult<Cost<FileHandle>> {
+        self.check_online()?;
+        let cursor = match mode {
+            OpenMode::Read => {
+                if !self.store.exists(path) {
+                    return Err(StorageError::NotFound(path.to_owned()));
+                }
+                0
+            }
+            OpenMode::Create => {
+                self.store.create(path);
+                0
+            }
+            OpenMode::OverWrite => {
+                self.store.ensure(path);
+                0
+            }
+            OpenMode::Append => {
+                self.store.ensure(path);
+                self.store.size(path).unwrap_or(0)
+            }
+        };
+        let h = self.handles.insert(OpenFile {
+            path: path.to_owned(),
+            mode,
+            cursor,
+        });
+        self.stats.opens += 1;
+        let base = if mode == OpenMode::Read {
+            self.params.open_read
+        } else {
+            self.params.open_write
+        };
+        let t = self.jittered(base);
+        Ok(Cost::new(t, h))
+    }
+
+    fn seek(&mut self, h: FileHandle, pos: u64) -> StorageResult<Cost<()>> {
+        self.check_online()?;
+        self.handles.get_mut(h)?.cursor = pos;
+        self.stats.seeks += 1;
+        let t = self.jittered(self.params.seek);
+        Ok(Cost::new(t, ()))
+    }
+
+    fn read(&mut self, h: FileHandle, len: usize) -> StorageResult<Cost<Bytes>> {
+        self.check_online()?;
+        let (path, cursor, mode) = {
+            let f = self.handles.get(h)?;
+            (f.path.clone(), f.cursor, f.mode)
+        };
+        if !mode.readable() {
+            return Err(StorageError::BadMode { op: "read" });
+        }
+        let data = self.store.read_at(&path, cursor, len)?;
+        self.handles.get_mut(h)?.cursor += data.len() as u64;
+        self.stats.reads += 1;
+        self.stats.bytes_read += data.len() as u64;
+        let contended =
+            self.params.read_curve.time_for(data.len() as u64) * f64::from(self.stream_hint);
+        let t = self.jittered(contended);
+        Ok(Cost::new(t, data))
+    }
+
+    fn write(&mut self, h: FileHandle, data: &[u8]) -> StorageResult<Cost<usize>> {
+        self.check_online()?;
+        let (path, cursor, mode) = {
+            let f = self.handles.get(h)?;
+            (f.path.clone(), f.cursor, f.mode)
+        };
+        if !mode.writable() {
+            return Err(StorageError::BadMode { op: "write" });
+        }
+        let growth = self.growth(&path, cursor, data.len() as u64);
+        let available = self.available_bytes();
+        if growth > available {
+            return Err(StorageError::CapacityExceeded {
+                resource: self.name.clone(),
+                requested: growth,
+                available,
+            });
+        }
+        self.store.write_at(&path, cursor, data)?;
+        self.handles.get_mut(h)?.cursor += data.len() as u64;
+        self.stats.writes += 1;
+        self.stats.bytes_written += data.len() as u64;
+        let contended =
+            self.params.write_curve.time_for(data.len() as u64) * f64::from(self.stream_hint);
+        let t = self.jittered(contended);
+        Ok(Cost::new(t, data.len()))
+    }
+
+    fn close(&mut self, h: FileHandle) -> StorageResult<Cost<()>> {
+        self.handles.remove(h)?;
+        self.stats.closes += 1;
+        let t = self.jittered(self.params.close);
+        Ok(Cost::new(t, ()))
+    }
+
+    fn delete(&mut self, path: &str) -> StorageResult<Cost<()>> {
+        self.check_online()?;
+        if self.store.delete(path) {
+            Ok(Cost::new(self.params.close, ()))
+        } else {
+            Err(StorageError::NotFound(path.to_owned()))
+        }
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.store.exists(path)
+    }
+
+    fn file_size(&self, path: &str) -> Option<u64> {
+        self.store.size(path)
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        self.store.list(prefix)
+    }
+
+    fn stats(&self) -> ResourceStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = ResourceStats::default();
+    }
+
+    fn set_stream_hint(&mut self, streams: u32) {
+        self.stream_hint = streams.max(1);
+    }
+
+    fn stream_hint(&self) -> u32 {
+        self.stream_hint
+    }
+
+    fn fixed_costs(&self, op: OpKind) -> FixedCosts {
+        FixedCosts {
+            conn: SimDuration::ZERO,
+            open: match op {
+                OpKind::Read => self.params.open_read,
+                OpKind::Write => self.params.open_write,
+            },
+            seek: self.params.seek,
+            close: self.params.close,
+            connclose: SimDuration::ZERO,
+        }
+    }
+
+    fn transfer_model(&self, op: OpKind, bytes: u64, streams: u32) -> SimDuration {
+        let curve = match op {
+            OpKind::Read => &self.params.read_curve,
+            OpKind::Write => &self.params.write_curve,
+        };
+        // Concurrent streams serialize on the spindle: each call sees the
+        // device busy with the other streams' interleaved requests.
+        curve.time_for(bytes) * streams.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk() -> LocalDisk {
+        LocalDisk::new("d0", DiskParams::simple(10.0, 10_000_000), 0)
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut d = disk();
+        let h = d.open("f", OpenMode::Create).unwrap().value;
+        d.write(h, b"hello world").unwrap();
+        d.close(h).unwrap();
+        let h = d.open("f", OpenMode::Read).unwrap().value;
+        let got = d.read(h, 11).unwrap().value;
+        assert_eq!(&got[..], b"hello world");
+        d.close(h).unwrap();
+        let s = d.stats();
+        assert_eq!((s.opens, s.reads, s.writes, s.closes), (2, 1, 1, 2));
+        assert_eq!(s.bytes_written, 11);
+        assert_eq!(s.bytes_read, 11);
+    }
+
+    #[test]
+    fn read_mode_enforced() {
+        let mut d = disk();
+        let h = d.open("f", OpenMode::Create).unwrap().value;
+        assert!(matches!(d.read(h, 1), Err(StorageError::BadMode { .. })));
+        d.write(h, b"x").unwrap();
+        d.close(h).unwrap();
+        let h = d.open("f", OpenMode::Read).unwrap().value;
+        assert!(matches!(d.write(h, b"y"), Err(StorageError::BadMode { .. })));
+    }
+
+    #[test]
+    fn open_missing_for_read_fails() {
+        let mut d = disk();
+        assert!(matches!(
+            d.open("missing", OpenMode::Read),
+            Err(StorageError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn append_positions_cursor_at_end() {
+        let mut d = disk();
+        let h = d.open("f", OpenMode::Create).unwrap().value;
+        d.write(h, b"abc").unwrap();
+        d.close(h).unwrap();
+        let h = d.open("f", OpenMode::Append).unwrap().value;
+        d.write(h, b"def").unwrap();
+        d.close(h).unwrap();
+        let h = d.open("f", OpenMode::Read).unwrap().value;
+        assert_eq!(&d.read(h, 6).unwrap().value[..], b"abcdef");
+    }
+
+    #[test]
+    fn overwrite_keeps_existing_tail() {
+        let mut d = disk();
+        let h = d.open("f", OpenMode::Create).unwrap().value;
+        d.write(h, b"abcdef").unwrap();
+        d.close(h).unwrap();
+        let h = d.open("f", OpenMode::OverWrite).unwrap().value;
+        d.write(h, b"XY").unwrap();
+        d.close(h).unwrap();
+        let h = d.open("f", OpenMode::Read).unwrap().value;
+        assert_eq!(&d.read(h, 6).unwrap().value[..], b"XYcdef");
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut d = LocalDisk::new("small", DiskParams::simple(10.0, 100), 0);
+        let h = d.open("f", OpenMode::Create).unwrap().value;
+        d.write(h, &[0u8; 80]).unwrap();
+        let err = d.write(h, &[0u8; 40]).unwrap_err();
+        assert!(matches!(err, StorageError::CapacityExceeded { available: 20, .. }));
+        // Overwriting existing bytes does not count as growth.
+        d.seek(h, 0).unwrap();
+        assert!(d.write(h, &[1u8; 80]).is_ok());
+    }
+
+    #[test]
+    fn offline_rejects_io() {
+        let mut d = disk();
+        d.set_online(false);
+        assert!(matches!(
+            d.open("f", OpenMode::Create),
+            Err(StorageError::Offline { .. })
+        ));
+        assert!(!d.is_online());
+        d.set_online(true);
+        assert!(d.open("f", OpenMode::Create).is_ok());
+    }
+
+    #[test]
+    fn costs_match_model_when_noise_free() {
+        let mut d = disk();
+        let h = d.open("f", OpenMode::Create).unwrap();
+        assert_eq!(h.time, SimDuration::from_millis(1.0));
+        let w = d.write(h.value, &[0u8; 1_000_000]).unwrap();
+        assert!((w.time.as_secs() - 0.1).abs() < 1e-9, "1 MB at 10 MB/s");
+        assert_eq!(
+            d.transfer_model(OpKind::Write, 1_000_000, 1),
+            SimDuration::from_secs(0.1)
+        );
+    }
+
+    #[test]
+    fn streams_serialize_on_spindle() {
+        let d = disk();
+        let one = d.transfer_model(OpKind::Read, 1_000_000, 1);
+        let four = d.transfer_model(OpKind::Read, 1_000_000, 4);
+        assert!((four.as_secs() - 4.0 * one.as_secs()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn connect_is_free_for_local() {
+        let mut d = disk();
+        assert_eq!(d.connect().unwrap().time, SimDuration::ZERO);
+        assert_eq!(d.fixed_costs(OpKind::Read).conn, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn delete_frees_space() {
+        let mut d = LocalDisk::new("small", DiskParams::simple(10.0, 100), 0);
+        let h = d.open("f", OpenMode::Create).unwrap().value;
+        d.write(h, &[0u8; 100]).unwrap();
+        d.close(h).unwrap();
+        assert_eq!(d.available_bytes(), 0);
+        d.delete("f").unwrap();
+        assert_eq!(d.available_bytes(), 100);
+        assert!(matches!(d.delete("f"), Err(StorageError::NotFound(_))));
+    }
+
+    #[test]
+    fn list_and_file_size() {
+        let mut d = disk();
+        for p in ["run/a", "run/b"] {
+            let h = d.open(p, OpenMode::Create).unwrap().value;
+            d.write(h, b"12").unwrap();
+            d.close(h).unwrap();
+        }
+        assert_eq!(d.list("run/").len(), 2);
+        assert_eq!(d.file_size("run/a"), Some(2));
+        assert_eq!(d.file_size("run/x"), None);
+    }
+}

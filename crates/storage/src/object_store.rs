@@ -1,0 +1,199 @@
+//! In-memory object store backing every simulated resource.
+//!
+//! Timing comes from the cost models; *data* comes from here. Each resource
+//! owns an `ObjectStore` mapping paths to byte buffers, supporting random
+//! access reads/writes, so the optimization layers above (data sieving,
+//! superfile packing, …) can be verified byte-for-byte, not just timed.
+
+use crate::error::StorageError;
+use crate::StorageResult;
+use bytes::{Bytes, BytesMut};
+use std::collections::BTreeMap;
+
+/// A flat path → bytes store. Paths are plain strings; a `/`-separated
+/// hierarchy is conventional but not enforced (SRB collections behave the
+/// same way).
+#[derive(Debug, Default, Clone)]
+pub struct ObjectStore {
+    files: BTreeMap<String, BytesMut>,
+}
+
+impl ObjectStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes stored across all files.
+    pub fn used_bytes(&self) -> u64 {
+        self.files.values().map(|f| f.len() as u64).sum()
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether `path` exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    /// Size of `path`, if present.
+    pub fn size(&self, path: &str) -> Option<u64> {
+        self.files.get(path).map(|f| f.len() as u64)
+    }
+
+    /// Create (or truncate) a file.
+    pub fn create(&mut self, path: &str) {
+        self.files.insert(path.to_owned(), BytesMut::new());
+    }
+
+    /// Ensure a file exists without truncating it.
+    pub fn ensure(&mut self, path: &str) {
+        self.files.entry(path.to_owned()).or_default();
+    }
+
+    /// Remove a file, returning whether it existed.
+    pub fn delete(&mut self, path: &str) -> bool {
+        self.files.remove(path).is_some()
+    }
+
+    /// Paths with the given prefix, in lexicographic order.
+    pub fn list(&self, prefix: &str) -> Vec<String> {
+        self.files
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Write `data` at `offset`, zero-filling any gap and growing the file
+    /// as needed. The file must exist.
+    pub fn write_at(&mut self, path: &str, offset: u64, data: &[u8]) -> StorageResult<()> {
+        let f = self
+            .files
+            .get_mut(path)
+            .ok_or_else(|| StorageError::NotFound(path.to_owned()))?;
+        let offset = usize::try_from(offset).expect("offset fits in memory model");
+        let end = offset + data.len();
+        if f.len() < end {
+            f.resize(end, 0);
+        }
+        f[offset..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Read up to `len` bytes at `offset`. Short reads happen at EOF; a read
+    /// entirely past EOF returns an empty buffer.
+    pub fn read_at(&self, path: &str, offset: u64, len: usize) -> StorageResult<Bytes> {
+        let f = self
+            .files
+            .get(path)
+            .ok_or_else(|| StorageError::NotFound(path.to_owned()))?;
+        let offset = usize::try_from(offset).expect("offset fits in memory model");
+        if offset >= f.len() {
+            return Ok(Bytes::new());
+        }
+        let end = (offset + len).min(f.len());
+        Ok(Bytes::copy_from_slice(&f[offset..end]))
+    }
+
+    /// Full contents of a file.
+    pub fn read_all(&self, path: &str) -> StorageResult<Bytes> {
+        let f = self
+            .files
+            .get(path)
+            .ok_or_else(|| StorageError::NotFound(path.to_owned()))?;
+        Ok(Bytes::copy_from_slice(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_write_read_roundtrip() {
+        let mut s = ObjectStore::new();
+        s.create("a/b");
+        s.write_at("a/b", 0, b"hello").unwrap();
+        assert_eq!(&s.read_at("a/b", 0, 5).unwrap()[..], b"hello");
+        assert_eq!(s.size("a/b"), Some(5));
+    }
+
+    #[test]
+    fn write_at_offset_zero_fills_gap() {
+        let mut s = ObjectStore::new();
+        s.create("f");
+        s.write_at("f", 4, b"xy").unwrap();
+        let all = s.read_all("f").unwrap();
+        assert_eq!(&all[..], &[0, 0, 0, 0, b'x', b'y']);
+    }
+
+    #[test]
+    fn overwrite_in_place() {
+        let mut s = ObjectStore::new();
+        s.create("f");
+        s.write_at("f", 0, b"abcdef").unwrap();
+        s.write_at("f", 2, b"XY").unwrap();
+        assert_eq!(&s.read_all("f").unwrap()[..], b"abXYef");
+    }
+
+    #[test]
+    fn short_read_at_eof() {
+        let mut s = ObjectStore::new();
+        s.create("f");
+        s.write_at("f", 0, b"abc").unwrap();
+        assert_eq!(&s.read_at("f", 1, 100).unwrap()[..], b"bc");
+        assert!(s.read_at("f", 10, 5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let s = ObjectStore::new();
+        assert!(matches!(
+            s.read_at("nope", 0, 1),
+            Err(StorageError::NotFound(_))
+        ));
+        let mut s = s;
+        assert!(matches!(
+            s.write_at("nope", 0, b"x"),
+            Err(StorageError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn create_truncates_ensure_does_not() {
+        let mut s = ObjectStore::new();
+        s.create("f");
+        s.write_at("f", 0, b"data").unwrap();
+        s.ensure("f");
+        assert_eq!(s.size("f"), Some(4));
+        s.create("f");
+        assert_eq!(s.size("f"), Some(0));
+    }
+
+    #[test]
+    fn list_by_prefix_is_sorted() {
+        let mut s = ObjectStore::new();
+        for p in ["run1/b", "run1/a", "run2/c", "other"] {
+            s.create(p);
+        }
+        assert_eq!(s.list("run1/"), vec!["run1/a".to_owned(), "run1/b".to_owned()]);
+        assert_eq!(s.list("run"), vec!["run1/a", "run1/b", "run2/c"]);
+        assert!(s.list("zzz").is_empty());
+    }
+
+    #[test]
+    fn delete_and_accounting() {
+        let mut s = ObjectStore::new();
+        s.create("f");
+        s.write_at("f", 0, &[0u8; 1000]).unwrap();
+        assert_eq!(s.used_bytes(), 1000);
+        assert!(s.delete("f"));
+        assert!(!s.delete("f"));
+        assert_eq!(s.used_bytes(), 0);
+        assert_eq!(s.file_count(), 0);
+    }
+}

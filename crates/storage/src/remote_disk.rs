@@ -1,0 +1,522 @@
+//! Remote disk farm behind an SRB-style protocol.
+//!
+//! Models the SDSC disk cache reached from the compute site over the WAN
+//! through the Storage Resource Broker: an explicit connection phase
+//! (`T_conn`/`T_connclose` in Table 1), end-to-end open/seek/close constants
+//! and transfers that pay both the WAN pipe and the server's disks.
+
+use crate::error::StorageError;
+use crate::object_store::ObjectStore;
+use crate::rate::RateCurve;
+use crate::resource::{
+    Cost, FileHandle, FixedCosts, HandleTable, OpKind, OpenFile, OpenMode, ResourceStats,
+    StorageKind, StorageResource,
+};
+use crate::StorageResult;
+use bytes::Bytes;
+use msr_net::{Connection, ProtocolCosts, SharedNetwork, SiteId};
+use msr_sim::{stream_rng, Jitter, SimDuration};
+use rand::rngs::StdRng;
+
+/// End-to-end fixed operation constants for a remote SRB resource —
+/// directly the numbers of the paper's Table 1 (they lump the WAN round
+/// trip and the server-side work into one measured constant).
+#[derive(Debug, Clone, Copy)]
+pub struct RemoteFixed {
+    /// File open (read and write measured identically in Table 1).
+    pub open: SimDuration,
+    /// File seek for reads (`-` in Table 1 for writes: sequential create).
+    pub seek: SimDuration,
+    /// File close after reading.
+    pub close_read: SimDuration,
+    /// File close after writing (flush: larger).
+    pub close_write: SimDuration,
+}
+
+/// A simulated SRB remote disk resource.
+#[derive(Debug)]
+pub struct RemoteDisk {
+    name: String,
+    net: SharedNetwork,
+    client: SiteId,
+    server: SiteId,
+    proto: ProtocolCosts,
+    fixed: RemoteFixed,
+    /// Server-side disk transfer curve (the WAN usually dominates, but the
+    /// server's disks are real and show up for big requests).
+    server_read: RateCurve,
+    /// Server-side write curve.
+    server_write: RateCurve,
+    capacity: u64,
+    jitter: Jitter,
+    conn: Option<Connection>,
+    store: ObjectStore,
+    handles: HandleTable,
+    stats: ResourceStats,
+    online: bool,
+    stream_hint: u32,
+    rng: StdRng,
+}
+
+impl RemoteDisk {
+    /// Build a remote disk. The WAN characteristics come from the network's
+    /// links between `client` and `server`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        net: SharedNetwork,
+        client: SiteId,
+        server: SiteId,
+        proto: ProtocolCosts,
+        fixed: RemoteFixed,
+        server_read: RateCurve,
+        server_write: RateCurve,
+        capacity: u64,
+        seed: u64,
+    ) -> Self {
+        let name = name.into();
+        let rng = stream_rng(seed, &format!("remotedisk:{name}"));
+        RemoteDisk {
+            name,
+            net,
+            client,
+            server,
+            proto,
+            fixed,
+            server_read,
+            server_write,
+            capacity,
+            jitter: Jitter::LogNormal { sigma: 0.02 },
+            conn: None,
+            store: ObjectStore::new(),
+            handles: HandleTable::default(),
+            stats: ResourceStats::default(),
+            online: true,
+            stream_hint: 1,
+            rng,
+        }
+    }
+
+    /// Direct access to the backing store (tests, tooling).
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    fn check_online(&self) -> StorageResult<()> {
+        if self.online {
+            Ok(())
+        } else {
+            Err(StorageError::Offline {
+                resource: self.name.clone(),
+            })
+        }
+    }
+
+    fn live_conn(&self) -> StorageResult<&Connection> {
+        let conn = self.conn.as_ref().ok_or(StorageError::NotConnected)?;
+        if conn.is_up(&self.net.read()) {
+            Ok(conn)
+        } else {
+            Err(StorageError::Network(msr_net::NetError::RouteDown))
+        }
+    }
+
+    fn jittered(&mut self, d: SimDuration) -> SimDuration {
+        self.jitter.apply(d, &mut self.rng)
+    }
+
+    /// Jittered wire cost of one call of `bytes`, contending with
+    /// `stream_hint` same-sized concurrent calls: the WAN pipe carries
+    /// `bytes x hint` in total while this call completes.
+    fn wire(&mut self, bytes: u64) -> StorageResult<SimDuration> {
+        let hint = self.stream_hint.max(1);
+        let conn = self.conn.as_ref().ok_or(StorageError::NotConnected)?;
+        let net = self.net.read();
+        Ok(conn.request(&net, bytes * u64::from(hint), hint)?)
+    }
+
+    fn wire_nominal(&self, bytes: u64, streams: u32) -> SimDuration {
+        match &self.conn {
+            Some(conn) => conn.request_nominal(&self.net.read(), bytes, streams),
+            None => {
+                // Predictor path before any connection exists: use a fresh
+                // route resolution.
+                let net = self.net.read();
+                match net.route(self.client, self.server) {
+                    Ok(route) => {
+                        net.transfer_nominal(&route, bytes, streams) + self.proto.per_request
+                    }
+                    Err(_) => SimDuration::ZERO,
+                }
+            }
+        }
+    }
+
+    fn growth(&self, path: &str, cursor: u64, len: u64) -> u64 {
+        let current = self.store.size(path).unwrap_or(0);
+        (cursor + len).saturating_sub(current)
+    }
+}
+
+impl StorageResource for RemoteDisk {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> StorageKind {
+        StorageKind::RemoteDisk
+    }
+
+    fn is_online(&self) -> bool {
+        self.online
+    }
+
+    fn set_online(&mut self, up: bool) {
+        self.online = up;
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.capacity
+    }
+
+    fn set_capacity(&mut self, bytes: u64) {
+        self.capacity = bytes;
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.store.used_bytes()
+    }
+
+    fn connect(&mut self) -> StorageResult<Cost<()>> {
+        self.check_online()?;
+        if let Some(conn) = &self.conn {
+            if conn.is_up(&self.net.read()) {
+                return Ok(Cost::free(())); // idempotent reconnect
+            }
+        }
+        let (cost, conn) =
+            Connection::establish(&self.net.read(), self.client, self.server, self.proto)?;
+        self.conn = Some(conn);
+        self.stats.connects += 1;
+        let t = self.jittered(cost);
+        Ok(Cost::new(t, ()))
+    }
+
+    fn disconnect(&mut self) -> StorageResult<Cost<()>> {
+        match self.conn.take() {
+            Some(conn) => Ok(Cost::new(conn.close_cost(), ())),
+            None => Ok(Cost::free(())),
+        }
+    }
+
+    fn open(&mut self, path: &str, mode: OpenMode) -> StorageResult<Cost<FileHandle>> {
+        self.check_online()?;
+        self.live_conn()?;
+        let cursor = match mode {
+            OpenMode::Read => {
+                if !self.store.exists(path) {
+                    return Err(StorageError::NotFound(path.to_owned()));
+                }
+                0
+            }
+            OpenMode::Create => {
+                self.store.create(path);
+                0
+            }
+            OpenMode::OverWrite => {
+                self.store.ensure(path);
+                0
+            }
+            OpenMode::Append => {
+                self.store.ensure(path);
+                self.store.size(path).unwrap_or(0)
+            }
+        };
+        let h = self.handles.insert(OpenFile {
+            path: path.to_owned(),
+            mode,
+            cursor,
+        });
+        self.stats.opens += 1;
+        let t = self.jittered(self.fixed.open);
+        Ok(Cost::new(t, h))
+    }
+
+    fn seek(&mut self, h: FileHandle, pos: u64) -> StorageResult<Cost<()>> {
+        self.check_online()?;
+        self.live_conn()?;
+        self.handles.get_mut(h)?.cursor = pos;
+        self.stats.seeks += 1;
+        let t = self.jittered(self.fixed.seek);
+        Ok(Cost::new(t, ()))
+    }
+
+    fn read(&mut self, h: FileHandle, len: usize) -> StorageResult<Cost<Bytes>> {
+        self.check_online()?;
+        self.live_conn()?;
+        let (path, cursor, mode) = {
+            let f = self.handles.get(h)?;
+            (f.path.clone(), f.cursor, f.mode)
+        };
+        if !mode.readable() {
+            return Err(StorageError::BadMode { op: "read" });
+        }
+        let data = self.store.read_at(&path, cursor, len)?;
+        self.handles.get_mut(h)?.cursor += data.len() as u64;
+        self.stats.reads += 1;
+        self.stats.bytes_read += data.len() as u64;
+        let wire = self.wire(data.len() as u64)?;
+        let server =
+            self.server_read.time_for(data.len() as u64) * f64::from(self.stream_hint.max(1));
+        let t = wire + self.jittered(server);
+        Ok(Cost::new(t, data))
+    }
+
+    fn write(&mut self, h: FileHandle, data: &[u8]) -> StorageResult<Cost<usize>> {
+        self.check_online()?;
+        self.live_conn()?;
+        let (path, cursor, mode) = {
+            let f = self.handles.get(h)?;
+            (f.path.clone(), f.cursor, f.mode)
+        };
+        if !mode.writable() {
+            return Err(StorageError::BadMode { op: "write" });
+        }
+        let growth = self.growth(&path, cursor, data.len() as u64);
+        let available = self.available_bytes();
+        if growth > available {
+            return Err(StorageError::CapacityExceeded {
+                resource: self.name.clone(),
+                requested: growth,
+                available,
+            });
+        }
+        self.store.write_at(&path, cursor, data)?;
+        self.handles.get_mut(h)?.cursor += data.len() as u64;
+        self.stats.writes += 1;
+        self.stats.bytes_written += data.len() as u64;
+        let wire = self.wire(data.len() as u64)?;
+        let server =
+            self.server_write.time_for(data.len() as u64) * f64::from(self.stream_hint.max(1));
+        let t = wire + self.jittered(server);
+        Ok(Cost::new(t, data.len()))
+    }
+
+    fn close(&mut self, h: FileHandle) -> StorageResult<Cost<()>> {
+        let f = self.handles.remove(h)?;
+        self.stats.closes += 1;
+        let base = if f.mode.writable() {
+            self.fixed.close_write
+        } else {
+            self.fixed.close_read
+        };
+        let t = self.jittered(base);
+        Ok(Cost::new(t, ()))
+    }
+
+    fn delete(&mut self, path: &str) -> StorageResult<Cost<()>> {
+        self.check_online()?;
+        self.live_conn()?;
+        if self.store.delete(path) {
+            Ok(Cost::new(self.fixed.close_read, ()))
+        } else {
+            Err(StorageError::NotFound(path.to_owned()))
+        }
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.store.exists(path)
+    }
+
+    fn file_size(&self, path: &str) -> Option<u64> {
+        self.store.size(path)
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        self.store.list(prefix)
+    }
+
+    fn stats(&self) -> ResourceStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = ResourceStats::default();
+    }
+
+    fn set_stream_hint(&mut self, streams: u32) {
+        self.stream_hint = streams.max(1);
+    }
+
+    fn stream_hint(&self) -> u32 {
+        self.stream_hint
+    }
+
+    fn fixed_costs(&self, op: OpKind) -> FixedCosts {
+        let net = self.net.read();
+        let conn = match net.route(self.client, self.server) {
+            Ok(route) => net.route_latency(&route) * 2.0 + self.proto.conn_setup,
+            Err(_) => self.proto.conn_setup,
+        };
+        FixedCosts {
+            conn,
+            open: self.fixed.open,
+            seek: self.fixed.seek,
+            close: match op {
+                OpKind::Read => self.fixed.close_read,
+                OpKind::Write => self.fixed.close_write,
+            },
+            connclose: self.proto.conn_teardown,
+        }
+    }
+
+    fn transfer_model(&self, op: OpKind, bytes: u64, streams: u32) -> SimDuration {
+        let server = match op {
+            OpKind::Read => self.server_read.time_for(bytes),
+            OpKind::Write => self.server_write.time_for(bytes),
+        };
+        self.wire_nominal(bytes, streams) + server
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msr_net::{LinkSpec, Network};
+
+    fn testnet() -> (SharedNetwork, SiteId, SiteId) {
+        let mut n = Network::new(3);
+        let a = n.add_site("ANL");
+        let s = n.add_site("SDSC");
+        n.add_link(a, s, LinkSpec::ideal(SimDuration::from_millis(25.0), 0.30));
+        (msr_net::share(n), a, s)
+    }
+
+    fn table1_fixed() -> RemoteFixed {
+        RemoteFixed {
+            open: SimDuration::from_secs(0.42),
+            seek: SimDuration::from_secs(0.40),
+            close_read: SimDuration::from_secs(0.63),
+            close_write: SimDuration::from_secs(0.83),
+        }
+    }
+
+    fn rdisk(net: SharedNetwork, a: SiteId, s: SiteId) -> RemoteDisk {
+        let mut d = RemoteDisk::new(
+            "sdsc-disk",
+            net,
+            a,
+            s,
+            ProtocolCosts {
+                conn_setup: SimDuration::from_secs(0.39),
+                conn_teardown: SimDuration::from_micros(200.0),
+                per_request: SimDuration::from_millis(5.0),
+            },
+            table1_fixed(),
+            RateCurve::constant_bandwidth(2.0),
+            RateCurve::constant_bandwidth(2.0),
+            1 << 40,
+            0,
+        );
+        d.jitter = Jitter::None;
+        d
+    }
+
+    #[test]
+    fn requires_connect_before_io() {
+        let (net, a, s) = testnet();
+        let mut d = rdisk(net, a, s);
+        assert!(matches!(
+            d.open("f", OpenMode::Create),
+            Err(StorageError::NotConnected)
+        ));
+        d.connect().unwrap();
+        assert!(d.open("f", OpenMode::Create).is_ok());
+    }
+
+    #[test]
+    fn connect_cost_matches_table1() {
+        let (net, a, s) = testnet();
+        let mut d = rdisk(net, a, s);
+        let c = d.connect().unwrap();
+        assert!((c.time.as_secs() - 0.44).abs() < 1e-9, "2×25ms RTT + 0.39 setup");
+        // Idempotent reconnect is free.
+        assert_eq!(d.connect().unwrap().time, SimDuration::ZERO);
+        assert_eq!(d.stats().connects, 1);
+    }
+
+    #[test]
+    fn fixed_costs_report_table1_row() {
+        let (net, a, s) = testnet();
+        let d = rdisk(net, a, s);
+        let f = d.fixed_costs(OpKind::Write);
+        assert!((f.conn.as_secs() - 0.44).abs() < 1e-9);
+        assert!((f.open.as_secs() - 0.42).abs() < 1e-9);
+        assert!((f.close.as_secs() - 0.83).abs() < 1e-9);
+        assert!((f.connclose.as_secs() - 0.0002).abs() < 1e-9);
+        assert!((d.fixed_costs(OpKind::Read).close.as_secs() - 0.63).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_read_roundtrip_over_wan() {
+        let (net, a, s) = testnet();
+        let mut d = rdisk(net, a, s);
+        d.connect().unwrap();
+        let h = d.open("vol/vr_temp.0", OpenMode::Create).unwrap().value;
+        let payload: Vec<u8> = (0..1000u32).flat_map(|x| x.to_le_bytes()).collect();
+        d.write(h, &payload).unwrap();
+        d.close(h).unwrap();
+        let h = d.open("vol/vr_temp.0", OpenMode::Read).unwrap().value;
+        let got = d.read(h, payload.len()).unwrap().value;
+        assert_eq!(&got[..], &payload[..]);
+    }
+
+    #[test]
+    fn transfer_model_composes_wan_and_server() {
+        let (net, a, s) = testnet();
+        let mut d = rdisk(net, a, s);
+        d.connect().unwrap();
+        // 2 MB: WAN 2/0.3 s + latency 0.025 + per_request 0.005 + server 1.0
+        let t = d.transfer_model(OpKind::Write, 2_000_000, 1);
+        let expect = 2.0 / 0.3 + 0.025 + 0.005 + 1.0;
+        assert!((t.as_secs() - expect).abs() < 1e-6, "got {t}");
+    }
+
+    #[test]
+    fn wan_outage_surfaces_as_network_error() {
+        let (net, a, s) = testnet();
+        let mut d = rdisk(net.clone(), a, s);
+        d.connect().unwrap();
+        let h = d.open("f", OpenMode::Create).unwrap().value;
+        net.write().set_link_up(msr_net::LinkId::from_index(0), false);
+        assert!(matches!(
+            d.write(h, b"x"),
+            Err(StorageError::Network(_))
+        ));
+    }
+
+    #[test]
+    fn offline_resource_rejects_everything() {
+        let (net, a, s) = testnet();
+        let mut d = rdisk(net, a, s);
+        d.connect().unwrap();
+        d.set_online(false);
+        assert!(matches!(
+            d.open("f", OpenMode::Create),
+            Err(StorageError::Offline { .. })
+        ));
+    }
+
+    #[test]
+    fn disconnect_then_io_fails() {
+        let (net, a, s) = testnet();
+        let mut d = rdisk(net, a, s);
+        d.connect().unwrap();
+        let c = d.disconnect().unwrap();
+        assert!((c.time.as_secs() - 0.0002).abs() < 1e-12);
+        assert!(matches!(
+            d.open("f", OpenMode::Create),
+            Err(StorageError::NotConnected)
+        ));
+    }
+}

@@ -1,0 +1,662 @@
+//! Remote tape system (HPSS class) behind an SRB-style protocol.
+//!
+//! Tape is the paper's capacity workhorse and performance villain: huge
+//! capacity, but "a minimum of 20 to 40 seconds to be ready to move the
+//! data" plus slow streaming. The model has a drive pool: opening a file
+//! whose tape is not mounted grabs a free drive (or evicts the
+//! least-recently-used one, paying an unmount), then pays a mount sampled
+//! uniformly from the configured window. Positioning is sequential —
+//! seeking costs time proportional to the distance travelled — unlike the
+//! constant-time disk seek of Table 1.
+
+use crate::error::StorageError;
+use crate::object_store::ObjectStore;
+use crate::rate::RateCurve;
+use crate::resource::{
+    Cost, FileHandle, FixedCosts, HandleTable, OpKind, OpenFile, OpenMode, ResourceStats,
+    StorageKind, StorageResource,
+};
+use crate::StorageResult;
+use bytes::Bytes;
+use msr_net::{Connection, ProtocolCosts, SharedNetwork, SiteId};
+use msr_sim::{stream_rng, Jitter, SimDuration};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Cost parameters of a tape tier.
+#[derive(Debug, Clone)]
+pub struct TapeParams {
+    /// End-to-end file open constant (Table 1: 6.17 s) — drive scheduling
+    /// and catalog work, *not* the physical mount.
+    pub open: SimDuration,
+    /// Close after read (Table 1: 0.46 s).
+    pub close_read: SimDuration,
+    /// Close after write (Table 1: 0.42 s).
+    pub close_write: SimDuration,
+    /// Minimum physical mount time.
+    pub mount_min: SimDuration,
+    /// Maximum physical mount time.
+    pub mount_max: SimDuration,
+    /// Unmount cost paid when evicting a mounted tape.
+    pub unmount: SimDuration,
+    /// Base cost of any repositioning.
+    pub position_base: SimDuration,
+    /// Tape winding rate for positioning, bytes/second.
+    pub position_rate: f64,
+    /// Streaming read curve of the drive.
+    pub read_curve: RateCurve,
+    /// Streaming write curve of the drive.
+    pub write_curve: RateCurve,
+    /// Number of drives in the pool.
+    pub num_drives: usize,
+    /// Device noise (tapes are noisy).
+    pub jitter: Jitter,
+}
+
+impl TapeParams {
+    /// Mid-point mount cost used by the deterministic model.
+    pub fn mount_model(&self) -> SimDuration {
+        (self.mount_min + self.mount_max) / 2.0
+    }
+}
+
+/// The tape volume a path lives on: its directory prefix. Files written
+/// under one collection land on the same tape, as HPSS does for a run's
+/// output, so opening a sibling file does not remount.
+fn volume_of(path: &str) -> &str {
+    path.rsplit_once('/').map(|(dir, _)| dir).unwrap_or(path)
+}
+
+#[derive(Debug, Clone)]
+struct DriveState {
+    volume: String,
+    position: u64,
+    last_use: u64,
+}
+
+/// A simulated remote tape resource.
+#[derive(Debug)]
+pub struct TapeResource {
+    name: String,
+    net: SharedNetwork,
+    client: SiteId,
+    server: SiteId,
+    proto: ProtocolCosts,
+    params: TapeParams,
+    drives: Vec<Option<DriveState>>,
+    use_counter: u64,
+    conn: Option<Connection>,
+    store: ObjectStore,
+    handles: HandleTable,
+    stats: ResourceStats,
+    /// Number of physical mounts performed (observability for tests and the
+    /// drive-count ablation).
+    mounts: usize,
+    online: bool,
+    stream_hint: u32,
+    rng: StdRng,
+}
+
+impl TapeResource {
+    /// Build a tape resource reached over `net` from `client` to `server`.
+    pub fn new(
+        name: impl Into<String>,
+        net: SharedNetwork,
+        client: SiteId,
+        server: SiteId,
+        proto: ProtocolCosts,
+        params: TapeParams,
+        seed: u64,
+    ) -> Self {
+        let name = name.into();
+        let rng = stream_rng(seed, &format!("tape:{name}"));
+        let drives = vec![None; params.num_drives.max(1)];
+        TapeResource {
+            name,
+            net,
+            client,
+            server,
+            proto,
+            params,
+            drives,
+            use_counter: 0,
+            conn: None,
+            store: ObjectStore::new(),
+            handles: HandleTable::default(),
+            stats: ResourceStats::default(),
+            mounts: 0,
+            online: true,
+            stream_hint: 1,
+            rng,
+        }
+    }
+
+    /// Physical mounts performed so far.
+    pub fn mount_count(&self) -> usize {
+        self.mounts
+    }
+
+    /// Direct access to the backing store.
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    fn check_online(&self) -> StorageResult<()> {
+        if self.online {
+            Ok(())
+        } else {
+            Err(StorageError::Offline {
+                resource: self.name.clone(),
+            })
+        }
+    }
+
+    fn live_conn(&self) -> StorageResult<()> {
+        let conn = self.conn.as_ref().ok_or(StorageError::NotConnected)?;
+        if conn.is_up(&self.net.read()) {
+            Ok(())
+        } else {
+            Err(StorageError::Network(msr_net::NetError::RouteDown))
+        }
+    }
+
+    fn jittered(&mut self, d: SimDuration) -> SimDuration {
+        self.params.jitter.apply(d, &mut self.rng)
+    }
+
+    /// Ensure the file's tape volume is mounted on some drive; returns
+    /// (drive index, cost). Cost covers unmount of an evicted tape plus the
+    /// mount.
+    fn ensure_mounted(&mut self, path: &str) -> (usize, SimDuration) {
+        let volume = volume_of(path).to_owned();
+        self.use_counter += 1;
+        let stamp = self.use_counter;
+        // Already mounted?
+        if let Some(i) = self
+            .drives
+            .iter()
+            .position(|d| d.as_ref().is_some_and(|d| d.volume == volume))
+        {
+            self.drives[i].as_mut().expect("checked above").last_use = stamp;
+            return (i, SimDuration::ZERO);
+        }
+        // Free drive?
+        let mut cost = SimDuration::ZERO;
+        let slot = match self.drives.iter().position(Option::is_none) {
+            Some(i) => i,
+            None => {
+                // Evict the least recently used drive.
+                let i = self
+                    .drives
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, d)| d.as_ref().map(|d| d.last_use).unwrap_or(0))
+                    .map(|(i, _)| i)
+                    .expect("drive pool is non-empty");
+                cost += self.params.unmount;
+                i
+            }
+        };
+        let mount_span = self
+            .params
+            .mount_max
+            .saturating_sub(self.params.mount_min)
+            .as_secs();
+        let mount = self.params.mount_min
+            + SimDuration::from_secs(if mount_span > 0.0 {
+                self.rng.random_range(0.0..=mount_span)
+            } else {
+                0.0
+            });
+        cost += mount;
+        self.mounts += 1;
+        self.drives[slot] = Some(DriveState {
+            volume,
+            position: 0,
+            last_use: stamp,
+        });
+        (slot, cost)
+    }
+
+    /// Cost of winding the mounted tape from its position to `target`.
+    fn position_cost(&mut self, drive: usize, target: u64) -> SimDuration {
+        let d = self.drives[drive].as_mut().expect("drive mounted");
+        if d.position == target {
+            return SimDuration::ZERO;
+        }
+        let dist = d.position.abs_diff(target);
+        d.position = target;
+        self.params.position_base
+            + SimDuration::from_secs(dist as f64 / self.params.position_rate.max(1.0))
+    }
+
+    fn drive_of(&self, path: &str) -> Option<usize> {
+        let volume = volume_of(path);
+        self.drives
+            .iter()
+            .position(|d| d.as_ref().is_some_and(|d| d.volume == volume))
+    }
+
+    /// Jittered wire cost of one call of `bytes` contending with
+    /// `stream_hint` concurrent calls.
+    fn wire(&mut self, bytes: u64) -> StorageResult<SimDuration> {
+        let hint = self.stream_hint.max(1);
+        let conn = self.conn.as_ref().ok_or(StorageError::NotConnected)?;
+        let net = self.net.read();
+        Ok(conn.request(&net, bytes * u64::from(hint), hint)?)
+    }
+
+    /// Drive-pool rounds needed for `streams` concurrent tape calls.
+    fn drive_rounds(&self, streams: u32) -> u32 {
+        streams.max(1).div_ceil(self.params.num_drives.max(1) as u32)
+    }
+
+    fn wire_nominal(&self, bytes: u64, streams: u32) -> SimDuration {
+        let net = self.net.read();
+        match &self.conn {
+            Some(conn) => conn.request_nominal(&net, bytes, streams),
+            None => match net.route(self.client, self.server) {
+                Ok(route) => net.transfer_nominal(&route, bytes, streams) + self.proto.per_request,
+                Err(_) => SimDuration::ZERO,
+            },
+        }
+    }
+}
+
+impl StorageResource for TapeResource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> StorageKind {
+        StorageKind::RemoteTape
+    }
+
+    fn is_online(&self) -> bool {
+        self.online
+    }
+
+    fn set_online(&mut self, up: bool) {
+        self.online = up;
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        u64::MAX // "we assume they can hold any size of data"
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.store.used_bytes()
+    }
+
+    fn connect(&mut self) -> StorageResult<Cost<()>> {
+        self.check_online()?;
+        if let Some(conn) = &self.conn {
+            if conn.is_up(&self.net.read()) {
+                return Ok(Cost::free(()));
+            }
+        }
+        let (cost, conn) =
+            Connection::establish(&self.net.read(), self.client, self.server, self.proto)?;
+        self.conn = Some(conn);
+        self.stats.connects += 1;
+        let t = self.jittered(cost);
+        Ok(Cost::new(t, ()))
+    }
+
+    fn disconnect(&mut self) -> StorageResult<Cost<()>> {
+        match self.conn.take() {
+            Some(conn) => Ok(Cost::new(conn.close_cost(), ())),
+            None => Ok(Cost::free(())),
+        }
+    }
+
+    fn open(&mut self, path: &str, mode: OpenMode) -> StorageResult<Cost<FileHandle>> {
+        self.check_online()?;
+        self.live_conn()?;
+        let cursor = match mode {
+            OpenMode::Read => {
+                if !self.store.exists(path) {
+                    return Err(StorageError::NotFound(path.to_owned()));
+                }
+                0
+            }
+            OpenMode::Create => {
+                self.store.create(path);
+                0
+            }
+            OpenMode::OverWrite => {
+                self.store.ensure(path);
+                0
+            }
+            OpenMode::Append => {
+                self.store.ensure(path);
+                self.store.size(path).unwrap_or(0)
+            }
+        };
+        // Open includes getting the tape ready to move data: the mount.
+        let (drive, mount_cost) = self.ensure_mounted(path);
+        let rewind = self.position_cost(drive, cursor);
+        let h = self.handles.insert(OpenFile {
+            path: path.to_owned(),
+            mode,
+            cursor,
+        });
+        self.stats.opens += 1;
+        let t = self.jittered(self.params.open) + mount_cost + rewind;
+        Ok(Cost::new(t, h))
+    }
+
+    fn seek(&mut self, h: FileHandle, pos: u64) -> StorageResult<Cost<()>> {
+        self.check_online()?;
+        self.live_conn()?;
+        let path = self.handles.get(h)?.path.clone();
+        self.handles.get_mut(h)?.cursor = pos;
+        self.stats.seeks += 1;
+        // Seeking tape physically winds the media.
+        let cost = match self.drive_of(&path) {
+            Some(drive) => self.position_cost(drive, pos),
+            None => {
+                let (drive, mount) = self.ensure_mounted(&path);
+                mount + self.position_cost(drive, pos)
+            }
+        };
+        let t = self.jittered(cost);
+        Ok(Cost::new(t, ()))
+    }
+
+    fn read(&mut self, h: FileHandle, len: usize) -> StorageResult<Cost<Bytes>> {
+        self.check_online()?;
+        self.live_conn()?;
+        let (path, cursor, mode) = {
+            let f = self.handles.get(h)?;
+            (f.path.clone(), f.cursor, f.mode)
+        };
+        if !mode.readable() {
+            return Err(StorageError::BadMode { op: "read" });
+        }
+        // The tape may have been evicted by another file since open.
+        let (drive, remount) = self.ensure_mounted(&path);
+        let reposition = self.position_cost(drive, cursor);
+        let data = self.store.read_at(&path, cursor, len)?;
+        let new_pos = cursor + data.len() as u64;
+        self.handles.get_mut(h)?.cursor = new_pos;
+        self.drives[drive].as_mut().expect("mounted").position = new_pos;
+        self.stats.reads += 1;
+        self.stats.bytes_read += data.len() as u64;
+        let rounds = self.drive_rounds(self.stream_hint);
+        let stream = self.params.read_curve.time_for(data.len() as u64) * f64::from(rounds);
+        let wire = self.wire(data.len() as u64)?;
+        let t = remount + reposition + self.jittered(stream) + wire;
+        Ok(Cost::new(t, data))
+    }
+
+    fn write(&mut self, h: FileHandle, data: &[u8]) -> StorageResult<Cost<usize>> {
+        self.check_online()?;
+        self.live_conn()?;
+        let (path, cursor, mode) = {
+            let f = self.handles.get(h)?;
+            (f.path.clone(), f.cursor, f.mode)
+        };
+        if !mode.writable() {
+            return Err(StorageError::BadMode { op: "write" });
+        }
+        let (drive, remount) = self.ensure_mounted(&path);
+        let reposition = self.position_cost(drive, cursor);
+        self.store.write_at(&path, cursor, data)?;
+        let new_pos = cursor + data.len() as u64;
+        self.handles.get_mut(h)?.cursor = new_pos;
+        self.drives[drive].as_mut().expect("mounted").position = new_pos;
+        self.stats.writes += 1;
+        self.stats.bytes_written += data.len() as u64;
+        let rounds = self.drive_rounds(self.stream_hint);
+        let stream = self.params.write_curve.time_for(data.len() as u64) * f64::from(rounds);
+        let wire = self.wire(data.len() as u64)?;
+        let t = remount + reposition + self.jittered(stream) + wire;
+        Ok(Cost::new(t, data.len()))
+    }
+
+    fn close(&mut self, h: FileHandle) -> StorageResult<Cost<()>> {
+        let f = self.handles.remove(h)?;
+        self.stats.closes += 1;
+        let base = if f.mode.writable() {
+            self.params.close_write
+        } else {
+            self.params.close_read
+        };
+        let t = self.jittered(base);
+        Ok(Cost::new(t, ()))
+    }
+
+    fn delete(&mut self, path: &str) -> StorageResult<Cost<()>> {
+        self.check_online()?;
+        self.live_conn()?;
+        if self.store.delete(path) {
+            Ok(Cost::new(self.params.close_write, ()))
+        } else {
+            Err(StorageError::NotFound(path.to_owned()))
+        }
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.store.exists(path)
+    }
+
+    fn file_size(&self, path: &str) -> Option<u64> {
+        self.store.size(path)
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        self.store.list(prefix)
+    }
+
+    fn stats(&self) -> ResourceStats {
+        self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = ResourceStats::default();
+    }
+
+    fn set_stream_hint(&mut self, streams: u32) {
+        self.stream_hint = streams.max(1);
+    }
+
+    fn stream_hint(&self) -> u32 {
+        self.stream_hint
+    }
+
+    fn fixed_costs(&self, op: OpKind) -> FixedCosts {
+        let net = self.net.read();
+        let conn = match net.route(self.client, self.server) {
+            Ok(route) => net.route_latency(&route) * 2.0 + self.proto.conn_setup,
+            Err(_) => self.proto.conn_setup,
+        };
+        FixedCosts {
+            conn,
+            open: self.params.open,
+            seek: self.params.position_base,
+            close: match op {
+                OpKind::Read => self.params.close_read,
+                OpKind::Write => self.params.close_write,
+            },
+            connclose: self.proto.conn_teardown,
+        }
+    }
+
+    fn transfer_model(&self, op: OpKind, bytes: u64, streams: u32) -> SimDuration {
+        let streams = streams.max(1);
+        let stream_t = match op {
+            OpKind::Read => self.params.read_curve.time_for(bytes),
+            OpKind::Write => self.params.write_curve.time_for(bytes),
+        };
+        // More concurrent streams than drives: rounds of drive usage.
+        let rounds = self.drive_rounds(streams);
+        self.wire_nominal(bytes * u64::from(streams), streams) + stream_t * f64::from(rounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msr_net::{LinkSpec, Network};
+
+    fn testnet() -> (SharedNetwork, SiteId, SiteId) {
+        let mut n = Network::new(4);
+        let a = n.add_site("ANL");
+        let s = n.add_site("SDSC");
+        n.add_link(a, s, LinkSpec::ideal(SimDuration::from_millis(25.0), 0.30));
+        (msr_net::share(n), a, s)
+    }
+
+    fn params(drives: usize) -> TapeParams {
+        TapeParams {
+            open: SimDuration::from_secs(6.17),
+            close_read: SimDuration::from_secs(0.46),
+            close_write: SimDuration::from_secs(0.42),
+            mount_min: SimDuration::from_secs(20.0),
+            mount_max: SimDuration::from_secs(20.0), // deterministic in tests
+            unmount: SimDuration::from_secs(8.0),
+            position_base: SimDuration::from_secs(1.0),
+            position_rate: 10e6,
+            read_curve: RateCurve::constant_bandwidth(0.07),
+            write_curve: RateCurve::constant_bandwidth(0.07),
+            num_drives: drives,
+            jitter: Jitter::None,
+        }
+    }
+
+    fn tape(drives: usize) -> TapeResource {
+        let (net, a, s) = testnet();
+        let mut t = TapeResource::new(
+            "hpss",
+            net,
+            a,
+            s,
+            ProtocolCosts {
+                conn_setup: SimDuration::from_secs(0.76),
+                conn_teardown: SimDuration::from_micros(200.0),
+                per_request: SimDuration::from_millis(5.0),
+            },
+            params(drives),
+            0,
+        );
+        t.connect().unwrap();
+        t
+    }
+
+    #[test]
+    fn connect_cost_matches_table1_tape_row() {
+        let t = tape(2);
+        let f = t.fixed_costs(OpKind::Write);
+        assert!((f.conn.as_secs() - 0.81).abs() < 1e-9);
+        assert!((f.open.as_secs() - 6.17).abs() < 1e-9);
+        assert!((f.close.as_secs() - 0.42).abs() < 1e-9);
+        assert!((t.fixed_costs(OpKind::Read).close.as_secs() - 0.46).abs() < 1e-9);
+    }
+
+    #[test]
+    fn first_open_pays_the_mount() {
+        let mut t = tape(2);
+        let c = t.open("f", OpenMode::Create).unwrap();
+        // 6.17 open + 20 s mount, no reposition (fresh tape at 0).
+        assert!((c.time.as_secs() - 26.17).abs() < 1e-9, "got {}", c.time);
+        assert_eq!(t.mount_count(), 1);
+    }
+
+    #[test]
+    fn reopen_of_mounted_tape_skips_mount_but_rewinds() {
+        let mut t = tape(2);
+        let h = t.open("f", OpenMode::Create).unwrap().value;
+        t.write(h, &[0u8; 700_000]).unwrap(); // winds to 700 KB
+        t.close(h).unwrap();
+        let c = t.open("f", OpenMode::Read).unwrap();
+        // 6.17 open + rewind (1 s base + 0.07 s wind), no mount.
+        assert_eq!(t.mount_count(), 1);
+        assert!((c.time.as_secs() - (6.17 + 1.0 + 0.07)).abs() < 1e-6, "got {}", c.time);
+    }
+
+    #[test]
+    fn lru_eviction_when_drives_exhausted() {
+        let mut t = tape(1);
+        let h1 = t.open("a", OpenMode::Create).unwrap().value;
+        t.close(h1).unwrap();
+        let c2 = t.open("b", OpenMode::Create).unwrap();
+        // Evicts "a": unmount 8 s + mount 20 s + open 6.17.
+        assert!((c2.time.as_secs() - 34.17).abs() < 1e-9, "got {}", c2.time);
+        assert_eq!(t.mount_count(), 2);
+        // Going back to "a" remounts again.
+        let h = t.open("a", OpenMode::OverWrite).unwrap().value;
+        assert_eq!(t.mount_count(), 3);
+        t.close(h).unwrap();
+    }
+
+    #[test]
+    fn two_drives_avoid_thrashing() {
+        let mut t = tape(2);
+        let ha = t.open("a", OpenMode::Create).unwrap().value;
+        t.close(ha).unwrap();
+        let hb = t.open("b", OpenMode::Create).unwrap().value;
+        t.close(hb).unwrap();
+        // Both tapes stay mounted: alternating access costs no new mounts.
+        t.open("a", OpenMode::OverWrite).unwrap();
+        t.open("b", OpenMode::OverWrite).unwrap();
+        assert_eq!(t.mount_count(), 2);
+    }
+
+    #[test]
+    fn sequential_read_after_write_needs_rewind() {
+        let mut t = tape(2);
+        let h = t.open("f", OpenMode::Create).unwrap().value;
+        t.write(h, b"0123456789").unwrap();
+        // Read from the same handle is BadMode; open a read handle.
+        t.close(h).unwrap();
+        let h = t.open("f", OpenMode::Read).unwrap().value;
+        let got = t.read(h, 10).unwrap().value;
+        assert_eq!(&got[..], b"0123456789");
+    }
+
+    #[test]
+    fn streaming_rate_dominates_large_transfers() {
+        let mut t = tape(2);
+        let h = t.open("f", OpenMode::Create).unwrap().value;
+        let c = t.write(h, &vec![7u8; 7_000_000]).unwrap();
+        // 7 MB at 0.07 MB/s tape + 7/0.3 WAN + 25 ms + 5 ms: ≈ 123.4 s
+        let expect = 100.0 + 7.0 / 0.3 + 0.03;
+        assert!((c.time.as_secs() - expect).abs() < 0.01, "got {}", c.time);
+    }
+
+    #[test]
+    fn transfer_model_accounts_for_drive_rounds() {
+        let t = tape(2);
+        let one = t.transfer_model(OpKind::Write, 1_000_000, 2);
+        let four = t.transfer_model(OpKind::Write, 1_000_000, 4);
+        assert!(four > one, "4 streams on 2 drives take 2 rounds");
+    }
+
+    #[test]
+    fn capacity_is_unlimited() {
+        let t = tape(2);
+        assert_eq!(t.capacity_bytes(), u64::MAX);
+        assert!(t.available_bytes() > 1 << 60);
+    }
+
+    #[test]
+    fn seek_cost_scales_with_distance() {
+        let mut t = tape(2);
+        let h = t.open("f", OpenMode::Create).unwrap().value;
+        t.write(h, &vec![0u8; 1_000_000]).unwrap();
+        let near = t.seek(h, 999_000).unwrap().time;
+        let far = t.seek(h, 0).unwrap().time;
+        assert!(far > near, "winding 999 KB costs more than 1 KB");
+    }
+
+    #[test]
+    fn offline_tape_rejects_io() {
+        let mut t = tape(2);
+        t.set_online(false);
+        assert!(matches!(
+            t.open("f", OpenMode::Create),
+            Err(StorageError::Offline { .. })
+        ));
+    }
+}

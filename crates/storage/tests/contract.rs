@@ -1,0 +1,270 @@
+//! Contract tests: every `StorageResource` implementation must satisfy
+//! the same behavioural battery — the guarantees the run-time layer and
+//! the API layer build on.
+
+use msr_net::{LinkSpec, Network};
+use msr_sim::SimDuration;
+use msr_storage::{
+    share, CompositeResource, DiskParams, LocalDisk, OpenMode, RateCurve, RemoteDisk,
+    SharedResource, StorageError, StorageResource, TapeResource,
+};
+
+fn local() -> SharedResource {
+    share(LocalDisk::new("c-local", DiskParams::simple(20.0, 1 << 30), 1))
+}
+
+fn remote() -> SharedResource {
+    let mut n = Network::new(1);
+    let a = n.add_site("A");
+    let b = n.add_site("B");
+    n.add_link(a, b, LinkSpec::ideal(SimDuration::from_millis(10.0), 1.0));
+    let net = msr_net::share(n);
+    share(RemoteDisk::new(
+        "c-remote",
+        net,
+        a,
+        b,
+        msr_storage::srb_protocol(),
+        msr_storage::remote_disk::RemoteFixed {
+            open: SimDuration::from_secs(0.4),
+            seek: SimDuration::from_secs(0.4),
+            close_read: SimDuration::from_secs(0.6),
+            close_write: SimDuration::from_secs(0.8),
+        },
+        RateCurve::constant_bandwidth(5.0),
+        RateCurve::constant_bandwidth(5.0),
+        1 << 30,
+        1,
+    ))
+}
+
+fn tape() -> SharedResource {
+    let mut n = Network::new(2);
+    let a = n.add_site("A");
+    let b = n.add_site("B");
+    n.add_link(a, b, LinkSpec::ideal(SimDuration::from_millis(10.0), 1.0));
+    let net = msr_net::share(n);
+    share(TapeResource::new(
+        "c-tape",
+        net,
+        a,
+        b,
+        msr_storage::hpss_protocol(),
+        msr_storage::hpss_params(),
+        2,
+    ))
+}
+
+fn composite() -> SharedResource {
+    share(CompositeResource::new(
+        "c-composite",
+        vec![
+            share(LocalDisk::new("child-a", DiskParams::simple(20.0, 1 << 20), 3)),
+            share(LocalDisk::new("child-b", DiskParams::simple(20.0, 1 << 30), 4)),
+        ],
+    ))
+}
+
+fn all_resources() -> Vec<SharedResource> {
+    vec![local(), remote(), tape(), composite()]
+}
+
+fn with_each(f: impl Fn(&mut dyn StorageResource)) {
+    for res in all_resources() {
+        let mut r = res.lock();
+        r.connect().expect("connect");
+        f(&mut *r);
+    }
+}
+
+#[test]
+fn write_read_roundtrip_bytes_exact() {
+    with_each(|r| {
+        let payload: Vec<u8> = (0..50_000u32).map(|i| (i % 251) as u8).collect();
+        let h = r.open("contract/rt", OpenMode::Create).unwrap().value;
+        r.write(h, &payload).unwrap();
+        r.close(h).unwrap();
+        let h = r.open("contract/rt", OpenMode::Read).unwrap().value;
+        let got = r.read(h, payload.len()).unwrap().value;
+        r.close(h).unwrap();
+        assert_eq!(&got[..], &payload[..], "{}", r.name());
+    });
+}
+
+#[test]
+fn partial_reads_with_seek() {
+    with_each(|r| {
+        let h = r.open("contract/seek", OpenMode::Create).unwrap().value;
+        r.write(h, b"0123456789").unwrap();
+        r.close(h).unwrap();
+        let h = r.open("contract/seek", OpenMode::Read).unwrap().value;
+        r.seek(h, 4).unwrap();
+        assert_eq!(&r.read(h, 3).unwrap().value[..], b"456", "{}", r.name());
+        // Cursor advanced past the read.
+        assert_eq!(&r.read(h, 2).unwrap().value[..], b"78", "{}", r.name());
+        r.close(h).unwrap();
+    });
+}
+
+#[test]
+fn every_operation_costs_nonnegative_time_and_data_ops_cost_positive() {
+    with_each(|r| {
+        let h = r.open("contract/cost", OpenMode::Create).unwrap();
+        let w = r.write(h.value, &[1u8; 100_000]).unwrap();
+        assert!(w.time > SimDuration::ZERO, "{} write must cost time", r.name());
+        let c = r.close(h.value).unwrap();
+        assert!(c.time >= SimDuration::ZERO);
+        let h = r.open("contract/cost", OpenMode::Read).unwrap();
+        let rd = r.read(h.value, 100_000).unwrap();
+        assert!(rd.time > SimDuration::ZERO, "{} read must cost time", r.name());
+        r.close(h.value).unwrap();
+    });
+}
+
+#[test]
+fn read_mode_and_write_mode_are_exclusive() {
+    with_each(|r| {
+        let h = r.open("contract/mode", OpenMode::Create).unwrap().value;
+        assert!(matches!(r.read(h, 1), Err(StorageError::BadMode { .. })), "{}", r.name());
+        r.write(h, b"x").unwrap();
+        r.close(h).unwrap();
+        let h = r.open("contract/mode", OpenMode::Read).unwrap().value;
+        assert!(matches!(r.write(h, b"y"), Err(StorageError::BadMode { .. })), "{}", r.name());
+        r.close(h).unwrap();
+    });
+}
+
+#[test]
+fn missing_file_read_is_not_found() {
+    with_each(|r| {
+        assert!(
+            matches!(r.open("contract/ghost", OpenMode::Read), Err(StorageError::NotFound(_))),
+            "{}",
+            r.name()
+        );
+    });
+}
+
+#[test]
+fn closed_handles_go_stale() {
+    with_each(|r| {
+        let h = r.open("contract/stale", OpenMode::Create).unwrap().value;
+        r.close(h).unwrap();
+        assert!(matches!(r.write(h, b"x"), Err(StorageError::BadHandle)), "{}", r.name());
+    });
+}
+
+#[test]
+fn offline_resources_reject_io_then_recover() {
+    with_each(|r| {
+        r.set_online(false);
+        assert!(
+            matches!(r.open("contract/off", OpenMode::Create), Err(StorageError::Offline { .. })),
+            "{}",
+            r.name()
+        );
+        r.set_online(true);
+        assert!(r.connect().is_ok());
+        assert!(r.open("contract/off", OpenMode::Create).is_ok(), "{}", r.name());
+    });
+}
+
+#[test]
+fn usage_accounting_tracks_writes_and_deletes() {
+    with_each(|r| {
+        let before = r.used_bytes();
+        let h = r.open("contract/acct", OpenMode::Create).unwrap().value;
+        r.write(h, &[0u8; 12_345]).unwrap();
+        r.close(h).unwrap();
+        assert_eq!(r.used_bytes() - before, 12_345, "{}", r.name());
+        assert_eq!(r.file_size("contract/acct"), Some(12_345));
+        r.delete("contract/acct").unwrap();
+        assert_eq!(r.used_bytes(), before, "{}", r.name());
+        assert!(!r.exists("contract/acct"));
+    });
+}
+
+#[test]
+fn list_is_prefix_scoped_and_sorted() {
+    with_each(|r| {
+        for p in ["contract/ls/b", "contract/ls/a", "other/x"] {
+            let h = r.open(p, OpenMode::Create).unwrap().value;
+            r.write(h, b"1").unwrap();
+            r.close(h).unwrap();
+        }
+        let ls = r.list("contract/ls/");
+        assert_eq!(ls, vec!["contract/ls/a".to_owned(), "contract/ls/b".to_owned()], "{}", r.name());
+    });
+}
+
+#[test]
+fn stats_count_operations() {
+    with_each(|r| {
+        r.reset_stats();
+        let h = r.open("contract/stats", OpenMode::Create).unwrap().value;
+        r.write(h, b"abc").unwrap();
+        r.write(h, b"def").unwrap();
+        r.close(h).unwrap();
+        let s = r.stats();
+        assert_eq!((s.opens, s.writes, s.closes), (1, 2, 1), "{}", r.name());
+        assert_eq!(s.bytes_written, 6);
+    });
+}
+
+#[test]
+fn append_mode_continues_at_the_end() {
+    with_each(|r| {
+        let h = r.open("contract/app", OpenMode::Create).unwrap().value;
+        r.write(h, b"aaa").unwrap();
+        r.close(h).unwrap();
+        let h = r.open("contract/app", OpenMode::Append).unwrap().value;
+        r.write(h, b"bbb").unwrap();
+        r.close(h).unwrap();
+        assert_eq!(r.file_size("contract/app"), Some(6), "{}", r.name());
+        let h = r.open("contract/app", OpenMode::Read).unwrap().value;
+        assert_eq!(&r.read(h, 6).unwrap().value[..], b"aaabbb");
+        r.close(h).unwrap();
+    });
+}
+
+#[test]
+fn transfer_model_is_monotone_in_size() {
+    with_each(|r| {
+        let mut last = SimDuration::ZERO;
+        for exp in 10..24 {
+            let t = r.transfer_model(msr_storage::OpKind::Write, 1 << exp, 1);
+            assert!(t >= last, "{} non-monotone at 2^{exp}", r.name());
+            last = t;
+        }
+    });
+}
+
+#[test]
+fn stream_hint_never_speeds_up_io() {
+    with_each(|r| {
+        let h = r.open("contract/hint", OpenMode::Create).unwrap().value;
+        r.write(h, &[0u8; 200_000]).unwrap();
+        r.close(h).unwrap();
+        // Average a few samples to smooth device jitter.
+        let avg = |r: &mut dyn StorageResource| {
+            let h = r.open("contract/hint", OpenMode::Read).unwrap().value;
+            let mut total = SimDuration::ZERO;
+            for _ in 0..5 {
+                r.seek(h, 0).unwrap();
+                total += r.read(h, 200_000).unwrap().time;
+            }
+            r.close(h).unwrap();
+            total / 5.0
+        };
+        r.set_stream_hint(1);
+        let alone = avg(r);
+        r.set_stream_hint(8);
+        let contended = avg(r);
+        r.set_stream_hint(1);
+        assert!(
+            contended.as_secs() >= alone.as_secs() * 0.95,
+            "{}: contended {contended} vs alone {alone}",
+            r.name()
+        );
+    });
+}

@@ -1,0 +1,124 @@
+//! Astro3D with the paper's command-line parameters — problem size, total
+//! iterations, per-kind dump frequencies and a placement configuration —
+//! plus the IJ-GUI-style prediction table before the run.
+//!
+//! ```text
+//! cargo run --release --example astro3d_cli -- \
+//!     --size 32 --iters 24 --analysis-freq 6 --viz-freq 6 --ckpt-freq 6 \
+//!     --config 2 --seed 7
+//! ```
+//!
+//! `--config 1..5` selects the Fig. 9 placement configurations;
+//! `--predict-only` prints the Fig. 11 table and exits.
+
+use msr::prelude::*;
+
+struct Args {
+    size: u64,
+    iters: u32,
+    analysis_freq: u32,
+    viz_freq: u32,
+    ckpt_freq: u32,
+    config: u8,
+    seed: u64,
+    predict_only: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        size: 32,
+        iters: 24,
+        analysis_freq: 6,
+        viz_freq: 6,
+        ckpt_freq: 6,
+        config: 2,
+        seed: 7,
+        predict_only: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_default()
+        };
+        match argv[i].as_str() {
+            "--size" => args.size = take(&mut i).parse().expect("--size N"),
+            "--iters" => args.iters = take(&mut i).parse().expect("--iters N"),
+            "--analysis-freq" => args.analysis_freq = take(&mut i).parse().expect("freq"),
+            "--viz-freq" => args.viz_freq = take(&mut i).parse().expect("freq"),
+            "--ckpt-freq" => args.ckpt_freq = take(&mut i).parse().expect("freq"),
+            "--config" => args.config = take(&mut i).parse().expect("--config 1..5"),
+            "--seed" => args.seed = take(&mut i).parse().expect("--seed N"),
+            "--predict-only" => args.predict_only = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    args
+}
+
+fn main() -> CoreResult<()> {
+    let a = parse_args();
+    let mut sys = MsrSystem::testbed(a.seed);
+    println!("building the performance database (PTool)...");
+    sys.run_ptool(&PTool::default())?;
+
+    let mut cfg = Astro3dConfig::small(a.size, a.iters);
+    cfg.analysis_freq = a.analysis_freq;
+    cfg.viz_freq = a.viz_freq;
+    cfg.ckpt_freq = a.ckpt_freq;
+    cfg.plan = PlacementPlan::fig9(a.config);
+    cfg.step_mode = StepMode::Physics;
+    cfg.seed = a.seed;
+    let (grid, iters) = (cfg.grid, cfg.iterations);
+    println!(
+        "astro3d: {size}^3, N={iters}, freqs {af}/{vf}/{cf}, config {cfgn}, ~{gb:.2} GB of dumps\n",
+        size = a.size,
+        af = a.analysis_freq,
+        vf = a.viz_freq,
+        cf = a.ckpt_freq,
+        cfgn = a.config,
+        gb = cfg.total_dump_bytes() as f64 / 1e9,
+    );
+
+    let mut sim = Astro3d::new(cfg);
+    let mut session = sys.init_session("astro3d", "cli", iters, grid)?;
+    let specs = sim.dataset_specs();
+    let mut handles = Vec::new();
+    for spec in specs {
+        handles.push((session.open(spec.clone())?, spec));
+    }
+
+    // The IJ-GUI view: predicted VIRTUALTIME per dataset.
+    let prediction = session.predict()?;
+    println!("{prediction}");
+    if a.predict_only {
+        return Ok(());
+    }
+
+    println!("running...");
+    for iter in 0..=iters {
+        for (h, spec) in &handles {
+            if session.dumps_at(*h, iter) {
+                let data = sim.field_bytes(&spec.name).expect("known field");
+                session.write_iteration(*h, iter, &data)?;
+            }
+        }
+        if iter < iters {
+            sim.advance();
+        }
+    }
+    let report = session.finalize()?;
+    println!("{report}");
+    println!(
+        "predicted {:.1}s vs actual {:.1}s ({:+.1}%)",
+        prediction.total.as_secs(),
+        report.total_io.as_secs(),
+        (prediction.total.as_secs() / report.total_io.as_secs() - 1.0) * 100.0
+    );
+    Ok(())
+}

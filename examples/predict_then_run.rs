@@ -1,0 +1,89 @@
+//! The §4 workflow: PTool builds the performance database, the predictor
+//! estimates the run (Fig. 11 style), the run executes, and we compare —
+//! including the §7 future-work policy where the user states only a
+//! performance target and the system picks the resources.
+//!
+//! ```text
+//! cargo run --release --example predict_then_run
+//! ```
+
+use msr::predict::compare;
+use msr::prelude::*;
+
+fn main() -> CoreResult<()> {
+    let mut sys = MsrSystem::testbed(99);
+
+    // 1. PTool: "set up her basic performance prediction database in a
+    //    single run".
+    println!("running PTool sweep over the three resources...");
+    sys.run_ptool(&PTool::default())?;
+
+    // 2. Declare the run: vr_temp to local disks, vr_press to remote disks
+    //    (the §4.2 worked example), everything else disabled.
+    let grid = ProcGrid::new(2, 2, 2);
+    let mut cfg = Astro3dConfig::small(64, 120);
+    cfg.plan = PlacementPlan::uniform(LocationHint::Disable)
+        .with("vr_temp", LocationHint::LocalDisk)
+        .with("vr_press", LocationHint::RemoteDisk);
+    let iters = cfg.iterations;
+    let mut sim = Astro3d::new(cfg);
+
+    let mut session = sys.init_session("astro3d", "xshen", iters, grid)?;
+    // Open the datasets first so the session can be predicted...
+    let specs = sim.dataset_specs();
+    let mut handles = Vec::new();
+    for spec in specs {
+        handles.push((session.open(spec.clone())?, spec));
+    }
+
+    // 3. Predict before running (this is what the user would check before
+    //    choosing her SP-2 maximum-run-time parameter).
+    let prediction = session.predict()?;
+    println!("\npredicted (Fig. 11-style table):\n{prediction}");
+
+    // 4. Actually run.
+    for iter in 0..=iters {
+        for (h, spec) in &handles {
+            if session.dumps_at(*h, iter) {
+                let data = sim.field_bytes(&spec.name).expect("known field");
+                session.write_iteration(*h, iter, &data)?;
+            }
+        }
+        if iter < iters {
+            sim.step();
+        }
+    }
+    let report = session.finalize()?;
+
+    // 5. Compare predicted vs actual per dataset.
+    let cmp = compare(
+        prediction
+            .rows
+            .iter()
+            .zip(&report.datasets)
+            .filter(|(_, a)| a.dumps > 0)
+            .map(|(p, a)| (p.name.clone(), p.total, a.io_time)),
+    );
+    println!("prediction accuracy (eq. (1) charges T_conn per dump, so the\n  relative error shrinks as dumps grow toward the paper's 2-8 MB):\n{cmp}");
+
+    // 6. The §7 future-work policy: only a performance requirement given.
+    let mut sys2 = MsrSystem::testbed(100);
+    sys2.run_ptool(&PTool::default())?;
+    sys2.set_policy(PlacementPolicy::PerformanceTarget {
+        per_dump: SimDuration::from_secs(2.0),
+    });
+    let mut s2 = sys2.init_session("astro3d", "xshen", 12, grid)?;
+    let auto = DatasetSpec::astro3d_default("vr_scalar", ElementType::U8, 64);
+    let h = s2.open(auto)?; // AUTO hint + performance target
+    let payload = sim.field_bytes("vr_scalar").expect("known field");
+    s2.write_iteration(h, 0, &payload)?;
+    let rep2 = s2.finalize()?;
+    println!(
+        "performance-target policy placed vr_scalar on: {}",
+        rep2.datasets[0]
+            .location
+            .map(|k| k.to_string())
+            .unwrap_or("-".into())
+    );
+    Ok(())
+}

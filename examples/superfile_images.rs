@@ -1,0 +1,71 @@
+//! The superfile optimization (Fig. 10(c)): Volren's many small image
+//! files on a remote resource, stored naively vs. in one container.
+//!
+//! ```text
+//! cargo run --release --example superfile_images
+//! ```
+
+use msr::apps::volren::{run_volren, run_volren_superfile, RenderMode};
+use msr::prelude::*;
+
+fn main() -> CoreResult<()> {
+    let sys = MsrSystem::testbed(11);
+    let grid = ProcGrid::new(2, 2, 2);
+    let iters = 60; // 11 frames at freq 6
+
+    // Produce vr_temp dumps on local disk (fast) so the comparison isolates
+    // the *image* I/O on the remote disk.
+    let mut cfg = Astro3dConfig::small(32, iters);
+    cfg.plan = PlacementPlan::uniform(LocationHint::Disable).with("vr_temp", LocationHint::LocalDisk);
+    let mut sim = Astro3d::new(cfg);
+    let mut session = sys.init_session("astro3d", "u", iters, grid)?;
+    sim.run(&mut session)?;
+    let run = session.run_id();
+    session.finalize()?;
+
+    let remote = sys.resource(StorageKind::RemoteDisk).expect("testbed remote disk");
+    remote.lock().connect()?;
+
+    // Naive: one remote file per frame.
+    let naive = run_volren(
+        &sys, run, "vr_temp", iters, 6, grid,
+        RenderMode::MaxIntensity, &remote, "volren/naive",
+    )?;
+
+    // Superfile: frames appended into one container.
+    let (superfile, mut sf) = run_volren_superfile(
+        &sys, run, "vr_temp", iters, 6, grid,
+        RenderMode::MaxIntensity, &remote, "volren/container",
+    )?;
+
+    // Read everything back both ways.
+    let mut naive_read = SimDuration::ZERO;
+    {
+        let mut r = remote.lock();
+        let frames: Vec<String> = r.list("volren/naive/");
+        for f in frames {
+            let open = r.open(&f, msr::storage::OpenMode::Read)?;
+            naive_read += open.time;
+            let len = r.file_size(&f).unwrap_or(0) as usize;
+            naive_read += r.read(open.value, len)?.time;
+            naive_read += r.close(open.value)?.time;
+        }
+    }
+    let mut super_read = SimDuration::ZERO;
+    for member in sf.members() {
+        let (t, _) = sf.read_member(&remote, &member)?;
+        super_read += t;
+    }
+
+    println!("frames: {}   image bytes: {}", naive.frames, naive.image_bytes);
+    println!("WRITE  naive    : {:>9.2}s", naive.write_time.as_secs());
+    println!("WRITE  superfile: {:>9.2}s", superfile.write_time.as_secs());
+    println!("READ   naive    : {:>9.2}s", naive_read.as_secs());
+    println!("READ   superfile: {:>9.2}s (1 staging read, then memory)", super_read.as_secs());
+    println!(
+        "read speedup: {:.1}x   write speedup: {:.1}x",
+        naive_read.as_secs() / super_read.as_secs().max(1e-9),
+        naive.write_time.as_secs() / superfile.write_time.as_secs().max(1e-9),
+    );
+    Ok(())
+}

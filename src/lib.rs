@@ -1,0 +1,42 @@
+//! # msr — distributed multi-storage resource architecture
+//!
+//! Facade crate re-exporting the whole reproduction of Shen, Choudhary,
+//! Matarazzo & Sinha, *"A Distributed Multi-Storage Resource Architecture
+//! and I/O Performance Prediction for Scientific Computing"* (HPDC 2000).
+//!
+//! Layer map (bottom-up, matching the paper's Fig. 3):
+//!
+//! | paper layer | crate |
+//! |---|---|
+//! | physical storage resources | [`storage`] (+ [`net`] underneath) |
+//! | native storage interfaces  | [`storage::StorageResource`] |
+//! | run-time library           | [`runtime`] |
+//! | user API                   | [`core`] |
+//! | user applications          | [`apps`] |
+//! | metadata DB (MDMS)         | [`meta`] |
+//! | I/O performance predictor  | [`predict`] |
+//!
+//! Start with [`core::MsrSystem::testbed`] and the `quickstart` example.
+
+pub use msr_apps as apps;
+pub use msr_core as core;
+pub use msr_meta as meta;
+pub use msr_net as net;
+pub use msr_predict as predict;
+pub use msr_runtime as runtime;
+pub use msr_sim as sim;
+pub use msr_storage as storage;
+
+/// The most commonly needed names in one import.
+pub mod prelude {
+    pub use msr_apps::{Astro3d, Astro3dConfig, PlacementPlan, StepMode};
+    pub use msr_core::{
+        CoreError, CoreResult, DatasetSpec, FutureUse, LocationHint, MsrSystem, PlacementPolicy,
+        RunReport, Session,
+    };
+    pub use msr_meta::{AccessMode, ElementType};
+    pub use msr_predict::{PTool, Predictor};
+    pub use msr_runtime::{Dims3, IoStrategy, Pattern, ProcGrid, Superfile};
+    pub use msr_sim::SimDuration;
+    pub use msr_storage::{OpKind, StorageKind};
+}

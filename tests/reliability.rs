@@ -1,0 +1,164 @@
+//! Failure-injection integration tests: outages, WAN partitions, capacity
+//! exhaustion and space aggregation — the §5 reliability claims.
+
+use msr::prelude::*;
+
+fn u8_spec(name: &str, hint: LocationHint) -> DatasetSpec {
+    DatasetSpec::astro3d_default(name, ElementType::U8, 16).with_hint(hint)
+}
+
+fn payload(spec: &DatasetSpec) -> Vec<u8> {
+    (0..spec.snapshot_bytes()).map(|i| (i % 253) as u8).collect()
+}
+
+#[test]
+fn wan_partition_fails_remote_placements_over_to_local() {
+    let sys = MsrSystem::testbed(201);
+    let mut s = sys.init_session("app", "u", 12, ProcGrid::new(1, 1, 1)).unwrap();
+    let spec = u8_spec("d", LocationHint::RemoteDisk).with_future_use(FutureUse::Analysis);
+    let h = s.open(spec.clone()).unwrap();
+    s.write_iteration(h, 0, &payload(&spec)).unwrap();
+    // The WAN partitions: both SDSC resources become unreachable.
+    sys.set_wan_up(false);
+    let rep = s.write_iteration(h, 6, &payload(&spec)).unwrap().unwrap();
+    assert!(rep.bytes > 0);
+    let report = s.finalize().unwrap();
+    assert_eq!(report.datasets[0].location, Some(StorageKind::LocalDisk));
+    assert!(report.events.iter().any(|e| e.reason == "network failure"));
+}
+
+#[test]
+fn capacity_exhaustion_midrun_spills_to_the_next_resource() {
+    let sys = MsrSystem::testbed(202);
+    // Local disk fits two dumps and no more.
+    let local = sys.resource(StorageKind::LocalDisk).unwrap();
+    local.lock().set_capacity(2 * 16 * 16 * 16 + 100);
+    let mut s = sys.init_session("app", "u", 24, ProcGrid::new(1, 1, 1)).unwrap();
+    // Placement checks the *whole run's* bytes, so a pinned hint for a run
+    // that cannot fit falls back immediately...
+    let spec = u8_spec("d", LocationHint::LocalDisk).with_future_use(FutureUse::Visualization);
+    let h = s.open(spec.clone()).unwrap();
+    for iter in (0..=24).step_by(6) {
+        s.write_iteration(h, iter, &payload(&spec)).unwrap();
+    }
+    let report = s.finalize().unwrap();
+    assert_eq!(report.datasets[0].dumps, 5);
+    assert_eq!(
+        report.datasets[0].location,
+        Some(StorageKind::RemoteDisk),
+        "visualization preference spills to remote disk"
+    );
+}
+
+#[test]
+fn capacity_pressure_from_another_tenant_triggers_failover() {
+    let sys = MsrSystem::testbed(203);
+    let mut s = sys.init_session("app", "u", 24, ProcGrid::new(1, 1, 1)).unwrap();
+    let spec = u8_spec("d", LocationHint::LocalDisk).with_future_use(FutureUse::Visualization);
+    let h = s.open(spec.clone()).unwrap();
+    s.write_iteration(h, 0, &payload(&spec)).unwrap();
+    // Another tenant fills the local disk between iterations.
+    let local = sys.resource(StorageKind::LocalDisk).unwrap();
+    {
+        let mut r = local.lock();
+        let used = r.used_bytes();
+        r.set_capacity(used + 100);
+    }
+    let rep = s.write_iteration(h, 6, &payload(&spec)).unwrap().unwrap();
+    assert!(rep.bytes > 0);
+    let report = s.finalize().unwrap();
+    assert!(report
+        .events
+        .iter()
+        .any(|e| e.reason == "capacity exceeded" && e.at_iteration == 6));
+}
+
+#[test]
+fn recovered_resource_is_used_by_subsequent_sessions() {
+    let sys = MsrSystem::testbed(204);
+    sys.set_resource_online(StorageKind::RemoteTape, false);
+    {
+        let mut s = sys.init_session("app", "u", 6, ProcGrid::new(1, 1, 1)).unwrap();
+        let spec = u8_spec("d", LocationHint::RemoteTape);
+        let h = s.open(spec.clone()).unwrap();
+        s.write_iteration(h, 0, &payload(&spec)).unwrap();
+        let r = s.finalize().unwrap();
+        assert_eq!(r.datasets[0].location, Some(StorageKind::RemoteDisk));
+    }
+    sys.set_resource_online(StorageKind::RemoteTape, true);
+    {
+        let mut s = sys.init_session("app", "u2", 6, ProcGrid::new(1, 1, 1)).unwrap();
+        let spec = u8_spec("d", LocationHint::RemoteTape);
+        let h = s.open(spec.clone()).unwrap();
+        s.write_iteration(h, 0, &payload(&spec)).unwrap();
+        let r = s.finalize().unwrap();
+        assert_eq!(r.datasets[0].location, Some(StorageKind::RemoteTape));
+    }
+}
+
+#[test]
+fn disable_hint_writes_nothing_anywhere() {
+    let sys = MsrSystem::testbed(205);
+    let mut s = sys.init_session("app", "u", 12, ProcGrid::new(1, 1, 1)).unwrap();
+    let spec = u8_spec("ghost", LocationHint::Disable);
+    let h = s.open(spec.clone()).unwrap();
+    for iter in (0..=12).step_by(6) {
+        assert!(s.write_iteration(h, iter, &payload(&spec)).unwrap().is_none());
+    }
+    s.finalize().unwrap();
+    for (_, res) in sys.resources() {
+        assert_eq!(res.lock().list("app/").len(), 0);
+    }
+}
+
+#[test]
+fn many_sessions_by_the_same_user_reuse_the_catalog_rows() {
+    let sys = MsrSystem::testbed(207);
+    for i in 0..4 {
+        let mut s = sys.init_session("app", "same-user", 6, ProcGrid::new(1, 1, 1)).unwrap();
+        let spec = u8_spec(&format!("d{i}"), LocationHint::LocalDisk);
+        let h = s.open(spec.clone()).unwrap();
+        s.write_iteration(h, 0, &payload(&spec)).unwrap();
+        s.finalize().unwrap();
+    }
+}
+
+#[test]
+fn the_trace_records_placements_failovers_and_staging() {
+    let sys = MsrSystem::testbed(208);
+    let grid = ProcGrid::new(1, 1, 1);
+    let mut s = sys.init_session("app", "u", 12, grid).unwrap();
+    let spec = u8_spec("d", LocationHint::RemoteTape);
+    let h = s.open(spec.clone()).unwrap();
+    s.write_iteration(h, 0, &payload(&spec)).unwrap();
+    sys.set_resource_online(StorageKind::RemoteTape, false);
+    s.write_iteration(h, 6, &payload(&spec)).unwrap();
+    let run = s.run_id();
+    s.finalize().unwrap();
+    sys.set_resource_online(StorageKind::RemoteTape, true);
+    sys.migrate_dataset(run, "d", StorageKind::LocalDisk, grid).unwrap();
+
+    assert_eq!(sys.trace.events_in("placement").len(), 1);
+    assert_eq!(sys.trace.events_in("failover").len(), 1);
+    assert_eq!(sys.trace.events_in("staging").len(), 1);
+    // Events are stamped with increasing virtual times.
+    let evs = sys.trace.events();
+    assert!(evs.windows(2).all(|w| w[0].at <= w[1].at));
+    let rendered = sys.trace.render();
+    assert!(rendered.contains("failover") && rendered.contains("staging"));
+}
+
+#[test]
+fn outage_schedule_drives_link_state() {
+    use msr::net::OutageSchedule;
+    let sys = MsrSystem::testbed(206);
+    let schedule = OutageSchedule::always_up().with_outage(100.0, 200.0);
+    // The harness applies the schedule against the virtual clock.
+    sys.clock.advance(SimDuration::from_secs(150.0));
+    sys.set_wan_up(schedule.is_up(sys.clock.now()));
+    let rd = sys.resource(StorageKind::RemoteDisk).unwrap();
+    assert!(rd.lock().connect().is_err(), "inside the outage window");
+    sys.clock.advance(SimDuration::from_secs(100.0));
+    sys.set_wan_up(schedule.is_up(sys.clock.now()));
+    assert!(rd.lock().connect().is_ok(), "after the window");
+}
