@@ -22,7 +22,13 @@ use std::collections::BTreeMap;
 pub const ANALYSIS_VARS: [&str; 6] = ["press", "temp", "rho", "ux", "uy", "uz"];
 /// The seven u8 visualization variables.
 pub const VIZ_VARS: [&str; 7] = [
-    "vr_scalar", "vr_press", "vr_rho", "vr_temp", "vr_mach", "vr_ek", "vr_logrho",
+    "vr_scalar",
+    "vr_press",
+    "vr_rho",
+    "vr_temp",
+    "vr_mach",
+    "vr_ek",
+    "vr_logrho",
 ];
 /// The six float checkpoint variables (overwritten in place).
 pub const RESTART_VARS: [&str; 6] = [
@@ -231,49 +237,46 @@ impl Astro3d {
         let adv = |q: &[f32], with_div: bool| -> Vec<f32> {
             let (ux, uy, uz) = (&self.ux, &self.uy, &self.uz);
             let mut out = vec![0.0f32; q.len()];
-            out.par_chunks_mut(n * n)
-                .enumerate()
-                .for_each(|(x, slab)| {
-                    let xp = (x + 1) % n;
-                    let xm = (x + n - 1) % n;
-                    for y in 0..n {
-                        let yp = (y + 1) % n;
-                        let ym = (y + n - 1) % n;
-                        for z in 0..n {
-                            let zp = (z + 1) % n;
-                            let zm = (z + n - 1) % n;
-                            let i = (x * n + y) * n + z;
-                            let il = |a: usize, b: usize, c: usize| (a * n + b) * n + c;
-                            let (u, v, w) = (ux[i], uy[i], uz[i]);
-                            let dqx = if u >= 0.0 {
-                                q[i] - q[il(xm, y, z)]
-                            } else {
-                                q[il(xp, y, z)] - q[i]
-                            };
-                            let dqy = if v >= 0.0 {
-                                q[i] - q[il(x, ym, z)]
-                            } else {
-                                q[il(x, yp, z)] - q[i]
-                            };
-                            let dqz = if w >= 0.0 {
-                                q[i] - q[il(x, y, zm)]
-                            } else {
-                                q[il(x, y, zp)] - q[i]
-                            };
-                            let mut dq = -(u * dqx + v * dqy + w * dqz);
-                            if with_div {
-                                let div = (ux[il(xp, y, z)] - ux[il(xm, y, z)]
-                                    + uy[il(x, yp, z)]
-                                    - uy[il(x, ym, z)]
-                                    + uz[il(x, y, zp)]
-                                    - uz[il(x, y, zm)])
-                                    / 2.0;
-                                dq -= q[i] * div;
-                            }
-                            slab[y * n + z] = q[i] + DT * dq;
+            out.par_chunks_mut(n * n).enumerate().for_each(|(x, slab)| {
+                let xp = (x + 1) % n;
+                let xm = (x + n - 1) % n;
+                for y in 0..n {
+                    let yp = (y + 1) % n;
+                    let ym = (y + n - 1) % n;
+                    for z in 0..n {
+                        let zp = (z + 1) % n;
+                        let zm = (z + n - 1) % n;
+                        let i = (x * n + y) * n + z;
+                        let il = |a: usize, b: usize, c: usize| (a * n + b) * n + c;
+                        let (u, v, w) = (ux[i], uy[i], uz[i]);
+                        let dqx = if u >= 0.0 {
+                            q[i] - q[il(xm, y, z)]
+                        } else {
+                            q[il(xp, y, z)] - q[i]
+                        };
+                        let dqy = if v >= 0.0 {
+                            q[i] - q[il(x, ym, z)]
+                        } else {
+                            q[il(x, yp, z)] - q[i]
+                        };
+                        let dqz = if w >= 0.0 {
+                            q[i] - q[il(x, y, zm)]
+                        } else {
+                            q[il(x, y, zp)] - q[i]
+                        };
+                        let mut dq = -(u * dqx + v * dqy + w * dqz);
+                        if with_div {
+                            let div = (ux[il(xp, y, z)] - ux[il(xm, y, z)] + uy[il(x, yp, z)]
+                                - uy[il(x, ym, z)]
+                                + uz[il(x, y, zp)]
+                                - uz[il(x, y, zm)])
+                                / 2.0;
+                            dq -= q[i] * div;
                         }
+                        slab[y * n + z] = q[i] + DT * dq;
                     }
-                });
+                }
+            });
             out
         };
 
@@ -531,13 +534,7 @@ impl Astro3d {
         let mut sim = Astro3d::new(cfg);
         let grid = sim.cfg.grid;
         let load = |name: &str| -> CoreResult<Vec<f32>> {
-            let (bytes, _) = sys.read_dataset(
-                run,
-                name,
-                iteration,
-                grid,
-                sim.cfg.strategy,
-            )?;
+            let (bytes, _) = sys.read_dataset(run, name, iteration, grid, sim.cfg.strategy)?;
             Ok(crate::bytes_to_f32s(&bytes))
         };
         sim.rho = load("restart_rho")?;
@@ -631,10 +628,7 @@ mod tests {
             s.step();
         }
         let m1 = s.total_mass();
-        assert!(
-            ((m1 - m0) / m0).abs() < 0.05,
-            "mass drifted {m0} -> {m1}"
-        );
+        assert!(((m1 - m0) / m0).abs() < 0.05, "mass drifted {m0} -> {m1}");
     }
 
     #[test]

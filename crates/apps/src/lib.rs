@@ -63,6 +63,9 @@ mod tests {
     #[test]
     fn byte_length_is_4x() {
         assert_eq!(f32s_to_bytes(&[1.0; 10]).len(), 40);
-        assert!(bytes_to_f32s(&[0u8; 7]).len() == 1, "trailing bytes ignored");
+        assert!(
+            bytes_to_f32s(&[0u8; 7]).len() == 1,
+            "trailing bytes ignored"
+        );
     }
 }

@@ -149,8 +149,7 @@ pub fn run_volren_superfile(
     if frequency > 0 {
         let mut iter = 0;
         while iter <= iterations {
-            let (bytes, io) =
-                sys.read_dataset(run, dataset, iter, grid, IoStrategy::Collective)?;
+            let (bytes, io) = sys.read_dataset(run, dataset, iter, grid, IoStrategy::Collective)?;
             report.read_time += io.elapsed;
             let n = u8_volume_dims(bytes.len()).ok_or_else(|| {
                 CoreError::DatasetDisabled(format!("{dataset}: not a cubic u8 volume"))
@@ -158,7 +157,8 @@ pub fn run_volren_superfile(
             let img = render(&bytes, n, mode);
             let pgm = img.to_pgm();
             report.image_bytes += pgm.len() as u64;
-            report.write_time += sf.write_member(resource, &format!("image.t{iter:05}.pgm"), &pgm)?;
+            report.write_time +=
+                sf.write_member(resource, &format!("image.t{iter:05}.pgm"), &pgm)?;
             report.frames += 1;
             iter += frequency;
         }

@@ -23,9 +23,8 @@ pub fn synthetic_volume(n: usize, seed: u64) -> Vec<u8> {
             for z in 0..n {
                 let mut v = rng.random_range(0.0f32..20.0);
                 for &(bx, by, bz, r) in &blobs {
-                    let d2 = (x as f32 - bx).powi(2)
-                        + (y as f32 - by).powi(2)
-                        + (z as f32 - bz).powi(2);
+                    let d2 =
+                        (x as f32 - bx).powi(2) + (y as f32 - by).powi(2) + (z as f32 - bz).powi(2);
                     v += 235.0 * (-d2 / (r * r)).exp();
                 }
                 out.push(v.clamp(0.0, 255.0) as u8);

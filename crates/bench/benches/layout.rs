@@ -6,9 +6,13 @@ use msr_runtime::{Dims3, Distribution, Pattern, ProcGrid};
 
 fn bench_layout(c: &mut Criterion) {
     let mut group = c.benchmark_group("layout");
-    for (n, grid) in [(64u64, ProcGrid::new(2, 2, 2)), (128, ProcGrid::new(2, 2, 2)), (128, ProcGrid::new(4, 4, 4))] {
-        let dist = Distribution::new(Dims3::cube(n), 4, Pattern::bbb(), grid)
-            .expect("valid distribution");
+    for (n, grid) in [
+        (64u64, ProcGrid::new(2, 2, 2)),
+        (128, ProcGrid::new(2, 2, 2)),
+        (128, ProcGrid::new(4, 4, 4)),
+    ] {
+        let dist =
+            Distribution::new(Dims3::cube(n), 4, Pattern::bbb(), grid).expect("valid distribution");
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{n}^3 over {grid}")),
             &dist,

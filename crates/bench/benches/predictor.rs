@@ -35,7 +35,10 @@ fn bench_predictor(c: &mut Criterion) {
         b.iter(|| predictor.predict(&spec).expect("prediction"))
     });
 
-    let profile = predictor.db.get("sdsc-hpss", OpKind::Write).expect("profile");
+    let profile = predictor
+        .db
+        .get("sdsc-hpss", OpKind::Write)
+        .expect("profile");
     c.bench_function("perfdb_interpolation", |b| {
         let mut bytes = 1000u64;
         b.iter(|| {

@@ -16,7 +16,8 @@ fn bench_superfile(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
-            sf.write_member(&res, &format!("m{i}"), &member).expect("write")
+            sf.write_member(&res, &format!("m{i}"), &member)
+                .expect("write")
         });
     });
 
@@ -24,7 +25,8 @@ fn bench_superfile(c: &mut Criterion) {
         let res = share(LocalDisk::new("b", DiskParams::simple(100.0, 1 << 30), 0));
         let (_, mut sf) = Superfile::create(&res, "c").expect("create");
         for i in 0..64 {
-            sf.write_member(&res, &format!("m{i}"), &member).expect("write");
+            sf.write_member(&res, &format!("m{i}"), &member)
+                .expect("write");
         }
         sf.close(&res).expect("close");
         let mut i = 0u64;

@@ -26,7 +26,8 @@ fn banner(title: &str) {
 }
 
 fn opt(v: Option<f64>) -> String {
-    v.map(|x| format!("{x:>12.2}")).unwrap_or_else(|| format!("{:>12}", "-"))
+    v.map(|x| format!("{x:>12.2}"))
+        .unwrap_or_else(|| format!("{:>12}", "-"))
 }
 
 fn run_table1(seed: u64) {
@@ -50,7 +51,10 @@ fn run_table1(seed: u64) {
         let p: Vec<String> = row
             .paper
             .iter()
-            .map(|v| v.map(|x| format!("{x:>10.4}")).unwrap_or_else(|| format!("{:>10}", "-")))
+            .map(|v| {
+                v.map(|x| format!("{x:>10.4}"))
+                    .unwrap_or_else(|| format!("{:>10}", "-"))
+            })
             .collect();
         println!(
             "{:<12} {:<6} | {} {} {} {} {}   (paper)",
@@ -165,10 +169,7 @@ fn run_fig11(scale: Scale, seed: u64) {
 fn run_example42(seed: u64) {
     banner("WORKED EXAMPLE (section 4.2) - vr_temp local + vr_press remote disk");
     let e = example42(seed);
-    println!(
-        "{:<22} {:>12} {:>12}",
-        "", "predicted(s)", "actual(s)"
-    );
+    println!("{:<22} {:>12} {:>12}", "", "predicted(s)", "actual(s)");
     println!(
         "{:<22} {:>12.2} {:>12.2}",
         "this reproduction",
@@ -184,10 +185,15 @@ fn run_example42(seed: u64) {
 fn run_failover(scale: Scale, seed: u64) {
     banner("RELIABILITY (section 5) - tape outage mid-run");
     let o = failover_demo(scale, seed);
-    println!("checkpoints written: {} (schedule required 9)", o.dumps_written);
+    println!(
+        "checkpoints written: {} (schedule required 9)",
+        o.dumps_written
+    );
     println!(
         "final location: {}",
-        o.final_location.map(|k| k.to_string()).unwrap_or("-".into())
+        o.final_location
+            .map(|k| k.to_string())
+            .unwrap_or("-".into())
     );
     for e in &o.events {
         println!(
@@ -203,11 +209,26 @@ fn run_failover(scale: Scale, seed: u64) {
 fn run_ablations(seed: u64) {
     banner("ABLATIONS");
     for (title, rows) in [
-        ("I/O strategy (64^3 f32 dump to remote disk, 8 procs)", ablation_strategies(seed)),
-        ("tape drive pool (4 volumes round-robin)", ablation_tape_drives(seed)),
-        ("WAN background load (8 MiB remote write)", ablation_net_load(seed)),
-        ("superfile staging cache (20 member reads)", ablation_superfile_cache(seed)),
-        ("write-behind vs synchronous (20 x 1s compute + 0.8s I/O)", ablation_writebehind(seed)),
+        (
+            "I/O strategy (64^3 f32 dump to remote disk, 8 procs)",
+            ablation_strategies(seed),
+        ),
+        (
+            "tape drive pool (4 volumes round-robin)",
+            ablation_tape_drives(seed),
+        ),
+        (
+            "WAN background load (8 MiB remote write)",
+            ablation_net_load(seed),
+        ),
+        (
+            "superfile staging cache (20 member reads)",
+            ablation_superfile_cache(seed),
+        ),
+        (
+            "write-behind vs synchronous (20 x 1s compute + 0.8s I/O)",
+            ablation_writebehind(seed),
+        ),
     ] {
         println!("\n  {title}:");
         for (label, secs) in rows {
@@ -233,8 +254,18 @@ fn main() {
         .collect();
     if wanted.is_empty() || wanted.contains(&"all") {
         wanted = vec![
-            "table1", "fig6", "fig7", "fig8", "fig9", "fig10a", "fig10b", "fig10c", "fig11",
-            "example42", "failover", "ablations",
+            "table1",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10a",
+            "fig10b",
+            "fig10c",
+            "fig11",
+            "example42",
+            "failover",
+            "ablations",
         ];
     }
     println!(

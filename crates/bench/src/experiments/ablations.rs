@@ -24,13 +24,9 @@ pub fn ablation_strategies(seed: u64) -> Vec<AblationRow> {
             let sys = MsrSystem::testbed(seed);
             let res = sys.resource(StorageKind::RemoteDisk).expect("testbed");
             res.lock().connect().expect("connect");
-            let dist = Distribution::new(
-                Dims3::cube(64),
-                4,
-                Pattern::bbb(),
-                ProcGrid::new(2, 2, 2),
-            )
-            .expect("valid distribution");
+            let dist =
+                Distribution::new(Dims3::cube(64), 4, Pattern::bbb(), ProcGrid::new(2, 2, 2))
+                    .expect("valid distribution");
             let data: Vec<u8> = (0..dist.total_bytes()).map(|i| (i % 251) as u8).collect();
             let report = IoEngine::default()
                 .write(&res, "abl/d", &data, &dist, strategy, OpenMode::Create)
@@ -99,7 +95,10 @@ pub fn ablation_net_load(seed: u64) -> Vec<AblationRow> {
             r.connect().expect("connect");
             let open = r.open("abl/load", OpenMode::Create).expect("open");
             let mut total = open.time;
-            total += r.write(open.value, &vec![0u8; 8 << 20]).expect("write").time;
+            total += r
+                .write(open.value, &vec![0u8; 8 << 20])
+                .expect("write")
+                .time;
             total += r.close(open.value).expect("close").time;
             (format!("background load {load}"), total.as_secs())
         })
@@ -119,7 +118,8 @@ pub fn ablation_superfile_cache(seed: u64) -> Vec<AblationRow> {
             let mut sf = sf.with_cache_limit(limit);
             let member = vec![7u8; 16 << 10];
             for i in 0..20 {
-                sf.write_member(&res, &format!("m{i}"), &member).expect("write");
+                sf.write_member(&res, &format!("m{i}"), &member)
+                    .expect("write");
             }
             sf.close(&res).expect("close");
             let mut total = SimDuration::ZERO;
@@ -150,7 +150,10 @@ pub fn ablation_writebehind(_seed: u64) -> Vec<AblationRow> {
     }
     vec![
         ("synchronous I/O".to_owned(), sync_total.as_secs()),
-        ("write-behind (unbounded)".to_owned(), wb.makespan().as_secs()),
+        (
+            "write-behind (unbounded)".to_owned(),
+            wb.makespan().as_secs(),
+        ),
     ]
 }
 
@@ -161,7 +164,12 @@ mod tests {
     #[test]
     fn collective_wins_the_strategy_ablation() {
         let rows = ablation_strategies(61);
-        let get = |name: &str| rows.iter().find(|(l, _)| l == name).map(|&(_, t)| t).unwrap();
+        let get = |name: &str| {
+            rows.iter()
+                .find(|(l, _)| l == name)
+                .map(|&(_, t)| t)
+                .unwrap()
+        };
         assert!(get("collective") < get("naive"));
         assert!(get("collective") <= get("subfile") * 1.5);
         assert!(get("data-sieving") < get("naive"));
@@ -174,7 +182,12 @@ mod tests {
         // With a 4-volume round-robin, 1 and 2 drives both miss on every
         // open (LRU + cyclic access), so they are near-equal; 4 drives
         // eliminate the thrash entirely.
-        assert!((t[0] - t[1]).abs() / t[0] < 0.1, "1 drive {} vs 2 drives {}", t[0], t[1]);
+        assert!(
+            (t[0] - t[1]).abs() / t[0] < 0.1,
+            "1 drive {} vs 2 drives {}",
+            t[0],
+            t[1]
+        );
         assert!(t[1] > 1.5 * t[3], "2 drives {} vs 8 drives {}", t[1], t[3]);
         // 4 volumes fit on 4 drives: no further win from 8.
         assert!((t[2] - t[3]).abs() / t[3] < 0.35);
@@ -192,7 +205,12 @@ mod tests {
     #[test]
     fn staging_cache_pays_off() {
         let rows = ablation_superfile_cache(64);
-        assert!(rows[0].1 < rows[1].1 / 2.0, "staged {} vs member reads {}", rows[0].1, rows[1].1);
+        assert!(
+            rows[0].1 < rows[1].1 / 2.0,
+            "staged {} vs member reads {}",
+            rows[0].1,
+            rows[1].1
+        );
     }
 
     #[test]

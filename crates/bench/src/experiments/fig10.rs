@@ -53,16 +53,23 @@ fn produce(
 /// disk.
 pub fn fig10a(scale: Scale, seed: u64) -> Vec<CompareRow> {
     [
-        (StorageKind::RemoteTape, LocationHint::RemoteTape, "sdsc-hpss"),
-        (StorageKind::RemoteDisk, LocationHint::RemoteDisk, "sdsc-disk"),
+        (
+            StorageKind::RemoteTape,
+            LocationHint::RemoteTape,
+            "sdsc-hpss",
+        ),
+        (
+            StorageKind::RemoteDisk,
+            LocationHint::RemoteDisk,
+            "sdsc-disk",
+        ),
     ]
     .into_iter()
     .map(|(kind, hint, resource)| {
         let sys = system_with_perfdb(scale, seed);
         let (run, iters, grid) = produce(&sys, scale, "temp", hint, seed);
-        let series =
-            run_analysis(&sys, run, "temp", iters, 6, grid, IoStrategy::Collective)
-                .expect("analysis run");
+        let series = run_analysis(&sys, run, "temp", iters, 6, grid, IoStrategy::Collective)
+            .expect("analysis run");
         let dumps = iters / 6 + 1;
         let bytes = series.bytes_read / u64::from(dumps);
         CompareRow {
@@ -78,10 +85,30 @@ pub fn fig10a(scale: Scale, seed: u64) -> Vec<CompareRow> {
 /// `vr_press` from remote disk vs tape.
 pub fn fig10b(scale: Scale, seed: u64) -> Vec<CompareRow> {
     let cases = [
-        ("vr_temp", LocationHint::LocalDisk, StorageKind::LocalDisk, "anl-local"),
-        ("vr_temp", LocationHint::RemoteTape, StorageKind::RemoteTape, "sdsc-hpss"),
-        ("vr_press", LocationHint::RemoteDisk, StorageKind::RemoteDisk, "sdsc-disk"),
-        ("vr_press", LocationHint::RemoteTape, StorageKind::RemoteTape, "sdsc-hpss"),
+        (
+            "vr_temp",
+            LocationHint::LocalDisk,
+            StorageKind::LocalDisk,
+            "anl-local",
+        ),
+        (
+            "vr_temp",
+            LocationHint::RemoteTape,
+            StorageKind::RemoteTape,
+            "sdsc-hpss",
+        ),
+        (
+            "vr_press",
+            LocationHint::RemoteDisk,
+            StorageKind::RemoteDisk,
+            "sdsc-disk",
+        ),
+        (
+            "vr_press",
+            LocationHint::RemoteTape,
+            StorageKind::RemoteTape,
+            "sdsc-hpss",
+        ),
     ];
     cases
         .into_iter()
@@ -140,13 +167,27 @@ pub fn fig10c(scale: Scale, seed: u64) -> Vec<SuperfileRow> {
             target.lock().connect().expect("connect");
 
             let naive = run_volren(
-                &sys, run, "vr_temp", iters, 6, grid,
-                RenderMode::MaxIntensity, &target, "volren/naive",
+                &sys,
+                run,
+                "vr_temp",
+                iters,
+                6,
+                grid,
+                RenderMode::MaxIntensity,
+                &target,
+                "volren/naive",
             )
             .expect("naive volren");
             let (superfile, mut sf) = run_volren_superfile(
-                &sys, run, "vr_temp", iters, 6, grid,
-                RenderMode::MaxIntensity, &target, "volren/container",
+                &sys,
+                run,
+                "vr_temp",
+                iters,
+                6,
+                grid,
+                RenderMode::MaxIntensity,
+                &target,
+                "volren/container",
             )
             .expect("superfile volren");
 

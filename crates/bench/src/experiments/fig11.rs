@@ -28,12 +28,23 @@ fn paper_values() -> Vec<(String, f64)> {
     }
     v.push(("temp".to_owned(), 812.454_3));
     for name in [
-        "vr_scalar", "vr_press", "vr_rho", "vr_temp", "vr_mach", "vr_ek", "vr_logrho",
+        "vr_scalar",
+        "vr_press",
+        "vr_rho",
+        "vr_temp",
+        "vr_mach",
+        "vr_ek",
+        "vr_logrho",
     ] {
         v.push((name.to_owned(), 932.9754));
     }
     for name in [
-        "restart_press", "restart_temp", "restart_rho", "restart_ux", "restart_uy", "restart_uz",
+        "restart_press",
+        "restart_temp",
+        "restart_rho",
+        "restart_ux",
+        "restart_uy",
+        "restart_uz",
     ] {
         v.push((name.to_owned(), 3036.3354));
     }
@@ -43,8 +54,8 @@ fn paper_values() -> Vec<(String, f64)> {
 /// Regenerate Fig. 11.
 pub fn fig11(scale: Scale, seed: u64) -> Fig11 {
     let sys = system_with_perfdb(scale, seed);
-    let plan = PlacementPlan::uniform(LocationHint::RemoteTape)
-        .with("temp", LocationHint::RemoteDisk);
+    let plan =
+        PlacementPlan::uniform(LocationHint::RemoteTape).with("temp", LocationHint::RemoteDisk);
     let cfg = scale.astro3d(plan, seed);
     let (grid, iters) = (cfg.grid, cfg.iterations);
     let sim = Astro3d::new(cfg);

@@ -5,8 +5,8 @@
 //! regenerate the same series: one PTool sweep per resource, reporting the
 //! measured (jittered) time next to the deterministic model.
 
-use msr_storage::{share, testbed, OpKind, SharedResource};
 use msr_predict::PTool;
+use msr_storage::{share, testbed, OpKind, SharedResource};
 
 /// One point of a Fig. 6/7/8 curve.
 #[derive(Debug, Clone, Copy)]
@@ -118,7 +118,13 @@ mod tests {
         for p in fig7(5) {
             if p.bytes >= 1 << 18 {
                 let err = (p.write_s - p.model_write_s).abs() / p.model_write_s;
-                assert!(err < 0.5, "size {}: measured {} model {}", p.bytes, p.write_s, p.model_write_s);
+                assert!(
+                    err < 0.5,
+                    "size {}: measured {} model {}",
+                    p.bytes,
+                    p.write_s,
+                    p.model_write_s
+                );
             }
         }
     }

@@ -21,12 +21,36 @@ pub struct Table1Row {
 /// The paper's Table 1 values.
 fn paper_rows() -> Vec<(&'static str, OpKind, [Option<f64>; 5])> {
     vec![
-        ("anl-local", OpKind::Read, [Some(0.0), Some(0.20), None, Some(0.001), Some(0.0)]),
-        ("anl-local", OpKind::Write, [Some(0.0), Some(0.21), None, Some(0.001), Some(0.0)]),
-        ("sdsc-disk", OpKind::Read, [Some(0.44), Some(0.42), Some(0.40), Some(0.63), Some(0.0002)]),
-        ("sdsc-disk", OpKind::Write, [Some(0.44), Some(0.42), None, Some(0.83), Some(0.0002)]),
-        ("sdsc-hpss", OpKind::Read, [Some(0.81), Some(6.17), None, Some(0.46), Some(0.0002)]),
-        ("sdsc-hpss", OpKind::Write, [Some(0.81), Some(6.17), None, Some(0.42), Some(0.0002)]),
+        (
+            "anl-local",
+            OpKind::Read,
+            [Some(0.0), Some(0.20), None, Some(0.001), Some(0.0)],
+        ),
+        (
+            "anl-local",
+            OpKind::Write,
+            [Some(0.0), Some(0.21), None, Some(0.001), Some(0.0)],
+        ),
+        (
+            "sdsc-disk",
+            OpKind::Read,
+            [Some(0.44), Some(0.42), Some(0.40), Some(0.63), Some(0.0002)],
+        ),
+        (
+            "sdsc-disk",
+            OpKind::Write,
+            [Some(0.44), Some(0.42), None, Some(0.83), Some(0.0002)],
+        ),
+        (
+            "sdsc-hpss",
+            OpKind::Read,
+            [Some(0.81), Some(6.17), None, Some(0.46), Some(0.0002)],
+        ),
+        (
+            "sdsc-hpss",
+            OpKind::Write,
+            [Some(0.81), Some(6.17), None, Some(0.42), Some(0.0002)],
+        ),
     ]
 }
 

@@ -104,8 +104,14 @@ mod tests {
 
     #[test]
     fn pinned_kinds() {
-        assert_eq!(LocationHint::LocalDisk.pinned_kind(), Some(StorageKind::LocalDisk));
-        assert_eq!(LocationHint::RemoteTape.pinned_kind(), Some(StorageKind::RemoteTape));
+        assert_eq!(
+            LocationHint::LocalDisk.pinned_kind(),
+            Some(StorageKind::LocalDisk)
+        );
+        assert_eq!(
+            LocationHint::RemoteTape.pinned_kind(),
+            Some(StorageKind::RemoteTape)
+        );
         assert_eq!(LocationHint::Auto.pinned_kind(), None);
         assert_eq!(LocationHint::Disable.pinned_kind(), None);
     }

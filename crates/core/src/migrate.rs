@@ -100,10 +100,7 @@ impl MsrSystem {
 
         // Capacity check up front: a migration must not strand a dataset
         // halfway.
-        let total: u64 = files
-            .iter()
-            .filter_map(|f| src.lock().file_size(f))
-            .sum();
+        let total: u64 = files.iter().filter_map(|f| src.lock().file_size(f)).sum();
         if dst.lock().available_bytes() < total {
             return Err(CoreError::NoUsableResource {
                 dataset: dataset.to_owned(),
@@ -128,7 +125,9 @@ impl MsrSystem {
             write_time: SimDuration::ZERO,
         };
         for file in &files {
-            let (data, read) = self.engine.read(&src, file, &dist, IoStrategy::Collective)?;
+            let (data, read) = self
+                .engine
+                .read(&src, file, &dist, IoStrategy::Collective)?;
             let write = self.engine.write(
                 &dst,
                 file,
@@ -178,7 +177,9 @@ mod tests {
         let spec = DatasetSpec::astro3d_default("d", ElementType::U8, 16)
             .with_hint(hint)
             .with_amode(amode);
-        let data: Vec<u8> = (0..spec.snapshot_bytes()).map(|i| (i % 250) as u8).collect();
+        let data: Vec<u8> = (0..spec.snapshot_bytes())
+            .map(|i| (i % 250) as u8)
+            .collect();
         let h = s.open(spec).unwrap();
         for iter in (0..=12).step_by(6) {
             s.write_iteration(h, iter, &data).unwrap();

@@ -92,12 +92,12 @@ fn by_performance(
     run_bytes: u64,
     per_dump: SimDuration,
 ) -> CoreResult<Option<StorageKind>> {
-    let predictor = sys.predictor().ok_or_else(|| {
-        msr_predict::PredictError::NoProfile {
+    let predictor = sys
+        .predictor()
+        .ok_or_else(|| msr_predict::PredictError::NoProfile {
             resource: "<performance database not populated — run PTool>".into(),
             op: OpKind::Write,
-        }
-    })?;
+        })?;
     let access = AccessSummary::of(dist);
     let mut meeting: Vec<(StorageKind, u64)> = Vec::new();
     let mut fastest: Option<(StorageKind, SimDuration)> = None;
@@ -109,7 +109,9 @@ fn by_performance(
         if !usable(sys, kind, run_bytes) {
             continue;
         }
-        let Some(res) = sys.resource(kind) else { continue };
+        let Some(res) = sys.resource(kind) else {
+            continue;
+        };
         let name = res.lock().name().to_owned();
         let Ok(t) = dump_time(&predictor.db, &name, OpKind::Write, spec.strategy, &access) else {
             continue;
@@ -118,7 +120,10 @@ fn by_performance(
             fastest = Some((kind, t));
         }
         if t <= per_dump {
-            let avail = sys.resource(kind).map(|r| r.lock().available_bytes()).unwrap_or(0);
+            let avail = sys
+                .resource(kind)
+                .map(|r| r.lock().available_bytes())
+                .unwrap_or(0);
             meeting.push((kind, avail));
         }
     }

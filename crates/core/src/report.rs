@@ -101,7 +101,12 @@ impl fmt::Display for RunReport {
                 e.reason
             )?;
         }
-        writeln!(f, "TOTAL I/O: {:.2}s over {} B", self.total_io.as_secs(), self.total_bytes())
+        writeln!(
+            f,
+            "TOTAL I/O: {:.2}s over {} B",
+            self.total_io.as_secs(),
+            self.total_bytes()
+        )
     }
 }
 

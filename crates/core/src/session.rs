@@ -16,6 +16,7 @@ use crate::report::{DatasetReport, PlacementEvent, RunReport};
 use crate::system::MsrSystem;
 use crate::CoreResult;
 use msr_meta::{AccessMode, DatasetId, DatasetRec, Location, MetaError, RunId};
+use msr_obs::{ops, Layer, Recorder};
 use msr_predict::{AccessSummary, DatasetPlan, PredictionReport, RunSpec};
 use msr_runtime::{Distribution, IoReport, IoStrategy, Pattern, ProcGrid};
 use msr_sim::SimDuration;
@@ -50,6 +51,7 @@ pub struct Session<'a> {
     events: Vec<PlacementEvent>,
     conn_time: SimDuration,
     finalized: bool,
+    rec: Recorder,
 }
 
 /// Failover-eligible errors: the resource is gone or full, not a caller
@@ -95,6 +97,15 @@ impl<'a> Session<'a> {
         let query_cost = catalog.config.query_cost;
         drop(catalog);
         sys.clock.advance(query_cost * 3.0);
+        let rec = sys.obs.recorder();
+        rec.count(Layer::Meta, "catalog", ops::QUERY, sys.clock.now(), 3.0);
+        rec.instant(
+            Layer::Session,
+            app,
+            ops::SESSION_INIT,
+            sys.clock.now(),
+            &format!("run{} user {user}", run.0),
+        );
         Ok(Session {
             sys,
             app: app.to_owned(),
@@ -106,6 +117,7 @@ impl<'a> Session<'a> {
             events: Vec::new(),
             conn_time: SimDuration::ZERO,
             finalized: false,
+            rec,
         })
     }
 
@@ -129,13 +141,10 @@ impl<'a> Session<'a> {
         if self.connected.contains(&kind) {
             return Ok(());
         }
-        let res = self
-            .sys
-            .resource(kind)
-            .ok_or(CoreError::NoUsableResource {
-                dataset: String::new(),
-                bytes: 0,
-            })?;
+        let res = self.sys.resource(kind).ok_or(CoreError::NoUsableResource {
+            dataset: String::new(),
+            bytes: 0,
+        })?;
         let cost = res.lock().connect()?;
         self.conn_time += cost.time;
         self.sys.clock.advance(cost.time);
@@ -149,12 +158,7 @@ impl<'a> Session<'a> {
         if self.finalized {
             return Err(CoreError::SessionClosed);
         }
-        let dist = Distribution::new(
-            spec.dims,
-            spec.etype.size(),
-            spec.pattern,
-            self.grid,
-        )?;
+        let dist = Distribution::new(spec.dims, spec.etype.size(), spec.pattern, self.grid)?;
         let run_bytes = spec.run_bytes(self.iterations);
         let location = placement::resolve(self.sys, &spec, &dist, run_bytes)?;
 
@@ -194,7 +198,9 @@ impl<'a> Session<'a> {
             format!(
                 "{} -> {} ({reason})",
                 spec.name,
-                location.map(|k| k.to_string()).unwrap_or_else(|| "-".into())
+                location
+                    .map(|k| k.to_string())
+                    .unwrap_or_else(|| "-".into())
             ),
         );
         self.events.push(PlacementEvent {
@@ -204,6 +210,25 @@ impl<'a> Session<'a> {
             at_iteration: 0,
             reason,
         });
+        self.rec.count(
+            Layer::Meta,
+            "catalog",
+            ops::QUERY,
+            self.sys.clock.now(),
+            1.0,
+        );
+        self.rec.instant(
+            Layer::Session,
+            &spec.name,
+            ops::DATASET_OPEN,
+            self.sys.clock.now(),
+            &format!(
+                "-> {}",
+                location
+                    .map(|k| k.to_string())
+                    .unwrap_or_else(|| "-".into())
+            ),
+        );
         if let Some(kind) = location {
             self.ensure_connected(kind)?;
         }
@@ -292,8 +317,7 @@ impl<'a> Session<'a> {
                     let d = &self.datasets[h.0];
                     let remaining = d.spec.snapshot_bytes()
                         * u64::from(self.iterations / d.spec.frequency.max(1) + 1 - d.dumps);
-                    let next =
-                        placement::fallback(self.sys, &d.spec, remaining, Some(kind))?;
+                    let next = placement::fallback(self.sys, &d.spec, remaining, Some(kind))?;
                     self.sys.trace.record(
                         self.sys.clock.now(),
                         "failover",
@@ -310,6 +334,16 @@ impl<'a> Session<'a> {
                         at_iteration: iter,
                         reason: reason.to_owned(),
                     });
+                    self.rec.instant(
+                        Layer::Session,
+                        &d.spec.name,
+                        ops::FAILOVER,
+                        self.sys.clock.now(),
+                        &format!(
+                            "{kind} -> {} at iter {iter}: {reason}",
+                            next.map(|k| k.to_string()).unwrap_or_else(|| "-".into())
+                        ),
+                    );
                     let meta_id = d.meta_id;
                     self.datasets[h.0].location = next;
                     let mut catalog = self.sys.catalog.lock();
@@ -321,6 +355,14 @@ impl<'a> Session<'a> {
                         },
                     )?;
                     self.sys.clock.advance(catalog.config.query_cost);
+                    drop(catalog);
+                    self.rec.count(
+                        Layer::Meta,
+                        "catalog",
+                        ops::QUERY,
+                        self.sys.clock.now(),
+                        1.0,
+                    );
                 }
             }
         }
@@ -370,9 +412,9 @@ impl<'a> Session<'a> {
             .iter()
             .map(|d| DatasetPlan {
                 name: d.spec.name.clone(),
-                resource: d.location.and_then(|k| {
-                    self.sys.resource(k).map(|r| r.lock().name().to_owned())
-                }),
+                resource: d
+                    .location
+                    .and_then(|k| self.sys.resource(k).map(|r| r.lock().name().to_owned())),
                 op: OpKind::Write,
                 frequency: d.spec.frequency,
                 strategy: d.spec.strategy,
@@ -404,6 +446,13 @@ impl<'a> Session<'a> {
         self.sys.clock.advance(disconnect_time);
         self.conn_time += disconnect_time;
         self.finalized = true;
+        self.rec.instant(
+            Layer::Session,
+            &self.app,
+            ops::SESSION_FINALIZE,
+            self.sys.clock.now(),
+            &format!("run{}", self.run.0),
+        );
 
         let datasets = self
             .datasets
@@ -417,11 +466,7 @@ impl<'a> Session<'a> {
                 native_calls: d.native_calls,
             })
             .collect::<Vec<_>>();
-        let total_io = datasets
-            .iter()
-            .map(|d| d.io_time)
-            .sum::<SimDuration>()
-            + self.conn_time;
+        let total_io = datasets.iter().map(|d| d.io_time).sum::<SimDuration>() + self.conn_time;
         Ok(RunReport {
             run: self.run,
             datasets,
@@ -446,6 +491,9 @@ impl<'a> Session<'a> {
             (rec, catalog.config.query_cost)
         };
         sys.clock.advance(query_cost);
+        sys.obs
+            .recorder()
+            .count(Layer::Meta, "catalog", ops::QUERY, sys.clock.now(), 1.0);
         let Location::Stored(kind) = rec.location else {
             return Err(CoreError::DatasetDisabled(name.to_owned()));
         };
@@ -454,12 +502,7 @@ impl<'a> Session<'a> {
             y: rec.dims.get(1).copied().unwrap_or(1),
             z: rec.dims.get(2).copied().unwrap_or(1),
         };
-        let dist = Distribution::new(
-            dims,
-            rec.etype.size(),
-            Pattern::parse(&rec.pattern)?,
-            grid,
-        )?;
+        let dist = Distribution::new(dims, rec.etype.size(), Pattern::parse(&rec.pattern)?, grid)?;
         // Subfile layouts on storage are transposed: only the subfile
         // strategy can read them back, regardless of what the caller asked
         // for. Other layouts share the file format, so the caller's read
@@ -496,13 +539,17 @@ mod tests {
     }
 
     fn payload(spec: &DatasetSpec) -> Vec<u8> {
-        (0..spec.snapshot_bytes()).map(|i| (i % 251) as u8).collect()
+        (0..spec.snapshot_bytes())
+            .map(|i| (i % 251) as u8)
+            .collect()
     }
 
     #[test]
     fn fig5_flow_roundtrips_through_every_kind() {
         let sys = MsrSystem::testbed(2);
-        let mut s = sys.init_session("astro3d", "xshen", 12, ProcGrid::new(2, 2, 2)).unwrap();
+        let mut s = sys
+            .init_session("astro3d", "xshen", 12, ProcGrid::new(2, 2, 2))
+            .unwrap();
         let hints = [
             ("a", LocationHint::LocalDisk),
             ("b", LocationHint::RemoteDisk),
@@ -532,7 +579,13 @@ mod tests {
         assert!(report.datasets.iter().all(|d| d.dumps == 3));
         // Consumer path still finds the data through the catalog.
         let (data, _) = sys
-            .read_dataset(run, "a", 6, ProcGrid::new(2, 2, 2), msr_runtime::IoStrategy::Collective)
+            .read_dataset(
+                run,
+                "a",
+                6,
+                ProcGrid::new(2, 2, 2),
+                msr_runtime::IoStrategy::Collective,
+            )
             .unwrap();
         assert_eq!(data, payload(&handles[0].1));
     }
@@ -540,7 +593,9 @@ mod tests {
     #[test]
     fn frequency_misses_and_disable_return_none() {
         let sys = MsrSystem::testbed(2);
-        let mut s = sys.init_session("app", "u", 12, ProcGrid::new(1, 1, 1)).unwrap();
+        let mut s = sys
+            .init_session("app", "u", 12, ProcGrid::new(1, 1, 1))
+            .unwrap();
         let on = s.open(spec("on", LocationHint::LocalDisk)).unwrap();
         let off = s.open(spec("off", LocationHint::Disable)).unwrap();
         let sp = spec("x", LocationHint::LocalDisk);
@@ -555,7 +610,9 @@ mod tests {
     #[test]
     fn tape_outage_fails_over_midrun() {
         let sys = MsrSystem::testbed(2);
-        let mut s = sys.init_session("app", "u", 12, ProcGrid::new(1, 1, 1)).unwrap();
+        let mut s = sys
+            .init_session("app", "u", 12, ProcGrid::new(1, 1, 1))
+            .unwrap();
         let sp = spec("ckpt", LocationHint::RemoteTape).with_future_use(FutureUse::Archive);
         let h = s.open(sp.clone()).unwrap();
         s.write_iteration(h, 0, &payload(&sp)).unwrap();
@@ -581,13 +638,108 @@ mod tests {
         // Shrink local disk below what the dataset's run needs.
         let local = sys.resource(StorageKind::LocalDisk).unwrap();
         local.lock().set_capacity(10_000);
-        let mut s = sys.init_session("app", "u", 12, ProcGrid::new(1, 1, 1)).unwrap();
+        let mut s = sys
+            .init_session("app", "u", 12, ProcGrid::new(1, 1, 1))
+            .unwrap();
         let sp = spec("viz", LocationHint::LocalDisk).with_future_use(FutureUse::Visualization);
         // Placement sees the full disk and immediately picks the fallback.
         let h = s.open(sp.clone()).unwrap();
         s.write_iteration(h, 0, &payload(&sp)).unwrap();
         let report = s.finalize().unwrap();
         assert_eq!(report.datasets[0].location, Some(StorageKind::RemoteDisk));
+    }
+
+    /// The §5 reliability story end to end: each failover-worthy failure
+    /// class (resource offline, capacity exceeded, network failure) gets a
+    /// transparent mid-run re-placement, a recorded [`PlacementEvent`], a
+    /// catalog location update and an observability marker.
+    #[test]
+    fn section5_failover_matrix_replaces_and_updates_catalog() {
+        let sys = MsrSystem::testbed(3);
+        let mut s = sys
+            .init_session("astro3d", "u", 12, ProcGrid::new(1, 1, 1))
+            .unwrap();
+        let run = s.run_id();
+
+        let arch = spec("arch", LocationHint::RemoteTape).with_future_use(FutureUse::Archive);
+        let viz = spec("viz", LocationHint::LocalDisk).with_future_use(FutureUse::Visualization);
+        let chk = spec("chk", LocationHint::RemoteDisk).with_future_use(FutureUse::Visualization);
+        let ha = s.open(arch.clone()).unwrap();
+        let hb = s.open(viz.clone()).unwrap();
+        let hc = s.open(chk.clone()).unwrap();
+        for (h, sp) in [(ha, &arch), (hb, &viz), (hc, &chk)] {
+            s.write_iteration(h, 0, &payload(sp)).unwrap().unwrap();
+        }
+
+        // (1) Tape down for maintenance → archive data moves to remote disk.
+        sys.set_resource_online(StorageKind::RemoteTape, false);
+        s.write_iteration(ha, 6, &payload(&arch)).unwrap().unwrap();
+
+        // (2) WAN outage mid-run → the remote-disk dataset comes home.
+        sys.set_wan_up(false);
+        s.write_iteration(hc, 6, &payload(&chk)).unwrap().unwrap();
+        sys.set_wan_up(true);
+
+        // (3) Local disk fills up → the viz dataset spills to remote disk.
+        let local = sys.resource(StorageKind::LocalDisk).unwrap();
+        let used = local.lock().used_bytes();
+        local.lock().set_capacity(used + 16);
+        s.write_iteration(hb, 6, &payload(&viz)).unwrap().unwrap();
+
+        let report = s.finalize().unwrap();
+        let loc = |name: &str| {
+            report
+                .datasets
+                .iter()
+                .find(|d| d.name == name)
+                .unwrap()
+                .location
+        };
+        assert_eq!(loc("arch"), Some(StorageKind::RemoteDisk));
+        assert_eq!(loc("chk"), Some(StorageKind::LocalDisk));
+        assert_eq!(loc("viz"), Some(StorageKind::RemoteDisk));
+
+        // One failover PlacementEvent per failure class, all at iteration 6.
+        for (name, reason, to) in [
+            ("arch", "resource offline", StorageKind::RemoteDisk),
+            ("chk", "network failure", StorageKind::LocalDisk),
+            ("viz", "capacity exceeded", StorageKind::RemoteDisk),
+        ] {
+            let ev = report
+                .events
+                .iter()
+                .find(|e| e.dataset == name && e.from.is_some())
+                .unwrap_or_else(|| panic!("no failover event for {name}"));
+            assert_eq!(ev.reason, reason);
+            assert_eq!(ev.at_iteration, 6);
+            assert_eq!(ev.to, Some(to));
+        }
+
+        // The catalog tracks the moves, so later consumers find the data.
+        let mut catalog = sys.catalog.lock();
+        for (name, kind) in [
+            ("arch", StorageKind::RemoteDisk),
+            ("chk", StorageKind::LocalDisk),
+            ("viz", StorageKind::RemoteDisk),
+        ] {
+            assert_eq!(
+                catalog.find_dataset(run, name).unwrap().location,
+                msr_meta::Location::Stored(kind)
+            );
+        }
+        drop(catalog);
+
+        // And the observability stream carries the failover markers.
+        let failovers: Vec<_> = sys
+            .obs
+            .events()
+            .into_iter()
+            .filter(|e| e.layer == Layer::Session && e.op == ops::FAILOVER)
+            .collect();
+        assert_eq!(failovers.len(), 3);
+        assert!(failovers
+            .iter()
+            .any(|e| e.detail.contains("network failure")));
     }
 
     #[test]
@@ -600,7 +752,9 @@ mod tests {
         ] {
             sys.set_resource_online(k, false);
         }
-        let mut s = sys.init_session("app", "u", 12, ProcGrid::new(1, 1, 1)).unwrap();
+        let mut s = sys
+            .init_session("app", "u", 12, ProcGrid::new(1, 1, 1))
+            .unwrap();
         assert!(matches!(
             s.open(spec("x", LocationHint::RemoteTape)),
             Err(CoreError::NoUsableResource { .. })
@@ -610,7 +764,9 @@ mod tests {
     #[test]
     fn session_predict_requires_ptool() {
         let sys = MsrSystem::testbed(2);
-        let mut s = sys.init_session("app", "u", 12, ProcGrid::new(1, 1, 1)).unwrap();
+        let mut s = sys
+            .init_session("app", "u", 12, ProcGrid::new(1, 1, 1))
+            .unwrap();
         s.open(spec("x", LocationHint::LocalDisk)).unwrap();
         assert!(matches!(s.predict(), Err(CoreError::Predict(_))));
     }
@@ -624,7 +780,9 @@ mod tests {
             scratch_prefix: "ptool/s".into(),
         })
         .unwrap();
-        let mut s = sys.init_session("app", "u", 12, ProcGrid::new(1, 1, 1)).unwrap();
+        let mut s = sys
+            .init_session("app", "u", 12, ProcGrid::new(1, 1, 1))
+            .unwrap();
         s.open(spec("x", LocationHint::RemoteDisk)).unwrap();
         let pred = s.predict().unwrap();
         assert!(pred.total > SimDuration::ZERO);
@@ -637,10 +795,14 @@ mod tests {
     #[test]
     fn finalize_then_use_is_rejected() {
         let sys = MsrSystem::testbed(2);
-        let s = sys.init_session("app", "u", 12, ProcGrid::new(1, 1, 1)).unwrap();
+        let s = sys
+            .init_session("app", "u", 12, ProcGrid::new(1, 1, 1))
+            .unwrap();
         let _ = s.finalize().unwrap();
         // A new session on the same app name reuses the application row.
-        let mut s2 = sys.init_session("app", "u2", 12, ProcGrid::new(1, 1, 1)).unwrap();
+        let mut s2 = sys
+            .init_session("app", "u2", 12, ProcGrid::new(1, 1, 1))
+            .unwrap();
         assert!(s2.open(spec("y", LocationHint::LocalDisk)).is_ok());
     }
 
@@ -648,7 +810,9 @@ mod tests {
     fn clock_advances_with_io() {
         let sys = MsrSystem::testbed(2);
         let before = sys.clock.now();
-        let mut s = sys.init_session("app", "u", 6, ProcGrid::new(1, 1, 1)).unwrap();
+        let mut s = sys
+            .init_session("app", "u", 6, ProcGrid::new(1, 1, 1))
+            .unwrap();
         let sp = spec("x", LocationHint::RemoteDisk);
         let h = s.open(sp.clone()).unwrap();
         s.write_iteration(h, 0, &payload(&sp)).unwrap();

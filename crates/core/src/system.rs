@@ -5,10 +5,11 @@ use crate::session::Session;
 use crate::CoreResult;
 use msr_meta::{Catalog, ResourceRec, RunId};
 use msr_net::{LinkId, SharedNetwork};
+use msr_obs::{Recorder, Registry};
 use msr_predict::{PTool, PerfDb, Predictor};
 use msr_runtime::{IoEngine, IoStrategy, ProcGrid};
 use msr_sim::{Clock, SimDuration, Trace};
-use msr_storage::{share, testbed, SharedResource, StorageKind};
+use msr_storage::{share, testbed, ObservedResource, SharedResource, StorageKind};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -27,6 +28,9 @@ pub struct MsrSystem {
     /// Event trace on the virtual timeline (placements, failovers,
     /// staging) for debugging runs.
     pub trace: Trace,
+    /// The cross-layer observability registry: every layer's structured
+    /// events land here (see `msr-obs`).
+    pub obs: Registry,
     resources: BTreeMap<StorageKind, SharedResource>,
     predictor: Option<Predictor>,
     policy: PlacementPolicy,
@@ -56,10 +60,38 @@ impl MsrSystem {
     /// ```
     pub fn testbed(seed: u64) -> Self {
         let tb = testbed(seed);
+        let clock = Clock::new();
+        let obs = Registry::new();
+        // Every layer writes into the same registry through its own
+        // recorder, stamped with the shared virtual clock.
         let mut resources: BTreeMap<StorageKind, SharedResource> = BTreeMap::new();
-        resources.insert(StorageKind::LocalDisk, share(tb.local));
-        resources.insert(StorageKind::RemoteDisk, share(tb.remote_disk));
-        resources.insert(StorageKind::RemoteTape, share(tb.tape));
+        resources.insert(
+            StorageKind::LocalDisk,
+            share(ObservedResource::new(
+                tb.local,
+                obs.recorder(),
+                clock.clone(),
+            )),
+        );
+        resources.insert(
+            StorageKind::RemoteDisk,
+            share(ObservedResource::new(
+                tb.remote_disk,
+                obs.recorder(),
+                clock.clone(),
+            )),
+        );
+        resources.insert(
+            StorageKind::RemoteTape,
+            share(ObservedResource::new(
+                tb.tape,
+                obs.recorder(),
+                clock.clone(),
+            )),
+        );
+        tb.net.write().set_observer(obs.recorder(), clock.clone());
+        let mut engine = IoEngine::default();
+        engine.set_observer(obs.recorder(), clock.clone());
 
         let mut catalog = Catalog::new();
         for (kind, res) in &resources {
@@ -77,16 +109,23 @@ impl MsrSystem {
 
         MsrSystem {
             net: tb.net,
-            clock: Clock::new(),
+            clock,
             catalog: Arc::new(Mutex::new(catalog)),
-            engine: IoEngine::default(),
+            engine,
             trace: Trace::default(),
+            obs,
             resources,
             predictor: None,
             policy: PlacementPolicy::Hinted,
             wan_link: Some(tb.wan_link),
             seed,
         }
+    }
+
+    /// A fresh recorder attached to this system's observability registry
+    /// (for application-level events: `Layer::App`).
+    pub fn obs_recorder(&self) -> Recorder {
+        self.obs.recorder()
     }
 
     /// The master seed this system was built with.

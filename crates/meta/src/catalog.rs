@@ -3,8 +3,8 @@
 use crate::error::MetaError;
 use crate::filter::Filter;
 use crate::records::{
-    AppId, ApplicationRec, DatasetId, DatasetRec, Location, PerfSample, ResourceRec, RunId,
-    RunRec, UserId, UserRec,
+    AppId, ApplicationRec, DatasetId, DatasetRec, Location, PerfSample, ResourceRec, RunId, RunRec,
+    UserId, UserRec,
 };
 use crate::MetaResult;
 use msr_sim::SimDuration;
@@ -199,12 +199,10 @@ impl Catalog {
     /// Fetch a dataset by primary key.
     pub fn dataset(&mut self, id: DatasetId) -> MetaResult<&DatasetRec> {
         self.count_query();
-        self.datasets
-            .get(id.0 as usize)
-            .ok_or(MetaError::NotFound {
-                table: "datasets",
-                key: id.to_string(),
-            })
+        self.datasets.get(id.0 as usize).ok_or(MetaError::NotFound {
+            table: "datasets",
+            key: id.to_string(),
+        })
     }
 
     /// Find a dataset by `(run, name)` — the lookup the API layer performs

@@ -34,7 +34,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "filter parse error at byte {}: {}", self.at, self.message)
+        write!(
+            f,
+            "filter parse error at byte {}: {}",
+            self.at, self.message
+        )
     }
 }
 

@@ -191,7 +191,11 @@ mod tests {
 
     #[test]
     fn zero_bandwidth_charges_latency_only() {
-        let l = Link::new(SiteId(0), SiteId(1), LinkSpec::ideal(SimDuration::from_secs(0.5), 0.0));
+        let l = Link::new(
+            SiteId(0),
+            SiteId(1),
+            LinkSpec::ideal(SimDuration::from_secs(0.5), 0.0),
+        );
         assert_eq!(l.transfer_cost(1_000_000, 1).as_secs(), 0.5);
     }
 }

@@ -4,7 +4,8 @@ use crate::error::NetError;
 use crate::link::{Link, LinkId, LinkSpec};
 use crate::site::{Site, SiteId};
 use crate::NetResult;
-use msr_sim::{stream_rng, SimDuration};
+use msr_obs::{ops, Layer, Recorder};
+use msr_sim::{stream_rng, Clock, SimDuration};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use std::cmp::Ordering;
@@ -21,6 +22,8 @@ pub struct Network {
     links: Vec<Link>,
     adj: Vec<Vec<LinkId>>,
     rng: Mutex<StdRng>,
+    recorder: Recorder,
+    clock: Clock,
 }
 
 impl Network {
@@ -31,6 +34,35 @@ impl Network {
             links: Vec::new(),
             adj: Vec::new(),
             rng: Mutex::new(stream_rng(seed, "network-jitter")),
+            recorder: Recorder::disabled(),
+            clock: Clock::new(),
+        }
+    }
+
+    /// Attach an observability recorder; transfer spans and failure instants
+    /// are stamped with `clock`'s current virtual time.
+    pub fn set_observer(&mut self, recorder: Recorder, clock: Clock) {
+        self.recorder = recorder;
+        self.clock = clock;
+    }
+
+    /// Display name for a route: the endpoint sites of its first and last
+    /// links (e.g. `"ANL-SDSC"`); a loopback route is `"local"`.
+    fn route_name(&self, route: &[LinkId]) -> String {
+        match (route.first(), route.last()) {
+            (Some(&f), Some(&l)) => {
+                let first = &self.links[f.index()];
+                let last = &self.links[l.index()];
+                // Orient: the first link's endpoint not shared with the rest.
+                let start = if route.len() > 1 && (first.a == last.a || first.a == last.b) {
+                    first.b
+                } else {
+                    first.a
+                };
+                let end = if last.b == start { last.a } else { last.b };
+                format!("{}-{}", self.site_name(start), self.site_name(end))
+            }
+            _ => "local".to_owned(),
         }
     }
 
@@ -189,6 +221,15 @@ impl Network {
     /// a pure round-trip-shaped control message (pays latency only).
     pub fn transfer(&self, route: &[LinkId], bytes: u64, streams: u32) -> NetResult<SimDuration> {
         if !self.route_up(route) {
+            if self.recorder.enabled() {
+                self.recorder.instant(
+                    Layer::Network,
+                    &self.route_name(route),
+                    ops::TRANSFER_FAILED,
+                    self.clock.now(),
+                    "route down",
+                );
+            }
             return Err(NetError::RouteDown);
         }
         let mut rng = self.rng.lock();
@@ -197,6 +238,17 @@ impl Network {
             let l = &self.links[lid.index()];
             let raw = l.transfer_cost(bytes, streams);
             total += l.spec.jitter.apply(raw, &mut *rng);
+        }
+        drop(rng);
+        if self.recorder.enabled() && !route.is_empty() {
+            self.recorder.span(
+                Layer::Network,
+                &self.route_name(route),
+                ops::TRANSFER,
+                self.clock.now(),
+                total,
+                bytes,
+            );
         }
         Ok(total)
     }

@@ -1,0 +1,168 @@
+//! Exporters: JSON-lines for machine consumption and Chrome `trace_event`
+//! JSON for `about:tracing` / Perfetto / `chrome://tracing`.
+
+use crate::event::{Event, EventKind};
+use serde::{Num, Serialize, Value};
+use std::collections::BTreeMap;
+
+/// One JSON object per line, in emission order.
+pub fn jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&serde_json::to_string(e).expect("event serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+fn obj(entries: Vec<(&str, Value)>) -> Value {
+    Value::Obj(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect::<BTreeMap<_, _>>(),
+    )
+}
+
+fn micros(secs: f64) -> Value {
+    Value::Num(Num::F(secs * 1e6))
+}
+
+/// Render events in Chrome's JSON-object trace format: spans become `"X"`
+/// (complete) events, instants `"i"`, counts `"C"` counter samples. Layers
+/// map to trace processes and resources to threads, so Perfetto groups the
+/// timeline by architectural layer.
+pub fn chrome_trace(events: &[Event]) -> String {
+    // Stable pid per layer, tid per (layer, resource).
+    let mut pids: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut tids: BTreeMap<(&str, &str), u64> = BTreeMap::new();
+    for e in events {
+        let next = pids.len() as u64 + 1;
+        let pid = *pids.entry(e.layer.name()).or_insert(next);
+        let next_tid = tids.len() as u64 + 1;
+        tids.entry((e.layer.name(), e.resource.as_str()))
+            .or_insert(pid * 1000 + next_tid);
+    }
+
+    let mut trace_events: Vec<Value> = Vec::with_capacity(events.len() + pids.len());
+
+    // Metadata: name the processes and threads.
+    for (layer, pid) in &pids {
+        trace_events.push(obj(vec![
+            ("ph", Value::Str("M".into())),
+            ("name", Value::Str("process_name".into())),
+            ("pid", Value::Num(Num::U(*pid))),
+            ("args", obj(vec![("name", Value::Str((*layer).to_owned()))])),
+        ]));
+    }
+    for ((layer, resource), tid) in &tids {
+        trace_events.push(obj(vec![
+            ("ph", Value::Str("M".into())),
+            ("name", Value::Str("thread_name".into())),
+            ("pid", Value::Num(Num::U(pids[layer]))),
+            ("tid", Value::Num(Num::U(*tid))),
+            (
+                "args",
+                obj(vec![("name", Value::Str((*resource).to_owned()))]),
+            ),
+        ]));
+    }
+
+    for e in events {
+        let pid = pids[e.layer.name()];
+        let tid = tids[&(e.layer.name(), e.resource.as_str())];
+        let mut args: Vec<(&str, Value)> = Vec::new();
+        if e.bytes > 0 {
+            args.push(("bytes", Value::Num(Num::U(e.bytes))));
+        }
+        if !e.detail.is_empty() {
+            args.push(("detail", Value::Str(e.detail.clone())));
+        }
+        let common = |ph: &str| {
+            vec![
+                ("ph", Value::Str(ph.to_owned())),
+                ("name", Value::Str(e.op.clone())),
+                ("cat", Value::Str(e.layer.name().to_owned())),
+                ("ts", micros(e.at.as_secs())),
+                ("pid", Value::Num(Num::U(pid))),
+                ("tid", Value::Num(Num::U(tid))),
+            ]
+        };
+        let entry = match e.kind {
+            EventKind::Span => {
+                let mut v = common("X");
+                v.push(("dur", micros(e.dur.as_secs())));
+                v.push(("args", obj(args)));
+                v
+            }
+            EventKind::Instant => {
+                let mut v = common("i");
+                v.push(("s", Value::Str("t".into())));
+                v.push(("args", obj(args)));
+                v
+            }
+            EventKind::Count => {
+                let mut v = common("C");
+                v.push(("args", obj(vec![("value", Value::Num(Num::F(e.value)))])));
+                v
+            }
+        };
+        trace_events.push(obj(entry));
+    }
+
+    let root = obj(vec![
+        ("traceEvents", Value::Arr(trace_events)),
+        ("displayTimeUnit", Value::Str("ms".into())),
+    ]);
+    serde_json::to_string(&Serialize::to_value(&root)).expect("trace serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Layer;
+    use msr_sim::{SimDuration, SimTime};
+
+    fn span(at: f64, dur: f64, resource: &str, op: &str) -> Event {
+        Event {
+            seq: 0,
+            at: SimTime::from_secs(at),
+            dur: SimDuration::from_secs(dur),
+            layer: Layer::Storage,
+            resource: resource.into(),
+            op: op.into(),
+            bytes: 512,
+            value: 0.0,
+            detail: String::new(),
+            kind: EventKind::Span,
+        }
+    }
+
+    #[test]
+    fn jsonl_one_line_per_event() {
+        let events = vec![span(0.0, 1.0, "d", "write"), span(1.0, 2.0, "d", "read")];
+        let out = jsonl(&events);
+        assert_eq!(out.lines().count(), 2);
+        for line in out.lines() {
+            serde_json::parse_value(line).expect("each line is JSON");
+        }
+    }
+
+    #[test]
+    fn chrome_trace_structure() {
+        let events = vec![span(0.0, 1.5, "disk", "write")];
+        let trace = chrome_trace(&events);
+        let v = serde_json::parse_value(&trace).unwrap();
+        let arr = v.as_obj().unwrap()["traceEvents"].as_arr().unwrap();
+        // 1 process meta + 1 thread meta + 1 span.
+        assert_eq!(arr.len(), 3);
+        let span = arr
+            .iter()
+            .filter_map(Value::as_obj)
+            .find(|o| o["ph"].as_str() == Some("X"))
+            .expect("complete event present");
+        assert_eq!(span["name"].as_str(), Some("write"));
+        let ts = span["dur"].as_num().unwrap().as_f64();
+        assert!((ts - 1_500_000.0).abs() < 1e-6);
+    }
+}

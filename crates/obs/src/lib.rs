@@ -1,0 +1,186 @@
+//! `msr-obs` — cross-layer observability for the multi-storage resource
+//! architecture.
+//!
+//! The paper's PTool "runs in the background and collects performance
+//! numbers automatically"; this crate is that background. Every
+//! architectural layer (storage native calls, network transfers, runtime
+//! strategies, session lifecycle) emits structured [`Event`]s through a
+//! [`Recorder`] — a cheap clonable handle holding a per-component buffer
+//! that batches into a shared [`Registry`]. Exporters turn the collected
+//! stream into JSON-lines, an aggregated [`MetricsSnapshot`] or Chrome
+//! `trace_event` JSON (loadable in `about:tracing` / Perfetto), and
+//! `msr-predict`'s `PerfDbFeeder` consumes it to keep the performance
+//! database tracking observed behaviour online.
+//!
+//! Everything is timestamped with the simulation clock ([`SimTime`]), not
+//! wall time: traces line up with predicted/actual comparisons.
+//!
+//! Building this crate with `default-features = false` compiles all record
+//! calls down to empty inlined functions (no buffer, no lock, no branch) —
+//! the zero-cost "sink disabled" configuration.
+
+mod event;
+mod export;
+mod metrics;
+mod recorder;
+mod registry;
+
+pub use event::{Event, EventKind, Layer};
+pub use export::{chrome_trace, jsonl};
+pub use metrics::{GaugeStat, Histogram, MetricsSnapshot, OpMetrics};
+pub use recorder::Recorder;
+pub use registry::{Registry, DEFAULT_CAPACITY};
+
+/// Canonical operation names for the eq. (1) native-call components, used by
+/// both the storage instrumentation and the performance-database feeder.
+pub mod ops {
+    /// `T_conn`: connect to a storage server.
+    pub const CONN: &str = "conn";
+    /// `T_connclose`: tear down a connection.
+    pub const CONNCLOSE: &str = "connclose";
+    /// `T_open`: open a file.
+    pub const OPEN: &str = "open";
+    /// `T_seek`: position within a file.
+    pub const SEEK: &str = "seek";
+    /// `T_read(s)`: transfer bytes in.
+    pub const READ: &str = "read";
+    /// `T_write(s)`: transfer bytes out.
+    pub const WRITE: &str = "write";
+    /// `T_close`: close a file.
+    pub const CLOSE: &str = "close";
+    /// A failover re-placement (session layer).
+    pub const FAILOVER: &str = "failover";
+    /// A network transfer over a route (network layer).
+    pub const TRANSFER: &str = "transfer";
+    /// A failed network transfer (network layer instant).
+    pub const TRANSFER_FAILED: &str = "transfer_failed";
+    /// A file delete (storage layer).
+    pub const DELETE: &str = "delete";
+    /// A metadata-catalog query (meta layer counter).
+    pub const QUERY: &str = "query";
+    /// Session start (session layer instant).
+    pub const SESSION_INIT: &str = "session_init";
+    /// Session end (session layer instant).
+    pub const SESSION_FINALIZE: &str = "session_finalize";
+    /// A dataset declared and placed (session layer instant).
+    pub const DATASET_OPEN: &str = "dataset_open";
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msr_sim::{SimDuration, SimTime};
+
+    fn at(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn recorder_flushes_into_registry() {
+        let reg = Registry::new();
+        let rec = reg.recorder();
+        for i in 0..10 {
+            rec.span(
+                Layer::Storage,
+                "disk",
+                ops::WRITE,
+                at(i as f64),
+                SimDuration::from_secs(0.5),
+                1024,
+            );
+        }
+        rec.instant(Layer::Session, "s0", "open", at(11.0), "dataset temp");
+        let events = reg.events();
+        assert_eq!(events.len(), 11);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(events[0].bytes, 1024);
+        assert_eq!(events[10].detail, "dataset temp");
+    }
+
+    #[test]
+    fn multiple_recorders_interleave_by_seq() {
+        let reg = Registry::new();
+        let a = reg.recorder();
+        let b = reg.recorder();
+        a.count(Layer::Meta, "catalog", "queries", at(1.0), 1.0);
+        b.count(Layer::Meta, "catalog", "queries", at(2.0), 1.0);
+        a.count(Layer::Meta, "catalog", "queries", at(3.0), 1.0);
+        let events = reg.events();
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let rec = Recorder::disabled();
+        assert!(!rec.enabled());
+        rec.span(
+            Layer::Storage,
+            "disk",
+            ops::READ,
+            at(0.0),
+            SimDuration::ZERO,
+            0,
+        );
+    }
+
+    #[test]
+    fn capacity_bounds_memory() {
+        let reg = Registry::with_capacity(16);
+        let rec = reg.recorder();
+        for i in 0..100 {
+            rec.instant(Layer::App, "w", "tick", at(i as f64), "");
+        }
+        drop(rec);
+        assert!(reg.events().len() <= 16);
+        assert!(reg.dropped() >= 84);
+    }
+
+    #[cfg(feature = "record")]
+    #[test]
+    fn snapshot_aggregates_per_op() {
+        let reg = Registry::new();
+        let rec = reg.recorder();
+        for i in 0..4 {
+            rec.span(
+                Layer::Storage,
+                "disk",
+                ops::WRITE,
+                at(i as f64),
+                SimDuration::from_secs(1.0 + i as f64),
+                1 << 20,
+            );
+        }
+        rec.instant(Layer::Session, "s", ops::FAILOVER, at(9.0), "tape full");
+        let snap = reg.snapshot();
+        assert_eq!(snap.failovers, 1);
+        let m = snap
+            .per_op
+            .iter()
+            .find(|m| m.op == ops::WRITE)
+            .expect("write metrics");
+        assert_eq!(m.count, 4);
+        assert_eq!(m.bytes, 4 << 20);
+        assert!(m.p50_secs >= 1.0 && m.max_secs == 4.0);
+        assert!(m.throughput_mb_s > 0.0);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json() {
+        let reg = Registry::new();
+        let rec = reg.recorder();
+        rec.span(
+            Layer::Runtime,
+            "engine",
+            "write:collective",
+            at(1.0),
+            SimDuration::from_secs(2.0),
+            8 << 20,
+        );
+        rec.instant(Layer::Session, "s", ops::FAILOVER, at(2.0), "offline");
+        let trace = chrome_trace(&reg.events());
+        let v = serde_json::parse_value(&trace).expect("valid JSON");
+        let obj = v.as_obj().expect("object");
+        assert!(obj.contains_key("traceEvents"));
+    }
+}

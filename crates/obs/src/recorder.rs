@@ -1,0 +1,180 @@
+//! The emitting side: a cheap handle with its own buffer, batching into
+//! the shared registry so hot paths touch the global store only once per
+//! [`FLUSH_BATCH`] events.
+
+use crate::event::{Event, EventKind, Layer};
+use crate::registry::Inner;
+use msr_sim::{SimDuration, SimTime};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Events buffered per recorder before a flush into the registry.
+pub const FLUSH_BATCH: usize = 64;
+
+/// One recorder's private buffer (the "per-session buffer" of the design).
+#[derive(Debug, Default)]
+pub(crate) struct ShardBuf {
+    pub(crate) buf: Mutex<Vec<Event>>,
+}
+
+/// Drain every live recorder buffer into the registry store.
+pub(crate) fn flush_all(reg: &Arc<Inner>) {
+    let mut shards = reg.shards.lock();
+    shards.retain(|weak| match weak.upgrade() {
+        Some(shard) => {
+            reg.ingest(&mut shard.buf.lock());
+            true
+        }
+        None => false,
+    });
+}
+
+/// A handle components record through. Clones share one buffer; a
+/// disconnected recorder ([`Recorder::disabled`]) ignores every call, and
+/// with the `record` feature off *all* recorders compile to no-ops.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    #[cfg(feature = "record")]
+    inner: Option<(Arc<ShardBuf>, Arc<Inner>)>,
+}
+
+impl Recorder {
+    /// A recorder that drops everything (the default for un-wired
+    /// components).
+    pub fn disabled() -> Recorder {
+        Recorder::default()
+    }
+
+    #[cfg(feature = "record")]
+    pub(crate) fn attached(reg: &Arc<Inner>) -> Recorder {
+        let shard = Arc::new(ShardBuf::default());
+        reg.shards.lock().push(Arc::downgrade(&shard));
+        Recorder {
+            inner: Some((shard, Arc::clone(reg))),
+        }
+    }
+
+    #[cfg(not(feature = "record"))]
+    pub(crate) fn attached(_reg: &Arc<Inner>) -> Recorder {
+        Recorder::default()
+    }
+
+    /// Whether events recorded here can reach a registry.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        #[cfg(feature = "record")]
+        {
+            self.inner.is_some()
+        }
+        #[cfg(not(feature = "record"))]
+        {
+            false
+        }
+    }
+
+    #[cfg(feature = "record")]
+    fn emit(&self, mut e: Event) {
+        if let Some((shard, reg)) = &self.inner {
+            e.seq = reg.seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let mut buf = shard.buf.lock();
+            buf.push(e);
+            if buf.len() >= FLUSH_BATCH {
+                reg.ingest(&mut buf);
+            }
+        }
+    }
+
+    /// Record an operation that took `dur` starting at `at`; `bytes` is the
+    /// payload volume for transfer-shaped ops (0 otherwise).
+    #[inline]
+    pub fn span(
+        &self,
+        layer: Layer,
+        resource: &str,
+        op: &str,
+        at: SimTime,
+        dur: SimDuration,
+        bytes: u64,
+    ) {
+        #[cfg(feature = "record")]
+        if self.inner.is_some() {
+            self.emit(Event {
+                seq: 0,
+                at,
+                dur,
+                layer,
+                resource: resource.to_owned(),
+                op: op.to_owned(),
+                bytes,
+                value: 0.0,
+                detail: String::new(),
+                kind: EventKind::Span,
+            });
+        }
+        #[cfg(not(feature = "record"))]
+        {
+            let _ = (layer, resource, op, at, dur, bytes);
+        }
+    }
+
+    /// Record a point-in-time marker with free-form context.
+    #[inline]
+    pub fn instant(&self, layer: Layer, resource: &str, op: &str, at: SimTime, detail: &str) {
+        #[cfg(feature = "record")]
+        if self.inner.is_some() {
+            self.emit(Event {
+                seq: 0,
+                at,
+                dur: SimDuration::ZERO,
+                layer,
+                resource: resource.to_owned(),
+                op: op.to_owned(),
+                bytes: 0,
+                value: 0.0,
+                detail: detail.to_owned(),
+                kind: EventKind::Instant,
+            });
+        }
+        #[cfg(not(feature = "record"))]
+        {
+            let _ = (layer, resource, op, at, detail);
+        }
+    }
+
+    /// Record a numeric sample: a counter increment or gauge level (e.g.
+    /// queue depth at `at`).
+    #[inline]
+    pub fn count(&self, layer: Layer, resource: &str, op: &str, at: SimTime, value: f64) {
+        #[cfg(feature = "record")]
+        if self.inner.is_some() {
+            self.emit(Event {
+                seq: 0,
+                at,
+                dur: SimDuration::ZERO,
+                layer,
+                resource: resource.to_owned(),
+                op: op.to_owned(),
+                bytes: 0,
+                value,
+                detail: String::new(),
+                kind: EventKind::Count,
+            });
+        }
+        #[cfg(not(feature = "record"))]
+        {
+            let _ = (layer, resource, op, at, value);
+        }
+    }
+}
+
+#[cfg(feature = "record")]
+impl Drop for Recorder {
+    fn drop(&mut self) {
+        if let Some((shard, reg)) = &self.inner {
+            // Last handle to this buffer: push the tail into the registry.
+            if Arc::strong_count(shard) == 1 {
+                reg.ingest(&mut shard.buf.lock());
+            }
+        }
+    }
+}

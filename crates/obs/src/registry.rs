@@ -1,0 +1,98 @@
+//! The shared event registry: per-recorder buffers drain here, exporters
+//! and the performance-database feeder read from here.
+
+use crate::event::Event;
+use crate::metrics::MetricsSnapshot;
+use crate::recorder::Recorder;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default bound on retained events (~100 MB worst case); older events are
+/// kept, new ones dropped and counted once the bound is hit.
+pub const DEFAULT_CAPACITY: usize = 1_000_000;
+
+#[derive(Debug, Default)]
+pub(crate) struct Inner {
+    pub(crate) seq: AtomicU64,
+    pub(crate) events: Mutex<Vec<Event>>,
+    pub(crate) shards: Mutex<Vec<std::sync::Weak<crate::recorder::ShardBuf>>>,
+    pub(crate) capacity: usize,
+    pub(crate) dropped: AtomicU64,
+}
+
+impl Inner {
+    /// Accept a batch from a recorder buffer.
+    pub(crate) fn ingest(&self, batch: &mut Vec<Event>) {
+        let mut events = self.events.lock();
+        for e in batch.drain(..) {
+            if events.len() < self.capacity {
+                events.push(e);
+            } else {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Shared sink for all [`Recorder`]s of one system. Cloning is cheap and
+/// yields a handle to the same underlying store.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// A registry with the default capacity bound.
+    pub fn new() -> Registry {
+        Registry::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A registry retaining at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Registry {
+        Registry {
+            inner: Arc::new(Inner {
+                capacity,
+                ..Inner::default()
+            }),
+        }
+    }
+
+    /// A new recorder feeding this registry. Each recorder owns its own
+    /// buffer, so concurrent emitters contend only on batch flush.
+    pub fn recorder(&self) -> Recorder {
+        Recorder::attached(&self.inner)
+    }
+
+    /// All recorded events in emission order. Flushes every live recorder
+    /// buffer first.
+    pub fn events(&self) -> Vec<Event> {
+        crate::recorder::flush_all(&self.inner);
+        let mut events = self.inner.events.lock().clone();
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+
+    /// Number of events dropped due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Discard everything recorded so far (the sequence counter keeps
+    /// increasing, so later events still sort after earlier ones).
+    pub fn clear(&self) {
+        crate::recorder::flush_all(&self.inner);
+        self.inner.events.lock().clear();
+    }
+
+    /// Aggregate the event stream into per-(layer, resource, op) metrics.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot::aggregate(&self.events(), self.dropped())
+    }
+}

@@ -55,11 +55,8 @@ pub fn compare(
 impl Comparison {
     /// Mean absolute percentage error across rows.
     pub fn mape(&self) -> Option<f64> {
-        let pairs: Vec<(SimDuration, SimDuration)> = self
-            .rows
-            .iter()
-            .map(|r| (r.predicted, r.actual))
-            .collect();
+        let pairs: Vec<(SimDuration, SimDuration)> =
+            self.rows.iter().map(|r| (r.predicted, r.actual)).collect();
         mape(&pairs)
     }
 

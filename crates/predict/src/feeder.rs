@@ -1,0 +1,359 @@
+//! Online performance-database maintenance: the paper's PTool "runs in the
+//! background and collects performance numbers automatically". The
+//! [`PerfDbFeeder`] is that background loop's core — it consumes the
+//! structured event stream collected by `msr-obs` and folds every observed
+//! storage-layer native call back into the [`PerfDb`], so predictions track
+//! current conditions (WAN load, server slowdowns) instead of the numbers
+//! measured at calibration time.
+//!
+//! Update rules:
+//!
+//! * fixed eq. (1) components (`conn`, `open`, `seek`, `close`,
+//!   `connclose`) are smoothed with an exponential moving average and
+//!   applied to **both** the read and write profiles of the resource — the
+//!   paper's Table 1 does not distinguish direction for these either;
+//! * `read`/`write` spans update the `(bytes, seconds)` transfer curve of
+//!   the matching profile: an anchor at the exact size is EWMA-blended,
+//!   otherwise a new anchor is inserted in sorted order (the curve is kept
+//!   to a bounded number of anchors by merging the closest pair).
+//!
+//! Observed transfer times are per-call wall(-sim) durations. Contended
+//! strategies (Naive with many streams) observe the shared-link slowdown;
+//! feeding those samples bakes the contention of that run into the curve.
+//! That is exactly the desired behaviour for "re-predict under current
+//! conditions", but callers comparing against single-stream calibration
+//! should prefer collective-strategy runs as the feedback source.
+
+use crate::perfdb::PerfDb;
+use msr_obs::{ops, Event};
+use msr_sim::SimDuration;
+use msr_storage::OpKind;
+use std::collections::BTreeSet;
+
+/// Counters describing what one [`PerfDbFeeder::ingest`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FeedSummary {
+    /// Storage-layer spans consumed.
+    pub spans: u64,
+    /// Fixed-cost component updates applied (per profile touched).
+    pub fixed_updates: u64,
+    /// Transfer-curve anchor updates or insertions.
+    pub transfer_updates: u64,
+    /// Events skipped because no profile exists for their resource.
+    pub unmatched: u64,
+}
+
+impl FeedSummary {
+    /// Whether the pass changed the database at all.
+    pub fn changed(&self) -> bool {
+        self.fixed_updates + self.transfer_updates > 0
+    }
+}
+
+/// Incremental [`PerfDb`] updater over observed events.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfDbFeeder {
+    /// EWMA smoothing factor in `(0, 1]`: the weight of the newest
+    /// observation. `1.0` adopts each observation outright.
+    pub alpha: f64,
+    /// Upper bound on transfer-curve anchors per profile; the closest pair
+    /// (by size ratio) is merged when exceeded.
+    pub max_anchors: usize,
+}
+
+impl Default for PerfDbFeeder {
+    fn default() -> Self {
+        PerfDbFeeder {
+            alpha: 0.3,
+            max_anchors: 64,
+        }
+    }
+}
+
+impl PerfDbFeeder {
+    /// A feeder with the default smoothing (`alpha = 0.3`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold every storage-layer span in `events` into `db`. Events for
+    /// resources the database has no profile for are counted but ignored —
+    /// the feeder refines calibrated tables, it does not invent them.
+    pub fn ingest(&self, db: &mut PerfDb, events: &[Event]) -> FeedSummary {
+        let mut summary = FeedSummary::default();
+        for ev in events {
+            if !ev.is_native_call() {
+                continue;
+            }
+            summary.spans += 1;
+            let resource = ev.resource.as_str();
+            let observed = ev.dur;
+            match ev.op.as_str() {
+                ops::READ => {
+                    if self.feed_transfer(db, resource, OpKind::Read, ev.bytes, observed) {
+                        summary.transfer_updates += 1;
+                    } else {
+                        summary.unmatched += 1;
+                    }
+                }
+                ops::WRITE => {
+                    if self.feed_transfer(db, resource, OpKind::Write, ev.bytes, observed) {
+                        summary.transfer_updates += 1;
+                    } else {
+                        summary.unmatched += 1;
+                    }
+                }
+                op @ (ops::CONN | ops::OPEN | ops::SEEK | ops::CLOSE | ops::CONNCLOSE) => {
+                    let mut touched = false;
+                    // Fixed components are direction-independent: update
+                    // whichever of the two profiles exist.
+                    for kind in [OpKind::Read, OpKind::Write] {
+                        if let Some(profile) = db.get_mut(resource, kind) {
+                            let slot = match op {
+                                ops::CONN => &mut profile.fixed.conn,
+                                ops::OPEN => &mut profile.fixed.open,
+                                ops::SEEK => &mut profile.fixed.seek,
+                                ops::CLOSE => &mut profile.fixed.close,
+                                _ => &mut profile.fixed.connclose,
+                            };
+                            *slot = self.blend(*slot, observed);
+                            summary.fixed_updates += 1;
+                            touched = true;
+                        }
+                    }
+                    if !touched {
+                        summary.unmatched += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        summary
+    }
+
+    /// EWMA of a duration toward an observation.
+    fn blend(&self, current: SimDuration, observed: SimDuration) -> SimDuration {
+        SimDuration::from_secs(
+            self.alpha * observed.as_secs() + (1.0 - self.alpha) * current.as_secs(),
+        )
+    }
+
+    /// Update one `(bytes, secs)` anchor; `false` if no profile exists.
+    fn feed_transfer(
+        &self,
+        db: &mut PerfDb,
+        resource: &str,
+        op: OpKind,
+        bytes: u64,
+        observed: SimDuration,
+    ) -> bool {
+        if bytes == 0 {
+            return true; // nothing to learn from an empty transfer
+        }
+        let Some(profile) = db.get_mut(resource, op) else {
+            return false;
+        };
+        let samples = &mut profile.samples;
+        match samples.binary_search_by_key(&bytes, |&(b, _)| b) {
+            Ok(i) => {
+                samples[i].1 = self.alpha * observed.as_secs() + (1.0 - self.alpha) * samples[i].1;
+            }
+            Err(i) => {
+                samples.insert(i, (bytes, observed.as_secs()));
+                if samples.len() > self.max_anchors {
+                    merge_closest_pair(samples);
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Merge the adjacent anchor pair with the smallest size ratio into one
+/// averaged anchor, keeping the curve bounded without losing its extremes.
+fn merge_closest_pair(samples: &mut Vec<(u64, f64)>) {
+    if samples.len() < 2 {
+        return;
+    }
+    let mut best = 0;
+    let mut best_ratio = f64::INFINITY;
+    for i in 0..samples.len() - 1 {
+        let ratio = samples[i + 1].0 as f64 / samples[i].0.max(1) as f64;
+        if ratio < best_ratio {
+            best_ratio = ratio;
+            best = i;
+        }
+    }
+    let (a, b) = (samples[best], samples[best + 1]);
+    samples[best] = ((a.0 + b.0) / 2, (a.1 + b.1) / 2.0);
+    samples.remove(best + 1);
+}
+
+/// Resource names seen in storage-layer spans of an event slice — handy for
+/// reporting which profiles a feed pass can affect.
+pub fn observed_resources(events: &[Event]) -> Vec<String> {
+    let set: BTreeSet<String> = events
+        .iter()
+        .filter(|e| e.is_native_call())
+        .map(|e| e.resource.clone())
+        .collect();
+    set.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perfdb::ResourceProfile;
+    use msr_obs::{Layer, Registry};
+    use msr_sim::SimTime;
+    use msr_storage::{FixedCosts, StorageKind};
+
+    fn db_with(resource: &str) -> PerfDb {
+        let mut db = PerfDb::new();
+        for op in [OpKind::Read, OpKind::Write] {
+            db.insert(
+                resource,
+                op,
+                ResourceProfile {
+                    kind: StorageKind::RemoteDisk,
+                    fixed: FixedCosts {
+                        conn: SimDuration::from_secs(0.4),
+                        open: SimDuration::from_secs(0.4),
+                        seek: SimDuration::from_secs(0.1),
+                        close: SimDuration::from_secs(0.8),
+                        connclose: SimDuration::from_secs(0.001),
+                    },
+                    samples: vec![(1 << 20, 1.0), (1 << 24, 16.0)],
+                },
+            );
+        }
+        db
+    }
+
+    fn span(resource: &str, op: &str, secs: f64, bytes: u64) -> Event {
+        let reg = Registry::new();
+        let rec = reg.recorder();
+        rec.span(
+            Layer::Storage,
+            resource,
+            op,
+            SimTime::from_secs(0.0),
+            SimDuration::from_secs(secs),
+            bytes,
+        );
+        reg.events().pop().unwrap()
+    }
+
+    #[test]
+    fn fixed_costs_move_toward_observations() {
+        let mut db = db_with("sdsc-disk");
+        let feeder = PerfDbFeeder {
+            alpha: 0.5,
+            ..Default::default()
+        };
+        let s = feeder.ingest(&mut db, &[span("sdsc-disk", ops::CONN, 1.2, 0)]);
+        assert_eq!(s.fixed_updates, 2, "both read and write profiles");
+        for op in [OpKind::Read, OpKind::Write] {
+            let c = db.get("sdsc-disk", op).unwrap().fixed.conn.as_secs();
+            assert!((c - 0.8).abs() < 1e-9, "0.5*1.2 + 0.5*0.4, got {c}");
+        }
+    }
+
+    #[test]
+    fn exact_size_sample_is_blended_new_size_is_inserted() {
+        let mut db = db_with("sdsc-disk");
+        let feeder = PerfDbFeeder {
+            alpha: 1.0,
+            ..Default::default()
+        };
+        // Exact match: adopt the observation outright (alpha = 1).
+        feeder.ingest(&mut db, &[span("sdsc-disk", ops::WRITE, 4.0, 1 << 20)]);
+        let p = db.get("sdsc-disk", OpKind::Write).unwrap();
+        assert_eq!(p.samples[0], (1 << 20, 4.0));
+        // New size: inserted between the anchors, sorted.
+        feeder.ingest(&mut db, &[span("sdsc-disk", ops::WRITE, 8.0, 1 << 22)]);
+        let p = db.get("sdsc-disk", OpKind::Write).unwrap();
+        assert_eq!(p.samples.len(), 3);
+        assert_eq!(p.samples[1], (1 << 22, 8.0));
+        assert!(p.samples.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn read_and_write_curves_update_independently() {
+        let mut db = db_with("sdsc-disk");
+        let feeder = PerfDbFeeder {
+            alpha: 1.0,
+            ..Default::default()
+        };
+        feeder.ingest(&mut db, &[span("sdsc-disk", ops::READ, 9.0, 1 << 20)]);
+        assert_eq!(db.get("sdsc-disk", OpKind::Read).unwrap().samples[0].1, 9.0);
+        assert_eq!(
+            db.get("sdsc-disk", OpKind::Write).unwrap().samples[0].1,
+            1.0
+        );
+    }
+
+    #[test]
+    fn unknown_resources_are_counted_not_invented() {
+        let mut db = db_with("sdsc-disk");
+        let before = db.clone();
+        let s = PerfDbFeeder::new().ingest(&mut db, &[span("ghost", ops::WRITE, 1.0, 1 << 20)]);
+        assert_eq!(s.unmatched, 1);
+        assert!(!s.changed());
+        assert_eq!(db, before);
+    }
+
+    #[test]
+    fn non_storage_events_are_ignored() {
+        let mut db = db_with("sdsc-disk");
+        let before = db.clone();
+        let reg = Registry::new();
+        let rec = reg.recorder();
+        rec.span(
+            Layer::Runtime,
+            "sdsc-disk",
+            "write:naive",
+            SimTime::from_secs(0.0),
+            SimDuration::from_secs(99.0),
+            1 << 20,
+        );
+        rec.instant(
+            Layer::Session,
+            "d",
+            ops::FAILOVER,
+            SimTime::from_secs(0.0),
+            "x",
+        );
+        let s = PerfDbFeeder::new().ingest(&mut db, &reg.events());
+        assert_eq!(s.spans, 0);
+        assert_eq!(db, before);
+    }
+
+    #[test]
+    fn anchor_count_stays_bounded() {
+        let mut db = db_with("sdsc-disk");
+        let feeder = PerfDbFeeder {
+            alpha: 1.0,
+            max_anchors: 8,
+        };
+        for i in 1..100u64 {
+            feeder.ingest(
+                &mut db,
+                &[span("sdsc-disk", ops::WRITE, i as f64, i * 100_000)],
+            );
+        }
+        let p = db.get("sdsc-disk", OpKind::Write).unwrap();
+        assert!(p.samples.len() <= 8, "got {}", p.samples.len());
+        assert!(p.samples.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn observed_resources_lists_storage_spans_only() {
+        let evs = vec![
+            span("anl-local", ops::WRITE, 1.0, 1),
+            span("sdsc-disk", ops::CONN, 1.0, 0),
+            span("anl-local", ops::CLOSE, 1.0, 0),
+        ];
+        assert_eq!(observed_resources(&evs), vec!["anl-local", "sdsc-disk"]);
+    }
+}

@@ -18,12 +18,14 @@
 //!    produces, with `t_j(s)` interpolated from the database.
 
 pub mod accuracy;
+pub mod feeder;
 pub mod model;
 pub mod perfdb;
 pub mod predictor;
 pub mod ptool;
 
 pub use accuracy::{compare, ComparisonRow};
+pub use feeder::{observed_resources, FeedSummary, PerfDbFeeder};
 pub use model::{dump_time, AccessSummary};
 pub use perfdb::{PerfDb, ResourceProfile};
 pub use predictor::{DatasetPlan, PredictionReport, PredictionRow, Predictor, RunSpec};

@@ -85,16 +85,14 @@ pub fn dump_time(
         IoStrategy::Naive => {
             // Each process: one open, then per run a seek and a transfer
             // contending with the other P−1 processes.
-            let contended =
-                p.transfer_time(access.run_bytes) * f64::from(access.nprocs.max(1));
+            let contended = p.transfer_time(access.run_bytes) * f64::from(access.nprocs.max(1));
             f.open + (f.seek + contended) * access.runs_per_proc as f64 + f.close
         }
         IoStrategy::DataSieving => {
             // One covering-extent access per process (write adds the RMW
             // read pass, priced by the caller issuing two dump_time calls
             // if desired; the single pass is the dominant term).
-            let contended =
-                p.transfer_time(access.extent_bytes) * f64::from(access.nprocs.max(1));
+            let contended = p.transfer_time(access.extent_bytes) * f64::from(access.nprocs.max(1));
             f.open + f.seek + contended + f.close
         }
         IoStrategy::Subfile => {
@@ -155,9 +153,15 @@ mod tests {
         // 2 MB collective write to remote disk ≈ 8.5 s (paper: 8.47).
         let a = access(128, (1, 1, 1), 1);
         assert_eq!(a.total_bytes, 2_097_152);
-        let t = dump_time(&db(), "sdsc-disk", OpKind::Write, IoStrategy::Collective, &a)
-            .unwrap()
-            .as_secs();
+        let t = dump_time(
+            &db(),
+            "sdsc-disk",
+            OpKind::Write,
+            IoStrategy::Collective,
+            &a,
+        )
+        .unwrap()
+        .as_secs();
         assert!((8.0..9.0).contains(&t), "got {t}");
     }
 

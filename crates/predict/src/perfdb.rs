@@ -65,6 +65,12 @@ impl PerfDb {
             })
     }
 
+    /// Look up a profile mutably (used by the online feeder to fold
+    /// observed timings back into the table).
+    pub fn get_mut(&mut self, resource: &str, op: OpKind) -> Option<&mut ResourceProfile> {
+        self.profiles.get_mut(&key(resource, op))
+    }
+
     /// Whether a profile exists.
     pub fn contains(&self, resource: &str, op: OpKind) -> bool {
         self.profiles.contains_key(&key(resource, op))
@@ -98,7 +104,11 @@ impl PerfDb {
             let Some((resource, op)) = k.rsplit_once('/') else {
                 continue;
             };
-            let op = if op == "read" { OpKind::Read } else { OpKind::Write };
+            let op = if op == "read" {
+                OpKind::Read
+            } else {
+                OpKind::Write
+            };
             catalog.record_fixed_costs(resource, op, p.fixed);
             catalog.record_perf_samples(
                 resource,

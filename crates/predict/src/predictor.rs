@@ -82,7 +82,16 @@ impl fmt::Display for PredictionReport {
                 r.total.as_secs()
             )?;
         }
-        writeln!(f, "{:<14} {:<12} {:>6} {:>8} {:>12} {:>14.4}", "TOTAL", "", "", "", "", self.total.as_secs())
+        writeln!(
+            f,
+            "{:<14} {:<12} {:>6} {:>8} {:>12} {:>14.4}",
+            "TOTAL",
+            "",
+            "",
+            "",
+            "",
+            self.total.as_secs()
+        )
     }
 }
 
@@ -231,7 +240,10 @@ mod tests {
         // is an inline typo. We calibrate near their arithmetic.)
         let spec = RunSpec {
             iterations: 120,
-            datasets: vec![vr_plan("vr_temp", Some("anl-local")), vr_plan("vr_press", Some("sdsc-disk"))],
+            datasets: vec![
+                vr_plan("vr_temp", Some("anl-local")),
+                vr_plan("vr_press", Some("sdsc-disk")),
+            ],
         };
         let rep = Predictor::new(example_db()).predict(&spec).unwrap();
         assert_eq!(rep.rows[0].dumps, 21);
@@ -271,7 +283,10 @@ mod tests {
     fn report_renders_a_fig11_style_table() {
         let spec = RunSpec {
             iterations: 120,
-            datasets: vec![vr_plan("vr_temp", Some("anl-local")), vr_plan("vr_rho", None)],
+            datasets: vec![
+                vr_plan("vr_temp", Some("anl-local")),
+                vr_plan("vr_rho", None),
+            ],
         };
         let rep = Predictor::new(example_db()).predict(&spec).unwrap();
         let s = rep.to_string();

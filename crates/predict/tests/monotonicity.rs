@@ -1,0 +1,130 @@
+//! Property tests for the eq. (2) prediction algorithm: predicted run time
+//! must be monotone in the knobs the user can turn — non-decreasing in the
+//! iteration count and non-increasing in the dump frequency (dumping less
+//! often can never cost more).
+//!
+//! Deterministic seeded sweeps stand in for a property-testing harness
+//! (the offline build cannot pull one in).
+
+use msr_predict::{AccessSummary, DatasetPlan, PerfDb, Predictor, ResourceProfile, RunSpec};
+use msr_runtime::{Dims3, Distribution, IoStrategy, Pattern, ProcGrid};
+use msr_sim::SimDuration;
+use msr_storage::{FixedCosts, OpKind, StorageKind};
+use rand::{Rng, SeedableRng, StdRng};
+
+const CASES: u64 = 64;
+
+/// A randomized but well-formed profile: positive fixed costs and a
+/// strictly increasing transfer curve.
+fn rand_profile(rng: &mut StdRng) -> ResourceProfile {
+    let rate_s_per_mb = rng.random_range(0.05f64..5.0);
+    let base = 1u64 << rng.random_range(18u32..21);
+    ResourceProfile {
+        kind: StorageKind::RemoteDisk,
+        fixed: FixedCosts {
+            conn: SimDuration::from_secs(rng.random_range(0.0f64..1.0)),
+            open: SimDuration::from_secs(rng.random_range(0.0f64..1.0)),
+            seek: SimDuration::from_secs(rng.random_range(0.0f64..0.5)),
+            close: SimDuration::from_secs(rng.random_range(0.0f64..1.0)),
+            connclose: SimDuration::from_secs(rng.random_range(0.0f64..0.1)),
+        },
+        samples: (0..4)
+            .map(|i| {
+                let bytes = base << i;
+                (bytes, bytes as f64 / (1 << 20) as f64 * rate_s_per_mb)
+            })
+            .collect(),
+    }
+}
+
+fn rand_plan(rng: &mut StdRng, frequency: u32) -> DatasetPlan {
+    let grid = ProcGrid::new(
+        rng.random_range(1u32..=2),
+        rng.random_range(1u32..=2),
+        rng.random_range(1u32..=2),
+    );
+    let dims = Dims3::cube(1 << rng.random_range(4u64..=6));
+    let strategy = match rng.random_range(0u32..4) {
+        0 => IoStrategy::Naive,
+        1 => IoStrategy::DataSieving,
+        2 => IoStrategy::Collective,
+        _ => IoStrategy::Subfile,
+    };
+    let dist = Distribution::new(dims, 4, Pattern::bbb(), grid).unwrap();
+    DatasetPlan {
+        name: "d".into(),
+        resource: Some("r".into()),
+        op: OpKind::Write,
+        frequency,
+        strategy,
+        access: AccessSummary::of(&dist),
+    }
+}
+
+fn total(predictor: &Predictor, iterations: u32, plan: &DatasetPlan) -> f64 {
+    predictor
+        .predict(&RunSpec {
+            iterations,
+            datasets: vec![plan.clone()],
+        })
+        .unwrap()
+        .total
+        .as_secs()
+}
+
+#[test]
+fn prediction_is_monotone_in_iteration_count() {
+    let mut rng = StdRng::seed_from_u64(0xEC2A);
+    for _ in 0..CASES {
+        let mut db = PerfDb::new();
+        db.insert("r", OpKind::Write, rand_profile(&mut rng));
+        let p = Predictor::new(db);
+        let freq = rng.random_range(1u32..=12);
+        let plan = rand_plan(&mut rng, freq);
+        let mut prev = -1.0f64;
+        let base = rng.random_range(1u32..=30);
+        for n in [base, base * 2, base * 4, base * 8] {
+            let t = total(&p, n, &plan);
+            assert!(
+                t >= prev,
+                "more iterations predicted cheaper: N={n} gives {t}, prev {prev} ({plan:?})"
+            );
+            prev = t;
+        }
+    }
+}
+
+#[test]
+fn prediction_is_monotone_in_dump_frequency() {
+    let mut rng = StdRng::seed_from_u64(0xF2E0);
+    for _ in 0..CASES {
+        let mut db = PerfDb::new();
+        db.insert("r", OpKind::Write, rand_profile(&mut rng));
+        let p = Predictor::new(db);
+        let iterations = rng.random_range(24u32..=240);
+        let plan = rand_plan(&mut rng, 1);
+        let mut prev = f64::INFINITY;
+        for freq in [1u32, 2, 4, 8, 16, 32] {
+            let t = total(&p, iterations, &plan.clone_with_freq(freq));
+            assert!(
+                t <= prev,
+                "dumping less often predicted dearer: freq={freq} gives {t}, prev {prev}"
+            );
+            prev = t;
+        }
+    }
+}
+
+/// Helper: same plan, different frequency — the sweep must vary only the
+/// knob under test.
+trait CloneWithFreq {
+    fn clone_with_freq(&self, f: u32) -> DatasetPlan;
+}
+
+impl CloneWithFreq for DatasetPlan {
+    fn clone_with_freq(&self, f: u32) -> DatasetPlan {
+        let mut p = self.clone();
+        p.frequency = f;
+        p
+    }
+}

@@ -10,7 +10,8 @@ use crate::error::RuntimeError;
 use crate::layout::Distribution;
 use crate::strategy::{ExchangeModel, IoStrategy};
 use crate::RuntimeResult;
-use msr_sim::{SimDuration, Timeline};
+use msr_obs::{Layer, Recorder};
+use msr_sim::{Clock, SimDuration, Timeline};
 use msr_storage::{OpenMode, ResourceStats, SharedResource, StorageError, StorageResource};
 use serde::{Deserialize, Serialize};
 
@@ -60,12 +61,16 @@ impl IoReport {
 pub struct IoEngine {
     /// Interconnect model for two-phase exchange.
     pub exchange: ExchangeModel,
+    recorder: Recorder,
+    clock: Clock,
 }
 
 impl Default for IoEngine {
     fn default() -> Self {
         IoEngine {
             exchange: ExchangeModel::sp2(),
+            recorder: Recorder::disabled(),
+            clock: Clock::new(),
         }
     }
 }
@@ -104,7 +109,32 @@ fn proc_mode(mode: OpenMode, first: bool) -> OpenMode {
 impl IoEngine {
     /// An engine with the given interconnect.
     pub fn new(exchange: ExchangeModel) -> Self {
-        IoEngine { exchange }
+        IoEngine {
+            exchange,
+            recorder: Recorder::disabled(),
+            clock: Clock::new(),
+        }
+    }
+
+    /// Attach an observability recorder; each `write`/`read` emits one
+    /// runtime-layer span (`"write:collective"`, `"read:naive"`, …) whose
+    /// duration is the operation's virtual makespan, stamped with `clock`.
+    pub fn set_observer(&mut self, recorder: Recorder, clock: Clock) {
+        self.recorder = recorder;
+        self.clock = clock;
+    }
+
+    fn record_strategy(&self, resource: &str, verb: &str, report: &IoReport) {
+        if self.recorder.enabled() {
+            self.recorder.span(
+                Layer::Runtime,
+                resource,
+                &format!("{verb}:{}", report.strategy),
+                self.clock.now(),
+                report.elapsed,
+                report.bytes,
+            );
+        }
     }
 
     /// Write the full global array `data` (row-major) as dataset file
@@ -134,7 +164,9 @@ impl IoEngine {
         let result = match strategy {
             IoStrategy::Naive => self.write_naive(&mut *r, path, data, dist, mode, &mut tl),
             IoStrategy::DataSieving => self.write_sieving(&mut *r, path, data, dist, mode, &mut tl),
-            IoStrategy::Collective => self.write_collective(&mut *r, path, data, dist, mode, &mut tl),
+            IoStrategy::Collective => {
+                self.write_collective(&mut *r, path, data, dist, mode, &mut tl)
+            }
             IoStrategy::Subfile => self.write_subfile(&mut *r, path, data, dist, mode, &mut tl),
         };
         r.set_stream_hint(1);
@@ -142,7 +174,7 @@ impl IoEngine {
 
         tl.barrier();
         let (nr, nw, no) = delta.finish(&*r);
-        Ok(IoReport {
+        let report = IoReport {
             strategy,
             nprocs: dist.nprocs(),
             native_reads: nr,
@@ -151,7 +183,9 @@ impl IoEngine {
             bytes: dist.total_bytes(),
             elapsed: tl.makespan(),
             total_work: tl.total_work(),
-        })
+        };
+        self.record_strategy(r.name(), "write", &report);
+        Ok(report)
     }
 
     /// Read dataset file `path` from `res` into a freshly assembled global
@@ -179,19 +213,18 @@ impl IoEngine {
 
         tl.barrier();
         let (nr, nw, no) = delta.finish(&*r);
-        Ok((
-            out,
-            IoReport {
-                strategy,
-                nprocs: dist.nprocs(),
-                native_reads: nr,
-                native_writes: nw,
-                native_opens: no,
-                bytes: dist.total_bytes(),
-                elapsed: tl.makespan(),
-                total_work: tl.total_work(),
-            },
-        ))
+        let report = IoReport {
+            strategy,
+            nprocs: dist.nprocs(),
+            native_reads: nr,
+            native_writes: nw,
+            native_opens: no,
+            bytes: dist.total_bytes(),
+            elapsed: tl.makespan(),
+            total_work: tl.total_work(),
+        };
+        self.record_strategy(r.name(), "read", &report);
+        Ok((out, report))
     }
 
     // ---- write strategies --------------------------------------------------
@@ -272,7 +305,9 @@ impl IoEngine {
         tl: &mut Timeline,
     ) -> RuntimeResult<()> {
         // Phase 1: redistribute so rank 0 holds the file-contiguous image.
-        let shuffle = self.exchange.shuffle_cost(dist.total_bytes(), dist.nprocs());
+        let shuffle = self
+            .exchange
+            .shuffle_cost(dist.total_bytes(), dist.nprocs());
         tl.charge_all(shuffle);
         tl.barrier();
         // Phase 2: one aggregated native call.
@@ -388,7 +423,9 @@ impl IoEngine {
         tl.charge(0, r.close(open.value)?.time);
         tl.barrier();
         // Phase 2: scatter to owners over the interconnect.
-        let shuffle = self.exchange.shuffle_cost(dist.total_bytes(), dist.nprocs());
+        let shuffle = self
+            .exchange
+            .shuffle_cost(dist.total_bytes(), dist.nprocs());
         tl.charge_all(shuffle);
         Ok(())
     }
@@ -435,11 +472,7 @@ mod tests {
     use msr_storage::{share, DiskParams, LocalDisk};
 
     fn disk() -> SharedResource {
-        share(LocalDisk::new(
-            "t",
-            DiskParams::simple(100.0, 1 << 30),
-            0,
-        ))
+        share(LocalDisk::new("t", DiskParams::simple(100.0, 1 << 30), 0))
     }
 
     fn dist8(n: u64) -> Distribution {
@@ -479,7 +512,14 @@ mod tests {
         let data = payload(dist.total_bytes());
         let res = disk();
         let rep = IoEngine::default()
-            .write(&res, "d", &data, &dist, IoStrategy::Collective, OpenMode::Create)
+            .write(
+                &res,
+                "d",
+                &data,
+                &dist,
+                IoStrategy::Collective,
+                OpenMode::Create,
+            )
             .unwrap();
         assert_eq!(rep.native_writes, 1, "the paper's n(j) = 1");
         assert_eq!(rep.native_opens, 1);
@@ -503,7 +543,14 @@ mod tests {
         let data = payload(dist.total_bytes());
         let res = disk();
         let rep = IoEngine::default()
-            .write(&res, "d", &data, &dist, IoStrategy::Subfile, OpenMode::Create)
+            .write(
+                &res,
+                "d",
+                &data,
+                &dist,
+                IoStrategy::Subfile,
+                OpenMode::Create,
+            )
             .unwrap();
         assert_eq!(rep.native_writes, 8);
         assert_eq!(res.lock().list("d.sub").len(), 8);
@@ -516,11 +563,25 @@ mod tests {
         let engine = IoEngine::default();
         let res1 = disk();
         let naive = engine
-            .write(&res1, "d", &data, &dist, IoStrategy::Naive, OpenMode::Create)
+            .write(
+                &res1,
+                "d",
+                &data,
+                &dist,
+                IoStrategy::Naive,
+                OpenMode::Create,
+            )
             .unwrap();
         let res2 = disk();
         let coll = engine
-            .write(&res2, "d", &data, &dist, IoStrategy::Collective, OpenMode::Create)
+            .write(
+                &res2,
+                "d",
+                &data,
+                &dist,
+                IoStrategy::Collective,
+                OpenMode::Create,
+            )
             .unwrap();
         assert!(
             coll.elapsed < naive.elapsed,
@@ -535,7 +596,14 @@ mod tests {
         let dist = dist8(16);
         let res = disk();
         let err = IoEngine::default()
-            .write(&res, "d", &[0u8; 10], &dist, IoStrategy::Naive, OpenMode::Create)
+            .write(
+                &res,
+                "d",
+                &[0u8; 10],
+                &dist,
+                IoStrategy::Naive,
+                OpenMode::Create,
+            )
             .unwrap_err();
         assert!(matches!(err, RuntimeError::SizeMismatch { .. }));
     }
@@ -562,11 +630,25 @@ mod tests {
         let res = disk();
         let first = payload(dist.total_bytes());
         engine
-            .write(&res, "restart", &first, &dist, IoStrategy::Collective, OpenMode::Create)
+            .write(
+                &res,
+                "restart",
+                &first,
+                &dist,
+                IoStrategy::Collective,
+                OpenMode::Create,
+            )
             .unwrap();
         let second: Vec<u8> = first.iter().map(|b| b.wrapping_add(7)).collect();
         engine
-            .write(&res, "restart", &second, &dist, IoStrategy::Collective, OpenMode::OverWrite)
+            .write(
+                &res,
+                "restart",
+                &second,
+                &dist,
+                IoStrategy::Collective,
+                OpenMode::OverWrite,
+            )
             .unwrap();
         let (back, _) = engine
             .read(&res, "restart", &dist, IoStrategy::Collective)
@@ -583,13 +665,29 @@ mod tests {
         let res = disk();
         let first = payload(dist.total_bytes());
         engine
-            .write(&res, "d", &first, &dist, IoStrategy::Collective, OpenMode::Create)
+            .write(
+                &res,
+                "d",
+                &first,
+                &dist,
+                IoStrategy::Collective,
+                OpenMode::Create,
+            )
             .unwrap();
         let second: Vec<u8> = first.iter().map(|b| b.wrapping_mul(3)).collect();
         engine
-            .write(&res, "d", &second, &dist, IoStrategy::DataSieving, OpenMode::OverWrite)
+            .write(
+                &res,
+                "d",
+                &second,
+                &dist,
+                IoStrategy::DataSieving,
+                OpenMode::OverWrite,
+            )
             .unwrap();
-        let (back, _) = engine.read(&res, "d", &dist, IoStrategy::Collective).unwrap();
+        let (back, _) = engine
+            .read(&res, "d", &dist, IoStrategy::Collective)
+            .unwrap();
         assert_eq!(back, second);
     }
 
@@ -600,10 +698,24 @@ mod tests {
         let engine = IoEngine::default();
         let res = disk();
         let mut a = engine
-            .write(&res, "a", &data, &dist, IoStrategy::Collective, OpenMode::Create)
+            .write(
+                &res,
+                "a",
+                &data,
+                &dist,
+                IoStrategy::Collective,
+                OpenMode::Create,
+            )
             .unwrap();
         let b = engine
-            .write(&res, "b", &data, &dist, IoStrategy::Collective, OpenMode::Create)
+            .write(
+                &res,
+                "b",
+                &data,
+                &dist,
+                IoStrategy::Collective,
+                OpenMode::Create,
+            )
             .unwrap();
         let elapsed_sum = a.elapsed + b.elapsed;
         a.merge_sequential(&b);

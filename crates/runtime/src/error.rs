@@ -29,7 +29,10 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Storage(e) => write!(f, "storage failure: {e}"),
             RuntimeError::BadDistribution(m) => write!(f, "bad distribution: {m}"),
             RuntimeError::SizeMismatch { expected, got } => {
-                write!(f, "buffer size mismatch: expected {expected} B, got {got} B")
+                write!(
+                    f,
+                    "buffer size mismatch: expected {expected} B, got {got} B"
+                )
             }
             RuntimeError::CorruptSuperfile(m) => write!(f, "corrupt superfile: {m}"),
             RuntimeError::NoSuchMember(p) => write!(f, "superfile has no member {p}"),

@@ -463,6 +463,8 @@ mod tests {
 
     #[test]
     fn zero_elem_size_rejected() {
-        assert!(Distribution::new(Dims3::cube(4), 0, Pattern::bbb(), ProcGrid::new(1, 1, 1)).is_err());
+        assert!(
+            Distribution::new(Dims3::cube(4), 0, Pattern::bbb(), ProcGrid::new(1, 1, 1)).is_err()
+        );
     }
 }

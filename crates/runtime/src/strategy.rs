@@ -121,7 +121,10 @@ mod tests {
 
     #[test]
     fn shuffle_is_free_for_one_proc() {
-        assert_eq!(ExchangeModel::sp2().shuffle_cost(1 << 30, 1), SimDuration::ZERO);
+        assert_eq!(
+            ExchangeModel::sp2().shuffle_cost(1 << 30, 1),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -137,7 +140,10 @@ mod tests {
 
     #[test]
     fn free_interconnect_costs_nothing() {
-        assert_eq!(ExchangeModel::free().shuffle_cost(1 << 30, 64), SimDuration::ZERO);
+        assert_eq!(
+            ExchangeModel::free().shuffle_cost(1 << 30, 64),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -258,7 +258,8 @@ mod tests {
         let res = disk();
         let (_, mut sf) = Superfile::create(&res, "volren/images").unwrap();
         for i in 0..5 {
-            sf.write_member(&res, &format!("img{i}"), &image(i)).unwrap();
+            sf.write_member(&res, &format!("img{i}"), &image(i))
+                .unwrap();
         }
         sf.close(&res).unwrap();
 

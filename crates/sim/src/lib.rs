@@ -30,5 +30,5 @@ pub use jitter::Jitter;
 pub use rng::{derive_seed, stream_rng};
 pub use stats::Summary;
 pub use time::{SimDuration, SimTime};
-pub use trace::{Trace, TraceEvent};
 pub use timeline::Timeline;
+pub use trace::{Trace, TraceEvent};

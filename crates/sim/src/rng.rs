@@ -50,7 +50,9 @@ mod tests {
     fn different_labels_diverge() {
         let mut a = stream_rng(7, "tape");
         let mut b = stream_rng(7, "disk");
-        let same = (0..16).filter(|_| a.random::<u64>() == b.random::<u64>()).count();
+        let same = (0..16)
+            .filter(|_| a.random::<u64>() == b.random::<u64>())
+            .count();
         assert_eq!(same, 0);
     }
 
@@ -63,7 +65,10 @@ mod tests {
     fn seed_derivation_is_stable() {
         // Pinned value: guards against accidental changes to the mixing
         // function, which would silently change every experiment's noise.
-        assert_eq!(derive_seed(42, "net:anl-sdsc"), derive_seed(42, "net:anl-sdsc"));
+        assert_eq!(
+            derive_seed(42, "net:anl-sdsc"),
+            derive_seed(42, "net:anl-sdsc")
+        );
         let a = derive_seed(42, "net:anl-sdsc");
         let b = derive_seed(42, "net:anl-sdsc");
         assert_eq!(a, b);

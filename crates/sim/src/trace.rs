@@ -25,7 +25,13 @@ pub struct TraceEvent {
 
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:>12.3}s] {:<10} {}", self.at.as_secs(), self.category, self.message)
+        write!(
+            f,
+            "[{:>12.3}s] {:<10} {}",
+            self.at.as_secs(),
+            self.category,
+            self.message
+        )
     }
 }
 
@@ -115,7 +121,10 @@ impl Trace {
         let inner = self.inner.lock();
         let mut out = String::new();
         if inner.dropped > 0 {
-            out.push_str(&format!("... {} earlier events dropped ...\n", inner.dropped));
+            out.push_str(&format!(
+                "... {} earlier events dropped ...\n",
+                inner.dropped
+            ));
         }
         for e in &inner.events {
             out.push_str(&e.to_string());

@@ -55,11 +55,10 @@ impl CompositeResource {
 
     /// The child currently holding `path`, if any.
     pub fn child_of(&self, path: &str) -> Option<usize> {
-        self.placement.get(path).copied().or_else(|| {
-            self.children
-                .iter()
-                .position(|c| c.lock().exists(path))
-        })
+        self.placement
+            .get(path)
+            .copied()
+            .or_else(|| self.children.iter().position(|c| c.lock().exists(path)))
     }
 
     /// Pick a child for a new file of (estimated) `bytes`: first online
@@ -91,10 +90,7 @@ impl CompositeResource {
     fn spill(&mut self, h: FileHandle, path: &str, extra: u64) -> StorageResult<SimDuration> {
         let st = self.child_for_handle(h)?;
         let old_child = st.child;
-        let existing = self.children[old_child]
-            .lock()
-            .file_size(path)
-            .unwrap_or(0);
+        let existing = self.children[old_child].lock().file_size(path).unwrap_or(0);
         // Find a destination with room for the whole relocated file.
         let dest = self
             .children
@@ -125,7 +121,10 @@ impl CompositeResource {
             } else {
                 Bytes::new()
             };
-            cost += old.delete(path).map(|c| c.time).unwrap_or(SimDuration::ZERO);
+            cost += old
+                .delete(path)
+                .map(|c| c.time)
+                .unwrap_or(SimDuration::ZERO);
             data
         };
         // ...and replay them on the destination.
@@ -471,7 +470,11 @@ mod tests {
         put(&mut c, "x", 10).unwrap();
         assert_eq!(c.child_of("x"), Some(1));
         assert!(c.is_online());
-        assert_eq!(c.available_bytes(), 990, "offline space not counted, 10 B used on child1");
+        assert_eq!(
+            c.available_bytes(),
+            990,
+            "offline space not counted, 10 B used on child1"
+        );
     }
 
     #[test]

@@ -38,7 +38,9 @@ pub enum StorageError {
 impl fmt::Display for StorageError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StorageError::Offline { resource } => write!(f, "storage resource {resource} is offline"),
+            StorageError::Offline { resource } => {
+                write!(f, "storage resource {resource} is offline")
+            }
             StorageError::CapacityExceeded {
                 resource,
                 requested,
@@ -49,7 +51,9 @@ impl fmt::Display for StorageError {
             ),
             StorageError::NotFound(p) => write!(f, "no such file: {p}"),
             StorageError::BadHandle => write!(f, "invalid or stale file handle"),
-            StorageError::BadMode { op } => write!(f, "operation {op} not allowed in this open mode"),
+            StorageError::BadMode { op } => {
+                write!(f, "operation {op} not allowed in this open mode")
+            }
             StorageError::NotConnected => write!(f, "resource not connected"),
             StorageError::Network(e) => write!(f, "network failure: {e}"),
         }

@@ -27,6 +27,7 @@ pub mod composite;
 pub mod error;
 pub mod local_disk;
 pub mod object_store;
+pub mod observe;
 pub mod profiles;
 pub mod rate;
 pub mod remote_disk;
@@ -37,6 +38,7 @@ pub use composite::CompositeResource;
 pub use error::StorageError;
 pub use local_disk::{DiskParams, LocalDisk};
 pub use object_store::ObjectStore;
+pub use observe::ObservedResource;
 pub use profiles::{
     anl_local_disk, hpss_params, hpss_protocol, sdsc_hpss_tape, sdsc_remote_disk, srb_protocol,
     testbed,

@@ -346,7 +346,10 @@ mod tests {
         d.write(h, b"x").unwrap();
         d.close(h).unwrap();
         let h = d.open("f", OpenMode::Read).unwrap().value;
-        assert!(matches!(d.write(h, b"y"), Err(StorageError::BadMode { .. })));
+        assert!(matches!(
+            d.write(h, b"y"),
+            Err(StorageError::BadMode { .. })
+        ));
     }
 
     #[test]
@@ -390,7 +393,10 @@ mod tests {
         let h = d.open("f", OpenMode::Create).unwrap().value;
         d.write(h, &[0u8; 80]).unwrap();
         let err = d.write(h, &[0u8; 40]).unwrap_err();
-        assert!(matches!(err, StorageError::CapacityExceeded { available: 20, .. }));
+        assert!(matches!(
+            err,
+            StorageError::CapacityExceeded { available: 20, .. }
+        ));
         // Overwriting existing bytes does not count as growth.
         d.seek(h, 0).unwrap();
         assert!(d.write(h, &[1u8; 80]).is_ok());

@@ -180,7 +180,10 @@ mod tests {
         for p in ["run1/b", "run1/a", "run2/c", "other"] {
             s.create(p);
         }
-        assert_eq!(s.list("run1/"), vec!["run1/a".to_owned(), "run1/b".to_owned()]);
+        assert_eq!(
+            s.list("run1/"),
+            vec!["run1/a".to_owned(), "run1/b".to_owned()]
+        );
         assert_eq!(s.list("run"), vec!["run1/a", "run1/b", "run2/c"]);
         assert!(s.list("zzz").is_empty());
     }

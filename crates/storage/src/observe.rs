@@ -1,0 +1,263 @@
+//! Transparent instrumentation of the native storage interface.
+//!
+//! [`ObservedResource`] wraps any [`StorageResource`] and emits one
+//! `msr-obs` span per native call — the exact eq. (1) components
+//! (`conn`, `open`, `seek`, `read`, `write`, `close`, `connclose`) with
+//! the call's jittered "actual" duration and payload size. The wrapper is
+//! what the paper's PTool observes "in the background": the layers above
+//! keep talking to the plain trait while the event stream feeds the
+//! performance database online.
+//!
+//! Spans are stamped with the simulation clock *as of call entry*. The
+//! run-time engine charges per-process time on its own [`msr_sim::Timeline`]
+//! and the session advances the global clock once per operation, so all
+//! native calls of one dump share a timestamp while durations stay exact;
+//! aggregate statistics and the feeder depend only on the durations.
+
+use crate::resource::{
+    Cost, FileHandle, FixedCosts, OpKind, OpenMode, ResourceStats, StorageResource,
+};
+use crate::StorageResult;
+use bytes::Bytes;
+use msr_obs::{ops, Layer, Recorder};
+use msr_sim::{Clock, SimDuration};
+
+/// A [`StorageResource`] decorator that records every native call.
+#[derive(Debug)]
+pub struct ObservedResource<R> {
+    inner: R,
+    recorder: Recorder,
+    clock: Clock,
+}
+
+impl<R: StorageResource> ObservedResource<R> {
+    /// Wrap `inner`, emitting events through `recorder` stamped with
+    /// `clock`'s current virtual time.
+    pub fn new(inner: R, recorder: Recorder, clock: Clock) -> Self {
+        ObservedResource {
+            inner,
+            recorder,
+            clock,
+        }
+    }
+
+    /// The wrapped resource.
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+
+    /// The wrapped resource, mutably.
+    pub fn inner_mut(&mut self) -> &mut R {
+        &mut self.inner
+    }
+
+    /// Unwrap, discarding the instrumentation.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+
+    fn record<T>(&self, op: &str, bytes: u64, cost: &Cost<T>) {
+        // With the recorder disabled (or `msr-obs` built without the
+        // `record` feature) this guard is a constant and the body — clock
+        // read included — drops out of the hot path.
+        if !self.recorder.enabled() {
+            return;
+        }
+        self.recorder.span(
+            Layer::Storage,
+            self.inner.name(),
+            op,
+            self.clock.now(),
+            cost.time,
+            bytes,
+        );
+    }
+}
+
+impl<R: StorageResource> StorageResource for ObservedResource<R> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn kind(&self) -> crate::resource::StorageKind {
+        self.inner.kind()
+    }
+
+    fn is_online(&self) -> bool {
+        self.inner.is_online()
+    }
+
+    fn set_online(&mut self, up: bool) {
+        self.inner.set_online(up);
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.inner.capacity_bytes()
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.inner.used_bytes()
+    }
+
+    fn set_capacity(&mut self, bytes: u64) {
+        self.inner.set_capacity(bytes);
+    }
+
+    fn connect(&mut self) -> StorageResult<Cost<()>> {
+        let cost = self.inner.connect()?;
+        self.record(ops::CONN, 0, &cost);
+        Ok(cost)
+    }
+
+    fn disconnect(&mut self) -> StorageResult<Cost<()>> {
+        let cost = self.inner.disconnect()?;
+        self.record(ops::CONNCLOSE, 0, &cost);
+        Ok(cost)
+    }
+
+    fn open(&mut self, path: &str, mode: OpenMode) -> StorageResult<Cost<FileHandle>> {
+        let cost = self.inner.open(path, mode)?;
+        self.record(ops::OPEN, 0, &cost);
+        Ok(cost)
+    }
+
+    fn seek(&mut self, h: FileHandle, pos: u64) -> StorageResult<Cost<()>> {
+        let cost = self.inner.seek(h, pos)?;
+        self.record(ops::SEEK, 0, &cost);
+        Ok(cost)
+    }
+
+    fn read(&mut self, h: FileHandle, len: usize) -> StorageResult<Cost<Bytes>> {
+        let cost = self.inner.read(h, len)?;
+        self.record(ops::READ, cost.value.len() as u64, &cost);
+        Ok(cost)
+    }
+
+    fn write(&mut self, h: FileHandle, data: &[u8]) -> StorageResult<Cost<usize>> {
+        let cost = self.inner.write(h, data)?;
+        self.record(ops::WRITE, cost.value as u64, &cost);
+        Ok(cost)
+    }
+
+    fn close(&mut self, h: FileHandle) -> StorageResult<Cost<()>> {
+        let cost = self.inner.close(h)?;
+        self.record(ops::CLOSE, 0, &cost);
+        Ok(cost)
+    }
+
+    fn delete(&mut self, path: &str) -> StorageResult<Cost<()>> {
+        let cost = self.inner.delete(path)?;
+        self.record(ops::DELETE, 0, &cost);
+        Ok(cost)
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn file_size(&self, path: &str) -> Option<u64> {
+        self.inner.file_size(path)
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        self.inner.list(prefix)
+    }
+
+    fn stats(&self) -> ResourceStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats();
+    }
+
+    fn set_stream_hint(&mut self, streams: u32) {
+        self.inner.set_stream_hint(streams);
+    }
+
+    fn stream_hint(&self) -> u32 {
+        self.inner.stream_hint()
+    }
+
+    fn fixed_costs(&self, op: OpKind) -> FixedCosts {
+        self.inner.fixed_costs(op)
+    }
+
+    fn transfer_model(&self, op: OpKind, bytes: u64, streams: u32) -> SimDuration {
+        self.inner.transfer_model(op, bytes, streams)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local_disk::{DiskParams, LocalDisk};
+    use msr_obs::Registry;
+
+    fn observed() -> (Registry, ObservedResource<LocalDisk>, Clock) {
+        let reg = Registry::new();
+        let clock = Clock::new();
+        let disk = LocalDisk::new("d", DiskParams::simple(100.0, 1 << 30), 0);
+        let obs = ObservedResource::new(disk, reg.recorder(), clock.clone());
+        (reg, obs, clock)
+    }
+
+    #[test]
+    fn every_native_call_emits_a_span() {
+        let (reg, mut r, clock) = observed();
+        r.connect().unwrap();
+        let h = r.open("f", OpenMode::Create).unwrap().value;
+        r.seek(h, 0).unwrap();
+        r.write(h, &[7u8; 512]).unwrap();
+        r.close(h).unwrap();
+        clock.advance(SimDuration::from_secs(1.0));
+        let h = r.open("f", OpenMode::Read).unwrap().value;
+        r.read(h, 512).unwrap();
+        r.close(h).unwrap();
+        r.disconnect().unwrap();
+
+        let events = reg.events();
+        let ops_seen: Vec<&str> = events.iter().map(|e| e.op.as_str()).collect();
+        assert_eq!(
+            ops_seen,
+            vec![
+                ops::CONN,
+                ops::OPEN,
+                ops::SEEK,
+                ops::WRITE,
+                ops::CLOSE,
+                ops::OPEN,
+                ops::READ,
+                ops::CLOSE,
+                ops::CONNCLOSE
+            ]
+        );
+        let w = events.iter().find(|e| e.op == ops::WRITE).unwrap();
+        assert_eq!(w.bytes, 512);
+        assert_eq!(w.resource, "d");
+        let rd = events.iter().find(|e| e.op == ops::READ).unwrap();
+        assert_eq!(rd.bytes, 512);
+        assert_eq!(rd.at.as_secs(), 1.0, "stamped with the shared clock");
+    }
+
+    #[test]
+    fn failed_calls_emit_nothing() {
+        let (reg, mut r, _clock) = observed();
+        assert!(r.open("missing", OpenMode::Read).is_err());
+        assert!(reg.events().is_empty());
+    }
+
+    #[test]
+    fn delegation_preserves_behaviour() {
+        let (_reg, mut r, _clock) = observed();
+        assert_eq!(r.name(), "d");
+        assert_eq!(r.kind(), crate::resource::StorageKind::LocalDisk);
+        assert!(r.is_online());
+        let h = r.open("x", OpenMode::Create).unwrap().value;
+        r.write(h, b"abc").unwrap();
+        r.close(h).unwrap();
+        assert!(r.exists("x"));
+        assert_eq!(r.file_size("x"), Some(3));
+        assert_eq!(r.stats().writes, 1);
+    }
+}

@@ -122,7 +122,15 @@ pub fn sdsc_hpss_tape(
     server: SiteId,
     seed: u64,
 ) -> TapeResource {
-    TapeResource::new("sdsc-hpss", net, client, server, hpss_protocol(), hpss_params(), seed)
+    TapeResource::new(
+        "sdsc-hpss",
+        net,
+        client,
+        server,
+        hpss_protocol(),
+        hpss_params(),
+        seed,
+    )
 }
 
 /// The full experimental environment of §3.2, wired together.
@@ -220,17 +228,29 @@ mod tests {
         // 8 MB float dump to tape ≈ 145 s (paper: 3036.34 / 21 ≈ 144.6).
         let tape_call = tb.tape.transfer_model(OpKind::Write, MB8, 1).as_secs()
             + tb.tape.fixed_costs(OpKind::Write).total().as_secs();
-        assert!((130.0..175.0).contains(&tape_call), "tape per-dump {tape_call}");
+        assert!(
+            (130.0..175.0).contains(&tape_call),
+            "tape per-dump {tape_call}"
+        );
 
         // 2 MB u8 dump to tape ≈ 44 s (paper: 932.98 / 21 ≈ 44.4).
         let vr_call = tb.tape.transfer_model(OpKind::Write, MB2, 1).as_secs()
             + tb.tape.fixed_costs(OpKind::Write).total().as_secs();
-        assert!((36.0..53.0).contains(&vr_call), "tape vr per-dump {vr_call}");
+        assert!(
+            (36.0..53.0).contains(&vr_call),
+            "tape vr per-dump {vr_call}"
+        );
 
         // 8 MB float dump to remote disk ≈ 39 s (paper: 812.45 / 21 ≈ 38.7).
-        let rd_call = tb.remote_disk.transfer_model(OpKind::Write, MB8, 1).as_secs()
+        let rd_call = tb
+            .remote_disk
+            .transfer_model(OpKind::Write, MB8, 1)
+            .as_secs()
             + tb.remote_disk.fixed_costs(OpKind::Write).total().as_secs();
-        assert!((32.0..46.0).contains(&rd_call), "remote disk per-dump {rd_call}");
+        assert!(
+            (32.0..46.0).contains(&rd_call),
+            "remote disk per-dump {rd_call}"
+        );
 
         // 2 MB u8 to local disk: well under a second of transfer.
         let ld_call = tb.local.transfer_model(OpKind::Write, MB2, 1).as_secs();

@@ -439,7 +439,10 @@ mod tests {
         let (net, a, s) = testnet();
         let mut d = rdisk(net, a, s);
         let c = d.connect().unwrap();
-        assert!((c.time.as_secs() - 0.44).abs() < 1e-9, "2×25ms RTT + 0.39 setup");
+        assert!(
+            (c.time.as_secs() - 0.44).abs() < 1e-9,
+            "2×25ms RTT + 0.39 setup"
+        );
         // Idempotent reconnect is free.
         assert_eq!(d.connect().unwrap().time, SimDuration::ZERO);
         assert_eq!(d.stats().connects, 1);
@@ -488,11 +491,9 @@ mod tests {
         let mut d = rdisk(net.clone(), a, s);
         d.connect().unwrap();
         let h = d.open("f", OpenMode::Create).unwrap().value;
-        net.write().set_link_up(msr_net::LinkId::from_index(0), false);
-        assert!(matches!(
-            d.write(h, b"x"),
-            Err(StorageError::Network(_))
-        ));
+        net.write()
+            .set_link_up(msr_net::LinkId::from_index(0), false);
+        assert!(matches!(d.write(h, b"x"), Err(StorageError::Network(_))));
     }
 
     #[test]

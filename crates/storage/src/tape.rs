@@ -248,7 +248,9 @@ impl TapeResource {
 
     /// Drive-pool rounds needed for `streams` concurrent tape calls.
     fn drive_rounds(&self, streams: u32) -> u32 {
-        streams.max(1).div_ceil(self.params.num_drives.max(1) as u32)
+        streams
+            .max(1)
+            .div_ceil(self.params.num_drives.max(1) as u32)
     }
 
     fn wire_nominal(&self, bytes: u64, streams: u32) -> SimDuration {
@@ -572,7 +574,11 @@ mod tests {
         let c = t.open("f", OpenMode::Read).unwrap();
         // 6.17 open + rewind (1 s base + 0.07 s wind), no mount.
         assert_eq!(t.mount_count(), 1);
-        assert!((c.time.as_secs() - (6.17 + 1.0 + 0.07)).abs() < 1e-6, "got {}", c.time);
+        assert!(
+            (c.time.as_secs() - (6.17 + 1.0 + 0.07)).abs() < 1e-6,
+            "got {}",
+            c.time
+        );
     }
 
     #[test]

@@ -10,7 +10,11 @@ use msr_storage::{
 };
 
 fn local() -> SharedResource {
-    share(LocalDisk::new("c-local", DiskParams::simple(20.0, 1 << 30), 1))
+    share(LocalDisk::new(
+        "c-local",
+        DiskParams::simple(20.0, 1 << 30),
+        1,
+    ))
 }
 
 fn remote() -> SharedResource {
@@ -59,8 +63,16 @@ fn composite() -> SharedResource {
     share(CompositeResource::new(
         "c-composite",
         vec![
-            share(LocalDisk::new("child-a", DiskParams::simple(20.0, 1 << 20), 3)),
-            share(LocalDisk::new("child-b", DiskParams::simple(20.0, 1 << 30), 4)),
+            share(LocalDisk::new(
+                "child-a",
+                DiskParams::simple(20.0, 1 << 20),
+                3,
+            )),
+            share(LocalDisk::new(
+                "child-b",
+                DiskParams::simple(20.0, 1 << 30),
+                4,
+            )),
         ],
     ))
 }
@@ -111,12 +123,20 @@ fn every_operation_costs_nonnegative_time_and_data_ops_cost_positive() {
     with_each(|r| {
         let h = r.open("contract/cost", OpenMode::Create).unwrap();
         let w = r.write(h.value, &[1u8; 100_000]).unwrap();
-        assert!(w.time > SimDuration::ZERO, "{} write must cost time", r.name());
+        assert!(
+            w.time > SimDuration::ZERO,
+            "{} write must cost time",
+            r.name()
+        );
         let c = r.close(h.value).unwrap();
         assert!(c.time >= SimDuration::ZERO);
         let h = r.open("contract/cost", OpenMode::Read).unwrap();
         let rd = r.read(h.value, 100_000).unwrap();
-        assert!(rd.time > SimDuration::ZERO, "{} read must cost time", r.name());
+        assert!(
+            rd.time > SimDuration::ZERO,
+            "{} read must cost time",
+            r.name()
+        );
         r.close(h.value).unwrap();
     });
 }
@@ -125,11 +145,19 @@ fn every_operation_costs_nonnegative_time_and_data_ops_cost_positive() {
 fn read_mode_and_write_mode_are_exclusive() {
     with_each(|r| {
         let h = r.open("contract/mode", OpenMode::Create).unwrap().value;
-        assert!(matches!(r.read(h, 1), Err(StorageError::BadMode { .. })), "{}", r.name());
+        assert!(
+            matches!(r.read(h, 1), Err(StorageError::BadMode { .. })),
+            "{}",
+            r.name()
+        );
         r.write(h, b"x").unwrap();
         r.close(h).unwrap();
         let h = r.open("contract/mode", OpenMode::Read).unwrap().value;
-        assert!(matches!(r.write(h, b"y"), Err(StorageError::BadMode { .. })), "{}", r.name());
+        assert!(
+            matches!(r.write(h, b"y"), Err(StorageError::BadMode { .. })),
+            "{}",
+            r.name()
+        );
         r.close(h).unwrap();
     });
 }
@@ -138,7 +166,10 @@ fn read_mode_and_write_mode_are_exclusive() {
 fn missing_file_read_is_not_found() {
     with_each(|r| {
         assert!(
-            matches!(r.open("contract/ghost", OpenMode::Read), Err(StorageError::NotFound(_))),
+            matches!(
+                r.open("contract/ghost", OpenMode::Read),
+                Err(StorageError::NotFound(_))
+            ),
             "{}",
             r.name()
         );
@@ -150,7 +181,11 @@ fn closed_handles_go_stale() {
     with_each(|r| {
         let h = r.open("contract/stale", OpenMode::Create).unwrap().value;
         r.close(h).unwrap();
-        assert!(matches!(r.write(h, b"x"), Err(StorageError::BadHandle)), "{}", r.name());
+        assert!(
+            matches!(r.write(h, b"x"), Err(StorageError::BadHandle)),
+            "{}",
+            r.name()
+        );
     });
 }
 
@@ -159,13 +194,20 @@ fn offline_resources_reject_io_then_recover() {
     with_each(|r| {
         r.set_online(false);
         assert!(
-            matches!(r.open("contract/off", OpenMode::Create), Err(StorageError::Offline { .. })),
+            matches!(
+                r.open("contract/off", OpenMode::Create),
+                Err(StorageError::Offline { .. })
+            ),
             "{}",
             r.name()
         );
         r.set_online(true);
         assert!(r.connect().is_ok());
-        assert!(r.open("contract/off", OpenMode::Create).is_ok(), "{}", r.name());
+        assert!(
+            r.open("contract/off", OpenMode::Create).is_ok(),
+            "{}",
+            r.name()
+        );
     });
 }
 
@@ -193,7 +235,12 @@ fn list_is_prefix_scoped_and_sorted() {
             r.close(h).unwrap();
         }
         let ls = r.list("contract/ls/");
-        assert_eq!(ls, vec!["contract/ls/a".to_owned(), "contract/ls/b".to_owned()], "{}", r.name());
+        assert_eq!(
+            ls,
+            vec!["contract/ls/a".to_owned(), "contract/ls/b".to_owned()],
+            "{}",
+            r.name()
+        );
     });
 }
 

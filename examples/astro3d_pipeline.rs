@@ -30,7 +30,9 @@ fn investigate(placement: PlacementPlan, label: &str) -> CoreResult<()> {
     let series = run_analysis(&sys, run, "temp", iters, 6, grid, IoStrategy::Collective)?;
 
     // --- volume render `vr_temp` to images on local disk --------------------
-    let local = sys.resource(StorageKind::LocalDisk).expect("testbed has local disk");
+    let local = sys
+        .resource(StorageKind::LocalDisk)
+        .expect("testbed has local disk");
     let volren = run_volren(
         &sys,
         run,
@@ -57,9 +59,20 @@ fn investigate(placement: PlacementPlan, label: &str) -> CoreResult<()> {
     };
 
     println!("== {label} ==");
-    println!("  simulation write I/O : {:>10.1}s", produce.total_io.as_secs());
-    println!("  analysis read I/O    : {:>10.1}s ({} MSE points)", series.io_time.as_secs(), series.points.len());
-    println!("  volren read I/O      : {:>10.1}s ({} frames)", volren.read_time.as_secs(), volren.frames);
+    println!(
+        "  simulation write I/O : {:>10.1}s",
+        produce.total_io.as_secs()
+    );
+    println!(
+        "  analysis read I/O    : {:>10.1}s ({} MSE points)",
+        series.io_time.as_secs(),
+        series.points.len()
+    );
+    println!(
+        "  volren read I/O      : {:>10.1}s ({} frames)",
+        volren.read_time.as_secs(),
+        volren.frames
+    );
     println!("  rendered frame       : {frame_stats}");
     let total = produce.total_io + series.io_time + volren.read_time;
     println!("  WHOLE INVESTIGATION  : {:>10.1}s\n", total.as_secs());

@@ -17,7 +17,9 @@ fn main() -> CoreResult<()> {
     let spec = DatasetSpec::astro3d_default("restart_temp", ElementType::F32, 32)
         .with_hint(LocationHint::RemoteTape)
         .with_amode(AccessMode::OverWrite);
-    let payload: Vec<u8> = (0..spec.snapshot_bytes()).map(|i| (i % 256) as u8).collect();
+    let payload: Vec<u8> = (0..spec.snapshot_bytes())
+        .map(|i| (i % 256) as u8)
+        .collect();
     let h = session.open(spec)?;
 
     for iter in 0..=48 {
@@ -30,7 +32,10 @@ fn main() -> CoreResult<()> {
             sys.set_resource_online(StorageKind::RemoteTape, true);
         }
         if let Some(report) = session.write_iteration(h, iter, &payload)? {
-            println!("iter {iter:>2}: checkpoint written in {:>9}", report.elapsed);
+            println!(
+                "iter {iter:>2}: checkpoint written in {:>9}",
+                report.elapsed
+            );
         }
     }
 
@@ -46,6 +51,9 @@ fn main() -> CoreResult<()> {
         );
     }
     println!("\nfinal location: {:?}", report.datasets[0].location);
-    println!("run never stopped: {} checkpoints written", report.datasets[0].dumps);
+    println!(
+        "run never stopped: {} checkpoints written",
+        report.datasets[0].dumps
+    );
     Ok(())
 }

@@ -33,8 +33,7 @@ fn main() -> CoreResult<()> {
             if let Some(report) = session.write_iteration(*h, iter, &payload)? {
                 println!(
                     "iter {iter:>2}: dumped {name:<8} in {:>8} ({} native calls)",
-                    report.elapsed,
-                    report.native_writes
+                    report.elapsed, report.native_writes
                 );
             }
         }

@@ -16,26 +16,43 @@ fn main() -> CoreResult<()> {
     // Produce vr_temp dumps on local disk (fast) so the comparison isolates
     // the *image* I/O on the remote disk.
     let mut cfg = Astro3dConfig::small(32, iters);
-    cfg.plan = PlacementPlan::uniform(LocationHint::Disable).with("vr_temp", LocationHint::LocalDisk);
+    cfg.plan =
+        PlacementPlan::uniform(LocationHint::Disable).with("vr_temp", LocationHint::LocalDisk);
     let mut sim = Astro3d::new(cfg);
     let mut session = sys.init_session("astro3d", "u", iters, grid)?;
     sim.run(&mut session)?;
     let run = session.run_id();
     session.finalize()?;
 
-    let remote = sys.resource(StorageKind::RemoteDisk).expect("testbed remote disk");
+    let remote = sys
+        .resource(StorageKind::RemoteDisk)
+        .expect("testbed remote disk");
     remote.lock().connect()?;
 
     // Naive: one remote file per frame.
     let naive = run_volren(
-        &sys, run, "vr_temp", iters, 6, grid,
-        RenderMode::MaxIntensity, &remote, "volren/naive",
+        &sys,
+        run,
+        "vr_temp",
+        iters,
+        6,
+        grid,
+        RenderMode::MaxIntensity,
+        &remote,
+        "volren/naive",
     )?;
 
     // Superfile: frames appended into one container.
     let (superfile, mut sf) = run_volren_superfile(
-        &sys, run, "vr_temp", iters, 6, grid,
-        RenderMode::MaxIntensity, &remote, "volren/container",
+        &sys,
+        run,
+        "vr_temp",
+        iters,
+        6,
+        grid,
+        RenderMode::MaxIntensity,
+        &remote,
+        "volren/container",
     )?;
 
     // Read everything back both ways.
@@ -57,11 +74,17 @@ fn main() -> CoreResult<()> {
         super_read += t;
     }
 
-    println!("frames: {}   image bytes: {}", naive.frames, naive.image_bytes);
+    println!(
+        "frames: {}   image bytes: {}",
+        naive.frames, naive.image_bytes
+    );
     println!("WRITE  naive    : {:>9.2}s", naive.write_time.as_secs());
     println!("WRITE  superfile: {:>9.2}s", superfile.write_time.as_secs());
     println!("READ   naive    : {:>9.2}s", naive_read.as_secs());
-    println!("READ   superfile: {:>9.2}s (1 staging read, then memory)", super_read.as_secs());
+    println!(
+        "READ   superfile: {:>9.2}s (1 staging read, then memory)",
+        super_read.as_secs()
+    );
     println!(
         "read speedup: {:.1}x   write speedup: {:.1}x",
         naive_read.as_secs() / super_read.as_secs().max(1e-9),

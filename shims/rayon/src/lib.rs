@@ -1,0 +1,91 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! Every `par_*` entry point returns the corresponding **sequential**
+//! `std` iterator, so downstream adapter chains (`zip`, `map`, `enumerate`,
+//! `for_each`, `sum`, `collect`, …) compile and run unchanged — single
+//! threaded. This trades the parallel speed-up for a zero-dependency build;
+//! the real rayon can be swapped back in unmodified when a registry is
+//! available.
+
+/// The traits the workspace imports via `use rayon::prelude::*`.
+pub mod prelude {
+    /// `into_par_iter()` for owned collections and ranges: sequential
+    /// fallback over [`IntoIterator`].
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Sequential stand-in for rayon's parallel iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+    impl<I: IntoIterator> IntoParallelIterator for I {}
+
+    /// Rayon-only iterator combinators, provided on every std iterator so
+    /// chains written against the parallel API compile sequentially.
+    pub trait ParallelCombinators: Iterator + Sized {
+        /// Rayon's `flat_map_iter`: plain `flat_map` sequentially.
+        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+        where
+            U: IntoIterator,
+            F: FnMut(Self::Item) -> U,
+        {
+            self.flat_map(f)
+        }
+    }
+    impl<I: Iterator> ParallelCombinators for I {}
+
+    /// `par_iter()` over shared slices (and anything derefing to one).
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for rayon's `par_iter`.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Sequential stand-in for rayon's `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `par_iter_mut()` / `par_chunks_mut()` over exclusive slices.
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for rayon's `par_iter_mut`.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// Sequential stand-in for rayon's `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn adapter_chains_compile_and_run() {
+        let a = [1.0f64, 2.0, 3.0];
+        let b = [4.0f64, 5.0, 6.0];
+        let dot: f64 = a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum();
+        assert_eq!(dot, 32.0);
+
+        let mut buf = vec![0u8; 6];
+        buf.par_chunks_mut(3).enumerate().for_each(|(i, c)| {
+            c.fill(i as u8);
+        });
+        assert_eq!(buf, [0, 0, 0, 1, 1, 1]);
+
+        let squares: Vec<u64> = (0u64..4).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares, [0, 1, 4, 9]);
+    }
+}

@@ -1,0 +1,534 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! Instead of upstream's visitor architecture, everything serializes through
+//! an owned [`Value`] tree (the same data model as JSON). The derive macros
+//! re-exported from `serde_derive` generate `to_value` / `from_value`
+//! implementations that follow serde's externally-tagged conventions, so the
+//! JSON produced by `serde_json` (the sibling shim) matches what crates.io
+//! serde would emit for these types: unit enum variants as strings, data
+//! variants as single-key objects, newtype structs transparent, tuples as
+//! arrays, `None` as `null`.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped number preserving integer exactness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Num {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Num {
+    /// Lossy view as `f64`.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Num::U(u) => u as f64,
+            Num::I(i) => i as f64,
+            Num::F(f) => f,
+        }
+    }
+
+    /// Exact view as `u64`, if representable.
+    pub fn as_u64(self) -> Option<u64> {
+        match self {
+            Num::U(u) => Some(u),
+            Num::I(i) => u64::try_from(i).ok(),
+            Num::F(f) if f >= 0.0 && f.fract() == 0.0 && f <= u64::MAX as f64 => Some(f as u64),
+            Num::F(_) => None,
+        }
+    }
+
+    /// Exact view as `i64`, if representable.
+    pub fn as_i64(self) -> Option<i64> {
+        match self {
+            Num::U(u) => i64::try_from(u).ok(),
+            Num::I(i) => Some(i),
+            Num::F(f) if f.fract() == 0.0 && f >= i64::MIN as f64 && f <= i64::MAX as f64 => {
+                Some(f as i64)
+            }
+            Num::F(_) => None,
+        }
+    }
+}
+
+/// The serialization data model: a JSON-shaped value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Num(Num),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Arr(Vec<Value>),
+    /// A string-keyed map (field order = key order).
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Borrow as an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// View as a number.
+    pub fn as_num(&self) -> Option<Num> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// One-word description used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// Deserialization failure.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Arbitrary-message constructor.
+    pub fn custom(msg: impl Into<String>) -> DeError {
+        DeError { msg: msg.into() }
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(field: &str) -> DeError {
+        DeError::custom(format!("missing field `{field}`"))
+    }
+
+    /// The value had the wrong shape.
+    pub fn expected(what: &str, got: &Value) -> DeError {
+        DeError::custom(format!("expected {what}, found {}", got.kind()))
+    }
+
+    /// An enum tag was not recognised.
+    pub fn unknown_variant(tag: &str, ty: &str) -> DeError {
+        DeError::custom(format!("unknown variant `{tag}` for {ty}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types convertible into the [`Value`] data model.
+pub trait Serialize {
+    /// Build the value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuild from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// Called when a struct field is absent; `Option` overrides this to
+    /// yield `None`, everything else errors.
+    fn from_missing(field: &str) -> Result<Self, DeError> {
+        Err(DeError::missing_field(field))
+    }
+}
+
+// ---- derive support helpers -------------------------------------------------
+
+/// Fetch and decode a struct field, routing absence through `from_missing`.
+pub fn de_field<T: Deserialize>(m: &BTreeMap<String, Value>, name: &str) -> Result<T, DeError> {
+    match m.get(name) {
+        Some(v) => T::from_value(v),
+        None => T::from_missing(name),
+    }
+}
+
+/// Decode element `i` of a fixed-arity sequence (tuple struct / variant).
+pub fn de_idx<T: Deserialize>(a: &[Value], i: usize, ctx: &str) -> Result<T, DeError> {
+    match a.get(i) {
+        Some(v) => T::from_value(v),
+        None => Err(DeError::custom(format!("{ctx}: missing element {i}"))),
+    }
+}
+
+/// Build serde's externally-tagged form: `{"VariantName": inner}`.
+pub fn variant(name: &str, inner: Value) -> Value {
+    let mut m = BTreeMap::new();
+    m.insert(name.to_owned(), inner);
+    Value::Obj(m)
+}
+
+/// Destructure serde's externally-tagged form.
+pub fn as_variant(v: &Value) -> Option<(&str, &Value)> {
+    let m = v.as_obj()?;
+    if m.len() != 1 {
+        return None;
+    }
+    m.iter().next().map(|(k, inner)| (k.as_str(), inner))
+}
+
+// ---- primitive impls --------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", v)),
+        }
+    }
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Num(Num::U(*self as u64)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                v.as_num()
+                    .and_then(Num::as_u64)
+                    .and_then(|u| <$t>::try_from(u).ok())
+                    .ok_or_else(|| DeError::expected(stringify!($t), v))
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 { Value::Num(Num::U(i as u64)) } else { Value::Num(Num::I(i)) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                v.as_num()
+                    .and_then(Num::as_i64)
+                    .and_then(|i| <$t>::try_from(i).ok())
+                    .ok_or_else(|| DeError::expected(stringify!($t), v))
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Num(Num::F(*self))
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<f64, DeError> {
+        v.as_num()
+            .map(Num::as_f64)
+            .ok_or_else(|| DeError::expected("f64", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Num(Num::F(f64::from(*self)))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<f32, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, DeError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::expected("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<char, DeError> {
+        let s = v.as_str().ok_or_else(|| DeError::expected("char", v))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::expected("single-char string", v)),
+        }
+    }
+}
+
+// ---- compound impls ---------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Box<T>, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn from_value(v: &Value) -> Result<Arc<T>, DeError> {
+        T::from_value(v).map(Arc::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn from_missing(_field: &str) -> Result<Option<T>, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, DeError> {
+        v.as_arr()
+            .ok_or_else(|| DeError::expected("array", v))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(v: &Value) -> Result<VecDeque<T>, DeError> {
+        Vec::<T>::from_value(v).map(VecDeque::from)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<[T; N], DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        let got = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::custom(format!("expected array of {N}, found {got}")))
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($t:ident : $i:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$i.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<($($t,)+), DeError> {
+                let a = v.as_arr().ok_or_else(|| DeError::expected("tuple array", v))?;
+                Ok(($(de_idx::<$t>(a, $i, "tuple")?,)+))
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Obj(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<BTreeMap<String, V>, DeError> {
+        v.as_obj()
+            .ok_or_else(|| DeError::expected("object", v))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sorted for deterministic output, matching BTreeMap behaviour.
+        let mut m = BTreeMap::new();
+        for (k, v) in self {
+            m.insert(k.clone(), v.to_value());
+        }
+        Value::Obj(m)
+    }
+}
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<HashMap<String, V>, DeError> {
+        v.as_obj()
+            .ok_or_else(|| DeError::expected("object", v))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<(), DeError> {
+        match v {
+            Value::Null => Ok(()),
+            _ => Err(DeError::expected("null", v)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_missing_field_yields_none() {
+        assert_eq!(
+            <Option<f64> as Deserialize>::from_missing("x").unwrap(),
+            None
+        );
+        assert!(<f64 as Deserialize>::from_missing("x").is_err());
+    }
+
+    #[test]
+    fn u64_exactness_preserved() {
+        let big = (1u64 << 60) + 3;
+        let v = big.to_value();
+        assert_eq!(u64::from_value(&v).unwrap(), big);
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let t = (7u64, 3.5f64);
+        let back: (u64, f64) = Deserialize::from_value(&t.to_value()).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,472 @@
+//! Offline stand-in for `serde_derive`, built directly on `proc_macro`
+//! (no `syn`/`quote` available without a registry).
+//!
+//! Generates `impl serde::Serialize` / `impl serde::Deserialize` against the
+//! sibling serde shim's value-tree model. Supports the shapes this workspace
+//! actually derives on: named/tuple/unit structs and enums with unit, tuple
+//! and struct variants, plus the `#[serde(skip)]` and
+//! `#[serde(default = "path")]` field attributes. Anything fancier panics at
+//! expansion time with a clear message rather than silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---- parsed shape -----------------------------------------------------------
+
+struct Field {
+    name: String,
+    skip: bool,
+    /// `Some("")` = `#[serde(default)]`; `Some(path)` = `#[serde(default = "path")]`.
+    default: Option<String>,
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+// ---- token cursor -----------------------------------------------------------
+
+struct Cur {
+    toks: Vec<TokenTree>,
+    i: usize,
+}
+
+impl Cur {
+    fn new(ts: TokenStream) -> Cur {
+        Cur {
+            toks: ts.into_iter().collect(),
+            i: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.i)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.i).cloned();
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(id)) if id.to_string() == word)
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde derive: expected {what}, found {other:?}"),
+        }
+    }
+}
+
+// ---- attribute handling -----------------------------------------------------
+
+/// Consume leading attributes; fold any `#[serde(...)]` content into
+/// (skip, default).
+fn eat_attrs(c: &mut Cur) -> (bool, Option<String>) {
+    let mut skip = false;
+    let mut default = None;
+    while c.at_punct('#') {
+        c.next();
+        let group = match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde derive: malformed attribute, found {other:?}"),
+        };
+        let mut inner = Cur::new(group.stream());
+        if !inner.at_ident("serde") {
+            continue; // doc comments, #[default], etc.
+        }
+        inner.next();
+        let args = match inner.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+            other => panic!("serde derive: malformed #[serde] attribute: {other:?}"),
+        };
+        let mut a = Cur::new(args.stream());
+        while a.peek().is_some() {
+            let word = a.expect_ident("serde attribute name");
+            match word.as_str() {
+                "skip" => skip = true,
+                "default" => {
+                    if a.at_punct('=') {
+                        a.next();
+                        match a.next() {
+                            Some(TokenTree::Literal(l)) => {
+                                let s = l.to_string();
+                                default = Some(s.trim_matches('"').to_owned());
+                            }
+                            other => panic!("serde derive: expected path string: {other:?}"),
+                        }
+                    } else {
+                        default = Some(String::new());
+                    }
+                }
+                other => panic!("serde derive shim: unsupported serde attribute `{other}`"),
+            }
+            if a.at_punct(',') {
+                a.next();
+            }
+        }
+    }
+    (skip, default)
+}
+
+fn eat_vis(c: &mut Cur) {
+    if c.at_ident("pub") {
+        c.next();
+        if let Some(TokenTree::Group(g)) = c.peek() {
+            if g.delimiter() == Delimiter::Parenthesis {
+                c.next();
+            }
+        }
+    }
+}
+
+/// Consume a type (or any expression) up to a top-level `,`, tracking `<>`
+/// depth. Nested `()`/`[]`/`{}` arrive as single `Group` tokens, so only
+/// angle brackets need counting. Consumes the trailing comma if present.
+fn skip_to_comma(c: &mut Cur) {
+    let mut angle = 0i32;
+    while let Some(t) = c.peek() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                c.next();
+                return;
+            }
+            _ => {}
+        }
+        c.next();
+    }
+}
+
+// ---- item parsing -----------------------------------------------------------
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cur::new(stream);
+    let mut out = Vec::new();
+    while c.peek().is_some() {
+        let (skip, default) = eat_attrs(&mut c);
+        eat_vis(&mut c);
+        let name = c.expect_ident("field name");
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field `{name}`: {other:?}"),
+        }
+        skip_to_comma(&mut c);
+        out.push(Field {
+            name,
+            skip,
+            default,
+        });
+    }
+    out
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cur::new(stream);
+    let mut n = 0;
+    while c.peek().is_some() {
+        let (skip, _) = eat_attrs(&mut c);
+        if skip {
+            panic!("serde derive shim: #[serde(skip)] on tuple fields is unsupported");
+        }
+        eat_vis(&mut c);
+        skip_to_comma(&mut c);
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cur::new(stream);
+    let mut out = Vec::new();
+    while c.peek().is_some() {
+        let _ = eat_attrs(&mut c); // doc comments / #[default]
+        let name = c.expect_ident("variant name");
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.next();
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(g.stream());
+                c.next();
+                Fields::Named(f)
+            }
+            _ => Fields::Unit,
+        };
+        skip_to_comma(&mut c); // discriminant (if any) and the separator
+        out.push(Variant { name, fields });
+    }
+    out
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cur::new(input);
+    let _ = eat_attrs(&mut c);
+    eat_vis(&mut c);
+    let kw = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("type name");
+    if c.at_punct('<') {
+        panic!("serde derive shim: generic type `{name}` is unsupported");
+    }
+    if c.at_ident("where") {
+        panic!("serde derive shim: where-clauses are unsupported");
+    }
+    let body = match kw.as_str() {
+        "struct" => match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Struct(Fields::Unit),
+            other => panic!("serde derive: malformed struct `{name}`: {other:?}"),
+        },
+        "enum" => match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde derive: cannot derive for `{other} {name}`"),
+    };
+    Item { name, body }
+}
+
+// ---- code generation --------------------------------------------------------
+
+fn gen_named_to_value(fields: &[Field], access: &dyn Fn(&str) -> String) -> String {
+    let mut s = String::from("{ let mut __m = ::std::collections::BTreeMap::new();\n");
+    for f in fields {
+        if f.skip {
+            continue;
+        }
+        s.push_str(&format!(
+            "__m.insert({n:?}.to_string(), ::serde::Serialize::to_value(&{a}));\n",
+            n = f.name,
+            a = access(&f.name)
+        ));
+    }
+    s.push_str("::serde::Value::Obj(__m) }");
+    s
+}
+
+fn gen_named_from_obj(ty_and_variant: &str, fields: &[Field]) -> String {
+    let mut s = format!("{ty_and_variant} {{\n");
+    for f in fields {
+        if f.skip {
+            s.push_str(&format!(
+                "{}: ::std::default::Default::default(),\n",
+                f.name
+            ));
+        } else if let Some(path) = &f.default {
+            let fallback = if path.is_empty() {
+                "::std::default::Default::default()".to_owned()
+            } else {
+                format!("{path}()")
+            };
+            s.push_str(&format!(
+                "{n}: match __m.get({n:?}) {{ ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?, ::std::option::Option::None => {fallback} }},\n",
+                n = f.name
+            ));
+        } else {
+            s.push_str(&format!(
+                "{n}: ::serde::de_field(__m, {n:?})?,\n",
+                n = f.name
+            ));
+        }
+    }
+    s.push('}');
+    s
+}
+
+fn derive_serialize_impl(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Named(fields)) => gen_named_to_value(fields, &|f| format!("self.{f}")),
+        Body::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Body::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Arr(vec![{}])", elems.join(", "))
+        }
+        Body::Struct(Fields::Unit) => "::serde::Value::Null".to_owned(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__f0) => ::serde::variant({vn:?}, ::serde::Serialize::to_value(__f0)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({b}) => ::serde::variant({vn:?}, ::serde::Value::Arr(vec![{e}])),\n",
+                            b = binds.join(", "),
+                            e = elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let obj = gen_named_to_value(fields, &|f| f.to_owned());
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {b} }} => ::serde::variant({vn:?}, {obj}),\n",
+                            b = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn derive_deserialize_impl(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Named(fields)) => {
+            format!(
+                "let __m = __v.as_obj().ok_or_else(|| ::serde::DeError::expected(\"object for {name}\", __v))?;\n\
+                 ::std::result::Result::Ok({})",
+                gen_named_from_obj(name, fields)
+            )
+        }
+        Body::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Body::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::de_idx(__a, {i}, {name:?})?"))
+                .collect();
+            format!(
+                "let __a = __v.as_arr().ok_or_else(|| ::serde::DeError::expected(\"array for {name}\", __v))?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Body::Struct(Fields::Unit) => {
+            format!("let _ = __v;\n::std::result::Result::Ok({name})")
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Fields::Tuple(1) => data_arms.push_str(&format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::de_idx(__a, {i}, {vn:?})?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                             let __a = __inner.as_arr().ok_or_else(|| ::serde::DeError::expected(\"array for {name}::{vn}\", __inner))?;\n\
+                             ::std::result::Result::Ok({name}::{vn}({e}))\n\
+                             }}\n",
+                            e = elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        data_arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                             let __m = __inner.as_obj().ok_or_else(|| ::serde::DeError::expected(\"object for {name}::{vn}\", __inner))?;\n\
+                             ::std::result::Result::Ok({})\n\
+                             }}\n",
+                            gen_named_from_obj(&format!("{name}::{vn}"), fields)
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                 return match __s {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::unknown_variant(__other, {name:?})),\n\
+                 }};\n\
+                 }}\n\
+                 let (__tag, __inner) = ::serde::as_variant(__v)\n\
+                 .ok_or_else(|| ::serde::DeError::expected(\"variant object for {name}\", __v))?;\n\
+                 let _ = __inner;\n\
+                 match __tag {{\n{data_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::unknown_variant(__other, {name:?})),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+// ---- entry points -----------------------------------------------------------
+
+/// Derive the shim's `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    derive_serialize_impl(&item)
+        .parse()
+        .expect("serde derive shim: generated Serialize impl failed to parse")
+}
+
+/// Derive the shim's `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    derive_deserialize_impl(&item)
+        .parse()
+        .expect("serde derive shim: generated Deserialize impl failed to parse")
+}

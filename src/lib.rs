@@ -15,6 +15,7 @@
 //! | user applications          | [`apps`] |
 //! | metadata DB (MDMS)         | [`meta`] |
 //! | I/O performance predictor  | [`predict`] |
+//! | cross-layer observability  | [`obs`] (feeds [`predict`] online) |
 //!
 //! Start with [`core::MsrSystem::testbed`] and the `quickstart` example.
 
@@ -22,6 +23,7 @@ pub use msr_apps as apps;
 pub use msr_core as core;
 pub use msr_meta as meta;
 pub use msr_net as net;
+pub use msr_obs as obs;
 pub use msr_predict as predict;
 pub use msr_runtime as runtime;
 pub use msr_sim as sim;
@@ -35,7 +37,8 @@ pub mod prelude {
         RunReport, Session,
     };
     pub use msr_meta::{AccessMode, ElementType};
-    pub use msr_predict::{PTool, Predictor};
+    pub use msr_obs::{MetricsSnapshot, Recorder, Registry};
+    pub use msr_predict::{PTool, PerfDbFeeder, Predictor};
     pub use msr_runtime::{Dims3, IoStrategy, Pattern, ProcGrid, Superfile};
     pub use msr_sim::SimDuration;
     pub use msr_storage::{OpKind, StorageKind};

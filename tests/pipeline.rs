@@ -66,8 +66,7 @@ fn reads_from_local_beat_disk_beat_tape() {
 #[test]
 fn analysis_series_shrinks_as_diffusion_smooths_the_field() {
     let sys = MsrSystem::testbed(103);
-    let plan = PlacementPlan::uniform(LocationHint::Disable)
-        .with("temp", LocationHint::LocalDisk);
+    let plan = PlacementPlan::uniform(LocationHint::Disable).with("temp", LocationHint::LocalDisk);
     let (run, grid, iters) = produce(&sys, plan);
     let series = run_analysis(&sys, run, "temp", iters, 6, grid, IoStrategy::Collective).unwrap();
     assert_eq!(series.points.len(), 2);
@@ -77,14 +76,21 @@ fn analysis_series_shrinks_as_diffusion_smooths_the_field() {
 #[test]
 fn volren_pipeline_renders_valid_pgms_into_a_superfile() {
     let sys = MsrSystem::testbed(104);
-    let plan = PlacementPlan::uniform(LocationHint::Disable)
-        .with("vr_temp", LocationHint::LocalDisk);
+    let plan =
+        PlacementPlan::uniform(LocationHint::Disable).with("vr_temp", LocationHint::LocalDisk);
     let (run, grid, iters) = produce(&sys, plan);
     let remote = sys.resource(StorageKind::RemoteDisk).unwrap();
     remote.lock().connect().unwrap();
     let (report, mut sf) = run_volren_superfile(
-        &sys, run, "vr_temp", iters, 6, grid,
-        RenderMode::Compositing, &remote, "volren/c",
+        &sys,
+        run,
+        "vr_temp",
+        iters,
+        6,
+        grid,
+        RenderMode::Compositing,
+        &remote,
+        "volren/c",
     )
     .unwrap();
     assert_eq!(report.frames, 3);
@@ -184,8 +190,8 @@ fn checkpoint_restart_resumes_the_simulation_exactly() {
 #[test]
 fn catalog_records_where_everything_went() {
     let sys = MsrSystem::testbed(106);
-    let plan = PlacementPlan::uniform(LocationHint::RemoteTape)
-        .with("vr_temp", LocationHint::LocalDisk);
+    let plan =
+        PlacementPlan::uniform(LocationHint::RemoteTape).with("vr_temp", LocationHint::LocalDisk);
     let (run, _, _) = produce(&sys, plan);
     let mut catalog = sys.catalog.lock();
     let all = catalog.datasets_for_run(run);

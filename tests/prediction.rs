@@ -16,9 +16,13 @@ fn quick_ptool() -> PTool {
 fn run_and_compare(hint: LocationHint, n: u64) -> (f64, f64) {
     let mut sys = MsrSystem::testbed(301);
     sys.run_ptool(&quick_ptool()).unwrap();
-    let mut s = sys.init_session("app", "u", 24, ProcGrid::new(2, 2, 2)).unwrap();
+    let mut s = sys
+        .init_session("app", "u", 24, ProcGrid::new(2, 2, 2))
+        .unwrap();
     let spec = DatasetSpec::astro3d_default("d", ElementType::U8, n).with_hint(hint);
-    let payload: Vec<u8> = (0..spec.snapshot_bytes()).map(|i| (i % 251) as u8).collect();
+    let payload: Vec<u8> = (0..spec.snapshot_bytes())
+        .map(|i| (i % 251) as u8)
+        .collect();
     let h = s.open(spec).unwrap();
     let predicted = s.predict().unwrap().total;
     for iter in (0..=24).step_by(6) {
@@ -78,7 +82,9 @@ fn performance_target_policy_picks_fast_media_for_tight_deadlines() {
     sys.set_policy(PlacementPolicy::PerformanceTarget {
         per_dump: SimDuration::from_secs(1.0),
     });
-    let mut s = sys.init_session("app", "u", 6, ProcGrid::new(1, 1, 1)).unwrap();
+    let mut s = sys
+        .init_session("app", "u", 6, ProcGrid::new(1, 1, 1))
+        .unwrap();
     let spec = DatasetSpec::astro3d_default("tight", ElementType::U8, 128);
     let h = s.open(spec).unwrap();
     let payload = vec![1u8; 128 * 128 * 128];
@@ -91,8 +97,12 @@ fn performance_target_policy_picks_fast_media_for_tight_deadlines() {
     sys.set_policy(PlacementPolicy::PerformanceTarget {
         per_dump: SimDuration::from_secs(1e6),
     });
-    let mut s = sys.init_session("app", "u2", 6, ProcGrid::new(1, 1, 1)).unwrap();
-    let h = s.open(DatasetSpec::astro3d_default("loose", ElementType::U8, 128)).unwrap();
+    let mut s = sys
+        .init_session("app", "u2", 6, ProcGrid::new(1, 1, 1))
+        .unwrap();
+    let h = s
+        .open(DatasetSpec::astro3d_default("loose", ElementType::U8, 128))
+        .unwrap();
     s.write_iteration(h, 0, &payload).unwrap();
     let r = s.finalize().unwrap();
     assert_eq!(r.datasets[0].location, Some(StorageKind::RemoteTape));
@@ -102,7 +112,9 @@ fn performance_target_policy_picks_fast_media_for_tight_deadlines() {
 fn accuracy_report_over_multiple_datasets() {
     let mut sys = MsrSystem::testbed(305);
     sys.run_ptool(&quick_ptool()).unwrap();
-    let mut s = sys.init_session("app", "u", 24, ProcGrid::new(2, 2, 2)).unwrap();
+    let mut s = sys
+        .init_session("app", "u", 24, ProcGrid::new(2, 2, 2))
+        .unwrap();
     let mut handles = Vec::new();
     for (name, hint) in [
         ("a", LocationHint::LocalDisk),
@@ -115,8 +127,9 @@ fn accuracy_report_over_multiple_datasets() {
     let prediction = s.predict().unwrap();
     for iter in (0..=24).step_by(6) {
         for (h, spec) in &handles {
-            let payload: Vec<u8> =
-                (0..spec.snapshot_bytes()).map(|i| (i % 251) as u8).collect();
+            let payload: Vec<u8> = (0..spec.snapshot_bytes())
+                .map(|i| (i % 251) as u8)
+                .collect();
             s.write_iteration(*h, iter, &payload).unwrap();
         }
     }

@@ -8,13 +8,17 @@ fn u8_spec(name: &str, hint: LocationHint) -> DatasetSpec {
 }
 
 fn payload(spec: &DatasetSpec) -> Vec<u8> {
-    (0..spec.snapshot_bytes()).map(|i| (i % 253) as u8).collect()
+    (0..spec.snapshot_bytes())
+        .map(|i| (i % 253) as u8)
+        .collect()
 }
 
 #[test]
 fn wan_partition_fails_remote_placements_over_to_local() {
     let sys = MsrSystem::testbed(201);
-    let mut s = sys.init_session("app", "u", 12, ProcGrid::new(1, 1, 1)).unwrap();
+    let mut s = sys
+        .init_session("app", "u", 12, ProcGrid::new(1, 1, 1))
+        .unwrap();
     let spec = u8_spec("d", LocationHint::RemoteDisk).with_future_use(FutureUse::Analysis);
     let h = s.open(spec.clone()).unwrap();
     s.write_iteration(h, 0, &payload(&spec)).unwrap();
@@ -33,7 +37,9 @@ fn capacity_exhaustion_midrun_spills_to_the_next_resource() {
     // Local disk fits two dumps and no more.
     let local = sys.resource(StorageKind::LocalDisk).unwrap();
     local.lock().set_capacity(2 * 16 * 16 * 16 + 100);
-    let mut s = sys.init_session("app", "u", 24, ProcGrid::new(1, 1, 1)).unwrap();
+    let mut s = sys
+        .init_session("app", "u", 24, ProcGrid::new(1, 1, 1))
+        .unwrap();
     // Placement checks the *whole run's* bytes, so a pinned hint for a run
     // that cannot fit falls back immediately...
     let spec = u8_spec("d", LocationHint::LocalDisk).with_future_use(FutureUse::Visualization);
@@ -53,7 +59,9 @@ fn capacity_exhaustion_midrun_spills_to_the_next_resource() {
 #[test]
 fn capacity_pressure_from_another_tenant_triggers_failover() {
     let sys = MsrSystem::testbed(203);
-    let mut s = sys.init_session("app", "u", 24, ProcGrid::new(1, 1, 1)).unwrap();
+    let mut s = sys
+        .init_session("app", "u", 24, ProcGrid::new(1, 1, 1))
+        .unwrap();
     let spec = u8_spec("d", LocationHint::LocalDisk).with_future_use(FutureUse::Visualization);
     let h = s.open(spec.clone()).unwrap();
     s.write_iteration(h, 0, &payload(&spec)).unwrap();
@@ -78,7 +86,9 @@ fn recovered_resource_is_used_by_subsequent_sessions() {
     let sys = MsrSystem::testbed(204);
     sys.set_resource_online(StorageKind::RemoteTape, false);
     {
-        let mut s = sys.init_session("app", "u", 6, ProcGrid::new(1, 1, 1)).unwrap();
+        let mut s = sys
+            .init_session("app", "u", 6, ProcGrid::new(1, 1, 1))
+            .unwrap();
         let spec = u8_spec("d", LocationHint::RemoteTape);
         let h = s.open(spec.clone()).unwrap();
         s.write_iteration(h, 0, &payload(&spec)).unwrap();
@@ -87,7 +97,9 @@ fn recovered_resource_is_used_by_subsequent_sessions() {
     }
     sys.set_resource_online(StorageKind::RemoteTape, true);
     {
-        let mut s = sys.init_session("app", "u2", 6, ProcGrid::new(1, 1, 1)).unwrap();
+        let mut s = sys
+            .init_session("app", "u2", 6, ProcGrid::new(1, 1, 1))
+            .unwrap();
         let spec = u8_spec("d", LocationHint::RemoteTape);
         let h = s.open(spec.clone()).unwrap();
         s.write_iteration(h, 0, &payload(&spec)).unwrap();
@@ -99,11 +111,16 @@ fn recovered_resource_is_used_by_subsequent_sessions() {
 #[test]
 fn disable_hint_writes_nothing_anywhere() {
     let sys = MsrSystem::testbed(205);
-    let mut s = sys.init_session("app", "u", 12, ProcGrid::new(1, 1, 1)).unwrap();
+    let mut s = sys
+        .init_session("app", "u", 12, ProcGrid::new(1, 1, 1))
+        .unwrap();
     let spec = u8_spec("ghost", LocationHint::Disable);
     let h = s.open(spec.clone()).unwrap();
     for iter in (0..=12).step_by(6) {
-        assert!(s.write_iteration(h, iter, &payload(&spec)).unwrap().is_none());
+        assert!(s
+            .write_iteration(h, iter, &payload(&spec))
+            .unwrap()
+            .is_none());
     }
     s.finalize().unwrap();
     for (_, res) in sys.resources() {
@@ -115,7 +132,9 @@ fn disable_hint_writes_nothing_anywhere() {
 fn many_sessions_by_the_same_user_reuse_the_catalog_rows() {
     let sys = MsrSystem::testbed(207);
     for i in 0..4 {
-        let mut s = sys.init_session("app", "same-user", 6, ProcGrid::new(1, 1, 1)).unwrap();
+        let mut s = sys
+            .init_session("app", "same-user", 6, ProcGrid::new(1, 1, 1))
+            .unwrap();
         let spec = u8_spec(&format!("d{i}"), LocationHint::LocalDisk);
         let h = s.open(spec.clone()).unwrap();
         s.write_iteration(h, 0, &payload(&spec)).unwrap();
@@ -136,7 +155,8 @@ fn the_trace_records_placements_failovers_and_staging() {
     let run = s.run_id();
     s.finalize().unwrap();
     sys.set_resource_online(StorageKind::RemoteTape, true);
-    sys.migrate_dataset(run, "d", StorageKind::LocalDisk, grid).unwrap();
+    sys.migrate_dataset(run, "d", StorageKind::LocalDisk, grid)
+        .unwrap();
 
     assert_eq!(sys.trace.events_in("placement").len(), 1);
     assert_eq!(sys.trace.events_in("failover").len(), 1);
