@@ -1,0 +1,80 @@
+//! Thread-scaling of the parallel data plane and the experiment sweeps.
+//!
+//! Every workload runs at 1, 2 and N (host parallelism) pool workers via
+//! `rayon::with_threads`, so one run shows both the sequential baseline
+//! and whatever speedup the host's cores allow. On a single-core runner
+//! the three curves coincide — the `BENCH_parallel.json` ledger records
+//! the thread count so that is visible, not silent.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use msr_bench::figs678_all;
+use msr_runtime::{Dims3, Distribution, IoEngine, IoStrategy, Pattern, ProcGrid};
+use msr_storage::{share, DiskParams, LocalDisk, OpenMode};
+
+fn thread_counts() -> Vec<usize> {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![1, 2, host];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// Engine write+read roundtrip (gather/pack on write, scatter on read) —
+/// the host-copy half of this is what the pool parallelizes.
+fn bench_engine_data_plane(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_roundtrip");
+    let dist = Distribution::new(Dims3::cube(48), 4, Pattern::bbb(), ProcGrid::new(2, 2, 2))
+        .expect("valid distribution");
+    let data: Vec<u8> = (0..dist.total_bytes()).map(|i| (i % 251) as u8).collect();
+    let engine = IoEngine::default();
+    group.throughput(Throughput::Bytes(2 * dist.total_bytes()));
+    for threads in thread_counts() {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                let res = share(LocalDisk::new("b", DiskParams::simple(100.0, 1 << 30), 0));
+                b.iter(|| {
+                    rayon::with_threads(threads, || {
+                        engine
+                            .write(
+                                &res,
+                                "d",
+                                &data,
+                                &dist,
+                                IoStrategy::Subfile,
+                                OpenMode::Create,
+                            )
+                            .expect("write");
+                        engine
+                            .read(&res, "d", &dist, IoStrategy::Subfile)
+                            .expect("read")
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// A full experiment fan-out (the Fig. 6/7/8 PTool sweeps, three
+/// independent testbeds) — the coarse-grained parallelism of `repro`.
+fn bench_experiment_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figs678_sweep");
+    group.sample_size(10);
+    for threads in thread_counts() {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| rayon::with_threads(threads, || figs678_all(7)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_data_plane, bench_experiment_sweep);
+criterion_main!(benches);

@@ -1,13 +1,19 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--seed N] <experiment>...
+//! repro [--quick] [--seed N] [--bench-json] <experiment>...
 //! experiments: table1 fig6 fig7 fig8 fig9 fig10a fig10b fig10c fig11
 //!              example42 failover ablations all
 //! ```
 //!
 //! `--quick` runs the Astro3D experiments at 32³/24 iterations instead of
 //! the paper's 128³/120 (same shapes, ~1000× less data).
+//!
+//! `--bench-json` skips the report rendering and instead times each
+//! multi-configuration experiment twice — forced sequential
+//! (`with_threads(1)`) and on the default pool — and writes the wall-clock
+//! ledger to `BENCH_parallel.json` (thread count and host cores included,
+//! so single-core CI runs are self-describing).
 
 use msr_bench::experiments::Scale;
 use msr_bench::*;
@@ -237,6 +243,76 @@ fn run_ablations(seed: u64) {
     }
 }
 
+#[derive(serde::Serialize)]
+struct BenchRow {
+    name: String,
+    sequential_s: f64,
+    parallel_s: f64,
+    speedup: f64,
+}
+
+#[derive(serde::Serialize)]
+struct BenchLedger {
+    threads: usize,
+    host_cores: usize,
+    scale: String,
+    seed: u64,
+    experiments: Vec<BenchRow>,
+}
+
+/// Time each parallelized experiment sequential-vs-pool and write the
+/// ledger to `BENCH_parallel.json`.
+fn run_bench_json(scale: Scale, seed: u64) {
+    type Experiment<'a> = (&'a str, Box<dyn Fn() + Sync>);
+    let experiments: Vec<Experiment<'_>> = vec![
+        ("figs678", Box::new(move || drop(figs678_all(seed)))),
+        ("fig9", Box::new(move || drop(fig9(scale, seed)))),
+        ("fig10a", Box::new(move || drop(fig10a(scale, seed)))),
+        ("fig10b", Box::new(move || drop(fig10b(scale, seed)))),
+        ("fig10c", Box::new(move || drop(fig10c(scale, seed)))),
+        (
+            "ablations",
+            Box::new(move || {
+                ablation_strategies(seed);
+                ablation_tape_drives(seed);
+                ablation_net_load(seed);
+                ablation_superfile_cache(seed);
+            }),
+        ),
+    ];
+    let time = |f: &(dyn Fn() + Sync)| {
+        let t = std::time::Instant::now();
+        f();
+        t.elapsed().as_secs_f64()
+    };
+    let threads = rayon::current_num_threads();
+    let mut rows = Vec::new();
+    for (name, f) in &experiments {
+        let sequential_s = rayon::with_threads(1, || time(f.as_ref()));
+        let parallel_s = time(f.as_ref());
+        let speedup = sequential_s / parallel_s.max(1e-12);
+        println!("{name:<10} sequential {sequential_s:>8.3}s   pool({threads}) {parallel_s:>8.3}s   speedup {speedup:.2}x");
+        rows.push(BenchRow {
+            name: (*name).to_owned(),
+            sequential_s,
+            parallel_s,
+            speedup,
+        });
+    }
+    let ledger = BenchLedger {
+        threads,
+        host_cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        scale: format!("{scale:?}"),
+        seed,
+        experiments: rows,
+    };
+    let out = serde_json::to_string_pretty(&ledger).expect("ledger serializes");
+    std::fs::write("BENCH_parallel.json", out).expect("write BENCH_parallel.json");
+    println!("\nwrote BENCH_parallel.json ({threads} pool threads)");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -247,6 +323,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(2000);
     let scale = if quick { Scale::Quick } else { Scale::Paper };
+    if args.iter().any(|a| a == "--bench-json") {
+        run_bench_json(scale, seed);
+        return;
+    }
     let mut wanted: Vec<&str> = args
         .iter()
         .map(String::as_str)

@@ -11,6 +11,7 @@ use msr_sim::SimDuration;
 use msr_storage::{
     hpss_params, hpss_protocol, share, OpenMode, SharedResource, StorageKind, TapeResource,
 };
+use rayon::prelude::*;
 
 /// `(label, virtual seconds)` ablation row.
 pub type AblationRow = (String, f64);
@@ -19,8 +20,8 @@ pub type AblationRow = (String, f64);
 /// each strategy, 8 processes.
 pub fn ablation_strategies(seed: u64) -> Vec<AblationRow> {
     IoStrategy::ALL
-        .iter()
-        .map(|&strategy| {
+        .into_par_iter()
+        .map(|strategy| {
             let sys = MsrSystem::testbed(seed);
             let res = sys.resource(StorageKind::RemoteDisk).expect("testbed");
             res.lock().connect().expect("connect");
@@ -59,7 +60,7 @@ fn tape_with_drives(drives: usize, seed: u64) -> SharedResource {
 /// case for mount thrash) with 1, 2, 4 and 8 drives.
 pub fn ablation_tape_drives(seed: u64) -> Vec<AblationRow> {
     [1usize, 2, 4, 8]
-        .into_iter()
+        .into_par_iter()
         .map(|drives| {
             let tape = tape_with_drives(drives, seed);
             tape.lock().connect().expect("connect");
@@ -86,7 +87,7 @@ pub fn ablation_tape_drives(seed: u64) -> Vec<AblationRow> {
 /// equivalent competing streams.
 pub fn ablation_net_load(seed: u64) -> Vec<AblationRow> {
     [0.0, 1.0, 2.0, 4.0]
-        .into_iter()
+        .into_par_iter()
         .map(|load| {
             let sys = MsrSystem::testbed(seed);
             sys.set_wan_background_load(load);
@@ -109,7 +110,7 @@ pub fn ablation_net_load(seed: u64) -> Vec<AblationRow> {
 /// a too-small cache.
 pub fn ablation_superfile_cache(seed: u64) -> Vec<AblationRow> {
     [u64::MAX, 1024]
-        .into_iter()
+        .into_par_iter()
         .map(|limit| {
             let sys = MsrSystem::testbed(seed);
             let res = sys.resource(StorageKind::RemoteDisk).expect("testbed");

@@ -10,6 +10,7 @@ use msr_meta::RunId;
 use msr_runtime::{IoStrategy, ProcGrid};
 use msr_sim::SimDuration;
 use msr_storage::{OpenMode, StorageKind};
+use rayon::prelude::*;
 
 /// A labelled placement-comparison bar: the same consumer workload with
 /// the dataset on two different media.
@@ -64,7 +65,7 @@ pub fn fig10a(scale: Scale, seed: u64) -> Vec<CompareRow> {
             "sdsc-disk",
         ),
     ]
-    .into_iter()
+    .into_par_iter()
     .map(|(kind, hint, resource)| {
         let sys = system_with_perfdb(scale, seed);
         let (run, iters, grid) = produce(&sys, scale, "temp", hint, seed);
@@ -111,7 +112,7 @@ pub fn fig10b(scale: Scale, seed: u64) -> Vec<CompareRow> {
         ),
     ];
     cases
-        .into_iter()
+        .into_par_iter()
         .map(|(name, hint, kind, resource)| {
             let sys = system_with_perfdb(scale, seed);
             let (run, iters, grid) = produce(&sys, scale, name, hint, seed);
@@ -158,7 +159,7 @@ pub struct SuperfileRow {
 /// remote disk and on tape.
 pub fn fig10c(scale: Scale, seed: u64) -> Vec<SuperfileRow> {
     [StorageKind::RemoteDisk, StorageKind::RemoteTape]
-        .into_iter()
+        .into_par_iter()
         .map(|kind| {
             let sys = system_with_perfdb(scale, seed);
             // Volumes come from fast local disk so image I/O dominates.

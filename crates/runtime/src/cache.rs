@@ -1,7 +1,10 @@
 //! A byte-budgeted LRU cache.
 //!
-//! Backs the superfile read path: the first remote read stages the whole
-//! container into memory; later reads are served from here at memory speed.
+//! Backs the superfile read path (see [`crate::superfile::StagingCache`]):
+//! the first remote read stages the whole container into memory; later
+//! reads — from any instance sharing the cache — are served from here at
+//! memory speed. Values are [`Bytes`], so hits are O(1) reference-counted
+//! views, never copies.
 
 use bytes::Bytes;
 use std::collections::HashMap;
@@ -82,11 +85,14 @@ impl LruCache {
     }
 
     /// Insert a buffer, evicting least-recently-used entries as needed.
-    /// Buffers larger than the whole capacity are not cached at all.
-    pub fn put(&mut self, key: &str, data: Bytes) {
+    /// Returns whether the buffer was cached: buffers larger than the whole
+    /// capacity are not cached at all (and any stale entry under the same
+    /// key is dropped, so a later `get` can never serve outdated bytes).
+    pub fn put(&mut self, key: &str, data: Bytes) -> bool {
         let size = data.len() as u64;
         if size > self.capacity {
-            return;
+            self.invalidate(key);
+            return false;
         }
         self.tick += 1;
         if let Some((old, _)) = self.entries.remove(key) {
@@ -104,6 +110,7 @@ impl LruCache {
         }
         self.used += size;
         self.entries.insert(key.to_owned(), (data, self.tick));
+        true
     }
 
     /// Drop an entry.
@@ -155,8 +162,43 @@ mod tests {
     #[test]
     fn oversized_entry_is_not_cached() {
         let mut c = LruCache::new(5);
-        c.put("big", bytes(10, 0));
+        assert!(!c.put("big", bytes(10, 0)));
         assert!(c.is_empty());
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_put_drops_the_stale_entry_for_that_key() {
+        let mut c = LruCache::new(50);
+        assert!(c.put("a", bytes(40, 1)));
+        // The value changed but no longer fits; the old bytes must not
+        // survive to be served by a later get.
+        assert!(!c.put("a", bytes(60, 2)));
+        assert!(!c.contains("a"));
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_put_leaves_other_entries_alone() {
+        let mut c = LruCache::new(30);
+        c.put("a", bytes(10, 1));
+        c.put("b", bytes(10, 2));
+        assert!(!c.put("big", bytes(31, 3)));
+        assert!(c.contains("a") && c.contains("b"));
+        assert_eq!(c.used_bytes(), 20);
+    }
+
+    #[test]
+    fn zero_capacity_cache_rejects_everything() {
+        let mut c = LruCache::new(0);
+        assert!(!c.put("a", bytes(1, 1)));
+        assert!(c.is_empty());
+        assert_eq!(c.used_bytes(), 0);
+        assert!(c.get("a").is_none());
+        assert_eq!(c.misses(), 1);
+        // An empty buffer technically fits a zero-byte budget.
+        assert!(c.put("empty", bytes(0, 0)));
+        assert_eq!(c.len(), 1);
         assert_eq!(c.used_bytes(), 0);
     }
 

@@ -5,14 +5,30 @@
 //! [`Timeline`]; the makespan of the timeline is the operation's cost. The
 //! engine leaves connection management to the layer above (the paper
 //! charges `T_conn` once per session, eq. (1)).
+//!
+//! # Execution model: virtual time vs. host parallelism
+//!
+//! Native storage calls stay strictly sequential (the resource is a single
+//! stateful simulator behind one lock, and per-call virtual times depend
+//! on call order), but the *host-side* data movement — gather, scatter,
+//! pack/unpack, sieve overlay — runs on the work-stealing thread pool.
+//! Each strategy therefore splits into two phases: a sequential native
+//! phase that performs every storage call and every [`Timeline`] charge in
+//! exactly the order the sequential engine used, and a parallel copy phase
+//! over disjoint `split_at_mut` windows of the output buffer. Because the
+//! phases touch disjoint state, the assembled buffers and the [`IoReport`]
+//! virtual times are bitwise identical for every `MSR_THREADS` setting
+//! (see `crates/runtime/tests/determinism.rs`).
 
 use crate::error::RuntimeError;
 use crate::layout::Distribution;
 use crate::strategy::{ExchangeModel, IoStrategy};
 use crate::RuntimeResult;
+use bytes::Bytes;
 use msr_obs::{Layer, Recorder};
 use msr_sim::{Clock, SimDuration, Timeline};
 use msr_storage::{OpenMode, ResourceStats, SharedResource, StorageError, StorageResource};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Node memory-copy rate used for pack/unpack/sieve costs (MB/s, year-2000
@@ -21,6 +37,50 @@ pub const MEMCPY_MB_S: f64 = 400.0;
 
 fn memcpy_cost(bytes: u64) -> SimDuration {
     SimDuration::from_secs(bytes as f64 / (MEMCPY_MB_S * 1e6))
+}
+
+/// Window size for parallel bulk copies of one contiguous buffer.
+const COPY_CHUNK: usize = 256 * 1024;
+
+/// Copy `src` into the front of `dst` with the pool (chunked memcpy).
+///
+/// # Panics
+/// Panics when `src` is longer than `dst`.
+fn parallel_copy(dst: &mut [u8], src: &[u8]) {
+    dst[..src.len()]
+        .par_chunks_mut(COPY_CHUNK)
+        .zip(src.par_chunks(COPY_CHUNK))
+        .for_each(|(d, s)| d.copy_from_slice(s));
+}
+
+/// Scatter deferred copies into disjoint windows of `out` in parallel.
+///
+/// Each op is `(dst_offset, len, src_token)`; ops are sorted by
+/// destination, `out` is carved into the named windows with
+/// `split_at_mut` (so disjointness is enforced by the borrow checker, not
+/// by `unsafe`), and `copy` fills every window on the pool.
+///
+/// # Panics
+/// Panics when ops overlap or run past the end of `out`.
+fn scatter_windows<S: Send>(
+    out: &mut [u8],
+    mut ops: Vec<(usize, usize, S)>,
+    copy: impl Fn(&mut [u8], S) + Send + Sync,
+) {
+    ops.sort_unstable_by_key(|&(dst, _, _)| dst);
+    let mut windows: Vec<(&mut [u8], S)> = Vec::with_capacity(ops.len());
+    let mut rest: &mut [u8] = out;
+    let mut base = 0usize;
+    for (dst, len, src) in ops {
+        let (_gap, tail) = rest.split_at_mut(dst - base);
+        let (window, tail) = tail.split_at_mut(len);
+        windows.push((window, src));
+        rest = tail;
+        base = dst + len;
+    }
+    windows
+        .into_par_iter()
+        .for_each(|(window, src)| copy(window, src));
 }
 
 /// Outcome of one engine operation.
@@ -263,6 +323,10 @@ impl IoEngine {
         tl: &mut Timeline,
     ) -> RuntimeResult<()> {
         r.set_stream_hint(dist.nprocs() as u32);
+        // NOTE: consecutive processes' extents may overlap, so the per-proc
+        // read-modify-write sequencing is load-bearing (proc `p+1` must read
+        // what proc `p` wrote). Only the copies *within* one proc's extent —
+        // the extent fill and the run overlay — run on the pool.
         for p in 0..dist.nprocs() {
             let Some(extent) = dist.extent_for(p) else {
                 continue;
@@ -277,14 +341,25 @@ impl IoEngine {
                 tl.charge(p, r.seek(open.value, extent.offset)?.time);
                 let read = r.read(open.value, extent.len as usize)?;
                 tl.charge(p, read.time);
-                buf[..read.value.len()].copy_from_slice(&read.value);
+                parallel_copy(&mut buf, &read.value);
                 tl.charge(p, r.close(open.value)?.time);
             }
-            for chunk in dist.chunks_for(p) {
-                let dst = (chunk.offset - extent.offset) as usize;
-                buf[dst..dst + chunk.len as usize]
-                    .copy_from_slice(&data[chunk.offset as usize..chunk.end() as usize]);
-            }
+            // This proc's runs are disjoint windows of its extent, so the
+            // overlay copies are independent.
+            let ops: Vec<(usize, usize, usize)> = dist
+                .chunks_for(p)
+                .into_iter()
+                .map(|chunk| {
+                    (
+                        (chunk.offset - extent.offset) as usize,
+                        chunk.len as usize,
+                        chunk.offset as usize,
+                    )
+                })
+                .collect();
+            scatter_windows(&mut buf, ops, |window, src_off| {
+                window.copy_from_slice(&data[src_off..src_off + window.len()]);
+            });
             tl.charge(p, memcpy_cost(dist.bytes_for(p)));
             let open = r.open(path, proc_mode(mode, p == 0))?;
             tl.charge(p, open.time);
@@ -329,19 +404,29 @@ impl IoEngine {
         tl: &mut Timeline,
     ) -> RuntimeResult<()> {
         r.set_stream_hint(dist.nprocs() as u32);
-        for p in 0..dist.nprocs() {
-            // Pack the local block into one contiguous buffer (real gather).
-            let mut buf = Vec::with_capacity(dist.bytes_for(p) as usize);
-            for chunk in dist.chunks_for(p) {
-                buf.extend_from_slice(&data[chunk.offset as usize..chunk.end() as usize]);
-            }
+        // Phase 1 (parallel): gather every process's block into a packed
+        // buffer. Each rank reads disjoint runs of `data`, so the packs are
+        // independent; `collect` keeps them in rank order.
+        let bufs: Vec<Vec<u8>> = (0..dist.nprocs())
+            .into_par_iter()
+            .map(|p| {
+                let mut buf = Vec::with_capacity(dist.bytes_for(p) as usize);
+                for chunk in dist.chunks_for(p) {
+                    buf.extend_from_slice(&data[chunk.offset as usize..chunk.end() as usize]);
+                }
+                buf
+            })
+            .collect();
+        // Phase 2 (sequential): native calls and charges in rank order,
+        // exactly as the sequential engine issued them.
+        for (p, buf) in bufs.iter().enumerate() {
             tl.charge(p, memcpy_cost(buf.len() as u64));
             let sub = subfile_path(path, p);
             // Each process owns its subfile outright, so Create never
             // tramples another rank's data.
             let open = r.open(&sub, mode)?;
             tl.charge(p, open.time);
-            tl.charge(p, r.write(open.value, &buf)?.time);
+            tl.charge(p, r.write(open.value, buf)?.time);
             tl.charge(p, r.close(open.value)?.time);
         }
         Ok(())
@@ -358,6 +443,9 @@ impl IoEngine {
         tl: &mut Timeline,
     ) -> RuntimeResult<()> {
         r.set_stream_hint(dist.nprocs() as u32);
+        // Phase 1 (sequential): every native call and timeline charge, in
+        // the exact order of the sequential engine; copies are deferred.
+        let mut ops: Vec<(usize, usize, Bytes)> = Vec::new();
         for p in 0..dist.nprocs() {
             let open = r.open(path, OpenMode::Read)?;
             tl.charge(p, open.time);
@@ -366,11 +454,12 @@ impl IoEngine {
                 tl.charge(p, r.seek(h, chunk.offset)?.time);
                 let read = r.read(h, chunk.len as usize)?;
                 tl.charge(p, read.time);
-                let dst = chunk.offset as usize;
-                out[dst..dst + read.value.len()].copy_from_slice(&read.value);
+                ops.push((chunk.offset as usize, read.value.len(), read.value));
             }
             tl.charge(p, r.close(h)?.time);
         }
+        // Phase 2 (parallel): scatter every run into the global buffer.
+        scatter_windows(out, ops, |window, src| window.copy_from_slice(&src));
         Ok(())
     }
 
@@ -383,6 +472,9 @@ impl IoEngine {
         tl: &mut Timeline,
     ) -> RuntimeResult<()> {
         r.set_stream_hint(dist.nprocs() as u32);
+        // Phase 1 (sequential): one covering-extent read per process;
+        // the per-chunk extractions are deferred as zero-copy slices.
+        let mut ops: Vec<(usize, usize, Bytes)> = Vec::new();
         for p in 0..dist.nprocs() {
             let Some(extent) = dist.extent_for(p) else {
                 continue;
@@ -396,13 +488,14 @@ impl IoEngine {
                 let src = (chunk.offset - extent.offset) as usize;
                 let end = (src + chunk.len as usize).min(read.value.len());
                 if src < end {
-                    out[chunk.offset as usize..chunk.offset as usize + (end - src)]
-                        .copy_from_slice(&read.value[src..end]);
+                    ops.push((chunk.offset as usize, end - src, read.value.slice(src..end)));
                 }
             }
             tl.charge(p, memcpy_cost(dist.bytes_for(p)));
             tl.charge(p, r.close(open.value)?.time);
         }
+        // Phase 2 (parallel): sieve-extract every chunk into place.
+        scatter_windows(out, ops, |window, src| window.copy_from_slice(&src));
         Ok(())
     }
 
@@ -419,7 +512,7 @@ impl IoEngine {
         tl.charge(0, open.time);
         let read = r.read(open.value, out.len())?;
         tl.charge(0, read.time);
-        out[..read.value.len()].copy_from_slice(&read.value);
+        parallel_copy(out, &read.value);
         tl.charge(0, r.close(open.value)?.time);
         tl.barrier();
         // Phase 2: scatter to owners over the interconnect.
@@ -439,23 +532,26 @@ impl IoEngine {
         tl: &mut Timeline,
     ) -> RuntimeResult<()> {
         r.set_stream_hint(dist.nprocs() as u32);
+        // Phase 1 (sequential): read each packed subfile; the unpack of
+        // every run is deferred as a zero-copy slice of the packed block.
+        let mut ops: Vec<(usize, usize, Bytes)> = Vec::new();
         for p in 0..dist.nprocs() {
             let sub = subfile_path(path, p);
             let open = r.open(&sub, OpenMode::Read)?;
             tl.charge(p, open.time);
             let read = r.read(open.value, dist.bytes_for(p) as usize)?;
             tl.charge(p, read.time);
-            // Unpack the packed block back into global order.
             let mut src = 0usize;
             for chunk in dist.chunks_for(p) {
                 let n = chunk.len as usize;
-                out[chunk.offset as usize..chunk.end() as usize]
-                    .copy_from_slice(&read.value[src..src + n]);
+                ops.push((chunk.offset as usize, n, read.value.slice(src..src + n)));
                 src += n;
             }
             tl.charge(p, memcpy_cost(dist.bytes_for(p)));
             tl.charge(p, r.close(open.value)?.time);
         }
+        // Phase 2 (parallel): unpack all blocks back into global order.
+        scatter_windows(out, ops, |window, src| window.copy_from_slice(&src));
         Ok(())
     }
 }

@@ -40,7 +40,7 @@ pub use error::RuntimeError;
 pub use layout::{Chunk, DimDist, Dims3, Distribution, Pattern, ProcGrid};
 pub use pipeline::WriteBehind;
 pub use strategy::{ExchangeModel, IoStrategy};
-pub use superfile::{Superfile, SuperfileStats};
+pub use superfile::{staging_cache, StagingCache, Superfile, SuperfileStats};
 
 /// Convenience result alias for runtime operations.
 pub type RuntimeResult<T> = Result<T, RuntimeError>;

@@ -8,13 +8,27 @@
 //! a single large native read, and every subsequent member read is a memory
 //! copy.
 
+use crate::cache::LruCache;
 use crate::error::RuntimeError;
 use crate::RuntimeResult;
 use bytes::Bytes;
 use msr_sim::SimDuration;
 use msr_storage::{FileHandle, OpenMode, SharedResource};
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A staging cache shareable across [`Superfile`] instances (and threads).
+///
+/// Staged container images are [`Bytes`] — reference-counted, so a cache
+/// hit hands back an O(1) view and member reads slice it without copying.
+pub type StagingCache = Arc<Mutex<LruCache>>;
+
+/// A [`StagingCache`] bounded to `capacity` bytes.
+pub fn staging_cache(capacity: u64) -> StagingCache {
+    Arc::new(Mutex::new(LruCache::new(capacity)))
+}
 
 /// Default staging-cache budget: containers larger than this are not staged
 /// and members are fetched individually (still one open, but per-member
@@ -61,6 +75,7 @@ pub struct Superfile {
     write_handle: Option<FileHandle>,
     cache: Option<Bytes>,
     cache_limit: u64,
+    staging: Option<StagingCache>,
     stats: SuperfileStats,
 }
 
@@ -78,6 +93,7 @@ impl Superfile {
                 write_handle: Some(open.value),
                 cache: None,
                 cache_limit: DEFAULT_CACHE_LIMIT,
+                staging: None,
                 stats: SuperfileStats::default(),
             },
         ))
@@ -105,6 +121,7 @@ impl Superfile {
                 write_handle: None,
                 cache: None,
                 cache_limit: DEFAULT_CACHE_LIMIT,
+                staging: None,
                 stats: SuperfileStats::default(),
             },
         ))
@@ -113,6 +130,15 @@ impl Superfile {
     /// Cap the staging cache (ablation hook).
     pub fn with_cache_limit(mut self, bytes: u64) -> Self {
         self.cache_limit = bytes;
+        self
+    }
+
+    /// Attach a shared [`StagingCache`]: staged container images are
+    /// published there (keyed by container path), so another instance
+    /// opening the same container skips the staging read entirely and
+    /// serves members as zero-copy slices of the shared image.
+    pub fn with_staging_cache(mut self, cache: StagingCache) -> Self {
+        self.staging = Some(cache);
         self
     }
 
@@ -162,6 +188,9 @@ impl Superfile {
             .insert(name.to_owned(), (self.index.end, data.len() as u64));
         self.index.end += data.len() as u64;
         self.cache = None; // staged image is stale
+        if let Some(staging) = &self.staging {
+            staging.lock().invalidate(&self.path);
+        }
         self.stats.writes += 1;
         Ok(t)
     }
@@ -199,22 +228,37 @@ impl Superfile {
         let mut t = SimDuration::ZERO;
 
         if self.cache.is_none() && self.index.end <= self.cache_limit {
-            // Stage the container.
-            let mut r = res.lock();
-            let open = r.open(&self.path, OpenMode::Read)?;
-            t += open.time;
-            let read = r.read(open.value, self.index.end as usize)?;
-            t += read.time;
-            t += r.close(open.value)?.time;
-            if read.value.len() as u64 != self.index.end {
-                return Err(RuntimeError::CorruptSuperfile(format!(
-                    "container truncated: {} of {} bytes",
-                    read.value.len(),
-                    self.index.end
-                )));
+            // A sibling instance may have staged this container already:
+            // the shared image is `Bytes`, so the hit is an O(1) view — no
+            // native read, no copy.
+            let shared = self
+                .staging
+                .as_ref()
+                .and_then(|c| c.lock().get(&self.path))
+                .filter(|img| img.len() as u64 == self.index.end);
+            if let Some(img) = shared {
+                self.cache = Some(img);
+            } else {
+                // Stage the container.
+                let mut r = res.lock();
+                let open = r.open(&self.path, OpenMode::Read)?;
+                t += open.time;
+                let read = r.read(open.value, self.index.end as usize)?;
+                t += read.time;
+                t += r.close(open.value)?.time;
+                if read.value.len() as u64 != self.index.end {
+                    return Err(RuntimeError::CorruptSuperfile(format!(
+                        "container truncated: {} of {} bytes",
+                        read.value.len(),
+                        self.index.end
+                    )));
+                }
+                if let Some(staging) = &self.staging {
+                    staging.lock().put(&self.path, read.value.clone());
+                }
+                self.cache = Some(read.value);
+                self.stats.stagings += 1;
             }
-            self.cache = Some(read.value);
-            self.stats.stagings += 1;
         }
 
         match &self.cache {
@@ -341,6 +385,64 @@ mod tests {
         let (_, d) = sf.read_member(&res, "b").unwrap();
         assert_eq!(&d[..], &image(2)[..]);
         assert_eq!(sf.stats().stagings, 2, "restaged after append");
+    }
+
+    #[test]
+    fn shared_staging_cache_skips_the_second_staging_read() {
+        let res = disk();
+        let (_, mut sf) = Superfile::create(&res, "c").unwrap();
+        for i in 0..6 {
+            sf.write_member(&res, &format!("m{i}"), &image(i)).unwrap();
+        }
+        sf.close(&res).unwrap();
+
+        let shared = staging_cache(1 << 20);
+        let (_, sf1) = Superfile::open(&res, "c").unwrap();
+        let mut sf1 = sf1.with_staging_cache(shared.clone());
+        sf1.read_member(&res, "m0").unwrap();
+        assert_eq!(sf1.stats().stagings, 1);
+        let reads_after_first = res.lock().stats().reads;
+
+        // A sibling instance reuses the shared image: zero native reads.
+        let (_, sf2) = Superfile::open(&res, "c").unwrap();
+        let mut sf2 = sf2.with_staging_cache(shared.clone());
+        let (_, d) = sf2.read_member(&res, "m3").unwrap();
+        assert_eq!(&d[..], &image(3)[..]);
+        assert_eq!(sf2.stats().stagings, 0, "no native staging read");
+        // Only sf2's index load hit the resource, not the container.
+        assert_eq!(res.lock().stats().reads, reads_after_first + 1);
+        assert_eq!(shared.lock().hits(), 1);
+    }
+
+    #[test]
+    fn write_invalidates_the_shared_staging_image() {
+        let res = disk();
+        let shared = staging_cache(1 << 20);
+        let (_, sf) = Superfile::create(&res, "c").unwrap();
+        let mut sf = sf.with_staging_cache(shared.clone());
+        sf.write_member(&res, "a", &image(1)).unwrap();
+        sf.close(&res).unwrap();
+        sf.read_member(&res, "a").unwrap();
+        assert!(shared.lock().contains("c"));
+        sf.write_member(&res, "b", &image(2)).unwrap();
+        assert!(!shared.lock().contains("c"), "stale image must be dropped");
+        sf.close(&res).unwrap();
+        let (_, d) = sf.read_member(&res, "b").unwrap();
+        assert_eq!(&d[..], &image(2)[..]);
+    }
+
+    #[test]
+    fn tiny_shared_cache_degrades_to_private_staging() {
+        let res = disk();
+        let shared = staging_cache(8); // cannot hold any container
+        let (_, sf) = Superfile::create(&res, "c").unwrap();
+        let mut sf = sf.with_staging_cache(shared.clone());
+        sf.write_member(&res, "a", &image(0)).unwrap();
+        sf.close(&res).unwrap();
+        let (_, d) = sf.read_member(&res, "a").unwrap();
+        assert_eq!(&d[..], &image(0)[..]);
+        assert_eq!(sf.stats().stagings, 1, "private staging still works");
+        assert!(shared.lock().is_empty());
     }
 
     #[test]

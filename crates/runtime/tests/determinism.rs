@@ -1,0 +1,86 @@
+//! Parallelism-determinism property test.
+//!
+//! The engine's data plane (gather/scatter/pack/sieve copies) runs on the
+//! work-stealing pool, but its *results* must not depend on the worker
+//! count: for every I/O strategy and a spread of distributions, a
+//! write+read cycle under a forced single thread and under a multi-worker
+//! pool must produce bitwise-identical buffers and identical [`IoReport`]s
+//! (virtual times included — the native-call and charge order is part of
+//! the engine's contract).
+
+use msr_runtime::{Distribution, IoEngine, IoReport, IoStrategy, Pattern, ProcGrid};
+use msr_storage::{share, DiskParams, LocalDisk, OpenMode, SharedResource};
+use rayon::with_threads;
+
+fn disk() -> SharedResource {
+    share(LocalDisk::new("t", DiskParams::simple(100.0, 1 << 30), 0))
+}
+
+fn payload(bytes: u64, seed: u64) -> Vec<u8> {
+    (0..bytes)
+        .map(|i| ((i * 31 + seed * 7) % 251) as u8)
+        .collect()
+}
+
+fn distributions() -> Vec<Distribution> {
+    use msr_runtime::Dims3;
+    let mut out = Vec::new();
+    for (dims, pattern, grid) in [
+        (Dims3::cube(16), "BBB", ProcGrid::new(2, 2, 2)),
+        (Dims3::cube(12), "B*B", ProcGrid::new(2, 1, 2)),
+        (Dims3::cube(8), "**B", ProcGrid::new(1, 1, 4)),
+        (Dims3 { x: 24, y: 8, z: 4 }, "BB*", ProcGrid::new(4, 2, 1)),
+        (Dims3::cube(5), "BBB", ProcGrid::new(2, 2, 2)), // non-divisible edges
+    ] {
+        out.push(Distribution::new(dims, 4, Pattern::parse(pattern).unwrap(), grid).unwrap());
+    }
+    out
+}
+
+/// One full write+read cycle on a fresh resource; returns everything an
+/// observer could compare.
+fn cycle(dist: &Distribution, strategy: IoStrategy, seed: u64) -> (Vec<u8>, IoReport, IoReport) {
+    let engine = IoEngine::default();
+    let res = disk();
+    let data = payload(dist.total_bytes(), seed);
+    let wrep = engine
+        .write(&res, "d", &data, dist, strategy, OpenMode::Create)
+        .unwrap();
+    let (back, rrep) = engine.read(&res, "d", dist, strategy).unwrap();
+    assert_eq!(back, data, "roundtrip must return what was written");
+    (back, wrep, rrep)
+}
+
+#[test]
+fn every_strategy_is_bitwise_identical_across_thread_counts() {
+    for dist in distributions() {
+        for strategy in IoStrategy::ALL {
+            for (seed, threads) in [(1u64, 4usize), (2, 8)] {
+                let seq = with_threads(1, || cycle(&dist, strategy, seed));
+                let par = with_threads(threads, || cycle(&dist, strategy, seed));
+                let ctx = format!("{strategy} over {}p at {} threads", dist.nprocs(), threads);
+                assert_eq!(seq.0, par.0, "buffers differ: {ctx}");
+                assert_eq!(seq.1, par.1, "write reports differ: {ctx}");
+                assert_eq!(seq.2, par.2, "read reports differ: {ctx}");
+            }
+        }
+    }
+}
+
+#[test]
+fn msr_threads_env_contract_is_documented_by_with_threads() {
+    // `MSR_THREADS=1` must restore the sequential engine exactly; the
+    // thread-local override is the in-process equivalent, so equality of a
+    // pool run against `with_threads(1)` is the contract the env variable
+    // promises. Spot-check with the heaviest strategy.
+    let dist = Distribution::new(
+        msr_runtime::Dims3::cube(16),
+        4,
+        Pattern::bbb(),
+        ProcGrid::new(2, 2, 2),
+    )
+    .unwrap();
+    let a = with_threads(1, || cycle(&dist, IoStrategy::DataSieving, 9));
+    let b = with_threads(6, || cycle(&dist, IoStrategy::DataSieving, 9));
+    assert_eq!(a, b);
+}

@@ -1,0 +1,526 @@
+//! Indexed parallel iterators over splittable sources.
+//!
+//! Every source this workspace parallelizes over is *indexed* — slices,
+//! chunked slices, integer ranges, vectors — so the whole machinery rests
+//! on one trait: [`Producer`], a splittable source of known length.
+//! Adapters ([`Map`], [`Zip`], [`Enumerate`]) compose producers; terminal
+//! operations split the composed producer into work chunks and run them on
+//! the pool via [`crate::pool::execute`].
+//!
+//! **Determinism.** The chunk partition is a pure function of the producer
+//! length ([`num_chunks`]) — never of the worker count — and chunk results
+//! are combined in chunk order. Reductions over floats therefore associate
+//! identically whether a region runs on one thread or sixteen, which is
+//! what lets the runtime promise bitwise-identical results under
+//! `MSR_THREADS=1` and `MSR_THREADS=N`.
+
+use crate::pool::execute;
+
+/// A splittable, indexed source of items: the engine room of every
+/// `par_*` iterator.
+pub trait Producer: Sized + Send {
+    /// Item yielded to the per-chunk sequential iterator.
+    type Item: Send;
+    /// Sequential iterator over one chunk.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Remaining items.
+    fn len(&self) -> usize;
+    /// Whether nothing is left.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Split into `[0, mid)` and `[mid, len)`.
+    fn split_at(self, mid: usize) -> (Self, Self);
+    /// Sequential iterator over everything left.
+    fn into_seq(self) -> Self::Iter;
+}
+
+/// How many work chunks a region of `len` items is cut into. A pure
+/// function of `len` so that chunked reductions associate identically for
+/// every worker count.
+pub fn num_chunks(len: usize) -> usize {
+    len.min(128)
+}
+
+/// Cut `p` into `k` balanced chunks (first `len % k` chunks get one extra).
+fn split_chunks<P: Producer>(p: P, k: usize) -> Vec<P> {
+    let len = p.len();
+    let mut parts = Vec::with_capacity(k);
+    let mut rest = p;
+    for c in 0..k {
+        let take = len / k + usize::from(c < len % k);
+        let (head, tail) = rest.split_at(take);
+        parts.push(head);
+        rest = tail;
+    }
+    parts
+}
+
+/// Split `p` into chunks, run `consume` over each chunk's sequential
+/// iterator on the pool, and return the per-chunk results in chunk order.
+fn drive<P, R, F>(p: P, consume: F) -> Vec<R>
+where
+    P: Producer,
+    R: Send,
+    F: Fn(P::Iter) -> R + Sync,
+{
+    let len = p.len();
+    if len == 0 {
+        return Vec::new();
+    }
+    let consume = &consume;
+    let tasks: Vec<_> = split_chunks(p, num_chunks(len))
+        .into_iter()
+        .map(|chunk| move || consume(chunk.into_seq()))
+        .collect();
+    execute(tasks)
+}
+
+/// A parallel iterator: a [`Producer`] plus the adapter/terminal API.
+#[derive(Debug, Clone)]
+pub struct ParIter<P> {
+    producer: P,
+}
+
+impl<P: Producer> ParIter<P> {
+    /// Wrap a producer.
+    pub fn from_producer(producer: P) -> Self {
+        ParIter { producer }
+    }
+
+    /// Items in the iterator.
+    pub fn len(&self) -> usize {
+        self.producer.len()
+    }
+
+    /// Whether the iterator is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Transform each item with `f`.
+    pub fn map<R, F>(self, f: F) -> ParIter<Map<P, F>>
+    where
+        R: Send,
+        F: Fn(P::Item) -> R + Clone + Send + Sync,
+    {
+        ParIter::from_producer(Map {
+            base: self.producer,
+            f,
+        })
+    }
+
+    /// Pair items positionally with `other` (truncating to the shorter).
+    pub fn zip<Q: Producer>(self, other: ParIter<Q>) -> ParIter<Zip<P, Q>> {
+        ParIter::from_producer(Zip {
+            a: self.producer,
+            b: other.producer,
+        })
+    }
+
+    /// Attach the item index.
+    pub fn enumerate(self) -> ParIter<Enumerate<P>> {
+        ParIter::from_producer(Enumerate {
+            base: self.producer,
+            offset: 0,
+        })
+    }
+
+    /// Map each item to a sequential iterator and flatten, preserving
+    /// order (rayon's `flat_map_iter`).
+    pub fn flat_map_iter<U, F>(self, f: F) -> ParFlatMap<P, F>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(P::Item) -> U + Clone + Send + Sync,
+    {
+        ParFlatMap {
+            base: self.producer,
+            f,
+        }
+    }
+
+    /// Run `f` on every item.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(P::Item) + Send + Sync,
+    {
+        drive(self.producer, |chunk| chunk.for_each(&f));
+    }
+
+    /// Sum the items (chunk partials combined in chunk order).
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<P::Item> + std::iter::Sum<S> + Send,
+    {
+        drive(self.producer, |chunk| chunk.sum::<S>())
+            .into_iter()
+            .sum()
+    }
+
+    /// Reduce with an associative `op` and its `identity` (rayon's
+    /// `reduce`, with the identity taken by value).
+    pub fn reduce<F>(self, identity: P::Item, op: F) -> P::Item
+    where
+        P::Item: Clone + Sync,
+        F: Fn(P::Item, P::Item) -> P::Item + Send + Sync,
+    {
+        drive(self.producer, |chunk| chunk.fold(identity.clone(), &op))
+            .into_iter()
+            .fold(identity, op)
+    }
+
+    /// Count the items.
+    pub fn count(self) -> usize {
+        self.producer.len()
+    }
+
+    /// Collect into a container, preserving item order.
+    pub fn collect<C>(self) -> C
+    where
+        C: From<Vec<P::Item>>,
+    {
+        let len = self.producer.len();
+        let chunks = drive(self.producer, |chunk| chunk.collect::<Vec<_>>());
+        let mut out = Vec::with_capacity(len);
+        for c in chunks {
+            out.extend(c);
+        }
+        C::from(out)
+    }
+}
+
+/// Lazy `flat_map_iter`: outer chunks run in parallel, each inner iterator
+/// is drained sequentially, and chunk outputs concatenate in order.
+#[derive(Debug, Clone)]
+pub struct ParFlatMap<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, U, F> ParFlatMap<P, F>
+where
+    P: Producer,
+    U: IntoIterator,
+    U::Item: Send,
+    F: Fn(P::Item) -> U + Clone + Send + Sync,
+{
+    /// Run `g` on every flattened item.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(U::Item) + Send + Sync,
+    {
+        let f = &self.f;
+        drive(self.base, |chunk| {
+            for item in chunk {
+                for inner in f(item) {
+                    g(inner);
+                }
+            }
+        });
+    }
+
+    /// Collect the flattened items, preserving order.
+    pub fn collect<C>(self) -> C
+    where
+        C: From<Vec<U::Item>>,
+    {
+        let f = &self.f;
+        let chunks = drive(self.base, |chunk| chunk.flat_map(f).collect::<Vec<_>>());
+        let mut out = Vec::new();
+        for c in chunks {
+            out.extend(c);
+        }
+        C::from(out)
+    }
+}
+
+// ---- adapter producers -----------------------------------------------------
+
+/// Producer adapter applying `f` to each item of `base`.
+#[derive(Debug, Clone)]
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, R, F> Producer for Map<P, F>
+where
+    P: Producer,
+    R: Send,
+    F: Fn(P::Item) -> R + Clone + Send + Sync,
+{
+    type Item = R;
+    type Iter = std::iter::Map<P::Iter, F>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(mid);
+        (
+            Map {
+                base: l,
+                f: self.f.clone(),
+            },
+            Map { base: r, f: self.f },
+        )
+    }
+    fn into_seq(self) -> Self::Iter {
+        self.base.into_seq().map(self.f)
+    }
+}
+
+/// Producer adapter pairing two producers positionally.
+#[derive(Debug, Clone)]
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: Producer, B: Producer> Producer for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    type Iter = std::iter::Zip<A::Iter, B::Iter>;
+
+    fn len(&self) -> usize {
+        self.a.len().min(self.b.len())
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (al, ar) = self.a.split_at(mid);
+        let (bl, br) = self.b.split_at(mid);
+        (Zip { a: al, b: bl }, Zip { a: ar, b: br })
+    }
+    fn into_seq(self) -> Self::Iter {
+        // Trim both sides so a length mismatch cannot leak extra items.
+        let n = self.a.len().min(self.b.len());
+        let (a, _) = self.a.split_at(n);
+        let (b, _) = self.b.split_at(n);
+        a.into_seq().zip(b.into_seq())
+    }
+}
+
+/// Producer adapter attaching the global item index.
+#[derive(Debug, Clone)]
+pub struct Enumerate<P> {
+    base: P,
+    offset: usize,
+}
+
+impl<P: Producer> Producer for Enumerate<P> {
+    type Item = (usize, P::Item);
+    type Iter = std::iter::Zip<std::ops::Range<usize>, P::Iter>;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.base.split_at(mid);
+        (
+            Enumerate {
+                base: l,
+                offset: self.offset,
+            },
+            Enumerate {
+                base: r,
+                offset: self.offset + mid,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::Iter {
+        let lo = self.offset;
+        let hi = lo + self.base.len();
+        (lo..hi).zip(self.base.into_seq())
+    }
+}
+
+// ---- leaf producers --------------------------------------------------------
+
+/// Shared-slice producer (`par_iter`).
+#[derive(Debug)]
+pub struct SliceProducer<'a, T>(pub &'a [T]);
+
+impl<'a, T: Sync> Producer for SliceProducer<'a, T> {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.0.split_at(mid);
+        (SliceProducer(l), SliceProducer(r))
+    }
+    fn into_seq(self) -> Self::Iter {
+        self.0.iter()
+    }
+}
+
+/// Exclusive-slice producer (`par_iter_mut`).
+#[derive(Debug)]
+pub struct SliceMutProducer<'a, T>(pub &'a mut [T]);
+
+impl<'a, T: Send> Producer for SliceMutProducer<'a, T> {
+    type Item = &'a mut T;
+    type Iter = std::slice::IterMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let (l, r) = self.0.split_at_mut(mid);
+        (SliceMutProducer(l), SliceMutProducer(r))
+    }
+    fn into_seq(self) -> Self::Iter {
+        self.0.iter_mut()
+    }
+}
+
+/// Shared chunked-slice producer (`par_chunks`).
+#[derive(Debug)]
+pub struct ChunksProducer<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T> ChunksProducer<'a, T> {
+    /// Chunks of `size` over `slice` (last chunk may be shorter).
+    pub fn new(slice: &'a [T], size: usize) -> Self {
+        ChunksProducer { slice, size }
+    }
+}
+
+impl<'a, T: Sync> Producer for ChunksProducer<'a, T> {
+    type Item = &'a [T];
+    type Iter = std::slice::Chunks<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let at = (mid * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at(at);
+        (
+            ChunksProducer {
+                slice: l,
+                size: self.size,
+            },
+            ChunksProducer {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::Iter {
+        self.slice.chunks(self.size)
+    }
+}
+
+/// Exclusive chunked-slice producer (`par_chunks_mut`).
+#[derive(Debug)]
+pub struct ChunksMutProducer<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T> ChunksMutProducer<'a, T> {
+    /// Exclusive chunks of `size` over `slice` (last chunk may be shorter).
+    pub fn new(slice: &'a mut [T], size: usize) -> Self {
+        ChunksMutProducer { slice, size }
+    }
+}
+
+impl<'a, T: Send> Producer for ChunksMutProducer<'a, T> {
+    type Item = &'a mut [T];
+    type Iter = std::slice::ChunksMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, mid: usize) -> (Self, Self) {
+        let at = (mid * self.size).min(self.slice.len());
+        let (l, r) = self.slice.split_at_mut(at);
+        (
+            ChunksMutProducer {
+                slice: l,
+                size: self.size,
+            },
+            ChunksMutProducer {
+                slice: r,
+                size: self.size,
+            },
+        )
+    }
+    fn into_seq(self) -> Self::Iter {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+/// Owned-vector producer (`Vec::into_par_iter`).
+#[derive(Debug)]
+pub struct VecProducer<T>(pub Vec<T>);
+
+impl<T: Send> Producer for VecProducer<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+    fn split_at(mut self, mid: usize) -> (Self, Self) {
+        let right = self.0.split_off(mid);
+        (self, VecProducer(right))
+    }
+    fn into_seq(self) -> Self::Iter {
+        self.0.into_iter()
+    }
+}
+
+/// Integer-range producer (`(a..b).into_par_iter()`).
+#[derive(Debug, Clone)]
+pub struct RangeProducer<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_range_producer {
+    ($($t:ty),*) => {$(
+        impl Producer for RangeProducer<$t> {
+            type Item = $t;
+            type Iter = std::ops::Range<$t>;
+
+            fn len(&self) -> usize {
+                self.len
+            }
+            fn split_at(self, mid: usize) -> (Self, Self) {
+                (
+                    RangeProducer { start: self.start, len: mid },
+                    RangeProducer {
+                        start: self.start + mid as $t,
+                        len: self.len - mid,
+                    },
+                )
+            }
+            fn into_seq(self) -> Self::Iter {
+                self.start..self.start + self.len as $t
+            }
+        }
+
+        impl crate::prelude::IntoParallelIterator for std::ops::Range<$t> {
+            type Producer = RangeProducer<$t>;
+            fn into_par_iter(self) -> ParIter<RangeProducer<$t>> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                ParIter::from_producer(RangeProducer {
+                    start: self.start,
+                    len,
+                })
+            }
+        }
+    )*};
+}
+
+impl_range_producer!(usize, u32, u64, i32, i64);

@@ -1,0 +1,184 @@
+//! The work-stealing thread pool behind every `par_*` entry point.
+//!
+//! Workers are `std::thread::scope`d threads spawned per parallel region:
+//! the region's tasks are dealt into per-worker deques, each worker drains
+//! its own deque from the front and steals from the back of a victim's
+//! deque when it runs dry. Scoped spawning keeps the whole scheduler free
+//! of `unsafe` (borrowed task data needs no lifetime erasure) and lets a
+//! worker panic propagate to the caller via `resume_unwind` after every
+//! other worker has drained the remaining tasks.
+//!
+//! Sizing: `MSR_THREADS` overrides the worker count (`0` or `1` force
+//! fully sequential execution); unset, the pool uses
+//! [`std::thread::available_parallelism`]. [`with_threads`] overrides the
+//! count for one closure on the current thread — the hook the determinism
+//! tests use to compare pool and forced-sequential runs in one process.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::{Mutex, OnceLock};
+
+/// Worker-count configuration for parallel regions.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+thread_local! {
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn env_threads() -> Option<usize> {
+    std::env::var("MSR_THREADS").ok()?.trim().parse().ok()
+}
+
+impl ThreadPool {
+    /// A pool running parallel regions on `threads` workers (clamped to at
+    /// least 1; 1 means sequential).
+    pub fn new(threads: usize) -> ThreadPool {
+        ThreadPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The process-wide pool: `MSR_THREADS` if set, else the host's
+    /// available parallelism.
+    pub fn global() -> &'static ThreadPool {
+        GLOBAL.get_or_init(|| {
+            let n = env_threads().unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+            ThreadPool::new(n)
+        })
+    }
+
+    /// Worker count of this pool.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// The worker count parallel regions started from this thread will use.
+pub fn current_num_threads() -> usize {
+    OVERRIDE
+        .with(Cell::get)
+        .unwrap_or_else(|| ThreadPool::global().threads())
+}
+
+/// Run `f` with parallel regions on this thread capped to `threads`
+/// workers (`0`/`1` force sequential execution). Restored on exit, panic
+/// included.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|o| o.replace(Some(threads.max(1)))));
+    f()
+}
+
+/// Run `tasks` on the pool and return their results in task order.
+///
+/// The caller's thread doubles as worker 0, so a single-task or
+/// single-thread region never spawns. Any worker panic is re-raised on the
+/// caller once the region has shut down.
+pub fn execute<T, R>(tasks: Vec<T>) -> Vec<R>
+where
+    T: FnOnce() -> R + Send,
+    R: Send,
+{
+    let total = tasks.len();
+    let workers = current_num_threads().min(total);
+    if workers <= 1 {
+        return tasks.into_iter().map(|t| t()).collect();
+    }
+
+    // Deal contiguous blocks of tasks to each worker's deque: block c of a
+    // balanced split preserves chunk locality for slice-backed regions.
+    let mut feed = tasks.into_iter().enumerate();
+    let deques: Vec<Mutex<VecDeque<(usize, T)>>> = (0..workers)
+        .map(|w| {
+            let lo = w * total / workers;
+            let hi = (w + 1) * total / workers;
+            Mutex::new(feed.by_ref().take(hi - lo).collect())
+        })
+        .collect();
+    let deques = &deques;
+
+    let run_worker = move |w: usize| -> Vec<(usize, R)> {
+        let mut done = Vec::new();
+        loop {
+            // Own deque first (front), then steal from a victim's back.
+            let mut job = deques[w].lock().expect("deque poisoned").pop_front();
+            if job.is_none() {
+                for off in 1..deques.len() {
+                    let victim = (w + off) % deques.len();
+                    job = deques[victim].lock().expect("deque poisoned").pop_back();
+                    if job.is_some() {
+                        break;
+                    }
+                }
+            }
+            match job {
+                Some((idx, task)) => done.push((idx, task())),
+                None => return done,
+            }
+        }
+    };
+
+    let mut results: Vec<Option<R>> = std::iter::repeat_with(|| None).take(total).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (1..workers)
+            .map(|w| s.spawn(move || run_worker(w)))
+            .collect();
+        // This thread is worker 0; if it panics, scope still joins the rest.
+        let mut batches = vec![run_worker(0)];
+        let mut panic = None;
+        for h in handles {
+            match h.join() {
+                Ok(batch) => batches.push(batch),
+                Err(payload) => panic = panic.or(Some(payload)),
+            }
+        }
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
+        for (idx, r) in batches.into_iter().flatten() {
+            results[idx] = Some(r);
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every task ran exactly once"))
+        .collect()
+}
+
+/// Run two closures, potentially in parallel, and return both results.
+/// A panic in either side propagates to the caller.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        match hb.join() {
+            Ok(rb) => (ra, rb),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })
+}
