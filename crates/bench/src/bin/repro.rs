@@ -311,6 +311,85 @@ fn run_bench_json(scale: Scale, seed: u64) {
     let out = serde_json::to_string_pretty(&ledger).expect("ledger serializes");
     std::fs::write("BENCH_parallel.json", out).expect("write BENCH_parallel.json");
     println!("\nwrote BENCH_parallel.json ({threads} pool threads)");
+    run_chaos_bench(scale, seed);
+}
+
+#[derive(serde::Serialize)]
+struct ChaosLedger {
+    scale: String,
+    seed: u64,
+    reps: u32,
+    /// Fault-free wall-clock with the full resilience machinery active
+    /// (retry policy + circuit breaker + staging copies).
+    resilience_on_s: f64,
+    /// The same workload with `MsrSystem::disable_resilience()`.
+    resilience_off_s: f64,
+    /// `on / off` — the real-time cost of resilience when nothing fails.
+    overhead: f64,
+}
+
+/// The chaos-overhead entry: a fault-free session workload timed with the
+/// resilience machinery on vs off, written to `BENCH_chaos.json`. The
+/// interesting number is the overhead ratio — retry/breaker bookkeeping
+/// on the happy path should be close to free.
+fn run_chaos_bench(scale: Scale, seed: u64) {
+    use msr_core::{DatasetSpec, LocationHint, MsrSystem};
+    use msr_meta::ElementType;
+    use msr_runtime::ProcGrid;
+
+    let (n, iterations, reps) = match scale {
+        Scale::Quick => (16, 12, 3),
+        Scale::Paper => (32, 24, 5),
+    };
+    let workload = |resilient: bool| {
+        let mut sys = MsrSystem::testbed(seed);
+        if !resilient {
+            sys.disable_resilience();
+        }
+        let mut s = sys
+            .init_session("chaosbench", "u", iterations, ProcGrid::new(2, 2, 1))
+            .expect("session");
+        let spec = DatasetSpec::astro3d_default("d", ElementType::U8, n)
+            .with_hint(LocationHint::RemoteDisk);
+        let data: Vec<u8> = (0..spec.snapshot_bytes())
+            .map(|i| (i % 251) as u8)
+            .collect();
+        let h = s.open(spec).expect("open");
+        for iter in 0..=iterations {
+            s.write_iteration(h, iter, &data).expect("fault-free write");
+        }
+        for iter in (0..=iterations).step_by(6) {
+            let (back, rep) = s.read_iteration(h, iter).expect("fault-free read");
+            assert!(!rep.stale && back == data, "fault-free run must be exact");
+        }
+        s.finalize().expect("finalize");
+    };
+    let time = |resilient: bool| {
+        let t = std::time::Instant::now();
+        for _ in 0..reps {
+            workload(resilient);
+        }
+        t.elapsed().as_secs_f64() / f64::from(reps)
+    };
+    // Warm up once so allocator/page-cache effects don't land on either side.
+    workload(true);
+    let resilience_off_s = time(false);
+    let resilience_on_s = time(true);
+    let overhead = resilience_on_s / resilience_off_s.max(1e-12);
+    println!(
+        "chaos      off {resilience_off_s:>8.3}s   on {resilience_on_s:>8.3}s   overhead {overhead:.2}x"
+    );
+    let ledger = ChaosLedger {
+        scale: format!("{scale:?}"),
+        seed,
+        reps,
+        resilience_on_s,
+        resilience_off_s,
+        overhead,
+    };
+    let out = serde_json::to_string_pretty(&ledger).expect("ledger serializes");
+    std::fs::write("BENCH_chaos.json", out).expect("write BENCH_chaos.json");
+    println!("wrote BENCH_chaos.json");
 }
 
 fn main() {

@@ -1,5 +1,8 @@
-//! Top-level error type of the architecture.
+//! Top-level error type of the architecture, and the exhaustive
+//! classification that drives the session's recovery decisions.
 
+use msr_runtime::RuntimeError;
+use msr_storage::StorageError;
 use std::fmt;
 
 /// Failures surfaced by the user API.
@@ -79,5 +82,164 @@ impl From<msr_meta::MetaError> for CoreError {
 impl From<msr_predict::PredictError> for CoreError {
     fn from(e: msr_predict::PredictError) -> Self {
         CoreError::Predict(e)
+    }
+}
+
+/// How the session layer should react to a failure.
+///
+/// Every [`CoreError`] falls into exactly one class; [`classify`] is an
+/// exhaustive match (no catch-all arm), so adding an error variant is a
+/// compile error until its recovery semantics are decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// An immediate retry of the same call may succeed. The engine's
+    /// [`msr_runtime::RetryPolicy`] handles these below the session; one
+    /// reaching the session means the retry budget is exhausted, and the
+    /// carried reason is used for the resulting failover.
+    Retryable(&'static str),
+    /// The resource is gone, full or unreachable — re-place the dataset on
+    /// the next preferred resource (the §5 reliability path).
+    Failover(&'static str),
+    /// A caller or environment bug. Retrying or re-placing cannot help;
+    /// propagate to the application.
+    Fatal,
+}
+
+impl ErrorClass {
+    /// The failover reason when re-placement is warranted (both transient
+    /// faults that outlived the retry budget and hard failover classes).
+    pub fn failover_reason(self) -> Option<&'static str> {
+        match self {
+            ErrorClass::Retryable(r) | ErrorClass::Failover(r) => Some(r),
+            ErrorClass::Fatal => None,
+        }
+    }
+}
+
+/// Classify a storage-layer failure (shared by the direct and
+/// runtime-wrapped paths so the two stay consistent).
+fn classify_storage(e: &StorageError) -> ErrorClass {
+    match e {
+        StorageError::Offline { .. } => ErrorClass::Failover("resource offline"),
+        StorageError::CapacityExceeded { .. } => ErrorClass::Failover("capacity exceeded"),
+        StorageError::Network(_) => ErrorClass::Failover("network failure"),
+        StorageError::Transient { .. } => ErrorClass::Retryable("transient fault persisted"),
+        StorageError::NotFound(_)
+        | StorageError::BadHandle
+        | StorageError::BadMode { .. }
+        | StorageError::NotConnected => ErrorClass::Fatal,
+    }
+}
+
+/// Decide the recovery semantics of `e`. Exhaustive over every variant of
+/// [`CoreError`] and its nested storage/runtime errors.
+pub fn classify(e: &CoreError) -> ErrorClass {
+    match e {
+        CoreError::Storage(se) => classify_storage(se),
+        CoreError::Runtime(re) => match re {
+            RuntimeError::Storage(se) => classify_storage(se),
+            RuntimeError::BadDistribution(_)
+            | RuntimeError::SizeMismatch { .. }
+            | RuntimeError::CorruptSuperfile(_)
+            | RuntimeError::NoSuchMember(_) => ErrorClass::Fatal,
+        },
+        CoreError::Meta(_)
+        | CoreError::Predict(_)
+        | CoreError::NoUsableResource { .. }
+        | CoreError::DatasetDisabled(_)
+        | CoreError::SessionClosed => ErrorClass::Fatal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn offline() -> StorageError {
+        StorageError::Offline {
+            resource: "r".into(),
+        }
+    }
+
+    #[test]
+    fn offline_is_failover_on_both_paths() {
+        assert_eq!(
+            classify(&CoreError::Storage(offline())),
+            ErrorClass::Failover("resource offline")
+        );
+        assert_eq!(
+            classify(&CoreError::Runtime(RuntimeError::Storage(offline()))),
+            ErrorClass::Failover("resource offline")
+        );
+    }
+
+    #[test]
+    fn capacity_exceeded_is_failover() {
+        let e = CoreError::Storage(StorageError::CapacityExceeded {
+            resource: "r".into(),
+            requested: 10,
+            available: 1,
+        });
+        assert_eq!(classify(&e), ErrorClass::Failover("capacity exceeded"));
+    }
+
+    #[test]
+    fn network_failure_is_failover() {
+        let e = CoreError::Runtime(RuntimeError::Storage(StorageError::Network(
+            msr_net::NetError::RouteDown,
+        )));
+        assert_eq!(classify(&e), ErrorClass::Failover("network failure"));
+        assert_eq!(classify(&e).failover_reason(), Some("network failure"));
+    }
+
+    #[test]
+    fn transient_is_retryable_with_a_failover_reason() {
+        let e = CoreError::Storage(StorageError::Transient {
+            resource: "r".into(),
+            op: "write",
+        });
+        let c = classify(&e);
+        assert_eq!(c, ErrorClass::Retryable("transient fault persisted"));
+        assert_eq!(c.failover_reason(), Some("transient fault persisted"));
+    }
+
+    #[test]
+    fn caller_bugs_are_fatal() {
+        for e in [
+            CoreError::Storage(StorageError::NotFound("p".into())),
+            CoreError::Storage(StorageError::BadHandle),
+            CoreError::Storage(StorageError::BadMode { op: "write" }),
+            CoreError::Storage(StorageError::NotConnected),
+            CoreError::Runtime(RuntimeError::BadDistribution("x".into())),
+            CoreError::Runtime(RuntimeError::SizeMismatch {
+                expected: 1,
+                got: 2,
+            }),
+            CoreError::Runtime(RuntimeError::CorruptSuperfile("x".into())),
+            CoreError::Runtime(RuntimeError::NoSuchMember("x".into())),
+            CoreError::NoUsableResource {
+                dataset: "d".into(),
+                bytes: 1,
+            },
+            CoreError::DatasetDisabled("d".into()),
+            CoreError::SessionClosed,
+        ] {
+            assert_eq!(classify(&e), ErrorClass::Fatal, "{e}");
+            assert_eq!(classify(&e).failover_reason(), None);
+        }
+    }
+
+    #[test]
+    fn meta_and_predict_are_fatal() {
+        let m = CoreError::Meta(msr_meta::MetaError::NotFound {
+            table: "runs",
+            key: "1".into(),
+        });
+        assert_eq!(classify(&m), ErrorClass::Fatal);
+        let p = CoreError::Predict(msr_predict::PredictError::NoProfile {
+            resource: "r".into(),
+            op: msr_storage::OpKind::Write,
+        });
+        assert_eq!(classify(&p), ErrorClass::Fatal);
     }
 }

@@ -25,6 +25,7 @@
 
 pub mod dataset;
 pub mod error;
+pub mod health;
 pub mod hints;
 pub mod migrate;
 pub mod placement;
@@ -33,7 +34,8 @@ pub mod session;
 pub mod system;
 
 pub use dataset::DatasetSpec;
-pub use error::CoreError;
+pub use error::{classify, CoreError, ErrorClass};
+pub use health::{BreakerState, HealthCounters, HealthTracker};
 pub use hints::{FutureUse, LocationHint};
 pub use migrate::MigrationReport;
 pub use placement::PlacementPolicy;

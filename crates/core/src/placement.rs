@@ -30,12 +30,16 @@ pub enum PlacementPolicy {
     },
 }
 
-/// Whether `kind` can accept `bytes` more data right now.
+/// Whether `kind` can accept `bytes` more data right now. Consults the
+/// resource itself *and* its circuit breaker: a resource whose breaker is
+/// open looks online at the native layer but has been failing repeatedly,
+/// so placement routes around it until the cooldown admits a probe.
 fn usable(sys: &MsrSystem, kind: StorageKind, bytes: u64) -> bool {
-    sys.resource(kind).is_some_and(|res| {
-        let r = res.lock();
-        r.is_online() && r.available_bytes() >= bytes
-    })
+    sys.health.allows(kind)
+        && sys.resource(kind).is_some_and(|res| {
+            let r = res.lock();
+            r.is_online() && r.available_bytes() >= bytes
+        })
 }
 
 /// Resolve a dataset's initial placement. Returns `None` for DISABLE.

@@ -9,19 +9,25 @@
 //! `finalize()` closes connections and returns the run's accounting.
 
 use crate::dataset::DatasetSpec;
-use crate::error::CoreError;
+use crate::error::{classify, CoreError, ErrorClass};
 use crate::hints::LocationHint;
 use crate::placement;
 use crate::report::{DatasetReport, PlacementEvent, RunReport};
 use crate::system::MsrSystem;
 use crate::CoreResult;
+use bytes::Bytes;
 use msr_meta::{AccessMode, DatasetId, DatasetRec, Location, MetaError, RunId};
 use msr_obs::{ops, Layer, Recorder};
 use msr_predict::{AccessSummary, DatasetPlan, PredictionReport, RunSpec};
-use msr_runtime::{Distribution, IoReport, IoStrategy, Pattern, ProcGrid};
+use msr_runtime::{
+    staging_cache, Distribution, IoReport, IoStrategy, Pattern, ProcGrid, StagingCache,
+};
 use msr_sim::SimDuration;
-use msr_storage::{OpKind, StorageError, StorageKind};
+use msr_storage::{OpKind, StorageKind};
 use std::collections::BTreeSet;
+
+/// Budget for the session's degraded-read staging copies.
+const STAGE_CACHE_BYTES: u64 = 64 * 1024 * 1024;
 
 /// Handle to a dataset opened in a session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,26 +58,9 @@ pub struct Session<'a> {
     conn_time: SimDuration,
     finalized: bool,
     rec: Recorder,
-}
-
-/// Failover-eligible errors: the resource is gone or full, not a caller
-/// bug.
-fn failover_worthy(e: &CoreError) -> Option<&'static str> {
-    match e {
-        CoreError::Storage(StorageError::Offline { .. })
-        | CoreError::Runtime(msr_runtime::RuntimeError::Storage(StorageError::Offline {
-            ..
-        })) => Some("resource offline"),
-        CoreError::Storage(StorageError::CapacityExceeded { .. })
-        | CoreError::Runtime(msr_runtime::RuntimeError::Storage(
-            StorageError::CapacityExceeded { .. },
-        )) => Some("capacity exceeded"),
-        CoreError::Storage(StorageError::Network(_))
-        | CoreError::Runtime(msr_runtime::RuntimeError::Storage(StorageError::Network(_))) => {
-            Some("network failure")
-        }
-        _ => None,
-    }
+    /// Last good copy of each dump, for degraded reads while the
+    /// authoritative resource is open-circuit.
+    staged: StagingCache,
 }
 
 impl<'a> Session<'a> {
@@ -118,6 +107,7 @@ impl<'a> Session<'a> {
             conn_time: SimDuration::ZERO,
             finalized: false,
             rec,
+            staged: staging_cache(STAGE_CACHE_BYTES),
         })
     }
 
@@ -288,6 +278,12 @@ impl<'a> Session<'a> {
                     d.spec.amode,
                 )
             };
+            // An open breaker means this resource has been failing
+            // repeatedly: re-place without hammering it again.
+            if !self.sys.health.allows(kind) {
+                self.fail_over(h, iter, kind, "circuit open")?;
+                continue;
+            }
             self.ensure_connected(kind)?;
             let res = self.sys.resource(kind).expect("placed on registered kind");
             let mode = match amode {
@@ -301,6 +297,8 @@ impl<'a> Session<'a> {
                 .map_err(CoreError::from)
             {
                 Ok(report) => {
+                    self.sys.health.record_success(kind);
+                    self.staged.lock().put(&path, Bytes::from(data.to_vec()));
                     let d = &mut self.datasets[h.0];
                     d.dumps += 1;
                     d.bytes += report.bytes;
@@ -310,59 +308,13 @@ impl<'a> Session<'a> {
                     return Ok(Some(report));
                 }
                 Err(e) => {
-                    let Some(reason) = failover_worthy(&e) else {
+                    // A Retryable error here already outlived the engine's
+                    // retry budget; it fails over like a hard failure.
+                    let Some(reason) = classify(&e).failover_reason() else {
                         return Err(e);
                     };
-                    // Re-place on the next usable resource and retry.
-                    let d = &self.datasets[h.0];
-                    let remaining = d.spec.snapshot_bytes()
-                        * u64::from(self.iterations / d.spec.frequency.max(1) + 1 - d.dumps);
-                    let next = placement::fallback(self.sys, &d.spec, remaining, Some(kind))?;
-                    self.sys.trace.record(
-                        self.sys.clock.now(),
-                        "failover",
-                        format!(
-                            "{}: {kind} -> {} at iter {iter} ({reason})",
-                            d.spec.name,
-                            next.map(|k| k.to_string()).unwrap_or_else(|| "-".into())
-                        ),
-                    );
-                    self.events.push(PlacementEvent {
-                        dataset: d.spec.name.clone(),
-                        from: Some(kind),
-                        to: next,
-                        at_iteration: iter,
-                        reason: reason.to_owned(),
-                    });
-                    self.rec.instant(
-                        Layer::Session,
-                        &d.spec.name,
-                        ops::FAILOVER,
-                        self.sys.clock.now(),
-                        &format!(
-                            "{kind} -> {} at iter {iter}: {reason}",
-                            next.map(|k| k.to_string()).unwrap_or_else(|| "-".into())
-                        ),
-                    );
-                    let meta_id = d.meta_id;
-                    self.datasets[h.0].location = next;
-                    let mut catalog = self.sys.catalog.lock();
-                    catalog.set_dataset_location(
-                        meta_id,
-                        match next {
-                            Some(k) => Location::Stored(k),
-                            None => Location::Disabled,
-                        },
-                    )?;
-                    self.sys.clock.advance(catalog.config.query_cost);
-                    drop(catalog);
-                    self.rec.count(
-                        Layer::Meta,
-                        "catalog",
-                        ops::QUERY,
-                        self.sys.clock.now(),
-                        1.0,
-                    );
+                    self.sys.health.record_failure(kind);
+                    self.fail_over(h, iter, kind, reason)?;
                 }
             }
         }
@@ -373,7 +325,118 @@ impl<'a> Session<'a> {
         })
     }
 
+    /// Re-place dataset `h` on the next usable resource after `from`
+    /// failed (or was refused by its breaker) at iteration `iter`,
+    /// recording the trace line, [`PlacementEvent`], catalog move and
+    /// observability marker.
+    fn fail_over(
+        &mut self,
+        h: DatasetHandle,
+        iter: u32,
+        from: StorageKind,
+        reason: &str,
+    ) -> CoreResult<()> {
+        let d = &self.datasets[h.0];
+        let remaining = d.spec.snapshot_bytes()
+            * u64::from(self.iterations / d.spec.frequency.max(1) + 1 - d.dumps);
+        let next = placement::fallback(self.sys, &d.spec, remaining, Some(from))?;
+        self.sys.trace.record(
+            self.sys.clock.now(),
+            "failover",
+            format!(
+                "{}: {from} -> {} at iter {iter} ({reason})",
+                d.spec.name,
+                next.map(|k| k.to_string()).unwrap_or_else(|| "-".into())
+            ),
+        );
+        self.events.push(PlacementEvent {
+            dataset: d.spec.name.clone(),
+            from: Some(from),
+            to: next,
+            at_iteration: iter,
+            reason: reason.to_owned(),
+        });
+        self.rec.instant(
+            Layer::Session,
+            &d.spec.name,
+            ops::FAILOVER,
+            self.sys.clock.now(),
+            &format!(
+                "{from} -> {} at iter {iter}: {reason}",
+                next.map(|k| k.to_string()).unwrap_or_else(|| "-".into())
+            ),
+        );
+        let meta_id = d.meta_id;
+        self.datasets[h.0].location = next;
+        let mut catalog = self.sys.catalog.lock();
+        catalog.set_dataset_location(
+            meta_id,
+            match next {
+                Some(k) => Location::Stored(k),
+                None => Location::Disabled,
+            },
+        )?;
+        self.sys.clock.advance(catalog.config.query_cost);
+        drop(catalog);
+        self.rec.count(
+            Layer::Meta,
+            "catalog",
+            ops::QUERY,
+            self.sys.clock.now(),
+            1.0,
+        );
+        Ok(())
+    }
+
+    /// Serve a dump from the session's staging copy because the
+    /// authoritative resource cannot: the data is flagged stale in the
+    /// report (it is the last copy this session wrote, which may lag the
+    /// resource if something else updated it) and only a memcpy is
+    /// charged, not native I/O.
+    fn degraded_read(
+        &mut self,
+        h: DatasetHandle,
+        kind: StorageKind,
+        path: &str,
+        why: &str,
+    ) -> Option<(Vec<u8>, IoReport)> {
+        let copy = self.staged.lock().get(path)?;
+        let d = &mut self.datasets[h.0];
+        let bytes = copy.len() as u64;
+        let elapsed =
+            SimDuration::from_secs(bytes as f64 / (msr_runtime::engine::MEMCPY_MB_S * 1e6));
+        self.sys.clock.advance(elapsed);
+        d.io_time += elapsed;
+        d.bytes += bytes;
+        self.rec.instant(
+            Layer::Session,
+            &d.spec.name,
+            ops::DEGRADED_READ,
+            self.sys.clock.now(),
+            &format!("{path} from staging copy ({kind} {why})"),
+        );
+        let report = IoReport {
+            strategy: d.spec.strategy,
+            nprocs: d.dist.nprocs(),
+            native_reads: 0,
+            native_writes: 0,
+            native_opens: 0,
+            bytes,
+            elapsed,
+            total_work: elapsed,
+            retries: 0,
+            backoff: SimDuration::ZERO,
+            stale: true,
+        };
+        Some((copy.to_vec(), report))
+    }
+
     /// Read back one of this run's dumps (e.g. for in-run analysis).
+    ///
+    /// When the placed resource's circuit breaker is open — or the read
+    /// fails with a recoverable error — the session serves its staging
+    /// copy instead, flagged `stale` in the [`IoReport`]. Fatal errors
+    /// and misses with no staged copy propagate.
     pub fn read_iteration(
         &mut self,
         h: DatasetHandle,
@@ -386,15 +449,39 @@ impl<'a> Session<'a> {
         let path = Self::dump_path(d, &self.app, self.run, iter);
         let dist = d.dist;
         let strategy = d.spec.strategy;
+        if !self.sys.health.allows(kind) {
+            return self.degraded_read(h, kind, &path, "open-circuit").ok_or(
+                CoreError::NoUsableResource {
+                    dataset: self.datasets[h.0].spec.name.clone(),
+                    bytes: 0,
+                },
+            );
+        }
         self.ensure_connected(kind)?;
         let res = self.sys.resource(kind).expect("registered kind");
-        let (data, report) = self.sys.engine.read(&res, &path, &dist, strategy)?;
-        self.sys.clock.advance(report.elapsed);
-        let d = &mut self.datasets[h.0];
-        d.io_time += report.elapsed;
-        d.bytes += report.bytes;
-        d.native_calls += report.native_reads + report.native_writes;
-        Ok((data, report))
+        match self
+            .sys
+            .engine
+            .read(&res, &path, &dist, strategy)
+            .map_err(CoreError::from)
+        {
+            Ok((data, report)) => {
+                self.sys.health.record_success(kind);
+                self.sys.clock.advance(report.elapsed);
+                let d = &mut self.datasets[h.0];
+                d.io_time += report.elapsed;
+                d.bytes += report.bytes;
+                d.native_calls += report.native_reads + report.native_writes;
+                Ok((data, report))
+            }
+            Err(e) => match classify(&e) {
+                ErrorClass::Fatal => Err(e),
+                ErrorClass::Retryable(_) | ErrorClass::Failover(_) => {
+                    self.sys.health.record_failure(kind);
+                    self.degraded_read(h, kind, &path, "failed").ok_or(e)
+                }
+            },
+        }
     }
 
     /// Predict this session's total I/O time with the system predictor
@@ -740,6 +827,119 @@ mod tests {
         assert!(failovers
             .iter()
             .any(|e| e.detail.contains("network failure")));
+    }
+
+    /// A transient fault that clears within the engine's retry budget is
+    /// invisible to placement: the dump lands on the hinted resource with
+    /// no failover [`PlacementEvent`], only retry accounting.
+    #[test]
+    fn transient_fault_within_budget_does_not_fail_over() {
+        let mut sys = MsrSystem::testbed(7);
+        let log = sys
+            .inject_faults(
+                StorageKind::LocalDisk,
+                msr_storage::FaultPlan::none().with_error_burst(2),
+            )
+            .unwrap();
+        let mut s = sys
+            .init_session("app", "u", 12, ProcGrid::new(1, 1, 1))
+            .unwrap();
+        let sp = spec("x", LocationHint::LocalDisk);
+        let h = s.open(sp.clone()).unwrap();
+        let rep = s.write_iteration(h, 0, &payload(&sp)).unwrap().unwrap();
+        assert_eq!(rep.retries, 2, "both burst faults absorbed by retries");
+        assert!(rep.backoff > SimDuration::ZERO);
+        assert_eq!(log.errors_injected(), 2);
+        let (back, _) = s.read_iteration(h, 0).unwrap();
+        assert_eq!(back, payload(&sp));
+        let report = s.finalize().unwrap();
+        assert_eq!(report.datasets[0].location, Some(StorageKind::LocalDisk));
+        assert!(
+            !report.events.iter().any(|e| e.from.is_some()),
+            "no failover for a fault that cleared within the retry budget"
+        );
+    }
+
+    /// A persistent fault outlives the retry budget and triggers exactly
+    /// one failover, with the transient-specific reason recorded.
+    #[test]
+    fn persistent_fault_fails_over_exactly_once() {
+        let mut sys = MsrSystem::testbed(7);
+        sys.inject_faults(
+            StorageKind::LocalDisk,
+            msr_storage::FaultPlan::none().with_error_prob(1.0),
+        )
+        .unwrap();
+        let mut s = sys
+            .init_session("app", "u", 12, ProcGrid::new(1, 1, 1))
+            .unwrap();
+        let sp = spec("x", LocationHint::LocalDisk).with_future_use(FutureUse::Visualization);
+        let h = s.open(sp.clone()).unwrap();
+        let rep = s.write_iteration(h, 0, &payload(&sp)).unwrap().unwrap();
+        assert!(rep.bytes > 0);
+        let (back, _) = s.read_iteration(h, 0).unwrap();
+        assert_eq!(back, payload(&sp));
+        let report = s.finalize().unwrap();
+        assert_eq!(report.datasets[0].location, Some(StorageKind::RemoteDisk));
+        let failovers: Vec<_> = report.events.iter().filter(|e| e.from.is_some()).collect();
+        assert_eq!(failovers.len(), 1, "exactly one failover");
+        assert_eq!(failovers[0].reason, "transient fault persisted");
+    }
+
+    /// While the placed resource is failing, reads are served stale from
+    /// the session's staging copy; once the breaker opens the resource is
+    /// not even probed.
+    #[test]
+    fn degraded_read_serves_staging_copy_when_resource_fails() {
+        let sys = MsrSystem::testbed(7);
+        let mut s = sys
+            .init_session("app", "u", 12, ProcGrid::new(1, 1, 1))
+            .unwrap();
+        let sp = spec("x", LocationHint::LocalDisk);
+        let h = s.open(sp.clone()).unwrap();
+        s.write_iteration(h, 0, &payload(&sp)).unwrap().unwrap();
+        sys.set_resource_online(StorageKind::LocalDisk, false);
+        // Reads keep working, flagged stale, while failures accumulate.
+        for _ in 0..3 {
+            let (back, rep) = s.read_iteration(h, 0).unwrap();
+            assert_eq!(back, payload(&sp));
+            assert!(rep.stale, "served from the staging copy");
+            assert_eq!(rep.native_reads, 0);
+        }
+        // Three consecutive failures opened the breaker: the next read is
+        // served degraded without touching the resource at all.
+        assert_eq!(
+            sys.health.state(StorageKind::LocalDisk),
+            crate::health::BreakerState::Open
+        );
+        let (_, rep) = s.read_iteration(h, 0).unwrap();
+        assert!(rep.stale);
+        assert!(sys
+            .obs
+            .events()
+            .iter()
+            .any(|e| e.op == ops::DEGRADED_READ && e.detail.contains("open-circuit")));
+    }
+
+    #[test]
+    fn degraded_read_without_a_staged_copy_propagates_the_error() {
+        let sys = MsrSystem::testbed(7);
+        let mut s = sys
+            .init_session("app", "u", 12, ProcGrid::new(1, 1, 1))
+            .unwrap();
+        let sp = spec("x", LocationHint::LocalDisk);
+        let h = s.open(sp.clone()).unwrap();
+        s.write_iteration(h, 0, &payload(&sp)).unwrap().unwrap();
+        sys.set_resource_online(StorageKind::LocalDisk, false);
+        // Iteration 6 was never dumped: nothing staged under that path.
+        assert!(matches!(
+            s.read_iteration(h, 6),
+            Err(CoreError::Runtime(msr_runtime::RuntimeError::Storage(
+                msr_storage::StorageError::Offline { .. }
+            ))) | Err(CoreError::Storage(
+                msr_storage::StorageError::Offline { .. }
+            ))
+        ));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The assembled environment (the paper's Fig. 4).
 
+use crate::health::HealthTracker;
 use crate::placement::PlacementPolicy;
 use crate::session::Session;
 use crate::CoreResult;
@@ -7,9 +8,12 @@ use msr_meta::{Catalog, ResourceRec, RunId};
 use msr_net::{LinkId, SharedNetwork};
 use msr_obs::{Recorder, Registry};
 use msr_predict::{PTool, PerfDb, Predictor};
-use msr_runtime::{IoEngine, IoStrategy, ProcGrid};
-use msr_sim::{Clock, SimDuration, Trace};
-use msr_storage::{share, testbed, ObservedResource, SharedResource, StorageKind};
+use msr_runtime::{IoEngine, IoStrategy, ProcGrid, RetryPolicy};
+use msr_sim::{derive_seed, Clock, SimDuration, Trace};
+use msr_storage::{
+    share, testbed, FaultInjector, FaultLog, FaultPlan, ObservedResource, SharedResource,
+    StorageKind,
+};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -31,6 +35,9 @@ pub struct MsrSystem {
     /// The cross-layer observability registry: every layer's structured
     /// events land here (see `msr-obs`).
     pub obs: Registry,
+    /// Per-resource circuit breakers fed by session-level outcomes and
+    /// consulted by placement (see `crate::health`).
+    pub health: HealthTracker,
     resources: BTreeMap<StorageKind, SharedResource>,
     predictor: Option<Predictor>,
     policy: PlacementPolicy,
@@ -92,6 +99,7 @@ impl MsrSystem {
         tb.net.write().set_observer(obs.recorder(), clock.clone());
         let mut engine = IoEngine::default();
         engine.set_observer(obs.recorder(), clock.clone());
+        engine.set_retry_policy(RetryPolicy::default().with_seed(derive_seed(seed, "retry")));
 
         let mut catalog = Catalog::new();
         for (kind, res) in &resources {
@@ -107,6 +115,7 @@ impl MsrSystem {
             });
         }
 
+        let health = HealthTracker::new(clock.clone(), obs.recorder());
         MsrSystem {
             net: tb.net,
             clock,
@@ -114,6 +123,7 @@ impl MsrSystem {
             engine,
             trace: Trace::default(),
             obs,
+            health,
             resources,
             predictor: None,
             policy: PlacementPolicy::Hinted,
@@ -159,6 +169,28 @@ impl MsrSystem {
         if let Some(res) = self.resource(kind) {
             res.lock().set_online(up);
         }
+    }
+
+    /// Interpose a seeded transient-fault injector in front of `kind`'s
+    /// resource. Returns the shared fault log for reconciling what was
+    /// injected against what the resilience machinery reports, or `None`
+    /// if the kind is not registered. The injector's seed derives from the
+    /// system seed and the kind, so chaos runs replay deterministically.
+    pub fn inject_faults(&mut self, kind: StorageKind, plan: FaultPlan) -> Option<FaultLog> {
+        let inner = self.resources.get(&kind)?.clone();
+        let seed = derive_seed(self.seed, &format!("fault:{kind}"));
+        let (wrapped, log) = FaultInjector::wrap(inner, plan, self.clock.clone(), seed);
+        self.resources.insert(kind, wrapped);
+        Some(log)
+    }
+
+    /// Turn the resilience machinery off: no retries, no circuit breaking.
+    /// Failures propagate to the session's plain failover path, as before
+    /// this subsystem existed — the "off" baseline for measuring the
+    /// overhead of resilience on fault-free runs.
+    pub fn disable_resilience(&mut self) {
+        self.engine.set_retry_policy(RetryPolicy::none());
+        self.health.set_enabled(false);
     }
 
     /// Background load on the ANL↔SDSC WAN (equivalent competing streams).

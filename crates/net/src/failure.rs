@@ -13,8 +13,8 @@ use serde::{Deserialize, Serialize};
 pub struct Outage {
     /// Start of the outage (inclusive).
     pub from: SimTime,
-    /// End of the outage (exclusive). Use `SimTime::from_secs(f64::MAX)` for
-    /// an open-ended outage.
+    /// End of the outage (exclusive). Use [`SimTime::INFINITY`] for an
+    /// open-ended outage.
     pub until: SimTime,
 }
 
@@ -47,8 +47,12 @@ impl OutageSchedule {
     }
 
     /// Add an outage that starts at `from_secs` and never ends.
-    pub fn with_permanent_outage(self, from_secs: f64) -> Self {
-        self.with_outage(from_secs, f64::MAX)
+    pub fn with_permanent_outage(mut self, from_secs: f64) -> Self {
+        self.windows.push(Outage {
+            from: SimTime::from_secs(from_secs),
+            until: SimTime::INFINITY,
+        });
+        self
     }
 
     /// Should the component be up at virtual time `t`?
@@ -56,13 +60,15 @@ impl OutageSchedule {
         !self.windows.iter().any(|w| w.covers(t))
     }
 
-    /// The next state-change boundary strictly after `t`, if any. Useful for
-    /// event-driven experiment loops.
+    /// The next state-change boundary strictly after `t`, if any. The
+    /// open-ended [`SimTime::INFINITY`] boundary is never a transition — a
+    /// permanent outage has no recovery edge. Useful for event-driven
+    /// experiment loops.
     pub fn next_transition(&self, t: SimTime) -> Option<SimTime> {
         self.windows
             .iter()
             .flat_map(|w| [w.from, w.until])
-            .filter(|&b| b > t && b.as_secs() != f64::MAX)
+            .filter(|&b| b > t && b.is_finite())
             .min_by(|a, b| a.as_secs().total_cmp(&b.as_secs()))
     }
 }
@@ -103,6 +109,32 @@ mod tests {
         let s = OutageSchedule::always_up().with_permanent_outage(100.0);
         assert!(s.is_up(SimTime::from_secs(99.0)));
         assert!(!s.is_up(SimTime::from_secs(1e12)));
+        assert!(!s.is_up(SimTime::from_secs(f64::MAX)));
+    }
+
+    #[test]
+    fn permanent_outage_uses_infinity_sentinel() {
+        let s = OutageSchedule::always_up().with_permanent_outage(100.0);
+        // Onset is a transition; the open end is not.
+        assert_eq!(
+            s.next_transition(SimTime::EPOCH),
+            Some(SimTime::from_secs(100.0))
+        );
+        assert_eq!(s.next_transition(SimTime::from_secs(100.0)), None);
+        // A finite window ending at f64::MAX (no longer a magic value) still
+        // transitions; only the true sentinel is open-ended.
+        let fin = OutageSchedule::always_up().with_outage(0.0, f64::MAX);
+        assert_eq!(
+            fin.next_transition(SimTime::EPOCH),
+            Some(SimTime::from_secs(f64::MAX))
+        );
+    }
+
+    #[test]
+    fn permanent_outage_onset_boundary() {
+        let s = OutageSchedule::always_up().with_permanent_outage(50.0);
+        assert!(s.is_up(SimTime::from_secs(49.999_999)));
+        assert!(!s.is_up(SimTime::from_secs(50.0)));
     }
 
     #[test]

@@ -64,6 +64,16 @@ pub mod ops {
     pub const SESSION_FINALIZE: &str = "session_finalize";
     /// A dataset declared and placed (session layer instant).
     pub const DATASET_OPEN: &str = "dataset_open";
+    /// A retried native call (runtime layer counter).
+    pub const RETRY: &str = "retry";
+    /// A backoff sleep charged to the timeline before a retry (runtime
+    /// layer span).
+    pub const BACKOFF: &str = "backoff";
+    /// A circuit-breaker state change (core layer instant).
+    pub const BREAKER: &str = "breaker";
+    /// A read served stale from the staging cache because the
+    /// authoritative resource is open-circuit (session layer instant).
+    pub const DEGRADED_READ: &str = "degraded_read";
 }
 
 #[cfg(test)]

@@ -22,12 +22,13 @@
 
 use crate::error::RuntimeError;
 use crate::layout::Distribution;
+use crate::retry::RetryPolicy;
 use crate::strategy::{ExchangeModel, IoStrategy};
 use crate::RuntimeResult;
 use bytes::Bytes;
-use msr_obs::{Layer, Recorder};
+use msr_obs::{ops, Layer, Recorder};
 use msr_sim::{Clock, SimDuration, Timeline};
-use msr_storage::{OpenMode, ResourceStats, SharedResource, StorageError, StorageResource};
+use msr_storage::{Cost, OpenMode, ResourceStats, SharedResource, StorageError, StorageResource};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -102,6 +103,13 @@ pub struct IoReport {
     pub elapsed: SimDuration,
     /// Sum of per-process busy time.
     pub total_work: SimDuration,
+    /// Native calls that were retried after a transient fault.
+    pub retries: usize,
+    /// Total backoff time charged to the timelines for those retries.
+    pub backoff: SimDuration,
+    /// True when the data was served from a staging copy instead of the
+    /// authoritative resource (degraded read) and may lag the latest dump.
+    pub stale: bool,
 }
 
 impl IoReport {
@@ -113,6 +121,9 @@ impl IoReport {
         self.bytes += other.bytes;
         self.elapsed += other.elapsed;
         self.total_work += other.total_work;
+        self.retries += other.retries;
+        self.backoff += other.backoff;
+        self.stale |= other.stale;
     }
 }
 
@@ -123,6 +134,7 @@ pub struct IoEngine {
     pub exchange: ExchangeModel,
     recorder: Recorder,
     clock: Clock,
+    retry: RetryPolicy,
 }
 
 impl Default for IoEngine {
@@ -131,6 +143,26 @@ impl Default for IoEngine {
             exchange: ExchangeModel::sp2(),
             recorder: Recorder::disabled(),
             clock: Clock::new(),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Per-operation mutable context threaded through the strategy
+/// interpreters: the per-process timeline plus the retry accounting that
+/// ends up in the [`IoReport`].
+struct OpCx {
+    tl: Timeline,
+    retries: usize,
+    backoff: SimDuration,
+}
+
+impl OpCx {
+    fn new(nprocs: usize) -> Self {
+        OpCx {
+            tl: Timeline::new(nprocs),
+            retries: 0,
+            backoff: SimDuration::ZERO,
         }
     }
 }
@@ -173,6 +205,55 @@ impl IoEngine {
             exchange,
             recorder: Recorder::disabled(),
             clock: Clock::new(),
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// Replace the retry policy applied around native calls.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The retry policy currently in force.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
+    /// Issue one native call under the retry policy. Transient failures
+    /// back off on process `p`'s timeline (the sleep is real virtual time)
+    /// and re-issue the call, up to the policy's budget; anything else —
+    /// or a transient that outlives the budget — propagates. Each retry
+    /// emits a runtime-layer `retry` count and a `backoff` span.
+    fn retried<T>(
+        &self,
+        cx: &mut OpCx,
+        p: usize,
+        r: &mut dyn StorageResource,
+        call: impl Fn(&mut dyn StorageResource) -> Result<Cost<T>, StorageError>,
+    ) -> RuntimeResult<Cost<T>> {
+        let mut attempt = 0u32;
+        loop {
+            match call(r) {
+                Ok(cost) => return Ok(cost),
+                Err(e) if e.is_transient() && attempt < self.retry.max_retries => {
+                    // Label by the op's running retry count so consecutive
+                    // backoffs jitter independently yet replay exactly.
+                    let label = format!("{}:{}", r.name(), cx.retries);
+                    let delay = self.retry.backoff(attempt, &label);
+                    cx.tl.charge(p, delay);
+                    cx.retries += 1;
+                    cx.backoff += delay;
+                    if self.recorder.enabled() {
+                        let now = self.clock.now();
+                        self.recorder
+                            .count(Layer::Runtime, r.name(), ops::RETRY, now, 1.0);
+                        self.recorder
+                            .span(Layer::Runtime, r.name(), ops::BACKOFF, now, delay, 0);
+                    }
+                    attempt += 1;
+                }
+                Err(e) => return Err(RuntimeError::Storage(e)),
+            }
         }
     }
 
@@ -219,20 +300,20 @@ impl IoEngine {
         }
         let mut r = res.lock();
         let delta = StatsDelta::start(&*r);
-        let mut tl = Timeline::new(dist.nprocs());
+        let mut cx = OpCx::new(dist.nprocs());
 
         let result = match strategy {
-            IoStrategy::Naive => self.write_naive(&mut *r, path, data, dist, mode, &mut tl),
-            IoStrategy::DataSieving => self.write_sieving(&mut *r, path, data, dist, mode, &mut tl),
+            IoStrategy::Naive => self.write_naive(&mut *r, path, data, dist, mode, &mut cx),
+            IoStrategy::DataSieving => self.write_sieving(&mut *r, path, data, dist, mode, &mut cx),
             IoStrategy::Collective => {
-                self.write_collective(&mut *r, path, data, dist, mode, &mut tl)
+                self.write_collective(&mut *r, path, data, dist, mode, &mut cx)
             }
-            IoStrategy::Subfile => self.write_subfile(&mut *r, path, data, dist, mode, &mut tl),
+            IoStrategy::Subfile => self.write_subfile(&mut *r, path, data, dist, mode, &mut cx),
         };
         r.set_stream_hint(1);
         result?;
 
-        tl.barrier();
+        cx.tl.barrier();
         let (nr, nw, no) = delta.finish(&*r);
         let report = IoReport {
             strategy,
@@ -241,8 +322,11 @@ impl IoEngine {
             native_writes: nw,
             native_opens: no,
             bytes: dist.total_bytes(),
-            elapsed: tl.makespan(),
-            total_work: tl.total_work(),
+            elapsed: cx.tl.makespan(),
+            total_work: cx.tl.total_work(),
+            retries: cx.retries,
+            backoff: cx.backoff,
+            stale: false,
         };
         self.record_strategy(r.name(), "write", &report);
         Ok(report)
@@ -260,18 +344,18 @@ impl IoEngine {
         let mut out = vec![0u8; dist.total_bytes() as usize];
         let mut r = res.lock();
         let delta = StatsDelta::start(&*r);
-        let mut tl = Timeline::new(dist.nprocs());
+        let mut cx = OpCx::new(dist.nprocs());
 
         let result = match strategy {
-            IoStrategy::Naive => self.read_naive(&mut *r, path, &mut out, dist, &mut tl),
-            IoStrategy::DataSieving => self.read_sieving(&mut *r, path, &mut out, dist, &mut tl),
-            IoStrategy::Collective => self.read_collective(&mut *r, path, &mut out, dist, &mut tl),
-            IoStrategy::Subfile => self.read_subfile(&mut *r, path, &mut out, dist, &mut tl),
+            IoStrategy::Naive => self.read_naive(&mut *r, path, &mut out, dist, &mut cx),
+            IoStrategy::DataSieving => self.read_sieving(&mut *r, path, &mut out, dist, &mut cx),
+            IoStrategy::Collective => self.read_collective(&mut *r, path, &mut out, dist, &mut cx),
+            IoStrategy::Subfile => self.read_subfile(&mut *r, path, &mut out, dist, &mut cx),
         };
         r.set_stream_hint(1);
         result?;
 
-        tl.barrier();
+        cx.tl.barrier();
         let (nr, nw, no) = delta.finish(&*r);
         let report = IoReport {
             strategy,
@@ -280,8 +364,11 @@ impl IoEngine {
             native_writes: nw,
             native_opens: no,
             bytes: dist.total_bytes(),
-            elapsed: tl.makespan(),
-            total_work: tl.total_work(),
+            elapsed: cx.tl.makespan(),
+            total_work: cx.tl.total_work(),
+            retries: cx.retries,
+            backoff: cx.backoff,
+            stale: false,
         };
         self.record_strategy(r.name(), "read", &report);
         Ok((out, report))
@@ -296,19 +383,22 @@ impl IoEngine {
         data: &[u8],
         dist: &Distribution,
         mode: OpenMode,
-        tl: &mut Timeline,
+        cx: &mut OpCx,
     ) -> RuntimeResult<()> {
         r.set_stream_hint(dist.nprocs() as u32);
         for p in 0..dist.nprocs() {
-            let open = r.open(path, proc_mode(mode, p == 0))?;
-            tl.charge(p, open.time);
+            let open = self.retried(cx, p, r, |r| r.open(path, proc_mode(mode, p == 0)))?;
+            cx.tl.charge(p, open.time);
             let h = open.value;
             for chunk in dist.chunks_for(p) {
-                tl.charge(p, r.seek(h, chunk.offset)?.time);
+                let seek = self.retried(cx, p, r, |r| r.seek(h, chunk.offset))?;
+                cx.tl.charge(p, seek.time);
                 let slice = &data[chunk.offset as usize..chunk.end() as usize];
-                tl.charge(p, r.write(h, slice)?.time);
+                let write = self.retried(cx, p, r, |r| r.write(h, slice))?;
+                cx.tl.charge(p, write.time);
             }
-            tl.charge(p, r.close(h)?.time);
+            let close = self.retried(cx, p, r, |r| r.close(h))?;
+            cx.tl.charge(p, close.time);
         }
         Ok(())
     }
@@ -320,7 +410,7 @@ impl IoEngine {
         data: &[u8],
         dist: &Distribution,
         mode: OpenMode,
-        tl: &mut Timeline,
+        cx: &mut OpCx,
     ) -> RuntimeResult<()> {
         r.set_stream_hint(dist.nprocs() as u32);
         // NOTE: consecutive processes' extents may overlap, so the per-proc
@@ -336,13 +426,15 @@ impl IoEngine {
             let mut buf = vec![0u8; extent.len as usize];
             let file_exists = r.exists(path);
             if file_exists && !(p == 0 && mode == OpenMode::Create) {
-                let open = r.open(path, OpenMode::Read)?;
-                tl.charge(p, open.time);
-                tl.charge(p, r.seek(open.value, extent.offset)?.time);
-                let read = r.read(open.value, extent.len as usize)?;
-                tl.charge(p, read.time);
+                let open = self.retried(cx, p, r, |r| r.open(path, OpenMode::Read))?;
+                cx.tl.charge(p, open.time);
+                let seek = self.retried(cx, p, r, |r| r.seek(open.value, extent.offset))?;
+                cx.tl.charge(p, seek.time);
+                let read = self.retried(cx, p, r, |r| r.read(open.value, extent.len as usize))?;
+                cx.tl.charge(p, read.time);
                 parallel_copy(&mut buf, &read.value);
-                tl.charge(p, r.close(open.value)?.time);
+                let close = self.retried(cx, p, r, |r| r.close(open.value))?;
+                cx.tl.charge(p, close.time);
             }
             // This proc's runs are disjoint windows of its extent, so the
             // overlay copies are independent.
@@ -360,12 +452,15 @@ impl IoEngine {
             scatter_windows(&mut buf, ops, |window, src_off| {
                 window.copy_from_slice(&data[src_off..src_off + window.len()]);
             });
-            tl.charge(p, memcpy_cost(dist.bytes_for(p)));
-            let open = r.open(path, proc_mode(mode, p == 0))?;
-            tl.charge(p, open.time);
-            tl.charge(p, r.seek(open.value, extent.offset)?.time);
-            tl.charge(p, r.write(open.value, &buf)?.time);
-            tl.charge(p, r.close(open.value)?.time);
+            cx.tl.charge(p, memcpy_cost(dist.bytes_for(p)));
+            let open = self.retried(cx, p, r, |r| r.open(path, proc_mode(mode, p == 0)))?;
+            cx.tl.charge(p, open.time);
+            let seek = self.retried(cx, p, r, |r| r.seek(open.value, extent.offset))?;
+            cx.tl.charge(p, seek.time);
+            let write = self.retried(cx, p, r, |r| r.write(open.value, &buf))?;
+            cx.tl.charge(p, write.time);
+            let close = self.retried(cx, p, r, |r| r.close(open.value))?;
+            cx.tl.charge(p, close.time);
         }
         Ok(())
     }
@@ -377,20 +472,22 @@ impl IoEngine {
         data: &[u8],
         dist: &Distribution,
         mode: OpenMode,
-        tl: &mut Timeline,
+        cx: &mut OpCx,
     ) -> RuntimeResult<()> {
         // Phase 1: redistribute so rank 0 holds the file-contiguous image.
         let shuffle = self
             .exchange
             .shuffle_cost(dist.total_bytes(), dist.nprocs());
-        tl.charge_all(shuffle);
-        tl.barrier();
+        cx.tl.charge_all(shuffle);
+        cx.tl.barrier();
         // Phase 2: one aggregated native call.
         r.set_stream_hint(1);
-        let open = r.open(path, mode)?;
-        tl.charge(0, open.time);
-        tl.charge(0, r.write(open.value, data)?.time);
-        tl.charge(0, r.close(open.value)?.time);
+        let open = self.retried(cx, 0, r, |r| r.open(path, mode))?;
+        cx.tl.charge(0, open.time);
+        let write = self.retried(cx, 0, r, |r| r.write(open.value, data))?;
+        cx.tl.charge(0, write.time);
+        let close = self.retried(cx, 0, r, |r| r.close(open.value))?;
+        cx.tl.charge(0, close.time);
         Ok(())
     }
 
@@ -401,7 +498,7 @@ impl IoEngine {
         data: &[u8],
         dist: &Distribution,
         mode: OpenMode,
-        tl: &mut Timeline,
+        cx: &mut OpCx,
     ) -> RuntimeResult<()> {
         r.set_stream_hint(dist.nprocs() as u32);
         // Phase 1 (parallel): gather every process's block into a packed
@@ -420,14 +517,16 @@ impl IoEngine {
         // Phase 2 (sequential): native calls and charges in rank order,
         // exactly as the sequential engine issued them.
         for (p, buf) in bufs.iter().enumerate() {
-            tl.charge(p, memcpy_cost(buf.len() as u64));
+            cx.tl.charge(p, memcpy_cost(buf.len() as u64));
             let sub = subfile_path(path, p);
             // Each process owns its subfile outright, so Create never
             // tramples another rank's data.
-            let open = r.open(&sub, mode)?;
-            tl.charge(p, open.time);
-            tl.charge(p, r.write(open.value, buf)?.time);
-            tl.charge(p, r.close(open.value)?.time);
+            let open = self.retried(cx, p, r, |r| r.open(&sub, mode))?;
+            cx.tl.charge(p, open.time);
+            let write = self.retried(cx, p, r, |r| r.write(open.value, buf))?;
+            cx.tl.charge(p, write.time);
+            let close = self.retried(cx, p, r, |r| r.close(open.value))?;
+            cx.tl.charge(p, close.time);
         }
         Ok(())
     }
@@ -440,23 +539,25 @@ impl IoEngine {
         path: &str,
         out: &mut [u8],
         dist: &Distribution,
-        tl: &mut Timeline,
+        cx: &mut OpCx,
     ) -> RuntimeResult<()> {
         r.set_stream_hint(dist.nprocs() as u32);
         // Phase 1 (sequential): every native call and timeline charge, in
         // the exact order of the sequential engine; copies are deferred.
         let mut ops: Vec<(usize, usize, Bytes)> = Vec::new();
         for p in 0..dist.nprocs() {
-            let open = r.open(path, OpenMode::Read)?;
-            tl.charge(p, open.time);
+            let open = self.retried(cx, p, r, |r| r.open(path, OpenMode::Read))?;
+            cx.tl.charge(p, open.time);
             let h = open.value;
             for chunk in dist.chunks_for(p) {
-                tl.charge(p, r.seek(h, chunk.offset)?.time);
-                let read = r.read(h, chunk.len as usize)?;
-                tl.charge(p, read.time);
+                let seek = self.retried(cx, p, r, |r| r.seek(h, chunk.offset))?;
+                cx.tl.charge(p, seek.time);
+                let read = self.retried(cx, p, r, |r| r.read(h, chunk.len as usize))?;
+                cx.tl.charge(p, read.time);
                 ops.push((chunk.offset as usize, read.value.len(), read.value));
             }
-            tl.charge(p, r.close(h)?.time);
+            let close = self.retried(cx, p, r, |r| r.close(h))?;
+            cx.tl.charge(p, close.time);
         }
         // Phase 2 (parallel): scatter every run into the global buffer.
         scatter_windows(out, ops, |window, src| window.copy_from_slice(&src));
@@ -469,7 +570,7 @@ impl IoEngine {
         path: &str,
         out: &mut [u8],
         dist: &Distribution,
-        tl: &mut Timeline,
+        cx: &mut OpCx,
     ) -> RuntimeResult<()> {
         r.set_stream_hint(dist.nprocs() as u32);
         // Phase 1 (sequential): one covering-extent read per process;
@@ -479,11 +580,12 @@ impl IoEngine {
             let Some(extent) = dist.extent_for(p) else {
                 continue;
             };
-            let open = r.open(path, OpenMode::Read)?;
-            tl.charge(p, open.time);
-            tl.charge(p, r.seek(open.value, extent.offset)?.time);
-            let read = r.read(open.value, extent.len as usize)?;
-            tl.charge(p, read.time);
+            let open = self.retried(cx, p, r, |r| r.open(path, OpenMode::Read))?;
+            cx.tl.charge(p, open.time);
+            let seek = self.retried(cx, p, r, |r| r.seek(open.value, extent.offset))?;
+            cx.tl.charge(p, seek.time);
+            let read = self.retried(cx, p, r, |r| r.read(open.value, extent.len as usize))?;
+            cx.tl.charge(p, read.time);
             for chunk in dist.chunks_for(p) {
                 let src = (chunk.offset - extent.offset) as usize;
                 let end = (src + chunk.len as usize).min(read.value.len());
@@ -491,8 +593,9 @@ impl IoEngine {
                     ops.push((chunk.offset as usize, end - src, read.value.slice(src..end)));
                 }
             }
-            tl.charge(p, memcpy_cost(dist.bytes_for(p)));
-            tl.charge(p, r.close(open.value)?.time);
+            cx.tl.charge(p, memcpy_cost(dist.bytes_for(p)));
+            let close = self.retried(cx, p, r, |r| r.close(open.value))?;
+            cx.tl.charge(p, close.time);
         }
         // Phase 2 (parallel): sieve-extract every chunk into place.
         scatter_windows(out, ops, |window, src| window.copy_from_slice(&src));
@@ -505,21 +608,22 @@ impl IoEngine {
         path: &str,
         out: &mut [u8],
         dist: &Distribution,
-        tl: &mut Timeline,
+        cx: &mut OpCx,
     ) -> RuntimeResult<()> {
         r.set_stream_hint(1);
-        let open = r.open(path, OpenMode::Read)?;
-        tl.charge(0, open.time);
-        let read = r.read(open.value, out.len())?;
-        tl.charge(0, read.time);
+        let open = self.retried(cx, 0, r, |r| r.open(path, OpenMode::Read))?;
+        cx.tl.charge(0, open.time);
+        let read = self.retried(cx, 0, r, |r| r.read(open.value, out.len()))?;
+        cx.tl.charge(0, read.time);
         parallel_copy(out, &read.value);
-        tl.charge(0, r.close(open.value)?.time);
-        tl.barrier();
+        let close = self.retried(cx, 0, r, |r| r.close(open.value))?;
+        cx.tl.charge(0, close.time);
+        cx.tl.barrier();
         // Phase 2: scatter to owners over the interconnect.
         let shuffle = self
             .exchange
             .shuffle_cost(dist.total_bytes(), dist.nprocs());
-        tl.charge_all(shuffle);
+        cx.tl.charge_all(shuffle);
         Ok(())
     }
 
@@ -529,7 +633,7 @@ impl IoEngine {
         path: &str,
         out: &mut [u8],
         dist: &Distribution,
-        tl: &mut Timeline,
+        cx: &mut OpCx,
     ) -> RuntimeResult<()> {
         r.set_stream_hint(dist.nprocs() as u32);
         // Phase 1 (sequential): read each packed subfile; the unpack of
@@ -537,18 +641,20 @@ impl IoEngine {
         let mut ops: Vec<(usize, usize, Bytes)> = Vec::new();
         for p in 0..dist.nprocs() {
             let sub = subfile_path(path, p);
-            let open = r.open(&sub, OpenMode::Read)?;
-            tl.charge(p, open.time);
-            let read = r.read(open.value, dist.bytes_for(p) as usize)?;
-            tl.charge(p, read.time);
+            let open = self.retried(cx, p, r, |r| r.open(&sub, OpenMode::Read))?;
+            cx.tl.charge(p, open.time);
+            let read =
+                self.retried(cx, p, r, |r| r.read(open.value, dist.bytes_for(p) as usize))?;
+            cx.tl.charge(p, read.time);
             let mut src = 0usize;
             for chunk in dist.chunks_for(p) {
                 let n = chunk.len as usize;
                 ops.push((chunk.offset as usize, n, read.value.slice(src..src + n)));
                 src += n;
             }
-            tl.charge(p, memcpy_cost(dist.bytes_for(p)));
-            tl.charge(p, r.close(open.value)?.time);
+            cx.tl.charge(p, memcpy_cost(dist.bytes_for(p)));
+            let close = self.retried(cx, p, r, |r| r.close(open.value))?;
+            cx.tl.charge(p, close.time);
         }
         // Phase 2 (parallel): unpack all blocks back into global order.
         scatter_windows(out, ops, |window, src| window.copy_from_slice(&src));
@@ -838,5 +944,120 @@ mod tests {
         assert!(IoEngine::default()
             .read(&res, "ghost", &dist, IoStrategy::Collective)
             .is_err());
+    }
+
+    mod retry {
+        use super::*;
+        use crate::retry::RetryPolicy;
+        use msr_sim::Clock;
+        use msr_storage::{FaultInjector, FaultPlan};
+
+        fn faulty(plan: FaultPlan) -> (SharedResource, msr_storage::FaultLog) {
+            FaultInjector::wrap(disk(), plan, Clock::new(), 11)
+        }
+
+        #[test]
+        fn transient_burst_within_budget_succeeds_and_charges_backoff() {
+            let dist = dist8(16);
+            let data = payload(dist.total_bytes());
+            // 2 deterministic failures on the first native call, budget 3.
+            let (res, log) = faulty(FaultPlan::none().with_error_burst(2));
+            let engine = IoEngine::default();
+            let rep = engine
+                .write(
+                    &res,
+                    "d",
+                    &data,
+                    &dist,
+                    IoStrategy::Collective,
+                    OpenMode::Create,
+                )
+                .unwrap();
+            assert_eq!(rep.retries, 2);
+            assert!(rep.backoff > SimDuration::ZERO);
+            assert_eq!(log.errors_injected(), 2, "log reconciles with report");
+            let (back, rrep) = engine
+                .read(&res, "d", &dist, IoStrategy::Collective)
+                .unwrap();
+            assert_eq!(back, data, "data bitwise intact despite faults");
+            assert_eq!(rrep.retries, 0);
+        }
+
+        #[test]
+        fn torn_write_is_retried_to_a_clean_roundtrip() {
+            let dist = dist8(16);
+            let data = payload(dist.total_bytes());
+            // Keep p low enough that no single call plausibly tears 4
+            // times in a row (p^4 per call would exhaust the budget).
+            let (res, log) = faulty(FaultPlan::none().with_torn_prob(0.05));
+            let engine = IoEngine::default();
+            let rep = engine
+                .write(&res, "d", &data, &dist, IoStrategy::Naive, OpenMode::Create)
+                .unwrap();
+            let injected_during_write = log.errors_injected();
+            let (back, _) = engine.read(&res, "d", &dist, IoStrategy::Naive).unwrap();
+            assert_eq!(back, data, "torn transfers never corrupt");
+            assert_eq!(
+                rep.retries, injected_during_write,
+                "every injected error was retried"
+            );
+            assert!(rep.retries > 0, "p=0.05 over ~270 calls must tear");
+        }
+
+        #[test]
+        fn budget_exhaustion_propagates_a_typed_error() {
+            let dist = dist8(16);
+            let data = payload(dist.total_bytes());
+            let (res, _log) = faulty(FaultPlan::none().with_error_prob(1.0));
+            let err = IoEngine::default()
+                .write(&res, "d", &data, &dist, IoStrategy::Naive, OpenMode::Create)
+                .unwrap_err();
+            assert!(matches!(
+                err,
+                RuntimeError::Storage(StorageError::Transient { .. })
+            ));
+        }
+
+        #[test]
+        fn retry_none_disables_retrying() {
+            let dist = dist8(16);
+            let data = payload(dist.total_bytes());
+            let (res, log) = faulty(FaultPlan::none().with_error_burst(1));
+            let mut engine = IoEngine::default();
+            engine.set_retry_policy(RetryPolicy::none());
+            let err = engine
+                .write(&res, "d", &data, &dist, IoStrategy::Naive, OpenMode::Create)
+                .unwrap_err();
+            assert!(matches!(
+                err,
+                RuntimeError::Storage(StorageError::Transient { .. })
+            ));
+            assert_eq!(log.errors_injected(), 1);
+        }
+
+        #[test]
+        fn retried_run_is_deterministic() {
+            let dist = dist8(16);
+            let data = payload(dist.total_bytes());
+            let run = || {
+                let (res, _) = faulty(
+                    FaultPlan::none()
+                        .with_error_prob(0.1)
+                        .with_torn_prob(0.1)
+                        .with_spikes(0.2, 4.0),
+                );
+                IoEngine::default()
+                    .write(
+                        &res,
+                        "d",
+                        &data,
+                        &dist,
+                        IoStrategy::DataSieving,
+                        OpenMode::Create,
+                    )
+                    .unwrap()
+            };
+            assert_eq!(run(), run(), "same seed, bitwise-identical report");
+        }
     }
 }

@@ -153,14 +153,30 @@ impl SimTime {
     /// Simulation start.
     pub const EPOCH: SimTime = SimTime(0.0);
 
-    /// Instant at `secs` seconds after the epoch.
+    /// The sentinel instant "never": later than every finite instant. Used
+    /// for open-ended outage windows and other unbounded deadlines.
+    pub const INFINITY: SimTime = SimTime(f64::INFINITY);
+
+    /// Instant at `secs` seconds after the epoch. `+inf` maps to
+    /// [`SimTime::INFINITY`]; NaN and negative values clamp to the epoch.
     pub fn from_secs(secs: f64) -> Self {
-        SimTime(if secs.is_finite() { secs.max(0.0) } else { 0.0 })
+        if secs == f64::INFINITY {
+            SimTime::INFINITY
+        } else if secs.is_finite() {
+            SimTime(secs.max(0.0))
+        } else {
+            SimTime(0.0)
+        }
     }
 
     /// Seconds since epoch.
     pub fn as_secs(self) -> f64 {
         self.0
+    }
+
+    /// False only for the [`SimTime::INFINITY`] sentinel.
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
     }
 
     /// Duration elapsed since `earlier` (zero if `earlier` is in the future).
@@ -247,6 +263,18 @@ mod tests {
         assert_eq!(format!("{}", SimDuration::from_secs(2.0)), "2.00s");
         assert_eq!(format!("{}", SimDuration::from_secs(0.002)), "2.00ms");
         assert_eq!(format!("{}", SimDuration::from_secs(0.000002)), "2.00us");
+    }
+
+    #[test]
+    fn infinity_sentinel_orders_after_everything() {
+        assert!(!SimTime::INFINITY.is_finite());
+        assert!(SimTime::from_secs(1e300).is_finite());
+        assert!(SimTime::from_secs(1e300) < SimTime::INFINITY);
+        assert_eq!(SimTime::from_secs(f64::INFINITY), SimTime::INFINITY);
+        // NaN and -inf still clamp to the epoch.
+        assert_eq!(SimTime::from_secs(f64::NAN), SimTime::EPOCH);
+        assert_eq!(SimTime::from_secs(f64::NEG_INFINITY), SimTime::EPOCH);
+        assert_eq!(SimTime::INFINITY.max(SimTime::EPOCH), SimTime::INFINITY);
     }
 
     #[test]

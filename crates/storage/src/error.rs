@@ -33,6 +33,23 @@ pub enum StorageError {
     NotConnected,
     /// The network path to a remote resource failed.
     Network(msr_net::NetError),
+    /// A transient fault: the call failed but an immediate retry may
+    /// succeed (SRB hiccup, WAN packet loss, torn transfer). Produced by
+    /// the fault-injection layer; the retry policy treats only this class
+    /// as retryable.
+    Transient {
+        /// Resource name for diagnostics.
+        resource: String,
+        /// The native call that faulted.
+        op: &'static str,
+    },
+}
+
+impl StorageError {
+    /// Whether an immediate retry of the same call may succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StorageError::Transient { .. })
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -56,6 +73,9 @@ impl fmt::Display for StorageError {
             }
             StorageError::NotConnected => write!(f, "resource not connected"),
             StorageError::Network(e) => write!(f, "network failure: {e}"),
+            StorageError::Transient { resource, op } => {
+                write!(f, "transient fault on {resource} during {op}")
+            }
         }
     }
 }

@@ -1,7 +1,16 @@
-//! The §5 reliability example: "suppose that the remote tape system is
-//! down for maintenance … the user does not have to stop her experiments."
-//! The tape goes down mid-run; checkpoints transparently fail over to the
-//! remote disks and the catalog records the new location.
+//! The §5 reliability example, extended with the resilience subsystem:
+//! "suppose that the remote tape system is down for maintenance … the
+//! user does not have to stop her experiments."
+//!
+//! Phase 1 — *transient* faults: an injected SRB hiccup fails the first
+//! few native calls. The engine's retry policy absorbs them with backoff
+//! charged to the virtual timeline; no failover happens and the dataset
+//! stays on tape.
+//!
+//! Phase 2 — *hard* outage: HPSS enters a maintenance window mid-run.
+//! Retrying cannot help an offline resource, so checkpoints transparently
+//! fail over to the remote disks and the catalog records the new
+//! location.
 //!
 //! ```text
 //! cargo run --release --example failover
@@ -10,7 +19,15 @@
 use msr::prelude::*;
 
 fn main() -> CoreResult<()> {
-    let sys = MsrSystem::testbed(23);
+    let mut sys = MsrSystem::testbed(23);
+    // An SRB hiccup: the first two native calls on tape fail transiently,
+    // then the fault clears — exactly the shape a retry budget absorbs.
+    let fault_log = sys
+        .inject_faults(
+            StorageKind::RemoteTape,
+            FaultPlan::none().with_error_burst(2),
+        )
+        .expect("tape is registered");
     let grid = ProcGrid::new(2, 2, 2);
     let mut session = sys.init_session("astro3d", "demo", 48, grid)?;
 
@@ -32,15 +49,29 @@ fn main() -> CoreResult<()> {
             sys.set_resource_online(StorageKind::RemoteTape, true);
         }
         if let Some(report) = session.write_iteration(h, iter, &payload)? {
+            let resilience = if report.retries > 0 {
+                format!(" ({} retries, {} backoff)", report.retries, report.backoff)
+            } else {
+                String::new()
+            };
             println!(
-                "iter {iter:>2}: checkpoint written in {:>9}",
+                "iter {iter:>2}: checkpoint written in {:>9}{resilience}",
                 report.elapsed
             );
         }
     }
 
     let report = session.finalize()?;
-    println!("\nplacement history:");
+    println!(
+        "\ninjected transient faults: {} — all absorbed below the session",
+        fault_log.errors_injected()
+    );
+    println!(
+        "tape breaker state: {:?}",
+        sys.health.state(StorageKind::RemoteTape)
+    );
+
+    println!("\nplacement history (transient faults do not appear here):");
     for e in &report.events {
         println!(
             "  iter {:>2}: {} -> {}  ({})",
@@ -50,6 +81,12 @@ fn main() -> CoreResult<()> {
             e.reason
         );
     }
+
+    println!("\nvirtual-time trace of the failover path:");
+    for ev in sys.trace.events_in("failover") {
+        println!("  [{}] {}", ev.at, ev.message);
+    }
+
     println!("\nfinal location: {:?}", report.datasets[0].location);
     println!(
         "run never stopped: {} checkpoints written",

@@ -33,13 +33,14 @@ pub use msr_storage as storage;
 pub mod prelude {
     pub use msr_apps::{Astro3d, Astro3dConfig, PlacementPlan, StepMode};
     pub use msr_core::{
-        CoreError, CoreResult, DatasetSpec, FutureUse, LocationHint, MsrSystem, PlacementPolicy,
-        RunReport, Session,
+        classify, BreakerState, CoreError, CoreResult, DatasetSpec, ErrorClass, FutureUse,
+        HealthCounters, HealthTracker, LocationHint, MsrSystem, PlacementPolicy, RunReport,
+        Session,
     };
     pub use msr_meta::{AccessMode, ElementType};
     pub use msr_obs::{MetricsSnapshot, Recorder, Registry};
     pub use msr_predict::{PTool, PerfDbFeeder, Predictor};
-    pub use msr_runtime::{Dims3, IoStrategy, Pattern, ProcGrid, Superfile};
+    pub use msr_runtime::{Dims3, IoStrategy, Pattern, ProcGrid, RetryPolicy, Superfile};
     pub use msr_sim::SimDuration;
-    pub use msr_storage::{OpKind, StorageKind};
+    pub use msr_storage::{FaultKind, FaultLog, FaultPlan, OpKind, StorageKind};
 }

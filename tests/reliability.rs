@@ -168,6 +168,120 @@ fn the_trace_records_placements_failovers_and_staging() {
     assert!(rendered.contains("failover") && rendered.contains("staging"));
 }
 
+/// A remote-disk outage in the middle of the run's *read* phase: writes
+/// landed, then the WAN partitions while the application reads back. The
+/// session serves its staging copy, flagged stale, and recovers to fresh
+/// reads when the link returns.
+#[test]
+fn remote_disk_outage_midread_serves_stale_then_recovers() {
+    let sys = MsrSystem::testbed(209);
+    let mut s = sys
+        .init_session("app", "u", 12, ProcGrid::new(1, 1, 1))
+        .unwrap();
+    let spec = u8_spec("d", LocationHint::RemoteDisk);
+    let h = s.open(spec.clone()).unwrap();
+    s.write_iteration(h, 0, &payload(&spec)).unwrap().unwrap();
+    sys.set_wan_up(false);
+    let (data, rep) = s.read_iteration(h, 0).unwrap();
+    assert_eq!(data, payload(&spec), "stale copy is still bitwise correct");
+    assert!(rep.stale);
+    assert_eq!(rep.native_reads, 0, "no native I/O reached the resource");
+    sys.set_wan_up(true);
+    let (data, rep) = s.read_iteration(h, 0).unwrap();
+    assert_eq!(data, payload(&spec));
+    assert!(!rep.stale, "link is back: reads are authoritative again");
+    assert!(rep.native_reads > 0);
+}
+
+/// A tape outage during `read_iteration` with nothing staged (the dump
+/// was written by an earlier session): the failure is a typed error on
+/// the consumer path, not a panic or garbage data.
+#[test]
+fn tape_outage_midread_without_staged_copy_is_typed() {
+    let sys = MsrSystem::testbed(210);
+    let run = {
+        let mut s = sys
+            .init_session("app", "u", 6, ProcGrid::new(1, 1, 1))
+            .unwrap();
+        let spec = u8_spec("d", LocationHint::RemoteTape);
+        let h = s.open(spec.clone()).unwrap();
+        s.write_iteration(h, 0, &payload(&spec)).unwrap().unwrap();
+        let run = s.run_id();
+        s.finalize().unwrap();
+        run
+    };
+    // Tape drops while the consumer reads the archived dump.
+    sys.set_resource_online(StorageKind::RemoteTape, false);
+    let err = sys
+        .read_dataset(run, "d", 0, ProcGrid::new(1, 1, 1), IoStrategy::Naive)
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            CoreError::Storage(msr::storage::StorageError::Offline { .. })
+                | CoreError::Runtime(msr::runtime::RuntimeError::Storage(
+                    msr::storage::StorageError::Offline { .. }
+                ))
+        ),
+        "expected a typed offline error, got: {err}"
+    );
+    // Back online, the same read succeeds.
+    sys.set_resource_online(StorageKind::RemoteTape, true);
+    let spec = u8_spec("d", LocationHint::RemoteTape);
+    let (data, _) = sys
+        .read_dataset(run, "d", 0, ProcGrid::new(1, 1, 1), IoStrategy::Naive)
+        .unwrap();
+    assert_eq!(data, payload(&spec));
+}
+
+/// Repeated read failures trip the breaker; a later session then avoids
+/// the sick resource at placement time.
+#[test]
+fn read_failures_open_the_breaker_and_steer_placement() {
+    let sys = MsrSystem::testbed(211);
+    let mut s = sys
+        .init_session("app", "u", 12, ProcGrid::new(1, 1, 1))
+        .unwrap();
+    let spec = u8_spec("d", LocationHint::RemoteDisk);
+    let h = s.open(spec.clone()).unwrap();
+    s.write_iteration(h, 0, &payload(&spec)).unwrap().unwrap();
+    sys.set_wan_up(false);
+    for _ in 0..3 {
+        // Served stale while failures accumulate on the breaker.
+        let (_, rep) = s.read_iteration(h, 0).unwrap();
+        assert!(rep.stale);
+    }
+    assert_eq!(
+        sys.health.state(StorageKind::RemoteDisk),
+        BreakerState::Open
+    );
+    s.finalize().unwrap();
+    // WAN heals, but the breaker stays open until its cooldown: the next
+    // session's REMOTEDISK hint routes elsewhere instead of gambling.
+    sys.set_wan_up(true);
+    let mut s2 = sys
+        .init_session("app", "u2", 6, ProcGrid::new(1, 1, 1))
+        .unwrap();
+    let spec2 = u8_spec("d2", LocationHint::RemoteDisk).with_future_use(FutureUse::Visualization);
+    let h2 = s2.open(spec2.clone()).unwrap();
+    s2.write_iteration(h2, 0, &payload(&spec2))
+        .unwrap()
+        .unwrap();
+    let rep = s2.finalize().unwrap();
+    assert_ne!(
+        rep.datasets[0].location,
+        Some(StorageKind::RemoteDisk),
+        "open breaker steers placement away"
+    );
+    // After the cooldown the breaker half-opens and a probe can close it.
+    sys.clock.advance(SimDuration::from_secs(60.0));
+    assert!(sys.health.allows(StorageKind::RemoteDisk));
+    assert_eq!(
+        sys.health.state(StorageKind::RemoteDisk),
+        BreakerState::HalfOpen
+    );
+}
+
 #[test]
 fn outage_schedule_drives_link_state() {
     use msr::net::OutageSchedule;
