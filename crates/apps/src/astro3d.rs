@@ -12,7 +12,7 @@
 use crate::f32s_to_bytes;
 use msr_core::{CoreResult, DatasetHandle, DatasetSpec, FutureUse, LocationHint, Session};
 use msr_meta::{AccessMode, ElementType};
-use msr_runtime::{Dims3, IoStrategy, Pattern, ProcGrid};
+use msr_runtime::{Dims3, IoStrategy, ProcGrid};
 use msr_sim::stream_rng;
 use rand::Rng;
 use rayon::prelude::*;
@@ -480,16 +480,16 @@ impl Astro3d {
     /// from the placement plan.
     pub fn dataset_specs(&self) -> Vec<DatasetSpec> {
         let mut specs = Vec::with_capacity(19);
-        let make = |name: &str, etype, freq, amode, fu: FutureUse| DatasetSpec {
-            name: name.to_owned(),
-            etype,
-            dims: Dims3::cube(self.cfg.n),
-            pattern: Pattern::bbb(),
-            frequency: freq,
-            amode,
-            hint: self.cfg.plan.hint_for(name),
-            future_use: fu,
-            strategy: self.cfg.strategy,
+        let make = |name: &str, etype, freq, amode, fu: FutureUse| {
+            DatasetSpec::builder(name)
+                .element(etype)
+                .dims(Dims3::cube(self.cfg.n))
+                .frequency(freq)
+                .amode(amode)
+                .hint(self.cfg.plan.hint_for(name))
+                .future_use(fu)
+                .strategy(self.cfg.strategy)
+                .build()
         };
         for v in ANALYSIS_VARS {
             specs.push(make(
@@ -700,7 +700,12 @@ mod tests {
         cfg.plan = PlacementPlan::fig9(5);
         let mut sim = Astro3d::new(cfg);
         let mut session = sys
-            .init_session("astro3d", "xshen", sim.cfg.iterations, sim.cfg.grid)
+            .session()
+            .app("astro3d")
+            .user("xshen")
+            .iterations(sim.cfg.iterations)
+            .grid(sim.cfg.grid)
+            .build()
             .unwrap();
         sim.run(&mut session).unwrap();
         let report = session.finalize().unwrap();

@@ -16,6 +16,8 @@
 //!   small files" workload behind the superfile experiment.
 //! * [`image`] — the viewer stand-in: PGM encode/decode and image
 //!   statistics.
+//! * [`multi`] — deterministic multi-client fleets (producer + renderer +
+//!   analyzer mixes) for the msr-sched concurrency experiments.
 //! * [`workload`] — deterministic synthetic volumes for tests and benches.
 //!
 //! Fields are computed with rayon data-parallelism (the compute side of
@@ -24,12 +26,14 @@
 pub mod analysis;
 pub mod astro3d;
 pub mod image;
+pub mod multi;
 pub mod volren;
 pub mod workload;
 
 pub use analysis::{max_square_error, mean_square_error, AnalysisSeries};
 pub use astro3d::{Astro3d, Astro3dConfig, PlacementPlan, StepMode};
 pub use image::Image;
+pub use multi::{client_fleet, run_concurrent, run_sequential, ClientKind};
 pub use volren::{render, RenderMode};
 pub use workload::synthetic_volume;
 

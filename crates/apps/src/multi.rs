@@ -1,0 +1,176 @@
+//! Deterministic multi-client workloads for the scheduler.
+//!
+//! The paper evaluates one application at a time; a shared deployment of
+//! the testbed serves a *mix* — several Astro3D producers dumping while
+//! Volren feeds render and post-processing readers pull dumps back. This
+//! module declares that mix as [`SessionProgram`]s so the scheduler (and
+//! the bench ledger) can admit the same fleet at any concurrency level
+//! and compare against running the identical clients back-to-back through
+//! the plain session API.
+
+use msr_core::{CoreResult, DatasetSpec, FutureUse, MsrSystem};
+use msr_meta::ElementType;
+use msr_sched::{SchedReport, Scheduler, SessionProgram};
+use msr_sim::SimDuration;
+
+/// The client archetypes a shared testbed serves at once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientKind {
+    /// Astro3D-shaped producer: two float analysis variables archived /
+    /// analysed every 6 iterations.
+    Producer,
+    /// Volren-shaped feed: one u8 visualization volume every 3 iterations.
+    Renderer,
+    /// Post-processing reader: dumps a float variable for analysis and
+    /// reads its first dump back at the end of the run.
+    Analyzer,
+}
+
+impl ClientKind {
+    /// Round-robin mix: producer, renderer, analyzer, producer, …
+    pub fn of(index: usize) -> ClientKind {
+        match index % 3 {
+            0 => ClientKind::Producer,
+            1 => ClientKind::Renderer,
+            _ => ClientKind::Analyzer,
+        }
+    }
+
+    /// This client's program. `cube` is the per-dataset array side;
+    /// `iterations` the main-loop length.
+    pub fn program(self, index: usize, cube: u64, iterations: u32) -> SessionProgram {
+        match self {
+            ClientKind::Producer => SessionProgram::new(&format!("astro3d-{index:02}"))
+                .user("sim")
+                .iterations(iterations)
+                .dataset(
+                    DatasetSpec::builder("temp")
+                        .element(ElementType::F32)
+                        .cube(cube)
+                        .frequency(6)
+                        .future_use(FutureUse::Archive)
+                        .build(),
+                )
+                .dataset(
+                    DatasetSpec::builder("pres")
+                        .element(ElementType::F32)
+                        .cube(cube)
+                        .frequency(6)
+                        .future_use(FutureUse::Analysis)
+                        .build(),
+                ),
+            ClientKind::Renderer => SessionProgram::new(&format!("volren-{index:02}"))
+                .user("viz")
+                .iterations(iterations)
+                .dataset(
+                    DatasetSpec::builder("vr_temp")
+                        .element(ElementType::U8)
+                        .cube(cube)
+                        .frequency(3)
+                        .future_use(FutureUse::Visualization)
+                        .build(),
+                ),
+            ClientKind::Analyzer => SessionProgram::new(&format!("mse-{index:02}"))
+                .user("post")
+                .iterations(iterations)
+                .dataset(
+                    DatasetSpec::builder("rho")
+                        .element(ElementType::F32)
+                        .cube(cube)
+                        .frequency(6)
+                        .future_use(FutureUse::Analysis)
+                        .build(),
+                )
+                .readback(true),
+        }
+    }
+}
+
+/// A deterministic fleet of `n` mixed clients.
+pub fn client_fleet(n: usize, cube: u64, iterations: u32) -> Vec<SessionProgram> {
+    (0..n)
+        .map(|i| ClientKind::of(i).program(i, cube, iterations))
+        .collect()
+}
+
+/// Admit every program into one scheduler on `sys` and drain the queues.
+pub fn run_concurrent(sys: &MsrSystem, programs: Vec<SessionProgram>) -> CoreResult<SchedReport> {
+    let mut sched = Scheduler::new(sys);
+    for p in programs {
+        sched.admit(p)?;
+    }
+    sched.run()
+}
+
+/// The baseline the scheduler is measured against: the same clients run
+/// one after another through the plain session API (no queues, no
+/// overlap), returning total virtual time including readbacks.
+pub fn run_sequential(sys: &MsrSystem, programs: &[SessionProgram]) -> CoreResult<SimDuration> {
+    let t0 = sys.clock.now();
+    for p in programs {
+        let mut s = sys
+            .session()
+            .app(&p.app)
+            .user(&p.user)
+            .iterations(p.iterations)
+            .grid(p.grid)
+            .build()?;
+        let handles: Vec<_> = p
+            .datasets
+            .iter()
+            .map(|d| s.open(d.clone()).map(|h| (h, d.clone())))
+            .collect::<CoreResult<_>>()?;
+        for iter in 0..=p.iterations {
+            for (h, d) in &handles {
+                if s.dumps_at(*h, iter) {
+                    let data =
+                        msr_sched::program::payload(0, &d.name, iter, d.snapshot_bytes() as usize);
+                    s.write_iteration(*h, iter, &data)?;
+                }
+            }
+        }
+        if p.readback {
+            for (h, _) in &handles {
+                s.read_iteration(*h, 0)?;
+            }
+        }
+        s.finalize()?;
+    }
+    Ok(sys.clock.now().since(t0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_is_deterministic_and_mixed() {
+        let a = client_fleet(6, 16, 12);
+        let b = client_fleet(6, 16, 12);
+        assert_eq!(a.len(), 6);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.app, y.app);
+            assert_eq!(x.datasets.len(), y.datasets.len());
+        }
+        assert!(a[0].app.starts_with("astro3d"));
+        assert!(a[1].app.starts_with("volren"));
+        assert!(a[2].app.starts_with("mse"));
+        assert!(a[2].readback);
+    }
+
+    #[test]
+    fn concurrent_fleet_beats_sequential_fleet() {
+        let programs = client_fleet(4, 8, 12);
+        let seq_sys = MsrSystem::testbed(5);
+        let sequential = run_sequential(&seq_sys, &programs).unwrap();
+        let sys = MsrSystem::testbed(5);
+        let report = run_concurrent(&sys, programs).unwrap();
+        assert!(report.sessions.iter().all(|s| s.errors.is_empty()));
+        assert!(
+            report.makespan < sequential,
+            "concurrent {} vs sequential {}",
+            report.makespan,
+            sequential
+        );
+    }
+}

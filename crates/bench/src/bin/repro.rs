@@ -1,9 +1,9 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--bench-json] <experiment>...
+//! repro [--quick] [--seed N] [--bench-json] [--sched-json] <experiment>...
 //! experiments: table1 fig6 fig7 fig8 fig9 fig10a fig10b fig10c fig11
-//!              example42 failover ablations all
+//!              example42 failover ablations sched all
 //! ```
 //!
 //! `--quick` runs the Astro3D experiments at 32³/24 iterations instead of
@@ -14,6 +14,10 @@
 //! (`with_threads(1)`) and on the default pool — and writes the wall-clock
 //! ledger to `BENCH_parallel.json` (thread count and host cores included,
 //! so single-core CI runs are self-describing).
+//!
+//! `--sched-json` sweeps the scheduler over 1/4/16 concurrent sessions
+//! (virtual-time makespan vs back-to-back baseline) and writes
+//! `BENCH_sched.json`.
 
 use msr_bench::experiments::Scale;
 use msr_bench::*;
@@ -243,6 +247,49 @@ fn run_ablations(seed: u64) {
     }
 }
 
+fn run_sched(scale: Scale, seed: u64) -> Vec<SchedPoint> {
+    banner("SCHEDULER - concurrent sessions vs back-to-back (virtual time)");
+    let points = sched_throughput(scale, seed, &DEFAULT_LEVELS);
+    println!(
+        "{:>8} | {:>12} {:>12} {:>8} | {:>12} {:>8} {:>10}",
+        "sessions", "seq(s)", "sched(s)", "speedup", "MB/s", "batches", "wait(s)"
+    );
+    for p in &points {
+        println!(
+            "{:>8} | {:>12.2} {:>12.2} {:>7.2}x | {:>12.4} {:>8} {:>10.3}",
+            p.sessions,
+            p.sequential_s,
+            p.scheduled_s,
+            p.speedup,
+            p.throughput_mb_s,
+            p.batches,
+            p.mean_wait_s
+        );
+    }
+    points
+}
+
+#[derive(serde::Serialize)]
+struct SchedLedger {
+    scale: String,
+    seed: u64,
+    points: Vec<SchedPoint>,
+}
+
+/// Sweep the scheduler and write the virtual-time ledger to
+/// `BENCH_sched.json`.
+fn run_sched_json(scale: Scale, seed: u64) {
+    let points = run_sched(scale, seed);
+    let ledger = SchedLedger {
+        scale: format!("{scale:?}"),
+        seed,
+        points,
+    };
+    let out = serde_json::to_string_pretty(&ledger).expect("ledger serializes");
+    std::fs::write("BENCH_sched.json", out).expect("write BENCH_sched.json");
+    println!("\nwrote BENCH_sched.json");
+}
+
 #[derive(serde::Serialize)]
 struct BenchRow {
     name: String,
@@ -347,7 +394,12 @@ fn run_chaos_bench(scale: Scale, seed: u64) {
             sys.disable_resilience();
         }
         let mut s = sys
-            .init_session("chaosbench", "u", iterations, ProcGrid::new(2, 2, 1))
+            .session()
+            .app("chaosbench")
+            .user("u")
+            .iterations(iterations)
+            .grid(ProcGrid::new(2, 2, 1))
+            .build()
             .expect("session");
         let spec = DatasetSpec::astro3d_default("d", ElementType::U8, n)
             .with_hint(LocationHint::RemoteDisk);
@@ -406,6 +458,10 @@ fn main() {
         run_bench_json(scale, seed);
         return;
     }
+    if args.iter().any(|a| a == "--sched-json") {
+        run_sched_json(scale, seed);
+        return;
+    }
     let mut wanted: Vec<&str> = args
         .iter()
         .map(String::as_str)
@@ -425,6 +481,7 @@ fn main() {
             "example42",
             "failover",
             "ablations",
+            "sched",
         ];
     }
     println!(
@@ -445,6 +502,7 @@ fn main() {
             "example42" => run_example42(seed),
             "failover" => run_failover(scale, seed),
             "ablations" => run_ablations(seed),
+            "sched" => drop(run_sched(scale, seed)),
             other => eprintln!("unknown experiment {other:?} (see --help in source)"),
         }
     }

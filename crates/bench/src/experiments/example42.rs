@@ -29,7 +29,12 @@ pub fn example42(seed: u64) -> Example42 {
     let grid = ProcGrid::new(2, 2, 2);
     let iterations = 120;
     let mut session = sys
-        .init_session("astro3d", "xshen", iterations, grid)
+        .session()
+        .app("astro3d")
+        .user("xshen")
+        .iterations(iterations)
+        .grid(grid)
+        .build()
         .expect("session");
     let mut handles = Vec::new();
     for (name, hint) in [

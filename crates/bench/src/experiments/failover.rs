@@ -30,7 +30,12 @@ pub fn failover_demo(scale: Scale, seed: u64) -> FailoverOutcome {
     let grid = ProcGrid::new(2, 2, 2);
     let iterations = 48;
     let mut session = sys
-        .init_session("astro3d", "xshen", iterations, grid)
+        .session()
+        .app("astro3d")
+        .user("xshen")
+        .iterations(iterations)
+        .grid(grid)
+        .build()
         .expect("session");
     let spec = DatasetSpec::astro3d_default("restart_temp", ElementType::F32, n)
         .with_hint(LocationHint::RemoteTape)

@@ -60,7 +60,12 @@ pub fn fig11(scale: Scale, seed: u64) -> Fig11 {
     let (grid, iters) = (cfg.grid, cfg.iterations);
     let sim = Astro3d::new(cfg);
     let mut session = sys
-        .init_session("astro3d", "xshen", iters, grid)
+        .session()
+        .app("astro3d")
+        .user("xshen")
+        .iterations(iters)
+        .grid(grid)
+        .build()
         .expect("session");
     for spec in sim.dataset_specs() {
         session.open(spec).expect("open dataset");

@@ -7,6 +7,7 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig9;
 pub mod figs678;
+pub mod sched;
 pub mod table1;
 
 use msr_apps::{Astro3d, Astro3dConfig, PlacementPlan, StepMode};
@@ -74,7 +75,13 @@ pub fn run_astro3d(
     let grid = cfg.grid;
     let iters = cfg.iterations;
     let mut sim = Astro3d::new(cfg);
-    let mut session: Session<'_> = sys.init_session("astro3d", "xshen", iters, grid)?;
+    let mut session: Session<'_> = sys
+        .session()
+        .app("astro3d")
+        .user("xshen")
+        .iterations(iters)
+        .grid(grid)
+        .build()?;
     let specs = sim.dataset_specs();
     let mut handles = Vec::with_capacity(specs.len());
     for spec in specs {

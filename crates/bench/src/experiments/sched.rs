@@ -1,0 +1,98 @@
+//! Scheduler throughput: concurrent admission vs back-to-back sessions.
+//!
+//! The paper's evaluation is single-client; this experiment measures what
+//! the admission layer buys when the same testbed serves a fleet. At each
+//! concurrency level the identical mixed client fleet (msr-apps
+//! [`msr_apps::multi`]) runs twice on fresh systems: once back-to-back
+//! through the plain session API, once admitted together into the
+//! scheduler. Both numbers are virtual (simulated) time, so the ledger is
+//! host-independent.
+
+use super::Scale;
+use msr_apps::multi::{client_fleet, run_concurrent, run_sequential};
+use msr_core::MsrSystem;
+use serde::Serialize;
+
+/// One concurrency level of the sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct SchedPoint {
+    /// Concurrent sessions admitted.
+    pub sessions: usize,
+    /// Total virtual time running the fleet back-to-back.
+    pub sequential_s: f64,
+    /// Scheduled makespan of the same fleet.
+    pub scheduled_s: f64,
+    /// `sequential / scheduled`.
+    pub speedup: f64,
+    /// Bytes moved by the scheduled run.
+    pub total_bytes: u64,
+    /// Scheduled throughput, MB per second of virtual time.
+    pub throughput_mb_s: f64,
+    /// Dispatcher batches and the largest contiguous batch.
+    pub batches: u64,
+    /// Largest contiguous batch served in one dispatch.
+    pub max_batch: usize,
+    /// Mean time a request waited in queue before service, seconds.
+    pub mean_wait_s: f64,
+}
+
+/// Sweep the scheduler over `levels` concurrent sessions (default
+/// 1/4/16).
+pub fn sched_throughput(scale: Scale, seed: u64, levels: &[usize]) -> Vec<SchedPoint> {
+    let (cube, iterations) = match scale {
+        Scale::Paper => (64, 48),
+        Scale::Quick => (16, 24),
+    };
+    levels
+        .iter()
+        .map(|&n| {
+            let fleet = client_fleet(n, cube, iterations);
+            let seq_sys = MsrSystem::testbed(seed);
+            let sequential = run_sequential(&seq_sys, &fleet).expect("sequential fleet");
+            let sys = MsrSystem::testbed(seed);
+            let report = run_concurrent(&sys, fleet).expect("scheduled fleet");
+            assert!(
+                report.sessions.iter().all(|s| s.errors.is_empty()),
+                "fault-free sweep must serve every request"
+            );
+            let requests = report.requests();
+            let wait: f64 = report
+                .sessions
+                .iter()
+                .map(|s| s.wait_time.as_secs())
+                .sum::<f64>();
+            SchedPoint {
+                sessions: n,
+                sequential_s: sequential.as_secs(),
+                scheduled_s: report.makespan.as_secs(),
+                speedup: sequential.as_secs() / report.makespan.as_secs().max(1e-12),
+                total_bytes: report.total_bytes,
+                throughput_mb_s: report.throughput_mb_s,
+                batches: report.batches,
+                max_batch: report.max_batch,
+                mean_wait_s: wait / (requests.max(1) as f64),
+            }
+        })
+        .collect()
+}
+
+/// The default sweep the ledger and CI use.
+pub const DEFAULT_LEVELS: [usize; 3] = [1, 4, 16];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_shows_concurrency_winning() {
+        let points = sched_throughput(Scale::Quick, 11, &DEFAULT_LEVELS);
+        assert_eq!(points.len(), 3);
+        // One session has nothing to overlap with; 16 must beat
+        // back-to-back by a clear margin and beat its own 1-session
+        // throughput.
+        let p16 = &points[2];
+        assert!(p16.speedup > 1.0, "16 sessions: {:?}", p16);
+        assert!(p16.throughput_mb_s > points[0].throughput_mb_s);
+        assert!(p16.total_bytes > points[0].total_bytes);
+    }
+}

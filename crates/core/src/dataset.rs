@@ -30,6 +30,29 @@ pub struct DatasetSpec {
 }
 
 impl DatasetSpec {
+    /// Start a typed builder. Defaults match the Astro3D shape: `F32`
+    /// elements in a 32³ cube, BBB distribution, dumped every 6
+    /// iterations into fresh snapshots, AUTO-placed for archival over
+    /// collective I/O.
+    ///
+    /// ```
+    /// use msr_core::{DatasetSpec, LocationHint};
+    /// use msr_meta::ElementType;
+    ///
+    /// let spec = DatasetSpec::builder("temperature")
+    ///     .element(ElementType::F32)
+    ///     .cube(128)
+    ///     .frequency(6)
+    ///     .hint(LocationHint::Auto)
+    ///     .build();
+    /// assert_eq!(spec.snapshot_bytes(), 8 * 1024 * 1024);
+    /// ```
+    pub fn builder(name: &str) -> DatasetSpecBuilder {
+        DatasetSpecBuilder {
+            spec: DatasetSpec::astro3d_default(name, ElementType::F32, 32),
+        }
+    }
+
     /// A collective-I/O, BBB, every-6-iterations dataset — the Astro3D
     /// default shape; customize from here.
     pub fn astro3d_default(name: &str, etype: ElementType, n: u64) -> Self {
@@ -95,9 +118,103 @@ impl DatasetSpec {
     }
 }
 
+/// Typed builder for [`DatasetSpec`]; start from [`DatasetSpec::builder`].
+#[derive(Debug, Clone)]
+pub struct DatasetSpecBuilder {
+    spec: DatasetSpec,
+}
+
+impl DatasetSpecBuilder {
+    /// Element type of the global array.
+    pub fn element(mut self, etype: ElementType) -> Self {
+        self.spec.etype = etype;
+        self
+    }
+
+    /// Global dimensions.
+    pub fn dims(mut self, dims: Dims3) -> Self {
+        self.spec.dims = dims;
+        self
+    }
+
+    /// Cubic global dimensions `n × n × n`.
+    pub fn cube(self, n: u64) -> Self {
+        self.dims(Dims3::cube(n))
+    }
+
+    /// Distribution pattern over the process grid.
+    pub fn pattern(mut self, pattern: Pattern) -> Self {
+        self.spec.pattern = pattern;
+        self
+    }
+
+    /// Dump frequency in iterations; `0` never dumps.
+    pub fn frequency(mut self, frequency: u32) -> Self {
+        self.spec.frequency = frequency;
+        self
+    }
+
+    /// Fresh snapshot files per dump, or overwrite in place.
+    pub fn amode(mut self, amode: AccessMode) -> Self {
+        self.spec.amode = amode;
+        self
+    }
+
+    /// The location hint.
+    pub fn hint(mut self, hint: LocationHint) -> Self {
+        self.spec.hint = hint;
+        self
+    }
+
+    /// Declared future use (guides AUTO placement).
+    pub fn future_use(mut self, future_use: FutureUse) -> Self {
+        self.spec.future_use = future_use;
+        self
+    }
+
+    /// I/O optimization strategy.
+    pub fn strategy(mut self, strategy: IoStrategy) -> Self {
+        self.spec.strategy = strategy;
+        self
+    }
+
+    /// Finish the spec.
+    pub fn build(self) -> DatasetSpec {
+        self.spec
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn typed_builder_sets_every_field() {
+        let d = DatasetSpec::builder("vr_temp")
+            .element(ElementType::U8)
+            .cube(64)
+            .pattern(Pattern::bbb())
+            .frequency(3)
+            .amode(AccessMode::OverWrite)
+            .hint(LocationHint::LocalDisk)
+            .future_use(FutureUse::Visualization)
+            .strategy(IoStrategy::Subfile)
+            .build();
+        assert_eq!(d.name, "vr_temp");
+        assert_eq!(d.etype, ElementType::U8);
+        assert_eq!(d.dims, Dims3::cube(64));
+        assert_eq!(d.frequency, 3);
+        assert_eq!(d.amode, AccessMode::OverWrite);
+        assert_eq!(d.hint, LocationHint::LocalDisk);
+        assert_eq!(d.future_use, FutureUse::Visualization);
+        assert_eq!(d.strategy, IoStrategy::Subfile);
+    }
+
+    #[test]
+    fn builder_defaults_match_the_astro3d_shape() {
+        let d = DatasetSpec::builder("x").build();
+        assert_eq!(d, DatasetSpec::astro3d_default("x", ElementType::F32, 32));
+    }
 
     #[test]
     fn paper_dataset_sizes() {

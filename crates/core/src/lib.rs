@@ -23,20 +23,24 @@
 //! * [`RunReport`] — per-dataset and total I/O accounting for a run,
 //!   feeding the Fig. 9/10 experiments.
 
+pub mod builder;
 pub mod dataset;
 pub mod error;
 pub mod health;
 pub mod hints;
+pub mod load;
 pub mod migrate;
 pub mod placement;
 pub mod report;
 pub mod session;
 pub mod system;
 
-pub use dataset::DatasetSpec;
+pub use builder::SessionBuilder;
+pub use dataset::{DatasetSpec, DatasetSpecBuilder};
 pub use error::{classify, CoreError, ErrorClass};
 pub use health::{BreakerState, HealthCounters, HealthTracker};
 pub use hints::{FutureUse, LocationHint};
+pub use load::LoadBoard;
 pub use migrate::MigrationReport;
 pub use placement::PlacementPolicy;
 pub use report::{PlacementEvent, RunReport};

@@ -1,0 +1,81 @@
+//! The live load board: per-resource admission-queue depths.
+//!
+//! Placement wants to know how contended each storage resource is *right
+//! now*, but the queues themselves live above this crate (in the
+//! scheduler). The [`LoadBoard`] is the meeting point: the scheduler
+//! increments a resource's depth when it enqueues a request and decrements
+//! it on completion, and the AUTO placement policy reads the depths to
+//! inflate each candidate's eq. (2) score. Outside a scheduler every depth
+//! is zero and scored placement reduces to pure predicted time.
+
+use msr_storage::StorageKind;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Shared per-resource pending-request counts. Clones observe the same
+/// board.
+#[derive(Debug, Clone, Default)]
+pub struct LoadBoard {
+    depths: Arc<Mutex<BTreeMap<StorageKind, usize>>>,
+}
+
+impl LoadBoard {
+    /// A board with every depth at zero.
+    pub fn new() -> LoadBoard {
+        LoadBoard::default()
+    }
+
+    /// Requests currently queued for `kind`.
+    pub fn depth(&self, kind: StorageKind) -> usize {
+        self.depths.lock().get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Record `n` requests entering `kind`'s queue; returns the new depth.
+    pub fn enqueued(&self, kind: StorageKind, n: usize) -> usize {
+        let mut depths = self.depths.lock();
+        let d = depths.entry(kind).or_insert(0);
+        *d += n;
+        *d
+    }
+
+    /// Record `n` requests leaving `kind`'s queue; returns the new depth.
+    /// Saturates at zero rather than panicking on double-completion.
+    pub fn dequeued(&self, kind: StorageKind, n: usize) -> usize {
+        let mut depths = self.depths.lock();
+        let d = depths.entry(kind).or_insert(0);
+        *d = d.saturating_sub(n);
+        *d
+    }
+
+    /// All non-zero depths, for metrics snapshots.
+    pub fn snapshot(&self) -> BTreeMap<StorageKind, usize> {
+        self.depths.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depths_track_enqueue_and_dequeue() {
+        let board = LoadBoard::new();
+        assert_eq!(board.depth(StorageKind::LocalDisk), 0);
+        assert_eq!(board.enqueued(StorageKind::LocalDisk, 3), 3);
+        assert_eq!(board.enqueued(StorageKind::RemoteDisk, 1), 1);
+        assert_eq!(board.dequeued(StorageKind::LocalDisk, 2), 1);
+        assert_eq!(board.depth(StorageKind::LocalDisk), 1);
+        assert_eq!(board.depth(StorageKind::RemoteTape), 0);
+    }
+
+    #[test]
+    fn clones_share_one_board_and_dequeue_saturates() {
+        let board = LoadBoard::new();
+        let other = board.clone();
+        board.enqueued(StorageKind::RemoteTape, 2);
+        assert_eq!(other.depth(StorageKind::RemoteTape), 2);
+        assert_eq!(other.dequeued(StorageKind::RemoteTape, 5), 0);
+        assert_eq!(board.depth(StorageKind::RemoteTape), 0);
+    }
+}

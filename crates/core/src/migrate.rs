@@ -173,7 +173,14 @@ mod tests {
 
     fn produce(sys: &MsrSystem, hint: LocationHint, amode: AccessMode) -> (RunId, Vec<u8>) {
         let grid = ProcGrid::new(1, 1, 1);
-        let mut s = sys.init_session("app", "u", 12, grid).unwrap();
+        let mut s = sys
+            .session()
+            .app("app")
+            .user("u")
+            .iterations(12)
+            .grid(grid)
+            .build()
+            .unwrap();
         let spec = DatasetSpec::astro3d_default("d", ElementType::U8, 16)
             .with_hint(hint)
             .with_amode(amode);
@@ -283,7 +290,14 @@ mod tests {
     fn disabled_dataset_cannot_be_staged() {
         let sys = MsrSystem::testbed(406);
         let grid = ProcGrid::new(1, 1, 1);
-        let mut s = sys.init_session("app", "u", 6, grid).unwrap();
+        let mut s = sys
+            .session()
+            .app("app")
+            .user("u")
+            .iterations(6)
+            .grid(grid)
+            .build()
+            .unwrap();
         let spec = DatasetSpec::astro3d_default("off", ElementType::U8, 8)
             .with_hint(LocationHint::Disable);
         s.open(spec).unwrap();

@@ -59,11 +59,56 @@ pub fn resolve(
         }
     }
     match sys.policy() {
-        PlacementPolicy::Hinted => fallback(sys, spec, run_bytes, None),
+        PlacementPolicy::Hinted => {
+            if spec.hint == LocationHint::Auto {
+                if let Some(kind) = by_score(sys, spec, dist, run_bytes) {
+                    return Ok(Some(kind));
+                }
+            }
+            fallback(sys, spec, run_bytes, None)
+        }
         PlacementPolicy::PerformanceTarget { per_dump } => {
             by_performance(sys, spec, dist, run_bytes, per_dump)
         }
     }
+}
+
+/// The prediction-scored AUTO resolver: rank every registered resource by
+/// its eq. (2) predicted per-dump time inflated by the resource's live
+/// admission-queue depth (`predicted × (depth + 1)`), and take the
+/// minimum. Ties break toward the dataset's static preference order, so
+/// scored placement is deterministic.
+///
+/// Returns `None` — degrade to the static [`fallback`] order — when the
+/// performance database is missing or has no profile for any resource, or
+/// when the winning resource is not currently usable (offline, full, or
+/// its circuit breaker is open).
+fn by_score(
+    sys: &MsrSystem,
+    spec: &DatasetSpec,
+    dist: &Distribution,
+    run_bytes: u64,
+) -> Option<StorageKind> {
+    let predictor = sys.predictor()?;
+    let access = AccessSummary::of(dist);
+    let mut best: Option<(StorageKind, SimDuration)> = None;
+    // Walking the preference order makes it the tie-break: a later kind
+    // must be strictly faster to displace an earlier one.
+    for kind in spec.future_use.preference() {
+        let Some(res) = sys.resource(kind) else {
+            continue;
+        };
+        let name = res.lock().name().to_owned();
+        let depth = sys.load.depth(kind);
+        let Ok(score) = predictor.score(&name, OpKind::Write, spec.strategy, &access, depth) else {
+            continue;
+        };
+        if best.is_none_or(|(_, b)| score.adjusted < b) {
+            best = Some((kind, score.adjusted));
+        }
+    }
+    let (kind, _) = best?;
+    usable(sys, kind, run_bytes).then_some(kind)
 }
 
 /// The failover resolver: first usable kind in the dataset's preference
@@ -141,4 +186,144 @@ fn by_performance(
         dataset: spec.name.clone(),
         bytes: run_bytes,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hints::FutureUse;
+    use msr_meta::ElementType;
+    use msr_predict::PTool;
+    use msr_runtime::ProcGrid;
+
+    fn auto_spec(future_use: FutureUse) -> DatasetSpec {
+        DatasetSpec::builder("x")
+            .element(ElementType::U8)
+            .cube(32)
+            .future_use(future_use)
+            .build()
+    }
+
+    fn dist_of(spec: &DatasetSpec) -> Distribution {
+        Distribution::new(
+            spec.dims,
+            spec.etype.size(),
+            spec.pattern,
+            ProcGrid::new(1, 1, 1),
+        )
+        .unwrap()
+    }
+
+    fn populated_system(seed: u64) -> MsrSystem {
+        let mut sys = MsrSystem::testbed(seed);
+        sys.run_ptool(&PTool {
+            sizes: vec![1 << 14, 1 << 18, 1 << 21],
+            reps: 2,
+            scratch_prefix: "ptool/p".into(),
+        })
+        .unwrap();
+        sys
+    }
+
+    /// With a populated performance database, AUTO ignores the static
+    /// archive order (tape first) and lands on the resource with the
+    /// minimum eq. (2) predicted per-dump time.
+    #[test]
+    fn scored_auto_lands_on_min_predicted_time_resource() {
+        let sys = populated_system(11);
+        let spec = auto_spec(FutureUse::Archive);
+        let dist = dist_of(&spec);
+        let access = AccessSummary::of(&dist);
+        // Independently compute the predictor's argmin over all kinds.
+        let expect = [
+            StorageKind::LocalDisk,
+            StorageKind::RemoteDisk,
+            StorageKind::RemoteTape,
+        ]
+        .into_iter()
+        .map(|k| {
+            let name = sys.resource(k).unwrap().lock().name().to_owned();
+            let t = dump_time(
+                &sys.predictor().unwrap().db,
+                &name,
+                OpKind::Write,
+                spec.strategy,
+                &access,
+            )
+            .unwrap();
+            (k, t)
+        })
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap()
+        .0;
+        let got = resolve(&sys, &spec, &dist, spec.run_bytes(12)).unwrap();
+        assert_eq!(got, Some(expect));
+        assert_ne!(
+            Some(StorageKind::RemoteTape),
+            got,
+            "tape (the static archive default) is not the fastest medium"
+        );
+    }
+
+    /// Queue depth inflates a resource's score: pile enough load on the
+    /// predicted winner and AUTO routes around it.
+    #[test]
+    fn scored_auto_routes_around_deep_queues() {
+        let sys = populated_system(11);
+        let spec = auto_spec(FutureUse::Visualization);
+        let dist = dist_of(&spec);
+        let unloaded = resolve(&sys, &spec, &dist, spec.run_bytes(12))
+            .unwrap()
+            .unwrap();
+        sys.load.enqueued(unloaded, 10_000);
+        let loaded = resolve(&sys, &spec, &dist, spec.run_bytes(12))
+            .unwrap()
+            .unwrap();
+        assert_ne!(
+            loaded, unloaded,
+            "a 10000-deep queue outweighs any speed edge"
+        );
+    }
+
+    /// When the scored winner's circuit is open, placement degrades to the
+    /// static fallback order instead of queueing on a failing resource.
+    #[test]
+    fn scored_auto_degrades_to_static_order_when_winner_circuit_open() {
+        let sys = populated_system(11);
+        let spec = auto_spec(FutureUse::Archive);
+        let dist = dist_of(&spec);
+        let winner = resolve(&sys, &spec, &dist, spec.run_bytes(12))
+            .unwrap()
+            .unwrap();
+        // Trip the winner's breaker.
+        while sys.health.allows(winner) {
+            sys.health.record_failure(winner);
+        }
+        let got = resolve(&sys, &spec, &dist, spec.run_bytes(12))
+            .unwrap()
+            .unwrap();
+        let static_choice = spec
+            .future_use
+            .preference()
+            .into_iter()
+            .find(|&k| k != winner)
+            .unwrap();
+        assert_eq!(got, static_choice);
+    }
+
+    /// No performance database at all: AUTO behaves exactly as before the
+    /// scorer existed — the static future-use preference order.
+    #[test]
+    fn empty_predictor_falls_back_to_static_preference() {
+        let sys = MsrSystem::testbed(11);
+        assert!(sys.predictor().is_none());
+        let spec = auto_spec(FutureUse::Archive);
+        let dist = dist_of(&spec);
+        let got = resolve(&sys, &spec, &dist, spec.run_bytes(12)).unwrap();
+        assert_eq!(
+            got,
+            Some(StorageKind::RemoteTape),
+            "archive default is tape"
+        );
+    }
 }

@@ -519,6 +519,34 @@ impl<'a> Session<'a> {
         Ok(report)
     }
 
+    /// A snapshot of the run's accounting so far, without closing the
+    /// session. Unlike [`finalize`](Session::finalize) the session stays
+    /// usable, connections stay open and their teardown time is not yet
+    /// charged — so a final `finalize()` report can show a larger
+    /// `conn_time` than the last snapshot.
+    pub fn report(&self) -> RunReport {
+        let datasets = self
+            .datasets
+            .iter()
+            .map(|d| DatasetReport {
+                name: d.spec.name.clone(),
+                location: d.location,
+                dumps: d.dumps,
+                bytes: d.bytes,
+                io_time: d.io_time,
+                native_calls: d.native_calls,
+            })
+            .collect::<Vec<_>>();
+        let total_io = datasets.iter().map(|d| d.io_time).sum::<SimDuration>() + self.conn_time;
+        RunReport {
+            run: self.run,
+            datasets,
+            events: self.events.clone(),
+            conn_time: self.conn_time,
+            total_io,
+        }
+    }
+
     /// Close connections and produce the run's accounting (Fig. 5's
     /// `finalization()`).
     pub fn finalize(mut self) -> CoreResult<RunReport> {
@@ -540,27 +568,7 @@ impl<'a> Session<'a> {
             self.sys.clock.now(),
             &format!("run{}", self.run.0),
         );
-
-        let datasets = self
-            .datasets
-            .iter()
-            .map(|d| DatasetReport {
-                name: d.spec.name.clone(),
-                location: d.location,
-                dumps: d.dumps,
-                bytes: d.bytes,
-                io_time: d.io_time,
-                native_calls: d.native_calls,
-            })
-            .collect::<Vec<_>>();
-        let total_io = datasets.iter().map(|d| d.io_time).sum::<SimDuration>() + self.conn_time;
-        Ok(RunReport {
-            run: self.run,
-            datasets,
-            events: std::mem::take(&mut self.events),
-            conn_time: self.conn_time,
-            total_io,
-        })
+        Ok(self.report())
     }
 
     /// Consumer path: read a dump of a dataset recorded in the catalog.
@@ -622,7 +630,11 @@ mod tests {
     use msr_meta::ElementType;
 
     fn spec(name: &str, hint: LocationHint) -> DatasetSpec {
-        DatasetSpec::astro3d_default(name, ElementType::U8, 32).with_hint(hint)
+        DatasetSpec::builder(name)
+            .element(ElementType::U8)
+            .cube(32)
+            .hint(hint)
+            .build()
     }
 
     fn payload(spec: &DatasetSpec) -> Vec<u8> {
@@ -635,7 +647,12 @@ mod tests {
     fn fig5_flow_roundtrips_through_every_kind() {
         let sys = MsrSystem::testbed(2);
         let mut s = sys
-            .init_session("astro3d", "xshen", 12, ProcGrid::new(2, 2, 2))
+            .session()
+            .app("astro3d")
+            .user("xshen")
+            .iterations(12)
+            .grid(ProcGrid::new(2, 2, 2))
+            .build()
             .unwrap();
         let hints = [
             ("a", LocationHint::LocalDisk),
@@ -681,7 +698,12 @@ mod tests {
     fn frequency_misses_and_disable_return_none() {
         let sys = MsrSystem::testbed(2);
         let mut s = sys
-            .init_session("app", "u", 12, ProcGrid::new(1, 1, 1))
+            .session()
+            .app("app")
+            .user("u")
+            .iterations(12)
+            .grid(ProcGrid::new(1, 1, 1))
+            .build()
             .unwrap();
         let on = s.open(spec("on", LocationHint::LocalDisk)).unwrap();
         let off = s.open(spec("off", LocationHint::Disable)).unwrap();
@@ -698,7 +720,12 @@ mod tests {
     fn tape_outage_fails_over_midrun() {
         let sys = MsrSystem::testbed(2);
         let mut s = sys
-            .init_session("app", "u", 12, ProcGrid::new(1, 1, 1))
+            .session()
+            .app("app")
+            .user("u")
+            .iterations(12)
+            .grid(ProcGrid::new(1, 1, 1))
+            .build()
             .unwrap();
         let sp = spec("ckpt", LocationHint::RemoteTape).with_future_use(FutureUse::Archive);
         let h = s.open(sp.clone()).unwrap();
@@ -726,7 +753,12 @@ mod tests {
         let local = sys.resource(StorageKind::LocalDisk).unwrap();
         local.lock().set_capacity(10_000);
         let mut s = sys
-            .init_session("app", "u", 12, ProcGrid::new(1, 1, 1))
+            .session()
+            .app("app")
+            .user("u")
+            .iterations(12)
+            .grid(ProcGrid::new(1, 1, 1))
+            .build()
             .unwrap();
         let sp = spec("viz", LocationHint::LocalDisk).with_future_use(FutureUse::Visualization);
         // Placement sees the full disk and immediately picks the fallback.
@@ -744,7 +776,12 @@ mod tests {
     fn section5_failover_matrix_replaces_and_updates_catalog() {
         let sys = MsrSystem::testbed(3);
         let mut s = sys
-            .init_session("astro3d", "u", 12, ProcGrid::new(1, 1, 1))
+            .session()
+            .app("astro3d")
+            .user("u")
+            .iterations(12)
+            .grid(ProcGrid::new(1, 1, 1))
+            .build()
             .unwrap();
         let run = s.run_id();
 
@@ -842,7 +879,12 @@ mod tests {
             )
             .unwrap();
         let mut s = sys
-            .init_session("app", "u", 12, ProcGrid::new(1, 1, 1))
+            .session()
+            .app("app")
+            .user("u")
+            .iterations(12)
+            .grid(ProcGrid::new(1, 1, 1))
+            .build()
             .unwrap();
         let sp = spec("x", LocationHint::LocalDisk);
         let h = s.open(sp.clone()).unwrap();
@@ -871,7 +913,12 @@ mod tests {
         )
         .unwrap();
         let mut s = sys
-            .init_session("app", "u", 12, ProcGrid::new(1, 1, 1))
+            .session()
+            .app("app")
+            .user("u")
+            .iterations(12)
+            .grid(ProcGrid::new(1, 1, 1))
+            .build()
             .unwrap();
         let sp = spec("x", LocationHint::LocalDisk).with_future_use(FutureUse::Visualization);
         let h = s.open(sp.clone()).unwrap();
@@ -893,7 +940,12 @@ mod tests {
     fn degraded_read_serves_staging_copy_when_resource_fails() {
         let sys = MsrSystem::testbed(7);
         let mut s = sys
-            .init_session("app", "u", 12, ProcGrid::new(1, 1, 1))
+            .session()
+            .app("app")
+            .user("u")
+            .iterations(12)
+            .grid(ProcGrid::new(1, 1, 1))
+            .build()
             .unwrap();
         let sp = spec("x", LocationHint::LocalDisk);
         let h = s.open(sp.clone()).unwrap();
@@ -925,7 +977,12 @@ mod tests {
     fn degraded_read_without_a_staged_copy_propagates_the_error() {
         let sys = MsrSystem::testbed(7);
         let mut s = sys
-            .init_session("app", "u", 12, ProcGrid::new(1, 1, 1))
+            .session()
+            .app("app")
+            .user("u")
+            .iterations(12)
+            .grid(ProcGrid::new(1, 1, 1))
+            .build()
             .unwrap();
         let sp = spec("x", LocationHint::LocalDisk);
         let h = s.open(sp.clone()).unwrap();
@@ -953,7 +1010,12 @@ mod tests {
             sys.set_resource_online(k, false);
         }
         let mut s = sys
-            .init_session("app", "u", 12, ProcGrid::new(1, 1, 1))
+            .session()
+            .app("app")
+            .user("u")
+            .iterations(12)
+            .grid(ProcGrid::new(1, 1, 1))
+            .build()
             .unwrap();
         assert!(matches!(
             s.open(spec("x", LocationHint::RemoteTape)),
@@ -965,7 +1027,12 @@ mod tests {
     fn session_predict_requires_ptool() {
         let sys = MsrSystem::testbed(2);
         let mut s = sys
-            .init_session("app", "u", 12, ProcGrid::new(1, 1, 1))
+            .session()
+            .app("app")
+            .user("u")
+            .iterations(12)
+            .grid(ProcGrid::new(1, 1, 1))
+            .build()
             .unwrap();
         s.open(spec("x", LocationHint::LocalDisk)).unwrap();
         assert!(matches!(s.predict(), Err(CoreError::Predict(_))));
@@ -981,7 +1048,12 @@ mod tests {
         })
         .unwrap();
         let mut s = sys
-            .init_session("app", "u", 12, ProcGrid::new(1, 1, 1))
+            .session()
+            .app("app")
+            .user("u")
+            .iterations(12)
+            .grid(ProcGrid::new(1, 1, 1))
+            .build()
             .unwrap();
         s.open(spec("x", LocationHint::RemoteDisk)).unwrap();
         let pred = s.predict().unwrap();
@@ -992,16 +1064,83 @@ mod tests {
         assert!(rec.predicted_secs.unwrap() > 0.0);
     }
 
+    /// `report()` snapshots mid-run accounting without closing the
+    /// session; the session remains writable afterwards and the final
+    /// `finalize()` report extends the snapshot.
+    #[test]
+    fn report_snapshots_without_consuming_the_session() {
+        let sys = MsrSystem::testbed(2);
+        let mut s = sys
+            .session()
+            .app("app")
+            .user("u")
+            .iterations(12)
+            .grid(ProcGrid::new(1, 1, 1))
+            .build()
+            .unwrap();
+        let sp = spec("x", LocationHint::LocalDisk);
+        let h = s.open(sp.clone()).unwrap();
+        s.write_iteration(h, 0, &payload(&sp)).unwrap().unwrap();
+
+        let mid = s.report();
+        assert_eq!(mid.datasets.len(), 1);
+        assert_eq!(mid.datasets[0].dumps, 1);
+        assert!(mid.total_io > SimDuration::ZERO);
+
+        // Still usable: another dump lands and the next snapshot grows.
+        s.write_iteration(h, 6, &payload(&sp)).unwrap().unwrap();
+        let later = s.report();
+        assert_eq!(later.datasets[0].dumps, 2);
+        assert!(later.datasets[0].bytes > mid.datasets[0].bytes);
+
+        let fin = s.finalize().unwrap();
+        assert_eq!(fin.datasets[0].dumps, 2);
+        assert!(
+            fin.conn_time >= later.conn_time,
+            "finalize adds disconnect time on top of the snapshot"
+        );
+    }
+
+    #[test]
+    fn finalize_report_matches_last_snapshot_accounting() {
+        let sys = MsrSystem::testbed(3);
+        let mut s = sys
+            .session()
+            .app("app")
+            .user("u")
+            .iterations(6)
+            .build()
+            .unwrap();
+        let sp = spec("x", LocationHint::RemoteDisk);
+        let h = s.open(sp.clone()).unwrap();
+        s.write_iteration(h, 0, &payload(&sp)).unwrap().unwrap();
+        let snap = s.report();
+        let fin = s.finalize().unwrap();
+        assert_eq!(fin.run, snap.run);
+        assert_eq!(fin.datasets[0].io_time, snap.datasets[0].io_time);
+        assert_eq!(fin.events.len(), snap.events.len());
+    }
+
     #[test]
     fn finalize_then_use_is_rejected() {
         let sys = MsrSystem::testbed(2);
         let s = sys
-            .init_session("app", "u", 12, ProcGrid::new(1, 1, 1))
+            .session()
+            .app("app")
+            .user("u")
+            .iterations(12)
+            .grid(ProcGrid::new(1, 1, 1))
+            .build()
             .unwrap();
         let _ = s.finalize().unwrap();
         // A new session on the same app name reuses the application row.
         let mut s2 = sys
-            .init_session("app", "u2", 12, ProcGrid::new(1, 1, 1))
+            .session()
+            .app("app")
+            .user("u2")
+            .iterations(12)
+            .grid(ProcGrid::new(1, 1, 1))
+            .build()
             .unwrap();
         assert!(s2.open(spec("y", LocationHint::LocalDisk)).is_ok());
     }
@@ -1011,7 +1150,12 @@ mod tests {
         let sys = MsrSystem::testbed(2);
         let before = sys.clock.now();
         let mut s = sys
-            .init_session("app", "u", 6, ProcGrid::new(1, 1, 1))
+            .session()
+            .app("app")
+            .user("u")
+            .iterations(6)
+            .grid(ProcGrid::new(1, 1, 1))
+            .build()
             .unwrap();
         let sp = spec("x", LocationHint::RemoteDisk);
         let h = s.open(sp.clone()).unwrap();

@@ -1,6 +1,8 @@
 //! The assembled environment (the paper's Fig. 4).
 
+use crate::builder::SessionBuilder;
 use crate::health::HealthTracker;
+use crate::load::LoadBoard;
 use crate::placement::PlacementPolicy;
 use crate::session::Session;
 use crate::CoreResult;
@@ -38,6 +40,9 @@ pub struct MsrSystem {
     /// Per-resource circuit breakers fed by session-level outcomes and
     /// consulted by placement (see `crate::health`).
     pub health: HealthTracker,
+    /// Live per-resource admission-queue depths, written by a scheduler
+    /// and read by scored AUTO placement (see `crate::load`).
+    pub load: LoadBoard,
     resources: BTreeMap<StorageKind, SharedResource>,
     predictor: Option<Predictor>,
     policy: PlacementPolicy,
@@ -52,12 +57,14 @@ impl MsrSystem {
     /// ```
     /// use msr_core::{DatasetSpec, LocationHint, MsrSystem};
     /// use msr_meta::ElementType;
-    /// use msr_runtime::ProcGrid;
     ///
     /// let sys = MsrSystem::testbed(42);
-    /// let mut session = sys.init_session("demo", "me", 12, ProcGrid::new(1, 1, 1))?;
-    /// let spec = DatasetSpec::astro3d_default("d", ElementType::U8, 8)
-    ///     .with_hint(LocationHint::RemoteDisk);
+    /// let mut session = sys.session().app("demo").user("me").iterations(12).build()?;
+    /// let spec = DatasetSpec::builder("d")
+    ///     .element(ElementType::U8)
+    ///     .cube(8)
+    ///     .hint(LocationHint::RemoteDisk)
+    ///     .build();
     /// let data = vec![7u8; spec.snapshot_bytes() as usize];
     /// let h = session.open(spec)?;
     /// session.write_iteration(h, 0, &data)?;
@@ -124,6 +131,7 @@ impl MsrSystem {
             trace: Trace::default(),
             obs,
             health,
+            load: LoadBoard::new(),
             resources,
             predictor: None,
             policy: PlacementPolicy::Hinted,
@@ -235,8 +243,24 @@ impl MsrSystem {
         self.predictor = Some(Predictor::new(db));
     }
 
-    /// Start a session (the `initialization()` of Fig. 5): registers the
-    /// application, user and run in the catalog.
+    /// Begin fluent session construction (the `initialization()` of
+    /// Fig. 5):
+    ///
+    /// ```
+    /// # use msr_core::MsrSystem;
+    /// # let sys = MsrSystem::testbed(1);
+    /// let session = sys.session().app("astro3d").iterations(12).build()?;
+    /// # Ok::<(), msr_core::CoreError>(())
+    /// ```
+    pub fn session(&self) -> SessionBuilder<'_> {
+        SessionBuilder::new(self)
+    }
+
+    /// Start a session with positional arguments.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the `MsrSystem::session()` builder instead"
+    )]
     pub fn init_session(
         &self,
         app: &str,

@@ -11,6 +11,7 @@ use crate::network::Network;
 use crate::site::SiteId;
 use crate::NetResult;
 use msr_sim::SimDuration;
+use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
 /// Fixed protocol overheads of a storage access protocol (SRB-like).
@@ -83,9 +84,24 @@ impl Connection {
     }
 
     /// Cost of one data request of `bytes` with `streams` parallel streams
-    /// (jittered; the "actual" path).
+    /// (jittered; the "actual" path). Jitter draws from the network's
+    /// shared stream; see [`Connection::request_with`].
     pub fn request(&self, net: &Network, bytes: u64, streams: u32) -> NetResult<SimDuration> {
         let wire = net.transfer(&self.route, bytes, streams)?;
+        Ok(wire + self.costs.per_request)
+    }
+
+    /// [`Connection::request`] with jitter drawn from the caller's own
+    /// stream, so cost sequences per resource do not depend on how
+    /// concurrent traffic on other connections interleaves.
+    pub fn request_with(
+        &self,
+        net: &Network,
+        bytes: u64,
+        streams: u32,
+        rng: &mut StdRng,
+    ) -> NetResult<SimDuration> {
+        let wire = net.transfer_with(&self.route, bytes, streams, rng)?;
         Ok(wire + self.costs.per_request)
     }
 

@@ -217,9 +217,31 @@ impl Network {
     }
 
     /// Cost of one request moving `bytes` along `route` with `streams`
-    /// parallel streams, including per-link jitter. A `bytes = 0` request is
-    /// a pure round-trip-shaped control message (pays latency only).
+    /// parallel streams, including per-link jitter drawn from the network's
+    /// own seeded stream. A `bytes = 0` request is a pure round-trip-shaped
+    /// control message (pays latency only).
+    ///
+    /// The shared stream means concurrent callers consume draws in
+    /// scheduling order; callers that need order-independent results (the
+    /// concurrent-session scheduler overlaps service across resources)
+    /// should pass their own serialized stream via
+    /// [`Network::transfer_with`].
     pub fn transfer(&self, route: &[LinkId], bytes: u64, streams: u32) -> NetResult<SimDuration> {
+        let mut rng = self.rng.lock();
+        self.transfer_with(route, bytes, streams, &mut rng)
+    }
+
+    /// [`Network::transfer`] with the jitter drawn from a caller-supplied
+    /// stream, so a caller that serializes its own requests (e.g. one
+    /// storage resource behind its own lock) gets bitwise-identical costs
+    /// regardless of what other resources do concurrently.
+    pub fn transfer_with(
+        &self,
+        route: &[LinkId],
+        bytes: u64,
+        streams: u32,
+        rng: &mut StdRng,
+    ) -> NetResult<SimDuration> {
         if !self.route_up(route) {
             if self.recorder.enabled() {
                 self.recorder.instant(
@@ -232,14 +254,12 @@ impl Network {
             }
             return Err(NetError::RouteDown);
         }
-        let mut rng = self.rng.lock();
         let mut total = SimDuration::ZERO;
         for &lid in route {
             let l = &self.links[lid.index()];
             let raw = l.transfer_cost(bytes, streams);
-            total += l.spec.jitter.apply(raw, &mut *rng);
+            total += l.spec.jitter.apply(raw, rng);
         }
-        drop(rng);
         if self.recorder.enabled() && !route.is_empty() {
             self.recorder.span(
                 Layer::Network,

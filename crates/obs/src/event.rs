@@ -16,6 +16,8 @@ pub enum Layer {
     Runtime,
     /// `msr-core` session lifecycle and placement.
     Session,
+    /// `msr-sched` admission queues and dispatch.
+    Sched,
     /// `msr-meta` catalog traffic.
     Meta,
     /// `msr-predict` predictions and feeder activity.
@@ -32,6 +34,7 @@ impl Layer {
             Layer::Network => "network",
             Layer::Runtime => "runtime",
             Layer::Session => "session",
+            Layer::Sched => "sched",
             Layer::Meta => "meta",
             Layer::Predict => "predict",
             Layer::App => "app",

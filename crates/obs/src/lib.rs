@@ -74,6 +74,20 @@ pub mod ops {
     /// A read served stale from the staging cache because the
     /// authoritative resource is open-circuit (session layer instant).
     pub const DEGRADED_READ: &str = "degraded_read";
+    /// Admission-queue depth after an enqueue/dequeue (sched layer gauge,
+    /// keyed by resource).
+    pub const QUEUE_DEPTH: &str = "queue_depth";
+    /// Time a request spent queued before its resource started serving it
+    /// (sched layer span).
+    pub const SCHED_WAIT: &str = "sched_wait";
+    /// One dispatched batch of contiguous requests: the span covers the
+    /// batch's service on its resource, `bytes` its payload (sched layer).
+    pub const SCHED_DISPATCH: &str = "sched_dispatch";
+    /// A session admitted to the scheduler (sched layer instant).
+    pub const SESSION_ADMIT: &str = "session_admit";
+    /// A scheduled request re-queued onto another resource after its
+    /// placed resource failed or refused it (sched layer instant).
+    pub const SCHED_REQUEUE: &str = "sched_requeue";
 }
 
 #[cfg(test)]

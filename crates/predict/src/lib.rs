@@ -28,7 +28,10 @@ pub use accuracy::{compare, ComparisonRow};
 pub use feeder::{observed_resources, FeedSummary, PerfDbFeeder};
 pub use model::{dump_time, AccessSummary};
 pub use perfdb::{PerfDb, ResourceProfile};
-pub use predictor::{DatasetPlan, PredictionReport, PredictionRow, Predictor, RunSpec};
+pub use predictor::{
+    queue_adjusted, DatasetPlan, PlacementScore, PredictionReport, PredictionRow, Predictor,
+    RunSpec,
+};
 pub use ptool::PTool;
 
 /// Convenience result alias.

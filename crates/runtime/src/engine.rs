@@ -332,6 +332,46 @@ impl IoEngine {
         Ok(report)
     }
 
+    /// Execute one schedulable unit against `res`: the dispatcher-facing
+    /// entry point. Runs the request's operation exactly as the immediate
+    /// `read`/`write` entry points would, then emits a runtime-layer span
+    /// keyed by the owning session (`"session:<id>"`) so per-client service
+    /// time is visible in the metrics next to the per-resource strategy
+    /// spans.
+    pub fn execute(
+        &self,
+        res: &SharedResource,
+        req: &crate::request::EngineRequest,
+    ) -> RuntimeResult<crate::request::RequestOutcome> {
+        use crate::request::{RequestBody, RequestOutcome};
+        let outcome = match &req.body {
+            RequestBody::Write { data, mode } => RequestOutcome::Written(self.write(
+                res,
+                &req.path,
+                data,
+                &req.dist,
+                req.strategy,
+                *mode,
+            )?),
+            RequestBody::Read => {
+                let (data, report) = self.read(res, &req.path, &req.dist, req.strategy)?;
+                RequestOutcome::Read(data, report)
+            }
+        };
+        if self.recorder.enabled() {
+            let report = outcome.report();
+            self.recorder.span(
+                Layer::Runtime,
+                &format!("session:{}", req.tag.session),
+                "request",
+                self.clock.now(),
+                report.elapsed,
+                report.bytes,
+            );
+        }
+        Ok(outcome)
+    }
+
     /// Read dataset file `path` from `res` into a freshly assembled global
     /// array buffer.
     pub fn read(

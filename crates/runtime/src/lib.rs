@@ -31,6 +31,7 @@ pub mod engine;
 pub mod error;
 pub mod layout;
 pub mod pipeline;
+pub mod request;
 pub mod retry;
 pub mod strategy;
 pub mod superfile;
@@ -40,6 +41,7 @@ pub use engine::{IoEngine, IoReport};
 pub use error::RuntimeError;
 pub use layout::{Chunk, DimDist, Dims3, Distribution, Pattern, ProcGrid};
 pub use pipeline::WriteBehind;
+pub use request::{EngineRequest, RequestBody, RequestOutcome, RequestTag};
 pub use retry::RetryPolicy;
 pub use strategy::{ExchangeModel, IoStrategy};
 pub use superfile::{staging_cache, StagingCache, Superfile, SuperfileStats};

@@ -1,0 +1,34 @@
+//! # msr-sched — prediction-driven scheduling of concurrent sessions
+//!
+//! The paper's architecture serves one application run at a time: a
+//! [`msr_core::Session`] executes each dump on the caller's thread and
+//! advances the global clock as it goes. A production deployment of the
+//! same testbed faces *many* clients at once — several Astro3D runs
+//! dumping while Volren renders and post-processing tools read back — all
+//! contending for the same three storage resources.
+//!
+//! This crate adds that admission layer:
+//!
+//! * [`SessionProgram`] — one client's whole declared run, admitted as a
+//!   unit.
+//! * [`Scheduler`] — per-resource FIFO queues, a deterministic
+//!   round-robin dispatcher on the work-stealing pool, contiguous-request
+//!   batching (one [`dispatch_overhead`] charge per batch), and
+//!   transparent failover re-queues mirroring the session layer.
+//! * Scored placement — admission resolves AUTO hints through
+//!   `msr-core`'s placement, which ranks resources by eq. (2) predicted
+//!   time inflated by this scheduler's live queue depths (the system
+//!   [`msr_core::LoadBoard`]) and skips resources with open circuit
+//!   breakers.
+//! * [`SessionReport`]/[`SchedReport`] — per-session accounting in
+//!   program order (bitwise reproducible at any `MSR_THREADS`) plus
+//!   whole-run makespan and throughput; queue depths and wait times are
+//!   also emitted as `sched`-layer observability events.
+
+pub mod program;
+pub mod report;
+pub mod scheduler;
+
+pub use program::SessionProgram;
+pub use report::{SchedReport, SessionReport};
+pub use scheduler::{dispatch_overhead, Scheduler, MAX_CHAIN};

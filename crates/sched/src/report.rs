@@ -1,0 +1,75 @@
+//! Per-session and scheduler-wide accounting for a scheduled run.
+
+use msr_runtime::IoReport;
+use msr_sim::{SimDuration, SimTime};
+use msr_storage::StorageKind;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One admitted session's accounting, folded back from the per-resource
+/// queues. `reports` is in the session's program (sequence) order, so two
+/// runs of the same workload can be compared bitwise.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionReport {
+    /// Scheduler-assigned session id (admission order).
+    pub session: u64,
+    /// Application name.
+    pub app: String,
+    /// Catalog run id of the session.
+    pub run: u64,
+    /// Where each dataset ended up (after any failover re-queues).
+    pub placements: BTreeMap<String, StorageKind>,
+    /// Requests served.
+    pub requests: u64,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Sum of service time across the session's requests.
+    pub io_time: SimDuration,
+    /// Sum of time the session's requests spent queued before service.
+    pub wait_time: SimDuration,
+    /// Connection setup/teardown time charged to the session.
+    pub conn_time: SimDuration,
+    /// Virtual time the session's last request completed.
+    pub completed_at: SimTime,
+    /// Requests re-queued onto another resource after a failure or an
+    /// open circuit.
+    pub requeues: u32,
+    /// Requests abandoned after exhausting re-queue attempts.
+    pub errors: Vec<String>,
+    /// Per-request reports in program order.
+    pub reports: Vec<IoReport>,
+}
+
+/// The whole scheduled run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchedReport {
+    /// Per-session accounting, in admission order.
+    pub sessions: Vec<SessionReport>,
+    /// Virtual time from first dispatch to last completion, connection
+    /// teardown included.
+    pub makespan: SimDuration,
+    /// Bytes moved across all sessions.
+    pub total_bytes: u64,
+    /// Dispatcher rounds executed.
+    pub rounds: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Largest contiguous batch served in one dispatch.
+    pub max_batch: usize,
+    /// `total_bytes / makespan`, MB/s of virtual time.
+    pub throughput_mb_s: f64,
+}
+
+impl SchedReport {
+    /// Requests served across all sessions.
+    pub fn requests(&self) -> u64 {
+        self.sessions.iter().map(|s| s.requests).sum()
+    }
+
+    /// Sum of all sessions' service time — what a strictly sequential
+    /// back-to-back execution of the same work would have taken, before
+    /// connection costs.
+    pub fn total_io_time(&self) -> SimDuration {
+        self.sessions.iter().map(|s| s.io_time).sum()
+    }
+}

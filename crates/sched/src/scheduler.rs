@@ -1,0 +1,583 @@
+//! The admission scheduler: many concurrent sessions against one
+//! [`MsrSystem`].
+//!
+//! **Admission** opens a real catalog session per program, resolves each
+//! dataset's placement through `msr-core` (whose scored AUTO policy reads
+//! this scheduler's live queue depths off the system's
+//! [`LoadBoard`](msr_core::LoadBoard)) and expands the program into tagged
+//! [`EngineRequest`]s.
+//!
+//! **Dispatch** is deterministic round-robin: requests are dealt into
+//! per-resource FIFO queues (interleaved across sessions at chain
+//! granularity so no client starves), and every round takes at most one
+//! *batch* — a maximal run of contiguous requests from the same session
+//! and dataset, capped at [`MAX_CHAIN`] — per resource. The selected
+//! batches execute concurrently on the work-stealing pool (distinct
+//! resources hold distinct locks), then their outcomes are applied on the
+//! dispatcher thread in fixed resource order, which keeps per-session
+//! accounting bitwise identical at any `MSR_THREADS`.
+//!
+//! **Virtual time** is tracked as one cursor per resource: a request's
+//! service starts at its resource's cursor, its wait is the cursor minus
+//! its submission instant, and the run's makespan is the latest cursor —
+//! so concurrent sessions overlap across resources instead of serializing
+//! on the global clock, which is advanced once at the end of the drain.
+//!
+//! **Failure handling** mirrors the session layer: a failed batch records
+//! a breaker failure and the failed dataset's remaining requests are
+//! re-queued onto the static fallback resource; a resource whose circuit
+//! is already open is never dispatched to, its queue draining to fallback
+//! resources the same way.
+
+use crate::program::{payload, SessionProgram};
+use crate::report::{SchedReport, SessionReport};
+use msr_core::{placement, CoreError, CoreResult, DatasetSpec, MsrSystem, Session};
+use msr_meta::{AccessMode, Location, RunId};
+use msr_obs::{ops, Layer, Recorder};
+use msr_runtime::{Distribution, EngineRequest, IoReport, RequestBody, RequestOutcome, RequestTag};
+use msr_sim::{SimDuration, SimTime};
+use msr_storage::{OpenMode, StorageKind};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Fixed virtual cost of dispatching one batch to a resource (queue
+/// bookkeeping, placement lookup). Contiguous requests served in one batch
+/// share a single charge — the benefit batching exists to win.
+pub fn dispatch_overhead() -> SimDuration {
+    SimDuration::from_millis(2.0)
+}
+
+/// Longest contiguous run of one session's requests served in a single
+/// batch. Bounds how long a bursty client can monopolize a resource.
+pub const MAX_CHAIN: usize = 8;
+
+/// Re-queue attempts per request before it is abandoned.
+const MAX_ATTEMPTS: u32 = 3;
+
+struct Admitted<'a> {
+    id: u64,
+    app: String,
+    run: RunId,
+    session: Session<'a>,
+    requests: VecDeque<EngineRequest>,
+}
+
+struct Queued {
+    req: EngineRequest,
+    submitted: SimTime,
+    attempts: u32,
+}
+
+/// Per-session accumulator while the queues drain.
+struct Acc {
+    reports: Vec<(u64, IoReport)>,
+    wait: SimDuration,
+    bytes: u64,
+    io: SimDuration,
+    completed: SimTime,
+    requeues: u32,
+    errors: Vec<String>,
+}
+
+/// The scheduler. Admit programs, then [`run`](Scheduler::run) to drain.
+pub struct Scheduler<'a> {
+    sys: &'a MsrSystem,
+    rec: Recorder,
+    admitted: Vec<Admitted<'a>>,
+    /// Current resource of each `(session, dataset)`, updated on requeue.
+    locations: BTreeMap<(u64, String), StorageKind>,
+    specs: BTreeMap<(u64, String), DatasetSpec>,
+}
+
+impl<'a> Scheduler<'a> {
+    /// A scheduler over `sys`. Nothing is queued until programs are
+    /// admitted.
+    pub fn new(sys: &'a MsrSystem) -> Scheduler<'a> {
+        Scheduler {
+            sys,
+            rec: sys.obs_recorder(),
+            admitted: Vec::new(),
+            locations: BTreeMap::new(),
+            specs: BTreeMap::new(),
+        }
+    }
+
+    /// Sessions admitted so far.
+    pub fn sessions(&self) -> usize {
+        self.admitted.len()
+    }
+
+    /// Admit one program: register its catalog session, place its datasets
+    /// (scored AUTO placement sees the current queue depths), expand it
+    /// into tagged requests and account them on the system's load board.
+    /// Returns the scheduler-assigned session id.
+    pub fn admit(&mut self, program: SessionProgram) -> CoreResult<u64> {
+        let id = self.admitted.len() as u64;
+        let mut session = self
+            .sys
+            .session()
+            .app(&program.app)
+            .user(&program.user)
+            .iterations(program.iterations)
+            .grid(program.grid)
+            .build()?;
+        for spec in &program.datasets {
+            session.open(spec.clone())?;
+        }
+        let run = session.run_id();
+        for d in session.report().datasets {
+            if let Some(kind) = d.location {
+                self.locations.insert((id, d.name), kind);
+            }
+        }
+        for spec in &program.datasets {
+            self.specs.insert((id, spec.name.clone()), spec.clone());
+        }
+
+        let mut requests = VecDeque::new();
+        let mut seq = 0u64;
+        // Dataset-major expansion keeps one dataset's dumps at consecutive
+        // sequence numbers, which is what makes them batchable.
+        for spec in &program.datasets {
+            if !self.locations.contains_key(&(id, spec.name.clone())) || spec.frequency == 0 {
+                continue;
+            }
+            let dist = Distribution::new(spec.dims, spec.etype.size(), spec.pattern, program.grid)?;
+            let mode = match spec.amode {
+                AccessMode::Create => OpenMode::Create,
+                AccessMode::OverWrite => OpenMode::OverWrite,
+            };
+            let mut first_path = None;
+            for iter in 0..=program.iterations {
+                if !iter.is_multiple_of(spec.frequency) {
+                    continue;
+                }
+                let path = dump_path(&program.app, run, spec, iter);
+                first_path.get_or_insert_with(|| path.clone());
+                let data = payload(id, &spec.name, iter, spec.snapshot_bytes() as usize);
+                requests.push_back(EngineRequest {
+                    tag: RequestTag { session: id, seq },
+                    dataset: spec.name.clone(),
+                    path,
+                    dist,
+                    strategy: spec.strategy,
+                    body: RequestBody::Write { data, mode },
+                });
+                seq += 1;
+            }
+            if program.readback {
+                if let Some(path) = first_path {
+                    requests.push_back(EngineRequest {
+                        tag: RequestTag { session: id, seq },
+                        dataset: spec.name.clone(),
+                        path,
+                        dist,
+                        strategy: spec.strategy,
+                        body: RequestBody::Read,
+                    });
+                    seq += 1;
+                }
+            }
+        }
+
+        let now = self.sys.clock.now();
+        let mut per_kind: BTreeMap<StorageKind, usize> = BTreeMap::new();
+        for req in &requests {
+            let kind = self.locations[&(id, req.dataset.clone())];
+            *per_kind.entry(kind).or_insert(0) += 1;
+        }
+        for (kind, n) in per_kind {
+            let depth = self.sys.load.enqueued(kind, n);
+            self.rec.count(
+                Layer::Sched,
+                &kind.to_string(),
+                ops::QUEUE_DEPTH,
+                now,
+                depth as f64,
+            );
+        }
+        self.rec.instant(
+            Layer::Sched,
+            &program.app,
+            ops::SESSION_ADMIT,
+            now,
+            &format!("session {id}: {} requests, run{}", requests.len(), run.0),
+        );
+
+        self.admitted.push(Admitted {
+            id,
+            app: program.app.clone(),
+            run,
+            session,
+            requests,
+        });
+        Ok(id)
+    }
+
+    /// Drain every admitted session's requests and return the run's
+    /// accounting. Consumes the scheduler: the catalog sessions are
+    /// finalized (disconnect costs charged) on the way out, and the global
+    /// clock is advanced to the scheduled makespan.
+    pub fn run(mut self) -> CoreResult<SchedReport> {
+        let start = self.sys.clock.now();
+        let mut queues = self.build_queues(start);
+        let mut cursors: BTreeMap<StorageKind, SimTime> =
+            queues.keys().map(|&k| (k, start)).collect();
+        let mut accs: BTreeMap<u64, Acc> = self
+            .admitted
+            .iter()
+            .map(|a| {
+                (
+                    a.id,
+                    Acc {
+                        reports: Vec::new(),
+                        wait: SimDuration::ZERO,
+                        bytes: 0,
+                        io: SimDuration::ZERO,
+                        completed: start,
+                        requeues: 0,
+                        errors: Vec::new(),
+                    },
+                )
+            })
+            .collect();
+
+        let mut rounds = 0u64;
+        let mut batches = 0u64;
+        let mut max_batch = 0usize;
+
+        loop {
+            // One batch per resource per round, in fixed resource order.
+            let mut picked: Vec<(StorageKind, Vec<Queued>)> = Vec::new();
+            let mut blocked: Vec<(StorageKind, Vec<Queued>)> = Vec::new();
+            for (&kind, q) in queues.iter_mut() {
+                let Some(head) = q.pop_front() else { continue };
+                let mut batch = vec![head];
+                while batch.len() < MAX_CHAIN
+                    && q.front()
+                        .is_some_and(|n| batch.last().unwrap().req.chains_with(&n.req))
+                {
+                    batch.push(q.pop_front().unwrap());
+                }
+                if self.sys.health.allows(kind) {
+                    picked.push((kind, batch));
+                } else {
+                    blocked.push((kind, batch));
+                }
+            }
+            if picked.is_empty() && blocked.is_empty() {
+                break;
+            }
+            rounds += 1;
+
+            // Execute the round's batches concurrently: each touches only
+            // its own resource, so per-resource state stays deterministic.
+            let engine = &self.sys.engine;
+            let tasks: Vec<_> = picked
+                .into_iter()
+                .map(|(kind, batch)| {
+                    let res = self.sys.resource(kind).expect("placed on registered kind");
+                    (kind, batch, res)
+                })
+                .collect();
+            let results: Vec<(StorageKind, BatchResult)> = rayon::pool::execute(
+                tasks
+                    .into_iter()
+                    .map(|(kind, batch, res)| {
+                        move || {
+                            let mut served = Vec::new();
+                            let mut pending = batch.into_iter();
+                            let mut failed = None;
+                            for q in pending.by_ref() {
+                                match engine.execute(&res, &q.req) {
+                                    Ok(outcome) => served.push((q, outcome)),
+                                    Err(e) => {
+                                        failed = Some((q, CoreError::from(e).to_string()));
+                                        break;
+                                    }
+                                }
+                            }
+                            let mut unserved = Vec::new();
+                            let error = failed.map(|(q, e)| {
+                                unserved.push(q);
+                                e
+                            });
+                            unserved.extend(pending);
+                            (kind, (served, unserved, error))
+                        }
+                    })
+                    .collect(),
+            );
+
+            // Apply outcomes on this thread, in the round's fixed order.
+            for (kind, (served, unserved, error)) in results {
+                let cursor = cursors.entry(kind).or_insert(start);
+                let batch_start = *cursor;
+                *cursor += dispatch_overhead();
+                let mut batch_bytes = 0u64;
+                let mut n = 0usize;
+                for (q, outcome) in served {
+                    let report = outcome.into_report();
+                    let wait = cursor.since(q.submitted);
+                    self.rec.span(
+                        Layer::Sched,
+                        &kind.to_string(),
+                        ops::SCHED_WAIT,
+                        q.submitted,
+                        wait,
+                        report.bytes,
+                    );
+                    *cursor += report.elapsed;
+                    batch_bytes += report.bytes;
+                    n += 1;
+                    self.sys.health.record_success(kind);
+                    let depth = self.sys.load.dequeued(kind, 1);
+                    self.rec.count(
+                        Layer::Sched,
+                        &kind.to_string(),
+                        ops::QUEUE_DEPTH,
+                        *cursor,
+                        depth as f64,
+                    );
+                    let acc = accs.get_mut(&q.req.tag.session).expect("admitted session");
+                    acc.reports.push((q.req.tag.seq, report.clone()));
+                    acc.wait += wait;
+                    acc.bytes += report.bytes;
+                    acc.io += report.elapsed;
+                    acc.completed = acc.completed.max(*cursor);
+                }
+                if n > 0 {
+                    batches += 1;
+                    max_batch = max_batch.max(n);
+                    let dur = cursor.since(batch_start);
+                    self.rec.span(
+                        Layer::Sched,
+                        &kind.to_string(),
+                        ops::SCHED_DISPATCH,
+                        batch_start,
+                        dur,
+                        batch_bytes,
+                    );
+                }
+                if let Some(reason) = error {
+                    self.sys.health.record_failure(kind);
+                    self.requeue(kind, unserved, &reason, &mut queues, &mut accs);
+                }
+            }
+            for (kind, batch) in blocked {
+                self.requeue(kind, batch, "circuit open", &mut queues, &mut accs);
+            }
+        }
+
+        // The drain overlapped sessions across resources; the global clock
+        // moves once, to the latest cursor.
+        let end = cursors.values().fold(start, |m, &t| m.max(t));
+        self.sys.clock.advance_to(end);
+
+        let mut sessions = Vec::new();
+        let mut total_bytes = 0u64;
+        for a in std::mem::take(&mut self.admitted) {
+            let mut acc = accs.remove(&a.id).expect("accumulator per session");
+            acc.reports.sort_by_key(|&(seq, _)| seq);
+            let fin = a.session.finalize()?;
+            let placements = self
+                .locations
+                .iter()
+                .filter(|((sid, _), _)| *sid == a.id)
+                .map(|((_, name), &kind)| (name.clone(), kind))
+                .collect();
+            total_bytes += acc.bytes;
+            sessions.push(SessionReport {
+                session: a.id,
+                app: a.app,
+                run: a.run.0,
+                placements,
+                requests: acc.reports.len() as u64,
+                bytes: acc.bytes,
+                io_time: acc.io,
+                wait_time: acc.wait,
+                conn_time: fin.conn_time,
+                completed_at: acc.completed,
+                requeues: acc.requeues,
+                errors: acc.errors,
+                reports: acc.reports.into_iter().map(|(_, r)| r).collect(),
+            });
+        }
+
+        let makespan = self.sys.clock.now().since(start);
+        let throughput_mb_s = if makespan > SimDuration::ZERO {
+            total_bytes as f64 / makespan.as_secs() / 1e6
+        } else {
+            0.0
+        };
+        Ok(SchedReport {
+            sessions,
+            makespan,
+            total_bytes,
+            rounds,
+            batches,
+            max_batch,
+            throughput_mb_s,
+        })
+    }
+
+    /// Deal every admitted session's requests into per-resource FIFO
+    /// queues, round-robin across sessions at chain granularity: each turn
+    /// takes one batchable run (same dataset, consecutive seqs, at most
+    /// [`MAX_CHAIN`]) from each session, so no client's backlog buries
+    /// another's.
+    fn build_queues(&mut self, submitted: SimTime) -> BTreeMap<StorageKind, VecDeque<Queued>> {
+        let mut queues: BTreeMap<StorageKind, VecDeque<Queued>> = BTreeMap::new();
+        loop {
+            let mut any = false;
+            for a in &mut self.admitted {
+                let Some(first) = a.requests.pop_front() else {
+                    continue;
+                };
+                any = true;
+                let mut chain = vec![first];
+                while chain.len() < MAX_CHAIN
+                    && a.requests
+                        .front()
+                        .is_some_and(|n| chain.last().unwrap().chains_with(n))
+                {
+                    chain.push(a.requests.pop_front().unwrap());
+                }
+                for req in chain {
+                    let kind = self.locations[&(a.id, req.dataset.clone())];
+                    queues.entry(kind).or_default().push_back(Queued {
+                        req,
+                        submitted,
+                        attempts: 0,
+                    });
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        queues
+    }
+
+    /// Move a failed (or breaker-blocked) batch — and everything else the
+    /// same dataset still has queued on `from` — to the dataset's static
+    /// fallback resource, mirroring the session layer's transparent
+    /// failover. Requests that exhaust [`MAX_ATTEMPTS`] are abandoned into
+    /// the session's error list.
+    fn requeue(
+        &mut self,
+        from: StorageKind,
+        mut items: Vec<Queued>,
+        reason: &str,
+        queues: &mut BTreeMap<StorageKind, VecDeque<Queued>>,
+        accs: &mut BTreeMap<u64, Acc>,
+    ) {
+        let keys: BTreeSet<(u64, String)> = items
+            .iter()
+            .map(|q| (q.req.tag.session, q.req.dataset.clone()))
+            .collect();
+        // Drag along the dataset's later requests still waiting on `from`,
+        // preserving their order behind the failed batch.
+        if let Some(q) = queues.get_mut(&from) {
+            let mut rest = VecDeque::new();
+            while let Some(item) = q.pop_front() {
+                if keys.contains(&(item.req.tag.session, item.req.dataset.clone())) {
+                    items.push(item);
+                } else {
+                    rest.push_back(item);
+                }
+            }
+            *q = rest;
+        }
+
+        for key in keys {
+            let spec = &self.specs[&key];
+            let moved: Vec<Queued> = {
+                let mut moved = Vec::new();
+                let mut rest = Vec::new();
+                for q in items.drain(..) {
+                    if (q.req.tag.session, q.req.dataset.clone()) == key {
+                        moved.push(q);
+                    } else {
+                        rest.push(q);
+                    }
+                }
+                items = rest;
+                moved
+            };
+            let bytes: u64 = moved.iter().map(|q| q.req.bytes()).sum();
+            let next = placement::fallback(self.sys, spec, bytes, Some(from))
+                .ok()
+                .flatten();
+            let now = self.sys.clock.now();
+            match next {
+                Some(to) => {
+                    let n = moved.len();
+                    self.locations.insert(key.clone(), to);
+                    self.update_catalog(key.0, &key.1, to);
+                    self.rec.instant(
+                        Layer::Sched,
+                        &from.to_string(),
+                        ops::SCHED_REQUEUE,
+                        now,
+                        &format!(
+                            "s{}/{}: {from} -> {to} ({reason}, {n} requests)",
+                            key.0, key.1
+                        ),
+                    );
+                    let acc = accs.get_mut(&key.0).expect("admitted session");
+                    acc.requeues += n as u32;
+                    self.sys.load.dequeued(from, n);
+                    self.sys.load.enqueued(to, n);
+                    let target = queues.entry(to).or_default();
+                    for mut q in moved {
+                        q.attempts += 1;
+                        if q.attempts >= MAX_ATTEMPTS {
+                            self.sys.load.dequeued(to, 1);
+                            accs.get_mut(&key.0)
+                                .expect("admitted session")
+                                .errors
+                                .push(format!(
+                                    "{} gave up after {} attempts",
+                                    q.req.tag, q.attempts
+                                ));
+                        } else {
+                            target.push_back(q);
+                        }
+                    }
+                }
+                None => {
+                    self.sys.load.dequeued(from, moved.len());
+                    let acc = accs.get_mut(&key.0).expect("admitted session");
+                    for q in moved {
+                        acc.errors
+                            .push(format!("{}: no usable resource ({reason})", q.req.tag));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mirror a requeue's location change into the metadata catalog so
+    /// consumers still find the data (the session layer does the same on
+    /// its failover path).
+    fn update_catalog(&self, session: u64, dataset: &str, to: StorageKind) {
+        let Some(a) = self.admitted.iter().find(|a| a.id == session) else {
+            return;
+        };
+        let mut catalog = self.sys.catalog.lock();
+        if let Ok(rec) = catalog.find_dataset(a.run, dataset) {
+            let id = rec.id;
+            let _ = catalog.set_dataset_location(id, Location::Stored(to));
+        }
+    }
+}
+
+fn dump_path(app: &str, run: RunId, spec: &DatasetSpec, iter: u32) -> String {
+    let base = format!("{}/run{}/{}", app, run.0, spec.name);
+    match spec.amode {
+        AccessMode::Create => format!("{base}.t{iter:05}"),
+        AccessMode::OverWrite => base,
+    }
+}
+
+type BatchResult = (Vec<(Queued, RequestOutcome)>, Vec<Queued>, Option<String>);

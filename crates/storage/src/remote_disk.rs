@@ -127,12 +127,14 @@ impl RemoteDisk {
 
     /// Jittered wire cost of one call of `bytes`, contending with
     /// `stream_hint` same-sized concurrent calls: the WAN pipe carries
-    /// `bytes x hint` in total while this call completes.
+    /// `bytes x hint` in total while this call completes. Jitter draws
+    /// from this resource's own stream so concurrent traffic elsewhere
+    /// cannot reorder it.
     fn wire(&mut self, bytes: u64) -> StorageResult<SimDuration> {
         let hint = self.stream_hint.max(1);
         let conn = self.conn.as_ref().ok_or(StorageError::NotConnected)?;
         let net = self.net.read();
-        Ok(conn.request(&net, bytes * u64::from(hint), hint)?)
+        Ok(conn.request_with(&net, bytes * u64::from(hint), hint, &mut self.rng)?)
     }
 
     fn wire_nominal(&self, bytes: u64, streams: u32) -> SimDuration {

@@ -238,12 +238,13 @@ impl TapeResource {
     }
 
     /// Jittered wire cost of one call of `bytes` contending with
-    /// `stream_hint` concurrent calls.
+    /// `stream_hint` concurrent calls. Jitter draws from this resource's
+    /// own stream so concurrent traffic elsewhere cannot reorder it.
     fn wire(&mut self, bytes: u64) -> StorageResult<SimDuration> {
         let hint = self.stream_hint.max(1);
         let conn = self.conn.as_ref().ok_or(StorageError::NotConnected)?;
         let net = self.net.read();
-        Ok(conn.request(&net, bytes * u64::from(hint), hint)?)
+        Ok(conn.request_with(&net, bytes * u64::from(hint), hint, &mut self.rng)?)
     }
 
     /// Drive-pool rounds needed for `streams` concurrent tape calls.

@@ -86,7 +86,13 @@ fn main() -> CoreResult<()> {
     );
 
     let mut sim = Astro3d::new(cfg);
-    let mut session = sys.init_session("astro3d", "cli", iters, grid)?;
+    let mut session = sys
+        .session()
+        .app("astro3d")
+        .user("cli")
+        .iterations(iters)
+        .grid(grid)
+        .build()?;
     let specs = sim.dataset_specs();
     let mut handles = Vec::new();
     for spec in specs {

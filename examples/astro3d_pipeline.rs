@@ -7,9 +7,6 @@
 //! cargo run --release --example astro3d_pipeline
 //! ```
 
-use msr::apps::analysis::run_analysis;
-use msr::apps::volren::{run_volren, RenderMode};
-use msr::apps::Image;
 use msr::prelude::*;
 
 fn investigate(placement: PlacementPlan, label: &str) -> CoreResult<()> {
@@ -21,7 +18,13 @@ fn investigate(placement: PlacementPlan, label: &str) -> CoreResult<()> {
 
     // --- produce -----------------------------------------------------------
     let mut sim = Astro3d::new(cfg);
-    let mut session = sys.init_session("astro3d", "xshen", iters, grid)?;
+    let mut session = sys
+        .session()
+        .app("astro3d")
+        .user("xshen")
+        .iterations(iters)
+        .grid(grid)
+        .build()?;
     sim.run(&mut session)?;
     let run = session.run_id();
     let produce = session.finalize()?;
@@ -50,7 +53,7 @@ fn investigate(placement: PlacementPlan, label: &str) -> CoreResult<()> {
         let mut r = local.lock();
         let path = "volren/out/image.t00006.pgm";
         let len = r.file_size(path).unwrap_or(0) as usize;
-        let h = r.open(path, msr::storage::OpenMode::Read)?.value;
+        let h = r.open(path, OpenMode::Read)?.value;
         let bytes = r.read(h, len)?.value;
         r.close(h)?;
         Image::from_pgm(&bytes)

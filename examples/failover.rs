@@ -28,12 +28,20 @@ fn main() -> CoreResult<()> {
             FaultPlan::none().with_error_burst(2),
         )
         .expect("tape is registered");
-    let grid = ProcGrid::new(2, 2, 2);
-    let mut session = sys.init_session("astro3d", "demo", 48, grid)?;
+    let mut session = sys
+        .session()
+        .app("astro3d")
+        .user("demo")
+        .iterations(48)
+        .grid(ProcGrid::new(2, 2, 2))
+        .build()?;
 
-    let spec = DatasetSpec::astro3d_default("restart_temp", ElementType::F32, 32)
-        .with_hint(LocationHint::RemoteTape)
-        .with_amode(AccessMode::OverWrite);
+    let spec = DatasetSpec::builder("restart_temp")
+        .element(ElementType::F32)
+        .cube(32)
+        .hint(LocationHint::RemoteTape)
+        .amode(AccessMode::OverWrite)
+        .build();
     let payload: Vec<u8> = (0..spec.snapshot_bytes())
         .map(|i| (i % 256) as u8)
         .collect();

@@ -7,7 +7,6 @@
 //! cargo run --release --example predict_then_run
 //! ```
 
-use msr::predict::compare;
 use msr::prelude::*;
 
 fn main() -> CoreResult<()> {
@@ -28,7 +27,13 @@ fn main() -> CoreResult<()> {
     let iters = cfg.iterations;
     let mut sim = Astro3d::new(cfg);
 
-    let mut session = sys.init_session("astro3d", "xshen", iters, grid)?;
+    let mut session = sys
+        .session()
+        .app("astro3d")
+        .user("xshen")
+        .iterations(iters)
+        .grid(grid)
+        .build()?;
     // Open the datasets first so the session can be predicted...
     let specs = sim.dataset_specs();
     let mut handles = Vec::new();
@@ -72,8 +77,17 @@ fn main() -> CoreResult<()> {
     sys2.set_policy(PlacementPolicy::PerformanceTarget {
         per_dump: SimDuration::from_secs(2.0),
     });
-    let mut s2 = sys2.init_session("astro3d", "xshen", 12, grid)?;
-    let auto = DatasetSpec::astro3d_default("vr_scalar", ElementType::U8, 64);
+    let mut s2 = sys2
+        .session()
+        .app("astro3d")
+        .user("xshen")
+        .iterations(12)
+        .grid(grid)
+        .build()?;
+    let auto = DatasetSpec::builder("vr_scalar")
+        .element(ElementType::U8)
+        .cube(64)
+        .build();
     let h = s2.open(auto)?; // AUTO hint + performance target
     let payload = sim.field_bytes("vr_scalar").expect("known field");
     s2.write_iteration(h, 0, &payload)?;

@@ -12,7 +12,13 @@ fn main() -> CoreResult<()> {
     let sys = MsrSystem::testbed(42);
 
     // A session = one application run on a 2x2x2 process grid (Fig. 5).
-    let mut session = sys.init_session("quickstart", "demo", 12, ProcGrid::new(2, 2, 2))?;
+    let mut session = sys
+        .session()
+        .app("quickstart")
+        .user("demo")
+        .iterations(12)
+        .grid(ProcGrid::new(2, 2, 2))
+        .build()?;
 
     // Three 32^3 u8 datasets, one per storage class. The location hint is
     // *per dataset* — the architecture's core idea.
@@ -22,7 +28,11 @@ fn main() -> CoreResult<()> {
         ("roomy", LocationHint::RemoteDisk),
         ("archive", LocationHint::RemoteTape),
     ] {
-        let spec = DatasetSpec::astro3d_default(name, ElementType::U8, 32).with_hint(hint);
+        let spec = DatasetSpec::builder(name)
+            .element(ElementType::U8)
+            .cube(32)
+            .hint(hint)
+            .build();
         handles.push((session.open(spec)?, name));
     }
 

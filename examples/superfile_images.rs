@@ -5,7 +5,6 @@
 //! cargo run --release --example superfile_images
 //! ```
 
-use msr::apps::volren::{run_volren, run_volren_superfile, RenderMode};
 use msr::prelude::*;
 
 fn main() -> CoreResult<()> {
@@ -19,7 +18,13 @@ fn main() -> CoreResult<()> {
     cfg.plan =
         PlacementPlan::uniform(LocationHint::Disable).with("vr_temp", LocationHint::LocalDisk);
     let mut sim = Astro3d::new(cfg);
-    let mut session = sys.init_session("astro3d", "u", iters, grid)?;
+    let mut session = sys
+        .session()
+        .app("astro3d")
+        .user("u")
+        .iterations(iters)
+        .grid(grid)
+        .build()?;
     sim.run(&mut session)?;
     let run = session.run_id();
     session.finalize()?;
@@ -61,7 +66,7 @@ fn main() -> CoreResult<()> {
         let mut r = remote.lock();
         let frames: Vec<String> = r.list("volren/naive/");
         for f in frames {
-            let open = r.open(&f, msr::storage::OpenMode::Read)?;
+            let open = r.open(&f, OpenMode::Read)?;
             naive_read += open.time;
             let len = r.file_size(&f).unwrap_or(0) as usize;
             naive_read += r.read(open.value, len)?.time;

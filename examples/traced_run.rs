@@ -11,7 +11,6 @@
 //! the storage, network, runtime and session layers as separate processes
 //! on the shared virtual timeline.
 
-use msr::obs::{chrome_trace, jsonl};
 use msr::prelude::*;
 
 fn main() -> CoreResult<()> {
@@ -33,7 +32,13 @@ fn main() -> CoreResult<()> {
     let iters = cfg.iterations;
     let mut sim = Astro3d::new(cfg);
 
-    let mut session = sys.init_session("astro3d", "xshen", iters, grid)?;
+    let mut session = sys
+        .session()
+        .app("astro3d")
+        .user("xshen")
+        .iterations(iters)
+        .grid(grid)
+        .build()?;
     let mut handles = Vec::new();
     for spec in sim.dataset_specs() {
         handles.push((session.open(spec.clone())?, spec));
@@ -44,7 +49,7 @@ fn main() -> CoreResult<()> {
     let app_rec = sys.obs_recorder();
     for iter in 0..=iters {
         app_rec.instant(
-            msr::obs::Layer::App,
+            Layer::App,
             "astro3d",
             "iteration",
             sys.clock.now(),
@@ -82,7 +87,13 @@ fn main() -> CoreResult<()> {
     let mut db = sys.predictor().expect("calibrated").db.clone();
     let summary = feeder.ingest(&mut db, &events);
     sys.set_perf_db(db);
-    let mut s2 = sys.init_session("astro3d-re", "xshen", iters, grid)?;
+    let mut s2 = sys
+        .session()
+        .app("astro3d-re")
+        .user("xshen")
+        .iterations(iters)
+        .grid(grid)
+        .build()?;
     for spec in sim.dataset_specs() {
         s2.open(spec)?;
     }

@@ -16,8 +16,26 @@
 //! | metadata DB (MDMS)         | [`meta`] |
 //! | I/O performance predictor  | [`predict`] |
 //! | cross-layer observability  | [`obs`] (feeds [`predict`] online) |
+//! | concurrent-session scheduler | [`sched`] |
 //!
 //! Start with [`core::MsrSystem::testbed`] and the `quickstart` example.
+//! Every example compiles from [`prelude`] alone:
+//!
+//! ```
+//! use msr::prelude::*;
+//!
+//! let sys = MsrSystem::testbed(42);
+//! let mut session = sys.session().app("demo").iterations(12).build()?;
+//! let spec = DatasetSpec::builder("temp")
+//!     .element(ElementType::F32)
+//!     .cube(8)
+//!     .build();
+//! let h = session.open(spec)?;
+//! session.write_iteration(h, 0, &[0u8; 8 * 8 * 8 * 4])?;
+//! let report = session.finalize()?;
+//! assert_eq!(report.datasets.len(), 1);
+//! # Ok::<(), CoreError>(())
+//! ```
 
 pub use msr_apps as apps;
 pub use msr_core as core;
@@ -26,21 +44,30 @@ pub use msr_net as net;
 pub use msr_obs as obs;
 pub use msr_predict as predict;
 pub use msr_runtime as runtime;
+pub use msr_sched as sched;
 pub use msr_sim as sim;
 pub use msr_storage as storage;
 
-/// The most commonly needed names in one import.
+/// The most commonly needed names in one import — everything the
+/// `examples/` directory uses.
 pub mod prelude {
-    pub use msr_apps::{Astro3d, Astro3dConfig, PlacementPlan, StepMode};
-    pub use msr_core::{
-        classify, BreakerState, CoreError, CoreResult, DatasetSpec, ErrorClass, FutureUse,
-        HealthCounters, HealthTracker, LocationHint, MsrSystem, PlacementPolicy, RunReport,
-        Session,
+    pub use msr_apps::analysis::run_analysis;
+    pub use msr_apps::multi::{client_fleet, run_concurrent, run_sequential, ClientKind};
+    pub use msr_apps::volren::{run_volren, run_volren_superfile};
+    pub use msr_apps::{
+        bytes_to_f32s, f32s_to_bytes, Astro3d, Astro3dConfig, Image, PlacementPlan, RenderMode,
+        StepMode,
     };
-    pub use msr_meta::{AccessMode, ElementType};
-    pub use msr_obs::{MetricsSnapshot, Recorder, Registry};
-    pub use msr_predict::{PTool, PerfDbFeeder, Predictor};
+    pub use msr_core::{
+        classify, BreakerState, CoreError, CoreResult, DatasetSpec, DatasetSpecBuilder, ErrorClass,
+        FutureUse, HealthCounters, HealthTracker, LoadBoard, LocationHint, MsrSystem,
+        PlacementPolicy, RunReport, Session, SessionBuilder,
+    };
+    pub use msr_meta::{AccessMode, ElementType, RunId};
+    pub use msr_obs::{chrome_trace, jsonl, Layer, MetricsSnapshot, Recorder, Registry};
+    pub use msr_predict::{compare, PTool, PerfDbFeeder, Predictor};
     pub use msr_runtime::{Dims3, IoStrategy, Pattern, ProcGrid, RetryPolicy, Superfile};
+    pub use msr_sched::{SchedReport, Scheduler, SessionProgram, SessionReport};
     pub use msr_sim::SimDuration;
-    pub use msr_storage::{FaultKind, FaultLog, FaultPlan, OpKind, StorageKind};
+    pub use msr_storage::{FaultKind, FaultLog, FaultPlan, OpKind, OpenMode, StorageKind};
 }

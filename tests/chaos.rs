@@ -87,7 +87,12 @@ fn chaos_run(
     let mut sys = MsrSystem::testbed(seed);
     let log = sys.inject_faults(kind, plan).expect("kind registered");
     let mut s = sys
-        .init_session("chaos", "u", 6, ProcGrid::new(2, 1, 1))
+        .session()
+        .app("chaos")
+        .user("u")
+        .iterations(6)
+        .grid(ProcGrid::new(2, 1, 1))
+        .build()
         .unwrap_or_else(|e| panic!("{ctx}: init failed: {e}"));
     let spec = DatasetSpec::astro3d_default("d", ElementType::U8, 16)
         .with_hint(hint)
@@ -238,7 +243,12 @@ fn chaos_runs_replay_deterministically() {
             )
             .unwrap();
         let mut s = sys
-            .init_session("chaos", "u", 6, ProcGrid::new(2, 1, 1))
+            .session()
+            .app("chaos")
+            .user("u")
+            .iterations(6)
+            .grid(ProcGrid::new(2, 1, 1))
+            .build()
             .unwrap();
         let spec = DatasetSpec::astro3d_default("d", ElementType::U8, 16)
             .with_hint(LocationHint::RemoteDisk);

@@ -38,7 +38,14 @@ fn feeder_updated_db_repredicts_strictly_more_accurately() {
         .with_hint(LocationHint::RemoteDisk);
     let data: Vec<u8> = (0..sp.snapshot_bytes()).map(|i| (i % 251) as u8).collect();
 
-    let mut s = sys.init_session("astro3d", "xshen", 12, grid).unwrap();
+    let mut s = sys
+        .session()
+        .app("astro3d")
+        .user("xshen")
+        .iterations(12)
+        .grid(grid)
+        .build()
+        .unwrap();
     let h = s.open(sp.clone()).unwrap();
     let stale = s.predict().unwrap().total;
     for iter in 0..=12 {
@@ -78,7 +85,14 @@ fn feeder_updated_db_repredicts_strictly_more_accurately() {
     sys.set_perf_db(db);
 
     // Re-predict the same plan with the fed database.
-    let mut s2 = sys.init_session("astro3d-next", "xshen", 12, grid).unwrap();
+    let mut s2 = sys
+        .session()
+        .app("astro3d-next")
+        .user("xshen")
+        .iterations(12)
+        .grid(grid)
+        .build()
+        .unwrap();
     s2.open(sp).unwrap();
     let fresh = s2.predict().unwrap().total;
 

@@ -12,7 +12,14 @@ fn produce(sys: &MsrSystem, plan: PlacementPlan) -> (msr::meta::RunId, ProcGrid,
     cfg.plan = plan;
     let (grid, iters) = (cfg.grid, cfg.iterations);
     let mut sim = Astro3d::new(cfg);
-    let mut session = sys.init_session("astro3d", "it", iters, grid).unwrap();
+    let mut session = sys
+        .session()
+        .app("astro3d")
+        .user("it")
+        .iterations(iters)
+        .grid(grid)
+        .build()
+        .unwrap();
     sim.run(&mut session).unwrap();
     let run = session.run_id();
     session.finalize().unwrap();
@@ -131,7 +138,14 @@ fn checkpoint_restart_roundtrip_via_overwrite_amode() {
 fn subfile_layout_is_recorded_so_consumers_read_it_correctly() {
     let sys = MsrSystem::testbed(107);
     let grid = ProcGrid::new(2, 2, 2);
-    let mut s = sys.init_session("app", "u", 6, grid).unwrap();
+    let mut s = sys
+        .session()
+        .app("app")
+        .user("u")
+        .iterations(6)
+        .grid(grid)
+        .build()
+        .unwrap();
     let spec = DatasetSpec::astro3d_default("d", ElementType::U8, 16)
         .with_hint(LocationHint::LocalDisk)
         .with_strategy(IoStrategy::Subfile);
@@ -162,7 +176,14 @@ fn checkpoint_restart_resumes_the_simulation_exactly() {
         .with("restart_press", LocationHint::RemoteDisk);
     let grid = cfg.grid;
     let mut original = Astro3d::new(cfg.clone());
-    let mut session = sys.init_session("astro3d", "u", 12, grid).unwrap();
+    let mut session = sys
+        .session()
+        .app("astro3d")
+        .user("u")
+        .iterations(12)
+        .grid(grid)
+        .build()
+        .unwrap();
     original.run(&mut session).unwrap();
     let run = session.run_id();
     session.finalize().unwrap();

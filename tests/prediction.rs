@@ -17,7 +17,12 @@ fn run_and_compare(hint: LocationHint, n: u64) -> (f64, f64) {
     let mut sys = MsrSystem::testbed(301);
     sys.run_ptool(&quick_ptool()).unwrap();
     let mut s = sys
-        .init_session("app", "u", 24, ProcGrid::new(2, 2, 2))
+        .session()
+        .app("app")
+        .user("u")
+        .iterations(24)
+        .grid(ProcGrid::new(2, 2, 2))
+        .build()
         .unwrap();
     let spec = DatasetSpec::astro3d_default("d", ElementType::U8, n).with_hint(hint);
     let payload: Vec<u8> = (0..spec.snapshot_bytes())
@@ -83,7 +88,12 @@ fn performance_target_policy_picks_fast_media_for_tight_deadlines() {
         per_dump: SimDuration::from_secs(1.0),
     });
     let mut s = sys
-        .init_session("app", "u", 6, ProcGrid::new(1, 1, 1))
+        .session()
+        .app("app")
+        .user("u")
+        .iterations(6)
+        .grid(ProcGrid::new(1, 1, 1))
+        .build()
         .unwrap();
     let spec = DatasetSpec::astro3d_default("tight", ElementType::U8, 128);
     let h = s.open(spec).unwrap();
@@ -98,7 +108,12 @@ fn performance_target_policy_picks_fast_media_for_tight_deadlines() {
         per_dump: SimDuration::from_secs(1e6),
     });
     let mut s = sys
-        .init_session("app", "u2", 6, ProcGrid::new(1, 1, 1))
+        .session()
+        .app("app")
+        .user("u2")
+        .iterations(6)
+        .grid(ProcGrid::new(1, 1, 1))
+        .build()
         .unwrap();
     let h = s
         .open(DatasetSpec::astro3d_default("loose", ElementType::U8, 128))
@@ -113,7 +128,12 @@ fn accuracy_report_over_multiple_datasets() {
     let mut sys = MsrSystem::testbed(305);
     sys.run_ptool(&quick_ptool()).unwrap();
     let mut s = sys
-        .init_session("app", "u", 24, ProcGrid::new(2, 2, 2))
+        .session()
+        .app("app")
+        .user("u")
+        .iterations(24)
+        .grid(ProcGrid::new(2, 2, 2))
+        .build()
         .unwrap();
     let mut handles = Vec::new();
     for (name, hint) in [

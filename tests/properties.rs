@@ -233,7 +233,12 @@ fn session_roundtrip_any_hint() {
         let seed = rng.random_range(0u64..50);
         let sys = MsrSystem::testbed(seed);
         let mut s = sys
-            .init_session("p", "u", 6, ProcGrid::new(1, 1, 1))
+            .session()
+            .app("p")
+            .user("u")
+            .iterations(6)
+            .grid(ProcGrid::new(1, 1, 1))
+            .build()
             .unwrap();
         let spec = DatasetSpec::astro3d_default("d", ElementType::U8, n).with_hint(hint);
         let data: Vec<u8> = (0..spec.snapshot_bytes())

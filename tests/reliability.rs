@@ -4,7 +4,11 @@
 use msr::prelude::*;
 
 fn u8_spec(name: &str, hint: LocationHint) -> DatasetSpec {
-    DatasetSpec::astro3d_default(name, ElementType::U8, 16).with_hint(hint)
+    DatasetSpec::builder(name)
+        .element(ElementType::U8)
+        .cube(16)
+        .hint(hint)
+        .build()
 }
 
 fn payload(spec: &DatasetSpec) -> Vec<u8> {
@@ -17,7 +21,12 @@ fn payload(spec: &DatasetSpec) -> Vec<u8> {
 fn wan_partition_fails_remote_placements_over_to_local() {
     let sys = MsrSystem::testbed(201);
     let mut s = sys
-        .init_session("app", "u", 12, ProcGrid::new(1, 1, 1))
+        .session()
+        .app("app")
+        .user("u")
+        .iterations(12)
+        .grid(ProcGrid::new(1, 1, 1))
+        .build()
         .unwrap();
     let spec = u8_spec("d", LocationHint::RemoteDisk).with_future_use(FutureUse::Analysis);
     let h = s.open(spec.clone()).unwrap();
@@ -38,7 +47,12 @@ fn capacity_exhaustion_midrun_spills_to_the_next_resource() {
     let local = sys.resource(StorageKind::LocalDisk).unwrap();
     local.lock().set_capacity(2 * 16 * 16 * 16 + 100);
     let mut s = sys
-        .init_session("app", "u", 24, ProcGrid::new(1, 1, 1))
+        .session()
+        .app("app")
+        .user("u")
+        .iterations(24)
+        .grid(ProcGrid::new(1, 1, 1))
+        .build()
         .unwrap();
     // Placement checks the *whole run's* bytes, so a pinned hint for a run
     // that cannot fit falls back immediately...
@@ -60,7 +74,12 @@ fn capacity_exhaustion_midrun_spills_to_the_next_resource() {
 fn capacity_pressure_from_another_tenant_triggers_failover() {
     let sys = MsrSystem::testbed(203);
     let mut s = sys
-        .init_session("app", "u", 24, ProcGrid::new(1, 1, 1))
+        .session()
+        .app("app")
+        .user("u")
+        .iterations(24)
+        .grid(ProcGrid::new(1, 1, 1))
+        .build()
         .unwrap();
     let spec = u8_spec("d", LocationHint::LocalDisk).with_future_use(FutureUse::Visualization);
     let h = s.open(spec.clone()).unwrap();
@@ -87,7 +106,12 @@ fn recovered_resource_is_used_by_subsequent_sessions() {
     sys.set_resource_online(StorageKind::RemoteTape, false);
     {
         let mut s = sys
-            .init_session("app", "u", 6, ProcGrid::new(1, 1, 1))
+            .session()
+            .app("app")
+            .user("u")
+            .iterations(6)
+            .grid(ProcGrid::new(1, 1, 1))
+            .build()
             .unwrap();
         let spec = u8_spec("d", LocationHint::RemoteTape);
         let h = s.open(spec.clone()).unwrap();
@@ -98,7 +122,12 @@ fn recovered_resource_is_used_by_subsequent_sessions() {
     sys.set_resource_online(StorageKind::RemoteTape, true);
     {
         let mut s = sys
-            .init_session("app", "u2", 6, ProcGrid::new(1, 1, 1))
+            .session()
+            .app("app")
+            .user("u2")
+            .iterations(6)
+            .grid(ProcGrid::new(1, 1, 1))
+            .build()
             .unwrap();
         let spec = u8_spec("d", LocationHint::RemoteTape);
         let h = s.open(spec.clone()).unwrap();
@@ -112,7 +141,12 @@ fn recovered_resource_is_used_by_subsequent_sessions() {
 fn disable_hint_writes_nothing_anywhere() {
     let sys = MsrSystem::testbed(205);
     let mut s = sys
-        .init_session("app", "u", 12, ProcGrid::new(1, 1, 1))
+        .session()
+        .app("app")
+        .user("u")
+        .iterations(12)
+        .grid(ProcGrid::new(1, 1, 1))
+        .build()
         .unwrap();
     let spec = u8_spec("ghost", LocationHint::Disable);
     let h = s.open(spec.clone()).unwrap();
@@ -133,7 +167,12 @@ fn many_sessions_by_the_same_user_reuse_the_catalog_rows() {
     let sys = MsrSystem::testbed(207);
     for i in 0..4 {
         let mut s = sys
-            .init_session("app", "same-user", 6, ProcGrid::new(1, 1, 1))
+            .session()
+            .app("app")
+            .user("same-user")
+            .iterations(6)
+            .grid(ProcGrid::new(1, 1, 1))
+            .build()
             .unwrap();
         let spec = u8_spec(&format!("d{i}"), LocationHint::LocalDisk);
         let h = s.open(spec.clone()).unwrap();
@@ -146,7 +185,14 @@ fn many_sessions_by_the_same_user_reuse_the_catalog_rows() {
 fn the_trace_records_placements_failovers_and_staging() {
     let sys = MsrSystem::testbed(208);
     let grid = ProcGrid::new(1, 1, 1);
-    let mut s = sys.init_session("app", "u", 12, grid).unwrap();
+    let mut s = sys
+        .session()
+        .app("app")
+        .user("u")
+        .iterations(12)
+        .grid(grid)
+        .build()
+        .unwrap();
     let spec = u8_spec("d", LocationHint::RemoteTape);
     let h = s.open(spec.clone()).unwrap();
     s.write_iteration(h, 0, &payload(&spec)).unwrap();
@@ -176,7 +222,12 @@ fn the_trace_records_placements_failovers_and_staging() {
 fn remote_disk_outage_midread_serves_stale_then_recovers() {
     let sys = MsrSystem::testbed(209);
     let mut s = sys
-        .init_session("app", "u", 12, ProcGrid::new(1, 1, 1))
+        .session()
+        .app("app")
+        .user("u")
+        .iterations(12)
+        .grid(ProcGrid::new(1, 1, 1))
+        .build()
         .unwrap();
     let spec = u8_spec("d", LocationHint::RemoteDisk);
     let h = s.open(spec.clone()).unwrap();
@@ -201,7 +252,12 @@ fn tape_outage_midread_without_staged_copy_is_typed() {
     let sys = MsrSystem::testbed(210);
     let run = {
         let mut s = sys
-            .init_session("app", "u", 6, ProcGrid::new(1, 1, 1))
+            .session()
+            .app("app")
+            .user("u")
+            .iterations(6)
+            .grid(ProcGrid::new(1, 1, 1))
+            .build()
             .unwrap();
         let spec = u8_spec("d", LocationHint::RemoteTape);
         let h = s.open(spec.clone()).unwrap();
@@ -240,7 +296,12 @@ fn tape_outage_midread_without_staged_copy_is_typed() {
 fn read_failures_open_the_breaker_and_steer_placement() {
     let sys = MsrSystem::testbed(211);
     let mut s = sys
-        .init_session("app", "u", 12, ProcGrid::new(1, 1, 1))
+        .session()
+        .app("app")
+        .user("u")
+        .iterations(12)
+        .grid(ProcGrid::new(1, 1, 1))
+        .build()
         .unwrap();
     let spec = u8_spec("d", LocationHint::RemoteDisk);
     let h = s.open(spec.clone()).unwrap();
@@ -260,7 +321,12 @@ fn read_failures_open_the_breaker_and_steer_placement() {
     // session's REMOTEDISK hint routes elsewhere instead of gambling.
     sys.set_wan_up(true);
     let mut s2 = sys
-        .init_session("app", "u2", 6, ProcGrid::new(1, 1, 1))
+        .session()
+        .app("app")
+        .user("u2")
+        .iterations(6)
+        .grid(ProcGrid::new(1, 1, 1))
+        .build()
         .unwrap();
     let spec2 = u8_spec("d2", LocationHint::RemoteDisk).with_future_use(FutureUse::Visualization);
     let h2 = s2.open(spec2.clone()).unwrap();
