@@ -33,7 +33,10 @@ pub mod workload;
 pub use analysis::{max_square_error, mean_square_error, AnalysisSeries};
 pub use astro3d::{Astro3d, Astro3dConfig, PlacementPlan, StepMode};
 pub use image::Image;
-pub use multi::{client_fleet, run_concurrent, run_sequential, ClientKind};
+pub use multi::{
+    client_fleet, consumer_fleet, run_concurrent, run_concurrent_prefetch, run_sequential,
+    ClientKind,
+};
 pub use volren::{render, RenderMode};
 pub use workload::synthetic_volume;
 

@@ -93,9 +93,49 @@ pub fn client_fleet(n: usize, cube: u64, iterations: u32) -> Vec<SessionProgram>
         .collect()
 }
 
+/// The tape-heavy consumer fleet the prefetcher is measured on: `n`
+/// archival producers that each dump one float variable every 6
+/// iterations (Archive future-use, so placement prefers tape) and read
+/// their three earliest dumps back at the end of the run as standalone
+/// read chains. While one session's writes hold the tape foreground
+/// stream, every *other* session's consumer reads are idle queue tail —
+/// exactly the window a prediction-driven prefetcher can fill.
+pub fn consumer_fleet(n: usize, cube: u64, iterations: u32) -> Vec<SessionProgram> {
+    (0..n)
+        .map(|i| {
+            SessionProgram::new(&format!("archive-{i:02}"))
+                .user("post")
+                .iterations(iterations)
+                .dataset(
+                    DatasetSpec::builder("hist")
+                        .element(ElementType::F32)
+                        .cube(cube)
+                        .frequency(6)
+                        .future_use(FutureUse::Archive)
+                        .build(),
+                )
+                .readbacks(3)
+        })
+        .collect()
+}
+
 /// Admit every program into one scheduler on `sys` and drain the queues.
 pub fn run_concurrent(sys: &MsrSystem, programs: Vec<SessionProgram>) -> CoreResult<SchedReport> {
     let mut sched = Scheduler::new(sys);
+    for p in programs {
+        sched.admit(p)?;
+    }
+    sched.run()
+}
+
+/// [`run_concurrent`] with prediction-driven read-ahead forced on or off,
+/// independent of `MSR_PREFETCH`.
+pub fn run_concurrent_prefetch(
+    sys: &MsrSystem,
+    programs: Vec<SessionProgram>,
+    prefetch: bool,
+) -> CoreResult<SchedReport> {
+    let mut sched = Scheduler::new(sys).with_prefetch(prefetch);
     for p in programs {
         sched.admit(p)?;
     }

@@ -1,0 +1,46 @@
+//! Wall-clock cost of the prediction-driven prefetcher at 1, 2 and N
+//! (host parallelism) pool workers.
+//!
+//! The scheduled fleet's virtual-time result is worker-count invariant
+//! (the determinism suite proves it bitwise); this bench measures the
+//! *host* time of draining the tape-heavy consumer fleet with read-ahead
+//! on vs off at each worker count. Background fetches ride the same pool
+//! as the foreground batches, so read-ahead should scale with workers
+//! rather than serialize the dispatcher.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msr_apps::multi::{consumer_fleet, run_concurrent_prefetch};
+use msr_core::MsrSystem;
+
+fn thread_counts() -> Vec<usize> {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![1, 2, host];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+fn bench_prefetch_overlap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefetch_overlap");
+    group.sample_size(10);
+    for prefetch in [false, true] {
+        for threads in thread_counts() {
+            let label = if prefetch { "on" } else { "off" };
+            group.bench_with_input(BenchmarkId::new(label, threads), &threads, |b, &threads| {
+                b.iter(|| {
+                    rayon::with_threads(threads, || {
+                        let sys = MsrSystem::testbed(11);
+                        run_concurrent_prefetch(&sys, consumer_fleet(8, 16, 24), prefetch)
+                            .expect("fault-free fleet")
+                    })
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prefetch_overlap);
+criterion_main!(benches);

@@ -1,9 +1,10 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--seed N] [--bench-json] [--sched-json] <experiment>...
+//! repro [--quick] [--seed N] [--bench-json] [--sched-json]
+//!       [--prefetch-json] <experiment>...
 //! experiments: table1 fig6 fig7 fig8 fig9 fig10a fig10b fig10c fig11
-//!              example42 failover ablations sched all
+//!              example42 failover ablations sched prefetch all
 //! ```
 //!
 //! `--quick` runs the Astro3D experiments at 32³/24 iterations instead of
@@ -18,6 +19,10 @@
 //! `--sched-json` sweeps the scheduler over 1/4/16 concurrent sessions
 //! (virtual-time makespan vs back-to-back baseline) and writes
 //! `BENCH_sched.json`.
+//!
+//! `--prefetch-json` sweeps the tape-heavy consumer fleet with
+//! prediction-driven read-ahead off vs on and writes
+//! `BENCH_prefetch.json`.
 
 use msr_bench::experiments::Scale;
 use msr_bench::*;
@@ -269,6 +274,43 @@ fn run_sched(scale: Scale, seed: u64) -> Vec<SchedPoint> {
     points
 }
 
+fn run_prefetch(scale: Scale, seed: u64) -> Vec<PrefetchPoint> {
+    banner("READ-AHEAD - consumer fleet, prediction-driven prefetch off vs on");
+    let points = prefetch_overlap(scale, seed, &PREFETCH_LEVELS);
+    println!(
+        "{:>8} | {:>12} {:>12} {:>8} | {:>8} {:>6} {:>6} {:>9}",
+        "sessions", "off(s)", "on(s)", "speedup", "prefetch", "hits", "waste", "declined"
+    );
+    for p in &points {
+        println!(
+            "{:>8} | {:>12.2} {:>12.2} {:>7.2}x | {:>8} {:>6} {:>6} {:>9}",
+            p.sessions, p.off_s, p.on_s, p.speedup, p.prefetched, p.hits, p.waste, p.declined
+        );
+    }
+    points
+}
+
+#[derive(serde::Serialize)]
+struct PrefetchLedger {
+    scale: String,
+    seed: u64,
+    points: Vec<PrefetchPoint>,
+}
+
+/// Sweep the consumer fleet with read-ahead off/on and write the
+/// virtual-time ledger to `BENCH_prefetch.json`.
+fn run_prefetch_json(scale: Scale, seed: u64) {
+    let points = run_prefetch(scale, seed);
+    let ledger = PrefetchLedger {
+        scale: format!("{scale:?}"),
+        seed,
+        points,
+    };
+    let out = serde_json::to_string_pretty(&ledger).expect("ledger serializes");
+    std::fs::write("BENCH_prefetch.json", out).expect("write BENCH_prefetch.json");
+    println!("\nwrote BENCH_prefetch.json");
+}
+
 #[derive(serde::Serialize)]
 struct SchedLedger {
     scale: String,
@@ -301,6 +343,11 @@ struct BenchRow {
 #[derive(serde::Serialize)]
 struct BenchLedger {
     threads: usize,
+    /// Workers the global pool actually runs parallel regions on —
+    /// `MSR_THREADS` if set, else the host's available parallelism. On a
+    /// single-core runner this is 1 and sequential-vs-pool parity is
+    /// expected; anywhere else a speedup below 1.0 means the pool lost.
+    pool_workers: usize,
     host_cores: usize,
     scale: String,
     seed: u64,
@@ -346,18 +393,34 @@ fn run_bench_json(scale: Scale, seed: u64) {
             speedup,
         });
     }
+    let pool_workers = rayon::pool::ThreadPool::global().threads();
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if pool_workers > 1 {
+        for r in rows.iter().filter(|r| r.speedup < 1.0) {
+            eprintln!(
+                "warning: {} ran {:.2}x SLOWER on {} pool workers than sequential \
+                 ({:.3}s vs {:.3}s) — the pool is losing on this host",
+                r.name,
+                1.0 / r.speedup.max(1e-12),
+                pool_workers,
+                r.parallel_s,
+                r.sequential_s
+            );
+        }
+    }
     let ledger = BenchLedger {
         threads,
-        host_cores: std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
+        pool_workers,
+        host_cores,
         scale: format!("{scale:?}"),
         seed,
         experiments: rows,
     };
     let out = serde_json::to_string_pretty(&ledger).expect("ledger serializes");
     std::fs::write("BENCH_parallel.json", out).expect("write BENCH_parallel.json");
-    println!("\nwrote BENCH_parallel.json ({threads} pool threads)");
+    println!("\nwrote BENCH_parallel.json ({pool_workers} pool workers)");
     run_chaos_bench(scale, seed);
 }
 
@@ -462,6 +525,10 @@ fn main() {
         run_sched_json(scale, seed);
         return;
     }
+    if args.iter().any(|a| a == "--prefetch-json") {
+        run_prefetch_json(scale, seed);
+        return;
+    }
     let mut wanted: Vec<&str> = args
         .iter()
         .map(String::as_str)
@@ -482,6 +549,7 @@ fn main() {
             "failover",
             "ablations",
             "sched",
+            "prefetch",
         ];
     }
     println!(
@@ -503,6 +571,7 @@ fn main() {
             "failover" => run_failover(scale, seed),
             "ablations" => run_ablations(seed),
             "sched" => drop(run_sched(scale, seed)),
+            "prefetch" => drop(run_prefetch(scale, seed)),
             other => eprintln!("unknown experiment {other:?} (see --help in source)"),
         }
     }

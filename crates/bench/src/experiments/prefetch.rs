@@ -1,0 +1,109 @@
+//! Prediction-driven read-ahead: the consumer-fleet makespan with the
+//! prefetcher on vs off.
+//!
+//! The paper's prediction machinery (eq. (2)) is used *proactively* here:
+//! the scheduler walks the admitted queue tails, estimates each remote
+//! read's fetch cost against the predicted idle window in front of it,
+//! and stages winning reads into the cache while the foreground stream is
+//! busy with other sessions' writes. This experiment sweeps the tape-heavy
+//! consumer fleet ([`msr_apps::multi::consumer_fleet`]) across concurrency
+//! levels and records both makespans plus the prefetcher's own accounting.
+//! The 1-session level is the *declining* workload — no idle window exists,
+//! admission stages nothing, and the two makespans must agree to well
+//! under 1%.
+
+use super::Scale;
+use msr_apps::multi::{consumer_fleet, run_concurrent_prefetch};
+use msr_core::MsrSystem;
+use serde::Serialize;
+
+/// One concurrency level of the read-ahead sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct PrefetchPoint {
+    /// Concurrent consumer sessions admitted.
+    pub sessions: usize,
+    /// Scheduled makespan with read-ahead off, virtual seconds.
+    pub off_s: f64,
+    /// Scheduled makespan with read-ahead on, virtual seconds.
+    pub on_s: f64,
+    /// `off / on` — above 1 means the prefetcher won.
+    pub speedup: f64,
+    /// Reads staged into the cache by background fetches.
+    pub prefetched: u64,
+    /// Staged reads served at memory speed.
+    pub hits: u64,
+    /// Staged buffers invalidated before they could be served.
+    pub waste: u64,
+    /// Candidate reads declined by the cost model (fetch would not fit
+    /// the predicted idle window).
+    pub declined: u64,
+}
+
+/// The default sweep the ledger and CI use. Level 1 is the declining
+/// workload; the larger fleets are where idle windows open up.
+pub const PREFETCH_LEVELS: [usize; 3] = [1, 6, 16];
+
+/// Sweep the consumer fleet over `levels` concurrent sessions, running
+/// each level twice on identically seeded systems: read-ahead off, then
+/// on. Both numbers are virtual (simulated) time, so the ledger is
+/// host-independent.
+pub fn prefetch_overlap(scale: Scale, seed: u64, levels: &[usize]) -> Vec<PrefetchPoint> {
+    let (cube, iterations) = match scale {
+        Scale::Paper => (64, 48),
+        Scale::Quick => (16, 24),
+    };
+    levels
+        .iter()
+        .map(|&n| {
+            let off_sys = MsrSystem::testbed(seed);
+            let off = run_concurrent_prefetch(&off_sys, consumer_fleet(n, cube, iterations), false)
+                .expect("prefetch-off fleet");
+            let on_sys = MsrSystem::testbed(seed);
+            let on = run_concurrent_prefetch(&on_sys, consumer_fleet(n, cube, iterations), true)
+                .expect("prefetch-on fleet");
+            for r in [&off, &on] {
+                assert!(
+                    r.sessions.iter().all(|s| s.errors.is_empty()),
+                    "fault-free sweep must serve every request"
+                );
+            }
+            assert_eq!(
+                off.total_bytes, on.total_bytes,
+                "read-ahead must not change the work"
+            );
+            PrefetchPoint {
+                sessions: n,
+                off_s: off.makespan.as_secs(),
+                on_s: on.makespan.as_secs(),
+                speedup: off.makespan.as_secs() / on.makespan.as_secs().max(1e-12),
+                prefetched: on.prefetched,
+                hits: on.prefetch_hits,
+                waste: on.prefetch_waste,
+                declined: on.prefetch_declined,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_wins_where_windows_open_and_costs_nothing_where_they_do_not() {
+        let points = prefetch_overlap(Scale::Quick, 11, &PREFETCH_LEVELS);
+        assert_eq!(points.len(), 3);
+        let lone = &points[0];
+        assert_eq!(lone.prefetched, 0, "no idle window at n=1: {lone:?}");
+        assert!(
+            (lone.speedup - 1.0).abs() <= 0.01,
+            "declining must stay within 1%: {lone:?}"
+        );
+        let busy = points.last().unwrap();
+        assert!(busy.hits > 0, "staged reads must land: {busy:?}");
+        assert!(
+            busy.speedup >= 1.25,
+            "tape-heavy fleet must win by >= 1.25x: {busy:?}"
+        );
+    }
+}

@@ -62,6 +62,9 @@ struct ResourceHealth {
     counters: HealthCounters,
 }
 
+/// Callback invoked when a resource's breaker trips open.
+type TripListener = Box<dyn Fn(StorageKind) + Send + Sync>;
+
 /// The per-resource circuit breaker consulted by placement.
 pub struct HealthTracker {
     state: Mutex<BTreeMap<StorageKind, ResourceHealth>>,
@@ -72,6 +75,9 @@ pub struct HealthTracker {
     enabled: Mutex<bool>,
     clock: Clock,
     rec: Recorder,
+    /// Invoked on every trip, after the state lock is released — e.g. the
+    /// keep-alive pool dropping a tripped resource's warm connections.
+    on_trip: Mutex<Vec<TripListener>>,
 }
 
 impl HealthTracker {
@@ -85,7 +91,16 @@ impl HealthTracker {
             enabled: Mutex::new(true),
             clock,
             rec,
+            on_trip: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Register a callback invoked (with the tripped kind) every time a
+    /// breaker goes `Closed`/`HalfOpen` → `Open`. Listeners run after the
+    /// tracker's own state lock is released, so they may call back into
+    /// other shared components freely.
+    pub fn on_trip(&self, listener: impl Fn(StorageKind) + Send + Sync + 'static) {
+        self.on_trip.lock().push(Box::new(listener));
     }
 
     /// Override the consecutive-failure trip threshold (min 1).
@@ -176,6 +191,12 @@ impl HealthTracker {
             h.opened_at = self.clock.now();
             h.counters.trips += 1;
             self.transition(kind, BreakerState::Open, reason);
+        }
+        drop(map);
+        if trip {
+            for listener in self.on_trip.lock().iter() {
+                listener(kind);
+            }
         }
     }
 
@@ -294,6 +315,31 @@ mod tests {
         t.record_success(k);
         assert_eq!(t.state(k), BreakerState::Closed);
         assert!(t.allows(k));
+    }
+
+    #[test]
+    fn trip_listeners_fire_on_every_trip_only() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let clock = Clock::new();
+        let t = tracker(&clock).with_cooldown(SimDuration::from_secs(5.0));
+        let trips = Arc::new(AtomicUsize::new(0));
+        let seen = trips.clone();
+        t.on_trip(move |kind| {
+            assert_eq!(kind, StorageKind::RemoteTape);
+            seen.fetch_add(1, Ordering::SeqCst);
+        });
+        let k = StorageKind::RemoteTape;
+        t.record_failure(k);
+        t.record_failure(k);
+        assert_eq!(trips.load(Ordering::SeqCst), 0, "below threshold");
+        t.record_failure(k);
+        assert_eq!(trips.load(Ordering::SeqCst), 1);
+        // Failed half-open probe trips again.
+        clock.advance(SimDuration::from_secs(5.0));
+        assert!(t.allows(k));
+        t.record_failure(k);
+        assert_eq!(trips.load(Ordering::SeqCst), 2);
     }
 
     #[test]

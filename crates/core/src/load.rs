@@ -14,10 +14,14 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Shared per-resource pending-request counts. Clones observe the same
-/// board.
+/// board. Foreground depths (the admission queues) feed scored placement;
+/// background depths (in-flight prefetch fetches) are tracked separately
+/// so read-ahead traffic is visible in metrics without inflating the
+/// placement scores of the very resources it is trying to relieve.
 #[derive(Debug, Clone, Default)]
 pub struct LoadBoard {
     depths: Arc<Mutex<BTreeMap<StorageKind, usize>>>,
+    background: Arc<Mutex<BTreeMap<StorageKind, usize>>>,
 }
 
 impl LoadBoard {
@@ -52,6 +56,33 @@ impl LoadBoard {
     pub fn snapshot(&self) -> BTreeMap<StorageKind, usize> {
         self.depths.lock().clone()
     }
+
+    /// Background (prefetch) fetches currently in flight against `kind`.
+    pub fn background(&self, kind: StorageKind) -> usize {
+        self.background.lock().get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Record `n` background fetches starting against `kind`.
+    pub fn bg_enqueued(&self, kind: StorageKind, n: usize) -> usize {
+        let mut depths = self.background.lock();
+        let d = depths.entry(kind).or_insert(0);
+        *d += n;
+        *d
+    }
+
+    /// Record `n` background fetches finishing against `kind`. Saturates
+    /// at zero like [`LoadBoard::dequeued`].
+    pub fn bg_dequeued(&self, kind: StorageKind, n: usize) -> usize {
+        let mut depths = self.background.lock();
+        let d = depths.entry(kind).or_insert(0);
+        *d = d.saturating_sub(n);
+        *d
+    }
+
+    /// All background depths, for metrics snapshots.
+    pub fn background_snapshot(&self) -> BTreeMap<StorageKind, usize> {
+        self.background.lock().clone()
+    }
 }
 
 #[cfg(test)]
@@ -77,5 +108,18 @@ mod tests {
         assert_eq!(other.depth(StorageKind::RemoteTape), 2);
         assert_eq!(other.dequeued(StorageKind::RemoteTape, 5), 0);
         assert_eq!(board.depth(StorageKind::RemoteTape), 0);
+    }
+
+    #[test]
+    fn background_depths_are_independent_of_foreground() {
+        let board = LoadBoard::new();
+        board.enqueued(StorageKind::RemoteTape, 2);
+        assert_eq!(board.bg_enqueued(StorageKind::RemoteTape, 3), 3);
+        // Placement reads foreground depth only.
+        assert_eq!(board.depth(StorageKind::RemoteTape), 2);
+        assert_eq!(board.background(StorageKind::RemoteTape), 3);
+        assert_eq!(board.bg_dequeued(StorageKind::RemoteTape, 5), 0);
+        assert_eq!(board.background_snapshot()[&StorageKind::RemoteTape], 0);
+        assert_eq!(board.depth(StorageKind::RemoteTape), 2);
     }
 }

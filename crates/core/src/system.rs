@@ -13,8 +13,8 @@ use msr_predict::{PTool, PerfDb, Predictor};
 use msr_runtime::{IoEngine, IoStrategy, ProcGrid, RetryPolicy};
 use msr_sim::{derive_seed, Clock, SimDuration, Trace};
 use msr_storage::{
-    share, testbed, FaultInjector, FaultLog, FaultPlan, ObservedResource, SharedResource,
-    StorageKind,
+    share, testbed, FaultInjector, FaultLog, FaultPlan, KeepAlive, KeepAliveHandle,
+    ObservedResource, SharedResource, StorageKind,
 };
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -190,6 +190,34 @@ impl MsrSystem {
         let (wrapped, log) = FaultInjector::wrap(inner, plan, self.clock.clone(), seed);
         self.resources.insert(kind, wrapped);
         Some(log)
+    }
+
+    /// Interpose a connection/read-open keep-alive pool in front of each
+    /// *remote* resource (remote disk and tape; local disk's connection is
+    /// already free). Contiguous batches then pay `T_conn + T_open` once
+    /// per lease of `ttl` virtual time. Each pool is wired into the
+    /// circuit breaker: a resource that trips drops its warm connections
+    /// immediately, so recovery always pays a fresh, observable setup.
+    /// Returns the stats handle per wrapped kind. Opt-in — plain systems
+    /// keep the paper's pay-every-time eq. (1) accounting.
+    pub fn enable_keepalive(&mut self, ttl: SimDuration) -> Vec<(StorageKind, KeepAliveHandle)> {
+        let mut handles = Vec::new();
+        for kind in [StorageKind::RemoteDisk, StorageKind::RemoteTape] {
+            let Some(inner) = self.resources.get(&kind).cloned() else {
+                continue;
+            };
+            let (wrapped, handle) =
+                KeepAlive::wrap(inner, ttl, self.clock.clone(), self.obs.recorder());
+            self.resources.insert(kind, wrapped);
+            let pool = handle.clone();
+            self.health.on_trip(move |tripped| {
+                if tripped == kind {
+                    pool.drop_pooled();
+                }
+            });
+            handles.push((kind, handle));
+        }
+        handles
     }
 
     /// Turn the resilience machinery off: no retries, no circuit breaking.

@@ -1,0 +1,206 @@
+//! Connection keep-alive leases on the virtual timeline.
+//!
+//! Eq. (1) charges `T_conn` on every connection establishment and
+//! `T_connclose` on teardown. A client that issues many requests against
+//! the same server inside a short window should pay those once: the
+//! [`LeasePool`] records, per key (a server endpoint, an open path, …),
+//! *until when* a previously paid setup remains valid. A renewal inside
+//! the TTL is a **hit** (setup cost skipped, lease extended); after the
+//! TTL the lease has **expired** and the next acquisition pays setup
+//! again, with the deferred teardown accounted at expiry instead of on
+//! the caller's critical path.
+//!
+//! The pool is pure virtual-time bookkeeping — it holds no sockets or
+//! handles, so the storage layer can wrap any resource with it without
+//! touching the resource's own state machine.
+
+use msr_sim::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Cumulative accounting of one pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeaseStats {
+    /// Acquisitions that found a live lease and skipped setup.
+    pub hits: u64,
+    /// Acquisitions that paid the full setup cost (no lease, or expired).
+    pub misses: u64,
+    /// Leases that lapsed (TTL elapsed or dropped explicitly).
+    pub expirations: u64,
+}
+
+/// A table of virtual-time leases keyed by string.
+#[derive(Debug)]
+pub struct LeasePool {
+    ttl: SimDuration,
+    /// Key → (lease expiry, teardown cost owed when it lapses).
+    leases: BTreeMap<String, (SimTime, SimDuration)>,
+    stats: LeaseStats,
+    /// Teardown time that lapsed leases paid off the critical path.
+    deferred_teardown: SimDuration,
+}
+
+impl LeasePool {
+    /// A pool whose leases stay warm for `ttl` of virtual time after each
+    /// touch.
+    pub fn new(ttl: SimDuration) -> Self {
+        LeasePool {
+            ttl,
+            leases: BTreeMap::new(),
+            stats: LeaseStats::default(),
+            deferred_teardown: SimDuration::ZERO,
+        }
+    }
+
+    /// The configured time-to-live.
+    pub fn ttl(&self) -> SimDuration {
+        self.ttl
+    }
+
+    /// Acquire `key` at `now`: returns `true` (a hit — the caller may skip
+    /// its setup cost) when a live lease exists, else `false` (the caller
+    /// pays setup and the lease starts). Either way the lease is extended
+    /// to `now + ttl`, and `teardown` is what lapsing will owe.
+    pub fn acquire(&mut self, key: &str, now: SimTime, teardown: SimDuration) -> bool {
+        self.reap(now);
+        let hit = self
+            .leases
+            .get(key)
+            .is_some_and(|&(expires, _)| now < expires);
+        if hit {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+        }
+        self.leases
+            .insert(key.to_owned(), (now + self.ttl, teardown));
+        hit
+    }
+
+    /// Whether `key` holds a live lease at `now` (no side effects).
+    pub fn is_live(&self, key: &str, now: SimTime) -> bool {
+        self.leases
+            .get(key)
+            .is_some_and(|&(expires, _)| now < expires)
+    }
+
+    /// Drop one lease immediately (e.g. the leased state was invalidated
+    /// by a write). Its teardown is accounted as deferred.
+    pub fn invalidate(&mut self, key: &str) {
+        if let Some((_, teardown)) = self.leases.remove(key) {
+            self.stats.expirations += 1;
+            self.deferred_teardown += teardown;
+        }
+    }
+
+    /// Drop every lease immediately (e.g. the resource's circuit breaker
+    /// tripped). Returns how many were live.
+    pub fn drop_all(&mut self) -> usize {
+        let n = self.leases.len();
+        for (_, (_, teardown)) in std::mem::take(&mut self.leases) {
+            self.stats.expirations += 1;
+            self.deferred_teardown += teardown;
+        }
+        n
+    }
+
+    /// Retire leases whose TTL has elapsed by `now`, moving their teardown
+    /// cost into the deferred account. Called by `acquire`; callers may
+    /// also invoke it directly at settlement points.
+    pub fn reap(&mut self, now: SimTime) {
+        let lapsed: Vec<String> = self
+            .leases
+            .iter()
+            .filter(|(_, &(expires, _))| now >= expires)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in lapsed {
+            self.invalidate(&key);
+        }
+    }
+
+    /// Live lease count (after no reaping — may include lapsed entries not
+    /// yet settled).
+    pub fn len(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// Whether no leases are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.leases.is_empty()
+    }
+
+    /// Cumulative hit/miss/expiry counts.
+    pub fn stats(&self) -> LeaseStats {
+        self.stats
+    }
+
+    /// Teardown time settled off the critical path so far.
+    pub fn deferred_teardown(&self) -> SimDuration {
+        self.deferred_teardown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn secs(s: f64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn first_acquire_misses_then_hits_within_ttl() {
+        let mut p = LeasePool::new(secs(10.0));
+        assert!(!p.acquire("srv", at(0.0), secs(0.2)));
+        assert!(p.acquire("srv", at(5.0), secs(0.2)));
+        assert!(p.acquire("srv", at(14.9), secs(0.2)), "touch extended it");
+        assert_eq!(p.stats().hits, 2);
+        assert_eq!(p.stats().misses, 1);
+    }
+
+    #[test]
+    fn lapsed_lease_pays_setup_again_and_defers_teardown() {
+        let mut p = LeasePool::new(secs(10.0));
+        p.acquire("srv", at(0.0), secs(0.2));
+        assert!(!p.acquire("srv", at(10.0), secs(0.2)), "ttl is exclusive");
+        assert_eq!(p.stats().expirations, 1);
+        assert_eq!(p.deferred_teardown(), secs(0.2));
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let mut p = LeasePool::new(secs(10.0));
+        p.acquire("a", at(0.0), secs(0.1));
+        assert!(!p.acquire("b", at(1.0), secs(0.1)));
+        assert!(p.is_live("a", at(1.0)));
+        p.invalidate("a");
+        assert!(!p.is_live("a", at(1.0)));
+        assert!(p.is_live("b", at(1.0)));
+    }
+
+    #[test]
+    fn drop_all_settles_every_lease() {
+        let mut p = LeasePool::new(secs(60.0));
+        p.acquire("a", at(0.0), secs(0.1));
+        p.acquire("b", at(0.0), secs(0.3));
+        assert_eq!(p.drop_all(), 2);
+        assert!(p.is_empty());
+        assert_eq!(p.stats().expirations, 2);
+        assert!(p.deferred_teardown().approx_eq(secs(0.4), 1e-12));
+    }
+
+    #[test]
+    fn reap_only_touches_lapsed_leases() {
+        let mut p = LeasePool::new(secs(5.0));
+        p.acquire("old", at(0.0), secs(0.1));
+        p.acquire("new", at(3.0), secs(0.1));
+        p.reap(at(6.0));
+        assert!(!p.is_live("old", at(6.0)));
+        assert!(p.is_live("new", at(6.0)));
+        assert_eq!(p.stats().expirations, 1);
+    }
+}

@@ -88,6 +88,33 @@ pub mod ops {
     /// A scheduled request re-queued onto another resource after its
     /// placed resource failed or refused it (sched layer instant).
     pub const SCHED_REQUEUE: &str = "sched_requeue";
+    /// A background prefetch fetch staged into the read-ahead cache: the
+    /// span covers the fetch on the resource's background stream, `bytes`
+    /// its payload (sched layer).
+    pub const PREFETCH: &str = "prefetch";
+    /// A queued read served from the read-ahead staging cache instead of
+    /// the resource (sched layer counter).
+    pub const PREFETCH_HIT: &str = "prefetch_hit";
+    /// A staged prefetch that was never consumed — invalidated by a write,
+    /// evicted, not ready in time, or the fetch itself failed (sched layer
+    /// counter).
+    pub const PREFETCH_WASTE: &str = "prefetch_waste";
+    /// A prefetch candidate rejected by the cost-aware admission rule:
+    /// the predicted fetch time exceeded the predicted idle window (sched
+    /// layer counter).
+    pub const PREFETCH_DECLINE: &str = "prefetch_decline";
+    /// A connection or open lease re-used within its TTL, skipping the
+    /// eq. (1) setup cost (storage layer counter).
+    pub const LEASE_HIT: &str = "lease_hit";
+    /// A pooled lease expired or was dropped (cooldown, breaker trip),
+    /// charging its deferred teardown (storage layer counter).
+    pub const LEASE_EXPIRE: &str = "lease_expire";
+    /// A fresh scratch buffer allocated by the engine pack/sieve phase
+    /// (runtime layer counter).
+    pub const SCRATCH_ALLOC: &str = "scratch_alloc";
+    /// A pooled scratch buffer re-used by the engine pack/sieve phase
+    /// (runtime layer counter).
+    pub const SCRATCH_REUSE: &str = "scratch_reuse";
 }
 
 #[cfg(test)]

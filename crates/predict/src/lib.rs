@@ -23,16 +23,18 @@ pub mod model;
 pub mod perfdb;
 pub mod predictor;
 pub mod ptool;
+pub mod readahead;
 
 pub use accuracy::{compare, ComparisonRow};
 pub use feeder::{observed_resources, FeedSummary, PerfDbFeeder};
-pub use model::{dump_time, AccessSummary};
+pub use model::{dump_time, dump_time_with, AccessSummary};
 pub use perfdb::{PerfDb, ResourceProfile};
 pub use predictor::{
     queue_adjusted, DatasetPlan, PlacementScore, PredictionReport, PredictionRow, Predictor,
     RunSpec,
 };
 pub use ptool::PTool;
+pub use readahead::{fetch_estimate, profile_for};
 
 /// Convenience result alias.
 pub type PredictResult<T> = Result<T, PredictError>;

@@ -71,7 +71,17 @@ pub fn dump_time(
     strategy: IoStrategy,
     access: &AccessSummary,
 ) -> PredictResult<SimDuration> {
-    let p = db.get(resource, op)?;
+    Ok(dump_time_with(db.get(resource, op)?, strategy, access))
+}
+
+/// [`dump_time`] against an explicit profile, for callers that hold one
+/// directly — e.g. the read-ahead estimator, which synthesizes a profile
+/// from a resource's model hooks when the database has no measured row.
+pub fn dump_time_with(
+    p: &crate::perfdb::ResourceProfile,
+    strategy: IoStrategy,
+    access: &AccessSummary,
+) -> SimDuration {
     let f = p.fixed;
     let session = f.conn + f.connclose;
     let per_proc = match strategy {
@@ -100,7 +110,7 @@ pub fn dump_time(
             f.open + contended + f.close
         }
     };
-    Ok(session + per_proc)
+    session + per_proc
 }
 
 #[cfg(test)]

@@ -1,0 +1,112 @@
+//! Fetch-cost estimation for the prediction-driven prefetcher.
+//!
+//! The scheduler's read-ahead admission rule compares the predicted cost
+//! of staging a future read against the predicted idle window before that
+//! read's chain is served. Both sides come from eq. (2) pieces: the window
+//! is the sum of `dump_time` estimates for the requests queued ahead, and
+//! the fetch cost is a `dump_time` for the read itself. This module
+//! supplies the profile those estimates run against — the measured
+//! [`PerfDb`] row when the performance database has one, else a profile
+//! synthesized from the resource's own deterministic model hooks
+//! ([`msr_storage::StorageResource::fixed_costs`] /
+//! [`msr_storage::StorageResource::transfer_model`]), so prefetch admission
+//! works even before a PTool sweep has populated the database.
+
+use crate::model::{dump_time_with, AccessSummary};
+use crate::perfdb::{PerfDb, ResourceProfile};
+use msr_runtime::IoStrategy;
+use msr_sim::SimDuration;
+use msr_storage::{OpKind, SharedResource};
+
+/// Request sizes sampled from the transfer model when synthesizing a
+/// profile: 4 KB to 128 MB, the range the PTool sweeps.
+const SYNTH_SAMPLE_BYTES: [u64; 5] = [4_096, 65_536, 1 << 20, 1 << 24, 1 << 27];
+
+/// The eq. (2) profile for `res` under `op`: the measured database row
+/// when `db` has one, else one synthesized from the resource's model
+/// hooks. Synthesis is deterministic (model hooks carry no jitter), so
+/// admission decisions are reproducible either way.
+pub fn profile_for(db: Option<&PerfDb>, res: &SharedResource, op: OpKind) -> ResourceProfile {
+    let r = res.lock();
+    if let Some(db) = db {
+        if let Ok(p) = db.get(r.name(), op) {
+            return p.clone();
+        }
+    }
+    ResourceProfile {
+        kind: r.kind(),
+        fixed: r.fixed_costs(op),
+        samples: SYNTH_SAMPLE_BYTES
+            .iter()
+            .map(|&b| (b, r.transfer_model(op, b, 1).as_secs()))
+            .collect(),
+    }
+}
+
+/// Predicted time to move one dump of `access` under `strategy` against
+/// `profile` — used for both sides of the admission inequality.
+pub fn fetch_estimate(
+    profile: &ResourceProfile,
+    strategy: IoStrategy,
+    access: &AccessSummary,
+) -> SimDuration {
+    dump_time_with(profile, strategy, access)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msr_runtime::{Dims3, Distribution, Pattern, ProcGrid};
+    use msr_storage::{share, DiskParams, LocalDisk};
+
+    fn disk() -> SharedResource {
+        share(LocalDisk::new("d", DiskParams::simple(50.0, 1 << 30), 3))
+    }
+
+    fn access() -> AccessSummary {
+        let dist =
+            Distribution::new(Dims3::cube(64), 4, Pattern::bbb(), ProcGrid::new(2, 2, 2)).unwrap();
+        AccessSummary::of(&dist)
+    }
+
+    #[test]
+    fn synthesized_profile_tracks_the_model_hooks() {
+        let r = disk();
+        let p = profile_for(None, &r, OpKind::Read);
+        let expected = {
+            let r = r.lock();
+            (r.kind(), r.fixed_costs(OpKind::Read))
+        };
+        assert_eq!(p.kind, expected.0);
+        assert_eq!(p.fixed, expected.1);
+        assert_eq!(p.samples.len(), SYNTH_SAMPLE_BYTES.len());
+        // A 50 MB/s disk should price ~1 MB at ~0.02 s in the curve.
+        let t = p.transfer_time(1 << 20).as_secs();
+        assert!((0.005..0.1).contains(&t), "got {t}");
+    }
+
+    #[test]
+    fn measured_profile_wins_over_synthesis() {
+        let r = disk();
+        let mut db = PerfDb::new();
+        let mut measured = profile_for(None, &r, OpKind::Read);
+        measured.samples = vec![(1, 123.0), (1 << 30, 123.0)];
+        db.insert("d", OpKind::Read, measured);
+        let p = profile_for(Some(&db), &r, OpKind::Read);
+        assert!(
+            p.transfer_time(1 << 20).as_secs() > 100.0,
+            "the planted measured curve was used"
+        );
+    }
+
+    #[test]
+    fn estimate_is_deterministic_and_positive() {
+        let r = disk();
+        let p = profile_for(None, &r, OpKind::Read);
+        let a = access();
+        let t1 = fetch_estimate(&p, IoStrategy::Collective, &a);
+        let t2 = fetch_estimate(&p, IoStrategy::Collective, &a);
+        assert_eq!(t1, t2);
+        assert!(t1 > SimDuration::ZERO);
+    }
+}

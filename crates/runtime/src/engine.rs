@@ -36,8 +36,83 @@ use serde::{Deserialize, Serialize};
 /// node class).
 pub const MEMCPY_MB_S: f64 = 400.0;
 
-fn memcpy_cost(bytes: u64) -> SimDuration {
+/// Virtual cost of moving `bytes` through node memory at [`MEMCPY_MB_S`] —
+/// also the charge for a read served from the prefetch staging cache.
+pub fn memcpy_cost(bytes: u64) -> SimDuration {
     SimDuration::from_secs(bytes as f64 / (MEMCPY_MB_S * 1e6))
+}
+
+/// Global free list of host-side scratch buffers for the pack/sieve
+/// phases. The pool workers are scoped per parallel region (no persistent
+/// threads to hang thread-locals on), so the list is shared; buffers are
+/// resized to the exact requested length, keeping assembled data
+/// independent of which buffer was handed out.
+mod scratch {
+    use parking_lot::Mutex;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static POOL: Mutex<Vec<Vec<u8>>> = Mutex::new(Vec::new());
+    static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    static REUSES: AtomicU64 = AtomicU64::new(0);
+    /// Bound on pooled buffers, so a wide dump doesn't pin memory forever.
+    const MAX_POOLED: usize = 64;
+
+    fn take() -> Option<Vec<u8>> {
+        let pooled = POOL.lock().pop();
+        if pooled.is_some() {
+            REUSES.fetch_add(1, Ordering::Relaxed);
+        } else {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        pooled
+    }
+
+    /// A zero-filled buffer of exactly `len` bytes; `true` when it came
+    /// from the pool.
+    pub fn take_zeroed(len: usize) -> (Vec<u8>, bool) {
+        match take() {
+            Some(mut buf) => {
+                buf.clear();
+                buf.resize(len, 0);
+                (buf, true)
+            }
+            None => (vec![0u8; len], false),
+        }
+    }
+
+    /// An empty buffer with at least `cap` capacity, for packing; `true`
+    /// when it came from the pool.
+    pub fn take_packed(cap: usize) -> (Vec<u8>, bool) {
+        match take() {
+            Some(mut buf) => {
+                buf.clear();
+                buf.reserve(cap);
+                (buf, true)
+            }
+            None => (Vec::with_capacity(cap), false),
+        }
+    }
+
+    /// Return a buffer to the pool for the next dump.
+    pub fn give(buf: Vec<u8>) {
+        let mut pool = POOL.lock();
+        if pool.len() < MAX_POOLED {
+            pool.push(buf);
+        }
+    }
+
+    /// Cumulative `(fresh allocations, pool reuses)` across the process.
+    pub fn counters() -> (u64, u64) {
+        (
+            ALLOCS.load(Ordering::Relaxed),
+            REUSES.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Cumulative scratch-pool counters: `(fresh allocations, pool reuses)`.
+pub fn scratch_counters() -> (u64, u64) {
+    scratch::counters()
 }
 
 /// Window size for parallel bulk copies of one contiguous buffer.
@@ -155,6 +230,8 @@ struct OpCx {
     tl: Timeline,
     retries: usize,
     backoff: SimDuration,
+    scratch_allocs: usize,
+    scratch_reuses: usize,
 }
 
 impl OpCx {
@@ -163,6 +240,16 @@ impl OpCx {
             tl: Timeline::new(nprocs),
             retries: 0,
             backoff: SimDuration::ZERO,
+            scratch_allocs: 0,
+            scratch_reuses: 0,
+        }
+    }
+
+    fn note_scratch(&mut self, reused: bool) {
+        if reused {
+            self.scratch_reuses += 1;
+        } else {
+            self.scratch_allocs += 1;
         }
     }
 }
@@ -278,6 +365,33 @@ impl IoEngine {
         }
     }
 
+    /// Emit this operation's scratch-pool activity, from the sequential
+    /// phase only, so the event stream never depends on how parallel
+    /// closures interleave.
+    fn record_scratch(&self, resource: &str, cx: &OpCx) {
+        if !self.recorder.enabled() {
+            return;
+        }
+        if cx.scratch_allocs > 0 {
+            self.recorder.count(
+                Layer::Runtime,
+                resource,
+                ops::SCRATCH_ALLOC,
+                self.clock.now(),
+                cx.scratch_allocs as f64,
+            );
+        }
+        if cx.scratch_reuses > 0 {
+            self.recorder.count(
+                Layer::Runtime,
+                resource,
+                ops::SCRATCH_REUSE,
+                self.clock.now(),
+                cx.scratch_reuses as f64,
+            );
+        }
+    }
+
     /// Write the full global array `data` (row-major) as dataset file
     /// `path` on `res`, distributed per `dist`, with `strategy`.
     pub fn write(
@@ -329,6 +443,7 @@ impl IoEngine {
             stale: false,
         };
         self.record_strategy(r.name(), "write", &report);
+        self.record_scratch(r.name(), &cx);
         Ok(report)
     }
 
@@ -370,6 +485,51 @@ impl IoEngine {
             );
         }
         Ok(outcome)
+    }
+
+    /// Serve a read request from prefetched bytes already staged in memory:
+    /// no native calls, no seeded jitter draws — the only charge is one
+    /// memcpy of the dataset through node memory, so a staged serve costs
+    /// the same at every thread count. `resource` names the resource the
+    /// data would have come from (for the trace).
+    pub fn staged_read(
+        &self,
+        resource: &str,
+        req: &crate::request::EngineRequest,
+        data: &Bytes,
+    ) -> RuntimeResult<crate::request::RequestOutcome> {
+        let total = req.dist.total_bytes();
+        if data.len() as u64 != total {
+            return Err(RuntimeError::SizeMismatch {
+                expected: total,
+                got: data.len() as u64,
+            });
+        }
+        let elapsed = memcpy_cost(total);
+        let report = IoReport {
+            strategy: req.strategy,
+            nprocs: req.dist.nprocs(),
+            native_reads: 0,
+            native_writes: 0,
+            native_opens: 0,
+            bytes: total,
+            elapsed,
+            total_work: elapsed,
+            retries: 0,
+            backoff: SimDuration::ZERO,
+            stale: false,
+        };
+        if self.recorder.enabled() {
+            self.recorder.span(
+                Layer::Runtime,
+                resource,
+                "read:staged",
+                self.clock.now(),
+                elapsed,
+                total,
+            );
+        }
+        Ok(crate::request::RequestOutcome::Read(data.to_vec(), report))
     }
 
     /// Read dataset file `path` from `res` into a freshly assembled global
@@ -463,7 +623,8 @@ impl IoEngine {
             };
             // Read-modify-write: fetch the covering extent (zeros where the
             // file is short), overlay this process's runs, write it back.
-            let mut buf = vec![0u8; extent.len as usize];
+            let (mut buf, reused) = scratch::take_zeroed(extent.len as usize);
+            cx.note_scratch(reused);
             let file_exists = r.exists(path);
             if file_exists && !(p == 0 && mode == OpenMode::Create) {
                 let open = self.retried(cx, p, r, |r| r.open(path, OpenMode::Read))?;
@@ -501,6 +662,7 @@ impl IoEngine {
             cx.tl.charge(p, write.time);
             let close = self.retried(cx, p, r, |r| r.close(open.value))?;
             cx.tl.charge(p, close.time);
+            scratch::give(buf);
         }
         Ok(())
     }
@@ -542,31 +704,33 @@ impl IoEngine {
     ) -> RuntimeResult<()> {
         r.set_stream_hint(dist.nprocs() as u32);
         // Phase 1 (parallel): gather every process's block into a packed
-        // buffer. Each rank reads disjoint runs of `data`, so the packs are
-        // independent; `collect` keeps them in rank order.
-        let bufs: Vec<Vec<u8>> = (0..dist.nprocs())
+        // scratch buffer. Each rank reads disjoint runs of `data`, so the
+        // packs are independent; `collect` keeps them in rank order.
+        let bufs: Vec<(Vec<u8>, bool)> = (0..dist.nprocs())
             .into_par_iter()
             .map(|p| {
-                let mut buf = Vec::with_capacity(dist.bytes_for(p) as usize);
+                let (mut buf, reused) = scratch::take_packed(dist.bytes_for(p) as usize);
                 for chunk in dist.chunks_for(p) {
                     buf.extend_from_slice(&data[chunk.offset as usize..chunk.end() as usize]);
                 }
-                buf
+                (buf, reused)
             })
             .collect();
         // Phase 2 (sequential): native calls and charges in rank order,
         // exactly as the sequential engine issued them.
-        for (p, buf) in bufs.iter().enumerate() {
+        for (p, (buf, reused)) in bufs.into_iter().enumerate() {
+            cx.note_scratch(reused);
             cx.tl.charge(p, memcpy_cost(buf.len() as u64));
             let sub = subfile_path(path, p);
             // Each process owns its subfile outright, so Create never
             // tramples another rank's data.
             let open = self.retried(cx, p, r, |r| r.open(&sub, mode))?;
             cx.tl.charge(p, open.time);
-            let write = self.retried(cx, p, r, |r| r.write(open.value, buf))?;
+            let write = self.retried(cx, p, r, |r| r.write(open.value, &buf))?;
             cx.tl.charge(p, write.time);
             let close = self.retried(cx, p, r, |r| r.close(open.value))?;
             cx.tl.charge(p, close.time);
+            scratch::give(buf);
         }
         Ok(())
     }

@@ -1,0 +1,248 @@
+//! Read-ahead (prefetch) overlap accounting — the symmetric twin of
+//! [`crate::pipeline::WriteBehind`].
+//!
+//! Write-behind hides I/O *after* the data exists; read-ahead hides it
+//! *before* the data is needed. In virtual time: while the application
+//! computes for `c` seconds, previously issued background fetches make `c`
+//! seconds of progress. A consume that finds its bytes already staged is
+//! free; one that catches a fetch mid-flight stalls for the remainder; one
+//! whose fetch was never issued (or declined) pays the full on-demand
+//! cost. The buffer budget bounds how many bytes may be staged or in
+//! flight — the model the scheduler's prefetcher instantiates per run to
+//! keep makespan accounting exact at any thread count.
+
+use msr_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// One outstanding background fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Fetch {
+    bytes: u64,
+    remaining: SimDuration,
+}
+
+/// Accounting state of a read-ahead pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReadAhead {
+    /// Maximum bytes staged plus in flight before fetches are declined.
+    pub buffer_bytes: u64,
+    ready_bytes: u64,
+    inflight_bytes: u64,
+    fetches: Vec<Fetch>,
+    app_busy: SimDuration,
+    stall: SimDuration,
+    hits: u64,
+    misses: u64,
+    max_staged_bytes: u64,
+}
+
+impl ReadAhead {
+    /// A pipeline with the given staging budget.
+    pub fn new(buffer_bytes: u64) -> Self {
+        ReadAhead {
+            buffer_bytes,
+            ready_bytes: 0,
+            inflight_bytes: 0,
+            fetches: Vec::new(),
+            app_busy: SimDuration::ZERO,
+            stall: SimDuration::ZERO,
+            hits: 0,
+            misses: 0,
+            max_staged_bytes: 0,
+        }
+    }
+
+    /// Issue a background fetch of `bytes` that would take `io_time` on
+    /// demand. Returns `false` (and fetches nothing) when the staging
+    /// budget cannot hold it — the caller falls back to on-demand.
+    pub fn fetch(&mut self, bytes: u64, io_time: SimDuration) -> bool {
+        if self.buffer_bytes > 0
+            && self.ready_bytes + self.inflight_bytes + bytes > self.buffer_bytes
+        {
+            return false;
+        }
+        self.inflight_bytes += bytes;
+        self.fetches.push(Fetch {
+            bytes,
+            remaining: io_time,
+        });
+        self.max_staged_bytes = self
+            .max_staged_bytes
+            .max(self.ready_bytes + self.inflight_bytes);
+        true
+    }
+
+    /// The application computes for `c`: in-flight fetches progress
+    /// concurrently, oldest first (one background stream).
+    pub fn compute(&mut self, c: SimDuration) {
+        self.app_busy += c;
+        self.progress(c);
+    }
+
+    fn progress(&mut self, mut budget: SimDuration) {
+        while budget > SimDuration::ZERO {
+            let Some(head) = self.fetches.first_mut() else {
+                break;
+            };
+            let step = head.remaining.min(budget);
+            head.remaining -= step;
+            budget -= step;
+            if head.remaining.is_zero() {
+                self.inflight_bytes -= head.bytes;
+                self.ready_bytes += head.bytes;
+                self.fetches.remove(0);
+            }
+        }
+    }
+
+    /// The application needs `bytes`, which would cost `on_demand` if read
+    /// synchronously. Staged bytes are free; a fetch caught mid-flight
+    /// stalls for its remainder; anything else pays full price.
+    pub fn consume(&mut self, bytes: u64, on_demand: SimDuration) {
+        if bytes <= self.ready_bytes {
+            self.ready_bytes -= bytes;
+            self.hits += 1;
+            return;
+        }
+        if self.inflight_bytes > 0 && bytes <= self.ready_bytes + self.inflight_bytes {
+            // Wait for fetches to cover the shortfall: the stall equals the
+            // remaining time of the fetches needed, which then land staged.
+            let mut need = bytes - self.ready_bytes;
+            let mut wait = SimDuration::ZERO;
+            for f in &self.fetches {
+                wait += f.remaining;
+                if f.bytes >= need {
+                    break;
+                }
+                need -= f.bytes;
+            }
+            self.stall += wait;
+            self.app_busy += wait;
+            self.progress(wait);
+            self.ready_bytes -= bytes.min(self.ready_bytes);
+            self.hits += 1;
+            return;
+        }
+        // Never fetched (or declined): synchronous read on the critical path.
+        self.app_busy += on_demand;
+        self.misses += 1;
+    }
+
+    /// Total elapsed virtual time if the run ended now. Unconsumed
+    /// background fetches do not extend the makespan — they were off the
+    /// critical path (their cost shows up as waste, not time).
+    pub fn makespan(&self) -> SimDuration {
+        self.app_busy
+    }
+
+    /// Time the application spent waiting on in-flight fetches.
+    pub fn stall_time(&self) -> SimDuration {
+        self.stall
+    }
+
+    /// Consumes served (fully or partially) from staged data.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Consumes that paid the full on-demand cost.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Background fetch time still in flight.
+    pub fn pending(&self) -> SimDuration {
+        self.fetches
+            .iter()
+            .fold(SimDuration::ZERO, |a, f| a + f.remaining)
+    }
+
+    /// High-water mark of staged plus in-flight bytes.
+    pub fn max_staged_bytes(&self) -> u64 {
+        self.max_staged_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(s: f64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn perfect_overlap_hides_reads() {
+        let mut p = ReadAhead::new(u64::MAX);
+        for _ in 0..10 {
+            p.fetch(1000, secs(1.0));
+            p.compute(secs(2.0)); // compute longer than the fetch: hidden
+            p.consume(1000, secs(1.0));
+        }
+        assert_eq!(p.makespan(), secs(20.0));
+        assert_eq!(p.stall_time(), SimDuration::ZERO);
+        assert_eq!(p.hits(), 10);
+    }
+
+    #[test]
+    fn io_bound_run_stalls_for_the_remainder() {
+        let mut p = ReadAhead::new(u64::MAX);
+        for _ in 0..10 {
+            p.fetch(1000, secs(3.0));
+            p.compute(secs(1.0));
+            p.consume(1000, secs(3.0)); // 2 s still in flight → stall
+        }
+        assert_eq!(p.makespan(), secs(30.0));
+        assert_eq!(p.stall_time(), secs(20.0));
+        assert_eq!(p.hits(), 10);
+    }
+
+    #[test]
+    fn unfetched_consume_pays_on_demand() {
+        let mut p = ReadAhead::new(u64::MAX);
+        p.compute(secs(5.0));
+        p.consume(1000, secs(2.0));
+        assert_eq!(p.makespan(), secs(7.0));
+        assert_eq!(p.misses(), 1);
+    }
+
+    #[test]
+    fn full_buffer_declines_the_fetch() {
+        let mut p = ReadAhead::new(1500);
+        assert!(p.fetch(1000, secs(1.0)));
+        assert!(!p.fetch(1000, secs(1.0)), "budget exceeded");
+        p.compute(secs(2.0));
+        p.consume(1000, secs(1.0));
+        p.consume(1000, secs(1.0)); // the declined one: on-demand
+        assert_eq!(p.makespan(), secs(3.0));
+        assert_eq!(p.hits(), 1);
+        assert_eq!(p.misses(), 1);
+        assert_eq!(p.max_staged_bytes(), 1000);
+    }
+
+    #[test]
+    fn unconsumed_prefetch_is_waste_not_makespan() {
+        let mut p = ReadAhead::new(u64::MAX);
+        p.fetch(1000, secs(4.0));
+        p.compute(secs(1.0));
+        assert_eq!(p.makespan(), secs(1.0), "in-flight fetch is off-path");
+        assert_eq!(p.pending(), secs(3.0));
+    }
+
+    #[test]
+    fn matches_write_behind_symmetry_on_balanced_load() {
+        // Equal compute and I/O phases: both models converge to the same
+        // makespan (compute-bound, I/O fully hidden).
+        let mut ra = ReadAhead::new(u64::MAX);
+        let mut wb = crate::pipeline::WriteBehind::new(u64::MAX);
+        for _ in 0..8 {
+            ra.fetch(100, secs(1.0));
+            ra.compute(secs(1.0));
+            ra.consume(100, secs(1.0));
+            wb.submit(100, secs(1.0));
+            wb.compute(secs(1.0));
+        }
+        assert_eq!(ra.makespan(), secs(8.0));
+        assert_eq!(wb.makespan(), secs(8.0));
+    }
+}

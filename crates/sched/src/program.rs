@@ -28,6 +28,14 @@ pub struct SessionProgram {
     /// Also read every dataset's first dump back at the end of the
     /// program (a post-processing consumer folded into the same session).
     pub readback: bool,
+    /// Read this many of each dataset's earliest dumps back at the end of
+    /// the program. Unlike [`readback`](SessionProgram::readback) (which
+    /// chains its single read directly behind the dumps), a non-zero
+    /// `readbacks` expands with a sequence hole before the reads, so the
+    /// consumer reads form their own dispatch chains — the shape the
+    /// prediction-driven prefetcher can overlap with other sessions'
+    /// foreground work.
+    pub readbacks: u32,
 }
 
 impl SessionProgram {
@@ -41,6 +49,7 @@ impl SessionProgram {
             grid: ProcGrid::new(1, 1, 1),
             datasets: Vec::new(),
             readback: false,
+            readbacks: 0,
         }
     }
 
@@ -71,6 +80,14 @@ impl SessionProgram {
     /// Read each dataset's first dump back at the end of the program.
     pub fn readback(mut self, readback: bool) -> Self {
         self.readback = readback;
+        self
+    }
+
+    /// Read each dataset's `n` earliest dumps back at the end of the
+    /// program, expanded as standalone read chains (see
+    /// [`SessionProgram::readbacks`]).
+    pub fn readbacks(mut self, n: u32) -> Self {
+        self.readbacks = n;
         self
     }
 }

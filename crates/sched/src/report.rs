@@ -58,6 +58,16 @@ pub struct SchedReport {
     pub max_batch: usize,
     /// `total_bytes / makespan`, MB/s of virtual time.
     pub throughput_mb_s: f64,
+    /// Reads the prefetcher staged into the cache (0 with prefetch off).
+    pub prefetched: u64,
+    /// Reads served from staged bytes at memory speed.
+    pub prefetch_hits: u64,
+    /// Staged buffers that were never served: overwritten, evicted,
+    /// cache-declined, or beaten by their own on-demand serve.
+    pub prefetch_waste: u64,
+    /// Candidate reads whose predicted fetch did not fit the predicted
+    /// idle window and were never fetched.
+    pub prefetch_declined: u64,
 }
 
 impl SchedReport {

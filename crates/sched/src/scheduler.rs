@@ -28,15 +28,36 @@
 //! re-queued onto the static fallback resource; a resource whose circuit
 //! is already open is never dispatched to, its queue draining to fallback
 //! resources the same way.
+//!
+//! **Read-ahead** (opt-in via [`Scheduler::with_prefetch`] or
+//! `MSR_PREFETCH=1`) walks the tail of each resource's admitted queue
+//! between rounds, prices every future remote read with the eq. (2)
+//! estimator (`msr-predict`), and stages the ones whose predicted fetch
+//! fits inside the predicted idle window before their chain is served.
+//! Fetches run as a *background stream* on the resource — accounted on a
+//! separate background cursor that overlaps the foreground cursor — and
+//! land in a shared [`StagingCache`]; when a staged read reaches the head
+//! of its queue it is served at memory speed instead of paying the remote
+//! resource again. Planning, admission and serving all happen on the
+//! dispatcher thread, and each resource's fetches execute inside the same
+//! closure as its foreground batch, so the determinism contract (bitwise
+//! identical per-session reports at any `MSR_THREADS`) is preserved with
+//! prefetch on. A fetch that fails is dropped silently — the read falls
+//! back to the normal on-demand path and the session never sees the error.
 
 use crate::program::{payload, SessionProgram};
 use crate::report::{SchedReport, SessionReport};
+use bytes::Bytes;
 use msr_core::{placement, CoreError, CoreResult, DatasetSpec, MsrSystem, Session};
 use msr_meta::{AccessMode, Location, RunId};
 use msr_obs::{ops, Layer, Recorder};
-use msr_runtime::{Distribution, EngineRequest, IoReport, RequestBody, RequestOutcome, RequestTag};
+use msr_predict::{fetch_estimate, profile_for, AccessSummary, ResourceProfile};
+use msr_runtime::{
+    staging_cache, superfile::DEFAULT_CACHE_LIMIT, Distribution, EngineRequest, IoReport,
+    IoStrategy, RequestBody, RequestOutcome, RequestTag, StagingCache,
+};
 use msr_sim::{SimDuration, SimTime};
-use msr_storage::{OpenMode, StorageKind};
+use msr_storage::{OpKind, OpenMode, StorageKind};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Fixed virtual cost of dispatching one batch to a resource (queue
@@ -78,6 +99,282 @@ struct Acc {
     errors: Vec<String>,
 }
 
+/// One planned background fetch: enough of the future read to execute it
+/// against the resource without touching the queues again.
+struct PlannedFetch {
+    path: String,
+    dist: Distribution,
+    strategy: IoStrategy,
+    /// Queue position at plan time — the staging cache's furthest-next-use
+    /// eviction tag.
+    next_use: u64,
+}
+
+/// A resource's admitted fetch work for one round, starting on the
+/// background stream at `start`.
+struct RoundPlan {
+    start: SimTime,
+    fetches: Vec<PlannedFetch>,
+}
+
+type FetchOutcome = Result<(Vec<u8>, IoReport), String>;
+
+/// One round task's result: the resource it ran on, the foreground batch
+/// outcome, and each planned fetch's outcome in plan order.
+type RoundResult = (StorageKind, BatchResult, Vec<(PlannedFetch, FetchOutcome)>);
+
+/// Run-local read-ahead state: the shared staging cache, one background
+/// stream cursor per resource, and the admission bookkeeping. Everything
+/// here lives on the dispatcher thread; the only work that leaves it is
+/// the fetches themselves, which execute inside the owning resource's
+/// round closure (after its foreground batch, in plan order), so the
+/// per-resource operation order — and with it every seeded jitter stream —
+/// is independent of the worker count.
+struct Prefetcher {
+    cache: StagingCache,
+    bg_cursors: BTreeMap<StorageKind, SimTime>,
+    /// Successfully staged paths and the virtual time their fetch landed.
+    ready: BTreeMap<String, SimTime>,
+    /// Every path ever planned (in flight, staged, or failed) — a failed
+    /// fetch is not retried in a loop; the read just runs on demand.
+    planned: BTreeSet<String>,
+    /// Paths whose idle window was too small. Windows only shrink as the
+    /// queue ahead drains, so a decline is final and is counted once.
+    declined: BTreeSet<String>,
+    /// eq. (2) profiles per resource/op, synthesized once (measured PerfDb
+    /// rows win when the database is populated).
+    profiles: BTreeMap<(StorageKind, OpKind), ResourceProfile>,
+    staged: u64,
+    hits: u64,
+    waste: u64,
+    declines: u64,
+}
+
+impl Prefetcher {
+    fn new() -> Prefetcher {
+        Prefetcher {
+            cache: staging_cache(DEFAULT_CACHE_LIMIT),
+            bg_cursors: BTreeMap::new(),
+            ready: BTreeMap::new(),
+            planned: BTreeSet::new(),
+            declined: BTreeSet::new(),
+            profiles: BTreeMap::new(),
+            staged: 0,
+            hits: 0,
+            waste: 0,
+            declines: 0,
+        }
+    }
+
+    /// Predicted service time of `req` on `kind` — the eq. (2) dump time
+    /// against the resource's profile. Used for both sides of the
+    /// admission inequality. Deterministic: profiles are model-derived
+    /// (or measured), never sampled from the live jitter streams.
+    fn estimate(&mut self, sys: &MsrSystem, kind: StorageKind, req: &EngineRequest) -> SimDuration {
+        let op = match req.body {
+            RequestBody::Write { .. } => OpKind::Write,
+            RequestBody::Read => OpKind::Read,
+        };
+        let profile = self.profiles.entry((kind, op)).or_insert_with(|| {
+            let res = sys.resource(kind).expect("queued on a registered kind");
+            profile_for(sys.predictor().map(|p| &p.db), &res, op)
+        });
+        fetch_estimate(profile, req.strategy, &AccessSummary::of(&req.dist))
+    }
+
+    /// Walk `q`'s tail with the eq. (2) estimator and admit every remote
+    /// read whose predicted fetch fits the predicted idle window before
+    /// its own service: `max(bg, fg) + t_fetch ≤ fg + Σ t_est(ahead)`.
+    /// Only reads whose file exists *now* are candidates (a fetch must
+    /// never observe a write that has not been served), and a read with a
+    /// queued write to the same path ahead of it is skipped outright.
+    fn plan(
+        &mut self,
+        sys: &MsrSystem,
+        rec: &Recorder,
+        kind: StorageKind,
+        q: &VecDeque<Queued>,
+        fg_cursor: SimTime,
+    ) -> Option<RoundPlan> {
+        if !matches!(kind, StorageKind::RemoteDisk | StorageKind::RemoteTape)
+            || q.is_empty()
+            || !sys.health.allows(kind)
+        {
+            return None;
+        }
+        let res = sys.resource(kind)?;
+        let start = self
+            .bg_cursors
+            .get(&kind)
+            .copied()
+            .unwrap_or(fg_cursor)
+            .max(fg_cursor);
+        let mut bg_avail = start;
+        let mut ahead = SimDuration::ZERO;
+        let mut writes_ahead: BTreeSet<&str> = BTreeSet::new();
+        let mut fetches = Vec::new();
+        for (idx, item) in q.iter().enumerate() {
+            let req = &item.req;
+            let est = self.estimate(sys, kind, req);
+            if let RequestBody::Write { .. } = req.body {
+                writes_ahead.insert(req.path.as_str());
+            } else if !self.ready.contains_key(&req.path)
+                && !self.planned.contains(&req.path)
+                && !self.declined.contains(&req.path)
+                && !writes_ahead.contains(req.path.as_str())
+                && res.lock().exists(&req.path)
+            {
+                if bg_avail + est <= fg_cursor + ahead {
+                    self.planned.insert(req.path.clone());
+                    bg_avail += est;
+                    fetches.push(PlannedFetch {
+                        path: req.path.clone(),
+                        dist: req.dist,
+                        strategy: req.strategy,
+                        next_use: idx as u64,
+                    });
+                } else {
+                    // Too close to its own service: fetching would push the
+                    // read later than just serving it on demand. Final —
+                    // the window ahead of this path only shrinks.
+                    self.declined.insert(req.path.clone());
+                    self.declines += 1;
+                    rec.count(
+                        Layer::Sched,
+                        &kind.to_string(),
+                        ops::PREFETCH_DECLINE,
+                        fg_cursor,
+                        1.0,
+                    );
+                }
+            }
+            ahead += est;
+        }
+        (!fetches.is_empty()).then_some(RoundPlan { start, fetches })
+    }
+
+    /// Pop the staged-ready run at the head of `q` — reads whose fetch has
+    /// landed by `cursor`, chained under the same rule as a normal batch.
+    fn pop_staged_run(&mut self, q: &mut VecDeque<Queued>, cursor: SimTime) -> Vec<Queued> {
+        let mut batch: Vec<Queued> = Vec::new();
+        loop {
+            let ready = batch.len() < MAX_CHAIN
+                && q.front().is_some_and(|item| {
+                    matches!(item.req.body, RequestBody::Read)
+                        && self.ready.get(&item.req.path).is_some_and(|&t| t <= cursor)
+                        && self.cache.lock().contains(&item.req.path)
+                        && batch
+                            .last()
+                            .is_none_or(|prev| prev.req.chains_with(&item.req))
+                });
+            if !ready {
+                break;
+            }
+            batch.push(q.pop_front().unwrap());
+        }
+        batch
+    }
+
+    /// Take a staged buffer for serving, consuming the entry.
+    fn take(&mut self, path: &str) -> Option<Bytes> {
+        self.ready.remove(path);
+        let mut cache = self.cache.lock();
+        let data = cache.get(path);
+        cache.invalidate(path);
+        data
+    }
+
+    /// A foreground serve touched `path`: drop any staged copy. A write
+    /// makes the copy stale; an on-demand read means the fetch arrived too
+    /// late — either way the staged bytes were wasted.
+    fn note_foreground(
+        &mut self,
+        rec: &Recorder,
+        kind: StorageKind,
+        req: &EngineRequest,
+        at: SimTime,
+    ) {
+        let was_ready = self.ready.remove(&req.path).is_some();
+        let cached = {
+            let mut cache = self.cache.lock();
+            let hit = cache.contains(&req.path);
+            cache.invalidate(&req.path);
+            hit
+        };
+        if was_ready || cached {
+            self.waste += 1;
+            rec.count(
+                Layer::Sched,
+                &kind.to_string(),
+                ops::PREFETCH_WASTE,
+                at,
+                1.0,
+            );
+            if matches!(req.body, RequestBody::Write { .. }) {
+                // Overwritten: the path may be fetched again for a later
+                // read once the new bytes are on the resource.
+                self.planned.remove(&req.path);
+            }
+        }
+    }
+
+    /// Fold one resource's completed fetches into the staging cache and
+    /// advance its background cursor by the *measured* fetch times.
+    fn apply_fetches(
+        &mut self,
+        rec: &Recorder,
+        kind: StorageKind,
+        plan_start: SimTime,
+        results: Vec<(PlannedFetch, FetchOutcome)>,
+    ) {
+        let comp = kind.to_string();
+        let mut t = plan_start;
+        for (f, result) in results {
+            match result {
+                Ok((bytes, report)) => {
+                    let began = t;
+                    t += report.elapsed;
+                    rec.span(
+                        Layer::Sched,
+                        &comp,
+                        ops::PREFETCH,
+                        began,
+                        report.elapsed,
+                        report.bytes,
+                    );
+                    if self
+                        .cache
+                        .lock()
+                        .put_prioritized(&f.path, Bytes::from(bytes), f.next_use)
+                    {
+                        self.ready.insert(f.path, t);
+                        self.staged += 1;
+                    } else {
+                        // The cache declined (admitting would evict an
+                        // entry needed sooner): the fetch was wasted.
+                        self.waste += 1;
+                        rec.count(Layer::Sched, &comp, ops::PREFETCH_WASTE, t, 1.0);
+                    }
+                }
+                Err(e) => {
+                    // Mid-prefetch fault: drop the fetch and let the read
+                    // fall back to on-demand service. No breaker failure is
+                    // recorded — the session never asked for this work.
+                    rec.instant(
+                        Layer::Sched,
+                        &comp,
+                        ops::PREFETCH,
+                        t,
+                        &format!("fetch {} failed: {e}", f.path),
+                    );
+                }
+            }
+        }
+        let cur = self.bg_cursors.entry(kind).or_insert(t);
+        *cur = (*cur).max(t);
+    }
+}
+
 /// The scheduler. Admit programs, then [`run`](Scheduler::run) to drain.
 pub struct Scheduler<'a> {
     sys: &'a MsrSystem,
@@ -86,19 +383,39 @@ pub struct Scheduler<'a> {
     /// Current resource of each `(session, dataset)`, updated on requeue.
     locations: BTreeMap<(u64, String), StorageKind>,
     specs: BTreeMap<(u64, String), DatasetSpec>,
+    prefetch: bool,
 }
 
 impl<'a> Scheduler<'a> {
     /// A scheduler over `sys`. Nothing is queued until programs are
-    /// admitted.
+    /// admitted. Prediction-driven read-ahead defaults to the
+    /// `MSR_PREFETCH` environment variable (`1`/`on`/`true`), off when
+    /// unset.
     pub fn new(sys: &'a MsrSystem) -> Scheduler<'a> {
+        let prefetch = std::env::var("MSR_PREFETCH").is_ok_and(|v| {
+            let v = v.trim().to_ascii_lowercase();
+            v == "1" || v == "on" || v == "true"
+        });
         Scheduler {
             sys,
             rec: sys.obs_recorder(),
             admitted: Vec::new(),
             locations: BTreeMap::new(),
             specs: BTreeMap::new(),
+            prefetch,
         }
+    }
+
+    /// Enable or disable prediction-driven read-ahead for this run,
+    /// overriding `MSR_PREFETCH`.
+    pub fn with_prefetch(mut self, on: bool) -> Self {
+        self.prefetch = on;
+        self
+    }
+
+    /// Whether read-ahead is enabled for this run.
+    pub fn prefetch_enabled(&self) -> bool {
+        self.prefetch
     }
 
     /// Sessions admitted so far.
@@ -146,13 +463,13 @@ impl<'a> Scheduler<'a> {
                 AccessMode::Create => OpenMode::Create,
                 AccessMode::OverWrite => OpenMode::OverWrite,
             };
-            let mut first_path = None;
+            let mut paths = Vec::new();
             for iter in 0..=program.iterations {
                 if !iter.is_multiple_of(spec.frequency) {
                     continue;
                 }
                 let path = dump_path(&program.app, run, spec, iter);
-                first_path.get_or_insert_with(|| path.clone());
+                paths.push(path.clone());
                 let data = payload(id, &spec.name, iter, spec.snapshot_bytes() as usize);
                 requests.push_back(EngineRequest {
                     tag: RequestTag { session: id, seq },
@@ -164,18 +481,26 @@ impl<'a> Scheduler<'a> {
                 });
                 seq += 1;
             }
-            if program.readback {
-                if let Some(path) = first_path {
-                    requests.push_back(EngineRequest {
-                        tag: RequestTag { session: id, seq },
-                        dataset: spec.name.clone(),
-                        path,
-                        dist,
-                        strategy: spec.strategy,
-                        body: RequestBody::Read,
-                    });
-                    seq += 1;
-                }
+            // Consumer reads at the end of the program. `readbacks` opens a
+            // sequence hole first so the reads chain with each other and
+            // not with the dumps — standalone read chains are what the
+            // prefetcher can overlap with other sessions' writes.
+            let consumer_reads = if program.readbacks > 0 {
+                seq += 1;
+                program.readbacks as usize
+            } else {
+                usize::from(program.readback)
+            };
+            for path in paths.into_iter().take(consumer_reads) {
+                requests.push_back(EngineRequest {
+                    tag: RequestTag { session: id, seq },
+                    dataset: spec.name.clone(),
+                    path,
+                    dist,
+                    strategy: spec.strategy,
+                    body: RequestBody::Read,
+                });
+                seq += 1;
             }
         }
 
@@ -244,12 +569,24 @@ impl<'a> Scheduler<'a> {
         let mut rounds = 0u64;
         let mut batches = 0u64;
         let mut max_batch = 0usize;
+        let mut prefetcher = self.prefetch.then(Prefetcher::new);
 
         loop {
-            // One batch per resource per round, in fixed resource order.
+            // One batch per resource per round, in fixed resource order. A
+            // queue whose head is a staged-ready read is served from the
+            // cache instead of dispatching to the resource.
+            let mut staged_served: Vec<(StorageKind, Vec<Queued>)> = Vec::new();
             let mut picked: Vec<(StorageKind, Vec<Queued>)> = Vec::new();
             let mut blocked: Vec<(StorageKind, Vec<Queued>)> = Vec::new();
             for (&kind, q) in queues.iter_mut() {
+                if let Some(p) = prefetcher.as_mut() {
+                    let cursor = cursors.get(&kind).copied().unwrap_or(start);
+                    let run = p.pop_staged_run(q, cursor);
+                    if !run.is_empty() {
+                        staged_served.push((kind, run));
+                        continue;
+                    }
+                }
                 let Some(head) = q.pop_front() else { continue };
                 let mut batch = vec![head];
                 while batch.len() < MAX_CHAIN
@@ -264,25 +601,52 @@ impl<'a> Scheduler<'a> {
                     blocked.push((kind, batch));
                 }
             }
-            if picked.is_empty() && blocked.is_empty() {
+            if picked.is_empty() && blocked.is_empty() && staged_served.is_empty() {
                 break;
             }
             rounds += 1;
 
+            // Plan this round's background fetches against what is still
+            // queued (on the dispatcher thread: planning is pure
+            // prediction, no jitter draws).
+            let mut plans: BTreeMap<StorageKind, RoundPlan> = BTreeMap::new();
+            if let Some(p) = prefetcher.as_mut() {
+                for (&kind, q) in queues.iter() {
+                    let fg = cursors.get(&kind).copied().unwrap_or(start);
+                    if let Some(plan) = p.plan(self.sys, &self.rec, kind, q, fg) {
+                        self.sys.load.bg_enqueued(kind, plan.fetches.len());
+                        plans.insert(kind, plan);
+                    }
+                }
+            }
+
             // Execute the round's batches concurrently: each touches only
             // its own resource, so per-resource state stays deterministic.
+            // A resource's planned fetches ride the same closure, after
+            // its foreground batch, in plan order.
             let engine = &self.sys.engine;
-            let tasks: Vec<_> = picked
-                .into_iter()
-                .map(|(kind, batch)| {
-                    let res = self.sys.resource(kind).expect("placed on registered kind");
-                    (kind, batch, res)
-                })
-                .collect();
-            let results: Vec<(StorageKind, BatchResult)> = rayon::pool::execute(
+            let mut fetch_starts: BTreeMap<StorageKind, SimTime> = BTreeMap::new();
+            let mut tasks = Vec::new();
+            for (kind, batch) in picked {
+                let fetches = match plans.remove(&kind) {
+                    Some(plan) => {
+                        fetch_starts.insert(kind, plan.start);
+                        plan.fetches
+                    }
+                    None => Vec::new(),
+                };
+                let res = self.sys.resource(kind).expect("placed on registered kind");
+                tasks.push((kind, batch, fetches, res));
+            }
+            for (kind, plan) in std::mem::take(&mut plans) {
+                fetch_starts.insert(kind, plan.start);
+                let res = self.sys.resource(kind).expect("placed on registered kind");
+                tasks.push((kind, Vec::new(), plan.fetches, res));
+            }
+            let results: Vec<RoundResult> = rayon::pool::execute(
                 tasks
                     .into_iter()
-                    .map(|(kind, batch, res)| {
+                    .map(|(kind, batch, fetches, res)| {
                         move || {
                             let mut served = Vec::new();
                             let mut pending = batch.into_iter();
@@ -302,17 +666,99 @@ impl<'a> Scheduler<'a> {
                                 e
                             });
                             unserved.extend(pending);
-                            (kind, (served, unserved, error))
+                            let fetched: Vec<(PlannedFetch, FetchOutcome)> = fetches
+                                .into_iter()
+                                .map(|f| {
+                                    let r = engine
+                                        .read(&res, &f.path, &f.dist, f.strategy)
+                                        .map_err(|e| CoreError::from(e).to_string());
+                                    (f, r)
+                                })
+                                .collect();
+                            (kind, (served, unserved, error), fetched)
                         }
                     })
                     .collect(),
             );
 
-            // Apply outcomes on this thread, in the round's fixed order.
-            for (kind, (served, unserved, error)) in results {
+            // Serve this round's staged batches inline, before fetch
+            // results can touch the cache: a staged serve is one dispatch
+            // charge plus a memcpy per read — no resource, no jitter.
+            for (kind, batch) in staged_served {
+                let p = prefetcher.as_mut().expect("staged batches imply prefetch");
+                let comp = kind.to_string();
                 let cursor = cursors.entry(kind).or_insert(start);
                 let batch_start = *cursor;
                 *cursor += dispatch_overhead();
+                let mut batch_bytes = 0u64;
+                let mut n = 0usize;
+                let mut leftovers = Vec::new();
+                for q in batch {
+                    let outcome = p
+                        .take(&q.req.path)
+                        .and_then(|data| engine.staged_read(&comp, &q.req, &data).ok());
+                    let Some(outcome) = outcome else {
+                        // The staged copy vanished under us: back to the
+                        // queue head for on-demand service next round.
+                        leftovers.push(q);
+                        continue;
+                    };
+                    let report = outcome.into_report();
+                    let wait = cursor.since(q.submitted);
+                    self.rec.span(
+                        Layer::Sched,
+                        &comp,
+                        ops::SCHED_WAIT,
+                        q.submitted,
+                        wait,
+                        report.bytes,
+                    );
+                    *cursor += report.elapsed;
+                    batch_bytes += report.bytes;
+                    n += 1;
+                    p.hits += 1;
+                    self.rec
+                        .count(Layer::Sched, &comp, ops::PREFETCH_HIT, *cursor, 1.0);
+                    let depth = self.sys.load.dequeued(kind, 1);
+                    self.rec
+                        .count(Layer::Sched, &comp, ops::QUEUE_DEPTH, *cursor, depth as f64);
+                    let acc = accs.get_mut(&q.req.tag.session).expect("admitted session");
+                    acc.reports.push((q.req.tag.seq, report.clone()));
+                    acc.wait += wait;
+                    acc.bytes += report.bytes;
+                    acc.io += report.elapsed;
+                    acc.completed = acc.completed.max(*cursor);
+                }
+                if n > 0 {
+                    batches += 1;
+                    max_batch = max_batch.max(n);
+                    let dur = cursor.since(batch_start);
+                    self.rec.span(
+                        Layer::Sched,
+                        &comp,
+                        ops::SCHED_DISPATCH,
+                        batch_start,
+                        dur,
+                        batch_bytes,
+                    );
+                }
+                if !leftovers.is_empty() {
+                    let q = queues.entry(kind).or_default();
+                    for item in leftovers.into_iter().rev() {
+                        q.push_front(item);
+                    }
+                }
+            }
+
+            // Apply outcomes on this thread, in the round's fixed order.
+            for (kind, (served, unserved, error), fetched) in results {
+                let cursor = cursors.entry(kind).or_insert(start);
+                let batch_start = *cursor;
+                // Fetch-only tasks carry no foreground batch: the
+                // foreground cursor owes nothing for them.
+                if !served.is_empty() || !unserved.is_empty() || error.is_some() {
+                    *cursor += dispatch_overhead();
+                }
                 let mut batch_bytes = 0u64;
                 let mut n = 0usize;
                 for (q, outcome) in served {
@@ -338,6 +784,9 @@ impl<'a> Scheduler<'a> {
                         *cursor,
                         depth as f64,
                     );
+                    if let Some(p) = prefetcher.as_mut() {
+                        p.note_foreground(&self.rec, kind, &q.req, *cursor);
+                    }
                     let acc = accs.get_mut(&q.req.tag.session).expect("admitted session");
                     acc.reports.push((q.req.tag.seq, report.clone()));
                     acc.wait += wait;
@@ -358,6 +807,15 @@ impl<'a> Scheduler<'a> {
                         batch_bytes,
                     );
                 }
+                if !fetched.is_empty() {
+                    let p = prefetcher.as_mut().expect("fetches imply prefetch");
+                    let fetch_count = fetched.len();
+                    let plan_start = fetch_starts
+                        .remove(&kind)
+                        .expect("planned fetches record their start");
+                    p.apply_fetches(&self.rec, kind, plan_start, fetched);
+                    self.sys.load.bg_dequeued(kind, fetch_count);
+                }
                 if let Some(reason) = error {
                     self.sys.health.record_failure(kind);
                     self.requeue(kind, unserved, &reason, &mut queues, &mut accs);
@@ -369,8 +827,13 @@ impl<'a> Scheduler<'a> {
         }
 
         // The drain overlapped sessions across resources; the global clock
-        // moves once, to the latest cursor.
-        let end = cursors.values().fold(start, |m, &t| m.max(t));
+        // moves once, to the latest cursor — background fetch streams
+        // included, so time spent prefetching never disappears from the
+        // makespan.
+        let mut end = cursors.values().fold(start, |m, &t| m.max(t));
+        if let Some(p) = prefetcher.as_ref() {
+            end = p.bg_cursors.values().fold(end, |m, &t| m.max(t));
+        }
         self.sys.clock.advance_to(end);
 
         let mut sessions = Vec::new();
@@ -409,6 +872,9 @@ impl<'a> Scheduler<'a> {
         } else {
             0.0
         };
+        let (prefetched, prefetch_hits, prefetch_waste, prefetch_declined) = prefetcher
+            .map(|p| (p.staged, p.hits, p.waste, p.declines))
+            .unwrap_or_default();
         Ok(SchedReport {
             sessions,
             makespan,
@@ -417,6 +883,10 @@ impl<'a> Scheduler<'a> {
             batches,
             max_batch,
             throughput_mb_s,
+            prefetched,
+            prefetch_hits,
+            prefetch_waste,
+            prefetch_declined,
         })
     }
 

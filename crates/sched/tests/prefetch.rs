@@ -1,0 +1,173 @@
+//! Read-ahead acceptance: the prediction-driven prefetcher must win on
+//! tape-heavy consumer fleets, cost nothing where it declines, preserve
+//! the determinism contract, and degrade to on-demand service under
+//! injected faults.
+
+use msr_core::{DatasetSpec, FutureUse, MsrSystem};
+use msr_meta::ElementType;
+use msr_sched::{SchedReport, Scheduler, SessionProgram};
+use msr_sim::SimDuration;
+use msr_storage::{FaultPlan, StorageKind};
+
+/// An archival producer that reads its three earliest dumps back at the
+/// end of the run — the consumer-fleet shape from `msr-apps`.
+fn archive_program(i: usize, iterations: u32) -> SessionProgram {
+    SessionProgram::new(&format!("archive-{i:02}"))
+        .user("post")
+        .iterations(iterations)
+        .dataset(
+            DatasetSpec::builder("hist")
+                .element(ElementType::F32)
+                .cube(16)
+                .frequency(6)
+                .future_use(FutureUse::Archive)
+                .build(),
+        )
+        .readbacks(3)
+}
+
+fn fleet(n: usize) -> Vec<SessionProgram> {
+    (0..n).map(|i| archive_program(i, 24)).collect()
+}
+
+fn run(seed: u64, programs: Vec<SessionProgram>, prefetch: bool) -> SchedReport {
+    let sys = MsrSystem::testbed(seed);
+    let mut sched = Scheduler::new(&sys).with_prefetch(prefetch);
+    for p in programs {
+        sched.admit(p).unwrap();
+    }
+    sched.run().unwrap()
+}
+
+/// On a tape-heavy consumer fleet the prefetcher stages reads into the
+/// idle windows behind other sessions' writes and serves them at memory
+/// speed: hits land, the makespan drops, and no request is lost.
+#[test]
+fn prefetch_overlaps_consumer_reads_into_idle_windows() {
+    let off = run(11, fleet(6), false);
+    let on = run(11, fleet(6), true);
+    for s in &on.sessions {
+        assert!(s.errors.is_empty(), "session {}: {:?}", s.session, s.errors);
+    }
+    assert_eq!(on.total_bytes, off.total_bytes, "same work either way");
+    assert!(on.prefetched > 0, "fetches must be admitted");
+    assert!(on.prefetch_hits > 0, "staged reads must be served");
+    assert!(
+        on.makespan < off.makespan,
+        "prefetch on {} must beat off {}",
+        on.makespan,
+        off.makespan
+    );
+}
+
+/// The determinism contract survives read-ahead: per-session reports and
+/// the prefetch counters are bitwise identical whether the dispatcher's
+/// batches (and their trailing fetches) run sequentially or on a full
+/// worker pool.
+#[test]
+fn prefetch_run_is_deterministic_across_thread_counts() {
+    let runs: Vec<String> = [1usize, 4]
+        .into_iter()
+        .map(|threads| {
+            rayon::pool::with_threads(threads, || {
+                let report = run(42, fleet(5), true);
+                serde_json::to_string(&report).unwrap()
+            })
+        })
+        .collect();
+    assert_eq!(
+        runs[0], runs[1],
+        "scheduled reports must not depend on worker count with prefetch on"
+    );
+}
+
+/// A single session has no idle window: its reads sit directly behind its
+/// own writes, so admission stages nothing — and because a declined plan
+/// runs no fetch and draws no jitter, the whole report is bitwise
+/// identical to a prefetch-off run. Zero overhead where read-ahead cannot
+/// help.
+#[test]
+fn single_session_prefetch_is_a_bitwise_noop() {
+    let off = run(7, fleet(1), false);
+    let on = run(7, fleet(1), true);
+    assert_eq!(on.prefetched, 0, "no idle window, nothing staged");
+    assert_eq!(on.prefetch_hits, 0);
+    assert_eq!(
+        serde_json::to_string(&off.sessions).unwrap(),
+        serde_json::to_string(&on.sessions).unwrap(),
+        "declining must not perturb the sessions"
+    );
+    assert_eq!(off.makespan, on.makespan, "declining must cost nothing");
+}
+
+/// Seeded chaos on the tape resource with prefetch enabled: failed
+/// fetches are dropped (no breaker failure, no retry loop) and their
+/// reads fall back to on-demand service — every session still completes
+/// without errors.
+#[test]
+fn mid_prefetch_faults_degrade_to_on_demand() {
+    let mut sys = MsrSystem::testbed(23);
+    let _log = sys
+        .inject_faults(
+            StorageKind::RemoteTape,
+            FaultPlan::none().with_error_prob(0.1),
+        )
+        .unwrap();
+    let mut sched = Scheduler::new(&sys).with_prefetch(true);
+    for p in fleet(5) {
+        sched.admit(p).unwrap();
+    }
+    let report = sched.run().unwrap();
+    for s in &report.sessions {
+        assert!(
+            s.errors.is_empty(),
+            "chaos must stay invisible to session {}: {:?}",
+            s.session,
+            s.errors
+        );
+        assert_eq!(s.reports.len() as u64, s.requests);
+    }
+    assert_eq!(report.requests(), 5 * 8, "5 writes + 3 reads per session");
+}
+
+/// Warm connection leases across scheduled batches: a second fleet
+/// admitted after the first finalizes reconnects inside the lease TTL, so
+/// its connects are free, the parked teardowns are settled off the
+/// critical path, and total connection time drops against an identically
+/// seeded cold-connect baseline.
+#[test]
+fn keepalive_warm_leases_cut_scheduled_conn_time() {
+    fn two_batches(sys: &MsrSystem) -> (SchedReport, SchedReport) {
+        let mut first = Scheduler::new(sys).with_prefetch(false);
+        for p in fleet(3) {
+            first.admit(p).unwrap();
+        }
+        let a = first.run().unwrap();
+        let mut second = Scheduler::new(sys).with_prefetch(false);
+        for p in fleet(3) {
+            second.admit(p).unwrap();
+        }
+        (a, second.run().unwrap())
+    }
+    let conn = |r: &SchedReport| -> f64 { r.sessions.iter().map(|s| s.conn_time.as_secs()).sum() };
+
+    let base_sys = MsrSystem::testbed(31);
+    let (base_a, base_b) = two_batches(&base_sys);
+
+    let mut ka_sys = MsrSystem::testbed(31);
+    let handles = ka_sys.enable_keepalive(SimDuration::from_secs(3600.0));
+    assert_eq!(handles.len(), 2, "remote disk and tape wrapped");
+    let (ka_a, ka_b) = two_batches(&ka_sys);
+
+    assert!(
+        conn(&ka_a) + conn(&ka_b) < conn(&base_a) + conn(&base_b),
+        "pooled leases must cut connection time: {} vs {}",
+        conn(&ka_a) + conn(&ka_b),
+        conn(&base_a) + conn(&base_b)
+    );
+    let stats: Vec<_> = handles.iter().map(|(k, h)| (*k, h.stats())).collect();
+    assert!(
+        stats.iter().any(|(_, s)| s.conn_hits > 0),
+        "the second batch must reconnect on warm leases: {stats:?}"
+    );
+}

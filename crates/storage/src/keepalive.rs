@@ -1,0 +1,480 @@
+//! Connection/handle keep-alive for any storage resource.
+//!
+//! Eq. (1) charges `T_conn + T_open` at the head of every access chain and
+//! `T_close + T_connclose` at its tail. Contiguous batches against the same
+//! server should pay the connection setup once: [`KeepAlive`] is a
+//! [`StorageResource`] decorator that, instead of tearing a connection down
+//! on `disconnect`, parks it in a virtual-time [`LeasePool`]. A `connect`
+//! that arrives while the lease is warm cancels the parked teardown and
+//! costs nothing; a lease that lapses settles the real `disconnect` lazily,
+//! off the caller's critical path (the time is tracked as deferred
+//! teardown, visible through [`KeepAliveHandle::deferred_teardown`]).
+//!
+//! Read-mode opens get the same treatment per path: re-opening a path for
+//! reading within the TTL — with no intervening write or delete to it — is
+//! charged zero open time. The inner `open` is **still called**, so the
+//! resource hands back a real handle and native-call statistics and jitter
+//! streams stay in the exact order an unwrapped run would produce; only the
+//! charged time changes.
+//!
+//! Resilience integration: [`KeepAliveHandle::drop_pooled`] flags every
+//! lease for immediate settlement — the circuit-breaker `HealthTracker`
+//! calls it when a resource trips, so a faulty server never serves from a
+//! stale warm connection. The flag is reaped lazily on the next native call
+//! to avoid lock-order coupling between the health map and the resource.
+
+use crate::resource::{
+    share, Cost, FileHandle, FixedCosts, OpKind, OpenMode, ResourceStats, SharedResource,
+    StorageKind, StorageResource,
+};
+use crate::StorageResult;
+use bytes::Bytes;
+use msr_net::LeasePool;
+use msr_obs::{ops, Layer, Recorder};
+use msr_sim::{Clock, SimDuration};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Lease key for the resource's single client connection.
+const CONN_KEY: &str = "conn";
+
+fn open_key(path: &str) -> String {
+    format!("open:{path}")
+}
+
+/// Snapshot of one wrapper's keep-alive accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KeepAliveStats {
+    /// `connect` calls that re-used a warm connection (setup skipped).
+    pub conn_hits: u64,
+    /// Read-mode `open` calls served at zero cost from an open lease.
+    pub open_hits: u64,
+    /// Leases that lapsed or were dropped (TTL, mutation, breaker trip).
+    pub expirations: u64,
+    /// Teardown time settled off the critical path.
+    pub deferred_teardown: SimDuration,
+}
+
+#[derive(Debug, Default)]
+struct HandleState {
+    stats: KeepAliveStats,
+    drop_requested: AtomicBool,
+}
+
+/// Clonable external handle onto a [`KeepAlive`] wrapper: cumulative stats
+/// plus the breaker-trip hook.
+#[derive(Debug, Clone, Default)]
+pub struct KeepAliveHandle {
+    state: Arc<Mutex<HandleState>>,
+}
+
+impl KeepAliveHandle {
+    /// Cumulative hit/expiry accounting.
+    pub fn stats(&self) -> KeepAliveStats {
+        self.state.lock().stats
+    }
+
+    /// Teardown time the wrapper settled off the critical path so far.
+    pub fn deferred_teardown(&self) -> SimDuration {
+        self.state.lock().stats.deferred_teardown
+    }
+
+    /// Flag every pooled lease for settlement on the wrapper's next native
+    /// call. Safe to invoke from health-tracker callbacks: nothing is
+    /// locked beyond the handle itself.
+    pub fn drop_pooled(&self) {
+        self.state
+            .lock()
+            .drop_requested
+            .store(true, Ordering::Release);
+    }
+}
+
+/// A [`StorageResource`] decorator pooling connection and read-open costs.
+///
+/// Wraps a [`SharedResource`] (the registered form), like
+/// [`crate::FaultInjector`], so it can be spliced over an existing entry
+/// without unwrapping it.
+pub struct KeepAlive {
+    inner: SharedResource,
+    // `name()`/`kind()` return borrows that cannot live through a lock
+    // guard on `inner` — cached at wrap time.
+    name: String,
+    kind: StorageKind,
+    clock: Clock,
+    recorder: Recorder,
+    pool: LeasePool,
+    /// A client `disconnect` was absorbed; the inner resource is still
+    /// connected until the conn lease lapses.
+    teardown_parked: bool,
+    /// Open handle → (path, writable), to invalidate open leases on
+    /// mutation through a handle.
+    handles: HashMap<u32, (String, bool)>,
+    handle: KeepAliveHandle,
+}
+
+impl KeepAlive {
+    /// Wrap `inner` with leases lasting `ttl` of virtual time. Returns the
+    /// wrapped resource plus the external stats/drop handle.
+    pub fn wrap(
+        inner: SharedResource,
+        ttl: SimDuration,
+        clock: Clock,
+        recorder: Recorder,
+    ) -> (SharedResource, KeepAliveHandle) {
+        let (name, kind) = {
+            let r = inner.lock();
+            (r.name().to_string(), r.kind())
+        };
+        let handle = KeepAliveHandle::default();
+        let wrapper = KeepAlive {
+            inner,
+            name,
+            kind,
+            clock,
+            recorder,
+            pool: LeasePool::new(ttl),
+            teardown_parked: false,
+            handles: HashMap::new(),
+            handle: handle.clone(),
+        };
+        (share(wrapper), handle)
+    }
+
+    fn count(&self, op: &'static str) {
+        if self.recorder.enabled() {
+            self.recorder
+                .count(Layer::Storage, &self.name, op, self.clock.now(), 1.0);
+        }
+    }
+
+    fn note_expirations(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.handle.state.lock().stats.expirations += n;
+        if self.recorder.enabled() {
+            self.recorder.count(
+                Layer::Storage,
+                &self.name,
+                ops::LEASE_EXPIRE,
+                self.clock.now(),
+                n as f64,
+            );
+        }
+    }
+
+    /// Settle lapsed state before any native call: honour a pending
+    /// `drop_pooled`, reap TTL-expired leases, and if the conn lease is no
+    /// longer live while a teardown is parked, perform the real disconnect
+    /// now, off the critical path.
+    fn settle(&mut self) -> StorageResult<()> {
+        let dropped = self
+            .handle
+            .state
+            .lock()
+            .drop_requested
+            .swap(false, Ordering::AcqRel);
+        let before = self.pool.stats().expirations;
+        if dropped {
+            self.pool.drop_all();
+        } else {
+            self.pool.reap(self.clock.now());
+        }
+        self.note_expirations(self.pool.stats().expirations - before);
+        if self.teardown_parked && !self.pool.is_live(CONN_KEY, self.clock.now()) {
+            self.teardown_parked = false;
+            let cost = self.inner.lock().disconnect()?;
+            self.handle.state.lock().stats.deferred_teardown += cost.time;
+        }
+        Ok(())
+    }
+
+    fn invalidate_path(&mut self, path: &str) {
+        let before = self.pool.stats().expirations;
+        self.pool.invalidate(&open_key(path));
+        self.note_expirations(self.pool.stats().expirations - before);
+    }
+
+    fn conn_teardown_estimate(&self) -> SimDuration {
+        self.inner.lock().fixed_costs(OpKind::Read).connclose
+    }
+}
+
+impl std::fmt::Debug for KeepAlive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KeepAlive")
+            .field("name", &self.name)
+            .field("kind", &self.kind)
+            .field("pool", &self.pool)
+            .field("teardown_parked", &self.teardown_parked)
+            .finish_non_exhaustive()
+    }
+}
+
+impl StorageResource for KeepAlive {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn kind(&self) -> StorageKind {
+        self.kind
+    }
+
+    fn is_online(&self) -> bool {
+        self.inner.lock().is_online()
+    }
+
+    fn set_online(&mut self, up: bool) {
+        self.inner.lock().set_online(up);
+    }
+
+    fn capacity_bytes(&self) -> u64 {
+        self.inner.lock().capacity_bytes()
+    }
+
+    fn used_bytes(&self) -> u64 {
+        self.inner.lock().used_bytes()
+    }
+
+    fn set_capacity(&mut self, bytes: u64) {
+        self.inner.lock().set_capacity(bytes);
+    }
+
+    fn connect(&mut self) -> StorageResult<Cost<()>> {
+        self.settle()?;
+        if self.teardown_parked && self.pool.is_live(CONN_KEY, self.clock.now()) {
+            // Warm connection: cancel the parked teardown instead of paying
+            // setup. The lease keeps running from its disconnect-time touch.
+            self.teardown_parked = false;
+            self.handle.state.lock().stats.conn_hits += 1;
+            self.count(ops::LEASE_HIT);
+            return Ok(Cost::free(()));
+        }
+        self.inner.lock().connect()
+    }
+
+    fn disconnect(&mut self) -> StorageResult<Cost<()>> {
+        self.settle()?;
+        // Park the teardown: the inner stays connected until the lease
+        // lapses (settled lazily) or the next connect re-uses it.
+        self.teardown_parked = true;
+        self.pool
+            .acquire(CONN_KEY, self.clock.now(), self.conn_teardown_estimate());
+        Ok(Cost::free(()))
+    }
+
+    fn open(&mut self, path: &str, mode: OpenMode) -> StorageResult<Cost<FileHandle>> {
+        self.settle()?;
+        if mode.writable() {
+            self.invalidate_path(path);
+            let cost = self.inner.lock().open(path, mode)?;
+            self.handles
+                .insert(cost.value.raw(), (path.to_owned(), true));
+            return Ok(cost);
+        }
+        let key = open_key(path);
+        let now = self.clock.now();
+        let hit = self.pool.acquire(&key, now, SimDuration::ZERO);
+        // The inner open always runs: the handle, the native-call stats and
+        // the jitter stream must match an unwrapped run exactly.
+        let cost = self.inner.lock().open(path, mode)?;
+        self.handles
+            .insert(cost.value.raw(), (path.to_owned(), false));
+        if hit {
+            self.handle.state.lock().stats.open_hits += 1;
+            self.count(ops::LEASE_HIT);
+            Ok(Cost::new(SimDuration::ZERO, cost.value))
+        } else {
+            Ok(cost)
+        }
+    }
+
+    fn seek(&mut self, h: FileHandle, pos: u64) -> StorageResult<Cost<()>> {
+        self.inner.lock().seek(h, pos)
+    }
+
+    fn read(&mut self, h: FileHandle, len: usize) -> StorageResult<Cost<Bytes>> {
+        self.inner.lock().read(h, len)
+    }
+
+    fn write(&mut self, h: FileHandle, data: &[u8]) -> StorageResult<Cost<usize>> {
+        if let Some((path, _)) = self.handles.get(&h.raw()).cloned() {
+            self.invalidate_path(&path);
+        }
+        self.inner.lock().write(h, data)
+    }
+
+    fn close(&mut self, h: FileHandle) -> StorageResult<Cost<()>> {
+        self.handles.remove(&h.raw());
+        self.inner.lock().close(h)
+    }
+
+    fn delete(&mut self, path: &str) -> StorageResult<Cost<()>> {
+        self.invalidate_path(path);
+        self.inner.lock().delete(path)
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.inner.lock().exists(path)
+    }
+
+    fn file_size(&self, path: &str) -> Option<u64> {
+        self.inner.lock().file_size(path)
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        self.inner.lock().list(prefix)
+    }
+
+    fn stats(&self) -> ResourceStats {
+        self.inner.lock().stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.lock().reset_stats();
+    }
+
+    fn set_stream_hint(&mut self, streams: u32) {
+        self.inner.lock().set_stream_hint(streams);
+    }
+
+    fn stream_hint(&self) -> u32 {
+        self.inner.lock().stream_hint()
+    }
+
+    fn fixed_costs(&self, op: OpKind) -> FixedCosts {
+        self.inner.lock().fixed_costs(op)
+    }
+
+    fn transfer_model(&self, op: OpKind, bytes: u64, streams: u32) -> SimDuration {
+        self.inner.lock().transfer_model(op, bytes, streams)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::sdsc_remote_disk;
+    use msr_net::{share as share_net, LinkSpec, Network};
+
+    fn remote() -> (SharedResource, Clock) {
+        let mut n = Network::new(7);
+        let anl = n.add_site("ANL");
+        let sdsc = n.add_site("SDSC");
+        n.add_link(
+            anl,
+            sdsc,
+            LinkSpec::ideal(SimDuration::from_millis(25.0), 4.0),
+        );
+        let net = share_net(n);
+        let disk = sdsc_remote_disk(net, anl, sdsc, 11);
+        (share(disk), Clock::new())
+    }
+
+    fn wrap(ttl: f64) -> (SharedResource, KeepAliveHandle, Clock) {
+        let (inner, clock) = remote();
+        let (r, h) = KeepAlive::wrap(
+            inner,
+            SimDuration::from_secs(ttl),
+            clock.clone(),
+            Recorder::disabled(),
+        );
+        (r, h, clock)
+    }
+
+    #[test]
+    fn reconnect_within_ttl_is_free() {
+        let (r, h, clock) = wrap(30.0);
+        let mut r = r.lock();
+        let first = r.connect().unwrap().time;
+        assert!(first > SimDuration::ZERO, "cold connect pays setup");
+        assert_eq!(r.disconnect().unwrap().time, SimDuration::ZERO);
+        clock.advance(SimDuration::from_secs(5.0));
+        assert_eq!(r.connect().unwrap().time, SimDuration::ZERO);
+        assert_eq!(h.stats().conn_hits, 1);
+    }
+
+    #[test]
+    fn lapsed_lease_pays_setup_and_settles_teardown() {
+        let (r, h, clock) = wrap(10.0);
+        let mut r = r.lock();
+        let cold = r.connect().unwrap().time;
+        r.disconnect().unwrap();
+        clock.advance(SimDuration::from_secs(60.0));
+        let again = r.connect().unwrap().time;
+        // Setup is jittered per call; expired lease pays the same order of
+        // magnitude as the cold connect, not zero.
+        assert!(
+            again.as_secs() > 0.5 * cold.as_secs(),
+            "expired lease pays setup again"
+        );
+        assert_eq!(h.stats().conn_hits, 0);
+        assert!(h.stats().expirations >= 1);
+        assert!(h.deferred_teardown() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn read_reopen_within_ttl_is_free_but_still_calls_inner() {
+        let (r, _h, _clock) = wrap(30.0);
+        let mut r = r.lock();
+        r.connect().unwrap();
+        let hw = r.open("f", OpenMode::Create).unwrap().value;
+        r.write(hw, &[1u8; 4096]).unwrap();
+        r.close(hw).unwrap();
+        let opens_before = r.stats().opens;
+        let c1 = r.open("f", OpenMode::Read).unwrap();
+        assert!(c1.time > SimDuration::ZERO, "first read-open pays");
+        r.close(c1.value).unwrap();
+        let c2 = r.open("f", OpenMode::Read).unwrap();
+        assert_eq!(c2.time, SimDuration::ZERO, "leased re-open is free");
+        assert_eq!(
+            r.stats().opens,
+            opens_before + 2,
+            "inner open ran both times"
+        );
+        let got = r.read(c2.value, 4096).unwrap().value;
+        assert_eq!(got.len(), 4096, "leased handle is real");
+        r.close(c2.value).unwrap();
+    }
+
+    #[test]
+    fn write_invalidates_the_open_lease() {
+        let (r, h, _clock) = wrap(30.0);
+        let mut r = r.lock();
+        r.connect().unwrap();
+        let hw = r.open("f", OpenMode::Create).unwrap().value;
+        r.write(hw, &[1u8; 64]).unwrap();
+        r.close(hw).unwrap();
+        let c1 = r.open("f", OpenMode::Read).unwrap();
+        r.close(c1.value).unwrap();
+        // Mutate the path: the read lease must die with it.
+        let hw = r.open("f", OpenMode::OverWrite).unwrap().value;
+        r.write(hw, &[2u8; 64]).unwrap();
+        r.close(hw).unwrap();
+        let c2 = r.open("f", OpenMode::Read).unwrap();
+        assert!(c2.time > SimDuration::ZERO, "mutated path pays open again");
+        r.close(c2.value).unwrap();
+        assert_eq!(h.stats().open_hits, 0);
+        assert!(h.stats().expirations >= 1);
+    }
+
+    #[test]
+    fn drop_pooled_settles_on_next_call() {
+        let (r, h, clock) = wrap(300.0);
+        let mut r = r.lock();
+        let cold = r.connect().unwrap().time;
+        r.disconnect().unwrap();
+        h.drop_pooled();
+        clock.advance(SimDuration::from_secs(1.0));
+        let again = r.connect().unwrap().time;
+        assert!(
+            again.as_secs() > 0.5 * cold.as_secs(),
+            "tripped pool gives no warm connection"
+        );
+        assert_eq!(h.stats().conn_hits, 0);
+        assert!(h.deferred_teardown() > SimDuration::ZERO);
+    }
+}

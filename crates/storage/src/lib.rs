@@ -26,6 +26,7 @@
 pub mod composite;
 pub mod error;
 pub mod fault;
+pub mod keepalive;
 pub mod local_disk;
 pub mod object_store;
 pub mod observe;
@@ -38,6 +39,7 @@ pub mod tape;
 pub use composite::CompositeResource;
 pub use error::StorageError;
 pub use fault::{FaultInjector, FaultKind, FaultLog, FaultPlan, FaultRecord};
+pub use keepalive::{KeepAlive, KeepAliveHandle, KeepAliveStats};
 pub use local_disk::{DiskParams, LocalDisk};
 pub use object_store::ObjectStore;
 pub use observe::ObservedResource;

@@ -40,7 +40,7 @@ impl fmt::Display for StorageKind {
 }
 
 /// Direction of a data operation, for cost lookup.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum OpKind {
     /// Data flows from the resource to the application.
     Read,
