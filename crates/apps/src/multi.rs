@@ -119,6 +119,34 @@ pub fn consumer_fleet(n: usize, cube: u64, iterations: u32) -> Vec<SessionProgra
         .collect()
 }
 
+/// An Astro3D-style checkpoint producer: one float `chk` variable dumped
+/// every 3 iterations, pinned to local disk for fast restart. Each dump
+/// is a fresh file (`Create`), so a long campaign accumulates an aging
+/// history of snapshots — exactly what a lifecycle engine's retention and
+/// demotion passes exist to thin. The workload the `BENCH_lifecycle`
+/// ledger runs in epochs.
+pub fn checkpoint_producer(index: usize, cube: u64, iterations: u32) -> SessionProgram {
+    SessionProgram::new(&format!("ckpt-{index:02}"))
+        .user("sim")
+        .iterations(iterations)
+        .dataset(
+            DatasetSpec::builder("chk")
+                .element(ElementType::F32)
+                .cube(cube)
+                .frequency(3)
+                .hint(msr_core::LocationHint::LocalDisk)
+                .future_use(FutureUse::Checkpoint)
+                .build(),
+        )
+}
+
+/// A deterministic fleet of `n` checkpoint producers.
+pub fn checkpoint_fleet(n: usize, cube: u64, iterations: u32) -> Vec<SessionProgram> {
+    (0..n)
+        .map(|i| checkpoint_producer(i, cube, iterations))
+        .collect()
+}
+
 /// Admit every program into one scheduler on `sys` and drain the queues.
 pub fn run_concurrent(sys: &MsrSystem, programs: Vec<SessionProgram>) -> CoreResult<SchedReport> {
     let mut sched = Scheduler::new(sys);
@@ -196,6 +224,28 @@ mod tests {
         assert!(a[1].app.starts_with("volren"));
         assert!(a[2].app.starts_with("mse"));
         assert!(a[2].readback);
+    }
+
+    #[test]
+    fn checkpoint_fleet_lands_on_local_disk_and_accumulates_history() {
+        let sys = MsrSystem::testbed(11);
+        let report = run_concurrent(&sys, checkpoint_fleet(2, 8, 9)).unwrap();
+        assert!(report.sessions.iter().all(|s| s.errors.is_empty()));
+        for s in &report.sessions {
+            assert_eq!(
+                s.placements["chk"],
+                msr_storage::StorageKind::LocalDisk,
+                "checkpoints pin to local disk"
+            );
+            // 9 iterations at frequency 3: dumps at 0, 3, 6, 9.
+            assert_eq!(s.requests, 4);
+        }
+        // The recency hooks recorded every dump in the catalog.
+        let mut catalog = sys.catalog.lock();
+        for d in catalog.all_datasets() {
+            let dumps = catalog.dumps_of(d.id);
+            assert_eq!(dumps.len(), 4, "one DumpRec per snapshot");
+        }
     }
 
     #[test]

@@ -2,9 +2,9 @@
 //!
 //! ```text
 //! repro [--quick] [--seed N] [--bench-json] [--sched-json]
-//!       [--prefetch-json] <experiment>...
+//!       [--prefetch-json] [--lifecycle-json] <experiment>...
 //! experiments: table1 fig6 fig7 fig8 fig9 fig10a fig10b fig10c fig11
-//!              example42 failover ablations sched prefetch all
+//!              example42 failover ablations sched prefetch lifecycle all
 //! ```
 //!
 //! `--quick` runs the Astro3D experiments at 32³/24 iterations instead of
@@ -23,6 +23,10 @@
 //! `--prefetch-json` sweeps the tape-heavy consumer fleet with
 //! prediction-driven read-ahead off vs on and writes
 //! `BENCH_prefetch.json`.
+//!
+//! `--lifecycle-json` runs the epoched checkpoint fleet with the tiered
+//! data lifecycle off vs on (resident fast-tier bytes, hot-read p99,
+//! engine totals) and writes `BENCH_lifecycle.json`.
 
 use msr_bench::experiments::Scale;
 use msr_bench::*;
@@ -290,6 +294,56 @@ fn run_prefetch(scale: Scale, seed: u64) -> Vec<PrefetchPoint> {
     points
 }
 
+fn run_lifecycle(scale: Scale, seed: u64) -> LifecyclePoint {
+    banner("LIFECYCLE - tiered auto-migration + retention, off vs on");
+    let p = lifecycle_tiering(scale, seed);
+    println!(
+        "{} epochs x {} producers   (demote 600s, vault 2400s, keep_last 2)",
+        p.epochs, p.producers
+    );
+    println!("{:<24} {:>14} {:>14}", "", "lifecycle off", "lifecycle on");
+    println!(
+        "{:<24} {:>14} {:>14}   ({:.1}x smaller)",
+        "fast-tier bytes", p.off_fast_bytes, p.on_fast_bytes, p.fast_shrink
+    );
+    println!(
+        "{:<24} {:>14} {:>14}",
+        "stored bytes (all tiers)", p.off_stored_bytes, p.on_stored_bytes
+    );
+    println!(
+        "{:<24} {:>13.4}s {:>13.4}s",
+        "hot-read p99", p.off_hot_p99_s, p.on_hot_p99_s
+    );
+    let t = &p.totals;
+    println!(
+        "engine: {} ticks, {} demotions, {} promotions, {} files pruned ({} bytes), \
+         {} vaulted, {} recalled",
+        t.ticks, t.demotions, t.promotions, t.pruned_files, t.pruned_bytes, t.vaulted, t.recalls
+    );
+    p
+}
+
+#[derive(serde::Serialize)]
+struct LifecycleLedger {
+    scale: String,
+    seed: u64,
+    point: LifecyclePoint,
+}
+
+/// Run the epoched checkpoint fleet lifecycle-off vs lifecycle-on and
+/// write the virtual-time ledger to `BENCH_lifecycle.json`.
+fn run_lifecycle_json(scale: Scale, seed: u64) {
+    let point = run_lifecycle(scale, seed);
+    let ledger = LifecycleLedger {
+        scale: format!("{scale:?}"),
+        seed,
+        point,
+    };
+    let out = serde_json::to_string_pretty(&ledger).expect("ledger serializes");
+    std::fs::write("BENCH_lifecycle.json", out).expect("write BENCH_lifecycle.json");
+    println!("\nwrote BENCH_lifecycle.json");
+}
+
 #[derive(serde::Serialize)]
 struct PrefetchLedger {
     scale: String,
@@ -529,6 +583,10 @@ fn main() {
         run_prefetch_json(scale, seed);
         return;
     }
+    if args.iter().any(|a| a == "--lifecycle-json") {
+        run_lifecycle_json(scale, seed);
+        return;
+    }
     let mut wanted: Vec<&str> = args
         .iter()
         .map(String::as_str)
@@ -550,6 +608,7 @@ fn main() {
             "ablations",
             "sched",
             "prefetch",
+            "lifecycle",
         ];
     }
     println!(
@@ -572,6 +631,7 @@ fn main() {
             "ablations" => run_ablations(seed),
             "sched" => drop(run_sched(scale, seed)),
             "prefetch" => drop(run_prefetch(scale, seed)),
+            "lifecycle" => drop(run_lifecycle(scale, seed)),
             other => eprintln!("unknown experiment {other:?} (see --help in source)"),
         }
     }

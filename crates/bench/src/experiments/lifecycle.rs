@@ -1,0 +1,195 @@
+//! Tiered data lifecycle: resident fast-tier storage and hot-read latency
+//! with the lifecycle engine off vs on.
+//!
+//! A fleet of checkpoint producers ([`msr_apps::multi::checkpoint_fleet`])
+//! runs for several epochs, each epoch separated by an idle gap longer
+//! than the engine's demotion window. With the engine attached the
+//! scheduler's between-round ticks (plus one explicit tick per gap) thin
+//! each history to its retention window and walk cold epochs down the
+//! tier ladder — local disk → remote disk → tape — while the epoch being
+//! drained is busy and untouchable. After every epoch the newest dump of
+//! each just-finished run is read back *hot*, timing the reads the
+//! lifecycle must not slow down: that data is recent, so it must still be
+//! on the fast tier in both variants. The claim the ledger captures is
+//! the tentpole trade: resident fast-tier bytes go *down* with the
+//! lifecycle on while hot-read p99 stays flat.
+
+use super::Scale;
+use msr_apps::multi::checkpoint_fleet;
+use msr_core::MsrSystem;
+use msr_lifecycle::{LifecycleConfig, LifecycleEngine, RetentionPolicy, TickTotals};
+use msr_meta::RunId;
+use msr_runtime::{IoStrategy, ProcGrid};
+use msr_sched::Scheduler;
+use msr_sim::SimDuration;
+use msr_storage::StorageKind;
+use serde::Serialize;
+
+/// The off-vs-on comparison the ledger records.
+#[derive(Debug, Clone, Serialize)]
+pub struct LifecyclePoint {
+    /// Checkpoint epochs run (each a full scheduled fleet drain).
+    pub epochs: usize,
+    /// Concurrent producers per epoch.
+    pub producers: usize,
+    /// Bytes resident on local disk at the end, lifecycle off.
+    pub off_fast_bytes: u64,
+    /// Bytes resident on local disk at the end, lifecycle on.
+    pub on_fast_bytes: u64,
+    /// Bytes resident across every tier, lifecycle off.
+    pub off_stored_bytes: u64,
+    /// Bytes resident across every tier, lifecycle on.
+    pub on_stored_bytes: u64,
+    /// p99 latency of hot reads (newest dump of each fresh run), seconds,
+    /// lifecycle off.
+    pub off_hot_p99_s: f64,
+    /// The same hot-read p99 with the lifecycle on — must stay flat.
+    pub on_hot_p99_s: f64,
+    /// `off / on` fast-tier bytes — above 1 means tiering freed the fast
+    /// tier.
+    pub fast_shrink: f64,
+    /// Everything the engine did across the run (lifecycle-on variant).
+    pub totals: TickTotals,
+}
+
+/// The engine configuration the ledger uses: demote after 10 idle
+/// minutes, vault after 40, keep the last 2 dumps of every history,
+/// never promote (the hot set is the epoch being drained, which is busy
+/// and excluded anyway).
+fn ledger_engine() -> LifecycleEngine {
+    LifecycleEngine::new(LifecycleConfig {
+        demote_after: SimDuration::from_secs(600.0),
+        vault_after: SimDuration::from_secs(2400.0),
+        promote_heat: u64::MAX,
+        retention: RetentionPolicy::keep_all().with_keep_last(2),
+        ..LifecycleConfig::default()
+    })
+}
+
+fn p99(samples: &mut [f64]) -> f64 {
+    assert!(!samples.is_empty());
+    samples.sort_by(f64::total_cmp);
+    let idx = ((samples.len() as f64) * 0.99).ceil() as usize;
+    samples[idx.clamp(1, samples.len()) - 1]
+}
+
+/// One variant: `epochs` scheduled fleet drains separated by `gap`, hot
+/// reads after each. Returns `(local-disk bytes, total stored bytes,
+/// hot-read seconds, engine totals)`.
+fn run_variant(
+    seed: u64,
+    epochs: usize,
+    producers: usize,
+    cube: u64,
+    iterations: u32,
+    gap: SimDuration,
+    lifecycle: bool,
+) -> (u64, u64, Vec<f64>, TickTotals) {
+    let sys = MsrSystem::testbed(seed);
+    let engine = ledger_engine();
+    let mut totals = TickTotals::default();
+    let mut hot = Vec::new();
+    let newest = iterations - iterations % 3;
+    for _ in 0..epochs {
+        let mut sched = Scheduler::new(&sys);
+        if lifecycle {
+            sched = sched.with_lifecycle(engine.clone()).lifecycle_every(2);
+        }
+        for p in checkpoint_fleet(producers, cube, iterations) {
+            sched.admit(p).expect("admit checkpoint producer");
+        }
+        let report = sched.run().expect("fault-free drain");
+        assert!(
+            report.sessions.iter().all(|s| s.errors.is_empty()),
+            "fault-free sweep must serve every request"
+        );
+        totals.merge(&report.lifecycle);
+        // Hot reads: the newest dump of each run that just finished. This
+        // is the data a restart would want — recent enough that the
+        // lifecycle must have left it on the fast tier.
+        for s in &report.sessions {
+            let t0 = sys.clock.now();
+            let (bytes, _) = sys
+                .read_dataset(
+                    RunId(s.run),
+                    "chk",
+                    newest,
+                    ProcGrid::new(1, 1, 1),
+                    IoStrategy::Collective,
+                )
+                .expect("newest checkpoint stays readable");
+            assert!(!bytes.is_empty());
+            hot.push(sys.clock.now().since(t0).as_secs());
+        }
+        // The fleet goes quiet; the finished epoch ages past the demotion
+        // window before the next one starts.
+        sys.clock.advance(gap);
+        if lifecycle {
+            totals.absorb(&engine.tick(&sys));
+        }
+    }
+    let usage = sys.usage();
+    let fast = usage.get(&StorageKind::LocalDisk).copied().unwrap_or(0);
+    let stored = usage.values().sum();
+    (fast, stored, hot, totals)
+}
+
+/// Run the epoch workload twice on identically seeded systems — lifecycle
+/// off, then on — and fold both ends into one [`LifecyclePoint`]. All
+/// numbers are virtual (simulated), so the ledger is host-independent.
+pub fn lifecycle_tiering(scale: Scale, seed: u64) -> LifecyclePoint {
+    let (epochs, producers, cube, iterations) = match scale {
+        Scale::Paper => (4, 6, 32, 24),
+        Scale::Quick => (3, 3, 16, 12),
+    };
+    let gap = SimDuration::from_secs(900.0);
+    let (off_fast, off_stored, mut off_hot, off_totals) =
+        run_variant(seed, epochs, producers, cube, iterations, gap, false);
+    assert_eq!(
+        off_totals,
+        TickTotals::default(),
+        "off variant has no engine"
+    );
+    let (on_fast, on_stored, mut on_hot, totals) =
+        run_variant(seed, epochs, producers, cube, iterations, gap, true);
+    LifecyclePoint {
+        epochs,
+        producers,
+        off_fast_bytes: off_fast,
+        on_fast_bytes: on_fast,
+        off_stored_bytes: off_stored,
+        on_stored_bytes: on_stored,
+        off_hot_p99_s: p99(&mut off_hot),
+        on_hot_p99_s: p99(&mut on_hot),
+        fast_shrink: off_fast as f64 / (on_fast as f64).max(1.0),
+        totals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiering_frees_the_fast_tier_without_slowing_hot_reads() {
+        let p = lifecycle_tiering(Scale::Quick, 11);
+        assert!(
+            p.on_fast_bytes < p.off_fast_bytes,
+            "lifecycle must shrink the resident fast tier: {p:?}"
+        );
+        assert!(
+            p.on_stored_bytes <= p.off_stored_bytes,
+            "retention never grows total residency: {p:?}"
+        );
+        assert!(p.totals.ticks > 0 && p.totals.demotions > 0, "{p:?}");
+        assert!(
+            p.totals.pruned_files > 0,
+            "keep_last 2 thins histories: {p:?}"
+        );
+        let ratio = p.on_hot_p99_s / p.off_hot_p99_s.max(1e-12);
+        assert!(
+            (0.67..=1.5).contains(&ratio),
+            "hot-read p99 must stay flat, got {ratio:.3}: {p:?}"
+        );
+    }
+}

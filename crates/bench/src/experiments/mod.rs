@@ -7,6 +7,7 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig9;
 pub mod figs678;
+pub mod lifecycle;
 pub mod prefetch;
 pub mod sched;
 pub mod table1;

@@ -124,6 +124,10 @@ fn classify_storage(e: &StorageError) -> ErrorClass {
         StorageError::CapacityExceeded { .. } => ErrorClass::Failover("capacity exceeded"),
         StorageError::Network(_) => ErrorClass::Failover("network failure"),
         StorageError::Transient { .. } => ErrorClass::Retryable("transient fault persisted"),
+        // Vaulted data is nowhere else: neither a retry nor a failover can
+        // produce the bytes. The caller must recall (or wait for the
+        // lifecycle engine to) before reading.
+        StorageError::Vaulted(_) | StorageError::VaultUnsupported { .. } => ErrorClass::Fatal,
         StorageError::NotFound(_)
         | StorageError::BadHandle
         | StorageError::BadMode { .. }
@@ -210,6 +214,10 @@ mod tests {
             CoreError::Storage(StorageError::BadHandle),
             CoreError::Storage(StorageError::BadMode { op: "write" }),
             CoreError::Storage(StorageError::NotConnected),
+            CoreError::Storage(StorageError::Vaulted("p".into())),
+            CoreError::Storage(StorageError::VaultUnsupported {
+                resource: "r".into(),
+            }),
             CoreError::Runtime(RuntimeError::BadDistribution("x".into())),
             CoreError::Runtime(RuntimeError::SizeMismatch {
                 expected: 1,

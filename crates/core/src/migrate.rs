@@ -11,6 +11,7 @@ use crate::error::CoreError;
 use crate::system::MsrSystem;
 use crate::CoreResult;
 use msr_meta::{AccessMode, Location, RunId};
+use msr_obs::{ops, Layer};
 use msr_runtime::{Dims3, Distribution, IoStrategy, Pattern, ProcGrid};
 use msr_sim::SimDuration;
 use msr_storage::{OpenMode, StorageKind};
@@ -82,6 +83,15 @@ impl MsrSystem {
             dataset: dataset.to_owned(),
             bytes: 0,
         })?;
+        // Staging must respect the circuit breaker: a destination the
+        // health tracker has tripped (or that is outright offline) must not
+        // receive data, exactly as scored placement would refuse it.
+        if !self.health.allows(to) || !dst.lock().is_online() {
+            return Err(CoreError::NoUsableResource {
+                dataset: dataset.to_owned(),
+                bytes: 0,
+            });
+        }
         let conn = src.lock().connect()?;
         self.clock.advance(conn.time);
         let conn = dst.lock().connect()?;
@@ -124,23 +134,52 @@ impl MsrSystem {
             read_time: SimDuration::ZERO,
             write_time: SimDuration::ZERO,
         };
-        for file in &files {
-            let (data, read) = self
-                .engine
-                .read(&src, file, &dist, IoStrategy::Collective)?;
-            let write = self.engine.write(
-                &dst,
-                file,
-                &data,
-                &dist,
-                IoStrategy::Collective,
-                OpenMode::Create,
-            )?;
-            self.clock.advance(read.elapsed + write.elapsed);
-            report.files += 1;
-            report.bytes += data.len() as u64;
-            report.read_time += read.elapsed;
-            report.write_time += write.elapsed;
+        // The staging streams occupy both endpoints: account them on the
+        // LoadBoard's background queues so concurrent scored placement and
+        // the lifecycle engine's pricing see the traffic.
+        let start = self.clock.now();
+        self.load.bg_enqueued(from, 1);
+        self.load.bg_enqueued(to, 1);
+        let moved = (|| -> CoreResult<()> {
+            for file in &files {
+                let (data, read) = self
+                    .engine
+                    .read(&src, file, &dist, IoStrategy::Collective)?;
+                let write = self.engine.write(
+                    &dst,
+                    file,
+                    &data,
+                    &dist,
+                    IoStrategy::Collective,
+                    OpenMode::Create,
+                )?;
+                self.clock.advance(read.elapsed + write.elapsed);
+                report.files += 1;
+                report.bytes += data.len() as u64;
+                report.read_time += read.elapsed;
+                report.write_time += write.elapsed;
+            }
+            Ok(())
+        })();
+        self.load.bg_dequeued(from, 1);
+        self.load.bg_dequeued(to, 1);
+        match moved {
+            Ok(()) => self.health.record_success(to),
+            Err(e) => {
+                self.health.record_failure(to);
+                return Err(e);
+            }
+        }
+        let rec_obs = self.obs.recorder();
+        if rec_obs.enabled() {
+            rec_obs.span(
+                Layer::Meta,
+                dst.lock().name(),
+                ops::MIGRATE,
+                start,
+                report.total_time(),
+                report.bytes,
+            );
         }
         self.trace.record(
             self.clock.now(),
@@ -284,6 +323,54 @@ mod tests {
         // Nothing was moved or deleted.
         let tape = sys.resource(StorageKind::RemoteTape).unwrap();
         assert_eq!(tape.lock().list("app/").len(), 3);
+    }
+
+    #[test]
+    fn staging_refuses_an_offline_destination() {
+        let sys = MsrSystem::testbed(407);
+        let grid = ProcGrid::new(1, 1, 1);
+        let (run, _) = produce(&sys, LocationHint::RemoteTape, AccessMode::Create);
+        sys.set_resource_online(StorageKind::LocalDisk, false);
+        assert!(matches!(
+            sys.migrate_dataset(run, "d", StorageKind::LocalDisk, grid),
+            Err(CoreError::NoUsableResource { .. })
+        ));
+        sys.set_resource_online(StorageKind::LocalDisk, true);
+    }
+
+    #[test]
+    fn staging_refuses_a_tripped_destination() {
+        let sys = MsrSystem::testbed(408);
+        let grid = ProcGrid::new(1, 1, 1);
+        let (run, _) = produce(&sys, LocationHint::RemoteTape, AccessMode::Create);
+        for _ in 0..32 {
+            sys.health.record_failure(StorageKind::LocalDisk);
+        }
+        assert!(!sys.health.allows(StorageKind::LocalDisk));
+        assert!(matches!(
+            sys.migrate_dataset(run, "d", StorageKind::LocalDisk, grid),
+            Err(CoreError::NoUsableResource { .. })
+        ));
+        // Nothing was deleted from the source.
+        let tape = sys.resource(StorageKind::RemoteTape).unwrap();
+        assert_eq!(tape.lock().list("app/").len(), 3);
+    }
+
+    #[test]
+    fn staging_emits_an_obs_span_and_load_returns_to_zero() {
+        let sys = MsrSystem::testbed(409);
+        let grid = ProcGrid::new(1, 1, 1);
+        let (run, _) = produce(&sys, LocationHint::RemoteTape, AccessMode::Create);
+        sys.migrate_dataset(run, "d", StorageKind::LocalDisk, grid)
+            .unwrap();
+        let events = sys.obs.events();
+        let m = events
+            .iter()
+            .find(|e| e.op == msr_obs::ops::MIGRATE)
+            .expect("migration span recorded");
+        assert!(m.bytes > 0);
+        assert_eq!(sys.load.background(StorageKind::RemoteTape), 0);
+        assert_eq!(sys.load.background(StorageKind::LocalDisk), 0);
     }
 
     #[test]

@@ -172,6 +172,8 @@ impl<'a> Session<'a> {
                 frequency: spec.frequency,
                 path: base_path,
                 predicted_secs: None,
+                last_access_secs: 0.0,
+                heat: 0,
             })?;
             self.sys.clock.advance(catalog.config.query_cost);
             id
@@ -305,6 +307,22 @@ impl<'a> Session<'a> {
                     d.io_time += report.elapsed;
                     d.native_calls += report.native_reads + report.native_writes;
                     self.sys.clock.advance(report.elapsed);
+                    // Recency bookkeeping for the lifecycle engine. The hook
+                    // is free: no query cost, no clock movement. OverWrite
+                    // datasets rewrite one file, so their single dump row
+                    // keys on iteration 0.
+                    let name = self.datasets[h.0].spec.name.clone();
+                    let dump_iter = match amode {
+                        AccessMode::Create => iter,
+                        AccessMode::OverWrite => 0,
+                    };
+                    self.sys.catalog.lock().note_dump(
+                        self.run,
+                        &name,
+                        dump_iter,
+                        self.sys.clock.now().as_secs(),
+                        report.bytes,
+                    );
                     return Ok(Some(report));
                 }
                 Err(e) => {
@@ -472,6 +490,19 @@ impl<'a> Session<'a> {
                 d.io_time += report.elapsed;
                 d.bytes += report.bytes;
                 d.native_calls += report.native_reads + report.native_writes;
+                // Free recency hook for the lifecycle engine's heat tracking.
+                let d = &self.datasets[h.0];
+                let name = d.spec.name.clone();
+                let dump_iter = match d.spec.amode {
+                    AccessMode::Create => iter,
+                    AccessMode::OverWrite => 0,
+                };
+                self.sys.catalog.lock().note_access(
+                    self.run,
+                    &name,
+                    Some(dump_iter),
+                    self.sys.clock.now().as_secs(),
+                );
                 Ok((data, report))
             }
             Err(e) => match classify(&e) {
@@ -619,6 +650,14 @@ impl<'a> Session<'a> {
         sys.clock.advance(conn.time);
         let (data, report) = sys.engine.read(&res, &path, &dist, strategy)?;
         sys.clock.advance(report.elapsed);
+        // Free recency hook for the lifecycle engine's heat tracking.
+        let dump_iter = match rec.amode {
+            AccessMode::Create => iteration,
+            AccessMode::OverWrite => 0,
+        };
+        sys.catalog
+            .lock()
+            .note_access(run, name, Some(dump_iter), sys.clock.now().as_secs());
         Ok((data, report))
     }
 }

@@ -1,0 +1,588 @@
+//! The lifecycle engine: deterministic, tick-driven tier management.
+//!
+//! Each [`LifecycleEngine::tick`] runs four passes over the catalog, in a
+//! fixed order, entirely on the calling thread:
+//!
+//! 1. **Retention prune** — every dataset's dump history is planned by the
+//!    configured [`RetentionPolicy`]; dumps outside every keep window are
+//!    deleted from storage and their catalog rows dropped.
+//! 2. **Demotion** — datasets idle for at least `demote_after` move one
+//!    tier *down* (local disk → remote disk → tape), coldest first, priced
+//!    with the eq. (2) estimator against the live
+//!    [`LoadBoard`](msr_core::LoadBoard) queue depths.
+//! 3. **Promotion** — datasets whose heat counter crossed `promote_heat`
+//!    within `promote_window` move one tier *up*, hottest first. A tape
+//!    dataset's vaulted dumps are recalled (each recall paying the tape's
+//!    configured recall latency) before the migration reads them.
+//! 4. **Vaulting** — tape-resident datasets idle for at least
+//!    `vault_after` have their dumps moved to the vault: the bytes stay on
+//!    tape but every read fails with `StorageError::Vaulted` until a
+//!    recall brings them back.
+//!
+//! Migrations execute through [`MsrSystem::migrate_dataset`], so they
+//! respect circuit-breaker health, refuse offline or full destinations,
+//! occupy the load board's background queues while streaming and emit
+//! `migrate` observability spans. Every decision is made from a single
+//! catalog snapshot taken at the top of the tick and candidates are
+//! ordered by `(recency, id)` — two ticks over the same state make the
+//! same moves regardless of worker count, so scheduled runs with a
+//! lifecycle attached stay bitwise reproducible at any `MSR_THREADS`.
+
+use crate::policy::RetentionPolicy;
+use msr_core::MsrSystem;
+use msr_meta::{AccessMode, DatasetRec, DumpState, Location, RunId};
+use msr_obs::{ops, Layer};
+use msr_predict::{fetch_estimate, profile_for, AccessSummary};
+use msr_runtime::{Dims3, Distribution, IoStrategy, Pattern, ProcGrid};
+use msr_sim::SimDuration;
+use msr_storage::{OpKind, StorageKind};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The tier ladder, downwards: where cold data goes next.
+pub fn tier_down(kind: StorageKind) -> Option<StorageKind> {
+    match kind {
+        StorageKind::LocalDisk => Some(StorageKind::RemoteDisk),
+        StorageKind::RemoteDisk => Some(StorageKind::RemoteTape),
+        StorageKind::RemoteTape => None,
+    }
+}
+
+/// The tier ladder, upwards: where hot data goes next.
+pub fn tier_up(kind: StorageKind) -> Option<StorageKind> {
+    match kind {
+        StorageKind::RemoteTape => Some(StorageKind::RemoteDisk),
+        StorageKind::RemoteDisk => Some(StorageKind::LocalDisk),
+        StorageKind::LocalDisk => None,
+    }
+}
+
+/// Tuning knobs of the engine. All windows are *virtual* time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifecycleConfig {
+    /// Idle time after which a dataset is demoted one tier down.
+    pub demote_after: SimDuration,
+    /// Accesses (since the last promotion or heat reset) that make a
+    /// dataset promotion-eligible.
+    pub promote_heat: u64,
+    /// A promotion candidate's last access must fall within this window —
+    /// heat without recency is history, not demand.
+    pub promote_window: SimDuration,
+    /// Idle time after which a tape-resident dataset's dumps move to the
+    /// vault.
+    pub vault_after: SimDuration,
+    /// Migration budget per tick (demotions + promotions). Pruning,
+    /// vaulting and recalls are not counted — they move no bytes between
+    /// resources.
+    pub max_moves_per_tick: u32,
+    /// Dump-history retention, planned per dataset every tick.
+    pub retention: RetentionPolicy,
+}
+
+impl Default for LifecycleConfig {
+    fn default() -> Self {
+        LifecycleConfig {
+            demote_after: SimDuration::from_secs(600.0),
+            promote_heat: 3,
+            promote_window: SimDuration::from_secs(300.0),
+            vault_after: SimDuration::from_secs(3600.0),
+            max_moves_per_tick: 4,
+            retention: RetentionPolicy::keep_all(),
+        }
+    }
+}
+
+/// One executed migration (demotion or promotion).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MoveRec {
+    /// Owning run.
+    pub run: u64,
+    /// Dataset name.
+    pub dataset: String,
+    /// Source tier.
+    pub from: StorageKind,
+    /// Destination tier.
+    pub to: StorageKind,
+    /// Dump files moved.
+    pub files: u32,
+    /// Payload bytes moved.
+    pub bytes: u64,
+    /// eq. (2) price at decision time: per-dump estimate × dump count ×
+    /// (1 + queue depths on both endpoints), seconds.
+    pub predicted_secs: f64,
+    /// What the migration actually took, virtual seconds.
+    pub actual_secs: f64,
+}
+
+/// What one tick did.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TickReport {
+    /// Stored datasets examined (busy and disabled ones excluded).
+    pub scanned: u64,
+    /// Datasets skipped because their run is currently admitted.
+    pub skipped_busy: u64,
+    /// Dump files pruned from storage and catalog.
+    pub pruned_files: u64,
+    /// Bytes those files held.
+    pub pruned_bytes: u64,
+    /// Cold datasets moved one tier down.
+    pub demotions: Vec<MoveRec>,
+    /// Hot datasets moved one tier up.
+    pub promotions: Vec<MoveRec>,
+    /// Dumps moved to the tape vault.
+    pub vaulted: u64,
+    /// Vaulted dumps recalled (each paying the tape's recall latency).
+    pub recalls: u64,
+    /// Recalls that failed (outage, fault injection); the owning
+    /// promotion is abandoned for this tick, never retried in a loop.
+    pub recall_failures: u64,
+}
+
+impl TickReport {
+    /// Migrations executed this tick.
+    pub fn moves(&self) -> usize {
+        self.demotions.len() + self.promotions.len()
+    }
+}
+
+/// Running totals across ticks — what a scheduler folds into its report.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TickTotals {
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Demotions across all ticks.
+    pub demotions: u64,
+    /// Promotions across all ticks.
+    pub promotions: u64,
+    /// Dump files pruned.
+    pub pruned_files: u64,
+    /// Bytes pruned.
+    pub pruned_bytes: u64,
+    /// Dumps vaulted.
+    pub vaulted: u64,
+    /// Dumps recalled.
+    pub recalls: u64,
+    /// Failed recalls.
+    pub recall_failures: u64,
+}
+
+impl TickTotals {
+    /// Fold another accumulator in (e.g. per-epoch scheduler totals into
+    /// a whole-experiment ledger).
+    pub fn merge(&mut self, other: &TickTotals) {
+        self.ticks += other.ticks;
+        self.demotions += other.demotions;
+        self.promotions += other.promotions;
+        self.pruned_files += other.pruned_files;
+        self.pruned_bytes += other.pruned_bytes;
+        self.vaulted += other.vaulted;
+        self.recalls += other.recalls;
+        self.recall_failures += other.recall_failures;
+    }
+
+    /// Fold one tick's report in.
+    pub fn absorb(&mut self, t: &TickReport) {
+        self.ticks += 1;
+        self.demotions += t.demotions.len() as u64;
+        self.promotions += t.promotions.len() as u64;
+        self.pruned_files += t.pruned_files;
+        self.pruned_bytes += t.pruned_bytes;
+        self.vaulted += t.vaulted;
+        self.recalls += t.recalls;
+        self.recall_failures += t.recall_failures;
+    }
+}
+
+/// The engine. Stateless between ticks — every decision re-derives from
+/// the catalog, so it can be shared, rebuilt or attached to a scheduler
+/// freely.
+#[derive(Debug, Clone)]
+pub struct LifecycleEngine {
+    cfg: LifecycleConfig,
+    grid: ProcGrid,
+}
+
+impl Default for LifecycleEngine {
+    fn default() -> Self {
+        LifecycleEngine::new(LifecycleConfig::default())
+    }
+}
+
+impl LifecycleEngine {
+    /// An engine over `cfg`, migrating on a 1×1×1 grid.
+    pub fn new(cfg: LifecycleConfig) -> LifecycleEngine {
+        LifecycleEngine {
+            cfg,
+            grid: ProcGrid::new(1, 1, 1),
+        }
+    }
+
+    /// The process grid migrations stream with.
+    pub fn with_grid(mut self, grid: ProcGrid) -> Self {
+        self.grid = grid;
+        self
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &LifecycleConfig {
+        &self.cfg
+    }
+
+    /// One full lifecycle pass over `sys`.
+    pub fn tick(&self, sys: &MsrSystem) -> TickReport {
+        self.tick_excluding(sys, &BTreeSet::new())
+    }
+
+    /// One full pass, skipping datasets owned by `busy` runs (a scheduler
+    /// passes its admitted runs so in-flight data is never moved under a
+    /// queued request).
+    pub fn tick_excluding(&self, sys: &MsrSystem, busy: &BTreeSet<RunId>) -> TickReport {
+        let mut report = TickReport::default();
+        let mut live: Vec<DatasetRec> = Vec::new();
+        for d in sys.catalog.lock().all_datasets() {
+            if busy.contains(&d.run) {
+                report.skipped_busy += 1;
+                continue;
+            }
+            if let Location::Stored(_) = d.location {
+                report.scanned += 1;
+                live.push(d);
+            }
+        }
+        let mut moves_left = self.cfg.max_moves_per_tick;
+        self.prune(sys, &live, &mut report);
+        self.demote(sys, &live, &mut moves_left, &mut report);
+        self.promote(sys, &live, &mut moves_left, &mut report);
+        self.vault_cold(sys, &live, &mut report);
+
+        let rec = sys.obs_recorder();
+        if rec.enabled() {
+            rec.instant(
+                Layer::Meta,
+                "lifecycle",
+                ops::LIFECYCLE_TICK,
+                sys.clock.now(),
+                &format!(
+                    "scanned {}, pruned {}, demoted {}, promoted {}, vaulted {}, recalled {}",
+                    report.scanned,
+                    report.pruned_files,
+                    report.demotions.len(),
+                    report.promotions.len(),
+                    report.vaulted,
+                    report.recalls
+                ),
+            );
+        }
+        report
+    }
+
+    /// Recall every vaulted dump of `(run, name)` so its data is readable
+    /// again, charging each recall's latency to the global clock. Returns
+    /// the number of dumps recalled, or the first failure's description.
+    /// The explicit entry point for consumers that need vaulted data *now*
+    /// rather than waiting for a promotion tick.
+    pub fn recall_dataset(&self, sys: &MsrSystem, run: RunId, name: &str) -> Result<u64, String> {
+        let Some(d) = sys
+            .catalog
+            .lock()
+            .all_datasets()
+            .into_iter()
+            .find(|d| d.run == run && d.name == name)
+        else {
+            return Err(format!("no dataset {name} in run{}", run.0));
+        };
+        let mut report = TickReport::default();
+        if self.recall_all(sys, &d, &mut report) {
+            Ok(report.recalls)
+        } else {
+            Err(format!(
+                "{} of {} vaulted dumps failed to recall",
+                report.recall_failures,
+                report.recall_failures + report.recalls
+            ))
+        }
+    }
+
+    // ---- passes ------------------------------------------------------------
+
+    fn prune(&self, sys: &MsrSystem, live: &[DatasetRec], report: &mut TickReport) {
+        if !self.cfg.retention.is_active() {
+            return;
+        }
+        let rec = sys.obs_recorder();
+        for d in live {
+            // OverWrite datasets rewrite one file in place: there is no
+            // history to thin.
+            if d.amode != AccessMode::Create {
+                continue;
+            }
+            let Location::Stored(kind) = d.location else {
+                continue;
+            };
+            let dumps = sys.catalog.lock().dumps_of(d.id);
+            let removals = self.cfg.retention.prune_list(&dumps);
+            if removals.is_empty() {
+                continue;
+            }
+            let Some(res) = sys.resource(kind) else {
+                continue;
+            };
+            // Remote deletes need a live connection; connecting is
+            // idempotent and free when one is already up.
+            if let Ok(cost) = res.lock().connect() {
+                sys.clock.advance(cost.time);
+            }
+            for iter in removals {
+                // Tolerate a file that is already gone (failover may have
+                // scattered dumps); refuse to touch bookkeeping while the
+                // resource is unreachable.
+                let gone = match res.lock().delete(&dump_file(d, iter)) {
+                    Ok(cost) => {
+                        sys.clock.advance(cost.time);
+                        true
+                    }
+                    Err(msr_storage::StorageError::NotFound(_)) => true,
+                    Err(_) => false,
+                };
+                if !gone {
+                    continue;
+                }
+                let bytes = dumps
+                    .iter()
+                    .find(|x| x.iter == iter)
+                    .map(|x| x.bytes)
+                    .unwrap_or(0);
+                if sys.catalog.lock().remove_dump(d.id, iter) {
+                    report.pruned_files += 1;
+                    report.pruned_bytes += bytes;
+                    if rec.enabled() {
+                        rec.count(Layer::Meta, "lifecycle", ops::PRUNE, sys.clock.now(), 1.0);
+                    }
+                }
+            }
+        }
+    }
+
+    fn demote(
+        &self,
+        sys: &MsrSystem,
+        live: &[DatasetRec],
+        moves_left: &mut u32,
+        report: &mut TickReport,
+    ) {
+        let now = sys.clock.now().as_secs();
+        let mut cands: Vec<&DatasetRec> = live
+            .iter()
+            .filter(|d| {
+                let Location::Stored(kind) = d.location else {
+                    return false;
+                };
+                tier_down(kind).is_some()
+                    && now - d.last_access_secs >= self.cfg.demote_after.as_secs()
+            })
+            .collect();
+        cands.sort_by(|a, b| {
+            a.last_access_secs
+                .total_cmp(&b.last_access_secs)
+                .then(a.id.cmp(&b.id))
+        });
+        for d in cands {
+            if *moves_left == 0 {
+                return;
+            }
+            let Location::Stored(from) = d.location else {
+                continue;
+            };
+            let to = tier_down(from).expect("filtered to demotable tiers");
+            if let Some(m) = self.migrate(sys, d, from, to) {
+                *moves_left -= 1;
+                report.demotions.push(m);
+            }
+        }
+    }
+
+    fn promote(
+        &self,
+        sys: &MsrSystem,
+        live: &[DatasetRec],
+        moves_left: &mut u32,
+        report: &mut TickReport,
+    ) {
+        let now = sys.clock.now().as_secs();
+        let mut cands: Vec<&DatasetRec> = live
+            .iter()
+            .filter(|d| {
+                let Location::Stored(kind) = d.location else {
+                    return false;
+                };
+                tier_up(kind).is_some()
+                    && d.heat >= self.cfg.promote_heat
+                    && now - d.last_access_secs <= self.cfg.promote_window.as_secs()
+            })
+            .collect();
+        cands.sort_by(|a, b| b.heat.cmp(&a.heat).then(a.id.cmp(&b.id)));
+        for d in cands {
+            if *moves_left == 0 {
+                return;
+            }
+            let Location::Stored(from) = d.location else {
+                continue;
+            };
+            let to = tier_up(from).expect("filtered to promotable tiers");
+            // A migration reads every dump; vaulted ones must be recalled
+            // first. A failed recall (outage) abandons this candidate for
+            // the tick — degrade, never wedge.
+            if from == StorageKind::RemoteTape && !self.recall_all(sys, d, report) {
+                continue;
+            }
+            if let Some(m) = self.migrate(sys, d, from, to) {
+                *moves_left -= 1;
+                sys.catalog.lock().reset_heat(d.id);
+                report.promotions.push(m);
+            }
+        }
+    }
+
+    fn vault_cold(&self, sys: &MsrSystem, live: &[DatasetRec], report: &mut TickReport) {
+        let now = sys.clock.now().as_secs();
+        let rec = sys.obs_recorder();
+        let Some(res) = sys.resource(StorageKind::RemoteTape) else {
+            return;
+        };
+        for d in live {
+            if d.location != Location::Stored(StorageKind::RemoteTape)
+                || now - d.last_access_secs < self.cfg.vault_after.as_secs()
+            {
+                continue;
+            }
+            let dumps = sys.catalog.lock().dumps_of(d.id);
+            for dump in dumps {
+                if dump.state != DumpState::Resident {
+                    continue;
+                }
+                // An offline tape or a missing file leaves the dump
+                // resident; the next tick retries.
+                if let Ok(cost) = res.lock().vault(&dump_file(d, dump.iter)) {
+                    sys.clock.advance(cost.time);
+                    sys.catalog
+                        .lock()
+                        .set_dump_state(d.id, dump.iter, DumpState::Vaulted);
+                    report.vaulted += 1;
+                    if rec.enabled() {
+                        rec.count(Layer::Meta, "lifecycle", ops::VAULT, sys.clock.now(), 1.0);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- helpers -----------------------------------------------------------
+
+    /// Recall every vaulted dump of `d`. Returns whether all succeeded.
+    fn recall_all(&self, sys: &MsrSystem, d: &DatasetRec, report: &mut TickReport) -> bool {
+        let Some(res) = sys.resource(StorageKind::RemoteTape) else {
+            return false;
+        };
+        let rec = sys.obs_recorder();
+        let mut all_ok = true;
+        let dumps = sys.catalog.lock().dumps_of(d.id);
+        if dumps.iter().any(|x| x.state == DumpState::Vaulted) {
+            // Recalls need a live connection; best-effort — if the tape
+            // is down the per-dump recalls below fail and are counted.
+            if let Ok(cost) = res.lock().connect() {
+                sys.clock.advance(cost.time);
+            }
+        }
+        for dump in dumps {
+            if dump.state != DumpState::Vaulted {
+                continue;
+            }
+            match res.lock().recall(&dump_file(d, dump.iter)) {
+                Ok(cost) => {
+                    sys.clock.advance(cost.time);
+                    sys.catalog
+                        .lock()
+                        .set_dump_state(d.id, dump.iter, DumpState::Resident);
+                    report.recalls += 1;
+                    if rec.enabled() {
+                        rec.count(Layer::Meta, "lifecycle", ops::RECALL, sys.clock.now(), 1.0);
+                    }
+                }
+                Err(_) => {
+                    report.recall_failures += 1;
+                    all_ok = false;
+                }
+            }
+        }
+        all_ok
+    }
+
+    /// Price one candidate migration with the eq. (2) estimator inflated
+    /// by the live queue depths on both endpoints, then execute it through
+    /// the system's staging path. `None` when the move was refused
+    /// (breaker open, destination offline or full, mid-stream fault) — the
+    /// dataset stays where it is and the next tick reconsiders.
+    fn migrate(
+        &self,
+        sys: &MsrSystem,
+        d: &DatasetRec,
+        from: StorageKind,
+        to: StorageKind,
+    ) -> Option<MoveRec> {
+        if !sys.health.allows(to) {
+            return None;
+        }
+        let dst = sys.resource(to)?;
+        if !dst.lock().is_online() {
+            return None;
+        }
+        let dumps = sys.catalog.lock().dumps_of(d.id).len().max(1) as f64;
+        let per_dump = self.estimate_dump(sys, d, to);
+        let pressure = 1.0 + (sys.load.depth(from) + sys.load.depth(to)) as f64;
+        let predicted_secs = per_dump * dumps * pressure;
+        match sys.migrate_dataset(d.run, &d.name, to, self.grid) {
+            Ok(m) => Some(MoveRec {
+                run: d.run.0,
+                dataset: d.name.clone(),
+                from,
+                to,
+                files: m.files,
+                bytes: m.bytes,
+                predicted_secs,
+                actual_secs: m.total_time().as_secs(),
+            }),
+            Err(_) => None,
+        }
+    }
+
+    /// eq. (2) single-dump write estimate onto `to`, seconds. Falls back
+    /// to 0 when the dataset's recorded shape cannot be rebuilt (the price
+    /// then reflects queue pressure only).
+    fn estimate_dump(&self, sys: &MsrSystem, d: &DatasetRec, to: StorageKind) -> f64 {
+        let Some(res) = sys.resource(to) else {
+            return 0.0;
+        };
+        let dims = Dims3 {
+            x: d.dims.first().copied().unwrap_or(1),
+            y: d.dims.get(1).copied().unwrap_or(1),
+            z: d.dims.get(2).copied().unwrap_or(1),
+        };
+        let Ok(pattern) = Pattern::parse(&d.pattern) else {
+            return 0.0;
+        };
+        let Ok(dist) = Distribution::new(dims, d.etype.size(), pattern, self.grid) else {
+            return 0.0;
+        };
+        let strategy = IoStrategy::parse(&d.strategy).unwrap_or(IoStrategy::Collective);
+        let profile = profile_for(sys.predictor().map(|p| &p.db), &res, OpKind::Write);
+        fetch_estimate(&profile, strategy, &AccessSummary::of(&dist)).as_secs()
+    }
+}
+
+/// The on-storage path of one dump of `d`.
+fn dump_file(d: &DatasetRec, iter: u32) -> String {
+    match d.amode {
+        AccessMode::Create => format!("{}.t{iter:05}", d.path),
+        AccessMode::OverWrite => d.path.clone(),
+    }
+}

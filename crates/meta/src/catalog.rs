@@ -3,8 +3,8 @@
 use crate::error::MetaError;
 use crate::filter::Filter;
 use crate::records::{
-    AppId, ApplicationRec, DatasetId, DatasetRec, Location, PerfSample, ResourceRec, RunId, RunRec,
-    UserId, UserRec,
+    AppId, ApplicationRec, DatasetId, DatasetRec, DumpRec, DumpState, Location, PerfSample,
+    ResourceRec, RunId, RunRec, UserId, UserRec,
 };
 use crate::MetaResult;
 use msr_sim::SimDuration;
@@ -44,6 +44,8 @@ pub struct Catalog {
     runs: Vec<RunRec>,
     datasets: Vec<DatasetRec>,
     resources: Vec<ResourceRec>,
+    #[serde(default)]
+    dumps: Vec<DumpRec>,
     perf: BTreeMap<String, Vec<PerfSample>>,
     perf_fixed: BTreeMap<String, FixedCosts>,
     #[serde(skip)]
@@ -265,6 +267,123 @@ impl Catalog {
         Ok(())
     }
 
+    // ---- dumps & access recency --------------------------------------------
+    //
+    // The `note_*` hooks are deliberately *free*: they neither count as
+    // catalog queries nor charge query cost, so recording recency leaves
+    // every pre-lifecycle run's timing (and report) bitwise unchanged.
+
+    /// Record (or refresh) a dump of `(run, name)` written at `at_secs`.
+    /// Unknown datasets are ignored — recency is best-effort bookkeeping,
+    /// never an error path.
+    pub fn note_dump(&mut self, run: RunId, name: &str, iter: u32, at_secs: f64, bytes: u64) {
+        let Some(d) = self
+            .datasets
+            .iter_mut()
+            .find(|d| d.run == run && d.name == name)
+        else {
+            return;
+        };
+        d.last_access_secs = d.last_access_secs.max(at_secs);
+        d.heat += 1;
+        let id = d.id;
+        match self
+            .dumps
+            .iter_mut()
+            .find(|x| x.dataset == id && x.iter == iter)
+        {
+            Some(x) => {
+                x.written_secs = at_secs;
+                x.last_access_secs = x.last_access_secs.max(at_secs);
+                x.bytes = bytes;
+                x.state = DumpState::Resident;
+            }
+            None => self.dumps.push(DumpRec {
+                dataset: id,
+                iter,
+                written_secs: at_secs,
+                bytes,
+                last_access_secs: at_secs,
+                reads: 0,
+                state: DumpState::Resident,
+            }),
+        }
+    }
+
+    /// Record a read of `(run, name)` (optionally of one dump) at `at_secs`.
+    /// Free for the same reason as [`Catalog::note_dump`].
+    pub fn note_access(&mut self, run: RunId, name: &str, iter: Option<u32>, at_secs: f64) {
+        let Some(d) = self
+            .datasets
+            .iter_mut()
+            .find(|d| d.run == run && d.name == name)
+        else {
+            return;
+        };
+        d.last_access_secs = d.last_access_secs.max(at_secs);
+        d.heat += 1;
+        let id = d.id;
+        if let Some(iter) = iter {
+            if let Some(x) = self
+                .dumps
+                .iter_mut()
+                .find(|x| x.dataset == id && x.iter == iter)
+            {
+                x.last_access_secs = x.last_access_secs.max(at_secs);
+                x.reads += 1;
+            }
+        }
+    }
+
+    /// All recorded dumps of a dataset, in iteration order.
+    pub fn dumps_of(&mut self, id: DatasetId) -> Vec<DumpRec> {
+        self.count_query();
+        let mut v: Vec<DumpRec> = self
+            .dumps
+            .iter()
+            .filter(|x| x.dataset == id)
+            .cloned()
+            .collect();
+        v.sort_by_key(|x| x.iter);
+        v
+    }
+
+    /// Drop the record of one dump (after its file is pruned from storage).
+    /// Returns whether a row was removed.
+    pub fn remove_dump(&mut self, id: DatasetId, iter: u32) -> bool {
+        let before = self.dumps.len();
+        self.dumps.retain(|x| !(x.dataset == id && x.iter == iter));
+        self.dumps.len() != before
+    }
+
+    /// Update the residency state of one dump. Returns whether it existed.
+    pub fn set_dump_state(&mut self, id: DatasetId, iter: u32, state: DumpState) -> bool {
+        match self
+            .dumps
+            .iter_mut()
+            .find(|x| x.dataset == id && x.iter == iter)
+        {
+            Some(x) => {
+                x.state = state;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Reset a dataset's heat counter (after the lifecycle engine acts on it).
+    pub fn reset_heat(&mut self, id: DatasetId) {
+        if let Some(d) = self.datasets.get_mut(id.0 as usize) {
+            d.heat = 0;
+        }
+    }
+
+    /// Every dataset row — the lifecycle engine's scan.
+    pub fn all_datasets(&mut self) -> Vec<DatasetRec> {
+        self.count_query();
+        self.datasets.clone()
+    }
+
     // ---- resources ---------------------------------------------------------
 
     /// Register a storage resource; names are unique (re-registration
@@ -370,6 +489,8 @@ mod tests {
             frequency: 6,
             path: format!("astro3d/{name}"),
             predicted_secs: None,
+            last_access_secs: 0.0,
+            heat: 0,
         }
     }
 
@@ -501,6 +622,56 @@ mod tests {
         assert_eq!(back.find_dataset(run, "temp").unwrap().name, "temp");
         assert!(back.fixed_costs("anl-local", OpKind::Read).is_some());
         assert_eq!(back.query_count(), 2, "query counter is not persisted");
+    }
+
+    #[test]
+    fn recency_hooks_are_free_and_tracked() {
+        let (mut c, run) = seed_catalog();
+        let id = c.add_dataset(ds(run, "temp")).unwrap();
+        let before = c.query_count();
+        c.note_dump(run, "temp", 0, 10.0, 1024);
+        c.note_dump(run, "temp", 6, 20.0, 1024);
+        c.note_access(run, "temp", Some(0), 30.0);
+        c.note_access(run, "ghost", None, 99.0); // unknown: silently ignored
+        assert_eq!(c.query_count(), before, "note_* never counts as a query");
+        let d = c.dataset(id).unwrap();
+        assert_eq!(d.last_access_secs, 30.0);
+        assert_eq!(d.heat, 3);
+        let dumps = c.dumps_of(id);
+        assert_eq!(dumps.len(), 2);
+        assert_eq!(dumps[0].iter, 0);
+        assert_eq!(dumps[0].reads, 1);
+        assert_eq!(dumps[0].last_access_secs, 30.0);
+        assert_eq!(dumps[1].reads, 0);
+        c.reset_heat(id);
+        assert_eq!(c.dataset(id).unwrap().heat, 0);
+    }
+
+    #[test]
+    fn dump_state_and_removal() {
+        let (mut c, run) = seed_catalog();
+        let id = c.add_dataset(ds(run, "temp")).unwrap();
+        c.note_dump(run, "temp", 0, 1.0, 64);
+        c.note_dump(run, "temp", 6, 2.0, 64);
+        assert!(c.set_dump_state(id, 6, DumpState::Vaulted));
+        assert!(!c.set_dump_state(id, 12, DumpState::Vaulted));
+        assert_eq!(c.dumps_of(id)[1].state, DumpState::Vaulted);
+        // Rewriting a vaulted dump makes it resident again.
+        c.note_dump(run, "temp", 6, 3.0, 64);
+        assert_eq!(c.dumps_of(id)[1].state, DumpState::Resident);
+        assert!(c.remove_dump(id, 0));
+        assert!(!c.remove_dump(id, 0));
+        assert_eq!(c.dumps_of(id).len(), 1);
+    }
+
+    #[test]
+    fn dumps_survive_persistence() {
+        let (mut c, run) = seed_catalog();
+        let id = c.add_dataset(ds(run, "temp")).unwrap();
+        c.note_dump(run, "temp", 0, 5.0, 256);
+        let json = c.to_json().unwrap();
+        let mut back = Catalog::from_json(&json).unwrap();
+        assert_eq!(back.dumps_of(id), c.dumps_of(id));
     }
 
     #[test]

@@ -214,6 +214,8 @@ mod tests {
             frequency: freq,
             path: format!("astro3d/{name}"),
             predicted_secs: None,
+            last_access_secs: 0.0,
+            heat: 0,
         }
     }
 

@@ -28,8 +28,8 @@ pub use error::MetaError;
 pub use filter::{Filter, Record, Value};
 pub use parse::ParseError;
 pub use records::{
-    AccessMode, AppId, ApplicationRec, DatasetId, DatasetRec, ElementType, Location, PerfSample,
-    ResourceRec, RunId, RunRec, UserId, UserRec,
+    AccessMode, AppId, ApplicationRec, DatasetId, DatasetRec, DumpRec, DumpState, ElementType,
+    Location, PerfSample, ResourceRec, RunId, RunRec, UserId, UserRec,
 };
 
 /// Convenience result alias for catalog operations.

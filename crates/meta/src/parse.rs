@@ -346,6 +346,8 @@ mod tests {
             frequency: freq,
             path: String::new(),
             predicted_secs: None,
+            last_access_secs: 0.0,
+            heat: 0,
         }
     }
 

@@ -177,6 +177,15 @@ pub struct DatasetRec {
     /// Predicted total I/O time for the run, seconds (VIRTUALTIME column);
     /// filled in by the predictor.
     pub predicted_secs: Option<f64>,
+    /// Virtual time of the most recent write or read of any dump, seconds.
+    /// Updated for free (no query cost) by the access-recency hooks; the
+    /// lifecycle engine keys demotion decisions on it.
+    #[serde(default)]
+    pub last_access_secs: f64,
+    /// Accesses since the lifecycle engine last promoted this dataset (or
+    /// reset the counter) — the "heat" a promotion decision looks at.
+    #[serde(default)]
+    pub heat: u64,
 }
 
 impl DatasetRec {
@@ -197,6 +206,50 @@ impl DatasetRec {
 
 fn default_strategy() -> String {
     "collective".to_owned()
+}
+
+/// Residency state of one dump on its storage resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DumpState {
+    /// On its resource and readable directly.
+    #[default]
+    Resident,
+    /// Moved to the tape vault: the bytes exist but every read fails with
+    /// `StorageError::Vaulted` until a priced recall brings them back.
+    Vaulted,
+}
+
+impl fmt::Display for DumpState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DumpState::Resident => "resident",
+            DumpState::Vaulted => "vaulted",
+        })
+    }
+}
+
+/// One dump of a dataset — the per-snapshot row the lifecycle engine scans
+/// for retention and vaulting decisions. Kept as a flat list (not a map)
+/// so the catalog stays a plain JSON document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DumpRec {
+    /// Owning dataset.
+    pub dataset: DatasetId,
+    /// Iteration number of the dump.
+    pub iter: u32,
+    /// Virtual time the dump was written, seconds.
+    pub written_secs: f64,
+    /// Size of the dump in bytes.
+    pub bytes: u64,
+    /// Virtual time of the most recent read (or the write, if never read).
+    #[serde(default)]
+    pub last_access_secs: f64,
+    /// Number of reads served from this dump.
+    #[serde(default)]
+    pub reads: u64,
+    /// Residency state.
+    #[serde(default)]
+    pub state: DumpState,
 }
 
 /// A registered storage resource.
@@ -241,6 +294,8 @@ mod tests {
             frequency: 6,
             path: "astro3d/run1/temp".into(),
             predicted_secs: None,
+            last_access_secs: 0.0,
+            heat: 0,
         }
     }
 
@@ -288,5 +343,29 @@ mod tests {
         let j = serde_json::to_string(&d).unwrap();
         let back: DatasetRec = serde_json::from_str(&j).unwrap();
         assert_eq!(back, d);
+    }
+
+    #[test]
+    fn dataset_json_without_lifecycle_fields_still_loads() {
+        // Catalogs saved before the lifecycle engine existed have no
+        // recency/heat columns; they must deserialize as cold.
+        let mut v = serde_json::to_value(&temp_dataset()).unwrap();
+        let obj = v.as_object_mut().unwrap();
+        obj.remove("last_access_secs");
+        obj.remove("heat");
+        let back: DatasetRec = serde_json::from_value(v).unwrap();
+        assert_eq!(back.last_access_secs, 0.0);
+        assert_eq!(back.heat, 0);
+    }
+
+    #[test]
+    fn dump_rec_serde_defaults() {
+        let j = r#"{"dataset":3,"iter":6,"written_secs":12.5,"bytes":1024}"#;
+        let d: DumpRec = serde_json::from_str(j).unwrap();
+        assert_eq!(d.dataset, DatasetId(3));
+        assert_eq!(d.state, DumpState::Resident);
+        assert_eq!(d.reads, 0);
+        assert_eq!(d.last_access_secs, 0.0);
+        assert_eq!(DumpState::Vaulted.to_string(), "vaulted");
     }
 }

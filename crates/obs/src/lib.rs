@@ -115,6 +115,21 @@ pub mod ops {
     /// A pooled scratch buffer re-used by the engine pack/sieve phase
     /// (runtime layer counter).
     pub const SCRATCH_REUSE: &str = "scratch_reuse";
+    /// A dataset migrated between storage resources — the span covers the
+    /// whole staging transfer, `bytes` the data moved (meta layer).
+    pub const MIGRATE: &str = "migrate";
+    /// A dataset touched (dump written or read back) — the recency signal
+    /// the lifecycle engine keys on (meta layer counter).
+    pub const DATASET_ACCESS: &str = "dataset_access";
+    /// One lifecycle engine pass over the catalog (meta layer counter).
+    pub const LIFECYCLE_TICK: &str = "lifecycle_tick";
+    /// A dump pruned by retention policy, `bytes` its size (meta layer).
+    pub const PRUNE: &str = "prune";
+    /// A resident tape dump moved to the vault (storage layer counter).
+    pub const VAULT: &str = "vault";
+    /// A vaulted dump recalled to the tape's resident store — the span
+    /// covers the configured recall latency (storage layer).
+    pub const RECALL: &str = "recall";
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! Per-session and scheduler-wide accounting for a scheduled run.
 
+use msr_lifecycle::TickTotals;
 use msr_runtime::IoReport;
 use msr_sim::{SimDuration, SimTime};
 use msr_storage::StorageKind;
@@ -68,6 +69,10 @@ pub struct SchedReport {
     /// Candidate reads whose predicted fetch did not fit the predicted
     /// idle window and were never fetched.
     pub prefetch_declined: u64,
+    /// Lifecycle-engine totals across the run's between-round ticks (all
+    /// zero with no lifecycle attached).
+    #[serde(default)]
+    pub lifecycle: TickTotals,
 }
 
 impl SchedReport {

@@ -49,6 +49,7 @@ use crate::program::{payload, SessionProgram};
 use crate::report::{SchedReport, SessionReport};
 use bytes::Bytes;
 use msr_core::{placement, CoreError, CoreResult, DatasetSpec, MsrSystem, Session};
+use msr_lifecycle::{LifecycleEngine, TickTotals};
 use msr_meta::{AccessMode, Location, RunId};
 use msr_obs::{ops, Layer, Recorder};
 use msr_predict::{fetch_estimate, profile_for, AccessSummary, ResourceProfile};
@@ -384,6 +385,8 @@ pub struct Scheduler<'a> {
     locations: BTreeMap<(u64, String), StorageKind>,
     specs: BTreeMap<(u64, String), DatasetSpec>,
     prefetch: bool,
+    lifecycle: Option<LifecycleEngine>,
+    lifecycle_every: u64,
 }
 
 impl<'a> Scheduler<'a> {
@@ -403,7 +406,29 @@ impl<'a> Scheduler<'a> {
             locations: BTreeMap::new(),
             specs: BTreeMap::new(),
             prefetch,
+            lifecycle: None,
+            lifecycle_every: 4,
         }
+    }
+
+    /// Attach a lifecycle engine: between dispatch rounds (every
+    /// [`lifecycle_every`](Scheduler::lifecycle_every) rounds, on the
+    /// dispatcher thread) it prunes, demotes, promotes and vaults datasets
+    /// whose runs are *not* admitted here — in-flight data is never moved
+    /// under a queued request. Ticks derive from a single catalog snapshot
+    /// in fixed order, so attaching an engine keeps reports bitwise
+    /// identical at any `MSR_THREADS`.
+    pub fn with_lifecycle(mut self, engine: LifecycleEngine) -> Self {
+        self.lifecycle = Some(engine);
+        self
+    }
+
+    /// Tick the attached lifecycle engine every `n` dispatch rounds
+    /// (default 4; clamped to at least 1). No effect without
+    /// [`with_lifecycle`](Scheduler::with_lifecycle).
+    pub fn lifecycle_every(mut self, n: u64) -> Self {
+        self.lifecycle_every = n.max(1);
+        self
     }
 
     /// Enable or disable prediction-driven read-ahead for this run,
@@ -570,6 +595,11 @@ impl<'a> Scheduler<'a> {
         let mut batches = 0u64;
         let mut max_batch = 0usize;
         let mut prefetcher = self.prefetch.then(Prefetcher::new);
+        // Session id -> catalog run, for the recency hooks; admitted runs
+        // are off-limits to the lifecycle engine for the whole drain.
+        let runs: BTreeMap<u64, RunId> = self.admitted.iter().map(|a| (a.id, a.run)).collect();
+        let busy: BTreeSet<RunId> = runs.values().copied().collect();
+        let mut lifecycle_totals = TickTotals::default();
 
         loop {
             // One batch per resource per round, in fixed resource order. A
@@ -722,6 +752,7 @@ impl<'a> Scheduler<'a> {
                     let depth = self.sys.load.dequeued(kind, 1);
                     self.rec
                         .count(Layer::Sched, &comp, ops::QUEUE_DEPTH, *cursor, depth as f64);
+                    self.note_served(runs[&q.req.tag.session], &q.req, *cursor, report.bytes);
                     let acc = accs.get_mut(&q.req.tag.session).expect("admitted session");
                     acc.reports.push((q.req.tag.seq, report.clone()));
                     acc.wait += wait;
@@ -787,6 +818,7 @@ impl<'a> Scheduler<'a> {
                     if let Some(p) = prefetcher.as_mut() {
                         p.note_foreground(&self.rec, kind, &q.req, *cursor);
                     }
+                    self.note_served(runs[&q.req.tag.session], &q.req, *cursor, report.bytes);
                     let acc = accs.get_mut(&q.req.tag.session).expect("admitted session");
                     acc.reports.push((q.req.tag.seq, report.clone()));
                     acc.wait += wait;
@@ -823,6 +855,19 @@ impl<'a> Scheduler<'a> {
             }
             for (kind, batch) in blocked {
                 self.requeue(kind, batch, "circuit open", &mut queues, &mut accs);
+            }
+
+            // Between-round lifecycle tick, on the dispatcher thread. The
+            // global clock first catches up to the drain's frontier so the
+            // engine's idle windows see virtual time passing; `advance_to`
+            // is a monotonic max, so the final makespan advance below
+            // still lands wherever is latest.
+            if let Some(engine) = &self.lifecycle {
+                if rounds.is_multiple_of(self.lifecycle_every) {
+                    let frontier = cursors.values().fold(start, |m, &t| m.max(t));
+                    self.sys.clock.advance_to(frontier);
+                    lifecycle_totals.absorb(&engine.tick_excluding(self.sys, &busy));
+                }
             }
         }
 
@@ -887,6 +932,7 @@ impl<'a> Scheduler<'a> {
             prefetch_hits,
             prefetch_waste,
             prefetch_declined,
+            lifecycle: lifecycle_totals,
         })
     }
 
@@ -1024,6 +1070,36 @@ impl<'a> Scheduler<'a> {
                     }
                 }
             }
+        }
+    }
+
+    /// Free recency hook: mirror one served request into the catalog's
+    /// dump/heat columns so a lifecycle engine (this run's or a later
+    /// one's) sees what is hot. Charges no query cost and never moves the
+    /// clock — with no lifecycle attached the run's report is bitwise
+    /// unchanged. OverWrite datasets rewrite one file, so their single
+    /// dump row keys on iteration 0 (their paths carry no `.t` suffix and
+    /// the parse falls back to 0).
+    fn note_served(&self, run: RunId, req: &EngineRequest, at: SimTime, bytes: u64) {
+        let iter = req
+            .path
+            .rsplit_once(".t")
+            .and_then(|(_, s)| s.parse().ok())
+            .unwrap_or(0);
+        {
+            let mut catalog = self.sys.catalog.lock();
+            match req.body {
+                RequestBody::Write { .. } => {
+                    catalog.note_dump(run, &req.dataset, iter, at.as_secs(), bytes);
+                }
+                RequestBody::Read => {
+                    catalog.note_access(run, &req.dataset, Some(iter), at.as_secs());
+                }
+            }
+        }
+        if self.lifecycle.is_some() {
+            self.rec
+                .count(Layer::Sched, &req.dataset, ops::DATASET_ACCESS, at, 1.0);
         }
     }
 

@@ -353,6 +353,25 @@ impl StorageResource for CompositeResource {
         Ok(out)
     }
 
+    fn vault(&mut self, path: &str) -> StorageResult<Cost<()>> {
+        let child = self
+            .child_of(path)
+            .ok_or_else(|| StorageError::NotFound(path.to_owned()))?;
+        self.children[child].lock().vault(path)
+    }
+
+    fn recall(&mut self, path: &str) -> StorageResult<Cost<()>> {
+        let child = self
+            .child_of(path)
+            .ok_or_else(|| StorageError::NotFound(path.to_owned()))?;
+        self.children[child].lock().recall(path)
+    }
+
+    fn is_vaulted(&self, path: &str) -> bool {
+        self.child_of(path)
+            .is_some_and(|i| self.children[i].lock().is_vaulted(path))
+    }
+
     fn exists(&self, path: &str) -> bool {
         self.child_of(path).is_some()
     }

@@ -43,6 +43,15 @@ pub enum StorageError {
         /// The native call that faulted.
         op: &'static str,
     },
+    /// The path is in the tape vault: the bytes exist but cannot be read
+    /// until a recall migration brings them back on-site. Neither a retry
+    /// nor a failover helps — the data is nowhere else.
+    Vaulted(String),
+    /// The resource has no vault tier (only tape does).
+    VaultUnsupported {
+        /// Resource name for diagnostics.
+        resource: String,
+    },
 }
 
 impl StorageError {
@@ -75,6 +84,12 @@ impl fmt::Display for StorageError {
             StorageError::Network(e) => write!(f, "network failure: {e}"),
             StorageError::Transient { resource, op } => {
                 write!(f, "transient fault on {resource} during {op}")
+            }
+            StorageError::Vaulted(p) => {
+                write!(f, "file {p} is vaulted; recall it before reading")
+            }
+            StorageError::VaultUnsupported { resource } => {
+                write!(f, "storage resource {resource} has no vault tier")
             }
         }
     }

@@ -398,6 +398,23 @@ impl StorageResource for FaultInjector {
         self.inner.lock().delete(path)
     }
 
+    fn vault(&mut self, path: &str) -> StorageResult<Cost<()>> {
+        self.inner.lock().vault(path)
+    }
+
+    fn recall(&mut self, path: &str) -> StorageResult<Cost<()>> {
+        // The shelf robot lives behind the same faulty front door as the
+        // data path: outage windows and error bursts fault recalls too.
+        if let Some(e) = self.gate("recall") {
+            return Err(e);
+        }
+        self.inner.lock().recall(path)
+    }
+
+    fn is_vaulted(&self, path: &str) -> bool {
+        self.inner.lock().is_vaulted(path)
+    }
+
     fn exists(&self, path: &str) -> bool {
         self.inner.lock().exists(path)
     }

@@ -317,6 +317,20 @@ impl StorageResource for KeepAlive {
         self.inner.lock().delete(path)
     }
 
+    fn vault(&mut self, path: &str) -> StorageResult<Cost<()>> {
+        // Shelving the tape makes any warm read lease on the path a lie.
+        self.invalidate_path(path);
+        self.inner.lock().vault(path)
+    }
+
+    fn recall(&mut self, path: &str) -> StorageResult<Cost<()>> {
+        self.inner.lock().recall(path)
+    }
+
+    fn is_vaulted(&self, path: &str) -> bool {
+        self.inner.lock().is_vaulted(path)
+    }
+
     fn exists(&self, path: &str) -> bool {
         self.inner.lock().exists(path)
     }

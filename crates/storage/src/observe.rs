@@ -151,6 +151,22 @@ impl<R: StorageResource> StorageResource for ObservedResource<R> {
         Ok(cost)
     }
 
+    fn vault(&mut self, path: &str) -> StorageResult<Cost<()>> {
+        let cost = self.inner.vault(path)?;
+        self.record(ops::VAULT, 0, &cost);
+        Ok(cost)
+    }
+
+    fn recall(&mut self, path: &str) -> StorageResult<Cost<()>> {
+        let cost = self.inner.recall(path)?;
+        self.record(ops::RECALL, 0, &cost);
+        Ok(cost)
+    }
+
+    fn is_vaulted(&self, path: &str) -> bool {
+        self.inner.is_vaulted(path)
+    }
+
     fn exists(&self, path: &str) -> bool {
         self.inner.exists(path)
     }

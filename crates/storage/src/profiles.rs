@@ -112,8 +112,13 @@ pub fn hpss_params() -> TapeParams {
         write_curve: RateCurve::constant_bandwidth(TAPE_STREAM_MB_S),
         num_drives: 4,
         jitter: Jitter::LogNormal { sigma: 0.05 },
+        recall: SimDuration::from_secs(DEFAULT_RECALL_SECS),
     }
 }
+
+/// Default shelf-recall latency for vaulted HPSS tapes: the robot export /
+/// import cycle is measured in hours, not mount-seconds.
+pub const DEFAULT_RECALL_SECS: f64 = 4.0 * 3600.0;
 
 /// The HPSS tape tier at SDSC (Table 1 rows 5–6).
 pub fn sdsc_hpss_tape(

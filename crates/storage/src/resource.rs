@@ -266,6 +266,31 @@ pub trait StorageResource: Send {
         1
     }
 
+    /// Move a resident file into the vault (off-site tape shelf): the bytes
+    /// stay accounted but every subsequent `open` for read fails with
+    /// [`StorageError::Vaulted`] until [`StorageResource::recall`] brings
+    /// them back. Only tape implements this; the default refuses.
+    fn vault(&mut self, path: &str) -> StorageResult<Cost<()>> {
+        let _ = path;
+        Err(StorageError::VaultUnsupported {
+            resource: self.name().to_owned(),
+        })
+    }
+
+    /// Bring a vaulted file back on-site, paying the configured recall
+    /// latency. A no-op with zero cost if the file is already resident.
+    fn recall(&mut self, path: &str) -> StorageResult<Cost<()>> {
+        let _ = path;
+        Err(StorageError::VaultUnsupported {
+            resource: self.name().to_owned(),
+        })
+    }
+
+    /// Whether a path is currently in the vault.
+    fn is_vaulted(&self, _path: &str) -> bool {
+        false
+    }
+
     /// Deterministic fixed cost components for the predictor (Table 1 row).
     fn fixed_costs(&self, op: OpKind) -> FixedCosts;
 

@@ -22,6 +22,7 @@ use msr_net::{Connection, ProtocolCosts, SharedNetwork, SiteId};
 use msr_sim::{stream_rng, Jitter, SimDuration};
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::collections::BTreeSet;
 
 /// Cost parameters of a tape tier.
 #[derive(Debug, Clone)]
@@ -51,6 +52,10 @@ pub struct TapeParams {
     pub num_drives: usize,
     /// Device noise (tapes are noisy).
     pub jitter: Jitter,
+    /// Time to recall a vaulted tape from the off-site shelf back into the
+    /// silo. Deterministic (no jitter): the courier window is scheduled,
+    /// not device noise.
+    pub recall: SimDuration,
 }
 
 impl TapeParams {
@@ -94,6 +99,10 @@ pub struct TapeResource {
     mounts: usize,
     online: bool,
     stream_hint: u32,
+    /// Paths whose tapes are on the off-site shelf: readable only after a
+    /// recall. Ordered set so iteration (and serialization, if ever) is
+    /// deterministic.
+    vaulted: BTreeSet<String>,
     rng: StdRng,
 }
 
@@ -127,6 +136,7 @@ impl TapeResource {
             mounts: 0,
             online: true,
             stream_hint: 1,
+            vaulted: BTreeSet::new(),
             rng,
         }
     }
@@ -316,6 +326,11 @@ impl StorageResource for TapeResource {
     fn open(&mut self, path: &str, mode: OpenMode) -> StorageResult<Cost<FileHandle>> {
         self.check_online()?;
         self.live_conn()?;
+        // A vaulted tape is off-site for every mode — even a truncating
+        // create would need the volume in the silo.
+        if self.vaulted.contains(path) {
+            return Err(StorageError::Vaulted(path.to_owned()));
+        }
         let cursor = match mode {
             OpenMode::Read => {
                 if !self.store.exists(path) {
@@ -434,10 +449,43 @@ impl StorageResource for TapeResource {
         self.check_online()?;
         self.live_conn()?;
         if self.store.delete(path) {
+            // Pruning a vaulted dump destroys the shelf copy too — no
+            // recall needed to expire data.
+            self.vaulted.remove(path);
             Ok(Cost::new(self.params.close_write, ()))
         } else {
             Err(StorageError::NotFound(path.to_owned()))
         }
+    }
+
+    fn vault(&mut self, path: &str) -> StorageResult<Cost<()>> {
+        self.check_online()?;
+        if !self.store.exists(path) {
+            return Err(StorageError::NotFound(path.to_owned()));
+        }
+        // Shelving is a catalog update plus a robot export done off the
+        // data path; charge the same bookkeeping cost as a delete. No
+        // jitter: the surrounding jitter stream must stay unperturbed so
+        // lifecycle-on runs do not reorder other resources' draws.
+        self.vaulted.insert(path.to_owned());
+        Ok(Cost::new(self.params.close_write, ()))
+    }
+
+    fn recall(&mut self, path: &str) -> StorageResult<Cost<()>> {
+        self.check_online()?;
+        self.live_conn()?;
+        if !self.store.exists(path) {
+            return Err(StorageError::NotFound(path.to_owned()));
+        }
+        if self.vaulted.remove(path) {
+            Ok(Cost::new(self.params.recall, ()))
+        } else {
+            Ok(Cost::free(()))
+        }
+    }
+
+    fn is_vaulted(&self, path: &str) -> bool {
+        self.vaulted.contains(path)
     }
 
     fn exists(&self, path: &str) -> bool {
@@ -525,6 +573,7 @@ mod tests {
             write_curve: RateCurve::constant_bandwidth(0.07),
             num_drives: drives,
             jitter: Jitter::None,
+            recall: SimDuration::from_secs(3600.0),
         }
     }
 
@@ -655,6 +704,59 @@ mod tests {
         let near = t.seek(h, 999_000).unwrap().time;
         let far = t.seek(h, 0).unwrap().time;
         assert!(far > near, "winding 999 KB costs more than 1 KB");
+    }
+
+    #[test]
+    fn vaulted_file_rejects_open_until_recalled() {
+        let mut t = tape(2);
+        let h = t.open("run/f", OpenMode::Create).unwrap().value;
+        t.write(h, b"history").unwrap();
+        t.close(h).unwrap();
+        t.vault("run/f").unwrap();
+        assert!(t.is_vaulted("run/f"));
+        assert!(matches!(
+            t.open("run/f", OpenMode::Read),
+            Err(StorageError::Vaulted(_))
+        ));
+        assert!(matches!(
+            t.open("run/f", OpenMode::Create),
+            Err(StorageError::Vaulted(_))
+        ));
+        let c = t.recall("run/f").unwrap();
+        assert_eq!(c.time, SimDuration::from_secs(3600.0));
+        assert!(!t.is_vaulted("run/f"));
+        // Second recall of a resident file is free.
+        assert_eq!(t.recall("run/f").unwrap().time, SimDuration::ZERO);
+        let h = t.open("run/f", OpenMode::Read).unwrap().value;
+        assert_eq!(&t.read(h, 7).unwrap().value[..], b"history");
+    }
+
+    #[test]
+    fn vault_requires_existing_file_and_delete_clears_it() {
+        let mut t = tape(2);
+        assert!(matches!(t.vault("ghost"), Err(StorageError::NotFound(_))));
+        let h = t.open("run/g", OpenMode::Create).unwrap().value;
+        t.write(h, b"x").unwrap();
+        t.close(h).unwrap();
+        t.vault("run/g").unwrap();
+        t.delete("run/g").unwrap();
+        assert!(!t.is_vaulted("run/g"));
+        assert!(!t.exists("run/g"));
+    }
+
+    #[test]
+    fn vault_unsupported_off_tape() {
+        use crate::local_disk::{DiskParams, LocalDisk};
+        let mut d = LocalDisk::new("d", DiskParams::simple(100.0, 1 << 30), 0);
+        assert!(matches!(
+            d.vault("f"),
+            Err(StorageError::VaultUnsupported { .. })
+        ));
+        assert!(matches!(
+            d.recall("f"),
+            Err(StorageError::VaultUnsupported { .. })
+        ));
+        assert!(!d.is_vaulted("f"));
     }
 
     #[test]

@@ -85,6 +85,19 @@ impl Value {
         }
     }
 
+    /// Borrow as an object (serde_json's name for [`Value::as_obj`]).
+    pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+        self.as_obj()
+    }
+
+    /// Mutably borrow as an object.
+    pub fn as_object_mut(&mut self) -> Option<&mut BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
     /// Borrow as an array.
     pub fn as_arr(&self) -> Option<&[Value]> {
         match self {

@@ -17,6 +17,7 @@
 //! | I/O performance predictor  | [`predict`] |
 //! | cross-layer observability  | [`obs`] (feeds [`predict`] online) |
 //! | concurrent-session scheduler | [`sched`] |
+//! | tiered data lifecycle      | [`lifecycle`] (migration, retention, vaulting) |
 //!
 //! Start with [`core::MsrSystem::testbed`] and the `quickstart` example.
 //! Every example compiles from [`prelude`] alone:
@@ -39,6 +40,7 @@
 
 pub use msr_apps as apps;
 pub use msr_core as core;
+pub use msr_lifecycle as lifecycle;
 pub use msr_meta as meta;
 pub use msr_net as net;
 pub use msr_obs as obs;
@@ -52,7 +54,10 @@ pub use msr_storage as storage;
 /// `examples/` directory uses.
 pub mod prelude {
     pub use msr_apps::analysis::run_analysis;
-    pub use msr_apps::multi::{client_fleet, run_concurrent, run_sequential, ClientKind};
+    pub use msr_apps::multi::{
+        checkpoint_fleet, checkpoint_producer, client_fleet, run_concurrent, run_sequential,
+        ClientKind,
+    };
     pub use msr_apps::volren::{run_volren, run_volren_superfile};
     pub use msr_apps::{
         bytes_to_f32s, f32s_to_bytes, Astro3d, Astro3dConfig, Image, PlacementPlan, RenderMode,
@@ -62,6 +67,10 @@ pub mod prelude {
         classify, BreakerState, CoreError, CoreResult, DatasetSpec, DatasetSpecBuilder, ErrorClass,
         FutureUse, HealthCounters, HealthTracker, LoadBoard, LocationHint, MsrSystem,
         PlacementPolicy, RunReport, Session, SessionBuilder,
+    };
+    pub use msr_lifecycle::{
+        tier_down, tier_up, LifecycleConfig, LifecycleEngine, RetentionPolicy, TickReport,
+        TickTotals,
     };
     pub use msr_meta::{AccessMode, ElementType, RunId};
     pub use msr_obs::{chrome_trace, jsonl, Layer, MetricsSnapshot, Recorder, Registry};
