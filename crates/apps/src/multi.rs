@@ -119,6 +119,19 @@ pub fn consumer_fleet(n: usize, cube: u64, iterations: u32) -> Vec<SessionProgra
         .collect()
 }
 
+/// A compact mixed fleet for fleet-size scaling runs (100 / 1k / 10k
+/// sessions): the same producer/renderer/analyzer rotation as
+/// [`client_fleet`], but at 8³ cubes over 12 iterations so per-session
+/// data stays small (~2 KB payloads) and the measured cost is the
+/// dispatcher itself, not payload memcpys. At these sizes a 10k-session
+/// drain holds every admitted payload in a few hundred MB — the scale the
+/// discrete-event scheduler's O(log resources + batch) dispatch step
+/// exists for, where the retired round loop's O(sessions × resources)
+/// walk was impractical.
+pub fn scaling_fleet(n: usize) -> Vec<SessionProgram> {
+    client_fleet(n, 8, 12)
+}
+
 /// An Astro3D-style checkpoint producer: one float `chk` variable dumped
 /// every 3 iterations, pinned to local disk for fast restart. Each dump
 /// is a fresh file (`Create`), so a long campaign accumulates an aging

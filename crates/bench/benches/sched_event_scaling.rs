@@ -1,0 +1,53 @@
+//! Fleet-size scaling of the discrete-event dispatcher.
+//!
+//! Admits the compact mixed fleet at 16, 256 and 1024 sessions into a
+//! fresh testbed and drains it, reporting elements/sec where one element
+//! is a served request. The round-based dispatcher this engine replaced
+//! walked every session queue every round, so its per-request cost grew
+//! with fleet size; the event engine's curve should stay near-flat —
+//! compare the per-element times across the three sizes, not just the
+//! totals.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use msr_apps::multi::scaling_fleet;
+use msr_core::MsrSystem;
+use msr_sched::Scheduler;
+
+const FLEETS: [usize; 3] = [16, 256, 1024];
+
+fn requests_in(sessions: usize) -> u64 {
+    let sys = MsrSystem::testbed(5);
+    let mut sched = Scheduler::new(&sys);
+    for p in scaling_fleet(sessions) {
+        sched.admit(p).expect("admission");
+    }
+    sched.run().expect("drain").requests()
+}
+
+/// Full admit + drain of the fleet — the end-to-end dispatcher path the
+/// `BENCH_sched.json` fleet curve tracks.
+fn bench_event_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched_event_scaling");
+    group.sample_size(10);
+    for sessions in FLEETS {
+        group.throughput(Throughput::Elements(requests_in(sessions)));
+        group.bench_with_input(
+            BenchmarkId::new("sessions", sessions),
+            &sessions,
+            |b, &sessions| {
+                b.iter(|| {
+                    let sys = MsrSystem::testbed(5);
+                    let mut sched = Scheduler::new(&sys);
+                    for p in scaling_fleet(sessions) {
+                        sched.admit(p).expect("admission");
+                    }
+                    sched.run().expect("drain")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_dispatch);
+criterion_main!(benches);

@@ -17,8 +17,11 @@
 //! so single-core CI runs are self-describing).
 //!
 //! `--sched-json` sweeps the scheduler over 1/4/16 concurrent sessions
-//! (virtual-time makespan vs back-to-back baseline) and writes
-//! `BENCH_sched.json`.
+//! (virtual-time makespan vs back-to-back baseline), then drains the
+//! compact mixed fleet at 16/100/1k/10k sessions to record the
+//! discrete-event dispatcher's wall-clock cost per request, and writes
+//! both curves to `BENCH_sched.json`. `--fleet-max N` caps the
+//! fleet-size curve (CI runs to 1k; the committed ledger carries 10k).
 //!
 //! `--prefetch-json` sweeps the tape-heavy consumer fleet with
 //! prediction-driven read-ahead off vs on and writes
@@ -370,16 +373,51 @@ struct SchedLedger {
     scale: String,
     seed: u64,
     points: Vec<SchedPoint>,
+    /// Fleet-size scaling curve: wall-clock dispatch cost per request at
+    /// 16/100/1k/10k sessions under the discrete-event engine.
+    fleet: Vec<FleetPoint>,
 }
 
-/// Sweep the scheduler and write the virtual-time ledger to
-/// `BENCH_sched.json`.
-fn run_sched_json(scale: Scale, seed: u64) {
+fn run_fleet_curve(seed: u64, fleet_max: usize) -> Vec<FleetPoint> {
+    banner("SCHEDULER - fleet-size scaling (discrete-event dispatch, wall clock)");
+    let levels: Vec<usize> = FLEET_LEVELS
+        .iter()
+        .copied()
+        .filter(|&n| n <= fleet_max)
+        .collect();
+    if levels.len() < FLEET_LEVELS.len() {
+        println!("(--fleet-max {fleet_max}: larger fleet sizes skipped)");
+    }
+    let fleet = fleet_scaling(seed, &levels);
+    println!(
+        "{:>8} | {:>9} {:>12} {:>12} | {:>10} {:>10} {:>12}",
+        "sessions", "requests", "sched(s)", "MB/s", "admit(ms)", "run(ms)", "us/request"
+    );
+    for p in &fleet {
+        println!(
+            "{:>8} | {:>9} {:>12.2} {:>12.4} | {:>10.1} {:>10.1} {:>12.2}",
+            p.sessions,
+            p.requests,
+            p.scheduled_s,
+            p.throughput_mb_s,
+            p.admit_ms,
+            p.run_ms,
+            p.dispatch_us_per_request
+        );
+    }
+    fleet
+}
+
+/// Sweep the scheduler, drain the fleet-size curve, and write the ledger
+/// to `BENCH_sched.json`.
+fn run_sched_json(scale: Scale, seed: u64, fleet_max: usize) {
     let points = run_sched(scale, seed);
+    let fleet = run_fleet_curve(seed, fleet_max);
     let ledger = SchedLedger {
         scale: format!("{scale:?}"),
         seed,
         points,
+        fleet,
     };
     let out = serde_json::to_string_pretty(&ledger).expect("ledger serializes");
     std::fs::write("BENCH_sched.json", out).expect("write BENCH_sched.json");
@@ -576,7 +614,13 @@ fn main() {
         return;
     }
     if args.iter().any(|a| a == "--sched-json") {
-        run_sched_json(scale, seed);
+        let fleet_max = args
+            .iter()
+            .position(|a| a == "--fleet-max")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(usize::MAX);
+        run_sched_json(scale, seed, fleet_max);
         return;
     }
     if args.iter().any(|a| a == "--prefetch-json") {

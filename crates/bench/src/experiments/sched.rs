@@ -9,8 +9,9 @@
 //! host-independent.
 
 use super::Scale;
-use msr_apps::multi::{client_fleet, run_concurrent, run_sequential};
+use msr_apps::multi::{client_fleet, run_concurrent, run_sequential, scaling_fleet};
 use msr_core::MsrSystem;
+use msr_sched::Scheduler;
 use serde::Serialize;
 
 /// One concurrency level of the sweep.
@@ -79,9 +80,93 @@ pub fn sched_throughput(scale: Scale, seed: u64, levels: &[usize]) -> Vec<SchedP
 /// The default sweep the ledger and CI use.
 pub const DEFAULT_LEVELS: [usize; 3] = [1, 4, 16];
 
+/// The fleet-size curve tracked since the dispatcher went discrete-event:
+/// the round engine topped out near 16 sessions; the event engine must
+/// complete 10k.
+pub const FLEET_LEVELS: [usize; 4] = [16, 100, 1_000, 10_000];
+
+/// One fleet size of the scaling curve. Virtual-time figures
+/// (`scheduled_s`, `throughput_mb_s`) are host-independent; the `_ms`
+/// fields are wall-clock and measure the dispatcher implementation
+/// itself — `dispatch_us_per_request` is the number that must stay
+/// near-flat as the fleet grows.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetPoint {
+    /// Concurrent sessions admitted.
+    pub sessions: usize,
+    /// Requests served across the drain.
+    pub requests: u64,
+    /// Bytes moved by the drain.
+    pub total_bytes: u64,
+    /// Scheduled makespan, virtual seconds.
+    pub scheduled_s: f64,
+    /// Scheduled throughput, MB per virtual second.
+    pub throughput_mb_s: f64,
+    /// Dispatcher batches served.
+    pub batches: u64,
+    /// Wall-clock milliseconds spent admitting the fleet.
+    pub admit_ms: f64,
+    /// Wall-clock milliseconds draining the queues.
+    pub run_ms: f64,
+    /// Wall-clock dispatch cost per served request, microseconds.
+    pub dispatch_us_per_request: f64,
+}
+
+/// Drain the compact mixed fleet at each size in `levels` and measure the
+/// dispatcher's wall-clock cost. No back-to-back baseline at these sizes
+/// — running 10k sessions sequentially is exactly the non-scalable thing
+/// the curve exists to avoid.
+pub fn fleet_scaling(seed: u64, levels: &[usize]) -> Vec<FleetPoint> {
+    levels
+        .iter()
+        .map(|&n| {
+            let fleet = scaling_fleet(n);
+            let sys = MsrSystem::testbed(seed);
+            let t0 = std::time::Instant::now();
+            let mut sched = Scheduler::new(&sys);
+            for p in fleet {
+                sched.admit(p).expect("admission");
+            }
+            let admit_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let t1 = std::time::Instant::now();
+            let report = sched.run().expect("scheduled fleet");
+            let run_ms = t1.elapsed().as_secs_f64() * 1e3;
+            assert!(
+                report.sessions.iter().all(|s| s.errors.is_empty()),
+                "fault-free curve must serve every request"
+            );
+            let requests = report.requests();
+            FleetPoint {
+                sessions: n,
+                requests,
+                total_bytes: report.total_bytes,
+                scheduled_s: report.makespan.as_secs(),
+                throughput_mb_s: report.throughput_mb_s,
+                batches: report.batches,
+                admit_ms,
+                run_ms,
+                dispatch_us_per_request: run_ms * 1e3 / (requests.max(1) as f64),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fleet_curve_completes_and_reports_dispatch_cost() {
+        let points = fleet_scaling(11, &[16, 100]);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.requests > 0);
+            assert!(p.dispatch_us_per_request > 0.0);
+        }
+        // More sessions, more served work — the curve is measuring a
+        // fleet that actually grew.
+        assert!(points[1].requests > points[0].requests);
+    }
 
     #[test]
     fn sweep_shows_concurrency_winning() {

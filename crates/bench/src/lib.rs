@@ -27,6 +27,8 @@ pub use experiments::fig9::fig9;
 pub use experiments::figs678::{fig6, fig7, fig8, figs678_all, CurvePoint};
 pub use experiments::lifecycle::{lifecycle_tiering, LifecyclePoint};
 pub use experiments::prefetch::{prefetch_overlap, PrefetchPoint, PREFETCH_LEVELS};
-pub use experiments::sched::{sched_throughput, SchedPoint, DEFAULT_LEVELS};
+pub use experiments::sched::{
+    fleet_scaling, sched_throughput, FleetPoint, SchedPoint, DEFAULT_LEVELS, FLEET_LEVELS,
+};
 pub use experiments::table1::table1;
 pub use experiments::Scale;

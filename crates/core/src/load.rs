@@ -7,11 +7,62 @@
 //! it on completion, and the AUTO placement policy reads the depths to
 //! inflate each candidate's eq. (2) score. Outside a scheduler every depth
 //! is zero and scored placement reduces to pure predicted time.
+//!
+//! Depths are kept in fixed per-kind atomic counters, so every operation
+//! is lock-free O(1): the event-driven dispatcher updates the board once
+//! per served request and a 10k-session drain must not serialize on a
+//! mutex (or rebuild a map) to do it.
 
 use msr_storage::StorageKind;
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Every storage kind, in `Ord` order — the board's slot layout.
+const KINDS: [StorageKind; 3] = [
+    StorageKind::LocalDisk,
+    StorageKind::RemoteDisk,
+    StorageKind::RemoteTape,
+];
+
+fn slot(kind: StorageKind) -> usize {
+    match kind {
+        StorageKind::LocalDisk => 0,
+        StorageKind::RemoteDisk => 1,
+        StorageKind::RemoteTape => 2,
+    }
+}
+
+/// One depth counter per storage kind.
+#[derive(Debug, Default)]
+struct Depths([AtomicUsize; 3]);
+
+impl Depths {
+    fn get(&self, kind: StorageKind) -> usize {
+        self.0[slot(kind)].load(Ordering::Relaxed)
+    }
+
+    fn add(&self, kind: StorageKind, n: usize) -> usize {
+        self.0[slot(kind)].fetch_add(n, Ordering::Relaxed) + n
+    }
+
+    /// Saturating-at-zero subtract; returns the new depth.
+    fn sub(&self, kind: StorageKind, n: usize) -> usize {
+        let cell = &self.0[slot(kind)];
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => return next,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn snapshot(&self) -> BTreeMap<StorageKind, usize> {
+        KINDS.iter().map(|&k| (k, self.get(k))).collect()
+    }
+}
 
 /// Shared per-resource pending-request counts. Clones observe the same
 /// board. Foreground depths (the admission queues) feed scored placement;
@@ -20,8 +71,8 @@ use std::sync::Arc;
 /// placement scores of the very resources it is trying to relieve.
 #[derive(Debug, Clone, Default)]
 pub struct LoadBoard {
-    depths: Arc<Mutex<BTreeMap<StorageKind, usize>>>,
-    background: Arc<Mutex<BTreeMap<StorageKind, usize>>>,
+    depths: Arc<Depths>,
+    background: Arc<Depths>,
 }
 
 impl LoadBoard {
@@ -32,56 +83,44 @@ impl LoadBoard {
 
     /// Requests currently queued for `kind`.
     pub fn depth(&self, kind: StorageKind) -> usize {
-        self.depths.lock().get(&kind).copied().unwrap_or(0)
+        self.depths.get(kind)
     }
 
     /// Record `n` requests entering `kind`'s queue; returns the new depth.
     pub fn enqueued(&self, kind: StorageKind, n: usize) -> usize {
-        let mut depths = self.depths.lock();
-        let d = depths.entry(kind).or_insert(0);
-        *d += n;
-        *d
+        self.depths.add(kind, n)
     }
 
     /// Record `n` requests leaving `kind`'s queue; returns the new depth.
     /// Saturates at zero rather than panicking on double-completion.
     pub fn dequeued(&self, kind: StorageKind, n: usize) -> usize {
-        let mut depths = self.depths.lock();
-        let d = depths.entry(kind).or_insert(0);
-        *d = d.saturating_sub(n);
-        *d
+        self.depths.sub(kind, n)
     }
 
-    /// All non-zero depths, for metrics snapshots.
+    /// Every kind's current depth, for metrics snapshots.
     pub fn snapshot(&self) -> BTreeMap<StorageKind, usize> {
-        self.depths.lock().clone()
+        self.depths.snapshot()
     }
 
     /// Background (prefetch) fetches currently in flight against `kind`.
     pub fn background(&self, kind: StorageKind) -> usize {
-        self.background.lock().get(&kind).copied().unwrap_or(0)
+        self.background.get(kind)
     }
 
     /// Record `n` background fetches starting against `kind`.
     pub fn bg_enqueued(&self, kind: StorageKind, n: usize) -> usize {
-        let mut depths = self.background.lock();
-        let d = depths.entry(kind).or_insert(0);
-        *d += n;
-        *d
+        self.background.add(kind, n)
     }
 
     /// Record `n` background fetches finishing against `kind`. Saturates
     /// at zero like [`LoadBoard::dequeued`].
     pub fn bg_dequeued(&self, kind: StorageKind, n: usize) -> usize {
-        let mut depths = self.background.lock();
-        let d = depths.entry(kind).or_insert(0);
-        *d = d.saturating_sub(n);
-        *d
+        self.background.sub(kind, n)
     }
 
-    /// All background depths, for metrics snapshots.
+    /// Every kind's background depth, for metrics snapshots.
     pub fn background_snapshot(&self) -> BTreeMap<StorageKind, usize> {
-        self.background.lock().clone()
+        self.background.snapshot()
     }
 }
 
@@ -121,5 +160,15 @@ mod tests {
         assert_eq!(board.bg_dequeued(StorageKind::RemoteTape, 5), 0);
         assert_eq!(board.background_snapshot()[&StorageKind::RemoteTape], 0);
         assert_eq!(board.depth(StorageKind::RemoteTape), 2);
+    }
+
+    #[test]
+    fn snapshot_reports_every_kind() {
+        let board = LoadBoard::new();
+        board.enqueued(StorageKind::LocalDisk, 4);
+        let snap = board.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[&StorageKind::LocalDisk], 4);
+        assert_eq!(snap[&StorageKind::RemoteTape], 0);
     }
 }

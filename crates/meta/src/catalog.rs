@@ -10,7 +10,7 @@ use crate::MetaResult;
 use msr_sim::SimDuration;
 use msr_storage::{FixedCosts, OpKind};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::Path;
 
 /// Catalog tuning knobs.
@@ -33,6 +33,24 @@ fn perf_key(resource: &str, op: OpKind) -> String {
     format!("{resource}/{op}")
 }
 
+/// Derived lookup tables over the row vectors. Never serialized — rebuilt
+/// wholesale after deserialization — and maintained inline on insert, so
+/// the hot-path lookups (`find_dataset` on every open, the free `note_*`
+/// recency hooks on every served request) are O(1) instead of scanning a
+/// table that grows with every admitted session. At 10k concurrent
+/// sessions the scans were quadratic in the drain length.
+#[derive(Debug, Default)]
+struct Indexes {
+    /// Application name → row position.
+    apps: HashMap<String, usize>,
+    /// User name → row position.
+    users: HashMap<String, usize>,
+    /// `(run, dataset name)` → row position.
+    datasets: HashMap<(u64, String), usize>,
+    /// `(dataset, iteration)` → dump row position.
+    dumps: HashMap<(u64, u32), usize>,
+}
+
 /// The metadata database: applications, users, runs, datasets, storage
 /// resources and the performance tables that feed the predictor.
 #[derive(Debug, Default, Serialize, Deserialize)]
@@ -50,6 +68,8 @@ pub struct Catalog {
     perf_fixed: BTreeMap<String, FixedCosts>,
     #[serde(skip)]
     queries: u64,
+    #[serde(skip)]
+    index: Indexes,
 }
 
 impl Catalog {
@@ -68,17 +88,41 @@ impl Catalog {
         self.queries += 1;
     }
 
+    /// Rebuild every derived index from the row vectors (after
+    /// deserialization, or after a removal shifts row positions).
+    fn rebuild_indexes(&mut self) {
+        self.index = Indexes::default();
+        for (i, a) in self.apps.iter().enumerate() {
+            self.index.apps.insert(a.name.clone(), i);
+        }
+        for (i, u) in self.users.iter().enumerate() {
+            self.index.users.insert(u.name.clone(), i);
+        }
+        for (i, d) in self.datasets.iter().enumerate() {
+            self.index.datasets.insert((d.run.0, d.name.clone()), i);
+        }
+        self.rebuild_dump_index();
+    }
+
+    fn rebuild_dump_index(&mut self) {
+        self.index.dumps.clear();
+        for (i, x) in self.dumps.iter().enumerate() {
+            self.index.dumps.insert((x.dataset.0, x.iter), i);
+        }
+    }
+
     // ---- applications ----------------------------------------------------
 
     /// Register an application; names are unique.
     pub fn create_app(&mut self, name: &str, description: &str) -> MetaResult<AppId> {
-        if self.apps.iter().any(|a| a.name == name) {
+        if self.index.apps.contains_key(name) {
             return Err(MetaError::Duplicate {
                 table: "applications",
                 key: name.to_owned(),
             });
         }
         let id = AppId(self.apps.len() as u64);
+        self.index.apps.insert(name.to_owned(), self.apps.len());
         self.apps.push(ApplicationRec {
             id,
             name: name.to_owned(),
@@ -90,26 +134,27 @@ impl Catalog {
     /// Look up an application by name.
     pub fn app_by_name(&mut self, name: &str) -> MetaResult<&ApplicationRec> {
         self.count_query();
-        self.apps
-            .iter()
-            .find(|a| a.name == name)
-            .ok_or(MetaError::NotFound {
+        match self.index.apps.get(name) {
+            Some(&i) => Ok(&self.apps[i]),
+            None => Err(MetaError::NotFound {
                 table: "applications",
                 key: name.to_owned(),
-            })
+            }),
+        }
     }
 
     // ---- users -----------------------------------------------------------
 
     /// Register a user; names are unique.
     pub fn create_user(&mut self, name: &str, site: &str) -> MetaResult<UserId> {
-        if self.users.iter().any(|u| u.name == name) {
+        if self.index.users.contains_key(name) {
             return Err(MetaError::Duplicate {
                 table: "users",
                 key: name.to_owned(),
             });
         }
         let id = UserId(self.users.len() as u64);
+        self.index.users.insert(name.to_owned(), self.users.len());
         self.users.push(UserRec {
             id,
             name: name.to_owned(),
@@ -121,13 +166,13 @@ impl Catalog {
     /// Look up a user by name.
     pub fn user_by_name(&mut self, name: &str) -> MetaResult<&UserRec> {
         self.count_query();
-        self.users
-            .iter()
-            .find(|u| u.name == name)
-            .ok_or(MetaError::NotFound {
+        match self.index.users.get(name) {
+            Some(&i) => Ok(&self.users[i]),
+            None => Err(MetaError::NotFound {
                 table: "users",
                 key: name.to_owned(),
-            })
+            }),
+        }
     }
 
     // ---- runs ------------------------------------------------------------
@@ -182,11 +227,8 @@ impl Catalog {
                 key: rec.run.to_string(),
             });
         }
-        if self
-            .datasets
-            .iter()
-            .any(|d| d.run == rec.run && d.name == rec.name)
-        {
+        let key = (rec.run.0, rec.name.clone());
+        if self.index.datasets.contains_key(&key) {
             return Err(MetaError::Duplicate {
                 table: "datasets",
                 key: format!("{}/{}", rec.run, rec.name),
@@ -194,6 +236,7 @@ impl Catalog {
         }
         let id = DatasetId(self.datasets.len() as u64);
         rec.id = id;
+        self.index.datasets.insert(key, self.datasets.len());
         self.datasets.push(rec);
         Ok(id)
     }
@@ -211,13 +254,13 @@ impl Catalog {
     /// on every open.
     pub fn find_dataset(&mut self, run: RunId, name: &str) -> MetaResult<&DatasetRec> {
         self.count_query();
-        self.datasets
-            .iter()
-            .find(|d| d.run == run && d.name == name)
-            .ok_or(MetaError::NotFound {
+        match self.index.datasets.get(&(run.0, name.to_owned())) {
+            Some(&i) => Ok(&self.datasets[i]),
+            None => Err(MetaError::NotFound {
                 table: "datasets",
                 key: format!("{run}/{name}"),
-            })
+            }),
+        }
     }
 
     /// All datasets of a run.
@@ -277,58 +320,49 @@ impl Catalog {
     /// Unknown datasets are ignored — recency is best-effort bookkeeping,
     /// never an error path.
     pub fn note_dump(&mut self, run: RunId, name: &str, iter: u32, at_secs: f64, bytes: u64) {
-        let Some(d) = self
-            .datasets
-            .iter_mut()
-            .find(|d| d.run == run && d.name == name)
-        else {
+        let Some(&di) = self.index.datasets.get(&(run.0, name.to_owned())) else {
             return;
         };
+        let d = &mut self.datasets[di];
         d.last_access_secs = d.last_access_secs.max(at_secs);
         d.heat += 1;
         let id = d.id;
-        match self
-            .dumps
-            .iter_mut()
-            .find(|x| x.dataset == id && x.iter == iter)
-        {
-            Some(x) => {
+        match self.index.dumps.get(&(id.0, iter)) {
+            Some(&xi) => {
+                let x = &mut self.dumps[xi];
                 x.written_secs = at_secs;
                 x.last_access_secs = x.last_access_secs.max(at_secs);
                 x.bytes = bytes;
                 x.state = DumpState::Resident;
             }
-            None => self.dumps.push(DumpRec {
-                dataset: id,
-                iter,
-                written_secs: at_secs,
-                bytes,
-                last_access_secs: at_secs,
-                reads: 0,
-                state: DumpState::Resident,
-            }),
+            None => {
+                self.index.dumps.insert((id.0, iter), self.dumps.len());
+                self.dumps.push(DumpRec {
+                    dataset: id,
+                    iter,
+                    written_secs: at_secs,
+                    bytes,
+                    last_access_secs: at_secs,
+                    reads: 0,
+                    state: DumpState::Resident,
+                });
+            }
         }
     }
 
     /// Record a read of `(run, name)` (optionally of one dump) at `at_secs`.
     /// Free for the same reason as [`Catalog::note_dump`].
     pub fn note_access(&mut self, run: RunId, name: &str, iter: Option<u32>, at_secs: f64) {
-        let Some(d) = self
-            .datasets
-            .iter_mut()
-            .find(|d| d.run == run && d.name == name)
-        else {
+        let Some(&di) = self.index.datasets.get(&(run.0, name.to_owned())) else {
             return;
         };
+        let d = &mut self.datasets[di];
         d.last_access_secs = d.last_access_secs.max(at_secs);
         d.heat += 1;
         let id = d.id;
         if let Some(iter) = iter {
-            if let Some(x) = self
-                .dumps
-                .iter_mut()
-                .find(|x| x.dataset == id && x.iter == iter)
-            {
+            if let Some(&xi) = self.index.dumps.get(&(id.0, iter)) {
+                let x = &mut self.dumps[xi];
                 x.last_access_secs = x.last_access_secs.max(at_secs);
                 x.reads += 1;
             }
@@ -353,18 +387,20 @@ impl Catalog {
     pub fn remove_dump(&mut self, id: DatasetId, iter: u32) -> bool {
         let before = self.dumps.len();
         self.dumps.retain(|x| !(x.dataset == id && x.iter == iter));
-        self.dumps.len() != before
+        let removed = self.dumps.len() != before;
+        if removed {
+            // Removal shifts later row positions; pruning is rare enough
+            // that a wholesale rebuild beats keeping the rows unordered.
+            self.rebuild_dump_index();
+        }
+        removed
     }
 
     /// Update the residency state of one dump. Returns whether it existed.
     pub fn set_dump_state(&mut self, id: DatasetId, iter: u32, state: DumpState) -> bool {
-        match self
-            .dumps
-            .iter_mut()
-            .find(|x| x.dataset == id && x.iter == iter)
-        {
-            Some(x) => {
-                x.state = state;
+        match self.index.dumps.get(&(id.0, iter)) {
+            Some(&xi) => {
+                self.dumps[xi].state = state;
                 true
             }
             None => false,
@@ -444,9 +480,12 @@ impl Catalog {
         Ok(serde_json::to_string_pretty(self)?)
     }
 
-    /// Restore a catalog from JSON.
+    /// Restore a catalog from JSON. The lookup indexes are not serialized;
+    /// they are rebuilt here.
     pub fn from_json(s: &str) -> MetaResult<Catalog> {
-        Ok(serde_json::from_str(s)?)
+        let mut c: Catalog = serde_json::from_str(s)?;
+        c.rebuild_indexes();
+        Ok(c)
     }
 
     /// Persist to a file.

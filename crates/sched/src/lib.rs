@@ -12,9 +12,11 @@
 //! * [`SessionProgram`] — one client's whole declared run, admitted as a
 //!   unit.
 //! * [`Scheduler`] — per-resource FIFO queues, a deterministic
-//!   round-robin dispatcher on the work-stealing pool, contiguous-request
-//!   batching (one [`dispatch_overhead`] charge per batch), and
-//!   transparent failover re-queues mirroring the session layer.
+//!   discrete-event dispatcher (a binary heap of resource-completion
+//!   events; each step costs O(log resources + batch) regardless of
+//!   session count), contiguous-request batching (one
+//!   [`dispatch_overhead`] charge per batch), and transparent failover
+//!   re-queues mirroring the session layer.
 //! * Scored placement — admission resolves AUTO hints through
 //!   `msr-core`'s placement, which ranks resources by eq. (2) predicted
 //!   time inflated by this scheduler's live queue depths (the system
@@ -25,6 +27,7 @@
 //!   whole-run makespan and throughput; queue depths and wait times are
 //!   also emitted as `sched`-layer observability events.
 
+mod event;
 pub mod program;
 pub mod report;
 pub mod scheduler;

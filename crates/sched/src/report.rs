@@ -51,7 +51,10 @@ pub struct SchedReport {
     pub makespan: SimDuration,
     /// Bytes moved across all sessions.
     pub total_bytes: u64,
-    /// Dispatcher rounds executed.
+    /// Dispatch steps taken by the busiest resource. Under the
+    /// discrete-event engine each resource counts its own completion
+    /// events and this is the maximum; on a fault-free drain it equals
+    /// the global round count the old round-based dispatcher reported.
     pub rounds: u64,
     /// Batches dispatched.
     pub batches: u64,

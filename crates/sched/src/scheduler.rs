@@ -7,15 +7,22 @@
 //! [`LoadBoard`](msr_core::LoadBoard)) and expands the program into tagged
 //! [`EngineRequest`]s.
 //!
-//! **Dispatch** is deterministic round-robin: requests are dealt into
-//! per-resource FIFO queues (interleaved across sessions at chain
-//! granularity so no client starves), and every round takes at most one
+//! **Dispatch** is discrete-event: requests are dealt into per-resource
+//! FIFO queues (interleaved across sessions at chain granularity so no
+//! client starves), and a binary heap of resource-completion events (see
+//! [`crate::event`]) keeps one pending event per resource. When a
+//! resource comes free its event fires, the dispatcher pops at most one
 //! *batch* — a maximal run of contiguous requests from the same session
-//! and dataset, capped at [`MAX_CHAIN`] — per resource. The selected
-//! batches execute concurrently on the work-stealing pool (distinct
-//! resources hold distinct locks), then their outcomes are applied on the
-//! dispatcher thread in fixed resource order, which keeps per-session
-//! accounting bitwise identical at any `MSR_THREADS`.
+//! and dataset, capped at [`MAX_CHAIN`] — executes it, and re-arms the
+//! resource at its advanced cursor. Sessions wake lazily (a session is
+//! touched only when the resource at its queue head comes free), so one
+//! dispatch step costs O(log resources + batch) no matter how many
+//! sessions are admitted. Events are totally ordered by
+//! `(time, resource, seq)` and every outcome is computed from seeded
+//! jitter streams on the dispatcher thread, which keeps per-session
+//! accounting bitwise identical at any `MSR_THREADS` — and identical to
+//! the retired round-robin engine ([`Scheduler::run_round_based`], kept
+//! compiled as the equivalence-test reference) on fault-free drains.
 //!
 //! **Virtual time** is tracked as one cursor per resource: a request's
 //! service starts at its resource's cursor, its wait is the cursor minus
@@ -45,6 +52,7 @@
 //! prefetch on. A fetch that fails is dropped silently — the read falls
 //! back to the normal on-demand path and the session never sees the error.
 
+use crate::event::{EventQueue, PlanGate, Scratch};
 use crate::program::{payload, SessionProgram};
 use crate::report::{SchedReport, SessionReport};
 use bytes::Bytes;
@@ -92,12 +100,35 @@ struct Queued {
 /// Per-session accumulator while the queues drain.
 struct Acc {
     reports: Vec<(u64, IoReport)>,
-    wait: SimDuration,
+    contribs: Vec<Contrib>,
     bytes: u64,
-    io: SimDuration,
     completed: SimTime,
     requeues: u32,
     errors: Vec<String>,
+}
+
+/// One served request's timing contribution to its session's totals.
+/// Float sums are order-sensitive, so contributions carry the position
+/// the round engine would have applied them at — `(round, phase, kind)`,
+/// where phase 0 is the inline staged serves and phase 1 the resource
+/// results — and the finalizer folds them in that order. The event engine
+/// applies outcomes in event-time order instead of round order; sorting
+/// contributions (stably) by this key makes its per-session totals
+/// bitwise identical to the round engine's.
+struct Contrib {
+    step: u64,
+    phase: u8,
+    kind: StorageKind,
+    wait: SimDuration,
+    io: SimDuration,
+}
+
+/// Whole-drain counters handed to the report finalizer.
+struct DrainTotals {
+    rounds: u64,
+    batches: u64,
+    max_batch: usize,
+    lifecycle: TickTotals,
 }
 
 /// One planned background fetch: enough of the future read to execute it
@@ -189,6 +220,14 @@ impl Prefetcher {
     /// Only reads whose file exists *now* are candidates (a fetch must
     /// never observe a write that has not been served), and a read with a
     /// queued write to the same path ahead of it is skipped outright.
+    ///
+    /// The second return value is the number of *undecided* candidates the
+    /// walk saw — reads with no final plan/decline verdict yet (their write
+    /// is still ahead, or their file does not exist yet). It is `None`
+    /// when the walk was skipped outright (wrong kind, empty queue, open
+    /// circuit). The event engine's [`PlanGate`](crate::event::PlanGate)
+    /// uses it to skip provably side-effect-free walks: decisions are
+    /// final, so once nothing is undecided the walk can change nothing.
     fn plan(
         &mut self,
         sys: &MsrSystem,
@@ -196,14 +235,16 @@ impl Prefetcher {
         kind: StorageKind,
         q: &VecDeque<Queued>,
         fg_cursor: SimTime,
-    ) -> Option<RoundPlan> {
+    ) -> (Option<RoundPlan>, Option<usize>) {
         if !matches!(kind, StorageKind::RemoteDisk | StorageKind::RemoteTape)
             || q.is_empty()
             || !sys.health.allows(kind)
         {
-            return None;
+            return (None, None);
         }
-        let res = sys.resource(kind)?;
+        let Some(res) = sys.resource(kind) else {
+            return (None, None);
+        };
         let start = self
             .bg_cursors
             .get(&kind)
@@ -214,6 +255,7 @@ impl Prefetcher {
         let mut ahead = SimDuration::ZERO;
         let mut writes_ahead: BTreeSet<&str> = BTreeSet::new();
         let mut fetches = Vec::new();
+        let mut undecided = 0usize;
         for (idx, item) in q.iter().enumerate() {
             let req = &item.req;
             let est = self.estimate(sys, kind, req);
@@ -222,57 +264,78 @@ impl Prefetcher {
             } else if !self.ready.contains_key(&req.path)
                 && !self.planned.contains(&req.path)
                 && !self.declined.contains(&req.path)
-                && !writes_ahead.contains(req.path.as_str())
-                && res.lock().exists(&req.path)
             {
-                if bg_avail + est <= fg_cursor + ahead {
-                    self.planned.insert(req.path.clone());
-                    bg_avail += est;
-                    fetches.push(PlannedFetch {
-                        path: req.path.clone(),
-                        dist: req.dist,
-                        strategy: req.strategy,
-                        next_use: idx as u64,
-                    });
+                if !writes_ahead.contains(req.path.as_str()) && res.lock().exists(&req.path) {
+                    if bg_avail + est <= fg_cursor + ahead {
+                        self.planned.insert(req.path.clone());
+                        bg_avail += est;
+                        fetches.push(PlannedFetch {
+                            path: req.path.clone(),
+                            dist: req.dist,
+                            strategy: req.strategy,
+                            next_use: idx as u64,
+                        });
+                    } else {
+                        // Too close to its own service: fetching would push
+                        // the read later than just serving it on demand.
+                        // Final — the window ahead of this path only
+                        // shrinks.
+                        self.declined.insert(req.path.clone());
+                        self.declines += 1;
+                        rec.count(
+                            Layer::Sched,
+                            &kind.to_string(),
+                            ops::PREFETCH_DECLINE,
+                            fg_cursor,
+                            1.0,
+                        );
+                    }
                 } else {
-                    // Too close to its own service: fetching would push the
-                    // read later than just serving it on demand. Final —
-                    // the window ahead of this path only shrinks.
-                    self.declined.insert(req.path.clone());
-                    self.declines += 1;
-                    rec.count(
-                        Layer::Sched,
-                        &kind.to_string(),
-                        ops::PREFETCH_DECLINE,
-                        fg_cursor,
-                        1.0,
-                    );
+                    // Read-after-write within the drain (or the file is
+                    // not on the resource yet): no verdict until the
+                    // blocking write lands.
+                    undecided += 1;
                 }
             }
             ahead += est;
         }
-        (!fetches.is_empty()).then_some(RoundPlan { start, fetches })
+        (
+            (!fetches.is_empty()).then_some(RoundPlan { start, fetches }),
+            Some(undecided),
+        )
     }
 
     /// Pop the staged-ready run at the head of `q` — reads whose fetch has
-    /// landed by `cursor`, chained under the same rule as a normal batch.
-    fn pop_staged_run(&mut self, q: &mut VecDeque<Queued>, cursor: SimTime) -> Vec<Queued> {
-        let mut batch: Vec<Queued> = Vec::new();
+    /// landed by `cursor`, chained under the same rule as a normal batch —
+    /// into `out` (cleared by the caller; reused by the event engine).
+    fn pop_staged_run_into(
+        &mut self,
+        q: &mut VecDeque<Queued>,
+        cursor: SimTime,
+        out: &mut Vec<Queued>,
+    ) {
         loop {
-            let ready = batch.len() < MAX_CHAIN
+            let ready = out.len() < MAX_CHAIN
                 && q.front().is_some_and(|item| {
                     matches!(item.req.body, RequestBody::Read)
                         && self.ready.get(&item.req.path).is_some_and(|&t| t <= cursor)
                         && self.cache.lock().contains(&item.req.path)
-                        && batch
+                        && out
                             .last()
                             .is_none_or(|prev| prev.req.chains_with(&item.req))
                 });
             if !ready {
                 break;
             }
-            batch.push(q.pop_front().unwrap());
+            out.push(q.pop_front().unwrap());
         }
+    }
+
+    /// [`Prefetcher::pop_staged_run_into`], allocating the batch (the
+    /// round-based reference engine's calling convention).
+    fn pop_staged_run(&mut self, q: &mut VecDeque<Queued>, cursor: SimTime) -> Vec<Queued> {
+        let mut batch = Vec::new();
+        self.pop_staged_run_into(q, cursor, &mut batch);
         batch
     }
 
@@ -287,14 +350,16 @@ impl Prefetcher {
 
     /// A foreground serve touched `path`: drop any staged copy. A write
     /// makes the copy stale; an on-demand read means the fetch arrived too
-    /// late — either way the staged bytes were wasted.
+    /// late — either way the staged bytes were wasted. Returns whether a
+    /// previously *planned* path was re-opened for future fetching (the
+    /// event engine must re-walk its plan gate when that happens).
     fn note_foreground(
         &mut self,
         rec: &Recorder,
         kind: StorageKind,
         req: &EngineRequest,
         at: SimTime,
-    ) {
+    ) -> bool {
         let was_ready = self.ready.remove(&req.path).is_some();
         let cached = {
             let mut cache = self.cache.lock();
@@ -302,6 +367,7 @@ impl Prefetcher {
             cache.invalidate(&req.path);
             hit
         };
+        let mut reopened = false;
         if was_ready || cached {
             self.waste += 1;
             rec.count(
@@ -314,9 +380,10 @@ impl Prefetcher {
             if matches!(req.body, RequestBody::Write { .. }) {
                 // Overwritten: the path may be fetched again for a later
                 // read once the new bytes are on the resource.
-                self.planned.remove(&req.path);
+                reopened = self.planned.remove(&req.path);
             }
         }
+        reopened
     }
 
     /// Fold one resource's completed fetches into the staging cache and
@@ -567,7 +634,417 @@ impl<'a> Scheduler<'a> {
     /// accounting. Consumes the scheduler: the catalog sessions are
     /// finalized (disconnect costs charged) on the way out, and the global
     /// clock is advanced to the scheduled makespan.
+    ///
+    /// Dispatch is discrete-event: a binary min-heap holds one pending
+    /// completion event per resource (keyed `(SimTime, StorageKind, seq)`,
+    /// see [`crate::event`]), and each fired event serves exactly one
+    /// batch — a staged-ready run or a chained queue head — on that
+    /// resource, plans and executes its background fetches, then re-arms
+    /// the resource at its advanced cursor. Sessions wake lazily (a
+    /// session is touched only when the resource at its queue head comes
+    /// free), so one dispatch step is O(log resources + batch) no matter
+    /// how many sessions are admitted. In fault-free drains the per-
+    /// resource operation sequence is identical to the retired round loop
+    /// ([`Scheduler::run_round_based`]), so reports are bitwise identical
+    /// to it — and, as before, independent of `MSR_THREADS`.
     pub fn run(mut self) -> CoreResult<SchedReport> {
+        let sys = self.sys;
+        let start = sys.clock.now();
+        let mut queues = self.build_queues(start);
+        let mut cursors: BTreeMap<StorageKind, SimTime> =
+            queues.keys().map(|&k| (k, start)).collect();
+        let mut accs: BTreeMap<u64, Acc> = self
+            .admitted
+            .iter()
+            .map(|a| {
+                (
+                    a.id,
+                    Acc {
+                        reports: Vec::new(),
+                        contribs: Vec::new(),
+                        bytes: 0,
+                        completed: start,
+                        requeues: 0,
+                        errors: Vec::new(),
+                    },
+                )
+            })
+            .collect();
+
+        // Per-resource dispatch-step counts. The round engine's global
+        // `rounds` equals the longest per-resource step sequence (every
+        // resource with pending work took one step per round until its
+        // queue drained), so `max(steps)` reproduces it bitwise.
+        let mut steps: BTreeMap<StorageKind, u64> = BTreeMap::new();
+        let mut batches = 0u64;
+        let mut max_batch = 0usize;
+        let mut prefetcher = self.prefetch.then(Prefetcher::new);
+        let runs: BTreeMap<u64, RunId> = self.admitted.iter().map(|a| (a.id, a.run)).collect();
+        let busy: BTreeSet<RunId> = runs.values().copied().collect();
+        let mut lifecycle_totals = TickTotals::default();
+
+        let mut events = EventQueue::new();
+        let mut armed: BTreeSet<StorageKind> = BTreeSet::new();
+        let mut gates: BTreeMap<StorageKind, PlanGate> = BTreeMap::new();
+        let mut scratch: Scratch<Queued, (Queued, RequestOutcome)> = Scratch::new();
+        let mut fired = 0u64;
+
+        for (&kind, q) in queues.iter() {
+            if !q.is_empty() {
+                events.push(start, kind);
+                armed.insert(kind);
+            }
+        }
+
+        while let Some((_at, kind)) = events.pop() {
+            armed.remove(&kind);
+
+            // Pop phase: a staged-ready run off the queue head if the
+            // prefetcher has one landed, otherwise one chained batch.
+            scratch.batch.clear();
+            let mut staged = false;
+            {
+                let q = queues.entry(kind).or_default();
+                if let Some(p) = prefetcher.as_mut() {
+                    let cursor = cursors.get(&kind).copied().unwrap_or(start);
+                    p.pop_staged_run_into(q, cursor, &mut scratch.batch);
+                    staged = !scratch.batch.is_empty();
+                }
+                if !staged {
+                    if let Some(head) = q.pop_front() {
+                        scratch.batch.push(head);
+                        while scratch.batch.len() < MAX_CHAIN
+                            && q.front().is_some_and(|n| {
+                                scratch.batch.last().unwrap().req.chains_with(&n.req)
+                            })
+                        {
+                            scratch.batch.push(q.pop_front().unwrap());
+                        }
+                    }
+                }
+            }
+
+            if !scratch.batch.is_empty() {
+                // This resource's step count is its round number under the
+                // legacy engine — the key that orders its contributions.
+                let step = {
+                    let s = steps.entry(kind).or_insert(0);
+                    *s += 1;
+                    *s
+                };
+                fired += 1;
+
+                if staged {
+                    // Staged-serve step: plan against the post-pop queue
+                    // with the pre-application foreground cursor (exactly
+                    // what the round engine's plan phase saw), execute the
+                    // plan's fetches on the resource, then serve the
+                    // staged batch from memory and land the fetches.
+                    let fg = cursors.get(&kind).copied().unwrap_or(start);
+                    let plan = self.plan_step(&mut prefetcher, &mut gates, &queues, kind, fg);
+                    let plan_start = plan.as_ref().map(|pl| pl.start);
+                    let fetched = self.execute_fetches(kind, plan);
+
+                    let p = prefetcher.as_mut().expect("staged batches imply prefetch");
+                    let comp = kind.to_string();
+                    let cursor = cursors.entry(kind).or_insert(start);
+                    let batch_start = *cursor;
+                    *cursor += dispatch_overhead();
+                    let mut batch_bytes = 0u64;
+                    let mut n = 0usize;
+                    let mut leftovers = Vec::new();
+                    for q in scratch.batch.drain(..) {
+                        let outcome = p
+                            .take(&q.req.path)
+                            .and_then(|data| sys.engine.staged_read(&comp, &q.req, &data).ok());
+                        let Some(outcome) = outcome else {
+                            // The staged copy vanished under us: back to
+                            // the queue head for on-demand service.
+                            leftovers.push(q);
+                            continue;
+                        };
+                        let report = outcome.into_report();
+                        let wait = cursor.since(q.submitted);
+                        self.rec.span(
+                            Layer::Sched,
+                            &comp,
+                            ops::SCHED_WAIT,
+                            q.submitted,
+                            wait,
+                            report.bytes,
+                        );
+                        *cursor += report.elapsed;
+                        batch_bytes += report.bytes;
+                        n += 1;
+                        p.hits += 1;
+                        self.rec
+                            .count(Layer::Sched, &comp, ops::PREFETCH_HIT, *cursor, 1.0);
+                        let depth = sys.load.dequeued(kind, 1);
+                        self.rec.count(
+                            Layer::Sched,
+                            &comp,
+                            ops::QUEUE_DEPTH,
+                            *cursor,
+                            depth as f64,
+                        );
+                        self.note_served(runs[&q.req.tag.session], &q.req, *cursor, report.bytes);
+                        let acc = accs.get_mut(&q.req.tag.session).expect("admitted session");
+                        acc.reports.push((q.req.tag.seq, report.clone()));
+                        acc.contribs.push(Contrib {
+                            step,
+                            phase: 0,
+                            kind,
+                            wait,
+                            io: report.elapsed,
+                        });
+                        acc.bytes += report.bytes;
+                        acc.completed = acc.completed.max(*cursor);
+                    }
+                    if n > 0 {
+                        batches += 1;
+                        max_batch = max_batch.max(n);
+                        let dur = cursor.since(batch_start);
+                        self.rec.span(
+                            Layer::Sched,
+                            &comp,
+                            ops::SCHED_DISPATCH,
+                            batch_start,
+                            dur,
+                            batch_bytes,
+                        );
+                    }
+                    if !leftovers.is_empty() {
+                        let q = queues.entry(kind).or_default();
+                        for item in leftovers.into_iter().rev() {
+                            q.push_front(item);
+                        }
+                    }
+                    if !fetched.is_empty() {
+                        let fetch_count = fetched.len();
+                        let plan_start = plan_start.expect("planned fetches record their start");
+                        p.apply_fetches(&self.rec, kind, plan_start, fetched);
+                        sys.load.bg_dequeued(kind, fetch_count);
+                    }
+                } else if !sys.health.allows(kind) {
+                    // Open circuit: never dispatch to the resource — the
+                    // whole batch (and the rest of its datasets' queues)
+                    // drains to fallback resources. No plan either: the
+                    // planner refuses unhealthy resources.
+                    let batch = std::mem::take(&mut scratch.batch);
+                    self.requeue(kind, batch, "circuit open", &mut queues, &mut accs);
+                    for g in gates.values_mut() {
+                        g.dirty = true;
+                    }
+                } else {
+                    // Normal step: plan fetches, execute the foreground
+                    // batch inline, then the fetches, in plan order — the
+                    // same per-resource op order the round engine's pool
+                    // closure used, so every seeded jitter stream draws
+                    // identically.
+                    let fg = cursors.get(&kind).copied().unwrap_or(start);
+                    let plan = self.plan_step(&mut prefetcher, &mut gates, &queues, kind, fg);
+                    let plan_start = plan.as_ref().map(|pl| pl.start);
+
+                    let res = sys.resource(kind).expect("placed on registered kind");
+                    scratch.served.clear();
+                    scratch.unserved.clear();
+                    let mut error: Option<String> = None;
+                    {
+                        let mut pending = scratch.batch.drain(..);
+                        for q in pending.by_ref() {
+                            match sys.engine.execute(&res, &q.req) {
+                                Ok(outcome) => scratch.served.push((q, outcome)),
+                                Err(e) => {
+                                    error = Some(CoreError::from(e).to_string());
+                                    scratch.unserved.push(q);
+                                    break;
+                                }
+                            }
+                        }
+                        for q in pending {
+                            scratch.unserved.push(q);
+                        }
+                    }
+                    let fetched = self.execute_fetches(kind, plan);
+
+                    // Apply the outcomes: one dispatch charge per batch,
+                    // then each report advances the resource cursor.
+                    let cursor = cursors.entry(kind).or_insert(start);
+                    let batch_start = *cursor;
+                    if !scratch.served.is_empty() || !scratch.unserved.is_empty() || error.is_some()
+                    {
+                        *cursor += dispatch_overhead();
+                    }
+                    let mut batch_bytes = 0u64;
+                    let mut n = 0usize;
+                    for (q, outcome) in scratch.served.drain(..) {
+                        let report = outcome.into_report();
+                        let wait = cursor.since(q.submitted);
+                        self.rec.span(
+                            Layer::Sched,
+                            &kind.to_string(),
+                            ops::SCHED_WAIT,
+                            q.submitted,
+                            wait,
+                            report.bytes,
+                        );
+                        *cursor += report.elapsed;
+                        batch_bytes += report.bytes;
+                        n += 1;
+                        sys.health.record_success(kind);
+                        let depth = sys.load.dequeued(kind, 1);
+                        self.rec.count(
+                            Layer::Sched,
+                            &kind.to_string(),
+                            ops::QUEUE_DEPTH,
+                            *cursor,
+                            depth as f64,
+                        );
+                        if let Some(p) = prefetcher.as_mut() {
+                            if p.note_foreground(&self.rec, kind, &q.req, *cursor) {
+                                gates.entry(kind).or_default().dirty = true;
+                            }
+                        }
+                        self.note_served(runs[&q.req.tag.session], &q.req, *cursor, report.bytes);
+                        let acc = accs.get_mut(&q.req.tag.session).expect("admitted session");
+                        acc.reports.push((q.req.tag.seq, report.clone()));
+                        acc.contribs.push(Contrib {
+                            step,
+                            phase: 1,
+                            kind,
+                            wait,
+                            io: report.elapsed,
+                        });
+                        acc.bytes += report.bytes;
+                        acc.completed = acc.completed.max(*cursor);
+                    }
+                    if n > 0 {
+                        batches += 1;
+                        max_batch = max_batch.max(n);
+                        let dur = cursor.since(batch_start);
+                        self.rec.span(
+                            Layer::Sched,
+                            &kind.to_string(),
+                            ops::SCHED_DISPATCH,
+                            batch_start,
+                            dur,
+                            batch_bytes,
+                        );
+                    }
+                    if !fetched.is_empty() {
+                        let p = prefetcher.as_mut().expect("fetches imply prefetch");
+                        let fetch_count = fetched.len();
+                        let plan_start = plan_start.expect("planned fetches record their start");
+                        p.apply_fetches(&self.rec, kind, plan_start, fetched);
+                        sys.load.bg_dequeued(kind, fetch_count);
+                    }
+                    if let Some(reason) = error {
+                        sys.health.record_failure(kind);
+                        let unserved = std::mem::take(&mut scratch.unserved);
+                        self.requeue(kind, unserved, &reason, &mut queues, &mut accs);
+                        for g in gates.values_mut() {
+                            g.dirty = true;
+                        }
+                    }
+                }
+
+                // Lifecycle tick on event-time boundaries (the event
+                // engine's analogue of "every N rounds"): the global
+                // clock first catches up to the drain's frontier so the
+                // engine's idle windows see virtual time passing.
+                if let Some(lc) = &self.lifecycle {
+                    if fired.is_multiple_of(self.lifecycle_every) {
+                        let frontier = cursors.values().fold(start, |m, &t| m.max(t));
+                        sys.clock.advance_to(frontier);
+                        lifecycle_totals.absorb(&lc.tick_excluding(sys, &busy));
+                    }
+                }
+            }
+
+            // Re-arm every resource with pending work and no event in
+            // flight: this step's own leftovers, and any queue a requeue
+            // just landed work on. O(resources), resources are few.
+            for (&k, q) in queues.iter() {
+                if !q.is_empty() && !armed.contains(&k) {
+                    events.push(cursors.get(&k).copied().unwrap_or(start), k);
+                    armed.insert(k);
+                }
+            }
+        }
+
+        let rounds = steps.values().copied().max().unwrap_or(0);
+        let mut end = cursors.values().fold(start, |m, &t| m.max(t));
+        if let Some(p) = prefetcher.as_ref() {
+            end = p.bg_cursors.values().fold(end, |m, &t| m.max(t));
+        }
+        let totals = DrainTotals {
+            rounds,
+            batches,
+            max_batch,
+            lifecycle: lifecycle_totals,
+        };
+        self.finalize_report(start, end, accs, totals, prefetcher)
+    }
+
+    /// Plan one resource's background fetches for the current step,
+    /// skipping the queue walk when the gate proves it side-effect-free.
+    /// Admitted fetches are accounted on the load board's background lane.
+    fn plan_step(
+        &self,
+        prefetcher: &mut Option<Prefetcher>,
+        gates: &mut BTreeMap<StorageKind, PlanGate>,
+        queues: &BTreeMap<StorageKind, VecDeque<Queued>>,
+        kind: StorageKind,
+        fg: SimTime,
+    ) -> Option<RoundPlan> {
+        let p = prefetcher.as_mut()?;
+        let gate = gates.entry(kind).or_default();
+        if !gate.needs_walk() {
+            return None;
+        }
+        let q = queues.get(&kind)?;
+        let (plan, walked) = p.plan(self.sys, &self.rec, kind, q, fg);
+        if let Some(undecided) = walked {
+            gate.walked(undecided);
+        }
+        if let Some(pl) = &plan {
+            self.sys.load.bg_enqueued(kind, pl.fetches.len());
+        }
+        plan
+    }
+
+    /// Execute a plan's fetches against the owning resource, in plan
+    /// order, on the dispatcher thread. Returns each fetch's outcome.
+    fn execute_fetches(
+        &self,
+        kind: StorageKind,
+        plan: Option<RoundPlan>,
+    ) -> Vec<(PlannedFetch, FetchOutcome)> {
+        let Some(plan) = plan else {
+            return Vec::new();
+        };
+        let res = self.sys.resource(kind).expect("placed on registered kind");
+        plan.fetches
+            .into_iter()
+            .map(|f| {
+                let r = self
+                    .sys
+                    .engine
+                    .read(&res, &f.path, &f.dist, f.strategy)
+                    .map_err(|e| CoreError::from(e).to_string());
+                (f, r)
+            })
+            .collect()
+    }
+
+    /// Drain every admitted session with the retired round-robin loop —
+    /// the pre-event-engine dispatcher, kept compiled as the reference
+    /// implementation for the equivalence test suite (integration tests
+    /// cannot see `#[cfg(test)]` items, so it is hidden rather than
+    /// test-gated). Semantics are frozen: in fault-free drains
+    /// [`Scheduler::run`] must produce a bitwise-identical report.
+    #[doc(hidden)]
+    pub fn run_round_based(mut self) -> CoreResult<SchedReport> {
         let start = self.sys.clock.now();
         let mut queues = self.build_queues(start);
         let mut cursors: BTreeMap<StorageKind, SimTime> =
@@ -580,9 +1057,8 @@ impl<'a> Scheduler<'a> {
                     a.id,
                     Acc {
                         reports: Vec::new(),
-                        wait: SimDuration::ZERO,
+                        contribs: Vec::new(),
                         bytes: 0,
-                        io: SimDuration::ZERO,
                         completed: start,
                         requeues: 0,
                         errors: Vec::new(),
@@ -643,7 +1119,7 @@ impl<'a> Scheduler<'a> {
             if let Some(p) = prefetcher.as_mut() {
                 for (&kind, q) in queues.iter() {
                     let fg = cursors.get(&kind).copied().unwrap_or(start);
-                    if let Some(plan) = p.plan(self.sys, &self.rec, kind, q, fg) {
+                    if let (Some(plan), _) = p.plan(self.sys, &self.rec, kind, q, fg) {
                         self.sys.load.bg_enqueued(kind, plan.fetches.len());
                         plans.insert(kind, plan);
                     }
@@ -755,9 +1231,14 @@ impl<'a> Scheduler<'a> {
                     self.note_served(runs[&q.req.tag.session], &q.req, *cursor, report.bytes);
                     let acc = accs.get_mut(&q.req.tag.session).expect("admitted session");
                     acc.reports.push((q.req.tag.seq, report.clone()));
-                    acc.wait += wait;
+                    acc.contribs.push(Contrib {
+                        step: rounds,
+                        phase: 0,
+                        kind,
+                        wait,
+                        io: report.elapsed,
+                    });
                     acc.bytes += report.bytes;
-                    acc.io += report.elapsed;
                     acc.completed = acc.completed.max(*cursor);
                 }
                 if n > 0 {
@@ -821,9 +1302,14 @@ impl<'a> Scheduler<'a> {
                     self.note_served(runs[&q.req.tag.session], &q.req, *cursor, report.bytes);
                     let acc = accs.get_mut(&q.req.tag.session).expect("admitted session");
                     acc.reports.push((q.req.tag.seq, report.clone()));
-                    acc.wait += wait;
+                    acc.contribs.push(Contrib {
+                        step: rounds,
+                        phase: 1,
+                        kind,
+                        wait,
+                        io: report.elapsed,
+                    });
                     acc.bytes += report.bytes;
-                    acc.io += report.elapsed;
                     acc.completed = acc.completed.max(*cursor);
                 }
                 if n > 0 {
@@ -879,6 +1365,27 @@ impl<'a> Scheduler<'a> {
         if let Some(p) = prefetcher.as_ref() {
             end = p.bg_cursors.values().fold(end, |m, &t| m.max(t));
         }
+        let totals = DrainTotals {
+            rounds,
+            batches,
+            max_batch,
+            lifecycle: lifecycle_totals,
+        };
+        self.finalize_report(start, end, accs, totals, prefetcher)
+    }
+
+    /// Fold the drained accumulators into the final report: advance the
+    /// global clock to the drain's end, finalize every catalog session
+    /// (disconnect costs charged) in admission order, and compute the
+    /// whole-run totals. Shared by both dispatch engines.
+    fn finalize_report(
+        mut self,
+        start: SimTime,
+        end: SimTime,
+        mut accs: BTreeMap<u64, Acc>,
+        totals: DrainTotals,
+        prefetcher: Option<Prefetcher>,
+    ) -> CoreResult<SchedReport> {
         self.sys.clock.advance_to(end);
 
         let mut sessions = Vec::new();
@@ -886,11 +1393,23 @@ impl<'a> Scheduler<'a> {
         for a in std::mem::take(&mut self.admitted) {
             let mut acc = accs.remove(&a.id).expect("accumulator per session");
             acc.reports.sort_by_key(|&(seq, _)| seq);
+            // Fold timing contributions in round order (stable, so
+            // intra-batch order is kept): float sums are order-sensitive
+            // and both engines must report bitwise-identical totals.
+            acc.contribs.sort_by_key(|c| (c.step, c.phase, c.kind));
+            let mut wait_time = SimDuration::ZERO;
+            let mut io_time = SimDuration::ZERO;
+            for c in &acc.contribs {
+                wait_time += c.wait;
+                io_time += c.io;
+            }
             let fin = a.session.finalize()?;
+            // Range over this session's keys only: a full-map filter here
+            // is O(sessions²) across the finalize loop, which a 10k-fleet
+            // drain actually feels.
             let placements = self
                 .locations
-                .iter()
-                .filter(|((sid, _), _)| *sid == a.id)
+                .range((a.id, String::new())..(a.id + 1, String::new()))
                 .map(|((_, name), &kind)| (name.clone(), kind))
                 .collect();
             total_bytes += acc.bytes;
@@ -901,8 +1420,8 @@ impl<'a> Scheduler<'a> {
                 placements,
                 requests: acc.reports.len() as u64,
                 bytes: acc.bytes,
-                io_time: acc.io,
-                wait_time: acc.wait,
+                io_time,
+                wait_time,
                 conn_time: fin.conn_time,
                 completed_at: acc.completed,
                 requeues: acc.requeues,
@@ -924,15 +1443,15 @@ impl<'a> Scheduler<'a> {
             sessions,
             makespan,
             total_bytes,
-            rounds,
-            batches,
-            max_batch,
+            rounds: totals.rounds,
+            batches: totals.batches,
+            max_batch: totals.max_batch,
             throughput_mb_s,
             prefetched,
             prefetch_hits,
             prefetch_waste,
             prefetch_declined,
-            lifecycle: lifecycle_totals,
+            lifecycle: totals.lifecycle,
         })
     }
 
@@ -958,9 +1477,12 @@ impl<'a> Scheduler<'a> {
                 {
                     chain.push(a.requests.pop_front().unwrap());
                 }
+                // A chain is one session × one dataset, so its placement
+                // is a single lookup, not one per request.
+                let kind = self.locations[&(a.id, chain[0].dataset.clone())];
+                let q = queues.entry(kind).or_default();
                 for req in chain {
-                    let kind = self.locations[&(a.id, req.dataset.clone())];
-                    queues.entry(kind).or_default().push_back(Queued {
+                    q.push_back(Queued {
                         req,
                         submitted,
                         attempts: 0,

@@ -1,0 +1,170 @@
+//! Equivalence property suite: the discrete-event dispatcher must report
+//! exactly what the retired round-based engine reported.
+//!
+//! [`Scheduler::run`] replaced the round-robin drain loop with a binary
+//! heap of resource-completion events. The round engine is kept compiled
+//! (`Scheduler::run_round_based`, hidden from docs) precisely so these
+//! tests can hold the new engine to the strongest possible contract:
+//! serialize both engines' full `SchedReport` — every per-session report,
+//! wait/io total, makespan, round/batch counter and prefetch statistic —
+//! and require the JSON to be byte-for-byte identical, across fleet
+//! sizes, prefetch on/off, and worker-pool widths. Fault injection is
+//! exercised separately (the engines may legitimately interleave requeue
+//! traffic differently): there the event engine must be self-consistent —
+//! deterministic across thread counts — and drain every request to the
+//! fallback resource without surfacing errors.
+
+use msr_core::{DatasetSpec, FutureUse, MsrSystem};
+use msr_meta::ElementType;
+use msr_sched::{Scheduler, SessionProgram};
+use msr_storage::StorageKind;
+
+/// Astro3D-shaped producer: two float variables, archive + analysis.
+fn astro(i: usize) -> SessionProgram {
+    SessionProgram::new(&format!("astro3d-{i}"))
+        .user("sim")
+        .iterations(12)
+        .dataset(
+            DatasetSpec::builder("temp")
+                .element(ElementType::F32)
+                .cube(16)
+                .frequency(6)
+                .future_use(FutureUse::Archive)
+                .build(),
+        )
+        .dataset(
+            DatasetSpec::builder("pres")
+                .element(ElementType::F32)
+                .cube(16)
+                .frequency(6)
+                .future_use(FutureUse::Analysis)
+                .build(),
+        )
+}
+
+/// Volren-shaped visualization feed: byte cubes every 3 iterations.
+fn volren(i: usize) -> SessionProgram {
+    SessionProgram::new(&format!("volren-{i}"))
+        .user("viz")
+        .iterations(12)
+        .dataset(
+            DatasetSpec::builder("vr_temp")
+                .element(ElementType::U8)
+                .cube(16)
+                .frequency(3)
+                .future_use(FutureUse::Visualization)
+                .build(),
+        )
+}
+
+/// Producer/renderer mix spanning several storage kinds at once.
+fn mixed_fleet(n: usize) -> Vec<SessionProgram> {
+    (0..n)
+        .map(|i| if i % 2 == 0 { astro(i) } else { volren(i) })
+        .collect()
+}
+
+/// Tape-heavy archival producers with end-of-run readbacks — the fleet
+/// whose idle tape windows the prefetcher actually fills, so staged
+/// serves (cache hits, leftovers, background cursors) are all exercised.
+fn consumer_fleet(n: usize) -> Vec<SessionProgram> {
+    (0..n)
+        .map(|i| {
+            SessionProgram::new(&format!("archive-{i:02}"))
+                .user("post")
+                .iterations(24)
+                .dataset(
+                    DatasetSpec::builder("hist")
+                        .element(ElementType::F32)
+                        .cube(16)
+                        .frequency(6)
+                        .future_use(FutureUse::Archive)
+                        .build(),
+                )
+                .readbacks(3)
+        })
+        .collect()
+}
+
+/// Drain `programs` on a fresh testbed with one of the two engines and
+/// serialize the whole report.
+fn drain(seed: u64, programs: Vec<SessionProgram>, prefetch: bool, event: bool) -> String {
+    let sys = MsrSystem::testbed(seed);
+    let mut sched = Scheduler::new(&sys).with_prefetch(prefetch);
+    for p in programs {
+        sched.admit(p).unwrap();
+    }
+    let report = if event {
+        sched.run().unwrap()
+    } else {
+        sched.run_round_based().unwrap()
+    };
+    serde_json::to_string(&report).unwrap()
+}
+
+fn assert_engines_agree(fleet: fn(usize) -> Vec<SessionProgram>, label: &str) {
+    for n in [1usize, 4, 16] {
+        for prefetch in [false, true] {
+            let round = drain(2000, fleet(n), prefetch, false);
+            let event = drain(2000, fleet(n), prefetch, true);
+            assert_eq!(
+                event, round,
+                "{label} fleet n={n} prefetch={prefetch}: event engine diverged from round engine"
+            );
+            // And at a single-threaded pool: the round engine executed
+            // batches on the worker pool, the event engine inline — both
+            // must be indifferent to MSR_THREADS.
+            let narrow = rayon::pool::with_threads(1, || drain(2000, fleet(n), prefetch, true));
+            assert_eq!(
+                narrow, round,
+                "{label} fleet n={n} prefetch={prefetch}: event engine diverged at MSR_THREADS=1"
+            );
+        }
+    }
+}
+
+/// Mixed producer/renderer fleets: 1/4/16 sessions, prefetch on and off,
+/// default pool and a single-threaded pool, all bitwise identical.
+#[test]
+fn event_engine_matches_round_engine_on_mixed_fleets() {
+    assert_engines_agree(mixed_fleet, "mixed");
+}
+
+/// Archival consumer fleets, where read-ahead actually stages and serves
+/// from cache: same bitwise contract.
+#[test]
+fn event_engine_matches_round_engine_on_consumer_fleets() {
+    assert_engines_agree(consumer_fleet, "consumer");
+}
+
+/// Chaos drain: tape goes dark after admission placed archives on it. The
+/// event engine must requeue every stranded request to the fallback
+/// resource (no session-visible errors), update the catalog, and produce
+/// the same report at any worker-pool width.
+#[test]
+fn chaos_failover_requeues_deterministically_under_event_engine() {
+    let run = || {
+        let sys = MsrSystem::testbed(13);
+        let mut sched = Scheduler::new(&sys).with_prefetch(true);
+        for p in consumer_fleet(4) {
+            sched.admit(p).unwrap();
+        }
+        sys.set_resource_online(StorageKind::RemoteTape, false);
+        sched.run().unwrap()
+    };
+    let report = run();
+    let requeues: u32 = report.sessions.iter().map(|s| s.requeues).sum();
+    assert!(requeues > 0, "outage must force failover requeues");
+    for s in &report.sessions {
+        assert!(s.errors.is_empty(), "failover must stay transparent");
+        assert_eq!(s.reports.len() as u64, s.requests);
+        assert_ne!(
+            s.placements["hist"],
+            StorageKind::RemoteTape,
+            "stranded archives must drain off the dead resource"
+        );
+    }
+    let wide = serde_json::to_string(&report).unwrap();
+    let narrow = rayon::pool::with_threads(1, || serde_json::to_string(&run()).unwrap());
+    assert_eq!(wide, narrow, "chaos drains must not depend on worker count");
+}

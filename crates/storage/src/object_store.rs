@@ -16,6 +16,11 @@ use std::collections::BTreeMap;
 #[derive(Debug, Default, Clone)]
 pub struct ObjectStore {
     files: BTreeMap<String, BytesMut>,
+    /// Running total of all file lengths. Kept incrementally because
+    /// `used_bytes` sits on every write's capacity check: recomputing the
+    /// sum is O(files) per operation, which a 10k-session drain turns
+    /// into quadratic dispatch cost.
+    used: u64,
 }
 
 impl ObjectStore {
@@ -26,7 +31,7 @@ impl ObjectStore {
 
     /// Total bytes stored across all files.
     pub fn used_bytes(&self) -> u64 {
-        self.files.values().map(|f| f.len() as u64).sum()
+        self.used
     }
 
     /// Number of files.
@@ -46,7 +51,9 @@ impl ObjectStore {
 
     /// Create (or truncate) a file.
     pub fn create(&mut self, path: &str) {
-        self.files.insert(path.to_owned(), BytesMut::new());
+        if let Some(old) = self.files.insert(path.to_owned(), BytesMut::new()) {
+            self.used -= old.len() as u64;
+        }
     }
 
     /// Ensure a file exists without truncating it.
@@ -56,7 +63,13 @@ impl ObjectStore {
 
     /// Remove a file, returning whether it existed.
     pub fn delete(&mut self, path: &str) -> bool {
-        self.files.remove(path).is_some()
+        match self.files.remove(path) {
+            Some(old) => {
+                self.used -= old.len() as u64;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Paths with the given prefix, in lexicographic order.
@@ -78,6 +91,7 @@ impl ObjectStore {
         let offset = usize::try_from(offset).expect("offset fits in memory model");
         let end = offset + data.len();
         if f.len() < end {
+            self.used += (end - f.len()) as u64;
             f.resize(end, 0);
         }
         f[offset..end].copy_from_slice(data);
