@@ -160,6 +160,130 @@ pub fn checkpoint_fleet(n: usize, cube: u64, iterations: u32) -> Vec<SessionProg
         .collect()
 }
 
+/// The latency-sensitive tenant of the antagonist mix: `n` small-dump
+/// clients (u8 cubes, every iteration) pinned to local disk, tagged
+/// `"quiet"`. The tenant whose tail latency the overload machinery is
+/// judged on.
+pub fn quiet_fleet(n: usize, cube: u64, iterations: u32) -> Vec<SessionProgram> {
+    (0..n)
+        .map(|i| {
+            SessionProgram::new(&format!("quiet-{i:02}"))
+                .user("svc")
+                .iterations(iterations)
+                .dataset(
+                    DatasetSpec::builder("q")
+                        .element(ElementType::U8)
+                        .cube(cube)
+                        .frequency(1)
+                        .hint(msr_core::LocationHint::LocalDisk)
+                        .future_use(FutureUse::Visualization)
+                        .build(),
+                )
+                .tenant("quiet")
+        })
+        .collect()
+}
+
+/// The antagonist tenant: `n` heavy producers (float cubes, every
+/// iteration) aimed at the *same* local disk the quiet tenant lives on,
+/// tagged `"noisy"`. Unprotected, this tenant's backlog grows the quiet
+/// tenant's queue wait without bound.
+pub fn noisy_fleet(n: usize, cube: u64, iterations: u32) -> Vec<SessionProgram> {
+    (0..n)
+        .map(|i| {
+            SessionProgram::new(&format!("noisy-{i:02}"))
+                .user("bulk")
+                .iterations(iterations)
+                .dataset(
+                    DatasetSpec::builder("n")
+                        .element(ElementType::F32)
+                        .cube(cube)
+                        .frequency(1)
+                        .hint(msr_core::LocationHint::LocalDisk)
+                        .future_use(FutureUse::Analysis)
+                        .build(),
+                )
+                .tenant("noisy")
+        })
+        .collect()
+}
+
+/// The best-effort tenant: `n` light analyzers (one dump every 6
+/// iterations) on the same contended local disk, tagged `"batch"`. Happy
+/// to wait — its overload policy defers rather than sheds, so its
+/// programs park behind the backlog and are admitted as the drain makes
+/// room.
+pub fn batch_fleet(n: usize, cube: u64, iterations: u32) -> Vec<SessionProgram> {
+    (0..n)
+        .map(|i| {
+            SessionProgram::new(&format!("batch-{i:02}"))
+                .user("post")
+                .iterations(iterations)
+                .dataset(
+                    DatasetSpec::builder("b")
+                        .element(ElementType::F32)
+                        .cube(cube)
+                        .frequency(6)
+                        .hint(msr_core::LocationHint::LocalDisk)
+                        .future_use(FutureUse::Analysis)
+                        .build(),
+                )
+                .tenant("batch")
+        })
+        .collect()
+}
+
+/// Drop every program's tenant tag: the unprotected baseline, where the
+/// whole fleet shares the default tenant's single FIFO lane and no
+/// quota, SLO or weight applies.
+pub fn strip_tenants(mut programs: Vec<SessionProgram>) -> Vec<SessionProgram> {
+    for p in &mut programs {
+        p.tenant = None;
+    }
+    programs
+}
+
+/// Register the three antagonist tenants with the protection profile the
+/// overload bench and acceptance tests use: `quiet` gets an 8× dispatch
+/// weight; `noisy` gets a hard cap of `noisy_cap` queued requests (work
+/// past the cap is shed); `batch` gets a `batch_slo` admission SLO with
+/// a defer-not-shed overload policy.
+pub fn register_antagonist_tenants(sys: &MsrSystem, noisy_cap: usize, batch_slo: SimDuration) {
+    sys.tenants
+        .register(msr_core::Tenant::new("quiet").with_weight(8.0));
+    sys.tenants.register(
+        msr_core::Tenant::new("noisy").with_quota(msr_core::TenantQuota {
+            max_queued_requests: Some(noisy_cap),
+            ..msr_core::TenantQuota::default()
+        }),
+    );
+    sys.tenants.register(
+        msr_core::Tenant::new("batch")
+            .with_slo(batch_slo)
+            .with_overload(msr_core::OverloadPolicy::Defer {
+                max_deferred: 8,
+                ttl: SimDuration::from_secs(1e9),
+            }),
+    );
+}
+
+/// Admit every program into one scheduler on `sys` and drain the queues,
+/// tolerating typed admission sheds (`Rejected` / `QuotaExceeded` — they
+/// are counted on the shedding tenant's report row). Any other admission
+/// error still aborts.
+pub fn run_overloaded(sys: &MsrSystem, programs: Vec<SessionProgram>) -> CoreResult<SchedReport> {
+    let mut sched = Scheduler::new(sys);
+    for p in programs {
+        match sched.admit(p) {
+            Ok(_) => {}
+            Err(msr_core::CoreError::Rejected { .. })
+            | Err(msr_core::CoreError::QuotaExceeded { .. }) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    sched.run()
+}
+
 /// Admit every program into one scheduler on `sys` and drain the queues.
 pub fn run_concurrent(sys: &MsrSystem, programs: Vec<SessionProgram>) -> CoreResult<SchedReport> {
     let mut sched = Scheduler::new(sys);

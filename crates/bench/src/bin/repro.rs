@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! repro [--quick] [--seed N] [--bench-json] [--sched-json]
-//!       [--prefetch-json] [--lifecycle-json] <experiment>...
+//!       [--prefetch-json] [--lifecycle-json] [--tenant-json] <experiment>...
 //! experiments: table1 fig6 fig7 fig8 fig9 fig10a fig10b fig10c fig11
-//!              example42 failover ablations sched prefetch lifecycle all
+//!              example42 failover ablations sched prefetch lifecycle
+//!              tenant all
 //! ```
 //!
 //! `--quick` runs the Astro3D experiments at 32³/24 iterations instead of
@@ -30,6 +31,12 @@
 //! `--lifecycle-json` runs the epoched checkpoint fleet with the tiered
 //! data lifecycle off vs on (resident fast-tier bytes, hot-read p99,
 //! engine totals) and writes `BENCH_lifecycle.json`.
+//!
+//! `--tenant-json` drains the three-tenant antagonist fleet solo /
+//! unprotected-FIFO / protected (quotas + weighted-fair queueing +
+//! eq. (2)-priced admission) and writes the quiet tenant's p99 bound and
+//! the per-tenant shed/deferred/cancelled counters to
+//! `BENCH_tenant.json`.
 
 use msr_bench::experiments::Scale;
 use msr_bench::*;
@@ -347,6 +354,75 @@ fn run_lifecycle_json(scale: Scale, seed: u64) {
     println!("\nwrote BENCH_lifecycle.json");
 }
 
+fn run_tenant(scale: Scale, seed: u64) -> TenantPoint {
+    banner("TENANTS - antagonist fleet: solo vs unprotected FIFO vs quotas+WFQ");
+    let p = tenant_overload(scale, seed);
+    println!(
+        "{} quiet + {} noisy + {} batch sessions   (noisy cap {} requests, batch SLO {:.1}s)",
+        p.quiet_sessions, p.noisy_sessions, p.batch_sessions, p.noisy_cap, p.batch_slo_s
+    );
+    println!(
+        "quiet p99 wait: solo {:>8.3}s   fifo {:>8.3}s ({:.2}x)   protected {:>8.3}s ({:.2}x)",
+        p.solo_quiet_p99_s,
+        p.fifo_quiet_p99_s,
+        p.fifo_vs_solo,
+        p.protected_quiet_p99_s,
+        p.protected_vs_solo
+    );
+    println!(
+        "{:<10} {:>8} {:>9} {:>12} | {:>5} {:>8} {:>7} {:>9} | {:>10}",
+        "tenant",
+        "sessions",
+        "requests",
+        "bytes",
+        "shed",
+        "deferred",
+        "expired",
+        "cancelled",
+        "p99(s)"
+    );
+    for t in &p.tenants {
+        println!(
+            "{:<10} {:>8} {:>9} {:>12} | {:>5} {:>8} {:>7} {:>9} | {:>10.3}",
+            t.tenant,
+            t.sessions,
+            t.requests,
+            t.bytes,
+            t.shed,
+            t.deferred,
+            t.expired,
+            t.cancelled,
+            t.wait_p99.as_secs()
+        );
+    }
+    p
+}
+
+#[derive(serde::Serialize)]
+struct TenantLedger {
+    scale: String,
+    seed: u64,
+    point: TenantPoint,
+}
+
+/// Drain the antagonist fleet three ways and write the quiet-tenant p99
+/// bound plus the per-tenant counters to `BENCH_tenant.json`.
+fn run_tenant_json(scale: Scale, seed: u64) {
+    let point = run_tenant(scale, seed);
+    assert!(
+        point.protected_vs_solo <= 1.25,
+        "protected quiet p99 must stay within 1.25x of solo: {point:?}"
+    );
+    let ledger = TenantLedger {
+        scale: format!("{scale:?}"),
+        seed,
+        point,
+    };
+    let out = serde_json::to_string_pretty(&ledger).expect("ledger serializes");
+    std::fs::write("BENCH_tenant.json", out).expect("write BENCH_tenant.json");
+    println!("\nwrote BENCH_tenant.json");
+}
+
 #[derive(serde::Serialize)]
 struct PrefetchLedger {
     scale: String,
@@ -631,6 +707,10 @@ fn main() {
         run_lifecycle_json(scale, seed);
         return;
     }
+    if args.iter().any(|a| a == "--tenant-json") {
+        run_tenant_json(scale, seed);
+        return;
+    }
     let mut wanted: Vec<&str> = args
         .iter()
         .map(String::as_str)
@@ -653,6 +733,7 @@ fn main() {
             "sched",
             "prefetch",
             "lifecycle",
+            "tenant",
         ];
     }
     println!(
@@ -676,6 +757,7 @@ fn main() {
             "sched" => drop(run_sched(scale, seed)),
             "prefetch" => drop(run_prefetch(scale, seed)),
             "lifecycle" => drop(run_lifecycle(scale, seed)),
+            "tenant" => drop(run_tenant(scale, seed)),
             other => eprintln!("unknown experiment {other:?} (see --help in source)"),
         }
     }

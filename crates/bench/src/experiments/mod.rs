@@ -11,6 +11,7 @@ pub mod lifecycle;
 pub mod prefetch;
 pub mod sched;
 pub mod table1;
+pub mod tenant;
 
 use msr_apps::{Astro3d, Astro3dConfig, PlacementPlan, StepMode};
 use msr_core::{CoreResult, MsrSystem, Session};

@@ -1,0 +1,152 @@
+//! Multi-tenant overload protection: the quiet tenant's tail latency
+//! under an antagonist, unprotected vs protected.
+//!
+//! Three drains of the *same* interleaved workload
+//! ([`msr_apps::multi::quiet_fleet`] + `noisy_fleet` + `batch_fleet`,
+//! all contending for the same local disk):
+//!
+//! 1. **solo** — the quiet tenant alone: its intrinsic p99 queue wait.
+//! 2. **fifo** — the full fleet with tenant tags stripped: one shared
+//!    FIFO lane, no quotas, no weights. The antagonist's backlog inflates
+//!    the quiet tail without bound (it grows with whatever the noisy
+//!    tenant submits).
+//! 3. **protected** — the same fleet tagged, with the antagonist tenant
+//!    profile registered: quiet gets an 8× weighted-fair share, noisy a
+//!    hard request quota (overflow shed, one doomed session cancelled by
+//!    deadline enforcement), batch an eq. (2)-priced SLO with a
+//!    defer-not-shed policy.
+//!
+//! The ledger's claim: `protected_vs_solo ≤ 1.25` while `fifo_vs_solo`
+//! is far above it, with the per-tenant shed/deferred/expired/cancelled
+//! counters showing where the antagonist's excess went.
+
+use super::Scale;
+use msr_apps::multi::{
+    batch_fleet, noisy_fleet, quiet_fleet, register_antagonist_tenants, run_overloaded,
+    strip_tenants,
+};
+use msr_core::MsrSystem;
+use msr_sched::{SchedReport, SessionProgram, TenantReport};
+use msr_sim::SimDuration;
+use serde::Serialize;
+
+/// The three-run comparison the ledger records. All times are virtual
+/// (simulated) seconds, so the ledger is host-independent.
+#[derive(Debug, Clone, Serialize)]
+pub struct TenantPoint {
+    /// Quiet / noisy / batch sessions submitted (before any shedding).
+    pub quiet_sessions: usize,
+    /// Antagonist sessions submitted.
+    pub noisy_sessions: usize,
+    /// Best-effort sessions submitted.
+    pub batch_sessions: usize,
+    /// Hard cap on the noisy tenant's queued requests (protected run).
+    pub noisy_cap: usize,
+    /// The batch tenant's admission SLO, seconds (protected run).
+    pub batch_slo_s: f64,
+    /// Quiet tenant p99 queue wait, running alone.
+    pub solo_quiet_p99_s: f64,
+    /// Quiet tenant p99 under the antagonist, unprotected FIFO.
+    pub fifo_quiet_p99_s: f64,
+    /// Quiet tenant p99 under the antagonist with quotas + WFQ.
+    pub protected_quiet_p99_s: f64,
+    /// `protected / solo` — the bound the ledger publishes (≤ 1.25).
+    pub protected_vs_solo: f64,
+    /// `fifo / solo` — what the quiet tenant suffers without protection.
+    pub fifo_vs_solo: f64,
+    /// Per-tenant accounting of the protected drain: served traffic plus
+    /// shed / deferred / expired / cancelled counts.
+    pub tenants: Vec<TenantReport>,
+}
+
+/// The contended fleet, in admission order: quiet, then noisy (the first
+/// antagonist carrying an unmeetable deadline), then batch.
+fn fleet(quiet: usize, noisy: usize, batch: usize, iterations: u32) -> Vec<SessionProgram> {
+    let mut programs = quiet_fleet(quiet, 16, iterations);
+    let mut antagonists = noisy_fleet(noisy, 32, iterations.saturating_sub(1));
+    antagonists[0] = antagonists[0]
+        .clone()
+        .deadline(SimDuration::from_secs(1e-6));
+    programs.extend(antagonists);
+    programs.extend(batch_fleet(batch, 16, iterations));
+    programs
+}
+
+/// Worst per-session p99 queue wait of the quiet apps, regardless of
+/// tagging (the FIFO run files everything under the default tenant).
+fn quiet_p99(report: &SchedReport) -> f64 {
+    report
+        .sessions
+        .iter()
+        .filter(|s| s.app.starts_with("quiet"))
+        .map(|s| s.wait_p99.as_secs())
+        .fold(0.0, f64::max)
+}
+
+/// Run the three-way comparison and fold it into one [`TenantPoint`].
+pub fn tenant_overload(scale: Scale, seed: u64) -> TenantPoint {
+    let (quiet, noisy, batch, iterations, noisy_cap) = match scale {
+        Scale::Paper => (6, 10, 3, 48, 250),
+        Scale::Quick => (4, 6, 2, 24, 100),
+    };
+    let batch_slo = SimDuration::from_secs(5.0);
+
+    let sys = MsrSystem::testbed(seed);
+    let solo = run_overloaded(&sys, quiet_fleet(quiet, 16, iterations)).expect("solo drain");
+    let solo_p99 = quiet_p99(&solo);
+
+    let sys = MsrSystem::testbed(seed);
+    let fifo = run_overloaded(&sys, strip_tenants(fleet(quiet, noisy, batch, iterations)))
+        .expect("unprotected drain");
+    let fifo_p99 = quiet_p99(&fifo);
+
+    let sys = MsrSystem::testbed(seed);
+    register_antagonist_tenants(&sys, noisy_cap, batch_slo);
+    let protected =
+        run_overloaded(&sys, fleet(quiet, noisy, batch, iterations)).expect("protected drain");
+    let prot_p99 = quiet_p99(&protected);
+
+    TenantPoint {
+        quiet_sessions: quiet,
+        noisy_sessions: noisy,
+        batch_sessions: batch,
+        noisy_cap,
+        batch_slo_s: batch_slo.as_secs(),
+        solo_quiet_p99_s: solo_p99,
+        fifo_quiet_p99_s: fifo_p99,
+        protected_quiet_p99_s: prot_p99,
+        protected_vs_solo: prot_p99 / solo_p99.max(1e-12),
+        fifo_vs_solo: fifo_p99 / solo_p99.max(1e-12),
+        tenants: protected.tenants,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protection_holds_the_quiet_tail_at_both_scales() {
+        for scale in [Scale::Quick, Scale::Paper] {
+            let p = tenant_overload(scale, 77);
+            assert!(
+                p.protected_vs_solo <= 1.25,
+                "{scale:?}: protected quiet p99 must stay within 1.25x of solo: {p:?}"
+            );
+            assert!(
+                p.fifo_vs_solo > 1.5,
+                "{scale:?}: the unprotected baseline must visibly degrade: {p:?}"
+            );
+            let row = |name: &str| {
+                p.tenants
+                    .iter()
+                    .find(|t| t.tenant == name)
+                    .unwrap_or_else(|| panic!("{name} row in {p:?}"))
+            };
+            assert!(row("noisy").shed > 0, "{scale:?}: {p:?}");
+            assert_eq!(row("noisy").cancelled, 1, "{scale:?}: {p:?}");
+            assert!(row("batch").deferred > 0, "{scale:?}: {p:?}");
+            assert_eq!(row("quiet").sessions as usize, p.quiet_sessions);
+        }
+    }
+}

@@ -31,4 +31,5 @@ pub use experiments::sched::{
     fleet_scaling, sched_throughput, FleetPoint, SchedPoint, DEFAULT_LEVELS, FLEET_LEVELS,
 };
 pub use experiments::table1::table1;
+pub use experiments::tenant::{tenant_overload, TenantPoint};
 pub use experiments::Scale;

@@ -2,6 +2,7 @@
 //! classification that drives the session's recovery decisions.
 
 use msr_runtime::RuntimeError;
+use msr_sim::SimDuration;
 use msr_storage::StorageError;
 use std::fmt;
 
@@ -28,6 +29,32 @@ pub enum CoreError {
     DatasetDisabled(String),
     /// A handle was used after the session finalized.
     SessionClosed,
+    /// Admission control shed the session: the eq. (2) predicted queue
+    /// wait exceeded the tenant's SLO (and its overload policy was shed,
+    /// or its deferral queue was full).
+    Rejected {
+        /// Tenant whose SLO was violated.
+        tenant: String,
+        /// The priced wait at admission time.
+        predicted_wait: SimDuration,
+        /// The tenant's configured SLO.
+        slo: SimDuration,
+    },
+    /// Admission control shed the session: it would push the tenant past
+    /// one of its hard quotas.
+    QuotaExceeded {
+        /// Tenant whose quota was hit.
+        tenant: String,
+        /// Which quota: `"queued requests"`, `"bytes in flight"` or
+        /// `"predicted seconds"`.
+        resource: &'static str,
+        /// Usage already charged to the tenant.
+        used: u64,
+        /// What this session would have added.
+        requested: u64,
+        /// The configured cap.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -45,6 +72,26 @@ impl fmt::Display for CoreError {
                 write!(f, "dataset {name} is DISABLEd for this run")
             }
             CoreError::SessionClosed => f.write_str("session already finalized"),
+            CoreError::Rejected {
+                tenant,
+                predicted_wait,
+                slo,
+            } => write!(
+                f,
+                "admission shed for {tenant}: predicted wait {:.3}s exceeds SLO {:.3}s",
+                predicted_wait.as_secs(),
+                slo.as_secs()
+            ),
+            CoreError::QuotaExceeded {
+                tenant,
+                resource,
+                used,
+                requested,
+                limit,
+            } => write!(
+                f,
+                "quota exceeded for {tenant}: {resource} {used} + {requested} > limit {limit}"
+            ),
         }
     }
 }
@@ -152,6 +199,11 @@ pub fn classify(e: &CoreError) -> ErrorClass {
         | CoreError::NoUsableResource { .. }
         | CoreError::DatasetDisabled(_)
         | CoreError::SessionClosed => ErrorClass::Fatal,
+        // Overload shedding is a deliberate decision, not a transient
+        // condition the session layer should route around: retrying or
+        // failing over would defeat the admission controller. The caller
+        // backs off (or re-tunes its quota/SLO) and resubmits.
+        CoreError::Rejected { .. } | CoreError::QuotaExceeded { .. } => ErrorClass::Fatal,
     }
 }
 
@@ -231,6 +283,18 @@ mod tests {
             },
             CoreError::DatasetDisabled("d".into()),
             CoreError::SessionClosed,
+            CoreError::Rejected {
+                tenant: "t".into(),
+                predicted_wait: SimDuration::from_secs(9.0),
+                slo: SimDuration::from_secs(1.0),
+            },
+            CoreError::QuotaExceeded {
+                tenant: "t".into(),
+                resource: "queued requests",
+                used: 10,
+                requested: 5,
+                limit: 12,
+            },
         ] {
             assert_eq!(classify(&e), ErrorClass::Fatal, "{e}");
             assert_eq!(classify(&e).failover_reason(), None);

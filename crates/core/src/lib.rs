@@ -34,18 +34,20 @@ pub mod placement;
 pub mod report;
 pub mod session;
 pub mod system;
+pub mod tenant;
 
 pub use builder::SessionBuilder;
 pub use dataset::{DatasetSpec, DatasetSpecBuilder};
 pub use error::{classify, CoreError, ErrorClass};
 pub use health::{BreakerState, HealthCounters, HealthTracker};
 pub use hints::{FutureUse, LocationHint};
-pub use load::LoadBoard;
+pub use load::{LoadBoard, TenantUsage};
 pub use migrate::MigrationReport;
 pub use placement::PlacementPolicy;
 pub use report::{PlacementEvent, RunReport};
 pub use session::{DatasetHandle, Session};
 pub use system::MsrSystem;
+pub use tenant::{OverloadPolicy, Tenant, TenantId, TenantQuota, TenantRegistry};
 
 /// Convenience result alias.
 pub type CoreResult<T> = Result<T, CoreError>;

@@ -13,7 +13,9 @@
 //! per served request and a 10k-session drain must not serialize on a
 //! mutex (or rebuild a map) to do it.
 
+use crate::tenant::TenantId;
 use msr_storage::StorageKind;
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -64,15 +66,39 @@ impl Depths {
     }
 }
 
+/// Live per-tenant usage, charged at enqueue and released at dequeue.
+/// The admission controller compares this against the tenant's
+/// [`crate::TenantQuota`] before letting another session in.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TenantUsage {
+    /// Engine requests the tenant currently has queued.
+    pub queued: usize,
+    /// Bytes the tenant currently has in flight.
+    pub bytes: u64,
+    /// Summed eq. (1) predicted service time (seconds) of the tenant's
+    /// queued work.
+    pub predicted_secs: f64,
+}
+
 /// Shared per-resource pending-request counts. Clones observe the same
 /// board. Foreground depths (the admission queues) feed scored placement;
 /// background depths (in-flight prefetch fetches) are tracked separately
 /// so read-ahead traffic is visible in metrics without inflating the
 /// placement scores of the very resources it is trying to relieve.
+///
+/// Two mutex-guarded maps ride alongside the lock-free depth counters:
+/// per-tenant usage (for quota checks) and per-kind predicted backlog
+/// seconds (the eq. (2) numerator admission pricing reads). Both are
+/// only written from the scheduler's single dispatcher thread, so the
+/// mutexes are uncontended and the values deterministic; they are maps
+/// rather than atomics because tenants are open-ended and the backlog is
+/// an `f64` sum that must fold in a fixed order.
 #[derive(Debug, Clone, Default)]
 pub struct LoadBoard {
     depths: Arc<Depths>,
     background: Arc<Depths>,
+    tenants: Arc<Mutex<BTreeMap<TenantId, TenantUsage>>>,
+    backlog: Arc<Mutex<BTreeMap<StorageKind, f64>>>,
 }
 
 impl LoadBoard {
@@ -122,6 +148,59 @@ impl LoadBoard {
     pub fn background_snapshot(&self) -> BTreeMap<StorageKind, usize> {
         self.background.snapshot()
     }
+
+    /// Charge `n` queued requests / `bytes` / `secs` of predicted service
+    /// time to `tenant`.
+    pub fn tenant_enqueued(&self, tenant: TenantId, n: usize, bytes: u64, secs: f64) {
+        let mut tenants = self.tenants.lock();
+        let u = tenants.entry(tenant).or_default();
+        u.queued += n;
+        u.bytes += bytes;
+        u.predicted_secs += secs;
+    }
+
+    /// Release usage previously charged to `tenant`. Saturates at zero
+    /// (and clamps negative float residue) rather than panicking.
+    pub fn tenant_dequeued(&self, tenant: TenantId, n: usize, bytes: u64, secs: f64) {
+        let mut tenants = self.tenants.lock();
+        let u = tenants.entry(tenant).or_default();
+        u.queued = u.queued.saturating_sub(n);
+        u.bytes = u.bytes.saturating_sub(bytes);
+        u.predicted_secs = (u.predicted_secs - secs).max(0.0);
+    }
+
+    /// `tenant`'s current usage (zero if it never enqueued anything).
+    pub fn tenant_usage(&self, tenant: TenantId) -> TenantUsage {
+        self.tenants
+            .lock()
+            .get(&tenant)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Every tenant's current usage, for metrics snapshots.
+    pub fn tenant_snapshot(&self) -> BTreeMap<TenantId, TenantUsage> {
+        self.tenants.lock().clone()
+    }
+
+    /// Add `secs` of predicted service time to `kind`'s backlog.
+    pub fn backlog_enqueued(&self, kind: StorageKind, secs: f64) {
+        *self.backlog.lock().entry(kind).or_default() += secs;
+    }
+
+    /// Remove `secs` of predicted service time from `kind`'s backlog,
+    /// clamping at zero against float residue.
+    pub fn backlog_dequeued(&self, kind: StorageKind, secs: f64) {
+        let mut backlog = self.backlog.lock();
+        let b = backlog.entry(kind).or_default();
+        *b = (*b - secs).max(0.0);
+    }
+
+    /// Predicted service seconds queued against `kind` — the backlog term
+    /// the admission controller prices incoming sessions against.
+    pub fn predicted_backlog(&self, kind: StorageKind) -> f64 {
+        self.backlog.lock().get(&kind).copied().unwrap_or(0.0)
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +239,39 @@ mod tests {
         assert_eq!(board.bg_dequeued(StorageKind::RemoteTape, 5), 0);
         assert_eq!(board.background_snapshot()[&StorageKind::RemoteTape], 0);
         assert_eq!(board.depth(StorageKind::RemoteTape), 2);
+    }
+
+    #[test]
+    fn tenant_usage_charges_and_releases() {
+        let board = LoadBoard::new();
+        let t = TenantId(3);
+        assert_eq!(board.tenant_usage(t), TenantUsage::default());
+        board.tenant_enqueued(t, 4, 1024, 2.5);
+        board.tenant_enqueued(t, 1, 256, 0.5);
+        let u = board.tenant_usage(t);
+        assert_eq!(u.queued, 5);
+        assert_eq!(u.bytes, 1280);
+        assert_eq!(u.predicted_secs, 3.0);
+        // Over-release saturates instead of wrapping.
+        board.tenant_dequeued(t, 9, 9999, 10.0);
+        assert_eq!(board.tenant_usage(t), TenantUsage::default());
+        // Other tenants are untouched.
+        assert_eq!(board.tenant_usage(TenantId(0)), TenantUsage::default());
+    }
+
+    #[test]
+    fn backlog_tracks_predicted_seconds_per_kind() {
+        let board = LoadBoard::new();
+        assert_eq!(board.predicted_backlog(StorageKind::RemoteTape), 0.0);
+        board.backlog_enqueued(StorageKind::RemoteTape, 4.0);
+        board.backlog_enqueued(StorageKind::LocalDisk, 1.0);
+        assert_eq!(board.predicted_backlog(StorageKind::RemoteTape), 4.0);
+        board.backlog_dequeued(StorageKind::RemoteTape, 1.5);
+        assert_eq!(board.predicted_backlog(StorageKind::RemoteTape), 2.5);
+        // Float residue clamps at zero.
+        board.backlog_dequeued(StorageKind::RemoteTape, 99.0);
+        assert_eq!(board.predicted_backlog(StorageKind::RemoteTape), 0.0);
+        assert_eq!(board.predicted_backlog(StorageKind::LocalDisk), 1.0);
     }
 
     #[test]

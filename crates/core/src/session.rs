@@ -20,7 +20,8 @@ use msr_meta::{AccessMode, DatasetId, DatasetRec, Location, MetaError, RunId};
 use msr_obs::{ops, Layer, Recorder};
 use msr_predict::{AccessSummary, DatasetPlan, PredictionReport, RunSpec};
 use msr_runtime::{
-    staging_cache, Distribution, IoReport, IoStrategy, Pattern, ProcGrid, StagingCache,
+    staging_cache, Distribution, IoEngine, IoReport, IoStrategy, Pattern, ProcGrid, RetryPolicy,
+    StagingCache,
 };
 use msr_sim::SimDuration;
 use msr_storage::{OpKind, StorageKind};
@@ -61,6 +62,11 @@ pub struct Session<'a> {
     /// Last good copy of each dump, for degraded reads while the
     /// authoritative resource is open-circuit.
     staged: StagingCache,
+    /// A session-private engine carrying an overridden [`RetryPolicy`];
+    /// `None` means the system engine is used unchanged. The policy is
+    /// stateless (every backoff draw is keyed by `(seed, attempt, op)`),
+    /// so a cloned engine stays bitwise consistent with the shared one.
+    engine_override: Option<IoEngine>,
 }
 
 impl<'a> Session<'a> {
@@ -70,6 +76,7 @@ impl<'a> Session<'a> {
         user: &str,
         iterations: u32,
         grid: ProcGrid,
+        retry: Option<RetryPolicy>,
     ) -> CoreResult<Session<'a>> {
         let mut catalog = sys.catalog.lock();
         let app_id = match catalog.create_app(app, "") {
@@ -108,7 +115,23 @@ impl<'a> Session<'a> {
             finalized: false,
             rec,
             staged: staging_cache(STAGE_CACHE_BYTES),
+            engine_override: retry.map(|policy| {
+                let mut engine = sys.engine.clone();
+                engine.set_retry_policy(policy);
+                engine
+            }),
         })
+    }
+
+    /// The engine this session performs I/O through: the system engine,
+    /// unless a per-session [`RetryPolicy`] override was configured.
+    fn io_engine(&self) -> &IoEngine {
+        self.engine_override.as_ref().unwrap_or(&self.sys.engine)
+    }
+
+    /// The retry policy in effect for this session's I/O.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        self.io_engine().retry_policy()
     }
 
     /// The catalog run id (give this to consumers so they can locate the
@@ -293,8 +316,7 @@ impl<'a> Session<'a> {
                 AccessMode::OverWrite => msr_storage::OpenMode::OverWrite,
             };
             match self
-                .sys
-                .engine
+                .io_engine()
                 .write(&res, &path, data, &dist, strategy, mode)
                 .map_err(CoreError::from)
             {
@@ -478,8 +500,7 @@ impl<'a> Session<'a> {
         self.ensure_connected(kind)?;
         let res = self.sys.resource(kind).expect("registered kind");
         match self
-            .sys
-            .engine
+            .io_engine()
             .read(&res, &path, &dist, strategy)
             .map_err(CoreError::from)
         {

@@ -5,6 +5,7 @@ use crate::health::HealthTracker;
 use crate::load::LoadBoard;
 use crate::placement::PlacementPolicy;
 use crate::session::Session;
+use crate::tenant::TenantRegistry;
 use crate::CoreResult;
 use msr_meta::{Catalog, ResourceRec, RunId};
 use msr_net::{LinkId, SharedNetwork};
@@ -43,6 +44,9 @@ pub struct MsrSystem {
     /// Live per-resource admission-queue depths, written by a scheduler
     /// and read by scored AUTO placement (see `crate::load`).
     pub load: LoadBoard,
+    /// Registered tenants: weights, quotas and SLOs consulted by the
+    /// scheduler's admission controller (see `crate::tenant`).
+    pub tenants: TenantRegistry,
     resources: BTreeMap<StorageKind, SharedResource>,
     predictor: Option<Predictor>,
     policy: PlacementPolicy,
@@ -132,6 +136,7 @@ impl MsrSystem {
             obs,
             health,
             load: LoadBoard::new(),
+            tenants: TenantRegistry::new(),
             resources,
             predictor: None,
             policy: PlacementPolicy::Hinted,
@@ -296,7 +301,7 @@ impl MsrSystem {
         iterations: u32,
         grid: ProcGrid,
     ) -> CoreResult<Session<'_>> {
-        Session::initialize(self, app, user, iterations, grid)
+        Session::initialize(self, app, user, iterations, grid, None)
     }
 
     /// Read a dataset dump produced by an earlier run — the consumer path

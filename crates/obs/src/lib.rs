@@ -85,6 +85,18 @@ pub mod ops {
     pub const SCHED_DISPATCH: &str = "sched_dispatch";
     /// A session admitted to the scheduler (sched layer instant).
     pub const SESSION_ADMIT: &str = "session_admit";
+    /// A session shed at admission — quota exceeded or predicted wait
+    /// over the tenant's SLO with a shed policy (sched layer instant).
+    pub const ADMIT_SHED: &str = "admit_shed";
+    /// A session parked in the admission backpressure queue because its
+    /// tenant's predicted wait exceeded its SLO (sched layer instant).
+    pub const ADMIT_DEFER: &str = "admit_defer";
+    /// A deferred session expired: its time-to-live elapsed before the
+    /// predicted wait dropped under the SLO (sched layer instant).
+    pub const ADMIT_EXPIRE: &str = "admit_expire";
+    /// An admitted session cancelled mid-drain because its deadline can
+    /// no longer be met under current predictions (sched layer instant).
+    pub const SESSION_CANCEL: &str = "session_cancel";
     /// A scheduled request re-queued onto another resource after its
     /// placed resource failed or refused it (sched layer instant).
     pub const SCHED_REQUEUE: &str = "sched_requeue";

@@ -24,6 +24,7 @@ pub mod perfdb;
 pub mod predictor;
 pub mod ptool;
 pub mod readahead;
+pub mod slo;
 
 pub use accuracy::{compare, ComparisonRow};
 pub use feeder::{observed_resources, FeedSummary, PerfDbFeeder};
@@ -35,6 +36,7 @@ pub use predictor::{
 };
 pub use ptool::PTool;
 pub use readahead::{fetch_estimate, profile_for};
+pub use slo::queue_wait;
 
 /// Convenience result alias.
 pub type PredictResult<T> = Result<T, PredictError>;

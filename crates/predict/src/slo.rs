@@ -1,0 +1,61 @@
+//! SLO pricing: the predicted *queue wait* a new session faces.
+//!
+//! Eq. (2) predicts how long a run's own I/O takes; admission control
+//! needs the other half of response time — how long the run waits behind
+//! work that is already queued. The scheduler tracks, per resource, the
+//! summed eq. (1) predicted service time of everything in its admission
+//! queue (the *backlog*); [`queue_wait`] folds that backlog together
+//! with the per-batch dispatch overhead the queued requests will incur
+//! ahead of the newcomer. Comparing the result against a tenant's SLO is
+//! the paper's predictor-as-admission-signal pattern: the same model
+//! that picks *where* a dump goes decides *whether* it should be
+//! admitted at all.
+
+use msr_sim::SimDuration;
+
+/// Predicted wait behind a resource's current queue: the summed
+/// predicted service time of `depth` already-queued requests
+/// (`backlog`), plus one dispatch `overhead` charge per batch they will
+/// be served in (`chain` requests per batch, conservatively assuming
+/// full batches; a partial final batch still pays one charge).
+pub fn queue_wait(
+    backlog: SimDuration,
+    depth: usize,
+    chain: usize,
+    overhead: SimDuration,
+) -> SimDuration {
+    let batches = depth.div_ceil(chain.max(1));
+    backlog + overhead * batches as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_queue_costs_nothing() {
+        let w = queue_wait(SimDuration::ZERO, 0, 8, SimDuration::from_secs(0.002));
+        assert_eq!(w, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn wait_is_monotone_in_backlog_and_depth() {
+        let oh = SimDuration::from_secs(0.002);
+        let base = queue_wait(SimDuration::from_secs(1.0), 8, 8, oh);
+        let more_backlog = queue_wait(SimDuration::from_secs(2.0), 8, 8, oh);
+        let more_depth = queue_wait(SimDuration::from_secs(1.0), 16, 8, oh);
+        assert!(more_backlog > base);
+        assert!(more_depth > base);
+    }
+
+    #[test]
+    fn partial_batches_still_pay_one_dispatch_charge() {
+        let oh = SimDuration::from_secs(0.002);
+        // 9 requests at chain 8 → 2 batches.
+        let w = queue_wait(SimDuration::ZERO, 9, 8, oh);
+        assert_eq!(w, oh * 2.0);
+        // Degenerate chain of 0 is treated as 1 per batch.
+        let w = queue_wait(SimDuration::ZERO, 3, 0, oh);
+        assert_eq!(w, oh * 3.0);
+    }
+}

@@ -26,12 +26,21 @@
 //!   program order (bitwise reproducible at any `MSR_THREADS`) plus
 //!   whole-run makespan and throughput; queue depths and wait times are
 //!   also emitted as `sched`-layer observability events.
+//! * Multi-tenant overload protection — programs carry an optional tenant
+//!   tag ([`SessionProgram::tenant`]); dispatch runs start-time weighted-
+//!   fair queueing across per-tenant lanes (eq. (1) predicted service
+//!   times as batch costs), and admission prices every program with
+//!   eq. (2) against the live load board, shedding
+//!   ([`msr_core::CoreError::Rejected`]), deferring (bounded backpressure
+//!   queue with TTL expiry) or cancelling deadline-unmeetable sessions
+//!   mid-drain. Per-tenant outcomes land in [`TenantReport`].
 
 mod event;
 pub mod program;
 pub mod report;
 pub mod scheduler;
+mod wfq;
 
 pub use program::SessionProgram;
-pub use report::{SchedReport, SessionReport};
+pub use report::{SchedReport, SessionReport, TenantReport};
 pub use scheduler::{dispatch_overhead, Scheduler, MAX_CHAIN};

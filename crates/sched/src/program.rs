@@ -11,6 +11,7 @@
 use bytes::Bytes;
 use msr_core::DatasetSpec;
 use msr_runtime::ProcGrid;
+use msr_sim::SimDuration;
 
 /// One client's declared run, admitted as a unit.
 #[derive(Debug, Clone)]
@@ -36,6 +37,16 @@ pub struct SessionProgram {
     /// prediction-driven prefetcher can overlap with other sessions'
     /// foreground work.
     pub readbacks: u32,
+    /// The tenant this run belongs to. `None` lands on the default
+    /// tenant (weight 1, no quotas, no SLO); a name is resolved against
+    /// the system's [`msr_core::TenantRegistry`], auto-registering with
+    /// defaults when unknown.
+    pub tenant: Option<String>,
+    /// Completion deadline, in virtual time from the drain's start. A
+    /// session whose remaining predicted work can no longer finish by
+    /// the deadline is cancelled mid-drain: its queued requests are
+    /// removed and its partial report carries the cancellation reason.
+    pub deadline: Option<SimDuration>,
 }
 
 impl SessionProgram {
@@ -50,6 +61,8 @@ impl SessionProgram {
             datasets: Vec::new(),
             readback: false,
             readbacks: 0,
+            tenant: None,
+            deadline: None,
         }
     }
 
@@ -88,6 +101,19 @@ impl SessionProgram {
     /// [`SessionProgram::readbacks`]).
     pub fn readbacks(mut self, n: u32) -> Self {
         self.readbacks = n;
+        self
+    }
+
+    /// Tag the run with a tenant name (see [`SessionProgram::tenant`]).
+    pub fn tenant(mut self, tenant: &str) -> Self {
+        self.tenant = Some(tenant.to_owned());
+        self
+    }
+
+    /// Set a completion deadline in virtual time from the drain's start
+    /// (see [`SessionProgram::deadline`]).
+    pub fn deadline(mut self, deadline: SimDuration) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 }

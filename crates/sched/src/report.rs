@@ -39,6 +39,19 @@ pub struct SessionReport {
     pub errors: Vec<String>,
     /// Per-request reports in program order.
     pub reports: Vec<IoReport>,
+    /// Name of the tenant the session ran under (`"default"` for
+    /// untagged programs).
+    #[serde(default)]
+    pub tenant: String,
+    /// p99 of the session's per-request queue waits (the tail-latency
+    /// figure per-tenant SLOs are judged against).
+    #[serde(default)]
+    pub wait_p99: SimDuration,
+    /// Why the session was cancelled mid-drain, if it was: its deadline
+    /// became unreachable under current predictions. The report is then
+    /// partial — served requests are accounted, queued ones dropped.
+    #[serde(default)]
+    pub cancelled: Option<String>,
 }
 
 /// The whole scheduled run.
@@ -76,6 +89,35 @@ pub struct SchedReport {
     /// zero with no lifecycle attached).
     #[serde(default)]
     pub lifecycle: TickTotals,
+    /// Per-tenant accounting, in tenant-id order. Always at least the
+    /// default tenant once any session ran.
+    #[serde(default)]
+    pub tenants: Vec<TenantReport>,
+}
+
+/// One tenant's view of the drain: how much service it received and how
+/// the overload machinery treated it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub tenant: String,
+    /// Sessions that completed (or were cancelled) under this tenant.
+    pub sessions: u64,
+    /// Requests served.
+    pub requests: u64,
+    /// Bytes moved.
+    pub bytes: u64,
+    /// Programs rejected at admission (quota or SLO with a shed policy,
+    /// or a full deferral queue).
+    pub shed: u64,
+    /// Programs parked in the admission backpressure queue at least once.
+    pub deferred: u64,
+    /// Deferred programs whose time-to-live elapsed unadmitted.
+    pub expired: u64,
+    /// Admitted sessions cancelled mid-drain by deadline enforcement.
+    pub cancelled: u64,
+    /// Worst p99 queue wait across the tenant's sessions.
+    pub wait_p99: SimDuration,
 }
 
 impl SchedReport {

@@ -54,13 +54,17 @@
 
 use crate::event::{EventQueue, PlanGate, Scratch};
 use crate::program::{payload, SessionProgram};
-use crate::report::{SchedReport, SessionReport};
+use crate::report::{SchedReport, SessionReport, TenantReport};
+use crate::wfq::WfqQueue;
 use bytes::Bytes;
-use msr_core::{placement, CoreError, CoreResult, DatasetSpec, MsrSystem, Session};
+use msr_core::{
+    placement, CoreError, CoreResult, DatasetSpec, MsrSystem, OverloadPolicy, Session, Tenant,
+    TenantId,
+};
 use msr_lifecycle::{LifecycleEngine, TickTotals};
 use msr_meta::{AccessMode, Location, RunId};
 use msr_obs::{ops, Layer, Recorder};
-use msr_predict::{fetch_estimate, profile_for, AccessSummary, ResourceProfile};
+use msr_predict::{fetch_estimate, profile_for, queue_wait, AccessSummary, ResourceProfile};
 use msr_runtime::{
     staging_cache, superfile::DEFAULT_CACHE_LIMIT, Distribution, EngineRequest, IoReport,
     IoStrategy, RequestBody, RequestOutcome, RequestTag, StagingCache,
@@ -83,10 +87,15 @@ pub const MAX_CHAIN: usize = 8;
 /// Re-queue attempts per request before it is abandoned.
 const MAX_ATTEMPTS: u32 = 3;
 
+/// How many fired events between deferred-admission retries (and between
+/// deadline-feasibility sweeps) in the event engine.
+const DEFER_RETRY_EVERY: u64 = 8;
+
 struct Admitted<'a> {
     id: u64,
     app: String,
     run: RunId,
+    tenant: TenantId,
     session: Session<'a>,
     requests: VecDeque<EngineRequest>,
 }
@@ -95,6 +104,10 @@ struct Queued {
     req: EngineRequest,
     submitted: SimTime,
     attempts: u32,
+    /// eq. (1) predicted service time (seconds) on the request's current
+    /// resource — the WFQ batch cost, the load board's backlog unit, and
+    /// the deadline checker's remaining-work unit. Recomputed on requeue.
+    est: f64,
 }
 
 /// Per-session accumulator while the queues drain.
@@ -105,6 +118,7 @@ struct Acc {
     completed: SimTime,
     requeues: u32,
     errors: Vec<String>,
+    cancelled: Option<String>,
 }
 
 /// One served request's timing contribution to its session's totals.
@@ -233,7 +247,7 @@ impl Prefetcher {
         sys: &MsrSystem,
         rec: &Recorder,
         kind: StorageKind,
-        q: &VecDeque<Queued>,
+        q: &WfqQueue<Queued>,
         fg_cursor: SimTime,
     ) -> (Option<RoundPlan>, Option<usize>) {
         if !matches!(kind, StorageKind::RemoteDisk | StorageKind::RemoteTape)
@@ -443,6 +457,86 @@ impl Prefetcher {
     }
 }
 
+/// eq. (2) service-time estimator shared by admission pricing, the load
+/// board's backlog accounting, WFQ batch costs and the deadline checker.
+/// Profiles are synthesized once per `(resource, op)` (measured PerfDb
+/// rows win when the database is populated) and never sampled from the
+/// live jitter streams, so every estimate is deterministic.
+struct Estimator {
+    profiles: BTreeMap<(StorageKind, OpKind), ResourceProfile>,
+}
+
+impl Estimator {
+    fn new() -> Estimator {
+        Estimator {
+            profiles: BTreeMap::new(),
+        }
+    }
+
+    /// Predicted service time (seconds) of one `op` with `strategy` over
+    /// `dist` on `kind`.
+    fn cost_op(
+        &mut self,
+        sys: &MsrSystem,
+        kind: StorageKind,
+        op: OpKind,
+        strategy: IoStrategy,
+        dist: &Distribution,
+    ) -> f64 {
+        let profile = self.profiles.entry((kind, op)).or_insert_with(|| {
+            let res = sys.resource(kind).expect("priced on a registered kind");
+            profile_for(sys.predictor().map(|p| &p.db), &res, op)
+        });
+        fetch_estimate(profile, strategy, &AccessSummary::of(dist)).as_secs()
+    }
+
+    /// Predicted service time (seconds) of `req` on `kind`.
+    fn cost(&mut self, sys: &MsrSystem, kind: StorageKind, req: &EngineRequest) -> f64 {
+        let op = match req.body {
+            RequestBody::Write { .. } => OpKind::Write,
+            RequestBody::Read => OpKind::Read,
+        };
+        self.cost_op(sys, kind, op, req.strategy, &req.dist)
+    }
+}
+
+/// Per-tenant overload-machinery counters, folded into the report's
+/// [`TenantReport`]s.
+#[derive(Default, Clone, Copy)]
+struct TenantCounters {
+    shed: u64,
+    deferred: u64,
+    expired: u64,
+    cancelled: u64,
+}
+
+/// A program parked in the admission backpressure queue: its tenant's
+/// predicted wait exceeded the SLO under a `Defer` overload policy. It is
+/// re-priced as the drain progresses and admitted once the predicted wait
+/// drops, or expired when `expires` passes unadmitted.
+struct Deferred {
+    program: SessionProgram,
+    tenant: TenantId,
+    expires: SimTime,
+}
+
+/// What one program would add to the system, priced with eq. (2) before
+/// any catalog state is touched: the admission controller's input.
+#[derive(Default)]
+struct Pricing {
+    requests: usize,
+    bytes: u64,
+    est_secs: f64,
+    kinds: BTreeSet<StorageKind>,
+}
+
+/// The admission controller's verdict on one program.
+enum GateVerdict {
+    Admit,
+    Shed(CoreError),
+    Defer { ttl: SimDuration },
+}
+
 /// The scheduler. Admit programs, then [`run`](Scheduler::run) to drain.
 pub struct Scheduler<'a> {
     sys: &'a MsrSystem,
@@ -454,6 +548,17 @@ pub struct Scheduler<'a> {
     prefetch: bool,
     lifecycle: Option<LifecycleEngine>,
     lifecycle_every: u64,
+    estimator: Estimator,
+    /// Admission backpressure queue, in defer order.
+    deferred: VecDeque<Deferred>,
+    tcounts: BTreeMap<TenantId, TenantCounters>,
+    /// Session id -> tenant, for serve/requeue/cancel accounting.
+    tenants_of: BTreeMap<u64, TenantId>,
+    /// Tenant names and WFQ weights captured at admission time.
+    tenant_names: BTreeMap<TenantId, String>,
+    weights: BTreeMap<TenantId, f64>,
+    /// Per-session completion deadlines (virtual time from admission).
+    deadlines: BTreeMap<u64, SimDuration>,
 }
 
 impl<'a> Scheduler<'a> {
@@ -475,6 +580,13 @@ impl<'a> Scheduler<'a> {
             prefetch,
             lifecycle: None,
             lifecycle_every: 4,
+            estimator: Estimator::new(),
+            deferred: VecDeque::new(),
+            tcounts: BTreeMap::new(),
+            tenants_of: BTreeMap::new(),
+            tenant_names: BTreeMap::new(),
+            weights: BTreeMap::new(),
+            deadlines: BTreeMap::new(),
         }
     }
 
@@ -515,11 +627,189 @@ impl<'a> Scheduler<'a> {
         self.admitted.len()
     }
 
-    /// Admit one program: register its catalog session, place its datasets
-    /// (scored AUTO placement sees the current queue depths), expand it
-    /// into tagged requests and account them on the system's load board.
-    /// Returns the scheduler-assigned session id.
-    pub fn admit(&mut self, program: SessionProgram) -> CoreResult<u64> {
+    /// Programs currently parked in the admission backpressure queue.
+    pub fn deferred_len(&self) -> usize {
+        self.deferred.len()
+    }
+
+    /// Admit one program through the overload controller. The program is
+    /// first *priced* — eq. (2) service estimates per request, summed
+    /// against the tenant's quotas and the live load board — before any
+    /// catalog state is touched:
+    ///
+    /// - over quota, or over the tenant's SLO with a [`OverloadPolicy::Shed`]
+    ///   policy: the program is **shed** with a typed error
+    ///   ([`CoreError::QuotaExceeded`] / [`CoreError::Rejected`]) and
+    ///   nothing is opened;
+    /// - over the SLO with a [`OverloadPolicy::Defer`] policy and room in
+    ///   the backpressure queue: the program is **parked** (`Ok(None)`)
+    ///   and retried as the drain progresses, expiring after its TTL;
+    /// - otherwise it is **admitted**: its catalog session opens, its
+    ///   datasets are placed (scored AUTO placement sees the current queue
+    ///   depths), and it expands into tagged requests accounted on the
+    ///   system's load board. Returns `Ok(Some(session_id))`.
+    pub fn admit(&mut self, program: SessionProgram) -> CoreResult<Option<u64>> {
+        let (tid, tenant) = self
+            .sys
+            .tenants
+            .resolve_or_register(program.tenant.as_deref());
+        self.tenant_names.insert(tid, tenant.name.clone());
+        self.weights.insert(tid, tenant.weight);
+        match self.admission_gate(&program, tid, &tenant)? {
+            GateVerdict::Admit => Ok(Some(self.open_and_expand(program, tid)?)),
+            GateVerdict::Shed(e) => {
+                self.tcounts.entry(tid).or_default().shed += 1;
+                self.rec.instant(
+                    Layer::Sched,
+                    &tenant.name,
+                    ops::ADMIT_SHED,
+                    self.sys.clock.now(),
+                    &format!("{}: {e}", program.app),
+                );
+                Err(e)
+            }
+            GateVerdict::Defer { ttl } => {
+                self.tcounts.entry(tid).or_default().deferred += 1;
+                let now = self.sys.clock.now();
+                self.rec.instant(
+                    Layer::Sched,
+                    &tenant.name,
+                    ops::ADMIT_DEFER,
+                    now,
+                    &format!("{}: parked for up to {:.3}s", program.app, ttl.as_secs()),
+                );
+                self.deferred.push_back(Deferred {
+                    program,
+                    tenant: tid,
+                    expires: now + ttl,
+                });
+                Ok(None)
+            }
+        }
+    }
+
+    /// Price `program` with eq. (2) without touching catalog state: how
+    /// many requests it would queue, the bytes it would put in flight, the
+    /// predicted service seconds it would add, and the resources it would
+    /// land on. Placement is resolved with the same pure scoring the later
+    /// open uses, so the admission decision prices what admission would do.
+    fn price(&mut self, program: &SessionProgram) -> CoreResult<Pricing> {
+        let sys = self.sys;
+        let mut pricing = Pricing::default();
+        for spec in &program.datasets {
+            if spec.frequency == 0 {
+                continue;
+            }
+            let dist = Distribution::new(spec.dims, spec.etype.size(), spec.pattern, program.grid)?;
+            let run_bytes = spec.run_bytes(program.iterations);
+            let Some(kind) = placement::resolve(sys, spec, &dist, run_bytes)? else {
+                continue;
+            };
+            pricing.kinds.insert(kind);
+            let dumps = (0..=program.iterations)
+                .filter(|i| i.is_multiple_of(spec.frequency))
+                .count();
+            let reads = if program.readbacks > 0 {
+                (program.readbacks as usize).min(dumps)
+            } else {
+                usize::from(program.readback)
+            };
+            pricing.requests += dumps + reads;
+            pricing.bytes += (dumps + reads) as u64 * spec.snapshot_bytes();
+            pricing.est_secs += dumps as f64
+                * self
+                    .estimator
+                    .cost_op(sys, kind, OpKind::Write, spec.strategy, &dist)
+                + reads as f64
+                    * self
+                        .estimator
+                        .cost_op(sys, kind, OpKind::Read, spec.strategy, &dist);
+        }
+        Ok(pricing)
+    }
+
+    /// The admission controller: quotas first, then the eq. (2) SLO check
+    /// — predicted queue wait on the program's most backlogged target
+    /// resource against the tenant's SLO.
+    fn admission_gate(
+        &mut self,
+        program: &SessionProgram,
+        tid: TenantId,
+        tenant: &Tenant,
+    ) -> CoreResult<GateVerdict> {
+        let pricing = self.price(program)?;
+        let usage = self.sys.load.tenant_usage(tid);
+        if let Some(cap) = tenant.quota.max_queued_requests {
+            if usage.queued + pricing.requests > cap {
+                return Ok(GateVerdict::Shed(CoreError::QuotaExceeded {
+                    tenant: tenant.name.clone(),
+                    resource: "queued requests",
+                    used: usage.queued as u64,
+                    requested: pricing.requests as u64,
+                    limit: cap as u64,
+                }));
+            }
+        }
+        if let Some(cap) = tenant.quota.max_bytes_in_flight {
+            if usage.bytes + pricing.bytes > cap {
+                return Ok(GateVerdict::Shed(CoreError::QuotaExceeded {
+                    tenant: tenant.name.clone(),
+                    resource: "bytes in flight",
+                    used: usage.bytes,
+                    requested: pricing.bytes,
+                    limit: cap,
+                }));
+            }
+        }
+        if let Some(cap) = tenant.quota.max_predicted_secs {
+            if usage.predicted_secs + pricing.est_secs > cap {
+                return Ok(GateVerdict::Shed(CoreError::QuotaExceeded {
+                    tenant: tenant.name.clone(),
+                    resource: "predicted seconds",
+                    used: usage.predicted_secs.ceil() as u64,
+                    requested: pricing.est_secs.ceil() as u64,
+                    limit: cap.ceil() as u64,
+                }));
+            }
+        }
+        if let Some(slo) = tenant.slo {
+            let mut wait = SimDuration::ZERO;
+            for &kind in &pricing.kinds {
+                let backlog = SimDuration::from_secs(self.sys.load.predicted_backlog(kind));
+                let w = queue_wait(
+                    backlog,
+                    self.sys.load.depth(kind),
+                    MAX_CHAIN,
+                    dispatch_overhead(),
+                );
+                wait = wait.max(w);
+            }
+            if wait > slo {
+                let reject = || CoreError::Rejected {
+                    tenant: tenant.name.clone(),
+                    predicted_wait: wait,
+                    slo,
+                };
+                return Ok(match tenant.overload {
+                    OverloadPolicy::Shed => GateVerdict::Shed(reject()),
+                    OverloadPolicy::Defer { max_deferred, ttl } => {
+                        let parked = self.deferred.iter().filter(|d| d.tenant == tid).count();
+                        if parked >= max_deferred {
+                            GateVerdict::Shed(reject())
+                        } else {
+                            GateVerdict::Defer { ttl }
+                        }
+                    }
+                });
+            }
+        }
+        Ok(GateVerdict::Admit)
+    }
+
+    /// Open the program's catalog session, place its datasets, expand it
+    /// into tagged requests and account them (depth, predicted backlog,
+    /// tenant usage) on the system's load board.
+    fn open_and_expand(&mut self, program: SessionProgram, tid: TenantId) -> CoreResult<u64> {
         let id = self.admitted.len() as u64;
         let mut session = self
             .sys
@@ -598,10 +888,19 @@ impl<'a> Scheduler<'a> {
 
         let now = self.sys.clock.now();
         let mut per_kind: BTreeMap<StorageKind, usize> = BTreeMap::new();
+        let mut tenant_bytes = 0u64;
+        let mut tenant_secs = 0.0f64;
         for req in &requests {
             let kind = self.locations[&(id, req.dataset.clone())];
             *per_kind.entry(kind).or_insert(0) += 1;
+            let est = self.estimator.cost(self.sys, kind, req);
+            self.sys.load.backlog_enqueued(kind, est);
+            tenant_bytes += req.bytes();
+            tenant_secs += est;
         }
+        self.sys
+            .load
+            .tenant_enqueued(tid, requests.len(), tenant_bytes, tenant_secs);
         for (kind, n) in per_kind {
             let depth = self.sys.load.enqueued(kind, n);
             self.rec.count(
@@ -620,10 +919,15 @@ impl<'a> Scheduler<'a> {
             &format!("session {id}: {} requests, run{}", requests.len(), run.0),
         );
 
+        self.tenants_of.insert(id, tid);
+        if let Some(d) = program.deadline {
+            self.deadlines.insert(id, d);
+        }
         self.admitted.push(Admitted {
             id,
             app: program.app.clone(),
             run,
+            tenant: tid,
             session,
             requests,
         });
@@ -666,6 +970,7 @@ impl<'a> Scheduler<'a> {
                         completed: start,
                         requeues: 0,
                         errors: Vec::new(),
+                        cancelled: None,
                     },
                 )
             })
@@ -679,9 +984,28 @@ impl<'a> Scheduler<'a> {
         let mut batches = 0u64;
         let mut max_batch = 0usize;
         let mut prefetcher = self.prefetch.then(Prefetcher::new);
-        let runs: BTreeMap<u64, RunId> = self.admitted.iter().map(|a| (a.id, a.run)).collect();
-        let busy: BTreeSet<RunId> = runs.values().copied().collect();
+        let mut runs: BTreeMap<u64, RunId> = self.admitted.iter().map(|a| (a.id, a.run)).collect();
+        let mut busy: BTreeSet<RunId> = runs.values().copied().collect();
         let mut lifecycle_totals = TickTotals::default();
+
+        // Deadline bookkeeping: per-session predicted service seconds
+        // still queued, and each deadline as an absolute virtual instant.
+        // Only sessions that declared a deadline are tracked.
+        let mut remaining: BTreeMap<u64, f64> = BTreeMap::new();
+        if !self.deadlines.is_empty() {
+            for q in queues.values() {
+                for item in q.iter() {
+                    if self.deadlines.contains_key(&item.req.tag.session) {
+                        *remaining.entry(item.req.tag.session).or_default() += item.est;
+                    }
+                }
+            }
+        }
+        let mut deadlines_abs: BTreeMap<u64, SimTime> = self
+            .deadlines
+            .iter()
+            .map(|(&id, &d)| (id, start + d))
+            .collect();
 
         let mut events = EventQueue::new();
         let mut armed: BTreeSet<StorageKind> = BTreeSet::new();
@@ -696,279 +1020,401 @@ impl<'a> Scheduler<'a> {
             }
         }
 
-        while let Some((_at, kind)) = events.pop() {
-            armed.remove(&kind);
+        'drain: loop {
+            while let Some((_at, kind)) = events.pop() {
+                armed.remove(&kind);
 
-            // Pop phase: a staged-ready run off the queue head if the
-            // prefetcher has one landed, otherwise one chained batch.
-            scratch.batch.clear();
-            let mut staged = false;
-            {
-                let q = queues.entry(kind).or_default();
-                if let Some(p) = prefetcher.as_mut() {
-                    let cursor = cursors.get(&kind).copied().unwrap_or(start);
-                    p.pop_staged_run_into(q, cursor, &mut scratch.batch);
-                    staged = !scratch.batch.is_empty();
-                }
-                if !staged {
-                    if let Some(head) = q.pop_front() {
-                        scratch.batch.push(head);
-                        while scratch.batch.len() < MAX_CHAIN
-                            && q.front().is_some_and(|n| {
-                                scratch.batch.last().unwrap().req.chains_with(&n.req)
-                            })
-                        {
-                            scratch.batch.push(q.pop_front().unwrap());
+                // Pop phase: select the WFQ lane whose head batch has the
+                // smallest start tag, then pop a staged-ready run off that
+                // lane's head if the prefetcher has one landed, otherwise one
+                // chained batch. The popped batch's eq. (2) cost advances the
+                // lane's virtual finish tag — weighted-fair arbitration.
+                scratch.batch.clear();
+                let mut staged = false;
+                {
+                    let q = queues.entry(kind).or_default();
+                    if let Some(tenant) = q.select() {
+                        let lane = q.lane_mut(tenant);
+                        if let Some(p) = prefetcher.as_mut() {
+                            let cursor = cursors.get(&kind).copied().unwrap_or(start);
+                            p.pop_staged_run_into(lane, cursor, &mut scratch.batch);
+                            staged = !scratch.batch.is_empty();
                         }
-                    }
-                }
-            }
-
-            if !scratch.batch.is_empty() {
-                // This resource's step count is its round number under the
-                // legacy engine — the key that orders its contributions.
-                let step = {
-                    let s = steps.entry(kind).or_insert(0);
-                    *s += 1;
-                    *s
-                };
-                fired += 1;
-
-                if staged {
-                    // Staged-serve step: plan against the post-pop queue
-                    // with the pre-application foreground cursor (exactly
-                    // what the round engine's plan phase saw), execute the
-                    // plan's fetches on the resource, then serve the
-                    // staged batch from memory and land the fetches.
-                    let fg = cursors.get(&kind).copied().unwrap_or(start);
-                    let plan = self.plan_step(&mut prefetcher, &mut gates, &queues, kind, fg);
-                    let plan_start = plan.as_ref().map(|pl| pl.start);
-                    let fetched = self.execute_fetches(kind, plan);
-
-                    let p = prefetcher.as_mut().expect("staged batches imply prefetch");
-                    let comp = kind.to_string();
-                    let cursor = cursors.entry(kind).or_insert(start);
-                    let batch_start = *cursor;
-                    *cursor += dispatch_overhead();
-                    let mut batch_bytes = 0u64;
-                    let mut n = 0usize;
-                    let mut leftovers = Vec::new();
-                    for q in scratch.batch.drain(..) {
-                        let outcome = p
-                            .take(&q.req.path)
-                            .and_then(|data| sys.engine.staged_read(&comp, &q.req, &data).ok());
-                        let Some(outcome) = outcome else {
-                            // The staged copy vanished under us: back to
-                            // the queue head for on-demand service.
-                            leftovers.push(q);
-                            continue;
-                        };
-                        let report = outcome.into_report();
-                        let wait = cursor.since(q.submitted);
-                        self.rec.span(
-                            Layer::Sched,
-                            &comp,
-                            ops::SCHED_WAIT,
-                            q.submitted,
-                            wait,
-                            report.bytes,
-                        );
-                        *cursor += report.elapsed;
-                        batch_bytes += report.bytes;
-                        n += 1;
-                        p.hits += 1;
-                        self.rec
-                            .count(Layer::Sched, &comp, ops::PREFETCH_HIT, *cursor, 1.0);
-                        let depth = sys.load.dequeued(kind, 1);
-                        self.rec.count(
-                            Layer::Sched,
-                            &comp,
-                            ops::QUEUE_DEPTH,
-                            *cursor,
-                            depth as f64,
-                        );
-                        self.note_served(runs[&q.req.tag.session], &q.req, *cursor, report.bytes);
-                        let acc = accs.get_mut(&q.req.tag.session).expect("admitted session");
-                        acc.reports.push((q.req.tag.seq, report.clone()));
-                        acc.contribs.push(Contrib {
-                            step,
-                            phase: 0,
-                            kind,
-                            wait,
-                            io: report.elapsed,
-                        });
-                        acc.bytes += report.bytes;
-                        acc.completed = acc.completed.max(*cursor);
-                    }
-                    if n > 0 {
-                        batches += 1;
-                        max_batch = max_batch.max(n);
-                        let dur = cursor.since(batch_start);
-                        self.rec.span(
-                            Layer::Sched,
-                            &comp,
-                            ops::SCHED_DISPATCH,
-                            batch_start,
-                            dur,
-                            batch_bytes,
-                        );
-                    }
-                    if !leftovers.is_empty() {
-                        let q = queues.entry(kind).or_default();
-                        for item in leftovers.into_iter().rev() {
-                            q.push_front(item);
-                        }
-                    }
-                    if !fetched.is_empty() {
-                        let fetch_count = fetched.len();
-                        let plan_start = plan_start.expect("planned fetches record their start");
-                        p.apply_fetches(&self.rec, kind, plan_start, fetched);
-                        sys.load.bg_dequeued(kind, fetch_count);
-                    }
-                } else if !sys.health.allows(kind) {
-                    // Open circuit: never dispatch to the resource — the
-                    // whole batch (and the rest of its datasets' queues)
-                    // drains to fallback resources. No plan either: the
-                    // planner refuses unhealthy resources.
-                    let batch = std::mem::take(&mut scratch.batch);
-                    self.requeue(kind, batch, "circuit open", &mut queues, &mut accs);
-                    for g in gates.values_mut() {
-                        g.dirty = true;
-                    }
-                } else {
-                    // Normal step: plan fetches, execute the foreground
-                    // batch inline, then the fetches, in plan order — the
-                    // same per-resource op order the round engine's pool
-                    // closure used, so every seeded jitter stream draws
-                    // identically.
-                    let fg = cursors.get(&kind).copied().unwrap_or(start);
-                    let plan = self.plan_step(&mut prefetcher, &mut gates, &queues, kind, fg);
-                    let plan_start = plan.as_ref().map(|pl| pl.start);
-
-                    let res = sys.resource(kind).expect("placed on registered kind");
-                    scratch.served.clear();
-                    scratch.unserved.clear();
-                    let mut error: Option<String> = None;
-                    {
-                        let mut pending = scratch.batch.drain(..);
-                        for q in pending.by_ref() {
-                            match sys.engine.execute(&res, &q.req) {
-                                Ok(outcome) => scratch.served.push((q, outcome)),
-                                Err(e) => {
-                                    error = Some(CoreError::from(e).to_string());
-                                    scratch.unserved.push(q);
-                                    break;
+                        if !staged {
+                            if let Some(head) = lane.pop_front() {
+                                scratch.batch.push(head);
+                                while scratch.batch.len() < MAX_CHAIN
+                                    && lane.front().is_some_and(|n| {
+                                        scratch.batch.last().unwrap().req.chains_with(&n.req)
+                                    })
+                                {
+                                    scratch.batch.push(lane.pop_front().unwrap());
                                 }
                             }
                         }
-                        for q in pending {
-                            scratch.unserved.push(q);
-                        }
-                    }
-                    let fetched = self.execute_fetches(kind, plan);
-
-                    // Apply the outcomes: one dispatch charge per batch,
-                    // then each report advances the resource cursor.
-                    let cursor = cursors.entry(kind).or_insert(start);
-                    let batch_start = *cursor;
-                    if !scratch.served.is_empty() || !scratch.unserved.is_empty() || error.is_some()
-                    {
-                        *cursor += dispatch_overhead();
-                    }
-                    let mut batch_bytes = 0u64;
-                    let mut n = 0usize;
-                    for (q, outcome) in scratch.served.drain(..) {
-                        let report = outcome.into_report();
-                        let wait = cursor.since(q.submitted);
-                        self.rec.span(
-                            Layer::Sched,
-                            &kind.to_string(),
-                            ops::SCHED_WAIT,
-                            q.submitted,
-                            wait,
-                            report.bytes,
-                        );
-                        *cursor += report.elapsed;
-                        batch_bytes += report.bytes;
-                        n += 1;
-                        sys.health.record_success(kind);
-                        let depth = sys.load.dequeued(kind, 1);
-                        self.rec.count(
-                            Layer::Sched,
-                            &kind.to_string(),
-                            ops::QUEUE_DEPTH,
-                            *cursor,
-                            depth as f64,
-                        );
-                        if let Some(p) = prefetcher.as_mut() {
-                            if p.note_foreground(&self.rec, kind, &q.req, *cursor) {
-                                gates.entry(kind).or_default().dirty = true;
-                            }
-                        }
-                        self.note_served(runs[&q.req.tag.session], &q.req, *cursor, report.bytes);
-                        let acc = accs.get_mut(&q.req.tag.session).expect("admitted session");
-                        acc.reports.push((q.req.tag.seq, report.clone()));
-                        acc.contribs.push(Contrib {
-                            step,
-                            phase: 1,
-                            kind,
-                            wait,
-                            io: report.elapsed,
-                        });
-                        acc.bytes += report.bytes;
-                        acc.completed = acc.completed.max(*cursor);
-                    }
-                    if n > 0 {
-                        batches += 1;
-                        max_batch = max_batch.max(n);
-                        let dur = cursor.since(batch_start);
-                        self.rec.span(
-                            Layer::Sched,
-                            &kind.to_string(),
-                            ops::SCHED_DISPATCH,
-                            batch_start,
-                            dur,
-                            batch_bytes,
-                        );
-                    }
-                    if !fetched.is_empty() {
-                        let p = prefetcher.as_mut().expect("fetches imply prefetch");
-                        let fetch_count = fetched.len();
-                        let plan_start = plan_start.expect("planned fetches record their start");
-                        p.apply_fetches(&self.rec, kind, plan_start, fetched);
-                        sys.load.bg_dequeued(kind, fetch_count);
-                    }
-                    if let Some(reason) = error {
-                        sys.health.record_failure(kind);
-                        let unserved = std::mem::take(&mut scratch.unserved);
-                        self.requeue(kind, unserved, &reason, &mut queues, &mut accs);
-                        for g in gates.values_mut() {
-                            g.dirty = true;
+                        if !scratch.batch.is_empty() {
+                            let cost: f64 = scratch.batch.iter().map(|i| i.est).sum();
+                            q.commit(tenant, cost);
                         }
                     }
                 }
 
-                // Lifecycle tick on event-time boundaries (the event
-                // engine's analogue of "every N rounds"): the global
-                // clock first catches up to the drain's frontier so the
-                // engine's idle windows see virtual time passing.
-                if let Some(lc) = &self.lifecycle {
-                    if fired.is_multiple_of(self.lifecycle_every) {
+                if !scratch.batch.is_empty() {
+                    // This resource's step count is its round number under the
+                    // legacy engine — the key that orders its contributions.
+                    let step = {
+                        let s = steps.entry(kind).or_insert(0);
+                        *s += 1;
+                        *s
+                    };
+                    fired += 1;
+
+                    if staged {
+                        // Staged-serve step: plan against the post-pop queue
+                        // with the pre-application foreground cursor (exactly
+                        // what the round engine's plan phase saw), execute the
+                        // plan's fetches on the resource, then serve the
+                        // staged batch from memory and land the fetches.
+                        let fg = cursors.get(&kind).copied().unwrap_or(start);
+                        let plan = self.plan_step(&mut prefetcher, &mut gates, &queues, kind, fg);
+                        let plan_start = plan.as_ref().map(|pl| pl.start);
+                        let fetched = self.execute_fetches(kind, plan);
+
+                        let p = prefetcher.as_mut().expect("staged batches imply prefetch");
+                        let comp = kind.to_string();
+                        let cursor = cursors.entry(kind).or_insert(start);
+                        let batch_start = *cursor;
+                        *cursor += dispatch_overhead();
+                        let mut batch_bytes = 0u64;
+                        let mut n = 0usize;
+                        let mut leftovers = Vec::new();
+                        for q in scratch.batch.drain(..) {
+                            let outcome = p
+                                .take(&q.req.path)
+                                .and_then(|data| sys.engine.staged_read(&comp, &q.req, &data).ok());
+                            let Some(outcome) = outcome else {
+                                // The staged copy vanished under us: back to
+                                // the queue head for on-demand service.
+                                leftovers.push(q);
+                                continue;
+                            };
+                            let report = outcome.into_report();
+                            let wait = cursor.since(q.submitted);
+                            self.rec.span(
+                                Layer::Sched,
+                                &comp,
+                                ops::SCHED_WAIT,
+                                q.submitted,
+                                wait,
+                                report.bytes,
+                            );
+                            *cursor += report.elapsed;
+                            batch_bytes += report.bytes;
+                            n += 1;
+                            p.hits += 1;
+                            self.rec
+                                .count(Layer::Sched, &comp, ops::PREFETCH_HIT, *cursor, 1.0);
+                            let depth = sys.load.dequeued(kind, 1);
+                            self.rec.count(
+                                Layer::Sched,
+                                &comp,
+                                ops::QUEUE_DEPTH,
+                                *cursor,
+                                depth as f64,
+                            );
+                            sys.load.backlog_dequeued(kind, q.est);
+                            let tid = self
+                                .tenants_of
+                                .get(&q.req.tag.session)
+                                .copied()
+                                .unwrap_or_default();
+                            sys.load.tenant_dequeued(tid, 1, q.req.bytes(), q.est);
+                            if let Some(r) = remaining.get_mut(&q.req.tag.session) {
+                                *r -= q.est;
+                            }
+                            self.note_served(
+                                runs[&q.req.tag.session],
+                                &q.req,
+                                *cursor,
+                                report.bytes,
+                            );
+                            let acc = accs.get_mut(&q.req.tag.session).expect("admitted session");
+                            acc.reports.push((q.req.tag.seq, report.clone()));
+                            acc.contribs.push(Contrib {
+                                step,
+                                phase: 0,
+                                kind,
+                                wait,
+                                io: report.elapsed,
+                            });
+                            acc.bytes += report.bytes;
+                            acc.completed = acc.completed.max(*cursor);
+                        }
+                        if n > 0 {
+                            batches += 1;
+                            max_batch = max_batch.max(n);
+                            let dur = cursor.since(batch_start);
+                            self.rec.span(
+                                Layer::Sched,
+                                &comp,
+                                ops::SCHED_DISPATCH,
+                                batch_start,
+                                dur,
+                                batch_bytes,
+                            );
+                        }
+                        if !leftovers.is_empty() {
+                            let q = queues.entry(kind).or_default();
+                            for item in leftovers.into_iter().rev() {
+                                let tid = self
+                                    .tenants_of
+                                    .get(&item.req.tag.session)
+                                    .copied()
+                                    .unwrap_or_default();
+                                q.push_front(tid, item);
+                            }
+                        }
+                        if !fetched.is_empty() {
+                            let fetch_count = fetched.len();
+                            let plan_start =
+                                plan_start.expect("planned fetches record their start");
+                            p.apply_fetches(&self.rec, kind, plan_start, fetched);
+                            sys.load.bg_dequeued(kind, fetch_count);
+                        }
+                    } else if !sys.health.allows(kind) {
+                        // Open circuit: never dispatch to the resource — the
+                        // whole batch (and the rest of its datasets' queues)
+                        // drains to fallback resources. No plan either: the
+                        // planner refuses unhealthy resources.
+                        let batch = std::mem::take(&mut scratch.batch);
+                        self.requeue(kind, batch, "circuit open", &mut queues, &mut accs);
+                        for g in gates.values_mut() {
+                            g.dirty = true;
+                        }
+                    } else {
+                        // Normal step: plan fetches, execute the foreground
+                        // batch inline, then the fetches, in plan order — the
+                        // same per-resource op order the round engine's pool
+                        // closure used, so every seeded jitter stream draws
+                        // identically.
+                        let fg = cursors.get(&kind).copied().unwrap_or(start);
+                        let plan = self.plan_step(&mut prefetcher, &mut gates, &queues, kind, fg);
+                        let plan_start = plan.as_ref().map(|pl| pl.start);
+
+                        let res = sys.resource(kind).expect("placed on registered kind");
+                        scratch.served.clear();
+                        scratch.unserved.clear();
+                        let mut error: Option<String> = None;
+                        {
+                            let mut pending = scratch.batch.drain(..);
+                            for q in pending.by_ref() {
+                                match sys.engine.execute(&res, &q.req) {
+                                    Ok(outcome) => scratch.served.push((q, outcome)),
+                                    Err(e) => {
+                                        error = Some(CoreError::from(e).to_string());
+                                        scratch.unserved.push(q);
+                                        break;
+                                    }
+                                }
+                            }
+                            for q in pending {
+                                scratch.unserved.push(q);
+                            }
+                        }
+                        let fetched = self.execute_fetches(kind, plan);
+
+                        // Apply the outcomes: one dispatch charge per batch,
+                        // then each report advances the resource cursor.
+                        let cursor = cursors.entry(kind).or_insert(start);
+                        let batch_start = *cursor;
+                        if !scratch.served.is_empty()
+                            || !scratch.unserved.is_empty()
+                            || error.is_some()
+                        {
+                            *cursor += dispatch_overhead();
+                        }
+                        let mut batch_bytes = 0u64;
+                        let mut n = 0usize;
+                        for (q, outcome) in scratch.served.drain(..) {
+                            let report = outcome.into_report();
+                            let wait = cursor.since(q.submitted);
+                            self.rec.span(
+                                Layer::Sched,
+                                &kind.to_string(),
+                                ops::SCHED_WAIT,
+                                q.submitted,
+                                wait,
+                                report.bytes,
+                            );
+                            *cursor += report.elapsed;
+                            batch_bytes += report.bytes;
+                            n += 1;
+                            sys.health.record_success(kind);
+                            let depth = sys.load.dequeued(kind, 1);
+                            self.rec.count(
+                                Layer::Sched,
+                                &kind.to_string(),
+                                ops::QUEUE_DEPTH,
+                                *cursor,
+                                depth as f64,
+                            );
+                            if let Some(p) = prefetcher.as_mut() {
+                                if p.note_foreground(&self.rec, kind, &q.req, *cursor) {
+                                    gates.entry(kind).or_default().dirty = true;
+                                }
+                            }
+                            sys.load.backlog_dequeued(kind, q.est);
+                            let tid = self
+                                .tenants_of
+                                .get(&q.req.tag.session)
+                                .copied()
+                                .unwrap_or_default();
+                            sys.load.tenant_dequeued(tid, 1, q.req.bytes(), q.est);
+                            if let Some(r) = remaining.get_mut(&q.req.tag.session) {
+                                *r -= q.est;
+                            }
+                            self.note_served(
+                                runs[&q.req.tag.session],
+                                &q.req,
+                                *cursor,
+                                report.bytes,
+                            );
+                            let acc = accs.get_mut(&q.req.tag.session).expect("admitted session");
+                            acc.reports.push((q.req.tag.seq, report.clone()));
+                            acc.contribs.push(Contrib {
+                                step,
+                                phase: 1,
+                                kind,
+                                wait,
+                                io: report.elapsed,
+                            });
+                            acc.bytes += report.bytes;
+                            acc.completed = acc.completed.max(*cursor);
+                        }
+                        if n > 0 {
+                            batches += 1;
+                            max_batch = max_batch.max(n);
+                            let dur = cursor.since(batch_start);
+                            self.rec.span(
+                                Layer::Sched,
+                                &kind.to_string(),
+                                ops::SCHED_DISPATCH,
+                                batch_start,
+                                dur,
+                                batch_bytes,
+                            );
+                        }
+                        if !fetched.is_empty() {
+                            let p = prefetcher.as_mut().expect("fetches imply prefetch");
+                            let fetch_count = fetched.len();
+                            let plan_start =
+                                plan_start.expect("planned fetches record their start");
+                            p.apply_fetches(&self.rec, kind, plan_start, fetched);
+                            sys.load.bg_dequeued(kind, fetch_count);
+                        }
+                        if let Some(reason) = error {
+                            sys.health.record_failure(kind);
+                            let unserved = std::mem::take(&mut scratch.unserved);
+                            self.requeue(kind, unserved, &reason, &mut queues, &mut accs);
+                            for g in gates.values_mut() {
+                                g.dirty = true;
+                            }
+                        }
+                    }
+
+                    // Lifecycle tick on event-time boundaries (the event
+                    // engine's analogue of "every N rounds"): the global
+                    // clock first catches up to the drain's frontier so the
+                    // engine's idle windows see virtual time passing.
+                    if let Some(lc) = &self.lifecycle {
+                        if fired.is_multiple_of(self.lifecycle_every) {
+                            let frontier = cursors.values().fold(start, |m, &t| m.max(t));
+                            sys.clock.advance_to(frontier);
+                            lifecycle_totals.absorb(&lc.tick_excluding(sys, &busy));
+                        }
+                    }
+
+                    // Deadline enforcement: cancel any session whose remaining
+                    // predicted work can no longer finish by its deadline —
+                    // its queued requests are dropped and its partial report
+                    // finalizes with the cancellation reason.
+                    if !deadlines_abs.is_empty() {
                         let frontier = cursors.values().fold(start, |m, &t| m.max(t));
-                        sys.clock.advance_to(frontier);
-                        lifecycle_totals.absorb(&lc.tick_excluding(sys, &busy));
+                        let doomed: Vec<u64> = deadlines_abs
+                            .iter()
+                            .filter(|&(id, &dl)| {
+                                let rem = remaining.get(id).copied().unwrap_or(0.0);
+                                rem > 0.0 && frontier + SimDuration::from_secs(rem) > dl
+                            })
+                            .map(|(&id, _)| id)
+                            .collect();
+                        for id in doomed {
+                            deadlines_abs.remove(&id);
+                            remaining.remove(&id);
+                            self.cancel_session(id, frontier, &mut queues, &mut accs);
+                            for g in gates.values_mut() {
+                                g.dirty = true;
+                            }
+                        }
+                    }
+
+                    // Backpressure retry: re-price parked programs against the
+                    // drained-down load board every few events.
+                    if !self.deferred.is_empty() && fired.is_multiple_of(DEFER_RETRY_EVERY) {
+                        let frontier = cursors.values().fold(start, |m, &t| m.max(t));
+                        self.admit_deferred(
+                            frontier,
+                            false,
+                            &mut queues,
+                            &mut cursors,
+                            &mut runs,
+                            &mut busy,
+                            &mut accs,
+                            &mut remaining,
+                            &mut deadlines_abs,
+                            &mut gates,
+                        )?;
+                    }
+                }
+
+                // Re-arm every resource with pending work and no event in
+                // flight: this step's own leftovers, and any queue a requeue
+                // just landed work on. O(resources), resources are few.
+                for (&k, q) in queues.iter() {
+                    if !q.is_empty() && !armed.contains(&k) {
+                        events.push(cursors.get(&k).copied().unwrap_or(start), k);
+                        armed.insert(k);
                     }
                 }
             }
 
-            // Re-arm every resource with pending work and no event in
-            // flight: this step's own leftovers, and any queue a requeue
-            // just landed work on. O(resources), resources are few.
+            // The event heap is empty. Give every still-parked program a
+            // final verdict — admit what fits a fully drained backlog,
+            // expire the rest — and keep draining if anything landed.
+            if self.deferred.is_empty() {
+                break 'drain;
+            }
+            let frontier = cursors.values().fold(start, |m, &t| m.max(t));
+            let admitted_any = self.admit_deferred(
+                frontier,
+                true,
+                &mut queues,
+                &mut cursors,
+                &mut runs,
+                &mut busy,
+                &mut accs,
+                &mut remaining,
+                &mut deadlines_abs,
+                &mut gates,
+            )?;
             for (&k, q) in queues.iter() {
                 if !q.is_empty() && !armed.contains(&k) {
                     events.push(cursors.get(&k).copied().unwrap_or(start), k);
                     armed.insert(k);
                 }
+            }
+            if !admitted_any {
+                break 'drain;
             }
         }
 
@@ -993,7 +1439,7 @@ impl<'a> Scheduler<'a> {
         &self,
         prefetcher: &mut Option<Prefetcher>,
         gates: &mut BTreeMap<StorageKind, PlanGate>,
-        queues: &BTreeMap<StorageKind, VecDeque<Queued>>,
+        queues: &BTreeMap<StorageKind, WfqQueue<Queued>>,
         kind: StorageKind,
         fg: SimTime,
     ) -> Option<RoundPlan> {
@@ -1062,6 +1508,7 @@ impl<'a> Scheduler<'a> {
                         completed: start,
                         requeues: 0,
                         errors: Vec::new(),
+                        cancelled: None,
                     },
                 )
             })
@@ -1085,22 +1532,29 @@ impl<'a> Scheduler<'a> {
             let mut picked: Vec<(StorageKind, Vec<Queued>)> = Vec::new();
             let mut blocked: Vec<(StorageKind, Vec<Queued>)> = Vec::new();
             for (&kind, q) in queues.iter_mut() {
+                let Some(tenant) = q.select() else { continue };
+                let lane = q.lane_mut(tenant);
                 if let Some(p) = prefetcher.as_mut() {
                     let cursor = cursors.get(&kind).copied().unwrap_or(start);
-                    let run = p.pop_staged_run(q, cursor);
+                    let run = p.pop_staged_run(lane, cursor);
                     if !run.is_empty() {
+                        q.commit(tenant, run.iter().map(|i| i.est).sum());
                         staged_served.push((kind, run));
                         continue;
                     }
                 }
-                let Some(head) = q.pop_front() else { continue };
+                let Some(head) = lane.pop_front() else {
+                    continue;
+                };
                 let mut batch = vec![head];
                 while batch.len() < MAX_CHAIN
-                    && q.front()
+                    && lane
+                        .front()
                         .is_some_and(|n| batch.last().unwrap().req.chains_with(&n.req))
                 {
-                    batch.push(q.pop_front().unwrap());
+                    batch.push(lane.pop_front().unwrap());
                 }
+                q.commit(tenant, batch.iter().map(|i| i.est).sum());
                 if self.sys.health.allows(kind) {
                     picked.push((kind, batch));
                 } else {
@@ -1228,6 +1682,13 @@ impl<'a> Scheduler<'a> {
                     let depth = self.sys.load.dequeued(kind, 1);
                     self.rec
                         .count(Layer::Sched, &comp, ops::QUEUE_DEPTH, *cursor, depth as f64);
+                    self.sys.load.backlog_dequeued(kind, q.est);
+                    let tid = self
+                        .tenants_of
+                        .get(&q.req.tag.session)
+                        .copied()
+                        .unwrap_or_default();
+                    self.sys.load.tenant_dequeued(tid, 1, q.req.bytes(), q.est);
                     self.note_served(runs[&q.req.tag.session], &q.req, *cursor, report.bytes);
                     let acc = accs.get_mut(&q.req.tag.session).expect("admitted session");
                     acc.reports.push((q.req.tag.seq, report.clone()));
@@ -1257,7 +1718,12 @@ impl<'a> Scheduler<'a> {
                 if !leftovers.is_empty() {
                     let q = queues.entry(kind).or_default();
                     for item in leftovers.into_iter().rev() {
-                        q.push_front(item);
+                        let tid = self
+                            .tenants_of
+                            .get(&item.req.tag.session)
+                            .copied()
+                            .unwrap_or_default();
+                        q.push_front(tid, item);
                     }
                 }
             }
@@ -1299,6 +1765,13 @@ impl<'a> Scheduler<'a> {
                     if let Some(p) = prefetcher.as_mut() {
                         p.note_foreground(&self.rec, kind, &q.req, *cursor);
                     }
+                    self.sys.load.backlog_dequeued(kind, q.est);
+                    let tid = self
+                        .tenants_of
+                        .get(&q.req.tag.session)
+                        .copied()
+                        .unwrap_or_default();
+                    self.sys.load.tenant_dequeued(tid, 1, q.req.bytes(), q.est);
                     self.note_served(runs[&q.req.tag.session], &q.req, *cursor, report.bytes);
                     let acc = accs.get_mut(&q.req.tag.session).expect("admitted session");
                     acc.reports.push((q.req.tag.seq, report.clone()));
@@ -1389,6 +1862,7 @@ impl<'a> Scheduler<'a> {
         self.sys.clock.advance_to(end);
 
         let mut sessions = Vec::new();
+        let mut session_tenants = Vec::new();
         let mut total_bytes = 0u64;
         for a in std::mem::take(&mut self.admitted) {
             let mut acc = accs.remove(&a.id).expect("accumulator per session");
@@ -1403,6 +1877,19 @@ impl<'a> Scheduler<'a> {
                 wait_time += c.wait;
                 io_time += c.io;
             }
+            // p99 queue wait: the tail-latency figure tenant SLOs are
+            // judged against. Sorted with total_cmp so the pick is
+            // deterministic for every float pattern.
+            let wait_p99 = {
+                let mut waits: Vec<f64> = acc.contribs.iter().map(|c| c.wait.as_secs()).collect();
+                waits.sort_by(|x, y| x.total_cmp(y));
+                if waits.is_empty() {
+                    SimDuration::ZERO
+                } else {
+                    let idx = ((waits.len() as f64 * 0.99).ceil() as usize).clamp(1, waits.len());
+                    SimDuration::from_secs(waits[idx - 1])
+                }
+            };
             let fin = a.session.finalize()?;
             // Range over this session's keys only: a full-map filter here
             // is O(sessions²) across the finalize loop, which a 10k-fleet
@@ -1413,6 +1900,12 @@ impl<'a> Scheduler<'a> {
                 .map(|((_, name), &kind)| (name.clone(), kind))
                 .collect();
             total_bytes += acc.bytes;
+            let tenant = self
+                .tenant_names
+                .get(&a.tenant)
+                .cloned()
+                .unwrap_or_else(|| a.tenant.to_string());
+            session_tenants.push(a.tenant);
             sessions.push(SessionReport {
                 session: a.id,
                 app: a.app,
@@ -1427,8 +1920,37 @@ impl<'a> Scheduler<'a> {
                 requeues: acc.requeues,
                 errors: acc.errors,
                 reports: acc.reports.into_iter().map(|(_, r)| r).collect(),
+                tenant,
+                wait_p99,
+                cancelled: acc.cancelled,
             });
         }
+
+        // Per-tenant rollup: session totals plus the overload counters, in
+        // tenant-id order (deterministic across engines and thread counts).
+        let mut tmap: BTreeMap<TenantId, TenantReport> = BTreeMap::new();
+        for (&tid, c) in &self.tcounts {
+            let e = tmap.entry(tid).or_default();
+            e.shed = c.shed;
+            e.deferred = c.deferred;
+            e.expired = c.expired;
+            e.cancelled = c.cancelled;
+        }
+        for (tid, s) in session_tenants.iter().zip(&sessions) {
+            let e = tmap.entry(*tid).or_default();
+            e.sessions += 1;
+            e.requests += s.requests;
+            e.bytes += s.bytes;
+            e.wait_p99 = e.wait_p99.max(s.wait_p99);
+        }
+        for (tid, e) in &mut tmap {
+            e.tenant = self
+                .tenant_names
+                .get(tid)
+                .cloned()
+                .unwrap_or_else(|| tid.to_string());
+        }
+        let tenants: Vec<TenantReport> = tmap.into_values().collect();
 
         let makespan = self.sys.clock.now().since(start);
         let throughput_mb_s = if makespan > SimDuration::ZERO {
@@ -1452,16 +1974,20 @@ impl<'a> Scheduler<'a> {
             prefetch_waste,
             prefetch_declined,
             lifecycle: totals.lifecycle,
+            tenants,
         })
     }
 
-    /// Deal every admitted session's requests into per-resource FIFO
-    /// queues, round-robin across sessions at chain granularity: each turn
-    /// takes one batchable run (same dataset, consecutive seqs, at most
-    /// [`MAX_CHAIN`]) from each session, so no client's backlog buries
-    /// another's.
-    fn build_queues(&mut self, submitted: SimTime) -> BTreeMap<StorageKind, VecDeque<Queued>> {
-        let mut queues: BTreeMap<StorageKind, VecDeque<Queued>> = BTreeMap::new();
+    /// Deal every admitted session's requests into per-resource weighted-
+    /// fair queues, round-robin across sessions at chain granularity: each
+    /// turn takes one batchable run (same dataset, consecutive seqs, at
+    /// most [`MAX_CHAIN`]) from each session, so no client's backlog
+    /// buries another's. Within a resource, each tenant's requests land on
+    /// its own [`WfqQueue`] lane, priced with the eq. (2) estimator — the
+    /// start-time-fair virtual clock arbitrates between lanes at dispatch.
+    fn build_queues(&mut self, submitted: SimTime) -> BTreeMap<StorageKind, WfqQueue<Queued>> {
+        let sys = self.sys;
+        let mut queues: BTreeMap<StorageKind, WfqQueue<Queued>> = BTreeMap::new();
         loop {
             let mut any = false;
             for a in &mut self.admitted {
@@ -1481,12 +2007,21 @@ impl<'a> Scheduler<'a> {
                 // is a single lookup, not one per request.
                 let kind = self.locations[&(a.id, chain[0].dataset.clone())];
                 let q = queues.entry(kind).or_default();
+                q.set_weight(
+                    a.tenant,
+                    self.weights.get(&a.tenant).copied().unwrap_or(1.0),
+                );
                 for req in chain {
-                    q.push_back(Queued {
-                        req,
-                        submitted,
-                        attempts: 0,
-                    });
+                    let est = self.estimator.cost(sys, kind, &req);
+                    q.push_back(
+                        a.tenant,
+                        Queued {
+                            req,
+                            submitted,
+                            attempts: 0,
+                            est,
+                        },
+                    );
                 }
             }
             if !any {
@@ -1494,6 +2029,207 @@ impl<'a> Scheduler<'a> {
             }
         }
         queues
+    }
+
+    /// Deal one just-admitted session's requests into the live queues
+    /// (mid-drain admission from the backpressure queue). The session's
+    /// chains keep program order; fairness against the sessions already
+    /// draining comes from the WFQ lanes, not the deal. Returns the
+    /// session's total predicted service seconds and the resources it
+    /// landed on.
+    fn deal_session_requests(
+        &mut self,
+        idx: usize,
+        submitted: SimTime,
+        queues: &mut BTreeMap<StorageKind, WfqQueue<Queued>>,
+    ) -> (f64, BTreeSet<StorageKind>) {
+        let sys = self.sys;
+        let a = &mut self.admitted[idx];
+        let weight = self.weights.get(&a.tenant).copied().unwrap_or(1.0);
+        let mut total = 0.0f64;
+        let mut kinds = BTreeSet::new();
+        while let Some(first) = a.requests.pop_front() {
+            let mut chain = vec![first];
+            while chain.len() < MAX_CHAIN
+                && a.requests
+                    .front()
+                    .is_some_and(|n| chain.last().unwrap().chains_with(n))
+            {
+                chain.push(a.requests.pop_front().unwrap());
+            }
+            let kind = self.locations[&(a.id, chain[0].dataset.clone())];
+            kinds.insert(kind);
+            let q = queues.entry(kind).or_default();
+            q.set_weight(a.tenant, weight);
+            for req in chain {
+                let est = self.estimator.cost(sys, kind, &req);
+                total += est;
+                q.push_back(
+                    a.tenant,
+                    Queued {
+                        req,
+                        submitted,
+                        attempts: 0,
+                        est,
+                    },
+                );
+            }
+        }
+        (total, kinds)
+    }
+
+    /// Cancel an admitted session mid-drain: everything it still has
+    /// queued is removed (load-board depth, predicted backlog and tenant
+    /// ledgers all released), its accumulator is marked cancelled and the
+    /// cancellation counts against its tenant. Requests already served
+    /// stay accounted — the session's report finalizes partial.
+    fn cancel_session(
+        &mut self,
+        id: u64,
+        at: SimTime,
+        queues: &mut BTreeMap<StorageKind, WfqQueue<Queued>>,
+        accs: &mut BTreeMap<u64, Acc>,
+    ) {
+        let tid = self.tenants_of.get(&id).copied().unwrap_or_default();
+        let mut dropped = 0usize;
+        for (&kind, q) in queues.iter_mut() {
+            let removed = q.drain_matching(|item| item.req.tag.session == id);
+            if removed.is_empty() {
+                continue;
+            }
+            let depth = self.sys.load.dequeued(kind, removed.len());
+            self.rec.count(
+                Layer::Sched,
+                &kind.to_string(),
+                ops::QUEUE_DEPTH,
+                at,
+                depth as f64,
+            );
+            for item in &removed {
+                self.sys.load.backlog_dequeued(kind, item.est);
+                self.sys
+                    .load
+                    .tenant_dequeued(tid, 1, item.req.bytes(), item.est);
+            }
+            dropped += removed.len();
+        }
+        let reason = format!("deadline unreachable: {dropped} queued requests dropped");
+        if let Some(acc) = accs.get_mut(&id) {
+            acc.cancelled = Some(reason.clone());
+        }
+        self.tcounts.entry(tid).or_default().cancelled += 1;
+        let app = self
+            .admitted
+            .iter()
+            .find(|a| a.id == id)
+            .map(|a| a.app.clone())
+            .unwrap_or_default();
+        self.rec
+            .instant(Layer::Sched, &app, ops::SESSION_CANCEL, at, &reason);
+    }
+
+    /// One pass over the backpressure queue: expire programs whose TTL
+    /// elapsed, re-run the admission gate on the rest, and deal whatever
+    /// now fits into the live queues (admitted at `now`). With `force`
+    /// (the event heap just emptied) every program gets a final verdict —
+    /// admit or expire — so the drain always terminates. Returns whether
+    /// anything was admitted.
+    #[allow(clippy::too_many_arguments)]
+    fn admit_deferred(
+        &mut self,
+        now: SimTime,
+        force: bool,
+        queues: &mut BTreeMap<StorageKind, WfqQueue<Queued>>,
+        cursors: &mut BTreeMap<StorageKind, SimTime>,
+        runs: &mut BTreeMap<u64, RunId>,
+        busy: &mut BTreeSet<RunId>,
+        accs: &mut BTreeMap<u64, Acc>,
+        remaining: &mut BTreeMap<u64, f64>,
+        deadlines_abs: &mut BTreeMap<u64, SimTime>,
+        gates: &mut BTreeMap<StorageKind, PlanGate>,
+    ) -> CoreResult<bool> {
+        let mut any = false;
+        let parked = std::mem::take(&mut self.deferred);
+        for d in parked {
+            let tenant_name = self
+                .tenant_names
+                .get(&d.tenant)
+                .cloned()
+                .unwrap_or_default();
+            if now > d.expires {
+                self.expire(d.tenant, &tenant_name, &d.program.app, now, "ttl elapsed");
+                continue;
+            }
+            let Some(tenant) = self.sys.tenants.get(d.tenant) else {
+                self.expire(
+                    d.tenant,
+                    &tenant_name,
+                    &d.program.app,
+                    now,
+                    "tenant unregistered",
+                );
+                continue;
+            };
+            match self.admission_gate(&d.program, d.tenant, &tenant)? {
+                GateVerdict::Admit => {
+                    let deadline = d.program.deadline;
+                    let id = self.open_and_expand(d.program, d.tenant)?;
+                    let (est, kinds) = self.deal_session_requests(id as usize, now, queues);
+                    // A resource that was idle (cursor behind the frontier)
+                    // cannot have served this work before it arrived.
+                    for kind in kinds {
+                        let c = cursors.entry(kind).or_insert(now);
+                        *c = (*c).max(now);
+                    }
+                    let a = self.admitted.last().expect("just admitted");
+                    runs.insert(id, a.run);
+                    busy.insert(a.run);
+                    accs.insert(
+                        id,
+                        Acc {
+                            reports: Vec::new(),
+                            contribs: Vec::new(),
+                            bytes: 0,
+                            completed: now,
+                            requeues: 0,
+                            errors: Vec::new(),
+                            cancelled: None,
+                        },
+                    );
+                    if let Some(dl) = deadline {
+                        remaining.insert(id, est);
+                        deadlines_abs.insert(id, now + dl);
+                    }
+                    for g in gates.values_mut() {
+                        g.dirty = true;
+                    }
+                    any = true;
+                }
+                _ if force => {
+                    self.expire(
+                        d.tenant,
+                        &tenant_name,
+                        &d.program.app,
+                        now,
+                        "still over limits with queues drained",
+                    );
+                }
+                _ => self.deferred.push_back(d),
+            }
+        }
+        Ok(any)
+    }
+
+    /// Count and record one deferred program dropped unadmitted.
+    fn expire(&mut self, tid: TenantId, tenant: &str, app: &str, at: SimTime, why: &str) {
+        self.tcounts.entry(tid).or_default().expired += 1;
+        self.rec.instant(
+            Layer::Sched,
+            tenant,
+            ops::ADMIT_EXPIRE,
+            at,
+            &format!("{app}: {why}"),
+        );
     }
 
     /// Move a failed (or breaker-blocked) batch — and everything else the
@@ -1506,7 +2242,7 @@ impl<'a> Scheduler<'a> {
         from: StorageKind,
         mut items: Vec<Queued>,
         reason: &str,
-        queues: &mut BTreeMap<StorageKind, VecDeque<Queued>>,
+        queues: &mut BTreeMap<StorageKind, WfqQueue<Queued>>,
         accs: &mut BTreeMap<u64, Acc>,
     ) {
         let keys: BTreeSet<(u64, String)> = items
@@ -1516,15 +2252,9 @@ impl<'a> Scheduler<'a> {
         // Drag along the dataset's later requests still waiting on `from`,
         // preserving their order behind the failed batch.
         if let Some(q) = queues.get_mut(&from) {
-            let mut rest = VecDeque::new();
-            while let Some(item) = q.pop_front() {
-                if keys.contains(&(item.req.tag.session, item.req.dataset.clone())) {
-                    items.push(item);
-                } else {
-                    rest.push_back(item);
-                }
-            }
-            *q = rest;
+            items.extend(q.drain_matching(|item| {
+                keys.contains(&(item.req.tag.session, item.req.dataset.clone()))
+            }));
         }
 
         for key in keys {
@@ -1542,6 +2272,7 @@ impl<'a> Scheduler<'a> {
                 items = rest;
                 moved
             };
+            let tid = self.tenants_of.get(&key.0).copied().unwrap_or_default();
             let bytes: u64 = moved.iter().map(|q| q.req.bytes()).sum();
             let next = placement::fallback(self.sys, spec, bytes, Some(from))
                 .ok()
@@ -1566,11 +2297,15 @@ impl<'a> Scheduler<'a> {
                     acc.requeues += n as u32;
                     self.sys.load.dequeued(from, n);
                     self.sys.load.enqueued(to, n);
+                    let weight = self.weights.get(&tid).copied().unwrap_or(1.0);
                     let target = queues.entry(to).or_default();
+                    target.set_weight(tid, weight);
                     for mut q in moved {
+                        self.sys.load.backlog_dequeued(from, q.est);
                         q.attempts += 1;
                         if q.attempts >= MAX_ATTEMPTS {
                             self.sys.load.dequeued(to, 1);
+                            self.sys.load.tenant_dequeued(tid, 1, q.req.bytes(), q.est);
                             accs.get_mut(&key.0)
                                 .expect("admitted session")
                                 .errors
@@ -1579,7 +2314,15 @@ impl<'a> Scheduler<'a> {
                                     q.req.tag, q.attempts
                                 ));
                         } else {
-                            target.push_back(q);
+                            // Re-price on the fallback resource: the
+                            // backlog and tenant predicted-seconds ledgers
+                            // track where the work now queues.
+                            let est = self.estimator.cost(self.sys, to, &q.req);
+                            self.sys.load.backlog_enqueued(to, est);
+                            self.sys.load.tenant_dequeued(tid, 0, 0, q.est);
+                            self.sys.load.tenant_enqueued(tid, 0, 0, est);
+                            q.est = est;
+                            target.push_back(tid, q);
                         }
                     }
                 }
@@ -1587,6 +2330,8 @@ impl<'a> Scheduler<'a> {
                     self.sys.load.dequeued(from, moved.len());
                     let acc = accs.get_mut(&key.0).expect("admitted session");
                     for q in moved {
+                        self.sys.load.backlog_dequeued(from, q.est);
+                        self.sys.load.tenant_dequeued(tid, 1, q.req.bytes(), q.est);
                         acc.errors
                             .push(format!("{}: no usable resource ({reason})", q.req.tag));
                     }

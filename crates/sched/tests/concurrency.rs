@@ -201,7 +201,7 @@ fn outage_mid_drain_requeues_to_fallback() {
     let sys = MsrSystem::testbed(13);
     let mut sched = Scheduler::new(&sys);
     // Archive data defaults to tape when the predictor is empty.
-    let id = sched.admit(astro_program(0)).unwrap();
+    let id = sched.admit(astro_program(0)).unwrap().expect("admitted");
     assert_eq!(id, 0);
     sys.set_resource_online(StorageKind::RemoteTape, false);
     let report = sched.run().unwrap();
@@ -349,7 +349,7 @@ fn readback_roundtrips_through_the_catalog() {
         .iterations(12)
         .dataset(spec.clone())
         .readback(true);
-    let id = sched.admit(program).unwrap();
+    let id = sched.admit(program).unwrap().expect("admitted");
     let report = sched.run().unwrap();
     let s = &report.sessions[0];
     assert!(s.errors.is_empty());

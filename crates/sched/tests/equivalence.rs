@@ -137,6 +137,96 @@ fn event_engine_matches_round_engine_on_consumer_fleets() {
     assert_engines_agree(consumer_fleet, "consumer");
 }
 
+/// Weighted-fair dispatch does not break engine equivalence: a fleet of
+/// tenant-tagged programs with distinct weights drains to byte-identical
+/// `SchedReport`s (tenant rows included) under the event engine and the
+/// frozen round engine, at any worker-pool width.
+#[test]
+fn weighted_tenants_preserve_engine_equivalence() {
+    let drain = |event: bool, threads: usize| {
+        rayon::pool::with_threads(threads, || {
+            let sys = MsrSystem::testbed(2100);
+            sys.tenants
+                .register(msr_core::Tenant::new("sim").with_weight(8.0));
+            sys.tenants
+                .register(msr_core::Tenant::new("viz").with_weight(2.0));
+            let mut sched = Scheduler::new(&sys).with_prefetch(true);
+            for i in 0..6 {
+                let p = if i % 2 == 0 {
+                    astro(i).tenant("sim")
+                } else {
+                    volren(i).tenant("viz")
+                };
+                sched.admit(p).unwrap();
+            }
+            let report = if event {
+                sched.run().unwrap()
+            } else {
+                sched.run_round_based().unwrap()
+            };
+            serde_json::to_string(&report).unwrap()
+        })
+    };
+    let round = drain(false, 4);
+    assert_eq!(
+        drain(true, 4),
+        round,
+        "WFQ event engine diverged from round engine"
+    );
+    assert_eq!(
+        drain(true, 1),
+        round,
+        "WFQ event engine diverged at MSR_THREADS=1"
+    );
+}
+
+/// The full admission-control stack — quotas, SLO pricing, deferral and
+/// deadlines — stays bitwise deterministic across worker-pool widths
+/// under the event engine.
+#[test]
+fn admission_control_drains_are_thread_count_independent() {
+    let drain = || {
+        let sys = MsrSystem::testbed(2200);
+        sys.tenants
+            .register(msr_core::Tenant::new("sim").with_weight(8.0).with_quota(
+                msr_core::TenantQuota {
+                    max_queued_requests: Some(64),
+                    ..msr_core::TenantQuota::default()
+                },
+            ));
+        sys.tenants.register(
+            msr_core::Tenant::new("viz")
+                .with_slo(msr_sim::SimDuration::from_secs(1e-3))
+                .with_overload(msr_core::OverloadPolicy::Defer {
+                    max_deferred: 4,
+                    ttl: msr_sim::SimDuration::from_secs(1e9),
+                }),
+        );
+        let mut sched = Scheduler::new(&sys).with_prefetch(true);
+        for i in 0..4 {
+            sched.admit(astro(i).tenant("sim")).unwrap();
+        }
+        for i in 0..2 {
+            // Over-SLO behind the astro backlog: parks, admitted later.
+            sched.admit(volren(i).tenant("viz")).unwrap();
+        }
+        sched
+            .admit(
+                astro(9)
+                    .tenant("sim")
+                    .deadline(msr_sim::SimDuration::from_secs(1e-6)),
+            )
+            .unwrap();
+        serde_json::to_string(&sched.run().unwrap()).unwrap()
+    };
+    let wide = rayon::pool::with_threads(4, drain);
+    let narrow = rayon::pool::with_threads(1, drain);
+    assert_eq!(
+        wide, narrow,
+        "admission-control drain must not depend on MSR_THREADS"
+    );
+}
+
 /// Chaos drain: tape goes dark after admission placed archives on it. The
 /// event engine must requeue every stranded request to the fallback
 /// resource (no session-visible errors), update the catalog, and produce

@@ -1,0 +1,167 @@
+//! Outage regression suite for the discrete-event dispatcher.
+//!
+//! PR 7 replaced the round loop with a binary heap of resource-completion
+//! events. An outaged resource must *park* — its queue drains to the
+//! fallback through the circuit-open branch and its cursor simply stops
+//! receiving events — never *wedge* the heap with a `SimTime::INFINITY`
+//! completion that would stall the drain forever. These tests hold the
+//! engine to that contract under the harshest shapes: a resource dark for
+//! the entire drain, an outage landing mid-drain, and every resource dark
+//! at once (nothing left to fail over to).
+
+use msr_core::{DatasetSpec, FutureUse, LocationHint, MsrSystem};
+use msr_meta::ElementType;
+use msr_sched::{Scheduler, SessionProgram};
+use msr_sim::SimDuration;
+use msr_storage::StorageKind;
+
+/// Tape-bound archival producer (archive data defaults to tape when the
+/// predictor is empty).
+fn archive_program(i: usize) -> SessionProgram {
+    SessionProgram::new(&format!("archive-{i:02}"))
+        .user("sim")
+        .iterations(24)
+        .dataset(
+            DatasetSpec::builder("hist")
+                .element(ElementType::F32)
+                .cube(16)
+                .frequency(6)
+                .future_use(FutureUse::Archive)
+                .build(),
+        )
+}
+
+/// A resource that is dark for the *whole* drain parks: every stranded
+/// request re-queues to the fallback, the drain terminates with a finite
+/// makespan, and no request is lost or wedged on the dead resource.
+#[test]
+fn whole_drain_outage_parks_and_drains_to_fallback() {
+    let sys = MsrSystem::testbed(71);
+    let mut sched = Scheduler::new(&sys);
+    for i in 0..3 {
+        sched.admit(archive_program(i)).unwrap();
+    }
+    sys.set_resource_online(StorageKind::RemoteTape, false);
+    let report = sched.run().expect("drain must terminate, not wedge");
+    assert!(report.makespan > SimDuration::ZERO);
+    assert!(report.makespan.as_secs().is_finite(), "wedged makespan");
+    let requeues: u32 = report.sessions.iter().map(|s| s.requeues).sum();
+    assert!(requeues > 0, "tape work must have moved to the fallback");
+    for s in &report.sessions {
+        assert!(s.errors.is_empty(), "failover must stay transparent");
+        assert_eq!(
+            s.reports.len() as u64,
+            s.requests,
+            "every request must be served exactly once"
+        );
+        assert_ne!(
+            s.placements["hist"],
+            StorageKind::RemoteTape,
+            "nothing may remain placed on the dead resource"
+        );
+    }
+}
+
+/// The outage drives the *failure path*, not just the planner pre-check:
+/// the breaker starts closed, the first dispatches to the dark resource
+/// fail, the circuit opens after the threshold, and from then on the
+/// circuit-open branch drains the queue to fallback. The drain stays
+/// bounded — a parked resource must not stall it past a small multiple of
+/// the healthy makespan.
+#[test]
+fn outage_failures_trip_the_breaker_and_stay_bounded() {
+    // Baseline: how long the healthy drain runs.
+    let healthy = {
+        let sys = MsrSystem::testbed(72);
+        let mut sched = Scheduler::new(&sys);
+        for i in 0..3 {
+            sched.admit(archive_program(i)).unwrap();
+        }
+        sched.run().unwrap().makespan
+    };
+
+    let sys = MsrSystem::testbed(72);
+    let mut sched = Scheduler::new(&sys);
+    for i in 0..3 {
+        sched.admit(archive_program(i)).unwrap();
+    }
+    sys.set_resource_online(StorageKind::RemoteTape, false);
+    let report = sched.run().expect("outage must not wedge");
+    assert!(report.makespan.as_secs().is_finite());
+    assert!(
+        report.makespan < healthy + healthy + healthy,
+        "parked resource must not stall the drain: {} vs healthy {}",
+        report.makespan,
+        healthy
+    );
+    let served: u64 = report.sessions.iter().map(|s| s.requests).sum();
+    let errors: usize = report.sessions.iter().map(|s| s.errors.len()).sum();
+    assert!(served > 0);
+    assert_eq!(errors, 0, "fallback capacity was available");
+    // The breaker actually opened: requeue markers name the circuit.
+    assert!(
+        sys.health.total_counters().trips > 0,
+        "offline dispatch failures must trip the breaker"
+    );
+}
+
+/// Every resource dark at once: nothing to fail over to. The drain must
+/// still terminate — every request surfaces as a typed per-request error
+/// in the session report instead of wedging the event heap.
+#[test]
+fn total_outage_terminates_with_typed_errors() {
+    let sys = MsrSystem::testbed(73);
+    let mut sched = Scheduler::new(&sys);
+    let id = sched
+        .admit(
+            SessionProgram::new("doomed").iterations(12).dataset(
+                DatasetSpec::builder("d")
+                    .element(ElementType::U8)
+                    .cube(8)
+                    .frequency(6)
+                    .hint(LocationHint::LocalDisk)
+                    .build(),
+            ),
+        )
+        .unwrap()
+        .expect("admitted");
+    for kind in [
+        StorageKind::LocalDisk,
+        StorageKind::RemoteDisk,
+        StorageKind::RemoteTape,
+    ] {
+        sys.set_resource_online(kind, false);
+    }
+    let report = sched.run().expect("total outage must terminate");
+    let s = &report.sessions[id as usize];
+    assert!(report.makespan.as_secs().is_finite());
+    // Every queued request is accounted for: served (none can be) or
+    // abandoned with a typed reason. Nothing silently vanishes.
+    assert_eq!(s.requests, 0, "no resource could serve anything");
+    assert!(
+        !s.errors.is_empty(),
+        "abandoned requests must surface as typed errors"
+    );
+    assert!(s
+        .errors
+        .iter()
+        .all(|e| e.contains("gave up") || e.contains("no usable resource")));
+}
+
+/// The outage drain replays bitwise at any worker-pool width — parking a
+/// resource must not introduce thread-count-dependent interleavings.
+#[test]
+fn outage_drains_replay_across_thread_counts() {
+    let run = || {
+        let sys = MsrSystem::testbed(74);
+        let mut sched = Scheduler::new(&sys);
+        for i in 0..3 {
+            sched.admit(archive_program(i)).unwrap();
+        }
+        sys.set_resource_online(StorageKind::RemoteTape, false);
+        serde_json::to_string(&sched.run().unwrap()).unwrap()
+    };
+    let wide = rayon::pool::with_threads(4, run);
+    let narrow = rayon::pool::with_threads(1, run);
+    assert_eq!(wide, narrow, "outage drain must not depend on MSR_THREADS");
+}

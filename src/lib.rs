@@ -55,7 +55,8 @@ pub use msr_storage as storage;
 pub mod prelude {
     pub use msr_apps::analysis::run_analysis;
     pub use msr_apps::multi::{
-        checkpoint_fleet, checkpoint_producer, client_fleet, run_concurrent, run_sequential,
+        batch_fleet, checkpoint_fleet, checkpoint_producer, client_fleet, noisy_fleet, quiet_fleet,
+        register_antagonist_tenants, run_concurrent, run_overloaded, run_sequential, strip_tenants,
         ClientKind,
     };
     pub use msr_apps::volren::{run_volren, run_volren_superfile};
@@ -66,7 +67,8 @@ pub mod prelude {
     pub use msr_core::{
         classify, BreakerState, CoreError, CoreResult, DatasetSpec, DatasetSpecBuilder, ErrorClass,
         FutureUse, HealthCounters, HealthTracker, LoadBoard, LocationHint, MsrSystem,
-        PlacementPolicy, RunReport, Session, SessionBuilder,
+        OverloadPolicy, PlacementPolicy, RunReport, Session, SessionBuilder, Tenant, TenantId,
+        TenantQuota, TenantRegistry,
     };
     pub use msr_lifecycle::{
         tier_down, tier_up, LifecycleConfig, LifecycleEngine, RetentionPolicy, TickReport,
@@ -76,7 +78,7 @@ pub mod prelude {
     pub use msr_obs::{chrome_trace, jsonl, Layer, MetricsSnapshot, Recorder, Registry};
     pub use msr_predict::{compare, PTool, PerfDbFeeder, Predictor};
     pub use msr_runtime::{Dims3, IoStrategy, Pattern, ProcGrid, RetryPolicy, Superfile};
-    pub use msr_sched::{SchedReport, Scheduler, SessionProgram, SessionReport};
+    pub use msr_sched::{SchedReport, Scheduler, SessionProgram, SessionReport, TenantReport};
     pub use msr_sim::SimDuration;
     pub use msr_storage::{FaultKind, FaultLog, FaultPlan, OpKind, OpenMode, StorageKind};
 }

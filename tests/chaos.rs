@@ -230,6 +230,104 @@ fn chaos_grid_seed_404() {
     chaos_grid(404);
 }
 
+/// Chaos × scheduler: the discrete-event engine with lifecycle ticks AND
+/// prediction-driven prefetch enabled *together*, over a faulty archive
+/// resource. The two between-event subsystems must compose: every request
+/// is served exactly once or surfaces as a typed error, the lifecycle
+/// engine ticks, the prefetcher actually considers work, and the whole
+/// drain replays bitwise at any worker-pool width.
+#[test]
+fn event_engine_runs_lifecycle_and_prefetch_together_under_chaos() {
+    let run = || {
+        let mut sys = MsrSystem::testbed(606);
+        let log = sys
+            .inject_faults(
+                StorageKind::RemoteTape,
+                FaultPlan::none()
+                    .with_error_prob(0.05)
+                    .with_spikes(0.05, 4.0),
+            )
+            .expect("tape registered");
+        let engine = LifecycleEngine::new(LifecycleConfig {
+            demote_after: SimDuration::from_secs(600.0),
+            vault_after: SimDuration::from_secs(1e9),
+            promote_heat: u64::MAX,
+            retention: RetentionPolicy::keep_all().with_keep_last(2),
+            ..LifecycleConfig::default()
+        });
+        let mut sched = Scheduler::new(&sys)
+            .with_prefetch(true)
+            .with_lifecycle(engine)
+            .lifecycle_every(2);
+        for i in 0..4 {
+            sched
+                .admit(
+                    SessionProgram::new(&format!("archive-{i:02}"))
+                        .user("post")
+                        .iterations(24)
+                        .dataset(
+                            DatasetSpec::builder("hist")
+                                .element(ElementType::F32)
+                                .cube(16)
+                                .frequency(6)
+                                .future_use(FutureUse::Archive)
+                                .build(),
+                        )
+                        .readbacks(3),
+                )
+                .unwrap();
+        }
+        let report = sched.run().expect("chaos drain must terminate");
+        let retries = sys
+            .obs
+            .events()
+            .iter()
+            .filter(|e| e.op == ops::RETRY)
+            .count();
+        (report, log.errors_injected(), retries)
+    };
+    let (report, injected, retries) = run();
+    assert!(report.makespan.as_secs().is_finite());
+    for s in &report.sessions {
+        assert_eq!(
+            s.reports.len() as u64,
+            s.requests,
+            "served exactly once: session {}",
+            s.session
+        );
+        for e in &s.errors {
+            assert!(
+                e.contains("gave up") || e.contains("no usable resource"),
+                "untyped abandonment: {e}"
+            );
+        }
+    }
+    assert!(report.lifecycle.ticks > 0, "lifecycle must tick mid-drain");
+    assert!(
+        report.prefetched + report.prefetch_declined > 0,
+        "readback chains must reach the prefetcher"
+    );
+    if injected > 0 {
+        // Every injected fault was either absorbed by an engine-level
+        // retry, moved to the fallback by a scheduler requeue, or
+        // abandoned as a typed error — never silently lost.
+        let requeues: u32 = report.sessions.iter().map(|s| s.requeues).sum();
+        let errors: usize = report.sessions.iter().map(|s| s.errors.len()).sum();
+        assert!(
+            retries + requeues as usize + errors > 0,
+            "{injected} injected faults left no trace in the report or obs stream"
+        );
+    }
+
+    // Bitwise replay at both pool widths, subsystems both enabled.
+    let narrow = rayon::pool::with_threads(1, || serde_json::to_string(&run().0).unwrap());
+    let wide = rayon::pool::with_threads(4, || serde_json::to_string(&run().0).unwrap());
+    assert_eq!(
+        narrow, wide,
+        "lifecycle+prefetch chaos drain must not depend on MSR_THREADS"
+    );
+}
+
 /// Same seed, same grid cell → bitwise-identical fault log and run
 /// report: the whole chaos pipeline replays deterministically.
 #[test]
