@@ -160,6 +160,39 @@ pub fn checkpoint_fleet(n: usize, cube: u64, iterations: u32) -> Vec<SessionProg
         .collect()
 }
 
+/// A WAN-bound checkpoint producer: the same every-3-iterations `chk`
+/// dumps as [`checkpoint_producer`], but pinned to the remote disk and —
+/// when `chunked` — ingested through the content-addressed chunk plane
+/// (CDC boundaries, LZ-style compression). Successive dumps share most of
+/// their bytes, so the chunked variant ships only each iteration's churn
+/// window across the WAN; the raw variant re-ships every byte. The pair
+/// the `BENCH_dedup` ledger compares.
+pub fn dedup_producer(index: usize, cube: u64, iterations: u32, chunked: bool) -> SessionProgram {
+    let mut spec = DatasetSpec::builder("chk")
+        .element(ElementType::F32)
+        .cube(cube)
+        .frequency(3)
+        .hint(msr_core::LocationHint::RemoteDisk)
+        .future_use(FutureUse::Checkpoint);
+    if chunked {
+        spec = spec
+            .chunked(msr_core::ChunkPolicy::cdc(8))
+            .compression(msr_core::Codec::Lz4Like(1));
+    }
+    SessionProgram::new(&format!("ckpt-{index:02}"))
+        .user("sim")
+        .iterations(iterations)
+        .dataset(spec.build())
+}
+
+/// A deterministic fleet of `n` WAN-bound checkpoint producers, raw or
+/// chunked (see [`dedup_producer`]).
+pub fn dedup_fleet(n: usize, cube: u64, iterations: u32, chunked: bool) -> Vec<SessionProgram> {
+    (0..n)
+        .map(|i| dedup_producer(i, cube, iterations, chunked))
+        .collect()
+}
+
 /// The latency-sensitive tenant of the antagonist mix: `n` small-dump
 /// clients (u8 cubes, every iteration) pinned to local disk, tagged
 /// `"quiet"`. The tenant whose tail latency the overload machinery is

@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! repro [--quick] [--seed N] [--bench-json] [--sched-json]
-//!       [--prefetch-json] [--lifecycle-json] [--tenant-json] <experiment>...
+//!       [--prefetch-json] [--lifecycle-json] [--tenant-json]
+//!       [--dedup-json] <experiment>...
 //! experiments: table1 fig6 fig7 fig8 fig9 fig10a fig10b fig10c fig11
 //!              example42 failover ablations sched prefetch lifecycle
-//!              tenant all
+//!              tenant dedup all
 //! ```
 //!
 //! `--quick` runs the Astro3D experiments at 32³/24 iterations instead of
@@ -37,6 +38,11 @@
 //! eq. (2)-priced admission) and writes the quiet tenant's p99 bound and
 //! the per-tenant shed/deferred/cancelled counters to
 //! `BENCH_tenant.json`.
+//!
+//! `--dedup-json` drains the WAN-bound checkpoint producer fleet raw vs
+//! content-addressed-chunked and writes the bytes-moved comparison (the
+//! ≥ 3× WAN reduction claim, store occupancy, learned delta ratio) to
+//! `BENCH_dedup.json`.
 
 use msr_bench::experiments::Scale;
 use msr_bench::*;
@@ -423,6 +429,53 @@ fn run_tenant_json(scale: Scale, seed: u64) {
     println!("\nwrote BENCH_tenant.json");
 }
 
+fn run_dedup(scale: Scale, seed: u64) -> DedupPoint {
+    banner("DEDUP - WAN-bound checkpoints, raw vs content-addressed chunks");
+    let p = dedup_checkpoints(scale, seed);
+    println!(
+        "{} producers x {} dumps of {}^3 f32 ({} logical bytes over the WAN)",
+        p.sessions, p.dumps_per_session, p.cube, p.logical_bytes
+    );
+    println!(
+        "wan bytes: raw {:>12}   chunked {:>12}   ({:.1}x less moved)",
+        p.raw_wan_bytes, p.chunked_wan_bytes, p.wan_reduction
+    );
+    println!(
+        "store: {} chunks, {} physical bytes ({} dedup hits / {} inserts)",
+        p.store_chunks, p.store_physical_bytes, p.dedup_hits, p.inserts
+    );
+    println!(
+        "learned moved/logical ratio: {:.3}   wall clock: raw {:.3}s chunked {:.3}s",
+        p.learned_ratio, p.raw_wall_s, p.chunked_wall_s
+    );
+    p
+}
+
+#[derive(serde::Serialize)]
+struct DedupLedger {
+    scale: String,
+    seed: u64,
+    point: DedupPoint,
+}
+
+/// Drain the checkpoint fleet raw vs chunked and write the bytes-moved
+/// ledger to `BENCH_dedup.json`.
+fn run_dedup_json(scale: Scale, seed: u64) {
+    let point = run_dedup(scale, seed);
+    assert!(
+        point.wan_reduction >= 3.0,
+        "chunked drain must move at most a third of the raw WAN bytes: {point:?}"
+    );
+    let ledger = DedupLedger {
+        scale: format!("{scale:?}"),
+        seed,
+        point,
+    };
+    let out = serde_json::to_string_pretty(&ledger).expect("ledger serializes");
+    std::fs::write("BENCH_dedup.json", out).expect("write BENCH_dedup.json");
+    println!("\nwrote BENCH_dedup.json");
+}
+
 #[derive(serde::Serialize)]
 struct PrefetchLedger {
     scale: String,
@@ -711,6 +764,10 @@ fn main() {
         run_tenant_json(scale, seed);
         return;
     }
+    if args.iter().any(|a| a == "--dedup-json") {
+        run_dedup_json(scale, seed);
+        return;
+    }
     let mut wanted: Vec<&str> = args
         .iter()
         .map(String::as_str)
@@ -734,6 +791,7 @@ fn main() {
             "prefetch",
             "lifecycle",
             "tenant",
+            "dedup",
         ];
     }
     println!(
@@ -758,6 +816,7 @@ fn main() {
             "prefetch" => drop(run_prefetch(scale, seed)),
             "lifecycle" => drop(run_lifecycle(scale, seed)),
             "tenant" => drop(run_tenant(scale, seed)),
+            "dedup" => drop(run_dedup(scale, seed)),
             other => eprintln!("unknown experiment {other:?} (see --help in source)"),
         }
     }

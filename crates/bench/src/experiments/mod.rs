@@ -1,6 +1,7 @@
 //! The per-table/per-figure experiment implementations.
 
 pub mod ablations;
+pub mod dedup;
 pub mod example42;
 pub mod failover;
 pub mod fig10;

@@ -19,6 +19,7 @@ pub use experiments::ablations::{
     ablation_net_load, ablation_strategies, ablation_superfile_cache, ablation_tape_drives,
     ablation_writebehind,
 };
+pub use experiments::dedup::{dedup_checkpoints, DedupPoint};
 pub use experiments::example42::example42;
 pub use experiments::failover::failover_demo;
 pub use experiments::fig10::{fig10a, fig10b, fig10c};

@@ -1,0 +1,350 @@
+//! Per-chunk compression.
+//!
+//! The build environment has no registry access, so the codec is
+//! self-contained: an LZ77 byte-oriented compressor in the LZ4 spirit
+//! (greedy hash-table matching, 64 KiB window, literal runs + length/
+//! distance tokens) with an exact decompressor. Chunks that do not shrink
+//! are stored raw, so compression never inflates and `Codec::None` is a
+//! pure pass-through frame.
+
+use crate::error::ChunkError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Compression applied to each chunk before it is stored or shipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Codec {
+    /// Store chunks uncompressed.
+    #[default]
+    None,
+    /// LZ77 compression; `level` (1–9, clamped) trades match-finding
+    /// effort (hash-table size) for ratio.
+    Lz4Like(u8),
+}
+
+impl Codec {
+    /// Whether this codec can shrink data at all.
+    pub fn is_active(&self) -> bool {
+        !matches!(self, Codec::None)
+    }
+
+    /// Wire tag used in manifests.
+    pub(crate) fn tag(&self) -> (u8, u8) {
+        match self {
+            Codec::None => (0, 0),
+            Codec::Lz4Like(level) => (1, *level),
+        }
+    }
+
+    /// Rebuild from a manifest tag.
+    pub(crate) fn from_tag(tag: u8, level: u8) -> Result<Codec, ChunkError> {
+        match tag {
+            0 => Ok(Codec::None),
+            1 => Ok(Codec::Lz4Like(level)),
+            other => Err(ChunkError::BadManifest {
+                detail: format!("unknown codec tag {other}"),
+            }),
+        }
+    }
+}
+
+impl fmt::Display for Codec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Codec::None => f.write_str("none"),
+            Codec::Lz4Like(level) => write!(f, "lz4like({level})"),
+        }
+    }
+}
+
+// Frame layout: [tag: u8][ulen: u32 le][payload].
+// tag 0 = raw payload, tag 1 = lz-compressed payload.
+const FRAME_HEADER: usize = 5;
+const TAG_RAW: u8 = 0;
+const TAG_LZ: u8 = 1;
+
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = MIN_MATCH + 127;
+const MAX_DIST: usize = 65_535;
+const MAX_LITERAL_RUN: usize = 128;
+
+/// Compress `data` into a self-describing frame. The frame is at most
+/// `data.len() + 5` bytes: when compression does not win, the payload is
+/// stored raw.
+pub fn compress(codec: &Codec, data: &[u8]) -> Vec<u8> {
+    let ulen = data.len() as u32;
+    let body = match codec {
+        Codec::None => None,
+        Codec::Lz4Like(level) => lz_compress(data, *level),
+    };
+    match body {
+        Some(lz) if lz.len() < data.len() => {
+            let mut out = Vec::with_capacity(FRAME_HEADER + lz.len());
+            out.push(TAG_LZ);
+            out.extend_from_slice(&ulen.to_le_bytes());
+            out.extend_from_slice(&lz);
+            out
+        }
+        _ => {
+            let mut out = Vec::with_capacity(FRAME_HEADER + data.len());
+            out.push(TAG_RAW);
+            out.extend_from_slice(&ulen.to_le_bytes());
+            out.extend_from_slice(data);
+            out
+        }
+    }
+}
+
+/// The uncompressed length a frame declares, without decompressing it.
+pub fn decompressed_len(frame: &[u8]) -> Result<usize, ChunkError> {
+    if frame.len() < FRAME_HEADER {
+        return Err(ChunkError::BadFrame {
+            detail: format!("frame of {} B is shorter than the header", frame.len()),
+        });
+    }
+    Ok(u32::from_le_bytes(frame[1..5].try_into().unwrap()) as usize)
+}
+
+/// Decompress a frame produced by [`compress`].
+pub fn decompress(frame: &[u8]) -> Result<Vec<u8>, ChunkError> {
+    let ulen = decompressed_len(frame)?;
+    let payload = &frame[FRAME_HEADER..];
+    match frame[0] {
+        TAG_RAW => {
+            if payload.len() != ulen {
+                return Err(ChunkError::BadFrame {
+                    detail: format!("raw frame declares {ulen} B but carries {}", payload.len()),
+                });
+            }
+            Ok(payload.to_vec())
+        }
+        TAG_LZ => lz_decompress(payload, ulen),
+        other => Err(ChunkError::BadFrame {
+            detail: format!("unknown frame tag {other}"),
+        }),
+    }
+}
+
+fn hash4(data: &[u8], pos: usize, bits: u32) -> usize {
+    let w = u32::from_le_bytes(data[pos..pos + 4].try_into().unwrap());
+    (w.wrapping_mul(2_654_435_761) >> (32 - bits)) as usize
+}
+
+/// Greedy LZ77: a single-slot hash table over 4-byte prefixes; `level`
+/// widens the table, finding more distant repeats.
+fn lz_compress(data: &[u8], level: u8) -> Option<Vec<u8>> {
+    if data.len() < MIN_MATCH + 1 {
+        return None;
+    }
+    let bits = 10 + 2 * u32::from(level.clamp(1, 4));
+    let mut table = vec![usize::MAX; 1 << bits];
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    let mut lit_start = 0usize;
+    let mut pos = 0usize;
+    let limit = data.len() - MIN_MATCH;
+
+    while pos <= limit {
+        let slot = hash4(data, pos, bits);
+        let cand = table[slot];
+        table[slot] = pos;
+        let found = cand != usize::MAX
+            && pos - cand <= MAX_DIST
+            && data[cand..cand + MIN_MATCH] == data[pos..pos + MIN_MATCH];
+        if found {
+            let mut len = MIN_MATCH;
+            let max = (data.len() - pos).min(MAX_MATCH);
+            while len < max && data[cand + len] == data[pos + len] {
+                len += 1;
+            }
+            flush_literals(&mut out, &data[lit_start..pos]);
+            out.push(0x80 | (len - MIN_MATCH) as u8);
+            out.extend_from_slice(&((pos - cand) as u16).to_le_bytes());
+            pos += len;
+            lit_start = pos;
+        } else {
+            pos += 1;
+        }
+    }
+    flush_literals(&mut out, &data[lit_start..]);
+    Some(out)
+}
+
+fn flush_literals(out: &mut Vec<u8>, mut lits: &[u8]) {
+    while !lits.is_empty() {
+        let n = lits.len().min(MAX_LITERAL_RUN);
+        out.push((n - 1) as u8);
+        out.extend_from_slice(&lits[..n]);
+        lits = &lits[n..];
+    }
+}
+
+fn lz_decompress(mut src: &[u8], ulen: usize) -> Result<Vec<u8>, ChunkError> {
+    let mut out = Vec::with_capacity(ulen);
+    let truncated = || ChunkError::BadFrame {
+        detail: "lz stream truncated".to_owned(),
+    };
+    while !src.is_empty() {
+        let ctrl = src[0];
+        src = &src[1..];
+        if ctrl & 0x80 == 0 {
+            let n = ctrl as usize + 1;
+            if src.len() < n {
+                return Err(truncated());
+            }
+            out.extend_from_slice(&src[..n]);
+            src = &src[n..];
+        } else {
+            if src.len() < 2 {
+                return Err(truncated());
+            }
+            let len = (ctrl & 0x7F) as usize + MIN_MATCH;
+            let dist = u16::from_le_bytes([src[0], src[1]]) as usize;
+            src = &src[2..];
+            if dist == 0 || dist > out.len() {
+                return Err(ChunkError::BadFrame {
+                    detail: format!("match distance {dist} at output offset {}", out.len()),
+                });
+            }
+            // Overlapping copies (dist < len) repeat the tail byte-wise.
+            let start = out.len() - dist;
+            for i in 0..len {
+                let b = out[start + i];
+                out.push(b);
+            }
+        }
+        if out.len() > ulen {
+            return Err(ChunkError::BadFrame {
+                detail: format!("lz stream overruns declared length {ulen}"),
+            });
+        }
+    }
+    if out.len() != ulen {
+        return Err(ChunkError::BadFrame {
+            detail: format!("lz stream yields {} B, declared {ulen}", out.len()),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noise(len: usize, seed: u64) -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..len)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 56) as u8
+            })
+            .collect()
+    }
+
+    fn tiled(len: usize, tile: usize, seed: u64) -> Vec<u8> {
+        let t = noise(tile, seed);
+        (0..len).map(|i| t[i % tile]).collect()
+    }
+
+    #[test]
+    fn roundtrip_all_shapes() {
+        let cases: Vec<Vec<u8>> = vec![
+            Vec::new(),
+            vec![0u8; 1],
+            vec![7u8; 100_000],
+            noise(64 * 1024, 9),
+            tiled(64 * 1024, 512, 4),
+            b"abcabcabcabcabcabcab".to_vec(),
+            noise(3, 1),
+        ];
+        for codec in [Codec::None, Codec::Lz4Like(1), Codec::Lz4Like(9)] {
+            for data in &cases {
+                let frame = compress(&codec, data);
+                assert_eq!(decompressed_len(&frame).unwrap(), data.len());
+                assert_eq!(
+                    &decompress(&frame).unwrap(),
+                    data,
+                    "{codec} {} B",
+                    data.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repetitive_data_shrinks_noise_does_not_inflate() {
+        let rep = tiled(256 * 1024, 512, 3);
+        let frame = compress(&Codec::Lz4Like(1), &rep);
+        assert!(
+            frame.len() * 10 < rep.len(),
+            "tiled data compresses hard: {} of {}",
+            frame.len(),
+            rep.len()
+        );
+        let rnd = noise(256 * 1024, 3);
+        let frame = compress(&Codec::Lz4Like(9), &rnd);
+        assert!(frame.len() <= rnd.len() + 5, "raw fallback caps inflation");
+        assert_eq!(frame[0], TAG_RAW);
+    }
+
+    #[test]
+    fn none_codec_is_a_raw_frame() {
+        let data = tiled(4096, 64, 1);
+        let frame = compress(&Codec::None, &data);
+        assert_eq!(frame[0], TAG_RAW);
+        assert_eq!(frame.len(), data.len() + FRAME_HEADER);
+    }
+
+    #[test]
+    fn overlapping_matches_roundtrip() {
+        // RLE-style: matches with dist 1.
+        let mut data = vec![b'x'; 10_000];
+        data.extend_from_slice(b"tail");
+        let frame = compress(&Codec::Lz4Like(2), &data);
+        assert!(frame.len() < 400);
+        assert_eq!(decompress(&frame).unwrap(), data);
+    }
+
+    #[test]
+    fn corrupt_frames_are_typed_errors() {
+        assert!(matches!(
+            decompress(&[1, 2]),
+            Err(ChunkError::BadFrame { .. })
+        ));
+        let mut frame = compress(&Codec::Lz4Like(1), &tiled(4096, 32, 5));
+        assert_eq!(frame[0], TAG_LZ);
+        frame.truncate(frame.len() - 1);
+        assert!(decompress(&frame).is_err());
+        let bad_tag = [9u8, 0, 0, 0, 0];
+        assert!(matches!(
+            decompress(&bad_tag),
+            Err(ChunkError::BadFrame { .. })
+        ));
+        // A declared-length lie in a raw frame.
+        let mut raw = compress(&Codec::None, b"hello");
+        raw[1] = 99;
+        assert!(decompress(&raw).is_err());
+    }
+
+    #[test]
+    fn levels_trade_effort_for_ratio() {
+        // Repeats at distance ~24 KiB need a wider table to be found.
+        let tile = noise(24 * 1024, 7);
+        let mut data = tile.clone();
+        data.extend_from_slice(&tile);
+        let lo = compress(&Codec::Lz4Like(1), &data);
+        let hi = compress(&Codec::Lz4Like(9), &data);
+        assert!(hi.len() <= lo.len());
+        assert!(hi.len() < data.len() / 2 + 1024, "level 9 finds the repeat");
+    }
+
+    #[test]
+    fn compression_is_deterministic() {
+        let data = tiled(128 * 1024, 700, 13);
+        assert_eq!(
+            compress(&Codec::Lz4Like(3), &data),
+            compress(&Codec::Lz4Like(3), &data)
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Content-addressed chunking for the multi-storage data plane.
+//!
+//! The paper's producers (Astro3D, volume renderers) re-dump largely
+//! similar arrays every timestep; this crate provides the pieces that let
+//! the data plane move and store only what actually changed:
+//!
+//! * [`Digest`] — a 128-bit content digest keying every chunk. Digests are
+//!   computed over the *uncompressed* chunk bytes, so deduplication is
+//!   independent of the codec in force when a chunk was first stored.
+//! * [`ChunkPolicy`] — how a dump is split: fixed-size blocks or
+//!   content-defined chunking (CDC) with a gear rolling hash, whose
+//!   boundaries depend only on content and therefore survive insertions.
+//! * [`Codec`] — optional per-chunk compression ([`Codec::Lz4Like`], an
+//!   LZ77 byte-oriented compressor with an exact, dependency-free
+//!   decompressor).
+//! * [`ChunkStore`] — a per-resource digest-keyed refcount table: how many
+//!   manifests reference each stored chunk, how many of those references
+//!   are vaulted, and the physical (compressed) footprint.
+//! * [`Manifest`] — the ordered chunk list written as the dump object; a
+//!   chunked dump on storage is one manifest plus `cas/<digest>` chunk
+//!   objects (content-addressed mode) or one self-contained pack object
+//!   (compression-only mode).
+//!
+//! Everything here is pure data manipulation: no virtual-time charges, no
+//! storage access. The I/O engine (`msr-runtime`) owns the transfer path
+//! and the cost model; `msr-core` exposes the [`IngestSpec`] knobs on
+//! `DatasetSpec`.
+//!
+//! Determinism: chunk boundaries are a pure function of content and
+//! policy, digests a pure function of content, and compression a pure
+//! function of content and level — so any thread count produces bitwise
+//! identical chunk streams.
+
+#![warn(missing_docs)]
+
+mod chunker;
+mod codec;
+mod digest;
+mod error;
+mod ingest;
+mod manifest;
+mod store;
+
+pub use chunker::{split, ChunkPolicy};
+pub use codec::{compress, decompress, decompressed_len, Codec};
+pub use digest::Digest;
+pub use error::ChunkError;
+pub use ingest::{DeltaSummary, IngestSpec};
+pub use manifest::{cas_path, ChunkRef, Manifest};
+pub use store::{ChunkStore, StoreStats};

@@ -1,0 +1,254 @@
+//! The on-storage description of a chunked dump.
+//!
+//! A chunked dump's object at the dataset path is a *manifest*: the
+//! ordered list of chunk digests with their uncompressed/compressed sizes,
+//! plus the policy and codec that produced them. In content-addressed mode
+//! the chunk frames live in separate `cas/<digest>` objects shared across
+//! dumps; in pack mode (compression without content addressing) the frames
+//! follow the manifest header inside the same object.
+
+use crate::chunker::ChunkPolicy;
+use crate::codec::Codec;
+use crate::digest::Digest;
+use crate::error::ChunkError;
+
+/// One chunk as a manifest records it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkRef {
+    /// Digest of the uncompressed chunk bytes.
+    pub digest: Digest,
+    /// Uncompressed length.
+    pub ulen: u32,
+    /// Stored (frame) length.
+    pub clen: u32,
+}
+
+/// A parsed manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// Chunking policy that produced the boundaries (needed to re-chunk
+    /// faithfully when a dump migrates between modes).
+    pub policy: ChunkPolicy,
+    /// Codec the frames were written with.
+    pub codec: Codec,
+    /// Total uncompressed (logical) bytes of the dump.
+    pub logical: u64,
+    /// Chunks in dump order.
+    pub chunks: Vec<ChunkRef>,
+    /// `true` when the chunk frames follow the header in the same object
+    /// (pack mode) instead of living in `cas/` objects.
+    pub inline: bool,
+}
+
+const MAGIC: &[u8; 4] = b"MSRC";
+const VERSION: u8 = 1;
+const FLAG_INLINE: u8 = 1;
+const HEADER: usize = 4 + 1 + 1 + 2 + 4 + 4 + 8; // magic ver flags codec policy count logical
+const ENTRY: usize = 16 + 4 + 4;
+
+fn policy_tag(p: &ChunkPolicy) -> (u8, u32) {
+    match *p {
+        ChunkPolicy::Disabled => (0, 0),
+        ChunkPolicy::Fixed { kib } => (1, kib),
+        ChunkPolicy::Cdc { avg_kib } => (2, avg_kib),
+    }
+}
+
+fn policy_from_tag(tag: u8, param: u32) -> Result<ChunkPolicy, ChunkError> {
+    match tag {
+        0 => Ok(ChunkPolicy::Disabled),
+        1 => Ok(ChunkPolicy::Fixed { kib: param }),
+        2 => Ok(ChunkPolicy::Cdc { avg_kib: param }),
+        other => Err(ChunkError::BadManifest {
+            detail: format!("unknown policy tag {other}"),
+        }),
+    }
+}
+
+impl Manifest {
+    /// Total stored bytes of all frames.
+    pub fn stored_bytes(&self) -> u64 {
+        self.chunks.iter().map(|c| c.clen as u64).sum()
+    }
+
+    /// Size of the header + chunk table (the manifest object itself in
+    /// content-addressed mode).
+    pub fn header_bytes(&self) -> u64 {
+        (HEADER + self.chunks.len() * ENTRY) as u64
+    }
+
+    /// Encode the header + chunk table.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER + self.chunks.len() * ENTRY);
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        out.push(if self.inline { FLAG_INLINE } else { 0 });
+        let (ctag, clevel) = self.codec.tag();
+        out.push(ctag);
+        out.push(clevel);
+        let (ptag, pparam) = policy_tag(&self.policy);
+        out.push(ptag);
+        out.extend_from_slice(&pparam.to_le_bytes()[..3]);
+        out.extend_from_slice(&(self.chunks.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.logical.to_le_bytes());
+        for c in &self.chunks {
+            out.extend_from_slice(c.digest.as_bytes());
+            out.extend_from_slice(&c.ulen.to_le_bytes());
+            out.extend_from_slice(&c.clen.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode a manifest header + chunk table from the front of `data`.
+    /// Returns the manifest and the offset where inline frames begin
+    /// (== `data.len()` for content-addressed manifests).
+    pub fn decode(data: &[u8]) -> Result<(Manifest, usize), ChunkError> {
+        let bad = |detail: String| ChunkError::BadManifest { detail };
+        if data.len() < HEADER {
+            return Err(bad(format!("{} B is shorter than the header", data.len())));
+        }
+        if &data[..4] != MAGIC {
+            return Err(bad("bad magic — not a chunk manifest".to_owned()));
+        }
+        if data[4] != VERSION {
+            return Err(bad(format!("unsupported manifest version {}", data[4])));
+        }
+        let inline = data[5] & FLAG_INLINE != 0;
+        let codec = Codec::from_tag(data[6], data[7])?;
+        let mut pparam = [0u8; 4];
+        pparam[..3].copy_from_slice(&data[9..12]);
+        let policy = policy_from_tag(data[8], u32::from_le_bytes(pparam))?;
+        let count = u32::from_le_bytes(data[12..16].try_into().unwrap()) as usize;
+        let logical = u64::from_le_bytes(data[16..24].try_into().unwrap());
+        let table_end = HEADER + count * ENTRY;
+        if data.len() < table_end {
+            return Err(bad(format!(
+                "chunk table truncated: {count} entries need {table_end} B, have {}",
+                data.len()
+            )));
+        }
+        let mut chunks = Vec::with_capacity(count);
+        let mut at = HEADER;
+        for _ in 0..count {
+            let mut digest = [0u8; 16];
+            digest.copy_from_slice(&data[at..at + 16]);
+            chunks.push(ChunkRef {
+                digest: Digest(digest),
+                ulen: u32::from_le_bytes(data[at + 16..at + 20].try_into().unwrap()),
+                clen: u32::from_le_bytes(data[at + 20..at + 24].try_into().unwrap()),
+            });
+            at += ENTRY;
+        }
+        let total: u64 = chunks.iter().map(|c| c.ulen as u64).sum();
+        if total != logical {
+            return Err(bad(format!(
+                "chunk lengths sum to {total} B but header declares {logical}"
+            )));
+        }
+        Ok((
+            Manifest {
+                policy,
+                codec,
+                logical,
+                chunks,
+                inline,
+            },
+            table_end,
+        ))
+    }
+}
+
+/// The object name a chunk digest stores under (content-addressed mode).
+pub fn cas_path(digest: &Digest) -> String {
+    format!("cas/{}", digest.hex())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(inline: bool) -> Manifest {
+        Manifest {
+            policy: ChunkPolicy::cdc(64),
+            codec: Codec::Lz4Like(3),
+            logical: 300,
+            chunks: vec![
+                ChunkRef {
+                    digest: Digest::of(b"a"),
+                    ulen: 100,
+                    clen: 40,
+                },
+                ChunkRef {
+                    digest: Digest::of(b"b"),
+                    ulen: 200,
+                    clen: 205,
+                },
+            ],
+            inline,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        for inline in [false, true] {
+            let m = sample(inline);
+            let enc = m.encode();
+            assert_eq!(enc.len() as u64, m.header_bytes());
+            let (back, off) = Manifest::decode(&enc).unwrap();
+            assert_eq!(back, m);
+            assert_eq!(off, enc.len());
+            assert_eq!(back.stored_bytes(), 245);
+        }
+    }
+
+    #[test]
+    fn inline_frames_start_at_the_returned_offset() {
+        let m = sample(true);
+        let mut enc = m.encode();
+        let frames_at = enc.len();
+        enc.extend_from_slice(&[9u8; 245]);
+        let (back, off) = Manifest::decode(&enc).unwrap();
+        assert_eq!(off, frames_at);
+        assert_eq!(back.chunks.len(), 2);
+    }
+
+    #[test]
+    fn corrupt_manifests_are_typed_errors() {
+        let m = sample(false);
+        let enc = m.encode();
+        // Truncated table.
+        assert!(matches!(
+            Manifest::decode(&enc[..enc.len() - 1]),
+            Err(ChunkError::BadManifest { .. })
+        ));
+        // Bad magic.
+        let mut bad = enc.clone();
+        bad[0] = b'X';
+        assert!(Manifest::decode(&bad).is_err());
+        // Length lie.
+        let mut lie = enc.clone();
+        lie[16] ^= 1;
+        assert!(Manifest::decode(&lie).is_err());
+        // Not even a header.
+        assert!(Manifest::decode(b"short").is_err());
+    }
+
+    #[test]
+    fn empty_manifest_roundtrips() {
+        let m = Manifest {
+            policy: ChunkPolicy::fixed(16),
+            codec: Codec::None,
+            logical: 0,
+            chunks: Vec::new(),
+            inline: false,
+        };
+        let (back, _) = Manifest::decode(&m.encode()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn cas_path_shape() {
+        let d = Digest::of(b"x");
+        assert_eq!(cas_path(&d), format!("cas/{}", d.hex()));
+    }
+}

@@ -1,0 +1,243 @@
+//! The per-resource digest-keyed chunk refcount table.
+
+use crate::digest::Digest;
+use std::collections::BTreeMap;
+
+/// Book-keeping for one stored chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ChunkEntry {
+    /// Manifest references (one per occurrence in every live manifest).
+    refs: u32,
+    /// How many of those references belong to vaulted dumps. The chunk
+    /// object itself moves to the vault only when *every* reference is
+    /// vaulted — a chunk shared with a resident dump must stay readable.
+    vaulted_refs: u32,
+    /// Uncompressed length.
+    ulen: u32,
+    /// Stored frame length.
+    clen: u32,
+}
+
+/// What [`ChunkStore::release`] reports about a dropped reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Released {
+    /// The reference count hit zero: the chunk object can be deleted.
+    pub gone: bool,
+    /// Stored frame length of the chunk (for accounting).
+    pub clen: u32,
+}
+
+/// Aggregate counters for one store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Distinct chunks currently stored.
+    pub chunks: usize,
+    /// Sum of stored frame lengths.
+    pub stored_bytes: u64,
+    /// Sum of uncompressed lengths (each distinct chunk counted once).
+    pub unique_logical_bytes: u64,
+    /// Lifetime dedup hits (a reference acquired on an already-present
+    /// chunk).
+    pub hits: u64,
+    /// Lifetime chunk inserts (references that had to ship bytes).
+    pub inserts: u64,
+    /// Lifetime chunks garbage-collected after their last reference.
+    pub gcs: u64,
+}
+
+/// A per-resource content-addressed chunk index: digest → refcount +
+/// sizes. The store tracks *metadata only*; the frames themselves live as
+/// `cas/<digest>` objects on the owning storage resource. GC is
+/// refcount-driven: when retention pruning (or an overwrite) releases the
+/// last reference, the caller deletes the object.
+#[derive(Debug, Clone, Default)]
+pub struct ChunkStore {
+    chunks: BTreeMap<Digest, ChunkEntry>,
+    stored_bytes: u64,
+    unique_logical: u64,
+    hits: u64,
+    inserts: u64,
+    gcs: u64,
+}
+
+impl ChunkStore {
+    /// An empty store.
+    pub fn new() -> ChunkStore {
+        ChunkStore::default()
+    }
+
+    /// Whether `digest` is already stored (its frame need not be shipped).
+    pub fn contains(&self, digest: &Digest) -> bool {
+        self.chunks.contains_key(digest)
+    }
+
+    /// Add one reference to `digest`, inserting it with the given sizes if
+    /// absent. Returns `true` when the chunk is new (the caller must write
+    /// the frame object).
+    pub fn acquire(&mut self, digest: Digest, ulen: u32, clen: u32) -> bool {
+        match self.chunks.get_mut(&digest) {
+            Some(e) => {
+                e.refs += 1;
+                self.hits += 1;
+                false
+            }
+            None => {
+                self.chunks.insert(
+                    digest,
+                    ChunkEntry {
+                        refs: 1,
+                        vaulted_refs: 0,
+                        ulen,
+                        clen,
+                    },
+                );
+                self.stored_bytes += clen as u64;
+                self.unique_logical += ulen as u64;
+                self.inserts += 1;
+                true
+            }
+        }
+    }
+
+    /// Drop one reference to `digest`; `vaulted_ref` says whether the
+    /// releasing dump was itself vaulted (so the right population is
+    /// decremented). Returns `None` for an unknown digest (double release
+    /// — callers treat it as a bug in tests, a tolerated no-op in
+    /// production paths).
+    pub fn release(&mut self, digest: &Digest, vaulted_ref: bool) -> Option<Released> {
+        let e = self.chunks.get_mut(digest)?;
+        e.refs -= 1;
+        if vaulted_ref {
+            e.vaulted_refs = e.vaulted_refs.saturating_sub(1);
+        }
+        e.vaulted_refs = e.vaulted_refs.min(e.refs);
+        let clen = e.clen;
+        if e.refs == 0 {
+            let e = self.chunks.remove(digest).unwrap();
+            self.stored_bytes -= e.clen as u64;
+            self.unique_logical -= e.ulen as u64;
+            self.gcs += 1;
+            Some(Released { gone: true, clen })
+        } else {
+            Some(Released { gone: false, clen })
+        }
+    }
+
+    /// Mark one reference to `digest` as vaulted. Returns `true` when this
+    /// made *all* references vaulted — the moment the caller should vault
+    /// the chunk object itself.
+    pub fn vault_ref(&mut self, digest: &Digest) -> bool {
+        match self.chunks.get_mut(digest) {
+            Some(e) if e.vaulted_refs < e.refs => {
+                e.vaulted_refs += 1;
+                e.vaulted_refs == e.refs
+            }
+            _ => false,
+        }
+    }
+
+    /// Un-vault one reference to `digest`. Returns `true` when the chunk
+    /// was fully vaulted before this call — the moment the caller should
+    /// recall the chunk object.
+    pub fn recall_ref(&mut self, digest: &Digest) -> bool {
+        match self.chunks.get_mut(digest) {
+            Some(e) if e.vaulted_refs > 0 => {
+                let was_all = e.vaulted_refs == e.refs;
+                e.vaulted_refs -= 1;
+                was_all
+            }
+            _ => false,
+        }
+    }
+
+    /// Current reference count of `digest` (0 when absent).
+    pub fn refs(&self, digest: &Digest) -> u32 {
+        self.chunks.get(digest).map(|e| e.refs).unwrap_or(0)
+    }
+
+    /// `(uncompressed, stored)` lengths of a stored chunk. A dedup hit
+    /// records these in its manifest — the frame on storage keeps whatever
+    /// codec it was first written with.
+    pub fn sizes(&self, digest: &Digest) -> Option<(u32, u32)> {
+        self.chunks.get(digest).map(|e| (e.ulen, e.clen))
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            chunks: self.chunks.len(),
+            stored_bytes: self.stored_bytes,
+            unique_logical_bytes: self.unique_logical,
+            hits: self.hits,
+            inserts: self.inserts,
+            gcs: self.gcs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(s: &str) -> Digest {
+        Digest::of(s.as_bytes())
+    }
+
+    #[test]
+    fn acquire_release_refcount_lifecycle() {
+        let mut s = ChunkStore::new();
+        assert!(s.acquire(d("a"), 100, 40), "first acquire ships");
+        assert!(!s.acquire(d("a"), 100, 40), "second is a dedup hit");
+        assert_eq!(s.refs(&d("a")), 2);
+        assert_eq!(s.stats().stored_bytes, 40);
+        assert_eq!(s.stats().unique_logical_bytes, 100);
+
+        let r1 = s.release(&d("a"), false).unwrap();
+        assert!(!r1.gone);
+        let r2 = s.release(&d("a"), false).unwrap();
+        assert!(r2.gone, "last reference triggers GC");
+        assert_eq!(r2.clen, 40);
+        assert_eq!(s.stats().stored_bytes, 0);
+        assert_eq!(s.stats().gcs, 1);
+        assert!(
+            s.release(&d("a"), false).is_none(),
+            "double release is surfaced"
+        );
+    }
+
+    #[test]
+    fn hits_and_inserts_are_counted() {
+        let mut s = ChunkStore::new();
+        s.acquire(d("a"), 10, 5);
+        s.acquire(d("a"), 10, 5);
+        s.acquire(d("b"), 20, 10);
+        let st = s.stats();
+        assert_eq!((st.inserts, st.hits, st.chunks), (2, 1, 2));
+        assert_eq!(st.stored_bytes, 15);
+    }
+
+    #[test]
+    fn vault_only_when_every_reference_is_vaulted() {
+        let mut s = ChunkStore::new();
+        s.acquire(d("a"), 10, 5); // dump 1
+        s.acquire(d("a"), 10, 5); // dump 2 shares the chunk
+        assert!(!s.vault_ref(&d("a")), "dump 1 vaulted, dump 2 resident");
+        assert!(s.vault_ref(&d("a")), "now fully vaulted");
+        assert!(!s.vault_ref(&d("a")), "extra vault is a no-op");
+        assert!(s.recall_ref(&d("a")), "first recall un-vaults the object");
+        assert!(!s.recall_ref(&d("a")), "object already resident");
+    }
+
+    #[test]
+    fn releasing_a_vaulted_reference_keeps_counts_sane() {
+        let mut s = ChunkStore::new();
+        s.acquire(d("a"), 10, 5);
+        s.acquire(d("a"), 10, 5);
+        s.vault_ref(&d("a"));
+        // Pruning the vaulted dump releases its (vaulted) reference.
+        assert!(!s.release(&d("a"), true).unwrap().gone);
+        // The surviving reference is resident, so a vault of it must again
+        // report the all-vaulted transition.
+        assert!(s.vault_ref(&d("a")));
+    }
+}

@@ -1,6 +1,7 @@
 //! Dataset specifications — what the application declares at `open`.
 
 use crate::hints::{FutureUse, LocationHint};
+use msr_chunk::{ChunkPolicy, Codec, IngestSpec};
 use msr_meta::{AccessMode, ElementType};
 use msr_runtime::{Dims3, IoStrategy, Pattern};
 use serde::{Deserialize, Serialize};
@@ -27,6 +28,11 @@ pub struct DatasetSpec {
     pub future_use: FutureUse,
     /// I/O optimization. The paper's experiments all use collective I/O.
     pub strategy: IoStrategy,
+    /// How dumps are ingested on storage: raw objects (the default, the
+    /// paper's byte-for-byte path) or the content-addressed chunk plane
+    /// with optional per-chunk compression.
+    #[serde(default)]
+    pub ingest: IngestSpec,
 }
 
 impl DatasetSpec {
@@ -66,6 +72,7 @@ impl DatasetSpec {
             hint: LocationHint::Auto,
             future_use: FutureUse::Archive,
             strategy: IoStrategy::Collective,
+            ingest: IngestSpec::raw(),
         }
     }
 
@@ -114,6 +121,12 @@ impl DatasetSpec {
     /// Builder-style amode override.
     pub fn with_amode(mut self, amode: AccessMode) -> Self {
         self.amode = amode;
+        self
+    }
+
+    /// Builder-style ingest override.
+    pub fn with_ingest(mut self, ingest: IngestSpec) -> Self {
+        self.ingest = ingest;
         self
     }
 }
@@ -178,6 +191,47 @@ impl DatasetSpecBuilder {
         self
     }
 
+    /// Route dumps through the content-addressed chunk plane with this
+    /// boundary policy. Enables content addressing (dedup); combine with
+    /// [`compression`](Self::compression) for compressed frames.
+    ///
+    /// ```
+    /// use msr_core::DatasetSpec;
+    /// use msr_chunk::{ChunkPolicy, Codec};
+    ///
+    /// let spec = DatasetSpec::builder("ckpt")
+    ///     .chunked(ChunkPolicy::cdc(64))
+    ///     .compression(Codec::Lz4Like(2))
+    ///     .build();
+    /// assert!(spec.ingest.is_active());
+    /// ```
+    pub fn chunked(mut self, policy: ChunkPolicy) -> Self {
+        self.spec.ingest = IngestSpec::chunked(policy).with_codec(self.spec.ingest.codec);
+        self
+    }
+
+    /// Per-chunk codec for chunked dumps (ignored while ingest is raw
+    /// unless [`chunked`](Self::chunked) is also called).
+    pub fn compression(mut self, codec: Codec) -> Self {
+        self.spec.ingest = self.spec.ingest.with_codec(codec);
+        self
+    }
+
+    /// Toggle content addressing on a chunked ingest: `true` (the
+    /// [`chunked`](Self::chunked) default) dedups frames via the shared
+    /// per-resource store; `false` packs frames inline after the manifest
+    /// header — compression without dedup.
+    pub fn content_addressed(mut self, on: bool) -> Self {
+        self.spec.ingest = self.spec.ingest.with_content_addressed(on);
+        self
+    }
+
+    /// Set the full ingest spec in one call.
+    pub fn ingest(mut self, ingest: IngestSpec) -> Self {
+        self.spec.ingest = ingest;
+        self
+    }
+
     /// Finish the spec.
     pub fn build(self) -> DatasetSpec {
         self.spec
@@ -233,6 +287,33 @@ mod tests {
         assert_eq!(restart.run_bytes(120), 8 * 1024 * 1024);
         let never = temp.with_frequency(0);
         assert_eq!(never.run_bytes(120), 0);
+    }
+
+    #[test]
+    fn typed_ingest_builder_composes() {
+        let d = DatasetSpec::builder("ckpt")
+            .chunked(ChunkPolicy::cdc(32))
+            .compression(Codec::Lz4Like(2))
+            .build();
+        assert!(d.ingest.is_active());
+        assert!(d.ingest.content_addressed);
+        assert_eq!(d.ingest.policy, ChunkPolicy::cdc(32));
+        assert_eq!(d.ingest.codec, Codec::Lz4Like(2));
+        // Pack mode: compression without dedup.
+        let packed = DatasetSpec::builder("ckpt")
+            .chunked(ChunkPolicy::cdc(32))
+            .content_addressed(false)
+            .build();
+        assert!(packed.ingest.is_active());
+        assert!(!packed.ingest.content_addressed);
+        // Codec set before chunking survives the policy switch.
+        let swapped = DatasetSpec::builder("ckpt")
+            .compression(Codec::Lz4Like(1))
+            .chunked(ChunkPolicy::fixed(64))
+            .build();
+        assert_eq!(swapped.ingest.codec, Codec::Lz4Like(1));
+        // The default stays raw, so existing specs are untouched.
+        assert_eq!(DatasetSpec::builder("x").build().ingest, IngestSpec::raw());
     }
 
     #[test]

@@ -25,6 +25,16 @@ pub enum CoreError {
         /// Bytes that had to fit.
         bytes: u64,
     },
+    /// A chunked dump failed digest verification or its manifest/frames
+    /// are corrupt. Neither a retry nor a failover can produce the bytes
+    /// (the resource would serve the same corrupt object again); the
+    /// caller must re-produce the dump.
+    ChunkCorrupt {
+        /// Dump path whose verification failed.
+        path: String,
+        /// The underlying chunk-plane error.
+        source: msr_chunk::ChunkError,
+    },
     /// The requested dataset was DISABLEd for this run.
     DatasetDisabled(String),
     /// A handle was used after the session finalized.
@@ -68,6 +78,9 @@ impl fmt::Display for CoreError {
                 f,
                 "no storage resource can hold dataset {dataset} ({bytes} B): all offline or full"
             ),
+            CoreError::ChunkCorrupt { path, source } => {
+                write!(f, "chunked dump {path} corrupt: {source}")
+            }
             CoreError::DatasetDisabled(name) => {
                 write!(f, "dataset {name} is DISABLEd for this run")
             }
@@ -103,6 +116,7 @@ impl std::error::Error for CoreError {
             CoreError::Runtime(e) => Some(e),
             CoreError::Meta(e) => Some(e),
             CoreError::Predict(e) => Some(e),
+            CoreError::ChunkCorrupt { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -116,7 +130,13 @@ impl From<msr_storage::StorageError> for CoreError {
 
 impl From<msr_runtime::RuntimeError> for CoreError {
     fn from(e: msr_runtime::RuntimeError) -> Self {
-        CoreError::Runtime(e)
+        match e {
+            // Surface chunk corruption as its own typed error so callers
+            // can distinguish "the stored bytes are bad" from transport
+            // and layout failures without digging through the chain.
+            RuntimeError::Chunk { path, source } => CoreError::ChunkCorrupt { path, source },
+            e => CoreError::Runtime(e),
+        }
     }
 }
 
@@ -192,8 +212,12 @@ pub fn classify(e: &CoreError) -> ErrorClass {
             RuntimeError::BadDistribution(_)
             | RuntimeError::SizeMismatch { .. }
             | RuntimeError::CorruptSuperfile(_)
-            | RuntimeError::NoSuchMember(_) => ErrorClass::Fatal,
+            | RuntimeError::NoSuchMember(_)
+            | RuntimeError::Chunk { .. } => ErrorClass::Fatal,
         },
+        // The stored bytes are corrupt: the resource would serve the same
+        // bytes on retry, and no other resource holds the dump.
+        CoreError::ChunkCorrupt { .. } => ErrorClass::Fatal,
         CoreError::Meta(_)
         | CoreError::Predict(_)
         | CoreError::NoUsableResource { .. }
@@ -277,6 +301,12 @@ mod tests {
             }),
             CoreError::Runtime(RuntimeError::CorruptSuperfile("x".into())),
             CoreError::Runtime(RuntimeError::NoSuchMember("x".into())),
+            CoreError::ChunkCorrupt {
+                path: "p".into(),
+                source: msr_chunk::ChunkError::BadManifest {
+                    detail: "truncated".into(),
+                },
+            },
             CoreError::NoUsableResource {
                 dataset: "d".into(),
                 bytes: 1,

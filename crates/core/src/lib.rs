@@ -38,11 +38,14 @@ pub mod tenant;
 
 pub use builder::SessionBuilder;
 pub use dataset::{DatasetSpec, DatasetSpecBuilder};
+// The typed ingest vocabulary, re-exported so applications can configure
+// chunked datasets without naming `msr_chunk` directly.
 pub use error::{classify, CoreError, ErrorClass};
 pub use health::{BreakerState, HealthCounters, HealthTracker};
 pub use hints::{FutureUse, LocationHint};
 pub use load::{LoadBoard, TenantUsage};
 pub use migrate::MigrationReport;
+pub use msr_chunk::{ChunkPolicy, Codec, IngestSpec};
 pub use placement::PlacementPolicy;
 pub use report::{PlacementEvent, RunReport};
 pub use session::{DatasetHandle, Session};

@@ -109,8 +109,18 @@ impl MsrSystem {
         }
 
         // Capacity check up front: a migration must not strand a dataset
-        // halfway.
-        let total: u64 = files.iter().filter_map(|f| src.lock().file_size(f)).sum();
+        // halfway. Chunked dumps are priced at their *logical* size — the
+        // conservative bound, since the destination may not yet hold any
+        // of their chunks (dedup can only shrink what actually lands).
+        let src_name = src.lock().name().to_owned();
+        let plane = self.engine.chunk_plane();
+        let total: u64 = files
+            .iter()
+            .filter_map(|f| {
+                let physical = src.lock().file_size(f)?;
+                Some(plane.logical_of(&src_name, f).unwrap_or(physical))
+            })
+            .sum();
         if dst.lock().available_bytes() < total {
             return Err(CoreError::NoUsableResource {
                 dataset: dataset.to_owned(),
@@ -142,16 +152,24 @@ impl MsrSystem {
         self.load.bg_enqueued(to, 1);
         let moved = (|| -> CoreResult<()> {
             for file in &files {
-                let (data, read) = self
-                    .engine
-                    .read(&src, file, &dist, IoStrategy::Collective)?;
-                let write = self.engine.write(
+                // The chunk-aware transfer path: a chunked dump is read
+                // back through its manifest and re-ingested with the same
+                // spec at the destination, whose store then receives only
+                // the chunks it does not already hold. Raw dumps take the
+                // byte-for-byte path exactly as before.
+                let (data, read) =
+                    self.engine
+                        .read_auto(&src, file, &dist, IoStrategy::Collective)?;
+                let ingest = plane.ingest_of(&src_name, file).unwrap_or_default();
+                let write = self.engine.write_chunked(
                     &dst,
                     file,
                     &data,
                     &dist,
                     IoStrategy::Collective,
                     OpenMode::Create,
+                    &ingest,
+                    dataset,
                 )?;
                 self.clock.advance(read.elapsed + write.elapsed);
                 report.files += 1;
@@ -196,7 +214,10 @@ impl MsrSystem {
             self.clock.advance(catalog.config.query_cost);
         }
         for file in &files {
-            let cost = src.lock().delete(file)?;
+            // `delete_dump` releases chunk references and garbage-collects
+            // frames no surviving dump shares; for raw dumps it is a plain
+            // delete.
+            let cost = self.engine.delete_dump(&src, file)?;
             self.clock.advance(cost.time);
         }
         Ok(report)

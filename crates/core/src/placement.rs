@@ -90,7 +90,10 @@ fn by_score(
     run_bytes: u64,
 ) -> Option<StorageKind> {
     let predictor = sys.predictor()?;
-    let access = AccessSummary::of(dist);
+    // Price the bytes the chunk plane will actually move: the learned
+    // per-dataset dedup/compression ratio scales the access (a bitwise
+    // no-op at the default ratio of 1.0).
+    let access = AccessSummary::of(dist).scaled(sys.predicted_ratio(&spec.name));
     let mut best: Option<(StorageKind, SimDuration)> = None;
     // Walking the preference order makes it the tie-break: a later kind
     // must be strictly faster to displace an earlier one.
@@ -147,7 +150,7 @@ fn by_performance(
             resource: "<performance database not populated — run PTool>".into(),
             op: OpKind::Write,
         })?;
-    let access = AccessSummary::of(dist);
+    let access = AccessSummary::of(dist).scaled(sys.predicted_ratio(&spec.name));
     let mut meeting: Vec<(StorageKind, u64)> = Vec::new();
     let mut fastest: Option<(StorageKind, SimDuration)> = None;
     for kind in [

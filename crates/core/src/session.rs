@@ -290,7 +290,7 @@ impl<'a> Session<'a> {
             return Ok(None);
         }
         for _attempt in 0..3 {
-            let (kind, path, dist, strategy, amode) = {
+            let (kind, path, dist, strategy, amode, ingest, name) = {
                 let d = &self.datasets[h.0];
                 let Some(kind) = d.location else {
                     return Ok(None);
@@ -301,6 +301,8 @@ impl<'a> Session<'a> {
                     d.dist,
                     d.spec.strategy,
                     d.spec.amode,
+                    d.spec.ingest,
+                    d.spec.name.clone(),
                 )
             };
             // An open breaker means this resource has been failing
@@ -317,7 +319,7 @@ impl<'a> Session<'a> {
             };
             match self
                 .io_engine()
-                .write(&res, &path, data, &dist, strategy, mode)
+                .write_chunked(&res, &path, data, &dist, strategy, mode, &ingest, &name)
                 .map_err(CoreError::from)
             {
                 Ok(report) => {
@@ -363,6 +365,31 @@ impl<'a> Session<'a> {
             dataset: d.spec.name.clone(),
             bytes: d.spec.snapshot_bytes(),
         })
+    }
+
+    /// Dump one iteration of a dataset.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `write_iteration`; dumps now route through the dataset's typed `IngestSpec` \
+                (raw for specs built without `.chunked(..)`, so behaviour is unchanged)"
+    )]
+    pub fn dump_raw(
+        &mut self,
+        h: DatasetHandle,
+        iter: u32,
+        data: &[u8],
+    ) -> CoreResult<Option<IoReport>> {
+        self.write_iteration(h, iter, data)
+    }
+
+    /// Read back one of this run's dumps.
+    #[deprecated(
+        since = "0.9.0",
+        note = "use `read_iteration`; reads self-describe via the registered chunk manifest \
+                and fall back to the raw object path"
+    )]
+    pub fn fetch_raw(&mut self, h: DatasetHandle, iter: u32) -> CoreResult<(Vec<u8>, IoReport)> {
+        self.read_iteration(h, iter)
     }
 
     /// Re-place dataset `h` on the next usable resource after `from`
@@ -501,7 +528,7 @@ impl<'a> Session<'a> {
         let res = self.sys.resource(kind).expect("registered kind");
         match self
             .io_engine()
-            .read(&res, &path, &dist, strategy)
+            .read_auto(&res, &path, &dist, strategy)
             .map_err(CoreError::from)
         {
             Ok((data, report)) => {
@@ -557,7 +584,10 @@ impl<'a> Session<'a> {
                 op: OpKind::Write,
                 frequency: d.spec.frequency,
                 strategy: d.spec.strategy,
-                access: AccessSummary::of(&d.dist),
+                // Chunked datasets are priced at their learned
+                // post-dedup/post-compression size; raw datasets scale by
+                // 1.0 (a bitwise no-op).
+                access: AccessSummary::of(&d.dist).scaled(self.sys.predicted_ratio(&d.spec.name)),
             })
             .collect();
         let report = predictor.predict(&RunSpec {
@@ -669,7 +699,7 @@ impl<'a> Session<'a> {
         })?;
         let conn = res.lock().connect()?;
         sys.clock.advance(conn.time);
-        let (data, report) = sys.engine.read(&res, &path, &dist, strategy)?;
+        let (data, report) = sys.engine.read_auto(&res, &path, &dist, strategy)?;
         sys.clock.advance(report.elapsed);
         // Free recency hook for the lifecycle engine's heat tracking.
         let dump_iter = match rec.amode {

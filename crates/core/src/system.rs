@@ -10,7 +10,7 @@ use crate::CoreResult;
 use msr_meta::{Catalog, ResourceRec, RunId};
 use msr_net::{LinkId, SharedNetwork};
 use msr_obs::{Recorder, Registry};
-use msr_predict::{PTool, PerfDb, Predictor};
+use msr_predict::{PTool, PerfDb, Predictor, RatioBook};
 use msr_runtime::{IoEngine, IoStrategy, ProcGrid, RetryPolicy};
 use msr_sim::{derive_seed, Clock, SimDuration, Trace};
 use msr_storage::{
@@ -48,6 +48,10 @@ pub struct MsrSystem {
     /// scheduler's admission controller (see `crate::tenant`).
     pub tenants: TenantRegistry,
     resources: BTreeMap<StorageKind, SharedResource>,
+    /// Learned per-dataset `moved / logical` byte ratios from the chunk
+    /// plane, consulted wherever eq. (2) prices a chunked dataset's bytes
+    /// (scored placement, prefetch admission, lifecycle pricing).
+    ratios: Mutex<RatioBook>,
     predictor: Option<Predictor>,
     policy: PlacementPolicy,
     wan_link: Option<LinkId>,
@@ -138,6 +142,7 @@ impl MsrSystem {
             load: LoadBoard::new(),
             tenants: TenantRegistry::new(),
             resources,
+            ratios: Mutex::new(RatioBook::new()),
             predictor: None,
             policy: PlacementPolicy::Hinted,
             wan_link: Some(tb.wan_link),
@@ -319,12 +324,47 @@ impl MsrSystem {
         Session::read_archived(self, run, name, iteration, grid, strategy)
     }
 
-    /// Total bytes currently stored per resource kind.
+    /// Total *physical* bytes currently stored per resource kind — what
+    /// actually occupies media after chunk dedup and compression. This is
+    /// what capacity planning and the lifecycle engine's occupancy
+    /// thresholds see.
     pub fn usage(&self) -> BTreeMap<StorageKind, u64> {
         self.resources
             .iter()
             .map(|(k, r)| (*k, r.lock().used_bytes()))
             .collect()
+    }
+
+    /// Total *logical* bytes per resource kind — the bytes applications
+    /// wrote, before dedup and compression. Tenant byte-quotas charge
+    /// these, so a tenant cannot stretch its quota by writing
+    /// highly-dedupable data. Identical to [`usage`](Self::usage) when no
+    /// chunked dataset exists.
+    pub fn usage_logical(&self) -> BTreeMap<StorageKind, u64> {
+        self.resources
+            .iter()
+            .map(|(k, r)| (*k, r.lock().logical_bytes()))
+            .collect()
+    }
+
+    /// Drain the chunk plane's pending transfer observations into the
+    /// ratio book and return how many were folded. Deterministic given a
+    /// deterministic dump order: observations are EWMA-folded per dataset
+    /// and every dataset's own observations arrive in dump order (they
+    /// serialize under the resource lock).
+    pub fn sync_ratios(&self) -> usize {
+        let deltas = self.engine.chunk_plane().take_deltas();
+        let mut book = self.ratios.lock();
+        for d in &deltas {
+            book.observe(&d.dataset, d.logical_bytes, d.moved_bytes);
+        }
+        deltas.len()
+    }
+
+    /// The learned `moved / logical` ratio for `dataset` (`1.0` until the
+    /// chunk plane has reported a dump for it).
+    pub fn predicted_ratio(&self, dataset: &str) -> f64 {
+        self.ratios.lock().ratio(dataset)
     }
 }
 

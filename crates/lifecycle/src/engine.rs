@@ -336,12 +336,17 @@ impl LifecycleEngine {
                 // Tolerate a file that is already gone (failover may have
                 // scattered dumps); refuse to touch bookkeeping while the
                 // resource is unreachable.
-                let gone = match res.lock().delete(&dump_file(d, iter)) {
+                // Chunk-plane aware: a chunked dump's delete releases its
+                // store references and garbage-collects frames no other
+                // dump shares; raw dumps take the plain delete path.
+                let gone = match sys.engine.delete_dump(&res, &dump_file(d, iter)) {
                     Ok(cost) => {
                         sys.clock.advance(cost.time);
                         true
                     }
-                    Err(msr_storage::StorageError::NotFound(_)) => true,
+                    Err(msr_runtime::RuntimeError::Storage(
+                        msr_storage::StorageError::NotFound(_),
+                    )) => true,
                     Err(_) => false,
                 };
                 if !gone {
@@ -462,7 +467,11 @@ impl LifecycleEngine {
                 }
                 // An offline tape or a missing file leaves the dump
                 // resident; the next tick retries.
-                if let Ok(cost) = res.lock().vault(&dump_file(d, dump.iter)) {
+                // Chunk-plane aware: a chunked dump vaults its manifest
+                // and drops a vault reference on each of its chunks — a
+                // shared frame leaves disk only when *every* dump that
+                // references it is vaulted.
+                if let Ok(cost) = sys.engine.vault_dump(&res, &dump_file(d, dump.iter)) {
                     sys.clock.advance(cost.time);
                     sys.catalog
                         .lock()
@@ -497,7 +506,7 @@ impl LifecycleEngine {
             if dump.state != DumpState::Vaulted {
                 continue;
             }
-            match res.lock().recall(&dump_file(d, dump.iter)) {
+            match sys.engine.recall_dump(&res, &dump_file(d, dump.iter)) {
                 Ok(cost) => {
                     sys.clock.advance(cost.time);
                     sys.catalog
@@ -575,7 +584,10 @@ impl LifecycleEngine {
         };
         let strategy = IoStrategy::parse(&d.strategy).unwrap_or(IoStrategy::Collective);
         let profile = profile_for(sys.predictor().map(|p| &p.db), &res, OpKind::Write);
-        fetch_estimate(&profile, strategy, &AccessSummary::of(&dist)).as_secs()
+        // Chunked datasets price their learned post-dedup/post-compression
+        // bytes; raw datasets scale by 1.0 (a no-op).
+        let access = AccessSummary::of(&dist).scaled(sys.predicted_ratio(&d.name));
+        fetch_estimate(&profile, strategy, &access).as_secs()
     }
 }
 

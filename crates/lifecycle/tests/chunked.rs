@@ -1,0 +1,187 @@
+//! Lifecycle over content-addressed data: retention pruning must
+//! garbage-collect unreferenced chunks, and vaulting/recall must move a
+//! chunked dump's frames with it — never stranding a chunk another dump
+//! still references, never serving a vaulted one.
+
+use msr_core::{ChunkPolicy, Codec, DatasetSpec, FutureUse, LocationHint, MsrSystem};
+use msr_lifecycle::{LifecycleConfig, LifecycleEngine, RetentionPolicy};
+use msr_meta::{ElementType, RunId};
+use msr_runtime::{IoStrategy, ProcGrid};
+use msr_sim::SimDuration;
+use msr_storage::StorageKind;
+
+/// Checkpoint payload: an LCG base shared by every dump of `name` plus a
+/// per-iteration churn window, so consecutive dumps dedup heavily but
+/// each contributes some unique chunks (the ones pruning must GC).
+fn churned(name: &str, iter: u32, len: usize) -> Vec<u8> {
+    let seed = name.bytes().fold(0x9e3779b97f4a7c15u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100000001b3)
+    });
+    let stream = |seed: u64, n: usize| -> Vec<u8> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 56) as u8
+            })
+            .collect()
+    };
+    let mut out = stream(seed, len);
+    let window = (len / 16).max(1);
+    let at = (iter as usize).wrapping_mul(977) % len.max(1);
+    let churn = stream(
+        seed ^ u64::from(iter).wrapping_mul(0x2545f4914f6cdd1d),
+        window,
+    );
+    for (i, b) in churn.into_iter().enumerate() {
+        out[(at + i) % len] = b;
+    }
+    out
+}
+
+/// Write a chunked checkpoint history (dumps at iterations 0, 3, …).
+fn write_chunked_history(
+    sys: &MsrSystem,
+    app: &str,
+    hint: LocationHint,
+    future_use: FutureUse,
+    iterations: u32,
+) -> RunId {
+    let mut s = sys
+        .session()
+        .app(app)
+        .user("sim")
+        .iterations(iterations)
+        .build()
+        .unwrap();
+    let spec = DatasetSpec::builder("chk")
+        .element(ElementType::F32)
+        .cube(16)
+        .frequency(3)
+        .hint(hint)
+        .future_use(future_use)
+        .chunked(ChunkPolicy::cdc(8))
+        .compression(Codec::Lz4Like(1))
+        .build();
+    let bytes = spec.snapshot_bytes() as usize;
+    let h = s.open(spec).unwrap();
+    let run = s.run_id();
+    for iter in 0..=iterations {
+        if s.dumps_at(h, iter) {
+            s.write_iteration(h, iter, &churned("chk", iter, bytes))
+                .unwrap();
+        }
+    }
+    s.finalize().unwrap();
+    run
+}
+
+fn quiet(cfg: LifecycleConfig) -> LifecycleConfig {
+    LifecycleConfig {
+        demote_after: SimDuration::from_secs(1e9),
+        promote_heat: u64::MAX,
+        vault_after: SimDuration::from_secs(1e9),
+        ..cfg
+    }
+}
+
+/// Retention pruning of chunked dumps drops their manifests and
+/// garbage-collects every chunk whose last reference died, while the
+/// surviving dumps keep reading back bitwise intact.
+#[test]
+fn retention_pruning_garbage_collects_unreferenced_chunks() {
+    let sys = MsrSystem::testbed(61);
+    let run = write_chunked_history(
+        &sys,
+        "ckpt",
+        LocationHint::LocalDisk,
+        FutureUse::Checkpoint,
+        12,
+    );
+    let name = sys
+        .resource(StorageKind::LocalDisk)
+        .unwrap()
+        .lock()
+        .name()
+        .to_owned();
+    let plane = sys.engine.chunk_plane();
+    assert_eq!(plane.manifest_count(&name), 5, "dumps at 0,3,6,9,12");
+    let before = plane.store_stats(&name).expect("store populated");
+    assert_eq!(before.gcs, 0);
+
+    let engine = LifecycleEngine::new(quiet(LifecycleConfig {
+        retention: RetentionPolicy::keep_all().with_keep_last(2),
+        ..LifecycleConfig::default()
+    }));
+    let t = engine.tick(&sys);
+    assert_eq!(t.pruned_files, 3, "5 dumps, keep_last 2");
+
+    let plane = sys.engine.chunk_plane();
+    assert_eq!(t.pruned_files as usize, 5 - plane.manifest_count(&name));
+    let after = plane.store_stats(&name).expect("store survives pruning");
+    assert!(
+        after.gcs > 0,
+        "pruned dumps' unique chunks must be collected: {after:?}"
+    );
+    assert!(
+        after.stored_bytes < before.stored_bytes,
+        "GC must free physical bytes ({} -> {})",
+        before.stored_bytes,
+        after.stored_bytes
+    );
+
+    // The survivors still read back exactly.
+    let grid = ProcGrid::new(1, 1, 1);
+    for iter in [9u32, 12] {
+        let (data, _) = sys
+            .read_dataset(run, "chk", iter, grid, IoStrategy::Collective)
+            .expect("kept dump reads");
+        assert_eq!(data, churned("chk", iter, data.len()));
+    }
+}
+
+/// Vaulting a chunked archive makes it unreadable until recalled; the
+/// recall restores the manifests and frames, and every dump reads back
+/// bitwise identical afterwards.
+#[test]
+fn vault_and_recall_roundtrip_chunked_dumps() {
+    let sys = MsrSystem::testbed(62);
+    let run = write_chunked_history(
+        &sys,
+        "arch",
+        LocationHint::RemoteTape,
+        FutureUse::Archive,
+        6,
+    );
+    let engine = LifecycleEngine::new(LifecycleConfig {
+        vault_after: SimDuration::from_secs(100.0),
+        demote_after: SimDuration::from_secs(1e9),
+        promote_heat: u64::MAX,
+        ..LifecycleConfig::default()
+    });
+    let grid = ProcGrid::new(1, 1, 1);
+
+    sys.clock.advance(SimDuration::from_secs(400.0));
+    let t = engine.tick(&sys);
+    assert_eq!(t.vaulted, 3, "dumps at 0, 3, 6 shelved");
+    assert!(
+        sys.read_dataset(run, "chk", 6, grid, IoStrategy::Collective)
+            .is_err(),
+        "vaulted chunked data must not serve reads"
+    );
+
+    let recalled = engine.recall_dataset(&sys, run, "chk").unwrap();
+    assert_eq!(recalled, 3);
+    for iter in [0u32, 3, 6] {
+        let (data, _) = sys
+            .read_dataset(run, "chk", iter, grid, IoStrategy::Collective)
+            .expect("recalled dump reads");
+        assert_eq!(
+            data,
+            churned("chk", iter, data.len()),
+            "iter {iter} corrupt after vault/recall"
+        );
+    }
+}

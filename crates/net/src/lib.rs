@@ -14,6 +14,7 @@
 //! the paper.
 
 pub mod connection;
+pub mod delta;
 pub mod error;
 pub mod failure;
 pub mod lease;
@@ -22,6 +23,7 @@ pub mod network;
 pub mod site;
 
 pub use connection::{Connection, ProtocolCosts};
+pub use delta::DeltaPlan;
 pub use error::NetError;
 pub use failure::OutageSchedule;
 pub use lease::{LeasePool, LeaseStats};

@@ -142,6 +142,18 @@ pub mod ops {
     /// A vaulted dump recalled to the tape's resident store — the span
     /// covers the configured recall latency (storage layer).
     pub const RECALL: &str = "recall";
+    /// A chunk already present in the destination's chunk store — its
+    /// frame did not ship (runtime layer counter).
+    pub const CHUNK_HIT: &str = "chunk_hit";
+    /// A chunk absent at the destination whose frame had to ship
+    /// (runtime layer counter).
+    pub const CHUNK_SHIP: &str = "chunk_ship";
+    /// Logical bytes dedup + compression avoided moving for one chunked
+    /// dump (runtime layer counter; the value is bytes).
+    pub const CHUNK_SAVED_BYTES: &str = "chunk_saved_bytes";
+    /// Chunk objects garbage-collected after their last reference was
+    /// released (runtime layer counter).
+    pub const CHUNK_GC: &str = "chunk_gc";
 }
 
 #[cfg(test)]

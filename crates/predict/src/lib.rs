@@ -23,6 +23,7 @@ pub mod model;
 pub mod perfdb;
 pub mod predictor;
 pub mod ptool;
+pub mod ratio;
 pub mod readahead;
 pub mod slo;
 
@@ -35,6 +36,7 @@ pub use predictor::{
     RunSpec,
 };
 pub use ptool::PTool;
+pub use ratio::RatioBook;
 pub use readahead::{fetch_estimate, profile_for};
 pub use slo::queue_wait;
 

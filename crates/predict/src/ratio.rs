@@ -1,0 +1,182 @@
+//! Per-dataset transfer-ratio learning for the chunked data plane.
+//!
+//! When a dataset is ingested through `msr-chunk`, the bytes that actually
+//! cross the wire and land on media are the *post-compression, post-dedup*
+//! bytes — often far fewer than the logical dump size eq. (2) would
+//! otherwise price. The [`RatioBook`] learns the observed
+//! `moved / logical` ratio per dataset with the same exponential moving
+//! average the [`crate::feeder::PerfDbFeeder`] uses for eq. (1)
+//! components, and [`AccessSummary::scaled`] applies it so placement,
+//! prefetch admission, and lifecycle pricing all estimate the bytes the
+//! chunk plane will really move.
+//!
+//! Datasets the book has never observed (or with chunking disabled)
+//! predict at ratio `1.0`, and [`AccessSummary::scaled`] is a bitwise
+//! no-op at `1.0` — predictions without chunking are unchanged.
+
+use crate::model::AccessSummary;
+use std::collections::BTreeMap;
+
+/// EWMA book of observed `moved / logical` byte ratios, keyed by dataset.
+#[derive(Debug, Clone)]
+pub struct RatioBook {
+    /// EWMA smoothing factor in `(0, 1]`: weight of the newest
+    /// observation. Matches the feeder's default of `0.3`.
+    pub alpha: f64,
+    cells: BTreeMap<String, f64>,
+}
+
+impl Default for RatioBook {
+    fn default() -> Self {
+        RatioBook {
+            alpha: 0.3,
+            cells: BTreeMap::new(),
+        }
+    }
+}
+
+impl RatioBook {
+    /// A book with the default smoothing (`alpha = 0.3`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one observed dump: `logical` bytes requested, `moved` bytes
+    /// actually shipped (frames for absent chunks plus the manifest).
+    /// Zero-byte dumps are ignored — they carry no ratio information.
+    pub fn observe(&mut self, dataset: &str, logical: u64, moved: u64) {
+        if logical == 0 {
+            return;
+        }
+        let sample = (moved as f64 / logical as f64).clamp(0.0, 2.0);
+        match self.cells.get_mut(dataset) {
+            Some(cell) => *cell = *cell * (1.0 - self.alpha) + sample * self.alpha,
+            None => {
+                // First observation is adopted outright, as the feeder
+                // does when it inserts a new transfer anchor.
+                self.cells.insert(dataset.to_string(), sample);
+            }
+        }
+    }
+
+    /// The learned ratio for `dataset`, or `1.0` when nothing has been
+    /// observed yet (raw datasets never enter the book, so they always
+    /// predict at full logical size).
+    pub fn ratio(&self, dataset: &str) -> f64 {
+        self.cells.get(dataset).copied().unwrap_or(1.0)
+    }
+
+    /// Number of datasets with learned ratios.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether no dataset has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+impl AccessSummary {
+    /// This access with every byte figure scaled by `ratio` — the shape
+    /// eq. (2) should price when the chunk plane is expected to move only
+    /// `ratio` of the logical bytes. Counts (`nprocs`, `runs_per_proc`)
+    /// are untouched: dedup shrinks transfers, not the access pattern.
+    ///
+    /// At `ratio >= 1.0` (or a non-finite ratio) this returns `self`
+    /// unchanged, so predictions for unchunked datasets stay bitwise
+    /// identical.
+    pub fn scaled(&self, ratio: f64) -> AccessSummary {
+        if !ratio.is_finite() || ratio >= 1.0 {
+            return *self;
+        }
+        let r = ratio.max(0.0);
+        // Never round a nonzero figure down to zero: a dump that moves
+        // any bytes at all still pays per-call fixed costs on a nonempty
+        // transfer.
+        let scale = |b: u64| -> u64 {
+            if b == 0 {
+                0
+            } else {
+                (((b as f64) * r).round() as u64).max(1)
+            }
+        };
+        AccessSummary {
+            total_bytes: scale(self.total_bytes),
+            nprocs: self.nprocs,
+            runs_per_proc: self.runs_per_proc,
+            run_bytes: scale(self.run_bytes),
+            extent_bytes: scale(self.extent_bytes),
+            proc_bytes: scale(self.proc_bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access() -> AccessSummary {
+        AccessSummary {
+            total_bytes: 1 << 20,
+            nprocs: 8,
+            runs_per_proc: 16,
+            run_bytes: 8192,
+            extent_bytes: 1 << 17,
+            proc_bytes: 1 << 17,
+        }
+    }
+
+    #[test]
+    fn unknown_datasets_predict_at_full_size() {
+        let book = RatioBook::new();
+        assert_eq!(book.ratio("astro3d"), 1.0);
+        assert_eq!(access().scaled(book.ratio("astro3d")), access());
+    }
+
+    #[test]
+    fn first_observation_is_adopted_then_smoothed() {
+        let mut book = RatioBook::new();
+        book.observe("ckpt", 1000, 250);
+        assert!((book.ratio("ckpt") - 0.25).abs() < 1e-12);
+        book.observe("ckpt", 1000, 750);
+        // 0.25 * 0.7 + 0.75 * 0.3 = 0.40
+        assert!((book.ratio("ckpt") - 0.40).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_shrinks_byte_figures_but_not_counts() {
+        let a = access().scaled(0.25);
+        assert_eq!(a.total_bytes, 1 << 18);
+        assert_eq!(a.run_bytes, 2048);
+        assert_eq!(a.nprocs, 8);
+        assert_eq!(a.runs_per_proc, 16);
+    }
+
+    #[test]
+    fn nonzero_figures_never_scale_to_zero() {
+        let a = AccessSummary {
+            total_bytes: 3,
+            nprocs: 1,
+            runs_per_proc: 1,
+            run_bytes: 3,
+            extent_bytes: 3,
+            proc_bytes: 3,
+        };
+        let s = a.scaled(0.001);
+        assert_eq!(s.total_bytes, 1);
+        assert_eq!(s.run_bytes, 1);
+    }
+
+    #[test]
+    fn ratios_above_one_and_zero_dumps_are_handled() {
+        let mut book = RatioBook::new();
+        book.observe("d", 0, 500);
+        assert_eq!(book.ratio("d"), 1.0);
+        book.observe("d", 100, 500); // clamped to 2.0
+        assert!((book.ratio("d") - 2.0).abs() < 1e-12);
+        // Inflating ratios still price at the unscaled shape: the plane
+        // never ships more than logical + bounded framing overhead.
+        assert_eq!(access().scaled(book.ratio("d")), access());
+    }
+}

@@ -1,0 +1,741 @@
+//! The chunk plane: content-addressed, optionally compressed dumps.
+//!
+//! A dataset whose [`IngestSpec`] is active routes its dumps through this
+//! module instead of the raw object path. The payload is split into
+//! chunks ([`msr_chunk::ChunkPolicy`]), each chunk digested over its
+//! *uncompressed* bytes and optionally compressed; the dump's object at
+//! the dataset path becomes a [`Manifest`]. In content-addressed mode the
+//! frames live in per-resource `cas/<digest>` objects shared across
+//! dumps, tracked by a refcounted [`ChunkStore`] — a dump only ships the
+//! chunks its destination does not already hold, which is where the WAN
+//! savings of checkpoint-every-N producers come from. In pack mode
+//! (`content_addressed: false`) the frames follow the manifest header in
+//! one self-contained object: compression without dedup.
+//!
+//! # Cost model
+//!
+//! A chunked write gathers the global array to an aggregator (two-phase
+//! exchange when `nprocs > 1`), charges one node-memory scan for the
+//! chunk/digest/compress pass, then issues rank-0 sequential native calls
+//! for every *absent* chunk frame and the manifest. Reads mirror this:
+//! native reads for the manifest and each referenced frame, a decompress
+//! scan, then the scatter exchange. Native call order is fixed (dump
+//! order), so virtual times are bitwise reproducible at any
+//! `MSR_THREADS`; host-side compression and verification run on the
+//! work-stealing pool but their results are order-collected.
+//!
+//! # Locking
+//!
+//! The plane's mutex nests strictly *inside* a resource lock: every path
+//! that takes both locks the resource first. On overwrite, new chunk
+//! references are committed before the replaced manifest's references are
+//! released, so a chunk shared between the old and new dump never hits
+//! refcount zero mid-flight.
+
+use crate::engine::{memcpy_cost, IoEngine, IoReport, OpCx, StatsDelta};
+use crate::error::RuntimeError;
+use crate::layout::Distribution;
+use crate::strategy::IoStrategy;
+use crate::RuntimeResult;
+use msr_chunk::{
+    cas_path, compress, decompress, split, ChunkError, ChunkPolicy, ChunkRef, ChunkStore, Codec,
+    DeltaSummary, Digest, IngestSpec, Manifest, StoreStats,
+};
+use msr_obs::{ops, Layer};
+use msr_sim::SimDuration;
+use msr_storage::{Cost, OpenMode, SharedResource, StorageError, StorageResource};
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// What the plane remembers about one chunked dump.
+#[derive(Debug, Clone)]
+struct ManifestMeta {
+    /// Chunk occurrences in dump order.
+    chunks: Vec<ChunkRef>,
+    /// Policy that produced the boundaries.
+    policy: ChunkPolicy,
+    /// Codec the dump was written with.
+    codec: Codec,
+    /// Logical payload bytes.
+    logical: u64,
+    /// Pack mode: frames inline in the manifest object, no store refs.
+    inline: bool,
+    /// The dump is in the tape vault (its store references are counted in
+    /// the vaulted population).
+    vaulted: bool,
+}
+
+#[derive(Debug, Default)]
+struct PlaneState {
+    /// Per-resource chunk stores, keyed by resource name.
+    stores: BTreeMap<String, ChunkStore>,
+    /// Registered chunked dumps, keyed `(resource name, path)`.
+    manifests: BTreeMap<(String, String), ManifestMeta>,
+    /// Transfer observations awaiting a predictor sync.
+    pending: Vec<DeltaSummary>,
+}
+
+/// Shared state of the chunk plane. Engine clones share one plane (the
+/// stores must be global per process — dedup across sessions is the
+/// point), so this is an `Arc` handle.
+#[derive(Debug, Clone, Default)]
+pub struct ChunkPlane {
+    state: Arc<Mutex<PlaneState>>,
+}
+
+impl ChunkPlane {
+    /// Whether `(resource, path)` is a registered chunked dump.
+    pub fn is_chunked(&self, resource: &str, path: &str) -> bool {
+        self.state
+            .lock()
+            .manifests
+            .contains_key(&(resource.to_owned(), path.to_owned()))
+    }
+
+    /// The ingest spec a registered dump was written with — what a
+    /// migration uses to re-chunk faithfully at the destination.
+    pub fn ingest_of(&self, resource: &str, path: &str) -> Option<IngestSpec> {
+        let st = self.state.lock();
+        let m = st.manifests.get(&(resource.to_owned(), path.to_owned()))?;
+        Some(IngestSpec {
+            policy: m.policy,
+            codec: m.codec,
+            content_addressed: !m.inline,
+        })
+    }
+
+    /// Logical payload bytes of a registered chunked dump (what a
+    /// migration will move, regardless of the manifest's stored size).
+    pub fn logical_of(&self, resource: &str, path: &str) -> Option<u64> {
+        self.state
+            .lock()
+            .manifests
+            .get(&(resource.to_owned(), path.to_owned()))
+            .map(|m| m.logical)
+    }
+
+    /// Aggregate chunk-store counters for one resource.
+    pub fn store_stats(&self, resource: &str) -> Option<StoreStats> {
+        self.state.lock().stores.get(resource).map(|s| s.stats())
+    }
+
+    /// Registered chunked dumps on one resource.
+    pub fn manifest_count(&self, resource: &str) -> usize {
+        self.state
+            .lock()
+            .manifests
+            .keys()
+            .filter(|(r, _)| r == resource)
+            .count()
+    }
+
+    /// Drain the transfer observations accumulated since the last drain.
+    /// Per-dataset order follows each resource's dispatch order; callers
+    /// fold them into per-dataset state (cross-dataset interleave is not
+    /// meaningful).
+    pub fn take_deltas(&self) -> Vec<DeltaSummary> {
+        std::mem::take(&mut self.state.lock().pending)
+    }
+}
+
+/// One planned chunk of an outgoing dump.
+struct Planned {
+    digest: Digest,
+    ulen: u32,
+    /// Compressed frame under the *requested* codec.
+    frame: Vec<u8>,
+}
+
+impl IoEngine {
+    /// The shared chunk plane.
+    pub fn chunk_plane(&self) -> &ChunkPlane {
+        &self.plane
+    }
+
+    /// Write the global array `data` as a *chunked* dump at `path`. Falls
+    /// back to the raw [`IoEngine::write`] path when `ingest` is inactive,
+    /// so callers can route unconditionally. `dataset` labels the transfer
+    /// observation the predictor's ratio book learns from.
+    #[allow(clippy::too_many_arguments)]
+    pub fn write_chunked(
+        &self,
+        res: &SharedResource,
+        path: &str,
+        data: &[u8],
+        dist: &Distribution,
+        strategy: IoStrategy,
+        mode: OpenMode,
+        ingest: &IngestSpec,
+        dataset: &str,
+    ) -> RuntimeResult<IoReport> {
+        if !ingest.is_active() {
+            return self.write(res, path, data, dist, strategy, mode);
+        }
+        if data.len() as u64 != dist.total_bytes() {
+            return Err(RuntimeError::SizeMismatch {
+                expected: dist.total_bytes(),
+                got: data.len() as u64,
+            });
+        }
+        if !mode.writable() {
+            return Err(RuntimeError::Storage(StorageError::BadMode { op: "write" }));
+        }
+        // Host-side planning: boundaries, digests and frames are pure
+        // functions of content, so the parallel map collects in order and
+        // the plan is identical at any thread count.
+        let ranges = split(data, &ingest.policy);
+        let planned: Vec<Planned> = ranges
+            .into_par_iter()
+            .map(|r| {
+                let chunk = &data[r];
+                Planned {
+                    digest: Digest::of(chunk),
+                    ulen: chunk.len() as u32,
+                    frame: compress(&ingest.codec, chunk),
+                }
+            })
+            .collect();
+        let total = data.len() as u64;
+        let nprocs = dist.nprocs();
+
+        let mut r = res.lock();
+        let delta = StatsDelta::start(&*r);
+        let mut cx = OpCx::new(nprocs);
+        r.set_stream_hint(1);
+
+        // Gather the distributed array to the aggregator, then one
+        // node-memory scan for the chunk/digest/compress pass.
+        if nprocs > 1 {
+            let shuffle = self.exchange.shuffle_cost(total, nprocs);
+            for p in 0..nprocs {
+                cx.tl.charge(p, shuffle);
+            }
+            cx.tl.barrier();
+        }
+        cx.tl.charge(0, memcpy_cost(total));
+
+        let resource = r.name().to_owned();
+        let key = (resource.clone(), path.to_owned());
+        let (moved, shipped, hits, gc_deletes);
+        let manifest_bytes;
+        {
+            let mut plane = self.plane.state.lock();
+            let old = plane.manifests.get(&key).cloned();
+
+            if ingest.content_addressed {
+                let store = plane.stores.entry(resource.clone()).or_default();
+                // Ship each distinct absent chunk once, in dump order.
+                let mut seen: BTreeSet<Digest> = BTreeSet::new();
+                let mut to_ship: Vec<&Planned> = Vec::new();
+                for c in &planned {
+                    if seen.insert(c.digest) && !store.contains(&c.digest) {
+                        to_ship.push(c);
+                    }
+                }
+                let mut moved_now = 0u64;
+                for c in &to_ship {
+                    let cas = cas_path(&c.digest);
+                    let open =
+                        self.retried(&mut cx, 0, &mut *r, |r| r.open(&cas, OpenMode::Create))?;
+                    cx.tl.charge(0, open.time);
+                    let w = self.retried(&mut cx, 0, &mut *r, |r| r.write(open.value, &c.frame))?;
+                    cx.tl.charge(0, w.time);
+                    let cl = self.retried(&mut cx, 0, &mut *r, |r| r.close(open.value))?;
+                    cx.tl.charge(0, cl.time);
+                    r.set_logical_size(&cas, 0);
+                    moved_now += c.frame.len() as u64;
+                }
+                // Manifest entries use the sizes of the frames actually on
+                // storage: a dedup hit keeps the codec it was first
+                // written with.
+                let chunks: Vec<ChunkRef> = planned
+                    .iter()
+                    .map(|c| {
+                        let (ulen, clen) = store
+                            .sizes(&c.digest)
+                            .unwrap_or((c.ulen, c.frame.len() as u32));
+                        ChunkRef {
+                            digest: c.digest,
+                            ulen,
+                            clen,
+                        }
+                    })
+                    .collect();
+                let manifest = Manifest {
+                    policy: ingest.policy,
+                    codec: ingest.codec,
+                    logical: total,
+                    chunks: chunks.clone(),
+                    inline: false,
+                };
+                manifest_bytes = manifest.encode();
+                let open = self.retried(&mut cx, 0, &mut *r, |r| r.open(path, OpenMode::Create))?;
+                cx.tl.charge(0, open.time);
+                let w = self.retried(&mut cx, 0, &mut *r, |r| {
+                    r.write(open.value, &manifest_bytes)
+                })?;
+                cx.tl.charge(0, w.time);
+                let cl = self.retried(&mut cx, 0, &mut *r, |r| r.close(open.value))?;
+                cx.tl.charge(0, cl.time);
+                r.set_logical_size(path, total);
+
+                // Commit the new references, then release the replaced
+                // dump's — shared chunks never hit zero in between.
+                for c in &chunks {
+                    store.acquire(c.digest, c.ulen, c.clen);
+                }
+                let mut gcs: Vec<Digest> = Vec::new();
+                if let Some(old) = &old {
+                    if !old.inline {
+                        for c in &old.chunks {
+                            if let Some(rel) = store.release(&c.digest, old.vaulted) {
+                                if rel.gone {
+                                    gcs.push(c.digest);
+                                }
+                            }
+                        }
+                    }
+                }
+                shipped = to_ship.len();
+                hits = planned.len() - shipped;
+                moved = moved_now + manifest_bytes.len() as u64;
+                gc_deletes = gcs;
+                plane.manifests.insert(
+                    key,
+                    ManifestMeta {
+                        chunks,
+                        policy: ingest.policy,
+                        codec: ingest.codec,
+                        logical: total,
+                        inline: false,
+                        vaulted: false,
+                    },
+                );
+            } else {
+                // Pack mode: manifest header + every frame in one object.
+                let chunks: Vec<ChunkRef> = planned
+                    .iter()
+                    .map(|c| ChunkRef {
+                        digest: c.digest,
+                        ulen: c.ulen,
+                        clen: c.frame.len() as u32,
+                    })
+                    .collect();
+                let manifest = Manifest {
+                    policy: ingest.policy,
+                    codec: ingest.codec,
+                    logical: total,
+                    chunks: chunks.clone(),
+                    inline: true,
+                };
+                let mut obj = manifest.encode();
+                for c in &planned {
+                    obj.extend_from_slice(&c.frame);
+                }
+                manifest_bytes = obj;
+                let open = self.retried(&mut cx, 0, &mut *r, |r| r.open(path, OpenMode::Create))?;
+                cx.tl.charge(0, open.time);
+                let w = self.retried(&mut cx, 0, &mut *r, |r| {
+                    r.write(open.value, &manifest_bytes)
+                })?;
+                cx.tl.charge(0, w.time);
+                let cl = self.retried(&mut cx, 0, &mut *r, |r| r.close(open.value))?;
+                cx.tl.charge(0, cl.time);
+                r.set_logical_size(path, total);
+                // Release a replaced content-addressed dump's references
+                // even when the new dump is packed.
+                let mut gcs: Vec<Digest> = Vec::new();
+                if let (Some(old), Some(store)) = (&old, plane.stores.get_mut(&resource)) {
+                    if !old.inline {
+                        for c in &old.chunks {
+                            if let Some(rel) = store.release(&c.digest, old.vaulted) {
+                                if rel.gone {
+                                    gcs.push(c.digest);
+                                }
+                            }
+                        }
+                    }
+                }
+                shipped = planned.len();
+                hits = 0;
+                moved = manifest_bytes.len() as u64;
+                gc_deletes = gcs;
+                plane.manifests.insert(
+                    key,
+                    ManifestMeta {
+                        chunks,
+                        policy: ingest.policy,
+                        codec: ingest.codec,
+                        logical: total,
+                        inline: true,
+                        vaulted: false,
+                    },
+                );
+            }
+            plane.pending.push(DeltaSummary {
+                dataset: dataset.to_owned(),
+                logical_bytes: total,
+                moved_bytes: moved,
+                chunks_total: planned.len(),
+                chunks_shipped: shipped,
+            });
+        }
+        // GC frames orphaned by the overwrite. A failed delete leaks the
+        // frame but must not fail the (already committed) write.
+        for d in &gc_deletes {
+            if let Ok(cost) = r.delete(&cas_path(d)) {
+                cx.tl.charge(0, cost.time);
+            }
+        }
+
+        cx.tl.barrier();
+        let (nr, nw, no) = delta.finish(&*r);
+        let report = IoReport {
+            strategy,
+            nprocs,
+            native_reads: nr,
+            native_writes: nw,
+            native_opens: no,
+            bytes: total,
+            elapsed: cx.tl.makespan(),
+            total_work: cx.tl.total_work(),
+            retries: cx.retries,
+            backoff: cx.backoff,
+            stale: false,
+        };
+        self.record_strategy(r.name(), "write", &report);
+        if self.recorder.enabled() {
+            let now = self.clock.now();
+            if hits > 0 {
+                self.recorder
+                    .count(Layer::Runtime, &resource, ops::CHUNK_HIT, now, hits as f64);
+            }
+            if shipped > 0 {
+                self.recorder.count(
+                    Layer::Runtime,
+                    &resource,
+                    ops::CHUNK_SHIP,
+                    now,
+                    shipped as f64,
+                );
+            }
+            if moved < total {
+                self.recorder.count(
+                    Layer::Runtime,
+                    &resource,
+                    ops::CHUNK_SAVED_BYTES,
+                    now,
+                    (total - moved) as f64,
+                );
+            }
+            if !gc_deletes.is_empty() {
+                self.recorder.count(
+                    Layer::Runtime,
+                    &resource,
+                    ops::CHUNK_GC,
+                    now,
+                    gc_deletes.len() as f64,
+                );
+            }
+        }
+        Ok(report)
+    }
+
+    /// Read a chunked dump back into the assembled global array. Every
+    /// frame is digest-verified against its manifest entry; a mismatch
+    /// surfaces as [`RuntimeError::Chunk`].
+    pub fn read_chunked(
+        &self,
+        res: &SharedResource,
+        path: &str,
+        dist: &Distribution,
+        strategy: IoStrategy,
+    ) -> RuntimeResult<(Vec<u8>, IoReport)> {
+        let nprocs = dist.nprocs();
+        let mut r = res.lock();
+        let delta = StatsDelta::start(&*r);
+        let mut cx = OpCx::new(nprocs);
+        r.set_stream_hint(1);
+
+        let chunk_err = |source: ChunkError| RuntimeError::Chunk {
+            path: path.to_owned(),
+            source,
+        };
+        let obj = self.read_object(&mut cx, &mut *r, path)?;
+        let (manifest, frames_at) = Manifest::decode(&obj).map_err(chunk_err)?;
+        if manifest.logical != dist.total_bytes() {
+            return Err(RuntimeError::SizeMismatch {
+                expected: dist.total_bytes(),
+                got: manifest.logical,
+            });
+        }
+
+        // Fetch each distinct frame once, in first-occurrence order.
+        let mut frames: BTreeMap<Digest, Vec<u8>> = BTreeMap::new();
+        if manifest.inline {
+            let mut at = frames_at;
+            for c in &manifest.chunks {
+                let end = at + c.clen as usize;
+                if end > obj.len() {
+                    return Err(chunk_err(ChunkError::BadManifest {
+                        detail: format!(
+                            "inline frames truncated: need {end} B, object has {}",
+                            obj.len()
+                        ),
+                    }));
+                }
+                frames
+                    .entry(c.digest)
+                    .or_insert_with(|| obj[at..end].to_vec());
+                at = end;
+            }
+        } else {
+            for c in &manifest.chunks {
+                if frames.contains_key(&c.digest) {
+                    continue;
+                }
+                let frame = self.read_object(&mut cx, &mut *r, &cas_path(&c.digest))?;
+                frames.insert(c.digest, frame);
+            }
+        }
+
+        // Decompress and verify on the pool; results collect in dump
+        // order. One node-memory scan is charged for the pass.
+        let plains: Vec<Result<Vec<u8>, ChunkError>> = manifest
+            .chunks
+            .par_iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let plain = decompress(&frames[&c.digest])?;
+                let got = Digest::of(&plain);
+                if got != c.digest {
+                    return Err(ChunkError::DigestMismatch {
+                        chunk: i,
+                        expected: c.digest,
+                        got,
+                    });
+                }
+                Ok(plain)
+            })
+            .collect();
+        let mut out = Vec::with_capacity(manifest.logical as usize);
+        for p in plains {
+            out.extend_from_slice(&p.map_err(chunk_err)?);
+        }
+        if out.len() as u64 != manifest.logical {
+            return Err(chunk_err(ChunkError::BadManifest {
+                detail: format!(
+                    "frames decompress to {} B, manifest declares {}",
+                    out.len(),
+                    manifest.logical
+                ),
+            }));
+        }
+        cx.tl.charge(0, memcpy_cost(manifest.logical));
+        if nprocs > 1 {
+            let shuffle = self.exchange.shuffle_cost(manifest.logical, nprocs);
+            cx.tl.barrier();
+            for p in 0..nprocs {
+                cx.tl.charge(p, shuffle);
+            }
+        }
+
+        cx.tl.barrier();
+        let (nr, nw, no) = delta.finish(&*r);
+        let report = IoReport {
+            strategy,
+            nprocs,
+            native_reads: nr,
+            native_writes: nw,
+            native_opens: no,
+            bytes: manifest.logical,
+            elapsed: cx.tl.makespan(),
+            total_work: cx.tl.total_work(),
+            retries: cx.retries,
+            backoff: cx.backoff,
+            stale: false,
+        };
+        self.record_strategy(r.name(), "read", &report);
+        Ok((out, report))
+    }
+
+    /// Read `path` whichever way it was written: through the chunk plane
+    /// when a manifest is registered for it, raw otherwise.
+    pub fn read_auto(
+        &self,
+        res: &SharedResource,
+        path: &str,
+        dist: &Distribution,
+        strategy: IoStrategy,
+    ) -> RuntimeResult<(Vec<u8>, IoReport)> {
+        let chunked = {
+            let r = res.lock();
+            self.plane.is_chunked(r.name(), path)
+        };
+        if chunked {
+            self.read_chunked(res, path, dist, strategy)
+        } else {
+            self.read(res, path, dist, strategy)
+        }
+    }
+
+    /// Delete a dump, raw or chunked. For a chunked dump the manifest
+    /// object goes first, then its chunk references are released and any
+    /// frame whose refcount hit zero is garbage-collected. Returns the
+    /// accumulated native-call time.
+    pub fn delete_dump(&self, res: &SharedResource, path: &str) -> RuntimeResult<Cost<()>> {
+        let mut r = res.lock();
+        let resource = r.name().to_owned();
+        let key = (resource.clone(), path.to_owned());
+        let meta = self.plane.state.lock().manifests.get(&key).cloned();
+        let mut time = SimDuration::ZERO;
+        // Manifest delete failures propagate *before* bookkeeping is
+        // touched, so a retry sees consistent state. A missing file still
+        // clears the registration (failover may have scattered dumps).
+        match r.delete(path) {
+            Ok(cost) => time += cost.time,
+            Err(StorageError::NotFound(_)) if meta.is_some() => {}
+            Err(e) => return Err(RuntimeError::Storage(e)),
+        }
+        let Some(meta) = meta else {
+            return Ok(Cost::new(time, ()));
+        };
+        let mut gcs: Vec<Digest> = Vec::new();
+        {
+            let mut plane = self.plane.state.lock();
+            plane.manifests.remove(&key);
+            if !meta.inline {
+                if let Some(store) = plane.stores.get_mut(&resource) {
+                    for c in &meta.chunks {
+                        if let Some(rel) = store.release(&c.digest, meta.vaulted) {
+                            if rel.gone {
+                                gcs.push(c.digest);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for d in &gcs {
+            if let Ok(cost) = r.delete(&cas_path(d)) {
+                time += cost.time;
+            }
+        }
+        if self.recorder.enabled() && !gcs.is_empty() {
+            self.recorder.count(
+                Layer::Runtime,
+                &resource,
+                ops::CHUNK_GC,
+                self.clock.now(),
+                gcs.len() as f64,
+            );
+        }
+        Ok(Cost::new(time, ()))
+    }
+
+    /// Vault a dump, raw or chunked. A chunked dump vaults its manifest
+    /// and marks its references vaulted; each frame object moves to the
+    /// vault only once *every* dump referencing it is vaulted.
+    pub fn vault_dump(&self, res: &SharedResource, path: &str) -> RuntimeResult<Cost<()>> {
+        let mut r = res.lock();
+        let resource = r.name().to_owned();
+        let key = (resource.clone(), path.to_owned());
+        let meta = self.plane.state.lock().manifests.get(&key).cloned();
+        let Some(meta) = meta else {
+            return Ok(Cost::new(r.vault(path)?.time, ()));
+        };
+        if meta.vaulted {
+            return Ok(Cost::free(()));
+        }
+        let mut time = r.vault(path)?.time;
+        if !meta.inline {
+            let mut plane = self.plane.state.lock();
+            let mut to_vault: Vec<Digest> = Vec::new();
+            if let Some(store) = plane.stores.get_mut(&resource) {
+                for c in &meta.chunks {
+                    if store.vault_ref(&c.digest) {
+                        to_vault.push(c.digest);
+                    }
+                }
+            }
+            if let Some(m) = plane.manifests.get_mut(&key) {
+                m.vaulted = true;
+            }
+            drop(plane);
+            for d in &to_vault {
+                if let Ok(cost) = r.vault(&cas_path(d)) {
+                    time += cost.time;
+                }
+            }
+        } else {
+            let mut plane = self.plane.state.lock();
+            if let Some(m) = plane.manifests.get_mut(&key) {
+                m.vaulted = true;
+            }
+        }
+        Ok(Cost::new(time, ()))
+    }
+
+    /// Recall a dump from the vault, raw or chunked. The first dump to
+    /// need a shared frame recalls the frame object for everyone.
+    pub fn recall_dump(&self, res: &SharedResource, path: &str) -> RuntimeResult<Cost<()>> {
+        let mut r = res.lock();
+        let resource = r.name().to_owned();
+        let key = (resource.clone(), path.to_owned());
+        let meta = self.plane.state.lock().manifests.get(&key).cloned();
+        let Some(meta) = meta else {
+            return Ok(Cost::new(r.recall(path)?.time, ()));
+        };
+        if !meta.vaulted {
+            return Ok(Cost::free(()));
+        }
+        let mut time = r.recall(path)?.time;
+        if !meta.inline {
+            let mut plane = self.plane.state.lock();
+            let mut to_recall: Vec<Digest> = Vec::new();
+            if let Some(store) = plane.stores.get_mut(&resource) {
+                for c in &meta.chunks {
+                    if store.recall_ref(&c.digest) {
+                        to_recall.push(c.digest);
+                    }
+                }
+            }
+            if let Some(m) = plane.manifests.get_mut(&key) {
+                m.vaulted = false;
+            }
+            drop(plane);
+            for d in &to_recall {
+                if let Ok(cost) = r.recall(&cas_path(d)) {
+                    time += cost.time;
+                }
+            }
+        } else {
+            let mut plane = self.plane.state.lock();
+            if let Some(m) = plane.manifests.get_mut(&key) {
+                m.vaulted = false;
+            }
+        }
+        Ok(Cost::new(time, ()))
+    }
+
+    /// One whole object via native open/read/close on the aggregator.
+    fn read_object(
+        &self,
+        cx: &mut OpCx,
+        r: &mut dyn StorageResource,
+        path: &str,
+    ) -> RuntimeResult<Vec<u8>> {
+        let len = r
+            .file_size(path)
+            .ok_or_else(|| RuntimeError::Storage(StorageError::NotFound(path.to_owned())))?;
+        let open = self.retried(cx, 0, r, |r| r.open(path, OpenMode::Read))?;
+        cx.tl.charge(0, open.time);
+        let read = self.retried(cx, 0, r, |r| r.read(open.value, len as usize))?;
+        cx.tl.charge(0, read.time);
+        let cl = self.retried(cx, 0, r, |r| r.close(open.value))?;
+        cx.tl.charge(0, cl.time);
+        Ok(read.value.to_vec())
+    }
+}

@@ -207,9 +207,10 @@ impl IoReport {
 pub struct IoEngine {
     /// Interconnect model for two-phase exchange.
     pub exchange: ExchangeModel,
-    recorder: Recorder,
-    clock: Clock,
+    pub(crate) recorder: Recorder,
+    pub(crate) clock: Clock,
     retry: RetryPolicy,
+    pub(crate) plane: crate::chunked::ChunkPlane,
 }
 
 impl Default for IoEngine {
@@ -219,6 +220,7 @@ impl Default for IoEngine {
             recorder: Recorder::disabled(),
             clock: Clock::new(),
             retry: RetryPolicy::default(),
+            plane: crate::chunked::ChunkPlane::default(),
         }
     }
 }
@@ -226,16 +228,16 @@ impl Default for IoEngine {
 /// Per-operation mutable context threaded through the strategy
 /// interpreters: the per-process timeline plus the retry accounting that
 /// ends up in the [`IoReport`].
-struct OpCx {
-    tl: Timeline,
-    retries: usize,
-    backoff: SimDuration,
+pub(crate) struct OpCx {
+    pub(crate) tl: Timeline,
+    pub(crate) retries: usize,
+    pub(crate) backoff: SimDuration,
     scratch_allocs: usize,
     scratch_reuses: usize,
 }
 
 impl OpCx {
-    fn new(nprocs: usize) -> Self {
+    pub(crate) fn new(nprocs: usize) -> Self {
         OpCx {
             tl: Timeline::new(nprocs),
             retries: 0,
@@ -254,18 +256,18 @@ impl OpCx {
     }
 }
 
-struct StatsDelta {
+pub(crate) struct StatsDelta {
     before: ResourceStats,
 }
 
 impl StatsDelta {
-    fn start(res: &dyn StorageResource) -> Self {
+    pub(crate) fn start(res: &dyn StorageResource) -> Self {
         StatsDelta {
             before: res.stats(),
         }
     }
 
-    fn finish(self, res: &dyn StorageResource) -> (usize, usize, usize) {
+    pub(crate) fn finish(self, res: &dyn StorageResource) -> (usize, usize, usize) {
         let after = res.stats();
         (
             after.reads - self.before.reads,
@@ -293,6 +295,7 @@ impl IoEngine {
             recorder: Recorder::disabled(),
             clock: Clock::new(),
             retry: RetryPolicy::default(),
+            plane: crate::chunked::ChunkPlane::default(),
         }
     }
 
@@ -311,7 +314,7 @@ impl IoEngine {
     /// and re-issue the call, up to the policy's budget; anything else —
     /// or a transient that outlives the budget — propagates. Each retry
     /// emits a runtime-layer `retry` count and a `backoff` span.
-    fn retried<T>(
+    pub(crate) fn retried<T>(
         &self,
         cx: &mut OpCx,
         p: usize,
@@ -352,7 +355,7 @@ impl IoEngine {
         self.clock = clock;
     }
 
-    fn record_strategy(&self, resource: &str, verb: &str, report: &IoReport) {
+    pub(crate) fn record_strategy(&self, resource: &str, verb: &str, report: &IoReport) {
         if self.recorder.enabled() {
             self.recorder.span(
                 Layer::Runtime,
@@ -460,6 +463,18 @@ impl IoEngine {
     ) -> RuntimeResult<crate::request::RequestOutcome> {
         use crate::request::{RequestBody, RequestOutcome};
         let outcome = match &req.body {
+            RequestBody::Write { data, mode } if req.ingest.is_active() => {
+                RequestOutcome::Written(self.write_chunked(
+                    res,
+                    &req.path,
+                    data,
+                    &req.dist,
+                    req.strategy,
+                    *mode,
+                    &req.ingest,
+                    &req.dataset,
+                )?)
+            }
             RequestBody::Write { data, mode } => RequestOutcome::Written(self.write(
                 res,
                 &req.path,
@@ -469,7 +484,7 @@ impl IoEngine {
                 *mode,
             )?),
             RequestBody::Read => {
-                let (data, report) = self.read(res, &req.path, &req.dist, req.strategy)?;
+                let (data, report) = self.read_auto(res, &req.path, &req.dist, req.strategy)?;
                 RequestOutcome::Read(data, report)
             }
         };

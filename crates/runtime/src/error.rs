@@ -21,6 +21,14 @@ pub enum RuntimeError {
     CorruptSuperfile(String),
     /// A member path was not present in the superfile index.
     NoSuchMember(String),
+    /// The chunk plane rejected a dump: a chunk frame failed its digest
+    /// check on read, or a stored manifest was malformed.
+    Chunk {
+        /// Path of the chunked dump.
+        path: String,
+        /// The underlying chunk-plane failure.
+        source: msr_chunk::ChunkError,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -36,6 +44,9 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::CorruptSuperfile(m) => write!(f, "corrupt superfile: {m}"),
             RuntimeError::NoSuchMember(p) => write!(f, "superfile has no member {p}"),
+            RuntimeError::Chunk { path, source } => {
+                write!(f, "chunked dump {path}: {source}")
+            }
         }
     }
 }
@@ -44,6 +55,7 @@ impl std::error::Error for RuntimeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RuntimeError::Storage(e) => Some(e),
+            RuntimeError::Chunk { source, .. } => Some(source),
             _ => None,
         }
     }

@@ -29,6 +29,7 @@
 //! [`msr_sim::Timeline`] with barrier semantics.
 
 pub mod cache;
+pub mod chunked;
 pub mod engine;
 pub mod error;
 pub mod layout;
@@ -40,6 +41,7 @@ pub mod strategy;
 pub mod superfile;
 
 pub use cache::LruCache;
+pub use chunked::ChunkPlane;
 pub use engine::{memcpy_cost, scratch_counters, IoEngine, IoReport};
 pub use error::RuntimeError;
 pub use layout::{Chunk, DimDist, Dims3, Distribution, Pattern, ProcGrid};

@@ -14,6 +14,7 @@ use crate::engine::IoReport;
 use crate::layout::Distribution;
 use crate::strategy::IoStrategy;
 use bytes::Bytes;
+use msr_chunk::IngestSpec;
 use msr_storage::OpenMode;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -77,6 +78,10 @@ pub struct EngineRequest {
     pub dist: Distribution,
     /// I/O optimization to execute under.
     pub strategy: IoStrategy,
+    /// How writes enter the data plane (raw object or chunked through the
+    /// per-resource chunk store). Reads self-describe: a chunked dump is
+    /// detected by its registered manifest.
+    pub ingest: IngestSpec,
     /// Direction plus direction-specific payload.
     pub body: RequestBody,
 }
@@ -140,6 +145,7 @@ mod tests {
             path: format!("{dataset}.t0"),
             dist,
             strategy: IoStrategy::Collective,
+            ingest: IngestSpec::raw(),
             body: RequestBody::Read,
         }
     }

@@ -1,0 +1,442 @@
+//! Chunk-plane integration tests: dedup, GC, vault gating, corruption
+//! detection and thread-count determinism at the engine level.
+
+use msr_chunk::{cas_path, ChunkPolicy, Codec, Digest, IngestSpec};
+use msr_runtime::{
+    Dims3, Distribution, IoEngine, IoReport, IoStrategy, Pattern, ProcGrid, RuntimeError,
+};
+use msr_storage::{share, testbed, DiskParams, LocalDisk, OpenMode, SharedResource};
+use rayon::with_threads;
+
+fn disk() -> SharedResource {
+    share(LocalDisk::new("t", DiskParams::simple(100.0, 1 << 30), 0))
+}
+
+fn dist(bytes: u64, nprocs: usize) -> Distribution {
+    let side = (bytes as f64).cbrt().round() as u64;
+    assert_eq!(side * side * side, bytes, "pick a cube-sized payload");
+    Distribution::new(
+        Dims3::cube(side),
+        1,
+        Pattern::bbb(),
+        ProcGrid::new(nprocs as u32, 1, 1),
+    )
+    .unwrap()
+}
+
+/// A compressible payload with per-iteration churn: a repeating tile with
+/// a sliding window of mutated bytes — the checkpoint-every-N shape.
+fn churned(bytes: usize, iter: u64) -> Vec<u8> {
+    let mut out = vec![0u8; bytes];
+    for (i, b) in out.iter_mut().enumerate() {
+        *b = ((i % 509) * 13 % 251) as u8;
+    }
+    let window = bytes / 16;
+    let start = (iter as usize * 7919) % (bytes - window.max(1));
+    for (k, b) in out[start..start + window].iter_mut().enumerate() {
+        *b = (*b)
+            .wrapping_add(1 + (k % 7) as u8)
+            .wrapping_add(iter as u8);
+    }
+    out
+}
+
+fn cas_ingest() -> IngestSpec {
+    IngestSpec::chunked(ChunkPolicy::cdc(4)).with_codec(Codec::Lz4Like(2))
+}
+
+/// Like [`churned`] but over an incompressible pseudorandom base, so
+/// dedup — not compression — is what saves bytes.
+fn noisy_churned(bytes: usize, iter: u64) -> Vec<u8> {
+    let mut out: Vec<u8> = (0..bytes)
+        .map(|i| {
+            // SplitMix64 finalizer: a true per-index avalanche, so the
+            // base stream has no structure a codec can exploit.
+            let mut x = (i as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x ^= x >> 27;
+            x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^= x >> 31;
+            x as u8
+        })
+        .collect();
+    let window = bytes / 16;
+    let start = (iter as usize * 7919) % (bytes - window.max(1));
+    for (k, b) in out[start..start + window].iter_mut().enumerate() {
+        *b = (*b)
+            .wrapping_add(1 + (k % 7) as u8)
+            .wrapping_add(iter as u8);
+    }
+    out
+}
+
+#[test]
+fn chunked_roundtrip_and_dedup_across_dumps() {
+    let engine = IoEngine::default();
+    let res = disk();
+    let d = dist(40 * 40 * 40, 1);
+    let ingest = cas_ingest();
+    let mut moved = Vec::new();
+    for iter in 0..4u64 {
+        let data = noisy_churned(d.total_bytes() as usize, iter);
+        engine
+            .write_chunked(
+                &res,
+                &format!("d.t{iter}"),
+                &data,
+                &d,
+                IoStrategy::Collective,
+                OpenMode::Create,
+                &ingest,
+                "d",
+            )
+            .unwrap();
+        let (back, _) = engine
+            .read_chunked(&res, &format!("d.t{iter}"), &d, IoStrategy::Collective)
+            .unwrap();
+        assert_eq!(back, data, "iter {iter} roundtrip");
+    }
+    for s in engine.chunk_plane().take_deltas() {
+        moved.push(s.moved_bytes);
+        assert_eq!(s.dataset, "d");
+        assert_eq!(s.logical_bytes, d.total_bytes());
+    }
+    assert_eq!(moved.len(), 4);
+    // Later dumps ship only the churned window (+ manifest): far less
+    // than the first, which had an empty store to fill.
+    assert!(
+        moved[3] * 3 < moved[0],
+        "dedup: dump 3 moved {} vs dump 0 {}",
+        moved[3],
+        moved[0]
+    );
+    let stats = engine.chunk_plane().store_stats("t").unwrap();
+    assert!(stats.hits > 0, "shared chunks were hits");
+    assert!(
+        stats.stored_bytes < 4 * d.total_bytes(),
+        "dedup + compression"
+    );
+}
+
+#[test]
+fn overwrite_releases_old_references_and_gcs_orphans() {
+    let engine = IoEngine::default();
+    let res = disk();
+    let d = dist(16 * 16 * 16, 1);
+    let ingest = IngestSpec::chunked(ChunkPolicy::fixed(4));
+    let a = churned(d.total_bytes() as usize, 0);
+    let mut b = a.clone();
+    for x in b.iter_mut() {
+        *x = x.wrapping_mul(17).wrapping_add(3);
+    }
+    engine
+        .write_chunked(
+            &res,
+            "d",
+            &a,
+            &d,
+            IoStrategy::Naive,
+            OpenMode::Create,
+            &ingest,
+            "d",
+        )
+        .unwrap();
+    let before = engine.chunk_plane().store_stats("t").unwrap();
+    engine
+        .write_chunked(
+            &res,
+            "d",
+            &b,
+            &d,
+            IoStrategy::Naive,
+            OpenMode::Create,
+            &ingest,
+            "d",
+        )
+        .unwrap();
+    let after = engine.chunk_plane().store_stats("t").unwrap();
+    assert!(after.gcs > 0, "disjoint rewrite GCs the old chunks");
+    assert_eq!(
+        after.chunks, before.chunks,
+        "fully replaced dump keeps the store the same size"
+    );
+    let (back, _) = engine
+        .read_chunked(&res, "d", &d, IoStrategy::Naive)
+        .unwrap();
+    assert_eq!(back, b);
+}
+
+#[test]
+fn delete_dump_gcs_unreferenced_frames_only() {
+    let engine = IoEngine::default();
+    let res = disk();
+    let d = dist(16 * 16 * 16, 1);
+    let ingest = IngestSpec::chunked(ChunkPolicy::fixed(4));
+    let data = churned(d.total_bytes() as usize, 0);
+    // Two dumps of identical content share every chunk.
+    for p in ["d.t0", "d.t1"] {
+        engine
+            .write_chunked(
+                &res,
+                p,
+                &data,
+                &d,
+                IoStrategy::Naive,
+                OpenMode::Create,
+                &ingest,
+                "d",
+            )
+            .unwrap();
+    }
+    let shared = engine.chunk_plane().store_stats("t").unwrap();
+    engine.delete_dump(&res, "d.t0").unwrap();
+    let after_one = engine.chunk_plane().store_stats("t").unwrap();
+    assert_eq!(
+        after_one.chunks, shared.chunks,
+        "t1 still holds every chunk"
+    );
+    assert_eq!(after_one.gcs, 0);
+    let (back, _) = engine
+        .read_chunked(&res, "d.t1", &d, IoStrategy::Naive)
+        .unwrap();
+    assert_eq!(back, data);
+    engine.delete_dump(&res, "d.t1").unwrap();
+    let empty = engine.chunk_plane().store_stats("t").unwrap();
+    assert_eq!(empty.chunks, 0, "last reference GCs everything");
+    assert!(empty.gcs > 0);
+    assert_eq!(
+        res.lock().list("cas/").len(),
+        0,
+        "frame objects deleted from storage"
+    );
+    assert!(!engine.chunk_plane().is_chunked("t", "d.t1"));
+}
+
+#[test]
+fn corrupted_frame_surfaces_a_digest_mismatch() {
+    let engine = IoEngine::default();
+    let res = disk();
+    let d = dist(16 * 16 * 16, 1);
+    let ingest = IngestSpec::chunked(ChunkPolicy::fixed(4));
+    let data = churned(d.total_bytes() as usize, 1);
+    engine
+        .write_chunked(
+            &res,
+            "d",
+            &data,
+            &d,
+            IoStrategy::Naive,
+            OpenMode::Create,
+            &ingest,
+            "d",
+        )
+        .unwrap();
+    // Flip a byte inside one stored frame, behind the engine's back.
+    let victim = res.lock().list("cas/").into_iter().next().unwrap();
+    {
+        let mut r = res.lock();
+        let h = r.open(&victim, OpenMode::OverWrite).unwrap().value;
+        r.write(h, &[0xFF, 0x00, 0xFF]).unwrap();
+        r.close(h).unwrap();
+    }
+    let err = engine
+        .read_chunked(&res, "d", &d, IoStrategy::Naive)
+        .unwrap_err();
+    match err {
+        RuntimeError::Chunk { path, source } => {
+            assert_eq!(path, "d");
+            let msg = source.to_string();
+            assert!(
+                msg.contains("digest") || msg.contains("frame"),
+                "typed chunk error, got: {msg}"
+            );
+        }
+        other => panic!("expected RuntimeError::Chunk, got {other}"),
+    }
+}
+
+#[test]
+fn pack_mode_compresses_without_cas_objects() {
+    let engine = IoEngine::default();
+    let res = disk();
+    let d = dist(32 * 32 * 32, 1);
+    let ingest = IngestSpec::raw().with_codec(Codec::Lz4Like(2));
+    assert!(!ingest.content_addressed);
+    let data = churned(d.total_bytes() as usize, 2);
+    engine
+        .write_chunked(
+            &res,
+            "d",
+            &data,
+            &d,
+            IoStrategy::Collective,
+            OpenMode::Create,
+            &ingest,
+            "d",
+        )
+        .unwrap();
+    assert!(res.lock().list("cas/").is_empty(), "no shared frames");
+    let physical = res.lock().file_size("d").unwrap();
+    assert!(
+        physical < d.total_bytes(),
+        "packed object {} B beats logical {} B",
+        physical,
+        d.total_bytes()
+    );
+    assert_eq!(res.lock().logical_bytes(), d.total_bytes());
+    let (back, _) = engine
+        .read_auto(&res, "d", &d, IoStrategy::Collective)
+        .unwrap();
+    assert_eq!(back, data);
+}
+
+#[test]
+fn vault_gating_waits_for_every_reference() {
+    let engine = IoEngine::default();
+    let tb = testbed(7);
+    let res = share(tb.tape);
+    res.lock().connect().unwrap();
+    let d = dist(16 * 16 * 16, 1);
+    let ingest = IngestSpec::chunked(ChunkPolicy::fixed(4));
+    let data = churned(d.total_bytes() as usize, 3);
+    for p in ["d.t0", "d.t1"] {
+        engine
+            .write_chunked(
+                &res,
+                p,
+                &data,
+                &d,
+                IoStrategy::Naive,
+                OpenMode::Create,
+                &ingest,
+                "d",
+            )
+            .unwrap();
+    }
+    let frame = {
+        let r = res.lock();
+        r.list("cas/").into_iter().next().unwrap()
+    };
+    engine.vault_dump(&res, "d.t0").unwrap();
+    assert!(
+        !res.lock().is_vaulted(&frame),
+        "frame still referenced by the resident d.t1"
+    );
+    engine.vault_dump(&res, "d.t1").unwrap();
+    assert!(res.lock().is_vaulted(&frame), "all references vaulted");
+    engine.recall_dump(&res, "d.t0").unwrap();
+    assert!(!res.lock().is_vaulted(&frame), "first recall restores it");
+    let (back, _) = engine
+        .read_chunked(&res, "d.t0", &d, IoStrategy::Naive)
+        .unwrap();
+    assert_eq!(back, data);
+    // Pruning the still-vaulted d.t1 releases a vaulted reference.
+    engine.delete_dump(&res, "d.t1").unwrap();
+    engine.delete_dump(&res, "d.t0").unwrap();
+    let name = res.lock().name().to_owned();
+    assert_eq!(engine.chunk_plane().store_stats(&name).unwrap().chunks, 0);
+}
+
+#[test]
+fn logical_accounting_splits_from_physical() {
+    let engine = IoEngine::default();
+    let res = disk();
+    let d = dist(32 * 32 * 32, 1);
+    let ingest = cas_ingest();
+    for iter in 0..3u64 {
+        let data = noisy_churned(d.total_bytes() as usize, iter);
+        engine
+            .write_chunked(
+                &res,
+                &format!("d.t{iter}"),
+                &data,
+                &d,
+                IoStrategy::Collective,
+                OpenMode::Create,
+                &ingest,
+                "d",
+            )
+            .unwrap();
+    }
+    let r = res.lock();
+    assert_eq!(
+        r.logical_bytes(),
+        3 * d.total_bytes(),
+        "tenant quotas charge what applications dumped"
+    );
+    assert!(
+        r.used_bytes() < r.logical_bytes(),
+        "physical occupancy {} under logical {} after dedup+compression",
+        r.used_bytes(),
+        r.logical_bytes()
+    );
+}
+
+fn chunked_cycle(threads: usize, nprocs: usize) -> (Vec<Vec<u8>>, Vec<IoReport>, Vec<IoReport>) {
+    with_threads(threads, || {
+        let engine = IoEngine::default();
+        let res = disk();
+        let d = dist(32 * 32 * 32, nprocs);
+        let ingest = cas_ingest();
+        let mut datas = Vec::new();
+        let mut wreps = Vec::new();
+        let mut rreps = Vec::new();
+        for iter in 0..3u64 {
+            let data = churned(d.total_bytes() as usize, iter);
+            let w = engine
+                .write_chunked(
+                    &res,
+                    &format!("d.t{iter}"),
+                    &data,
+                    &d,
+                    IoStrategy::Collective,
+                    OpenMode::Create,
+                    &ingest,
+                    "d",
+                )
+                .unwrap();
+            let (back, r) = engine
+                .read_chunked(&res, &format!("d.t{iter}"), &d, IoStrategy::Collective)
+                .unwrap();
+            assert_eq!(back, data);
+            datas.push(back);
+            wreps.push(w);
+            rreps.push(r);
+        }
+        (datas, wreps, rreps)
+    })
+}
+
+#[test]
+fn chunked_io_is_bitwise_identical_across_thread_counts() {
+    for nprocs in [1usize, 4] {
+        let seq = chunked_cycle(1, nprocs);
+        let par = chunked_cycle(8, nprocs);
+        assert_eq!(seq.0, par.0, "assembled data (nprocs {nprocs})");
+        assert_eq!(seq.1, par.1, "write reports (nprocs {nprocs})");
+        assert_eq!(seq.2, par.2, "read reports (nprocs {nprocs})");
+    }
+}
+
+#[test]
+fn same_payload_same_digests_at_any_thread_count() {
+    let data = churned(1 << 16, 5);
+    let policy = ChunkPolicy::cdc(8);
+    let seq: Vec<Digest> = with_threads(1, || {
+        msr_chunk::split(&data, &policy)
+            .into_iter()
+            .map(|r| Digest::of(&data[r]))
+            .collect()
+    });
+    let par: Vec<Digest> = with_threads(8, || {
+        msr_chunk::split(&data, &policy)
+            .into_iter()
+            .map(|r| Digest::of(&data[r]))
+            .collect()
+    });
+    assert_eq!(seq, par);
+    assert!(seq.len() > 1);
+    // cas paths are stable hex names.
+    assert!(cas_path(&seq[0]).starts_with("cas/"));
+}

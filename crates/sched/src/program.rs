@@ -118,22 +118,46 @@ impl SessionProgram {
     }
 }
 
-/// Deterministic dump payload for `(session, dataset, iter)`: an xorshifted
-/// LCG stream seeded from the identity, so replays are bitwise identical
+/// Deterministic dump payload for `(session, dataset, iter)`: a base LCG
+/// stream seeded from `(session, dataset)` plus a per-iteration churn
+/// window covering ~1/16 of the bytes, so replays are bitwise identical
 /// regardless of worker count or admission interleaving.
+///
+/// The churn shape mirrors a checkpointing producer — successive dumps of
+/// one dataset share most of their bytes, with a sliding window of fresh
+/// data per iteration — which is what gives the content-addressed chunk
+/// plane dedup to find. Request *timing* is unaffected: virtual I/O costs
+/// depend on sizes, never on payload content, so raw (unchunked) runs
+/// report bitwise identically to the previous all-random payload.
 pub fn payload(session: u64, dataset: &str, iter: u32, len: usize) -> Bytes {
     let mut h = 0xcbf29ce484222325u64 ^ session.wrapping_mul(0x9e3779b97f4a7c15);
     for b in dataset.bytes() {
         h = (h ^ u64::from(b)).wrapping_mul(0x100000001b3);
     }
-    h ^= u64::from(iter).wrapping_mul(0x2545f4914f6cdd1d);
-    let mut out = Vec::with_capacity(len);
-    let mut x = h | 1;
-    for _ in 0..len {
-        x = x
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        out.push((x >> 56) as u8);
+    let stream = |seed: u64, n: usize| -> Vec<u8> {
+        let mut out = Vec::with_capacity(n);
+        let mut x = seed | 1;
+        for _ in 0..n {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            out.push((x >> 56) as u8);
+        }
+        out
+    };
+    let mut out = stream(h, len);
+    if len > 0 {
+        // Churn window: position walks the payload with iteration, content
+        // is keyed by the full identity so every iteration differs.
+        let window = (len / 16).max(1);
+        let at = (iter as usize).wrapping_mul(7919) % len;
+        let churn = stream(
+            h ^ u64::from(iter).wrapping_mul(0x2545f4914f6cdd1d),
+            window.min(len),
+        );
+        for (i, b) in churn.into_iter().enumerate() {
+            out[(at + i) % len] = b;
+        }
     }
     Bytes::from(out)
 }
@@ -150,6 +174,24 @@ mod tests {
         assert_ne!(a, payload(1, "pres", 0, 64));
         assert_ne!(a, payload(1, "temp", 6, 64));
         assert_eq!(a.len(), 64);
+    }
+
+    #[test]
+    fn payload_churns_a_window_between_iterations() {
+        let len = 4096;
+        let a = payload(3, "ckpt", 0, len);
+        let b = payload(3, "ckpt", 6, len);
+        let differing = a.iter().zip(b.iter()).filter(|(x, y)| x != y).count();
+        assert!(differing > 0, "successive dumps must not be identical");
+        // Both dumps overlay their own window on the shared base, so at
+        // most two windows' worth of bytes can differ.
+        assert!(
+            differing <= 2 * (len / 16).max(1),
+            "churn window too wide: {differing} of {len} bytes differ"
+        );
+        // Degenerate sizes still behave.
+        assert_ne!(payload(3, "ckpt", 0, 1), payload(3, "ckpt", 1, 1));
+        assert!(payload(3, "ckpt", 0, 0).is_empty());
     }
 
     #[test]

@@ -225,7 +225,10 @@ impl Prefetcher {
             let res = sys.resource(kind).expect("queued on a registered kind");
             profile_for(sys.predictor().map(|p| &p.db), &res, op)
         });
-        fetch_estimate(profile, req.strategy, &AccessSummary::of(&req.dist))
+        // Chunked datasets are priced at their learned post-dedup size
+        // (ratio 1.0 — a bitwise no-op — until the plane reports one).
+        let access = AccessSummary::of(&req.dist).scaled(sys.predicted_ratio(&req.dataset));
+        fetch_estimate(profile, req.strategy, &access)
     }
 
     /// Walk `q`'s tail with the eq. (2) estimator and admit every remote
@@ -474,7 +477,9 @@ impl Estimator {
     }
 
     /// Predicted service time (seconds) of one `op` with `strategy` over
-    /// `dist` on `kind`.
+    /// `dist` on `kind`. `ratio` scales the priced bytes — the learned
+    /// post-dedup/post-compression figure for chunked datasets, `1.0`
+    /// (a bitwise no-op) for raw ones.
     fn cost_op(
         &mut self,
         sys: &MsrSystem,
@@ -482,12 +487,13 @@ impl Estimator {
         op: OpKind,
         strategy: IoStrategy,
         dist: &Distribution,
+        ratio: f64,
     ) -> f64 {
         let profile = self.profiles.entry((kind, op)).or_insert_with(|| {
             let res = sys.resource(kind).expect("priced on a registered kind");
             profile_for(sys.predictor().map(|p| &p.db), &res, op)
         });
-        fetch_estimate(profile, strategy, &AccessSummary::of(dist)).as_secs()
+        fetch_estimate(profile, strategy, &AccessSummary::of(dist).scaled(ratio)).as_secs()
     }
 
     /// Predicted service time (seconds) of `req` on `kind`.
@@ -496,7 +502,8 @@ impl Estimator {
             RequestBody::Write { .. } => OpKind::Write,
             RequestBody::Read => OpKind::Read,
         };
-        self.cost_op(sys, kind, op, req.strategy, &req.dist)
+        let ratio = sys.predicted_ratio(&req.dataset);
+        self.cost_op(sys, kind, op, req.strategy, &req.dist, ratio)
     }
 }
 
@@ -716,14 +723,15 @@ impl<'a> Scheduler<'a> {
             };
             pricing.requests += dumps + reads;
             pricing.bytes += (dumps + reads) as u64 * spec.snapshot_bytes();
+            let ratio = sys.predicted_ratio(&spec.name);
             pricing.est_secs += dumps as f64
                 * self
                     .estimator
-                    .cost_op(sys, kind, OpKind::Write, spec.strategy, &dist)
+                    .cost_op(sys, kind, OpKind::Write, spec.strategy, &dist, ratio)
                 + reads as f64
                     * self
                         .estimator
-                        .cost_op(sys, kind, OpKind::Read, spec.strategy, &dist);
+                        .cost_op(sys, kind, OpKind::Read, spec.strategy, &dist, ratio);
         }
         Ok(pricing)
     }
@@ -859,6 +867,7 @@ impl<'a> Scheduler<'a> {
                     path,
                     dist,
                     strategy: spec.strategy,
+                    ingest: spec.ingest,
                     body: RequestBody::Write { data, mode },
                 });
                 seq += 1;
@@ -880,6 +889,9 @@ impl<'a> Scheduler<'a> {
                     path,
                     dist,
                     strategy: spec.strategy,
+                    // Reads self-describe through the registered manifest;
+                    // carrying the spec keeps report lines symmetrical.
+                    ingest: spec.ingest,
                     body: RequestBody::Read,
                 });
                 seq += 1;
@@ -1860,6 +1872,13 @@ impl<'a> Scheduler<'a> {
         prefetcher: Option<Prefetcher>,
     ) -> CoreResult<SchedReport> {
         self.sys.clock.advance_to(end);
+        // Fold the drain's chunk-plane transfer observations into the
+        // ratio book at a deterministic point: the drain is complete, so
+        // every dataset's observations arrived in dump order and the
+        // per-dataset EWMA folds are order-independent across datasets.
+        // The learned ratios price the *next* drain's admission and
+        // prefetch decisions.
+        self.sys.sync_ratios();
 
         let mut sessions = Vec::new();
         let mut session_tenants = Vec::new();

@@ -203,6 +203,16 @@ impl StorageResource for CompositeResource {
         self.children.iter().map(|c| c.lock().used_bytes()).sum()
     }
 
+    fn logical_bytes(&self) -> u64 {
+        self.children.iter().map(|c| c.lock().logical_bytes()).sum()
+    }
+
+    fn set_logical_size(&mut self, path: &str, bytes: u64) {
+        if let Some(child) = self.child_of(path) {
+            self.children[child].lock().set_logical_size(path, bytes);
+        }
+    }
+
     fn available_bytes(&self) -> u64 {
         self.children
             .iter()

@@ -239,6 +239,14 @@ impl StorageResource for KeepAlive {
         self.inner.lock().used_bytes()
     }
 
+    fn logical_bytes(&self) -> u64 {
+        self.inner.lock().logical_bytes()
+    }
+
+    fn set_logical_size(&mut self, path: &str, bytes: u64) {
+        self.inner.lock().set_logical_size(path, bytes);
+    }
+
     fn set_capacity(&mut self, bytes: u64) {
         self.inner.lock().set_capacity(bytes);
     }

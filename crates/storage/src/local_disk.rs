@@ -145,6 +145,14 @@ impl StorageResource for LocalDisk {
         self.store.used_bytes()
     }
 
+    fn logical_bytes(&self) -> u64 {
+        self.store.logical_bytes()
+    }
+
+    fn set_logical_size(&mut self, path: &str, bytes: u64) {
+        self.store.set_logical(path, bytes);
+    }
+
     fn connect(&mut self) -> StorageResult<Cost<()>> {
         self.check_online()?;
         Ok(Cost::free(())) // local filesystem: no connection phase

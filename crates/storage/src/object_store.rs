@@ -21,6 +21,16 @@ pub struct ObjectStore {
     /// sum is O(files) per operation, which a 10k-session drain turns
     /// into quadratic dispatch cost.
     used: u64,
+    /// Running total of *logical* bytes: what the applications dumped, as
+    /// opposed to what is physically stored after dedup/compression. A
+    /// file contributes its physical length unless an override was
+    /// declared via [`ObjectStore::set_logical`] (the chunk plane sets a
+    /// manifest's override to the dump's payload size and each shared
+    /// `cas/` object's to 0). Tenant byte-quotas charge logical bytes;
+    /// capacity checks and the LoadBoard see physical occupancy.
+    logical: u64,
+    /// Per-path logical overrides; absent paths count physical == logical.
+    overrides: BTreeMap<String, u64>,
 }
 
 impl ObjectStore {
@@ -29,9 +39,34 @@ impl ObjectStore {
         Self::default()
     }
 
-    /// Total bytes stored across all files.
+    /// Total bytes physically stored across all files.
     pub fn used_bytes(&self) -> u64 {
         self.used
+    }
+
+    /// Total logical (pre-dedup, pre-compression) bytes stored.
+    pub fn logical_bytes(&self) -> u64 {
+        self.logical
+    }
+
+    /// This file's current contribution to the logical total.
+    fn logical_of(&self, path: &str) -> u64 {
+        match self.overrides.get(path) {
+            Some(&l) => l,
+            None => self.size(path).unwrap_or(0),
+        }
+    }
+
+    /// Declare that `path` logically represents `bytes` of application
+    /// data regardless of its stored length. The override dies with the
+    /// file (delete or truncating create).
+    pub fn set_logical(&mut self, path: &str, bytes: u64) {
+        if !self.exists(path) {
+            return;
+        }
+        let before = self.logical_of(path);
+        self.overrides.insert(path.to_owned(), bytes);
+        self.logical = self.logical - before + bytes;
     }
 
     /// Number of files.
@@ -51,6 +86,8 @@ impl ObjectStore {
 
     /// Create (or truncate) a file.
     pub fn create(&mut self, path: &str) {
+        self.logical -= self.logical_of(path);
+        self.overrides.remove(path);
         if let Some(old) = self.files.insert(path.to_owned(), BytesMut::new()) {
             self.used -= old.len() as u64;
         }
@@ -63,6 +100,8 @@ impl ObjectStore {
 
     /// Remove a file, returning whether it existed.
     pub fn delete(&mut self, path: &str) -> bool {
+        self.logical -= self.logical_of(path);
+        self.overrides.remove(path);
         match self.files.remove(path) {
             Some(old) => {
                 self.used -= old.len() as u64;
@@ -91,7 +130,11 @@ impl ObjectStore {
         let offset = usize::try_from(offset).expect("offset fits in memory model");
         let end = offset + data.len();
         if f.len() < end {
-            self.used += (end - f.len()) as u64;
+            let growth = (end - f.len()) as u64;
+            self.used += growth;
+            if !self.overrides.contains_key(path) {
+                self.logical += growth;
+            }
             f.resize(end, 0);
         }
         f[offset..end].copy_from_slice(data);
@@ -200,6 +243,60 @@ mod tests {
         );
         assert_eq!(s.list("run"), vec!["run1/a", "run1/b", "run2/c"]);
         assert!(s.list("zzz").is_empty());
+    }
+
+    #[test]
+    fn logical_tracks_physical_without_overrides() {
+        let mut s = ObjectStore::new();
+        s.create("f");
+        s.write_at("f", 0, &[7u8; 500]).unwrap();
+        assert_eq!(s.used_bytes(), 500);
+        assert_eq!(s.logical_bytes(), 500);
+        s.delete("f");
+        assert_eq!(s.logical_bytes(), 0);
+    }
+
+    #[test]
+    fn logical_override_decouples_from_physical() {
+        let mut s = ObjectStore::new();
+        s.create("manifest");
+        s.write_at("manifest", 0, &[1u8; 100]).unwrap();
+        s.create("cas/abc");
+        s.write_at("cas/abc", 0, &[2u8; 300]).unwrap();
+        // A manifest logically represents the whole 4000-byte dump; the
+        // shared cas object counts for nothing.
+        s.set_logical("manifest", 4000);
+        s.set_logical("cas/abc", 0);
+        assert_eq!(s.used_bytes(), 400);
+        assert_eq!(s.logical_bytes(), 4000);
+        // Growth of an overridden file moves physical but not logical.
+        s.write_at("cas/abc", 300, &[3u8; 50]).unwrap();
+        assert_eq!(s.used_bytes(), 450);
+        assert_eq!(s.logical_bytes(), 4000);
+        // Deleting an overridden file removes its override contribution.
+        s.delete("manifest");
+        assert_eq!(s.logical_bytes(), 0);
+        assert_eq!(s.used_bytes(), 350);
+    }
+
+    #[test]
+    fn truncating_create_clears_the_override() {
+        let mut s = ObjectStore::new();
+        s.create("f");
+        s.write_at("f", 0, &[0u8; 10]).unwrap();
+        s.set_logical("f", 1000);
+        assert_eq!(s.logical_bytes(), 1000);
+        s.create("f");
+        assert_eq!(s.logical_bytes(), 0);
+        s.write_at("f", 0, &[0u8; 20]).unwrap();
+        assert_eq!(s.logical_bytes(), 20, "fresh file counts physical again");
+    }
+
+    #[test]
+    fn set_logical_on_missing_file_is_a_noop() {
+        let mut s = ObjectStore::new();
+        s.set_logical("nope", 999);
+        assert_eq!(s.logical_bytes(), 0);
     }
 
     #[test]

@@ -99,6 +99,14 @@ impl<R: StorageResource> StorageResource for ObservedResource<R> {
         self.inner.used_bytes()
     }
 
+    fn logical_bytes(&self) -> u64 {
+        self.inner.logical_bytes()
+    }
+
+    fn set_logical_size(&mut self, path: &str, bytes: u64) {
+        self.inner.set_logical_size(path, bytes);
+    }
+
     fn set_capacity(&mut self, bytes: u64) {
         self.inner.set_capacity(bytes);
     }

@@ -202,8 +202,27 @@ pub trait StorageResource: Send {
     /// Total capacity in bytes (`u64::MAX` means effectively unlimited).
     fn capacity_bytes(&self) -> u64;
 
-    /// Bytes currently stored.
+    /// Bytes currently stored (physical occupancy — what capacity checks
+    /// and migration pressure see).
     fn used_bytes(&self) -> u64;
+
+    /// Logical bytes currently stored: the application-visible dump bytes
+    /// before dedup and compression. Equal to [`used_bytes`] for resources
+    /// that store raw dumps; diverges when the chunk plane declares
+    /// overrides via [`set_logical_size`]. Tenant byte-quotas charge this
+    /// number.
+    ///
+    /// [`used_bytes`]: StorageResource::used_bytes
+    /// [`set_logical_size`]: StorageResource::set_logical_size
+    fn logical_bytes(&self) -> u64 {
+        self.used_bytes()
+    }
+
+    /// Declare that `path` logically represents `bytes` of application
+    /// data regardless of its stored length (the chunk plane marks a
+    /// manifest with the dump's payload size and shared `cas/` objects
+    /// with 0). Default: ignored, logical == physical.
+    fn set_logical_size(&mut self, _path: &str, _bytes: u64) {}
 
     /// Bytes still available.
     fn available_bytes(&self) -> u64 {

@@ -301,6 +301,14 @@ impl StorageResource for TapeResource {
         self.store.used_bytes()
     }
 
+    fn logical_bytes(&self) -> u64 {
+        self.store.logical_bytes()
+    }
+
+    fn set_logical_size(&mut self, path: &str, bytes: u64) {
+        self.store.set_logical(path, bytes);
+    }
+
     fn connect(&mut self) -> StorageResult<Cost<()>> {
         self.check_online()?;
         if let Some(conn) = &self.conn {

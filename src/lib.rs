@@ -39,6 +39,7 @@
 //! ```
 
 pub use msr_apps as apps;
+pub use msr_chunk as chunk;
 pub use msr_core as core;
 pub use msr_lifecycle as lifecycle;
 pub use msr_meta as meta;
@@ -65,10 +66,10 @@ pub mod prelude {
         StepMode,
     };
     pub use msr_core::{
-        classify, BreakerState, CoreError, CoreResult, DatasetSpec, DatasetSpecBuilder, ErrorClass,
-        FutureUse, HealthCounters, HealthTracker, LoadBoard, LocationHint, MsrSystem,
-        OverloadPolicy, PlacementPolicy, RunReport, Session, SessionBuilder, Tenant, TenantId,
-        TenantQuota, TenantRegistry,
+        classify, BreakerState, ChunkPolicy, Codec, CoreError, CoreResult, DatasetSpec,
+        DatasetSpecBuilder, ErrorClass, FutureUse, HealthCounters, HealthTracker, IngestSpec,
+        LoadBoard, LocationHint, MsrSystem, OverloadPolicy, PlacementPolicy, RunReport, Session,
+        SessionBuilder, Tenant, TenantId, TenantQuota, TenantRegistry,
     };
     pub use msr_lifecycle::{
         tier_down, tier_up, LifecycleConfig, LifecycleEngine, RetentionPolicy, TickReport,
