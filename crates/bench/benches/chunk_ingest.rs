@@ -1,0 +1,125 @@
+//! Ingest hot-loop throughput: CDC split, per-chunk compression and the
+//! end-to-end chunked write, each at 1, 2 and N pool workers.
+//!
+//! The same stages `repro --ingest-json` folds into `BENCH_ingest.json`,
+//! under criterion's statistics for local tuning work. On a single-core
+//! runner the thread curves coincide.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use msr_chunk::{split, ChunkPolicy, Codec, Compressor, IngestSpec};
+use msr_runtime::{Dims3, Distribution, IoEngine, IoStrategy, Pattern, ProcGrid};
+use msr_storage::{share, DiskParams, LocalDisk, OpenMode};
+
+const PAYLOAD: usize = 160 * 160 * 160; // ~3.9 MiB, cube-shaped
+
+fn thread_counts() -> Vec<usize> {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut counts = vec![1, 2, host];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// A compressible tiled payload with a churn overlay, the checkpoint
+/// shape every chunk-plane experiment uses.
+fn payload() -> Vec<u8> {
+    let mut out = vec![0u8; PAYLOAD];
+    for (i, b) in out.iter_mut().enumerate() {
+        *b = ((i % 509) * 13 % 251) as u8;
+    }
+    let mut i = 11usize;
+    while i < out.len() {
+        out[i] = out[i].wrapping_add(3);
+        i += 2053;
+    }
+    out
+}
+
+fn bench_cdc_split(c: &mut Criterion) {
+    let data = payload();
+    let policy = ChunkPolicy::cdc(64);
+    let mut group = c.benchmark_group("cdc_split");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for threads in thread_counts() {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| rayon::with_threads(threads, || split(&data, &policy)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_chunk_compress(c: &mut Criterion) {
+    let data = payload();
+    let cuts = split(&data, &ChunkPolicy::cdc(64));
+    let mut group = c.benchmark_group("chunk_compress");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    for threads in thread_counts() {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    rayon::with_threads(threads, || {
+                        let mut comp = Compressor::new();
+                        cuts.iter()
+                            .map(|cut| comp.compress(&Codec::Lz4Like(2), &data[cut.clone()]).len())
+                            .sum::<usize>()
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_write_chunked(c: &mut Criterion) {
+    let data = payload();
+    let dist = Distribution::new(Dims3::cube(160), 1, Pattern::bbb(), ProcGrid::new(1, 1, 1))
+        .expect("valid distribution");
+    let ingest = IngestSpec::chunked(ChunkPolicy::cdc(64)).with_codec(Codec::Lz4Like(2));
+    let mut group = c.benchmark_group("write_chunked");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.sample_size(20);
+    for threads in thread_counts() {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    rayon::with_threads(threads, || {
+                        let engine = IoEngine::default();
+                        let res =
+                            share(LocalDisk::new("b", DiskParams::simple(4000.0, 8 << 30), 0));
+                        engine
+                            .write_chunked(
+                                &res,
+                                "d.ckpt",
+                                &data,
+                                &dist,
+                                IoStrategy::Naive,
+                                OpenMode::Create,
+                                &ingest,
+                                "bench",
+                            )
+                            .expect("chunked write")
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cdc_split,
+    bench_chunk_compress,
+    bench_write_chunked
+);
+criterion_main!(benches);

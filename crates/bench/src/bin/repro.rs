@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--quick] [--seed N] [--bench-json] [--sched-json]
 //!       [--prefetch-json] [--lifecycle-json] [--tenant-json]
-//!       [--dedup-json] <experiment>...
+//!       [--dedup-json] [--ingest-json] <experiment>...
 //! experiments: table1 fig6 fig7 fig8 fig9 fig10a fig10b fig10c fig11
 //!              example42 failover ablations sched prefetch lifecycle
 //!              tenant dedup all
@@ -43,6 +43,12 @@
 //! content-addressed-chunked and writes the bytes-moved comparison (the
 //! ≥ 3× WAN reduction claim, store occupancy, learned delta ratio) to
 //! `BENCH_dedup.json`.
+//!
+//! `--ingest-json` times the chunk plane's ingest stages (CDC split,
+//! chunk digesting, compression, end-to-end `write_chunked`) at 1/2/N
+//! pool workers, runs the concurrent fleet with the plane's shards
+//! serialized vs free, and writes `BENCH_ingest.json` (pool workers and
+//! host cores included, so single-core runs are self-describing).
 
 use msr_bench::experiments::Scale;
 use msr_bench::*;
@@ -477,6 +483,85 @@ fn run_dedup_json(scale: Scale, seed: u64) {
 }
 
 #[derive(serde::Serialize)]
+struct IngestLedger {
+    scale: String,
+    seed: u64,
+    /// Workers the global pool runs parallel regions on (`MSR_THREADS`
+    /// if set, else host parallelism).
+    pool_workers: usize,
+    /// Physical parallelism of the host. When 1, the worker curves and
+    /// the contention pair coincide by construction — the ledger is
+    /// informative, not a failed scaling run.
+    host_cores: usize,
+    point: IngestPoint,
+}
+
+/// Measure the chunk plane's ingest stages at 1/2/N workers plus the
+/// serialized-vs-sharded contention fleet and write `BENCH_ingest.json`.
+fn run_ingest_json(scale: Scale, seed: u64) {
+    banner("INGEST - chunk-plane throughput (CDC / digest / compress / e2e)");
+    let point = ingest_throughput(scale, seed);
+    println!(
+        "payload {:.1} MB in {} chunks",
+        point.payload_mb, point.chunks
+    );
+    println!(
+        "{:>14} | {:>7} {:>12} {:>10}",
+        "stage", "workers", "MB/s", "secs"
+    );
+    for s in &point.stages {
+        println!(
+            "{:>14} | {:>7} {:>12.1} {:>10.4}",
+            s.stage, s.workers, s.mb_s, s.seconds
+        );
+    }
+    let c = &point.contention;
+    println!(
+        "contention: {} threads x {} dumps of {:.1} MB   global-lock {:.3}s   sharded {:.3}s   ({:.2}x)",
+        c.resources, c.dumps_per_resource, c.payload_mb, c.global_lock_s, c.sharded_s, c.speedup
+    );
+    let pool_workers = rayon::pool::ThreadPool::global().threads();
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if pool_workers >= 2 && host_cores >= 2 {
+        // Only meaningful where parallel hardware exists: the e2e ingest
+        // stage must scale and the sharded fleet must beat the lock.
+        let mb_at = |workers: usize| {
+            point
+                .stages
+                .iter()
+                .find(|s| s.stage == "write_chunked" && s.workers == workers)
+                .map(|s| s.mb_s)
+                .expect("e2e stage present at every worker count")
+        };
+        let scaling = mb_at(2) / mb_at(1);
+        assert!(
+            scaling >= 1.5,
+            "e2e ingest must reach 1.5x at 2 workers on multi-core hosts: {scaling:.2}x"
+        );
+        assert!(
+            c.speedup > 1.0,
+            "sharded ingest must beat the global-lock baseline: {c:?}"
+        );
+    } else {
+        println!(
+            "(pool {pool_workers} workers / host {host_cores} cores: scaling assertions skipped)"
+        );
+    }
+    let ledger = IngestLedger {
+        scale: format!("{scale:?}"),
+        seed,
+        pool_workers,
+        host_cores,
+        point,
+    };
+    let out = serde_json::to_string_pretty(&ledger).expect("ledger serializes");
+    std::fs::write("BENCH_ingest.json", out).expect("write BENCH_ingest.json");
+    println!("\nwrote BENCH_ingest.json ({pool_workers} pool workers)");
+}
+
+#[derive(serde::Serialize)]
 struct PrefetchLedger {
     scale: String,
     seed: u64,
@@ -762,6 +847,10 @@ fn main() {
     }
     if args.iter().any(|a| a == "--tenant-json") {
         run_tenant_json(scale, seed);
+        return;
+    }
+    if args.iter().any(|a| a == "--ingest-json") {
+        run_ingest_json(scale, seed);
         return;
     }
     if args.iter().any(|a| a == "--dedup-json") {

@@ -160,4 +160,32 @@ mod tests {
             );
         }
     }
+
+    /// Regression guard for the committed `BENCH_dedup.json`: the
+    /// parallel segmented chunker must produce the *same cuts* as the
+    /// serial scan it replaced — same cuts ⇒ same digests ⇒ the same
+    /// WAN ledger, byte for byte. Every deterministic field of the
+    /// committed Paper-scale ledger (seed 2000) is pinned here;
+    /// wall-clock fields are host-dependent and excluded.
+    #[test]
+    fn paper_ledger_is_unchanged_by_the_segmented_chunker() {
+        let p = dedup_checkpoints(Scale::Paper, 2000);
+        assert_eq!(p.logical_bytes, 17_301_504);
+        assert_eq!(p.raw_wan_bytes, 17_301_504);
+        assert_eq!(p.chunked_wan_bytes, 3_273_556, "WAN bytes moved");
+        assert!(
+            (p.wan_reduction - 5.285_232_328_391_511).abs() < 1e-9,
+            "5.3x reduction moved: {}",
+            p.wan_reduction
+        );
+        assert_eq!(p.store_chunks, 296, "distinct resident chunks");
+        assert_eq!(p.inserts, 296, "chunks that shipped bytes");
+        assert_eq!(p.dedup_hits, 1785, "references served from the store");
+        assert_eq!(p.store_physical_bytes, 3_220_444);
+        assert!(
+            (p.learned_ratio - 0.194_928_662_340_065).abs() < 1e-12,
+            "per-dataset learned ratio moved: {}",
+            p.learned_ratio
+        );
+    }
 }

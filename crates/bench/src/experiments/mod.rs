@@ -8,6 +8,7 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig9;
 pub mod figs678;
+pub mod ingest;
 pub mod lifecycle;
 pub mod prefetch;
 pub mod sched;

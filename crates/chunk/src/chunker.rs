@@ -1,5 +1,21 @@
 //! Splitting a dump into chunks: fixed-size or content-defined.
+//!
+//! The CDC scan has two interchangeable implementations with bitwise
+//! identical output: a serial byte-at-a-time reference ([`split_serial`])
+//! and a parallel segmented scan used by [`split`] for large payloads.
+//! The segmented scan partitions the payload into fixed segments, finds
+//! every gear-hash *match position* per segment on the work-stealing
+//! pool, then replays the min/max chunk automaton over the concatenated
+//! match list in one cheap sequential stitch. Because the masked gear
+//! hash at any position is a pure function of the trailing `mask` bits'
+//! worth of bytes (carries in a shift-add hash only propagate upward)
+//! and every segment warms its hash over the [`WARM`] bytes before its
+//! first position, the per-segment match decisions equal the serial
+//! ones at every position the automaton can consult — so the cut list
+//! is identical to the serial scan for *any* segmentation and any
+//! `MSR_THREADS`.
 
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Range;
@@ -88,12 +104,66 @@ const fn build_gear() -> [u64; 256] {
     t
 }
 
+/// Warm-up window: bytes hashed before the first position a scan may
+/// cut at. Must cover the mask width (at most 22 bits for the 4 MiB
+/// average ceiling) so the masked hash at every consulted position is a
+/// pure function of content the scan has actually seen.
+const WARM: usize = 32;
+
+/// Segment length of the parallel scan. Small enough that a few MiB
+/// fan out across the pool, large enough that the per-segment warm-up
+/// (32 re-hashed bytes) is noise.
+const SEGMENT: usize = 256 * 1024;
+
+/// Payloads below this stay on the serial scan: spawning pool tasks
+/// costs more than scanning a couple of segments in place.
+const PARALLEL_MIN: usize = 2 * SEGMENT;
+
+/// CDC parameters derived from the clamped target average.
+#[derive(Clone, Copy)]
+struct CdcParams {
+    mask: u64,
+    min: usize,
+    max: usize,
+}
+
+impl CdcParams {
+    fn for_avg(avg_kib: u32) -> CdcParams {
+        let avg = ChunkPolicy::clamped_kib(avg_kib);
+        // Boundary probability 1/2^k per byte with 2^k the nearest
+        // power of two to the requested average.
+        let mask = (avg.next_power_of_two() as u64) - 1;
+        debug_assert!(mask < 1u64 << WARM, "mask wider than the warm-up window");
+        CdcParams {
+            mask,
+            min: (avg / 4).max(64),
+            max: avg * 4,
+        }
+    }
+}
+
 /// Split `data` into chunk ranges under `policy`.
 ///
 /// Returns consecutive, exhaustive, non-empty ranges covering
 /// `0..data.len()` (empty input yields no chunks). A pure function of
-/// `(data, policy)`: identical at any thread count.
+/// `(data, policy)`: large CDC payloads are scanned segment-parallel on
+/// the pool, but the reconciliation stitch makes the cut list bitwise
+/// identical to [`split_serial`] at any thread count.
 pub fn split(data: &[u8], policy: &ChunkPolicy) -> Vec<Range<usize>> {
+    match *policy {
+        ChunkPolicy::Cdc { avg_kib }
+            if data.len() >= PARALLEL_MIN && rayon::current_num_threads() > 1 =>
+        {
+            split_cdc_segmented(data, CdcParams::for_avg(avg_kib), SEGMENT)
+        }
+        _ => split_serial(data, policy),
+    }
+}
+
+/// The serial reference scan: byte-at-a-time semantics, identical output
+/// to [`split`]. Kept public as the ground truth the parallel-equality
+/// property suite and the ingest benchmarks compare against.
+pub fn split_serial(data: &[u8], policy: &ChunkPolicy) -> Vec<Range<usize>> {
     if data.is_empty() {
         return Vec::new();
     }
@@ -113,16 +183,11 @@ pub fn split(data: &[u8], policy: &ChunkPolicy) -> Vec<Range<usize>> {
                 .collect()
         }
         ChunkPolicy::Cdc { avg_kib } => {
-            let avg = ChunkPolicy::clamped_kib(avg_kib);
-            // Boundary probability 1/2^k per byte with 2^k the nearest
-            // power of two to the requested average.
-            let mask = (avg.next_power_of_two() as u64) - 1;
-            let min = (avg / 4).max(64);
-            let max = avg * 4;
-            let mut cuts = Vec::with_capacity(data.len() / avg + 1);
+            let p = CdcParams::for_avg(avg_kib);
+            let mut cuts = Vec::with_capacity(data.len() / (p.min * 4) + 1);
             let mut start = 0usize;
             while start < data.len() {
-                let end = cut_point(&data[start..], mask, min, max);
+                let end = cut_point(&data[start..], p);
                 cuts.push(start..start + end);
                 start += end;
             }
@@ -131,9 +196,105 @@ pub fn split(data: &[u8], policy: &ChunkPolicy) -> Vec<Range<usize>> {
     }
 }
 
+/// Segment-parallel CDC with an explicit segment length — the test and
+/// bench hook behind [`split`]'s large-payload path. Output is identical
+/// to [`split_serial`] for any `segment >= 1` and any thread count.
+pub fn split_segmented(data: &[u8], policy: &ChunkPolicy, segment: usize) -> Vec<Range<usize>> {
+    match *policy {
+        ChunkPolicy::Cdc { avg_kib } if !data.is_empty() => {
+            split_cdc_segmented(data, CdcParams::for_avg(avg_kib), segment.max(1))
+        }
+        _ => split_serial(data, policy),
+    }
+}
+
+fn split_cdc_segmented(data: &[u8], p: CdcParams, segment: usize) -> Vec<Range<usize>> {
+    let nseg = data.len().div_ceil(segment);
+    // Phase 1 (parallel): every gear-hash match position, segment by
+    // segment. `flat_map_iter` collects in segment order, so the list is
+    // globally sorted and independent of scheduling.
+    let matches: Vec<usize> = (0..nseg)
+        .into_par_iter()
+        .flat_map_iter(|s| {
+            let lo = s * segment;
+            let hi = data.len().min(lo + segment);
+            gear_matches(data, lo, hi, p.mask).into_iter()
+        })
+        .collect();
+    // Phase 2 (sequential stitch): replay the min/max chunk automaton
+    // over the match list. O(chunks + matches), no byte re-hashed.
+    stitch(&matches, data.len(), p)
+}
+
+/// Every position `j` in `[lo, hi)` where the gear hash — warmed over
+/// the [`WARM`] bytes before `lo` — matches `mask` after absorbing
+/// `data[j]`. The serial scan cuts at `j + 1` when it consults `j`.
+fn gear_matches(data: &[u8], lo: usize, hi: usize, mask: u64) -> Vec<usize> {
+    let mut h = 0u64;
+    for &b in &data[lo.saturating_sub(WARM)..lo] {
+        h = (h << 1).wrapping_add(GEAR[b as usize]);
+    }
+    // ~1 match per 2^mask_bits bytes; headroom for lumpy content.
+    let mut out = Vec::with_capacity(8 + (hi - lo) / (mask as usize / 2 + 1));
+    let region = &data[lo..hi];
+    let mut base = lo;
+    let mut words = region.chunks_exact(8);
+    for w in words.by_ref() {
+        // 8-byte stride: one bounds check per word, unrolled absorb.
+        for (k, &b) in w.iter().enumerate() {
+            h = (h << 1).wrapping_add(GEAR[b as usize]);
+            if h & mask == mask {
+                out.push(base + k);
+            }
+        }
+        base += 8;
+    }
+    for (k, &b) in words.remainder().iter().enumerate() {
+        h = (h << 1).wrapping_add(GEAR[b as usize]);
+        if h & mask == mask {
+            out.push(base + k);
+        }
+    }
+    out
+}
+
+/// Replay the serial chunk automaton over a sorted match-position list:
+/// from the last cut `start`, the next cut is `q + 1` for the first
+/// match `q` in `[start + min, start + max)`, else `start + max`, else
+/// the end of data. The cursor over `matches` only moves forward — a
+/// match skipped below one chunk's legal window can never be consulted
+/// by a later chunk, whose window starts even further right.
+fn stitch(matches: &[usize], len: usize, p: CdcParams) -> Vec<Range<usize>> {
+    let mut cuts = Vec::with_capacity(len / (p.min * 4) + 1);
+    let mut start = 0usize;
+    let mut mi = 0usize;
+    while start < len {
+        let rem = len - start;
+        if rem <= p.min {
+            cuts.push(start..len);
+            break;
+        }
+        let stop = start + rem.min(p.max);
+        let lo = start + p.min;
+        while mi < matches.len() && matches[mi] < lo {
+            mi += 1;
+        }
+        let end = match matches.get(mi) {
+            Some(&q) if q < stop => q + 1,
+            _ => stop,
+        };
+        cuts.push(start..end);
+        start = end;
+    }
+    cuts
+}
+
 /// Find the next cut in `data` (relative offset): the first position after
 /// `min` where the gear hash matches `mask`, else `max`, else the end.
-fn cut_point(data: &[u8], mask: u64, min: usize, max: usize) -> usize {
+/// Bytes before the warm-up window are skipped entirely — no cut is
+/// possible there, so no hashing happens there.
+fn cut_point(data: &[u8], p: CdcParams) -> usize {
+    let CdcParams { mask, min, max } = p;
     if data.len() <= min {
         return data.len();
     }
@@ -141,13 +302,25 @@ fn cut_point(data: &[u8], mask: u64, min: usize, max: usize) -> usize {
     let mut h = 0u64;
     // Warm the hash over the bytes before the earliest legal cut so the
     // boundary decision sees a full window of context.
-    for &b in &data[min.saturating_sub(32)..min] {
+    for &b in &data[min.saturating_sub(WARM)..min] {
         h = (h << 1).wrapping_add(GEAR[b as usize]);
     }
-    for (i, &b) in data[min..stop].iter().enumerate() {
+    let region = &data[min..stop];
+    let mut base = min;
+    let mut words = region.chunks_exact(8);
+    for w in words.by_ref() {
+        for (k, &b) in w.iter().enumerate() {
+            h = (h << 1).wrapping_add(GEAR[b as usize]);
+            if h & mask == mask {
+                return base + k + 1;
+            }
+        }
+        base += 8;
+    }
+    for (k, &b) in words.remainder().iter().enumerate() {
         h = (h << 1).wrapping_add(GEAR[b as usize]);
         if h & mask == mask {
-            return min + i + 1;
+            return base + k + 1;
         }
     }
     stop
@@ -257,6 +430,22 @@ mod tests {
         let data = payload(3 << 20, 21);
         for policy in [ChunkPolicy::cdc(32), ChunkPolicy::fixed(64)] {
             assert_eq!(split(&data, &policy), split(&data, &policy));
+        }
+    }
+
+    #[test]
+    fn segmented_matches_serial_at_awkward_segment_lengths() {
+        // Tiny, prime and power-of-two segment lengths all stitch to the
+        // serial cut list; the dedicated property suite sweeps further.
+        let data = payload(1 << 20, 33);
+        let policy = ChunkPolicy::cdc(16);
+        let want = split_serial(&data, &policy);
+        for seg in [97, 4096, 65_536, 1 << 20, 1 << 22] {
+            assert_eq!(
+                split_segmented(&data, &policy, seg),
+                want,
+                "segment {seg} B diverged"
+            );
         }
     }
 

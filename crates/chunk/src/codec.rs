@@ -71,27 +71,115 @@ const MAX_LITERAL_RUN: usize = 128;
 /// Compress `data` into a self-describing frame. The frame is at most
 /// `data.len() + 5` bytes: when compression does not win, the payload is
 /// stored raw.
+///
+/// Convenience wrapper over a throwaway [`Compressor`]; hot ingest loops
+/// keep a `Compressor` per worker instead so the match table is
+/// allocated once, not per chunk.
 pub fn compress(codec: &Codec, data: &[u8]) -> Vec<u8> {
-    let ulen = data.len() as u32;
-    let body = match codec {
-        Codec::None => None,
-        Codec::Lz4Like(level) => lz_compress(data, *level),
-    };
-    match body {
-        Some(lz) if lz.len() < data.len() => {
-            let mut out = Vec::with_capacity(FRAME_HEADER + lz.len());
-            out.push(TAG_LZ);
-            out.extend_from_slice(&ulen.to_le_bytes());
-            out.extend_from_slice(&lz);
-            out
+    Compressor::new().compress(codec, data)
+}
+
+/// Reusable compression scratch: the LZ match table survives across
+/// chunks so hot ingest loops allocate it once per worker instead of
+/// once per chunk (up to 2 MiB each at high levels).
+///
+/// Stale entries are invalidated by a generation *stamp* rather than a
+/// table clear: slots store `stamp + position`, the stamp advances past
+/// every position after each chunk, and a slot from an earlier chunk
+/// therefore decodes to no candidate — exactly the behaviour of a fresh
+/// table, so frames are bitwise identical to the one-shot path.
+#[derive(Debug, Default)]
+pub struct Compressor {
+    table: Vec<u64>,
+    /// Stamp of the current chunk; slot values below it are stale. Starts
+    /// at 1 so the zeroed table reads as all-empty.
+    stamp: u64,
+}
+
+impl Compressor {
+    /// Fresh scratch; the match table is allocated lazily on first use.
+    pub fn new() -> Compressor {
+        Compressor::default()
+    }
+
+    /// Compress `data` into a self-describing frame, reusing this
+    /// scratch. Output is bitwise identical to [`compress`].
+    pub fn compress(&mut self, codec: &Codec, data: &[u8]) -> Vec<u8> {
+        let ulen = data.len() as u32;
+        let body = match codec {
+            Codec::None => None,
+            Codec::Lz4Like(level) => self.lz_compress(data, *level),
+        };
+        match body {
+            Some(lz) if lz.len() < data.len() => {
+                let mut out = Vec::with_capacity(FRAME_HEADER + lz.len());
+                out.push(TAG_LZ);
+                out.extend_from_slice(&ulen.to_le_bytes());
+                out.extend_from_slice(&lz);
+                out
+            }
+            _ => {
+                let mut out = Vec::with_capacity(FRAME_HEADER + data.len());
+                out.push(TAG_RAW);
+                out.extend_from_slice(&ulen.to_le_bytes());
+                out.extend_from_slice(data);
+                out
+            }
         }
-        _ => {
-            let mut out = Vec::with_capacity(FRAME_HEADER + data.len());
-            out.push(TAG_RAW);
-            out.extend_from_slice(&ulen.to_le_bytes());
-            out.extend_from_slice(data);
-            out
+    }
+
+    /// Greedy LZ77: a single-slot hash table over 4-byte prefixes;
+    /// `level` widens the table, finding more distant repeats.
+    fn lz_compress(&mut self, data: &[u8], level: u8) -> Option<Vec<u8>> {
+        if data.len() < MIN_MATCH + 1 {
+            return None;
         }
+        let bits = 10 + 2 * u32::from(level.clamp(1, 4));
+        if self.table.len() != 1 << bits {
+            self.table.clear();
+            self.table.resize(1 << bits, 0);
+            self.stamp = 1;
+        }
+        let stamp = self.stamp;
+        // Advance past every position this chunk will stamp, so the next
+        // chunk sees all of them as stale.
+        self.stamp += data.len() as u64;
+        let table = &mut self.table[..];
+
+        let mut out = Vec::with_capacity(data.len() / 2 + 16);
+        let mut lit_start = 0usize;
+        let mut pos = 0usize;
+        let limit = data.len() - MIN_MATCH;
+
+        while pos <= limit {
+            let slot = hash4(data, pos, bits);
+            let cand = table[slot].checked_sub(stamp).map(|c| c as usize);
+            table[slot] = stamp + pos as u64;
+            let found = match cand {
+                Some(cand) => {
+                    pos - cand <= MAX_DIST
+                        && data[cand..cand + MIN_MATCH] == data[pos..pos + MIN_MATCH]
+                }
+                None => false,
+            };
+            if found {
+                let cand = cand.unwrap();
+                let mut len = MIN_MATCH;
+                let max = (data.len() - pos).min(MAX_MATCH);
+                while len < max && data[cand + len] == data[pos + len] {
+                    len += 1;
+                }
+                flush_literals(&mut out, &data[lit_start..pos]);
+                out.push(0x80 | (len - MIN_MATCH) as u8);
+                out.extend_from_slice(&((pos - cand) as u16).to_le_bytes());
+                pos += len;
+                lit_start = pos;
+            } else {
+                pos += 1;
+            }
+        }
+        flush_literals(&mut out, &data[lit_start..]);
+        Some(out)
     }
 }
 
@@ -107,8 +195,18 @@ pub fn decompressed_len(frame: &[u8]) -> Result<usize, ChunkError> {
 
 /// Decompress a frame produced by [`compress`].
 pub fn decompress(frame: &[u8]) -> Result<Vec<u8>, ChunkError> {
+    let mut out = Vec::new();
+    decompress_into(frame, &mut out)?;
+    Ok(out)
+}
+
+/// Decompress a frame into a caller-supplied buffer (cleared first, then
+/// filled with exactly the declared payload). Hot read loops reuse one
+/// buffer per worker instead of allocating per chunk.
+pub fn decompress_into(frame: &[u8], out: &mut Vec<u8>) -> Result<(), ChunkError> {
     let ulen = decompressed_len(frame)?;
     let payload = &frame[FRAME_HEADER..];
+    out.clear();
     match frame[0] {
         TAG_RAW => {
             if payload.len() != ulen {
@@ -116,9 +214,36 @@ pub fn decompress(frame: &[u8]) -> Result<Vec<u8>, ChunkError> {
                     detail: format!("raw frame declares {ulen} B but carries {}", payload.len()),
                 });
             }
-            Ok(payload.to_vec())
+            out.extend_from_slice(payload);
+            Ok(())
         }
-        TAG_LZ => lz_decompress(payload, ulen),
+        TAG_LZ => lz_decompress(payload, ulen, out),
+        other => Err(ChunkError::BadFrame {
+            detail: format!("unknown frame tag {other}"),
+        }),
+    }
+}
+
+/// The payload byte range of a *raw* frame (`Codec::None` or the
+/// raw fallback), after validating the header. `None` for LZ frames.
+/// Raw frames carry the chunk bytes verbatim, so a reader holding the
+/// frame in a shareable buffer can serve the chunk as a zero-copy slice
+/// instead of decompressing into a fresh allocation.
+pub fn raw_span(frame: &[u8]) -> Result<Option<std::ops::Range<usize>>, ChunkError> {
+    let ulen = decompressed_len(frame)?;
+    match frame[0] {
+        TAG_RAW => {
+            if frame.len() - FRAME_HEADER != ulen {
+                return Err(ChunkError::BadFrame {
+                    detail: format!(
+                        "raw frame declares {ulen} B but carries {}",
+                        frame.len() - FRAME_HEADER
+                    ),
+                });
+            }
+            Ok(Some(FRAME_HEADER..frame.len()))
+        }
+        TAG_LZ => Ok(None),
         other => Err(ChunkError::BadFrame {
             detail: format!("unknown frame tag {other}"),
         }),
@@ -130,45 +255,6 @@ fn hash4(data: &[u8], pos: usize, bits: u32) -> usize {
     (w.wrapping_mul(2_654_435_761) >> (32 - bits)) as usize
 }
 
-/// Greedy LZ77: a single-slot hash table over 4-byte prefixes; `level`
-/// widens the table, finding more distant repeats.
-fn lz_compress(data: &[u8], level: u8) -> Option<Vec<u8>> {
-    if data.len() < MIN_MATCH + 1 {
-        return None;
-    }
-    let bits = 10 + 2 * u32::from(level.clamp(1, 4));
-    let mut table = vec![usize::MAX; 1 << bits];
-    let mut out = Vec::with_capacity(data.len() / 2 + 16);
-    let mut lit_start = 0usize;
-    let mut pos = 0usize;
-    let limit = data.len() - MIN_MATCH;
-
-    while pos <= limit {
-        let slot = hash4(data, pos, bits);
-        let cand = table[slot];
-        table[slot] = pos;
-        let found = cand != usize::MAX
-            && pos - cand <= MAX_DIST
-            && data[cand..cand + MIN_MATCH] == data[pos..pos + MIN_MATCH];
-        if found {
-            let mut len = MIN_MATCH;
-            let max = (data.len() - pos).min(MAX_MATCH);
-            while len < max && data[cand + len] == data[pos + len] {
-                len += 1;
-            }
-            flush_literals(&mut out, &data[lit_start..pos]);
-            out.push(0x80 | (len - MIN_MATCH) as u8);
-            out.extend_from_slice(&((pos - cand) as u16).to_le_bytes());
-            pos += len;
-            lit_start = pos;
-        } else {
-            pos += 1;
-        }
-    }
-    flush_literals(&mut out, &data[lit_start..]);
-    Some(out)
-}
-
 fn flush_literals(out: &mut Vec<u8>, mut lits: &[u8]) {
     while !lits.is_empty() {
         let n = lits.len().min(MAX_LITERAL_RUN);
@@ -178,8 +264,8 @@ fn flush_literals(out: &mut Vec<u8>, mut lits: &[u8]) {
     }
 }
 
-fn lz_decompress(mut src: &[u8], ulen: usize) -> Result<Vec<u8>, ChunkError> {
-    let mut out = Vec::with_capacity(ulen);
+fn lz_decompress(mut src: &[u8], ulen: usize, out: &mut Vec<u8>) -> Result<(), ChunkError> {
+    out.reserve(ulen);
     let truncated = || ChunkError::BadFrame {
         detail: "lz stream truncated".to_owned(),
     };
@@ -223,7 +309,7 @@ fn lz_decompress(mut src: &[u8], ulen: usize) -> Result<Vec<u8>, ChunkError> {
             detail: format!("lz stream yields {} B, declared {ulen}", out.len()),
         });
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -346,5 +432,59 @@ mod tests {
             compress(&Codec::Lz4Like(3), &data),
             compress(&Codec::Lz4Like(3), &data)
         );
+    }
+
+    #[test]
+    fn reused_compressor_matches_one_shot_frames() {
+        // The generation-stamped table must behave exactly like a fresh
+        // table: a dirty compressor (different content, different level)
+        // produces bitwise identical frames for every chunk.
+        let chunks: Vec<Vec<u8>> = vec![
+            tiled(64 * 1024, 512, 3),
+            noise(64 * 1024, 9),
+            tiled(64 * 1024, 512, 3), // repeat: stale slots would love this
+            tiled(300, 30, 8),
+            Vec::new(),
+            noise(5, 2),
+        ];
+        let mut c = Compressor::new();
+        for codec in [Codec::Lz4Like(1), Codec::Lz4Like(9), Codec::Lz4Like(1)] {
+            for data in &chunks {
+                assert_eq!(
+                    c.compress(&codec, data),
+                    compress(&codec, data),
+                    "{codec} {} B",
+                    data.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decompress_into_reuses_and_clears_the_buffer() {
+        let a = tiled(32 * 1024, 256, 5);
+        let b = noise(1000, 6);
+        let mut buf = Vec::new();
+        decompress_into(&compress(&Codec::Lz4Like(2), &a), &mut buf).unwrap();
+        assert_eq!(buf, a);
+        // A smaller second payload must fully replace the first.
+        decompress_into(&compress(&Codec::None, &b), &mut buf).unwrap();
+        assert_eq!(buf, b);
+    }
+
+    #[test]
+    fn raw_span_exposes_raw_payloads_only() {
+        let data = noise(4096, 11);
+        let raw = compress(&Codec::None, &data);
+        let span = raw_span(&raw).unwrap().expect("raw frame has a span");
+        assert_eq!(&raw[span], &data[..]);
+        let lz = compress(&Codec::Lz4Like(1), &tiled(4096, 64, 2));
+        assert_eq!(lz[0], TAG_LZ);
+        assert!(raw_span(&lz).unwrap().is_none());
+        assert!(raw_span(&[1, 2]).is_err());
+        // A declared-length lie is caught before the span is handed out.
+        let mut lie = compress(&Codec::None, b"hello");
+        lie[1] = 99;
+        assert!(raw_span(&lie).is_err());
     }
 }

@@ -41,8 +41,10 @@ mod ingest;
 mod manifest;
 mod store;
 
-pub use chunker::{split, ChunkPolicy};
-pub use codec::{compress, decompress, decompressed_len, Codec};
+pub use chunker::{split, split_segmented, split_serial, ChunkPolicy};
+pub use codec::{
+    compress, decompress, decompress_into, decompressed_len, raw_span, Codec, Compressor,
+};
 pub use digest::Digest;
 pub use error::ChunkError;
 pub use ingest::{DeltaSummary, IngestSpec};

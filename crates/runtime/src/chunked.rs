@@ -21,33 +21,86 @@
 //! native reads for the manifest and each referenced frame, a decompress
 //! scan, then the scatter exchange. Native call order is fixed (dump
 //! order), so virtual times are bitwise reproducible at any
-//! `MSR_THREADS`; host-side compression and verification run on the
-//! work-stealing pool but their results are order-collected.
+//! `MSR_THREADS`; host-side splitting, compression and verification run
+//! on the work-stealing pool but their results are order-collected.
 //!
-//! # Locking
+//! # Sharding and locking
 //!
-//! The plane's mutex nests strictly *inside* a resource lock: every path
-//! that takes both locks the resource first. On overwrite, new chunk
-//! references are committed before the replaced manifest's references are
-//! released, so a chunk shared between the old and new dump never hits
-//! refcount zero mid-flight.
+//! Plane state is sharded per resource: each storage resource owns an
+//! independent `store + manifests + pending` shard behind its own mutex,
+//! so producer fleets ingesting to *different* resources never contend
+//! on plane bookkeeping (the shard map itself is touched only briefly,
+//! under a read-mostly lock). A shard mutex nests strictly *inside* the
+//! owning resource's lock: every path that takes both locks the resource
+//! first. On overwrite, new chunk references are committed before the
+//! replaced manifest's references are released, so a chunk shared
+//! between the old and new dump never hits refcount zero mid-flight.
 
 use crate::engine::{memcpy_cost, IoEngine, IoReport, OpCx, StatsDelta};
 use crate::error::RuntimeError;
 use crate::layout::Distribution;
 use crate::strategy::IoStrategy;
 use crate::RuntimeResult;
+use bytes::Bytes;
 use msr_chunk::{
-    cas_path, compress, decompress, split, ChunkError, ChunkPolicy, ChunkRef, ChunkStore, Codec,
-    DeltaSummary, Digest, IngestSpec, Manifest, StoreStats,
+    cas_path, compress, decompress_into, raw_span, split, ChunkError, ChunkPolicy, ChunkRef,
+    ChunkStore, Codec, DeltaSummary, Digest, IngestSpec, Manifest, StoreStats,
 };
 use msr_obs::{ops, Layer};
 use msr_sim::SimDuration;
 use msr_storage::{Cost, OpenMode, SharedResource, StorageError, StorageResource};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use rayon::prelude::*;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Global free lists of chunk-plane scratch: LZ compressors (match
+/// tables up to 2 MiB each) for the write path and decompress buffers
+/// for the read path. Pool workers are scoped per parallel region, so
+/// the lists are shared rather than thread-local; takes and gives are
+/// counted into the op's scratch telemetry by the callers.
+mod chunk_scratch {
+    use msr_chunk::Compressor;
+    use parking_lot::Mutex;
+
+    static COMPRESSORS: Mutex<Vec<Compressor>> = Mutex::new(Vec::new());
+    static PLAIN: Mutex<Vec<Vec<u8>>> = Mutex::new(Vec::new());
+    /// Bound on pooled items, so a wide fleet doesn't pin memory forever.
+    const MAX_POOLED: usize = 64;
+
+    /// A compressor with a warm match table when one is pooled; `true`
+    /// on reuse.
+    pub fn take_compressor() -> (Compressor, bool) {
+        match COMPRESSORS.lock().pop() {
+            Some(c) => (c, true),
+            None => (Compressor::new(), false),
+        }
+    }
+
+    pub fn give_compressor(c: Compressor) {
+        let mut pool = COMPRESSORS.lock();
+        if pool.len() < MAX_POOLED {
+            pool.push(c);
+        }
+    }
+
+    /// A decompress target buffer (contents unspecified, cleared by
+    /// `decompress_into`); `true` on reuse.
+    pub fn take_plain() -> (Vec<u8>, bool) {
+        match PLAIN.lock().pop() {
+            Some(b) => (b, true),
+            None => (Vec::new(), false),
+        }
+    }
+
+    pub fn give_plain(b: Vec<u8>) {
+        let mut pool = PLAIN.lock();
+        if pool.len() < MAX_POOLED {
+            pool.push(b);
+        }
+    }
+}
 
 /// What the plane remembers about one chunked dump.
 #[derive(Debug, Clone)]
@@ -67,38 +120,82 @@ struct ManifestMeta {
     vaulted: bool,
 }
 
+/// One resource's slice of the plane: its chunk store, its registered
+/// dumps (keyed by path — the resource is the shard key), and its
+/// not-yet-drained transfer observations.
 #[derive(Debug, Default)]
-struct PlaneState {
-    /// Per-resource chunk stores, keyed by resource name.
-    stores: BTreeMap<String, ChunkStore>,
-    /// Registered chunked dumps, keyed `(resource name, path)`.
-    manifests: BTreeMap<(String, String), ManifestMeta>,
-    /// Transfer observations awaiting a predictor sync.
+struct Shard {
+    store: ChunkStore,
+    manifests: HashMap<String, ManifestMeta>,
     pending: Vec<DeltaSummary>,
 }
 
 /// Shared state of the chunk plane. Engine clones share one plane (the
 /// stores must be global per process — dedup across sessions is the
-/// point), so this is an `Arc` handle.
-#[derive(Debug, Clone, Default)]
+/// point), so this is an `Arc` handle over the per-resource shard map.
+#[derive(Debug, Clone)]
 pub struct ChunkPlane {
-    state: Arc<Mutex<PlaneState>>,
+    shards: Arc<RwLock<HashMap<String, Arc<Mutex<Shard>>>>>,
+    /// Bench hook: when set, every ingest's bookkeeping-and-ship section
+    /// additionally serializes through one process-wide mutex,
+    /// reproducing the retired single-lock plane for the contention
+    /// ledger's baseline run.
+    serialize: Arc<AtomicBool>,
+    contend: Arc<Mutex<()>>,
+}
+
+impl Default for ChunkPlane {
+    fn default() -> ChunkPlane {
+        ChunkPlane {
+            shards: Arc::new(RwLock::new(HashMap::new())),
+            serialize: Arc::new(AtomicBool::new(false)),
+            contend: Arc::new(Mutex::new(())),
+        }
+    }
 }
 
 impl ChunkPlane {
+    /// The shard for `resource`, created on first use.
+    fn shard(&self, resource: &str) -> Arc<Mutex<Shard>> {
+        if let Some(s) = self.shards.read().get(resource) {
+            return Arc::clone(s);
+        }
+        Arc::clone(self.shards.write().entry(resource.to_owned()).or_default())
+    }
+
+    /// The shard for `resource` if any chunked dump ever touched it.
+    fn shard_if(&self, resource: &str) -> Option<Arc<Mutex<Shard>>> {
+        self.shards.read().get(resource).cloned()
+    }
+
+    /// The global-lock guard for the contention-baseline bench mode,
+    /// `None` in normal operation.
+    fn contention_guard(&self) -> Option<parking_lot::MutexGuard<'_, ()>> {
+        self.serialize
+            .load(Ordering::Relaxed)
+            .then(|| self.contend.lock())
+    }
+
+    /// Bench hook: force every ingest through one global lock,
+    /// emulating the pre-sharding plane. Only the ingest ledger's
+    /// contention baseline should ever turn this on.
+    #[doc(hidden)]
+    pub fn set_serialized_ingest(&self, on: bool) {
+        self.serialize.store(on, Ordering::SeqCst);
+    }
+
     /// Whether `(resource, path)` is a registered chunked dump.
     pub fn is_chunked(&self, resource: &str, path: &str) -> bool {
-        self.state
-            .lock()
-            .manifests
-            .contains_key(&(resource.to_owned(), path.to_owned()))
+        self.shard_if(resource)
+            .is_some_and(|s| s.lock().manifests.contains_key(path))
     }
 
     /// The ingest spec a registered dump was written with — what a
     /// migration uses to re-chunk faithfully at the destination.
     pub fn ingest_of(&self, resource: &str, path: &str) -> Option<IngestSpec> {
-        let st = self.state.lock();
-        let m = st.manifests.get(&(resource.to_owned(), path.to_owned()))?;
+        let shard = self.shard_if(resource)?;
+        let sh = shard.lock();
+        let m = sh.manifests.get(path)?;
         Some(IngestSpec {
             policy: m.policy,
             codec: m.codec,
@@ -109,34 +206,40 @@ impl ChunkPlane {
     /// Logical payload bytes of a registered chunked dump (what a
     /// migration will move, regardless of the manifest's stored size).
     pub fn logical_of(&self, resource: &str, path: &str) -> Option<u64> {
-        self.state
-            .lock()
-            .manifests
-            .get(&(resource.to_owned(), path.to_owned()))
-            .map(|m| m.logical)
+        let shard = self.shard_if(resource)?;
+        let sh = shard.lock();
+        sh.manifests.get(path).map(|m| m.logical)
     }
 
     /// Aggregate chunk-store counters for one resource.
     pub fn store_stats(&self, resource: &str) -> Option<StoreStats> {
-        self.state.lock().stores.get(resource).map(|s| s.stats())
+        self.shard_if(resource).map(|s| s.lock().store.stats())
     }
 
     /// Registered chunked dumps on one resource.
     pub fn manifest_count(&self, resource: &str) -> usize {
-        self.state
-            .lock()
-            .manifests
-            .keys()
-            .filter(|(r, _)| r == resource)
-            .count()
+        self.shard_if(resource)
+            .map_or(0, |s| s.lock().manifests.len())
     }
 
     /// Drain the transfer observations accumulated since the last drain.
-    /// Per-dataset order follows each resource's dispatch order; callers
+    /// Shards drain in sorted resource-name order — a pure function of
+    /// plane state, identical at any `MSR_THREADS` — and within a shard
+    /// per-dataset order follows that resource's dispatch order; callers
     /// fold them into per-dataset state (cross-dataset interleave is not
     /// meaningful).
     pub fn take_deltas(&self) -> Vec<DeltaSummary> {
-        std::mem::take(&mut self.state.lock().pending)
+        let shards: Vec<Arc<Mutex<Shard>>> = {
+            let map = self.shards.read();
+            let mut named: Vec<(&String, &Arc<Mutex<Shard>>)> = map.iter().collect();
+            named.sort_by_key(|(name, _)| *name);
+            named.into_iter().map(|(_, s)| Arc::clone(s)).collect()
+        };
+        let mut out = Vec::new();
+        for s in shards {
+            out.append(&mut s.lock().pending);
+        }
+        out
     }
 }
 
@@ -146,6 +249,22 @@ struct Planned {
     ulen: u32,
     /// Compressed frame under the *requested* codec.
     frame: Vec<u8>,
+}
+
+/// One verified chunk on the read path: a zero-copy slice of the frame
+/// buffer when the frame was raw, a pooled decompress buffer otherwise.
+enum Plain {
+    Shared(Bytes),
+    Pooled(Vec<u8>),
+}
+
+impl Plain {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            Plain::Shared(b) => b,
+            Plain::Pooled(v) => v,
+        }
+    }
 }
 
 impl IoEngine {
@@ -184,16 +303,34 @@ impl IoEngine {
         }
         // Host-side planning: boundaries, digests and frames are pure
         // functions of content, so the parallel map collects in order and
-        // the plan is identical at any thread count.
+        // the plan is identical at any thread count. Compression scratch
+        // comes from the worker pool; its alloc/reuse totals fold into
+        // the op's scratch telemetry after the region.
+        let scratch_allocs = AtomicUsize::new(0);
+        let scratch_reuses = AtomicUsize::new(0);
         let ranges = split(data, &ingest.policy);
         let planned: Vec<Planned> = ranges
             .into_par_iter()
             .map(|r| {
                 let chunk = &data[r];
+                let frame = if ingest.codec.is_active() {
+                    let (mut comp, reused) = chunk_scratch::take_compressor();
+                    if reused {
+                        scratch_reuses.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        scratch_allocs.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let frame = comp.compress(&ingest.codec, chunk);
+                    chunk_scratch::give_compressor(comp);
+                    frame
+                } else {
+                    // `Codec::None` needs no match table: skip the pool.
+                    compress(&ingest.codec, chunk)
+                };
                 Planned {
                     digest: Digest::of(chunk),
                     ulen: chunk.len() as u32,
-                    frame: compress(&ingest.codec, chunk),
+                    frame,
                 }
             })
             .collect();
@@ -203,6 +340,7 @@ impl IoEngine {
         let mut r = res.lock();
         let delta = StatsDelta::start(&*r);
         let mut cx = OpCx::new(nprocs);
+        cx.note_scratch_many(scratch_allocs.into_inner(), scratch_reuses.into_inner());
         r.set_stream_hint(1);
 
         // Gather the distributed array to the aggregator, then one
@@ -217,20 +355,20 @@ impl IoEngine {
         cx.tl.charge(0, memcpy_cost(total));
 
         let resource = r.name().to_owned();
-        let key = (resource.clone(), path.to_owned());
+        let shard = self.plane.shard(&resource);
         let (moved, shipped, hits, gc_deletes);
         let manifest_bytes;
         {
-            let mut plane = self.plane.state.lock();
-            let old = plane.manifests.get(&key).cloned();
+            let _serial = self.plane.contention_guard();
+            let mut sh = shard.lock();
+            let sh = &mut *sh;
 
             if ingest.content_addressed {
-                let store = plane.stores.entry(resource.clone()).or_default();
                 // Ship each distinct absent chunk once, in dump order.
-                let mut seen: BTreeSet<Digest> = BTreeSet::new();
+                let mut seen: HashSet<Digest> = HashSet::with_capacity(planned.len());
                 let mut to_ship: Vec<&Planned> = Vec::new();
                 for c in &planned {
-                    if seen.insert(c.digest) && !store.contains(&c.digest) {
+                    if seen.insert(c.digest) && !sh.store.contains(&c.digest) {
                         to_ship.push(c);
                     }
                 }
@@ -253,7 +391,8 @@ impl IoEngine {
                 let chunks: Vec<ChunkRef> = planned
                     .iter()
                     .map(|c| {
-                        let (ulen, clen) = store
+                        let (ulen, clen) = sh
+                            .store
                             .sizes(&c.digest)
                             .unwrap_or((c.ulen, c.frame.len() as u32));
                         ChunkRef {
@@ -284,26 +423,10 @@ impl IoEngine {
                 // Commit the new references, then release the replaced
                 // dump's — shared chunks never hit zero in between.
                 for c in &chunks {
-                    store.acquire(c.digest, c.ulen, c.clen);
+                    sh.store.acquire(c.digest, c.ulen, c.clen);
                 }
-                let mut gcs: Vec<Digest> = Vec::new();
-                if let Some(old) = &old {
-                    if !old.inline {
-                        for c in &old.chunks {
-                            if let Some(rel) = store.release(&c.digest, old.vaulted) {
-                                if rel.gone {
-                                    gcs.push(c.digest);
-                                }
-                            }
-                        }
-                    }
-                }
-                shipped = to_ship.len();
-                hits = planned.len() - shipped;
-                moved = moved_now + manifest_bytes.len() as u64;
-                gc_deletes = gcs;
-                plane.manifests.insert(
-                    key,
+                let old = sh.manifests.insert(
+                    path.to_owned(),
                     ManifestMeta {
                         chunks,
                         policy: ingest.policy,
@@ -313,6 +436,13 @@ impl IoEngine {
                         vaulted: false,
                     },
                 );
+                gc_deletes = match &old {
+                    Some(old) if !old.inline => sh.store.release_all(&old.chunks, old.vaulted),
+                    _ => Vec::new(),
+                };
+                shipped = to_ship.len();
+                hits = planned.len() - shipped;
+                moved = moved_now + manifest_bytes.len() as u64;
             } else {
                 // Pack mode: manifest header + every frame in one object.
                 let chunks: Vec<ChunkRef> = planned
@@ -346,24 +476,8 @@ impl IoEngine {
                 r.set_logical_size(path, total);
                 // Release a replaced content-addressed dump's references
                 // even when the new dump is packed.
-                let mut gcs: Vec<Digest> = Vec::new();
-                if let (Some(old), Some(store)) = (&old, plane.stores.get_mut(&resource)) {
-                    if !old.inline {
-                        for c in &old.chunks {
-                            if let Some(rel) = store.release(&c.digest, old.vaulted) {
-                                if rel.gone {
-                                    gcs.push(c.digest);
-                                }
-                            }
-                        }
-                    }
-                }
-                shipped = planned.len();
-                hits = 0;
-                moved = manifest_bytes.len() as u64;
-                gc_deletes = gcs;
-                plane.manifests.insert(
-                    key,
+                let old = sh.manifests.insert(
+                    path.to_owned(),
                     ManifestMeta {
                         chunks,
                         policy: ingest.policy,
@@ -373,8 +487,15 @@ impl IoEngine {
                         vaulted: false,
                     },
                 );
+                gc_deletes = match &old {
+                    Some(old) if !old.inline => sh.store.release_all(&old.chunks, old.vaulted),
+                    _ => Vec::new(),
+                };
+                shipped = planned.len();
+                hits = 0;
+                moved = manifest_bytes.len() as u64;
             }
-            plane.pending.push(DeltaSummary {
+            sh.pending.push(DeltaSummary {
                 dataset: dataset.to_owned(),
                 logical_bytes: total,
                 moved_bytes: moved,
@@ -406,6 +527,7 @@ impl IoEngine {
             stale: false,
         };
         self.record_strategy(r.name(), "write", &report);
+        self.record_scratch(&resource, &cx);
         if self.recorder.enabled() {
             let now = self.clock.now();
             if hits > 0 {
@@ -445,7 +567,10 @@ impl IoEngine {
 
     /// Read a chunked dump back into the assembled global array. Every
     /// frame is digest-verified against its manifest entry; a mismatch
-    /// surfaces as [`RuntimeError::Chunk`].
+    /// surfaces as [`RuntimeError::Chunk`]. Raw frames (the `Codec::None`
+    /// path and the incompressible fallback) verify against a zero-copy
+    /// slice of the frame buffer; compressed frames decompress into
+    /// pooled per-worker scratch.
     pub fn read_chunked(
         &self,
         res: &SharedResource,
@@ -473,7 +598,8 @@ impl IoEngine {
         }
 
         // Fetch each distinct frame once, in first-occurrence order.
-        let mut frames: BTreeMap<Digest, Vec<u8>> = BTreeMap::new();
+        // Inline frames are zero-copy slices of the manifest object.
+        let mut frames: HashMap<Digest, Bytes> = HashMap::with_capacity(manifest.chunks.len());
         if manifest.inline {
             let mut at = frames_at;
             for c in &manifest.chunks {
@@ -486,9 +612,7 @@ impl IoEngine {
                         ),
                     }));
                 }
-                frames
-                    .entry(c.digest)
-                    .or_insert_with(|| obj[at..end].to_vec());
+                frames.entry(c.digest).or_insert_with(|| obj.slice(at..end));
                 at = end;
             }
         } else {
@@ -503,13 +627,31 @@ impl IoEngine {
 
         // Decompress and verify on the pool; results collect in dump
         // order. One node-memory scan is charged for the pass.
-        let plains: Vec<Result<Vec<u8>, ChunkError>> = manifest
+        let scratch_allocs = AtomicUsize::new(0);
+        let scratch_reuses = AtomicUsize::new(0);
+        let plains: Vec<Result<Plain, ChunkError>> = manifest
             .chunks
             .par_iter()
             .enumerate()
             .map(|(i, c)| {
-                let plain = decompress(&frames[&c.digest])?;
-                let got = Digest::of(&plain);
+                let frame = &frames[&c.digest];
+                let plain = match raw_span(frame)? {
+                    Some(span) => Plain::Shared(frame.slice(span)),
+                    None => {
+                        let (mut buf, reused) = chunk_scratch::take_plain();
+                        if reused {
+                            scratch_reuses.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            scratch_allocs.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if let Err(e) = decompress_into(frame, &mut buf) {
+                            chunk_scratch::give_plain(buf);
+                            return Err(e);
+                        }
+                        Plain::Pooled(buf)
+                    }
+                };
+                let got = Digest::of(plain.bytes());
                 if got != c.digest {
                     return Err(ChunkError::DigestMismatch {
                         chunk: i,
@@ -520,9 +662,16 @@ impl IoEngine {
                 Ok(plain)
             })
             .collect();
+        cx.note_scratch_many(scratch_allocs.into_inner(), scratch_reuses.into_inner());
         let mut out = Vec::with_capacity(manifest.logical as usize);
         for p in plains {
-            out.extend_from_slice(&p.map_err(chunk_err)?);
+            match p.map_err(chunk_err)? {
+                Plain::Shared(b) => out.extend_from_slice(&b),
+                Plain::Pooled(v) => {
+                    out.extend_from_slice(&v);
+                    chunk_scratch::give_plain(v);
+                }
+            }
         }
         if out.len() as u64 != manifest.logical {
             return Err(chunk_err(ChunkError::BadManifest {
@@ -558,6 +707,7 @@ impl IoEngine {
             stale: false,
         };
         self.record_strategy(r.name(), "read", &report);
+        self.record_scratch(r.name(), &cx);
         Ok((out, report))
     }
 
@@ -588,36 +738,37 @@ impl IoEngine {
     pub fn delete_dump(&self, res: &SharedResource, path: &str) -> RuntimeResult<Cost<()>> {
         let mut r = res.lock();
         let resource = r.name().to_owned();
-        let key = (resource.clone(), path.to_owned());
-        let meta = self.plane.state.lock().manifests.get(&key).cloned();
+        let Some(shard) = self.plane.shard_if(&resource) else {
+            // No chunked dump ever touched this resource: plain delete.
+            let cost = r.delete(path).map_err(RuntimeError::Storage)?;
+            return Ok(Cost::new(cost.time, ()));
+        };
         let mut time = SimDuration::ZERO;
+        let mut sh = shard.lock();
+        let meta = sh.manifests.remove(path);
         // Manifest delete failures propagate *before* bookkeeping is
-        // touched, so a retry sees consistent state. A missing file still
-        // clears the registration (failover may have scattered dumps).
+        // touched (the registration is restored for the retry). A missing
+        // file still clears the registration (failover may have scattered
+        // dumps).
         match r.delete(path) {
             Ok(cost) => time += cost.time,
             Err(StorageError::NotFound(_)) if meta.is_some() => {}
-            Err(e) => return Err(RuntimeError::Storage(e)),
+            Err(e) => {
+                if let Some(meta) = meta {
+                    sh.manifests.insert(path.to_owned(), meta);
+                }
+                return Err(RuntimeError::Storage(e));
+            }
         }
         let Some(meta) = meta else {
             return Ok(Cost::new(time, ()));
         };
-        let mut gcs: Vec<Digest> = Vec::new();
-        {
-            let mut plane = self.plane.state.lock();
-            plane.manifests.remove(&key);
-            if !meta.inline {
-                if let Some(store) = plane.stores.get_mut(&resource) {
-                    for c in &meta.chunks {
-                        if let Some(rel) = store.release(&c.digest, meta.vaulted) {
-                            if rel.gone {
-                                gcs.push(c.digest);
-                            }
-                        }
-                    }
-                }
-            }
-        }
+        let gcs = if meta.inline {
+            Vec::new()
+        } else {
+            sh.store.release_all(&meta.chunks, meta.vaulted)
+        };
+        drop(sh);
         for d in &gcs {
             if let Ok(cost) = r.delete(&cas_path(d)) {
                 time += cost.time;
@@ -641,38 +792,30 @@ impl IoEngine {
     pub fn vault_dump(&self, res: &SharedResource, path: &str) -> RuntimeResult<Cost<()>> {
         let mut r = res.lock();
         let resource = r.name().to_owned();
-        let key = (resource.clone(), path.to_owned());
-        let meta = self.plane.state.lock().manifests.get(&key).cloned();
-        let Some(meta) = meta else {
+        let Some(shard) = self.plane.shard_if(&resource) else {
+            return Ok(Cost::new(r.vault(path)?.time, ()));
+        };
+        let mut sh = shard.lock();
+        let sh = &mut *sh;
+        let Some(meta) = sh.manifests.get_mut(path) else {
             return Ok(Cost::new(r.vault(path)?.time, ()));
         };
         if meta.vaulted {
             return Ok(Cost::free(()));
         }
         let mut time = r.vault(path)?.time;
+        let mut to_vault: Vec<Digest> = Vec::new();
         if !meta.inline {
-            let mut plane = self.plane.state.lock();
-            let mut to_vault: Vec<Digest> = Vec::new();
-            if let Some(store) = plane.stores.get_mut(&resource) {
-                for c in &meta.chunks {
-                    if store.vault_ref(&c.digest) {
-                        to_vault.push(c.digest);
-                    }
+            for c in &meta.chunks {
+                if sh.store.vault_ref(&c.digest) {
+                    to_vault.push(c.digest);
                 }
             }
-            if let Some(m) = plane.manifests.get_mut(&key) {
-                m.vaulted = true;
-            }
-            drop(plane);
-            for d in &to_vault {
-                if let Ok(cost) = r.vault(&cas_path(d)) {
-                    time += cost.time;
-                }
-            }
-        } else {
-            let mut plane = self.plane.state.lock();
-            if let Some(m) = plane.manifests.get_mut(&key) {
-                m.vaulted = true;
+        }
+        meta.vaulted = true;
+        for d in &to_vault {
+            if let Ok(cost) = r.vault(&cas_path(d)) {
+                time += cost.time;
             }
         }
         Ok(Cost::new(time, ()))
@@ -683,50 +826,43 @@ impl IoEngine {
     pub fn recall_dump(&self, res: &SharedResource, path: &str) -> RuntimeResult<Cost<()>> {
         let mut r = res.lock();
         let resource = r.name().to_owned();
-        let key = (resource.clone(), path.to_owned());
-        let meta = self.plane.state.lock().manifests.get(&key).cloned();
-        let Some(meta) = meta else {
+        let Some(shard) = self.plane.shard_if(&resource) else {
+            return Ok(Cost::new(r.recall(path)?.time, ()));
+        };
+        let mut sh = shard.lock();
+        let sh = &mut *sh;
+        let Some(meta) = sh.manifests.get_mut(path) else {
             return Ok(Cost::new(r.recall(path)?.time, ()));
         };
         if !meta.vaulted {
             return Ok(Cost::free(()));
         }
         let mut time = r.recall(path)?.time;
+        let mut to_recall: Vec<Digest> = Vec::new();
         if !meta.inline {
-            let mut plane = self.plane.state.lock();
-            let mut to_recall: Vec<Digest> = Vec::new();
-            if let Some(store) = plane.stores.get_mut(&resource) {
-                for c in &meta.chunks {
-                    if store.recall_ref(&c.digest) {
-                        to_recall.push(c.digest);
-                    }
+            for c in &meta.chunks {
+                if sh.store.recall_ref(&c.digest) {
+                    to_recall.push(c.digest);
                 }
             }
-            if let Some(m) = plane.manifests.get_mut(&key) {
-                m.vaulted = false;
-            }
-            drop(plane);
-            for d in &to_recall {
-                if let Ok(cost) = r.recall(&cas_path(d)) {
-                    time += cost.time;
-                }
-            }
-        } else {
-            let mut plane = self.plane.state.lock();
-            if let Some(m) = plane.manifests.get_mut(&key) {
-                m.vaulted = false;
+        }
+        meta.vaulted = false;
+        for d in &to_recall {
+            if let Ok(cost) = r.recall(&cas_path(d)) {
+                time += cost.time;
             }
         }
         Ok(Cost::new(time, ()))
     }
 
     /// One whole object via native open/read/close on the aggregator.
+    /// Returns the shared buffer as-is: callers slice it zero-copy.
     fn read_object(
         &self,
         cx: &mut OpCx,
         r: &mut dyn StorageResource,
         path: &str,
-    ) -> RuntimeResult<Vec<u8>> {
+    ) -> RuntimeResult<Bytes> {
         let len = r
             .file_size(path)
             .ok_or_else(|| RuntimeError::Storage(StorageError::NotFound(path.to_owned())))?;
@@ -736,6 +872,6 @@ impl IoEngine {
         cx.tl.charge(0, read.time);
         let cl = self.retried(cx, 0, r, |r| r.close(open.value))?;
         cx.tl.charge(0, cl.time);
-        Ok(read.value.to_vec())
+        Ok(read.value)
     }
 }

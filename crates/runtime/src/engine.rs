@@ -254,6 +254,15 @@ impl OpCx {
             self.scratch_allocs += 1;
         }
     }
+
+    /// Fold totals gathered atomically inside a parallel region (the
+    /// chunk plane's compress/decompress loops) into this op's scratch
+    /// accounting, so [`IoEngine::record_scratch`] emits them from the
+    /// sequential phase like every other count.
+    pub(crate) fn note_scratch_many(&mut self, allocs: usize, reuses: usize) {
+        self.scratch_allocs += allocs;
+        self.scratch_reuses += reuses;
+    }
 }
 
 pub(crate) struct StatsDelta {
@@ -371,7 +380,7 @@ impl IoEngine {
     /// Emit this operation's scratch-pool activity, from the sequential
     /// phase only, so the event stream never depends on how parallel
     /// closures interleave.
-    fn record_scratch(&self, resource: &str, cx: &OpCx) {
+    pub(crate) fn record_scratch(&self, resource: &str, cx: &OpCx) {
         if !self.recorder.enabled() {
             return;
         }
